@@ -1,0 +1,32 @@
+//! E9 bench target: bucketed full-vertex search on the clique-plus-path
+//! adversary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_bench::workloads::clique_plus_path;
+use triad_graph::partition::random_disjoint;
+use triad_protocols::{Tuning, UnrestrictedTester};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_ablation_buckets");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.25);
+    for &n in &[4000usize, 16000] {
+        let g = clique_plus_path(n, 18);
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let tester = UnrestrictedTester::new(tuning);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &parts, |b, parts| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                tester.run(&g, parts, seed).unwrap().outcome.found_triangle()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

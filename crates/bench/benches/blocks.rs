@@ -1,0 +1,65 @@
+//! E8 bench target: building blocks — degree approximation and unbiased
+//! random edges.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_comm::{CostModel, Runtime, SharedRandomness};
+use triad_graph::partition::with_duplication;
+use triad_graph::{Edge, GraphBuilder, VertexId};
+use triad_protocols::blocks::{approx_degree, random_edge};
+use triad_protocols::Tuning;
+
+fn bench_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_blocks");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    let n = 100_000;
+    for &deg in &[512usize, 32768] {
+        let mut b = GraphBuilder::new(n);
+        for i in 1..=deg {
+            b.add_edge(Edge::new(VertexId(0), VertexId(i as u32)));
+        }
+        let g = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let parts = with_duplication(&g, 6, 0.5, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("approx_degree", deg),
+            &parts,
+            |bch, parts| {
+                let mut seed = 0u64;
+                bch.iter(|| {
+                    seed += 1;
+                    let mut rt = Runtime::local(
+                        n,
+                        parts.shares(),
+                        SharedRandomness::new(seed),
+                        CostModel::Coordinator,
+                    );
+                    approx_degree(&mut rt, VertexId(0), &tuning).value
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("random_edge", deg),
+            &parts,
+            |bch, parts| {
+                let mut seed = 0u64;
+                bch.iter(|| {
+                    seed += 1;
+                    let mut rt = Runtime::local(
+                        n,
+                        parts.shares(),
+                        SharedRandomness::new(seed),
+                        CostModel::Coordinator,
+                    );
+                    random_edge(&mut rt)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E15 bench target: the CONGEST simulator under the probe tester and
+//! the distributed counter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_congest::{counting, network::Network, triangle::TriangleTester};
+use triad_graph::generators::far_graph;
+
+fn bench_congest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_congest");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for &n in &[1000usize, 4000] {
+        let g = far_graph(n, 8.0, 0.2, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("tester", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                Network::new(g, seed).run_until(&TriangleTester::new(), 50).rounds
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("counter_20it", n), &g, |b, g| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                counting::estimate_triangles(g, 20, seed).estimate
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congest);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E13 bench target: one-round H-freeness testing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_graph::generators::planted_copies;
+use triad_graph::partition::random_disjoint;
+use triad_graph::subgraphs::Pattern;
+use triad_protocols::subgraphs::run_h_freeness;
+use triad_protocols::Tuning;
+
+fn bench_h_freeness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_h_freeness");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    let n = 2000;
+    for (name, pattern, copies) in [
+        ("K3", Pattern::triangle(), 260),
+        ("K4", Pattern::clique(4), 200),
+        ("C5", Pattern::cycle(5), 160),
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = planted_copies(n, &pattern, copies, n / 8, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 5, &mut rng);
+        let d = g.average_degree();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &parts, |b, parts| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_h_freeness(tuning, pattern.clone(), &g, parts, d, seed)
+                    .unwrap()
+                    .stats
+                    .total_bits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_h_freeness);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E6 bench target: Boolean-Matching instances, the graph reduction, and
+//! the index-sketch protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_graph::generators::{BmInstance, BmSide};
+use triad_lowerbounds::bhm;
+
+fn bench_lower_bhm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_lower_bhm");
+    group.sample_size(10);
+    for &n in &[512usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("reduction_graph", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| {
+                let inst = BmInstance::sample(n, BmSide::AllZero, &mut rng);
+                inst.reduction_graph().edge_count()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("index_sketch", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let inst = BmInstance::sample(n, BmSide::AllOne, &mut rng);
+            let budget = 2 * (n as f64).sqrt() as usize;
+            b.iter(|| bhm::index_sketch_attempt(&inst, budget, &mut rng).bits);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bhm);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E5/E11 bench target: the μ distribution — sampling, farness
+//! certification, and budget-limited triangle-edge attempts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_graph::generators::TripartiteMu;
+use triad_graph::triangles;
+use triad_lowerbounds::adversary;
+
+fn bench_lower_mu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_lower_mu");
+    group.sample_size(10);
+    let mu = TripartiteMu::new(128, 1.2);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let inst = mu.sample(&mut rng);
+    group.bench_function("sample_mu_128", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| mu.sample(&mut rng).graph().edge_count())
+    });
+    group.bench_function("greedy_packing", |b| {
+        b.iter(|| triangles::greedy_triangle_packing(inst.graph()).len())
+    });
+    for &budget in &[32usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("one_way_vee", budget),
+            &budget,
+            |b, &budget| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    adversary::one_way_vee_attempt(&inst, budget, seed).stats.total_bits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_mu);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E4 bench target: the degree-oblivious tester (Algorithm 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triad_bench::workloads::planted_far;
+use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+
+fn bench_oblivious(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_oblivious");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    for &(n, d) in &[(4000usize, 8.0f64), (4096, 128.0)] {
+        let w = planted_far(n, d, 0.2, 6, 13);
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_d{d}")),
+            &w,
+            |b, w| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oblivious);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E3 bench target: AlgHigh (Algorithm 7), one round at `d = Ω(√n)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triad_bench::workloads::planted_far;
+use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+
+fn bench_sim_high(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_sim_high");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    let n = 4096usize;
+    for &exp in &[0.5f64, 0.65, 0.8] {
+        let d = (n as f64).powf(exp);
+        let w = planted_far(n, d, 0.2, 6, 5);
+        let tester =
+            SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("d=n^{exp}")),
+            &w,
+            |b, w| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_high);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E2 bench target: AlgLow (Algorithm 8), one round at `d = O(√n)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triad_bench::workloads::planted_far;
+use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+
+fn bench_sim_low(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sim_low");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    for &n in &[1000usize, 8000, 64000] {
+        let w = planted_far(n, 8.0, 0.2, 6, 3);
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: w.d });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_low);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E14 bench target: the one-pass triangle-edge detector and the
+//! streaming → one-way reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_comm::streaming::{run_stream, stream_as_one_way};
+use triad_comm::SharedRandomness;
+use triad_graph::generators::TripartiteMu;
+use triad_lowerbounds::streaming::TriangleEdgeStream;
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_streaming");
+    group.sample_size(10);
+    let mu = TripartiteMu::new(128, 1.2);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let inst = mu.sample(&mut rng);
+    for &cap in &[32usize, 256] {
+        group.bench_with_input(BenchmarkId::new("single_pass", cap), &cap, |b, &cap| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let alg = TriangleEdgeStream::new(SharedRandomness::new(seed), 1, cap);
+                run_stream(alg, 384, inst.graph().edges().iter().copied()).peak_memory_bits
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("as_one_way", cap), &cap, |b, &cap| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let alg = TriangleEdgeStream::new(SharedRandomness::new(seed), 1, cap);
+                stream_as_one_way(alg, 384, &inst.player_inputs()).stats.total_bits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E1 bench target: the unrestricted tester (Algorithm 6) end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triad_bench::workloads::planted_far;
+use triad_protocols::{Tuning, UnrestrictedTester};
+
+fn bench_unrestricted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_unrestricted");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    for &n in &[1000usize, 4000, 16000] {
+        let w = planted_far(n, 8.0, 0.2, 6, 7);
+        let tester = UnrestrictedTester::new(tuning);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unrestricted);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E10 bench target: the same protocol under different charging models
+//! and partition regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad_comm::CostModel;
+use triad_graph::generators::far_graph;
+use triad_graph::partition::{random_disjoint, with_duplication};
+use triad_protocols::{Tuning, UnrestrictedTester};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_variants");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let g = far_graph(4000, 8.0, 0.2, &mut rng).unwrap();
+    let disjoint = random_disjoint(&g, 8, &mut rng);
+    let duplicated = with_duplication(&g, 8, 0.5, &mut rng);
+    for (name, parts, model) in [
+        ("coordinator_disjoint", &disjoint, CostModel::Coordinator),
+        ("coordinator_duplicated", &duplicated, CostModel::Coordinator),
+        ("blackboard_duplicated", &duplicated, CostModel::Blackboard),
+    ] {
+        let tester = UnrestrictedTester::new(tuning).with_cost_model(model);
+        group.bench_with_input(BenchmarkId::from_parameter(name), parts, |b, parts| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                tester.run(&g, parts, seed).unwrap().stats.total_bits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E7 bench target: the exact send-everything baseline vs the testers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use triad_bench::workloads::planted_far;
+use triad_protocols::baseline::run_send_everything;
+use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+
+fn bench_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_vs_exact");
+    group.sample_size(10);
+    let tuning = Tuning::practical(0.2);
+    let w = planted_far(8000, 8.0, 0.2, 6, 17);
+    group.bench_with_input(BenchmarkId::from_parameter("exact"), &w, |b, w| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_send_everything(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+        });
+    });
+    let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: w.d });
+    group.bench_with_input(BenchmarkId::from_parameter("alg_low"), &w, |b, w| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vs_exact);
+criterion_main!(benches);

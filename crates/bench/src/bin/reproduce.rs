@@ -1,0 +1,43 @@
+//! Regenerates every experiment (E1–E12) and prints its table.
+//!
+//! ```text
+//! reproduce [--quick] [--markdown] [e1 e5 ...]
+//! ```
+//!
+//! With no experiment ids, all twelve run in order. `--quick` shrinks the
+//! sweeps (seconds instead of minutes); `--markdown` emits the
+//! EXPERIMENTS.md table format.
+
+use triad_bench::experiments::{all, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let registry = all();
+    let mut ran = 0;
+    for (id, run) in &registry {
+        if !wanted.is_empty() && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        let started = std::time::Instant::now();
+        let report = run(scale);
+        if markdown {
+            print!("{}", report.to_markdown());
+        } else {
+            print!("{}", report.to_text());
+            println!("  [{:.1}s]\n", started.elapsed().as_secs_f64());
+        }
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id(s) {wanted:?}; available: e1..e12");
+        std::process::exit(1);
+    }
+}

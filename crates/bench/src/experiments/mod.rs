@@ -1,0 +1,84 @@
+//! One function per experiment (E1–E12). Each returns a renderable
+//! [`Report`]; the `reproduce` binary prints them all.
+//!
+//! Every experiment takes a [`Scale`]: `Quick` shrinks sweeps for smoke
+//! runs and CI, `Full` is the configuration recorded in EXPERIMENTS.md.
+
+mod blocks;
+mod compare;
+mod extensions;
+mod info;
+mod lower;
+mod upper;
+
+pub use blocks::e8_building_blocks;
+pub use compare::{e10_model_variants, e7_vs_exact, e9_bucketing_ablation};
+pub use extensions::{
+    e13_h_freeness, e14_streaming, e15_congest, e16_counting, e17_ruzsa_szemeredi,
+};
+pub use info::e12_information_accounting;
+pub use lower::{e11_mu_farness, e5_mu_budget_sweeps, e6_boolean_matching};
+pub use upper::{e1_unrestricted, e2_sim_low, e3_sim_high, e4_oblivious};
+
+use crate::table::Report;
+
+/// Sweep size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sweeps (seconds) for smoke tests.
+    Quick,
+    /// The full sweeps recorded in EXPERIMENTS.md (minutes).
+    Full,
+}
+
+impl Scale {
+    /// Picks between quick and full values.
+    pub fn pick<T: Copy>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Registry of all experiments in order.
+pub fn all() -> Vec<(&'static str, fn(Scale) -> Report)> {
+    vec![
+        ("e1", e1_unrestricted as fn(Scale) -> Report),
+        ("e2", e2_sim_low),
+        ("e3", e3_sim_high),
+        ("e4", e4_oblivious),
+        ("e5", e5_mu_budget_sweeps),
+        ("e6", e6_boolean_matching),
+        ("e7", e7_vs_exact),
+        ("e8", e8_building_blocks),
+        ("e9", e9_bucketing_ablation),
+        ("e10", e10_model_variants),
+        ("e11", e11_mu_farness),
+        ("e12", e12_information_accounting),
+        ("e13", e13_h_freeness),
+        ("e14", e14_streaming),
+        ("e15", e15_congest),
+        ("e16", e16_counting),
+        ("e17", e17_ruzsa_szemeredi),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let reg = all();
+        assert_eq!(reg.len(), 17);
+        let ids: std::collections::HashSet<_> = reg.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 17);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! E1–E4: the upper-bound rows of Table 1, measured.
+
+use super::Scale;
+use crate::fit::fit_power_law;
+use crate::table::{f, Report};
+use crate::workloads::{mean_over_seeds, planted_far};
+use triad_comm::{CostModel, Runtime, SharedRandomness};
+use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
+
+const EPS: f64 = 0.2;
+
+/// E1 — Table 1 row 1: the unrestricted tester's cost,
+/// `Õ(k·(nd)^{1/4} + k²)`.
+///
+/// Total bits include the `k²·polylog` candidate-filtering floor, so the
+/// table splits out the *edge-sampling phase* (the `k·(nd)^{1/4}` term)
+/// and fits its exponent against `nd`, and separately sweeps `k` to show
+/// the near-linear player dependence.
+pub fn e1_unrestricted(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "E1",
+        "unrestricted tester (Alg. 6)",
+        "Õ(k·(nd)^¼ + k²) bits, one-sided error (Thm 3.20 / Cor. 3.21)",
+        &["n", "d", "k", "total bits", "edge-phase bits", "success"],
+    );
+    let tuning = Tuning::practical(EPS);
+    let tester = UnrestrictedTester::new(tuning);
+    let trials = scale.pick(2u64, 4);
+    let ns: &[usize] = scale.pick(&[500, 2000][..], &[1000, 4000, 16000, 64000][..]);
+    let d = 8.0;
+    let k = 6;
+    let mut nds = Vec::new();
+    let mut edge_bits = Vec::new();
+    for &n in ns {
+        let w = planted_far(n, d, EPS, k, 7);
+        let mut totals = 0u64;
+        let mut edges = 0u64;
+        let mut found = 0u64;
+        for seed in 0..trials {
+            let mut rt = Runtime::local(
+                n,
+                w.partition.shares(),
+                SharedRandomness::new(seed),
+                CostModel::Coordinator,
+            );
+            if tester.run_on(&mut rt).found_triangle() {
+                found += 1;
+            }
+            totals += rt.stats().total_bits;
+            edges += rt.transcript().bits_for_label("incident_sampled")
+                + rt.transcript().bits_for_label("close_triangle");
+        }
+        let mean_total = totals as f64 / trials as f64;
+        let mean_edges = edges as f64 / trials as f64;
+        nds.push(n as f64 * d);
+        edge_bits.push(mean_edges.max(1.0));
+        report.row(vec![
+            n.to_string(),
+            f(d),
+            k.to_string(),
+            f(mean_total),
+            f(mean_edges),
+            format!("{found}/{trials}"),
+        ]);
+    }
+    let fit = fit_power_law(&nds, &edge_bits);
+    report.note(format!(
+        "edge-phase bits ~ (nd)^{:.2} (r² = {:.2}); paper predicts exponent ≤ 0.25 \
+         (protocol stops at the first full bucket, so the planted workload sits below the worst case)",
+        fit.exponent, fit.r_squared
+    ));
+    // k sweep at fixed n.
+    let n = scale.pick(1000, 4000);
+    let mut ks = Vec::new();
+    let mut bits = Vec::new();
+    for k in [3usize, 6, 12, 24] {
+        let w = planted_far(n, d, EPS, k, 9);
+        let mean = mean_over_seeds(trials, |s| {
+            tester.run(&w.graph, &w.partition, s).unwrap().stats.total_bits
+        });
+        ks.push(k as f64);
+        bits.push(mean);
+    }
+    let kfit = fit_power_law(&ks, &bits);
+    report.note(format!(
+        "total bits ~ k^{:.2} at n = {n} (r² = {:.2}); paper: between k¹ (sampling term) and k² (filter term)",
+        kfit.exponent, kfit.r_squared
+    ));
+    report
+}
+
+/// E2 — Table 1 row 2, `d = O(√n)`: AlgLow at `Õ(k·√n)`.
+pub fn e2_sim_low(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "E2",
+        "simultaneous tester, low degree (Alg. 8)",
+        "Õ(k·√n) bits for d = O(√n), one round (Thm 3.26)",
+        &["n", "d", "k", "total bits", "max player bits", "success"],
+    );
+    let tuning = Tuning::practical(EPS);
+    let trials = scale.pick(3u64, 8);
+    let ns: &[usize] = scale.pick(&[500, 4000][..], &[1000, 4000, 16000, 64000, 256000][..]);
+    let d = 8.0;
+    let k = 6;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in ns {
+        let w = planted_far(n, d, EPS, k, 3);
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
+        let mut totals = 0u64;
+        let mut maxes = 0u64;
+        let mut found = 0u64;
+        for seed in 0..trials {
+            let run = tester.run(&w.graph, &w.partition, seed).unwrap();
+            totals += run.stats.total_bits;
+            maxes += run.stats.max_player_sent_bits;
+            found += u64::from(run.outcome.found_triangle());
+        }
+        xs.push(n as f64);
+        ys.push(totals as f64 / trials as f64);
+        report.row(vec![
+            n.to_string(),
+            f(d),
+            k.to_string(),
+            f(totals as f64 / trials as f64),
+            f(maxes as f64 / trials as f64),
+            format!("{found}/{trials}"),
+        ]);
+    }
+    let fit = fit_power_law(&xs, &ys);
+    report.note(format!(
+        "total bits ~ n^{:.2} (r² = {:.2}); paper predicts exponent 0.5 (√n, up to log factors)",
+        fit.exponent, fit.r_squared
+    ));
+    report
+}
+
+/// E3 — Table 1 row 2, `d = Ω(√n)`: AlgHigh at `Õ(k·(nd)^{1/3})`.
+pub fn e3_sim_high(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "E3",
+        "simultaneous tester, high degree (Alg. 7)",
+        "Õ(k·(nd)^⅓) bits for d = Ω(√n), one round (Thm 3.24)",
+        &["n", "d", "nd", "total bits", "success"],
+    );
+    let tuning = Tuning::practical(EPS);
+    let trials = scale.pick(3u64, 8);
+    let n = scale.pick(1024usize, 4096);
+    let k = 6;
+    let exps: &[f64] = &[0.5, 0.6, 0.7, 0.8];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &c in exps {
+        let d = (n as f64).powf(c);
+        let w = planted_far(n, d, EPS, k, 5);
+        let tester =
+            SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
+        let mut totals = 0u64;
+        let mut found = 0u64;
+        for seed in 0..trials {
+            let run = tester.run(&w.graph, &w.partition, seed).unwrap();
+            totals += run.stats.total_bits;
+            found += u64::from(run.outcome.found_triangle());
+        }
+        let mean = totals as f64 / trials as f64;
+        xs.push(n as f64 * w.d);
+        ys.push(mean);
+        report.row(vec![
+            n.to_string(),
+            f(w.d),
+            f(n as f64 * w.d),
+            f(mean),
+            format!("{found}/{trials}"),
+        ]);
+    }
+    let fit = fit_power_law(&xs, &ys);
+    report.note(format!(
+        "total bits ~ (nd)^{:.2} (r² = {:.2}); paper predicts exponent 1/3 ≈ 0.33",
+        fit.exponent, fit.r_squared
+    ));
+    report
+}
+
+/// E4 — §3.4.3: the degree-oblivious protocol tracks the degree-aware one
+/// within polylog factors, on both sides of the √n threshold.
+pub fn e4_oblivious(scale: Scale) -> Report {
+    let mut report = Report::new(
+        "E4",
+        "degree-oblivious simultaneous tester (Alg. 11)",
+        "matches the degree-aware cost up to polylog(n, k) factors, without knowing d (Thm 3.32)",
+        &["n", "d", "aware bits", "oblivious bits", "ratio", "obl. success"],
+    );
+    let tuning = Tuning::practical(EPS);
+    let trials = scale.pick(3u64, 8);
+    let k = 6;
+    let cases: &[(usize, f64)] = scale.pick(
+        &[(2000, 8.0), (1024, 64.0)][..],
+        &[(4000, 8.0), (16000, 8.0), (64000, 8.0), (4096, 128.0), (16384, 256.0)][..],
+    );
+    for &(n, d) in cases {
+        let w = planted_far(n, d, EPS, k, 13);
+        let aware_kind = if d * d >= n as f64 {
+            SimProtocolKind::High { avg_degree: w.d }
+        } else {
+            SimProtocolKind::Low { avg_degree: w.d }
+        };
+        let aware = SimultaneousTester::new(tuning, aware_kind);
+        let obl = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious);
+        let aware_bits = mean_over_seeds(trials, |s| {
+            aware.run(&w.graph, &w.partition, s).unwrap().stats.total_bits
+        });
+        let mut obl_bits = 0u64;
+        let mut found = 0u64;
+        for seed in 0..trials {
+            let run = obl.run(&w.graph, &w.partition, seed).unwrap();
+            obl_bits += run.stats.total_bits;
+            found += u64::from(run.outcome.found_triangle());
+        }
+        let obl_mean = obl_bits as f64 / trials as f64;
+        report.row(vec![
+            n.to_string(),
+            f(d),
+            f(aware_bits),
+            f(obl_mean),
+            f(obl_mean / aware_bits),
+            format!("{found}/{trials}"),
+        ]);
+    }
+    report.note(
+        "the oblivious/aware ratio stays bounded by a polylog factor across n and across \
+         the low/high-degree regimes — the protocol never learns d",
+    );
+    report
+}

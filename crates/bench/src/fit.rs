@@ -1,0 +1,84 @@
+//! Log-log regression: estimate the exponent `b` in `y ≈ a·x^b`.
+
+/// Result of a power-law fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFit {
+    /// The fitted exponent `b`.
+    pub exponent: f64,
+    /// The fitted prefactor `a`.
+    pub prefactor: f64,
+    /// Coefficient of determination in log space.
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of `ln y = ln a + b·ln x`.
+///
+/// # Panics
+///
+/// Panics unless `xs` and `ys` have equal length ≥ 2 and all values are
+/// positive.
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two samples");
+    assert!(
+        xs.iter().chain(ys).all(|v| *v > 0.0),
+        "power-law fit needs positive data"
+    );
+    assert!(
+        xs.iter().any(|x| (x - xs[0]).abs() > f64::EPSILON * xs[0].abs()),
+        "power-law fit needs at least two distinct x values"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let n = lx.len() as f64;
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let b = sxy / sxx;
+    let a = (my - b * mx).exp();
+    let ss_tot: f64 = ly.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = lx
+        .iter()
+        .zip(&ly)
+        .map(|(x, y)| {
+            let pred = a.ln() + b * x;
+            (y - pred) * (y - pred)
+        })
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    PowerFit { exponent: b, prefactor: a, r_squared: r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let xs = [10.0f64, 100.0, 1000.0, 10000.0];
+        let ys: Vec<f64> = xs.iter().map(|x: &f64| 3.0 * x.powf(0.5)).collect();
+        let fit = fit_power_law(&xs, &ys);
+        assert!((fit.exponent - 0.5).abs() < 1e-9);
+        assert!((fit.prefactor - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn noisy_fit_is_close() {
+        let xs = [16.0f64, 64.0, 256.0, 1024.0, 4096.0];
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x): (usize, &f64)| x.powf(1.0 / 3.0) * (1.0 + 0.05 * i as f64))
+            .collect();
+        let fit = fit_power_law(&xs, &ys);
+        assert!((fit.exponent - 1.0 / 3.0).abs() < 0.05, "{fit:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_data() {
+        let _ = fit_power_law(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # triad-bench
+//!
+//! The harness that regenerates the paper's results table (Table 1) and
+//! every analytic claim as *measured* communication. See `DESIGN.md` for
+//! the experiment index (E1–E12) and `EXPERIMENTS.md` for the recorded
+//! paper-vs-measured comparison.
+//!
+//! * [`fit`] — log-log regression for scaling exponents,
+//! * [`table`] — plain-text / Markdown report rendering,
+//! * [`workloads`] — the standard input families at given `(n, d, k)`,
+//! * [`experiments`] — one function per experiment, each returning a
+//!   [`table::Report`].
+
+pub mod experiments;
+pub mod fit;
+pub mod table;
+pub mod workloads;

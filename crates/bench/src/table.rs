@@ -1,0 +1,151 @@
+//! Plain-text and Markdown rendering of experiment reports.
+
+/// A rendered experiment: a titled table plus prose notes.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id ("E1", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The asymptotic claim being reproduced, verbatim from the paper.
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form conclusions (fit exponents, verdicts).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, paper_claim: &str, headers: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        out.push_str(&format!("paper: {}\n", self.paper_claim));
+        let w = self.widths();
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  → {n}\n"));
+        }
+        out
+    }
+
+    /// Renders as a Markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("**Paper claim:** {}\n\n", self.paper_claim));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        for n in &self.notes {
+            out.push_str(&format!("- {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a float to 3 significant-ish decimals for table cells.
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_formats() {
+        let mut r = Report::new("E0", "demo", "Õ(√n)", &["n", "bits"]);
+        r.row(vec!["100".into(), "42".into()]);
+        r.note("fit exponent 0.5");
+        let text = r.to_text();
+        assert!(text.contains("E0"));
+        assert!(text.contains("42"));
+        assert!(text.contains("fit exponent"));
+        let md = r.to_markdown();
+        assert!(md.contains("| n | bits |"));
+        assert!(md.contains("| 100 | 42 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut r = Report::new("E0", "demo", "", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(42.25), "42.2");
+        assert_eq!(f(0.333333), "0.333");
+    }
+}

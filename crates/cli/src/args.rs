@@ -1,0 +1,145 @@
+//! Minimal `--key value` argument parsing.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ArgMap {
+    values: HashMap<String, String>,
+}
+
+impl ArgMap {
+    /// Parses alternating `--key value` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on stray tokens or missing values.
+    pub fn parse(tokens: &[String]) -> Result<Self, CliError> {
+        let mut values = HashMap::new();
+        let mut it = tokens.iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected an option, got `{tok}`")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("option --{key} needs a value")))?;
+            if values.insert(key.to_string(), value.clone()).is_some() {
+                return Err(CliError::Usage(format!("option --{key} given twice")));
+            }
+        }
+        Ok(ArgMap { values })
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}")))
+    }
+
+    /// An optional string option.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A required parsed option.
+    pub fn required_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, CliError> {
+        self.required(key)?
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid value for --{key}")))
+    }
+
+    /// An optional parsed option with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.optional(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::Usage(format!("invalid value for --{key}")))
+            }
+        }
+    }
+}
+
+/// CLI failure modes.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad arguments; print usage.
+    Usage(String),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed graph file.
+    Read(triad_graph::io::ReadError),
+    /// Generator rejected the parameters.
+    Graph(triad_graph::GraphError),
+    /// A protocol rejected the input.
+    Protocol(triad_protocols::ProtocolError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Read(e) => write!(f, "{e}"),
+            CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Protocol(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<triad_graph::io::ReadError> for CliError {
+    fn from(e: triad_graph::io::ReadError) -> Self {
+        CliError::Read(e)
+    }
+}
+
+impl From<triad_graph::GraphError> for CliError {
+    fn from(e: triad_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<triad_protocols::ProtocolError> for CliError {
+    fn from(e: triad_protocols::ProtocolError) -> Self {
+        CliError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let m = ArgMap::parse(&argv("--n 100 --out file.el")).unwrap();
+        assert_eq!(m.required("n").unwrap(), "100");
+        assert_eq!(m.required_parsed::<usize>("n").unwrap(), 100);
+        assert_eq!(m.optional("missing"), None);
+        assert_eq!(m.parsed_or("d", 4.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ArgMap::parse(&argv("stray")).is_err());
+        assert!(ArgMap::parse(&argv("--k")).is_err());
+        assert!(ArgMap::parse(&argv("--k 1 --k 2")).is_err());
+        let m = ArgMap::parse(&argv("--n xyz")).unwrap();
+        assert!(m.required_parsed::<usize>("n").is_err());
+        assert!(m.required("missing").is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! The four CLI commands.
+
+use crate::args::{ArgMap, CliError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use triad_comm::CostModel;
+use triad_graph::partition::Partition;
+use triad_graph::{distance, generators, io as gio, triangles, Graph};
+use triad_protocols::baseline::run_send_everything;
+use triad_protocols::{
+    ProtocolRun, SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester,
+};
+
+fn load_graph(path: &str) -> Result<Graph, CliError> {
+    Ok(gio::read_edge_list(BufReader::new(File::open(path)?))?)
+}
+
+/// `triad gen` — generate a graph and write it as an edge list.
+pub fn gen(args: &ArgMap) -> Result<String, CliError> {
+    let kind = args.required("kind")?;
+    let n: usize = args.required_parsed("n")?;
+    let out = args.required("out")?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let graph = match kind {
+        "far" => {
+            let d: f64 = args.parsed_or("d", 8.0)?;
+            let eps: f64 = args.parsed_or("eps", 0.2)?;
+            generators::far_graph(n, d, eps, &mut rng)?
+        }
+        "gnp" => {
+            let d: f64 = args.parsed_or("d", 8.0)?;
+            generators::gnp_with_average_degree(n, d, &mut rng)
+        }
+        "dense-core" => {
+            let hubs: usize = args.parsed_or("hubs", 4)?;
+            generators::dense_core(n, hubs, &mut rng)?.graph().clone()
+        }
+        "mu" => {
+            if n % 3 != 0 {
+                return Err(CliError::Usage("--n must be divisible by 3 for mu".into()));
+            }
+            let gamma: f64 = args.parsed_or("gamma", 1.2)?;
+            let inst = generators::TripartiteMu::new(n / 3, gamma).sample(&mut rng);
+            inst.graph().clone()
+        }
+        "powerlaw" => {
+            let d: f64 = args.parsed_or("d", 8.0)?;
+            let beta: f64 = args.parsed_or("beta", 2.5)?;
+            generators::ChungLu::new(n, d, beta)?.sample(&mut rng)
+        }
+        "clique-path" => {
+            let clique: usize = args.parsed_or("clique", 18)?;
+            let mut b = triad_graph::GraphBuilder::new(n);
+            for a in 0..clique as u32 {
+                for c in (a + 1)..clique as u32 {
+                    b.add_edge(triad_graph::Edge::new(
+                        triad_graph::VertexId(a),
+                        triad_graph::VertexId(c),
+                    ));
+                }
+            }
+            for i in clique as u32..(n as u32).saturating_sub(1) {
+                b.add_edge(triad_graph::Edge::new(
+                    triad_graph::VertexId(i),
+                    triad_graph::VertexId(i + 1),
+                ));
+            }
+            b.build()
+        }
+        other => return Err(CliError::Usage(format!("unknown --kind `{other}`"))),
+    };
+    gio::write_edge_list(&graph, BufWriter::new(File::create(out)?))?;
+    Ok(format!(
+        "wrote {out}: n = {}, m = {}, avg degree = {:.2}\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.average_degree()
+    ))
+}
+
+/// `triad partition` — split edges among k players, one file per share.
+pub fn partition(args: &ArgMap) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let k: usize = args.required_parsed("k")?;
+    if k == 0 {
+        return Err(CliError::Usage("--k must be positive".into()));
+    }
+    let prefix = args.required("out")?;
+    let scheme = args.optional("scheme").unwrap_or("random");
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let parts = match scheme {
+        "random" => triad_graph::partition::random_disjoint(&g, k, &mut rng),
+        "duplication" => {
+            let p: f64 = args.parsed_or("dup-p", 0.3)?;
+            triad_graph::partition::with_duplication(&g, k, p, &mut rng)
+        }
+        "vertex" => triad_graph::partition::by_vertex(&g, k),
+        other => return Err(CliError::Usage(format!("unknown --scheme `{other}`"))),
+    };
+    for (j, share) in parts.shares().iter().enumerate() {
+        let path = format!("{prefix}.{j}");
+        let share_graph = {
+            let mut b = triad_graph::GraphBuilder::new(g.vertex_count());
+            b.extend_edges(share.iter().copied());
+            b.build()
+        };
+        gio::write_edge_list(&share_graph, BufWriter::new(File::create(&path)?))?;
+    }
+    Ok(format!(
+        "wrote {k} shares to {prefix}.0..{prefix}.{}: {} edge copies for {} edges\n",
+        k - 1,
+        parts.total_copies(),
+        g.edge_count()
+    ))
+}
+
+/// `triad info` — statistics and farness certificates.
+pub fn info(args: &ArgMap) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let eps: f64 = args.parsed_or("eps", 0.1)?;
+    let bounds = distance::distance_bounds(&g);
+    let mut out = String::new();
+    out.push_str(&format!("vertices: {}\n", g.vertex_count()));
+    out.push_str(&format!("edges: {}\n", g.edge_count()));
+    out.push_str(&format!("average degree: {:.3}\n", g.average_degree()));
+    out.push_str(&format!("max degree: {}\n", g.max_degree()));
+    out.push_str(&format!("triangles: {}\n", triangles::count_triangles(&g)));
+    out.push_str(&format!(
+        "distance to triangle-free: {} ≤ removals ≤ {}\n",
+        bounds.lower, bounds.upper
+    ));
+    out.push_str(&format!(
+        "certified {eps}-far: {}\n",
+        if distance::is_certifiably_far(&g, eps) { "yes" } else { "no" }
+    ));
+    Ok(out)
+}
+
+fn load_shares(prefix: &str, n: usize) -> Result<Vec<Vec<triad_graph::Edge>>, CliError> {
+    let mut shares = Vec::new();
+    loop {
+        let path = format!("{prefix}.{}", shares.len());
+        if !Path::new(&path).exists() {
+            break;
+        }
+        let g = load_graph(&path)?;
+        if g.vertex_count() != n {
+            return Err(CliError::Usage(format!(
+                "share {path} declares {} vertices, graph has {n}",
+                g.vertex_count()
+            )));
+        }
+        shares.push(g.edges().to_vec());
+    }
+    if shares.is_empty() {
+        return Err(CliError::Usage(format!("no share files found at {prefix}.0")));
+    }
+    Ok(shares)
+}
+
+/// `triad count` — one-round approximate triangle counting.
+pub fn count(args: &ArgMap) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let shares = load_shares(args.required("shares")?, g.vertex_count())?;
+    let parts = Partition::new(shares);
+    let p: f64 = args.parsed_or("p", 0.3)?;
+    if !(0.0..=1.0).contains(&p) || p == 0.0 {
+        return Err(CliError::Usage("--p must be in (0, 1]".into()));
+    }
+    let trials: u64 = args.parsed_or("trials", 5)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let (estimate, stats) =
+        triad_protocols::counting::estimate_triangles_averaged(&g, &parts, p, trials, seed)?;
+    Ok(format!(
+        "estimated triangles: {estimate:.1} (p = {p}, {trials} trials, {} total bits)\n",
+        stats.total_bits
+    ))
+}
+
+/// `triad hfree` — one-round H-freeness testing.
+pub fn hfree(args: &ArgMap) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let shares = load_shares(args.required("shares")?, g.vertex_count())?;
+    let parts = Partition::new(shares);
+    let pattern = match args.required("pattern")? {
+        "k3" | "triangle" => triad_graph::subgraphs::Pattern::triangle(),
+        "k4" => triad_graph::subgraphs::Pattern::clique(4),
+        "k5" => triad_graph::subgraphs::Pattern::clique(5),
+        "c4" => triad_graph::subgraphs::Pattern::cycle(4),
+        "c5" => triad_graph::subgraphs::Pattern::cycle(5),
+        other => return Err(CliError::Usage(format!("unknown --pattern `{other}`"))),
+    };
+    let eps: f64 = args.parsed_or("eps", 0.2)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let d: f64 = args.parsed_or("d", g.average_degree())?;
+    let run = triad_protocols::subgraphs::run_h_freeness(
+        Tuning::practical(eps),
+        pattern,
+        &g,
+        &parts,
+        d.max(0.1),
+        seed,
+    )?;
+    let verdict = match run.witness {
+        Some(hosts) => format!(
+            "copy found at {}",
+            hosts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+        ),
+        None => "accepted (no copy found)".to_string(),
+    };
+    Ok(format!("{verdict}\n{} bits, 1 round\n", run.stats.total_bits))
+}
+
+/// `triad congest` — run the distributed (CONGEST) tester and counter.
+pub fn congest(args: &ArgMap) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let max_rounds: usize = args.parsed_or("max-rounds", 200)?;
+    let count_iterations: usize = args.parsed_or("count-iterations", 0)?;
+    let mut out = String::new();
+    let mut net = triad_congest::network::Network::new(&g, seed);
+    let res = net.run_until(&triad_congest::triangle::TriangleTester::new(), max_rounds);
+    match res.witness {
+        Some(t) => out.push_str(&format!(
+            "tester: triangle {t} after {} rounds, {} bits (edge cap {} bits/round)\n",
+            res.rounds,
+            res.total_bits,
+            triad_congest::message::Msg::bandwidth_cap(g.vertex_count())
+        )),
+        None => out.push_str(&format!(
+            "tester: accepted after {} rounds, {} bits\n",
+            res.rounds, res.total_bits
+        )),
+    }
+    if count_iterations > 0 {
+        let est = triad_congest::counting::estimate_triangles(&g, count_iterations, seed);
+        out.push_str(&format!(
+            "counter: ≈{:.1} triangles ({} iterations, {} bits)\n",
+            est.estimate, est.iterations, est.total_bits
+        ));
+    }
+    Ok(out)
+}
+
+/// `triad test` — run a protocol over a partitioned input.
+pub fn test(args: &ArgMap) -> Result<String, CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let shares = load_shares(args.required("shares")?, g.vertex_count())?;
+    let parts = Partition::new(shares);
+    let protocol = args.required("protocol")?;
+    let eps: f64 = args.parsed_or("eps", 0.2)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let d: f64 = args.parsed_or("d", g.average_degree())?;
+    let cost_model = match args.optional("cost-model").unwrap_or("coordinator") {
+        "coordinator" => CostModel::Coordinator,
+        "blackboard" => CostModel::Blackboard,
+        "message-passing" => CostModel::MessagePassing,
+        other => return Err(CliError::Usage(format!("unknown --cost-model `{other}`"))),
+    };
+    let tuning = Tuning::practical(eps);
+    let breakdown = args.optional("breakdown").map(|v| v == "true").unwrap_or(false);
+    if breakdown && protocol != "unrestricted" {
+        return Err(CliError::Usage(
+            "--breakdown is only available for --protocol unrestricted \
+             (one-round protocols have a single phase)"
+                .into(),
+        ));
+    }
+    if breakdown {
+        // Per-phase bit breakdown needs transcript access: drive the
+        // runtime directly.
+        use triad_comm::{Runtime, SharedRandomness};
+        let mut rt = Runtime::local(
+            g.vertex_count(),
+            parts.shares(),
+            SharedRandomness::new(seed),
+            cost_model,
+        );
+        let outcome = UnrestrictedTester::new(tuning)
+            .with_cost_model(cost_model)
+            .run_on(&mut rt);
+        let mut out = String::new();
+        out.push_str(&match outcome.triangle() {
+            Some(t) => format!("triangle {t}\n"),
+            None => "accepted (no triangle found)\n".to_string(),
+        });
+        for row in rt.transcript().breakdown() {
+            out.push_str(&format!(
+                "  {:<18} {:>10} bits  {:>8} messages\n",
+                row.label, row.bits, row.messages
+            ));
+        }
+        out.push_str(&format!("  {:<18} {:>10} bits total\n", "=", rt.stats().total_bits));
+        return Ok(out);
+    }
+    let run: ProtocolRun = match protocol {
+        "unrestricted" => UnrestrictedTester::new(tuning)
+            .with_cost_model(cost_model)
+            .run(&g, &parts, seed)?,
+        "low" => SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d })
+            .run(&g, &parts, seed)?,
+        "high" => SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: d })
+            .run(&g, &parts, seed)?,
+        "oblivious" => SimultaneousTester::new(tuning, SimProtocolKind::Oblivious)
+            .run(&g, &parts, seed)?,
+        "exact" => run_send_everything(&g, &parts, seed)?,
+        other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
+    };
+    let verdict = match run.outcome.triangle() {
+        Some(t) => format!("triangle {t}"),
+        None => "accepted (no triangle found)".to_string(),
+    };
+    Ok(format!(
+        "{verdict}\n{} bits, {} rounds, {} messages, max player message {} bits\n",
+        run.stats.total_bits, run.stats.rounds, run.stats.messages, run.stats.max_player_sent_bits
+    ))
+}

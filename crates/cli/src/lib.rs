@@ -1,0 +1,155 @@
+//! Implementation of the `triad` command-line interface.
+//!
+//! Kept as a library so every command is unit-testable without spawning
+//! processes; [`run`] takes raw arguments and returns the stdout text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{ArgMap, CliError};
+
+/// The usage text printed on argument errors.
+pub const USAGE: &str = "\
+usage: triad <command> [options]
+
+commands:
+  gen        generate a graph
+             --kind far|gnp|dense-core|mu|clique-path|powerlaw  --n N  --out FILE
+             [--d D] [--eps E] [--seed S] [--hubs H] [--gamma G] [--clique C] [--beta B]
+  partition  split a graph's edges among k players
+             --graph FILE  --k K  --out PREFIX
+             [--scheme random|duplication|vertex] [--dup-p P] [--seed S]
+  info       print graph statistics and farness certificates
+             --graph FILE [--eps E]
+  test       run a testing protocol over a partitioned input
+             --graph FILE  --shares PREFIX  --protocol unrestricted|low|high|oblivious|exact
+             [--eps E] [--seed S] [--cost-model coordinator|blackboard|message-passing]
+             [--d D] [--breakdown true]   (per-phase bits; unrestricted only)
+  count      estimate the triangle count in one round
+             --graph FILE  --shares PREFIX  [--p P] [--trials T] [--seed S]
+  hfree      test H-freeness in one round
+             --graph FILE  --shares PREFIX  --pattern k3|k4|k5|c4|c5
+             [--eps E] [--seed S] [--d D]
+  congest    run the distributed (CONGEST) tester, optionally counting
+             --graph FILE [--max-rounds R] [--count-iterations I] [--seed S]
+";
+
+/// Executes one CLI invocation, returning the text to print.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed arguments and other
+/// variants for I/O or protocol failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let map = ArgMap::parse(rest)?;
+    match command.as_str() {
+        "gen" => commands::gen(&map),
+        "partition" => commands::partition(&map),
+        "info" => commands::info(&map),
+        "test" => commands::test(&map),
+        "count" => commands::count(&map),
+        "hfree" => commands::hfree(&map),
+        "congest" => commands::congest(&map),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = run(&argv("frobnicate --x 1")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn missing_command_is_usage_error() {
+        assert!(matches!(run(&[]).unwrap_err(), CliError::Usage(_)));
+    }
+
+    #[test]
+    fn end_to_end_pipeline_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("triad-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.el");
+        let shares = dir.join("p");
+        let out = run(&argv(&format!(
+            "gen --kind far --n 400 --d 8 --eps 0.2 --seed 1 --out {}",
+            g.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let out = run(&argv(&format!(
+            "partition --graph {} --k 4 --scheme random --seed 2 --out {}",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        assert!(out.contains("4 shares"), "{out}");
+        let out = run(&argv(&format!("info --graph {} --eps 0.2", g.display()))).unwrap();
+        assert!(out.contains("vertices: 400"), "{out}");
+        assert!(out.contains("certified 0.2-far: yes"), "{out}");
+        let out = run(&argv(&format!(
+            "test --graph {} --shares {} --protocol low --eps 0.2 --seed 3 --d 8",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        assert!(out.contains("bits"), "{out}");
+        assert!(out.contains("triangle") || out.contains("accepted"), "{out}");
+        let out = run(&argv(&format!(
+            "count --graph {} --shares {} --p 0.5 --trials 4",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        assert!(out.contains("estimated triangles"), "{out}");
+        let out = run(&argv(&format!(
+            "hfree --graph {} --shares {} --pattern k3 --eps 0.2",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        assert!(out.contains("copy found") || out.contains("accepted"), "{out}");
+        let out = run(&argv(&format!(
+            "congest --graph {} --max-rounds 100 --count-iterations 10",
+            g.display()
+        )))
+        .unwrap();
+        assert!(out.contains("tester:"), "{out}");
+        assert!(out.contains("counter:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn test_rejects_missing_share_files() {
+        let dir = std::env::temp_dir().join(format!("triad-cli-miss-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.el");
+        run(&argv(&format!(
+            "gen --kind gnp --n 50 --d 4 --seed 1 --out {}",
+            g.display()
+        )))
+        .unwrap();
+        let err = run(&argv(&format!(
+            "test --graph {} --shares {}/nope --protocol exact",
+            g.display(),
+            dir.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("share"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

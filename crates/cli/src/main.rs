@@ -1,0 +1,26 @@
+//! `triad` — generate, partition, inspect and test graphs from the
+//! command line.
+//!
+//! ```text
+//! triad gen --kind far --n 2000 --d 8 --eps 0.2 --seed 1 --out g.el
+//! triad partition --graph g.el --k 6 --scheme random --seed 2 --out shares/p
+//! triad info --graph g.el
+//! triad test --graph g.el --shares shares/p --protocol low --eps 0.2 --seed 3
+//! ```
+
+use triad_cli::{run, CliError};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(CliError::Usage(msg)) => {
+            eprintln!("error: {msg}\n\n{}", triad_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The bit-level cost model.
+//!
+//! The paper measures a protocol by the expected number of bits exchanged
+//! between the players and the coordinator. We charge:
+//!
+//! * `⌈log₂ n⌉` bits per vertex identifier,
+//! * twice that per edge,
+//! * `⌊log₂ x⌋ + 1` bits per unbounded non-negative integer (its binary
+//!   length; we do not model self-delimiting overhead, which only changes
+//!   constants),
+//! * one bit per boolean.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// A number of communicated bits.
+///
+/// A newtype so bit budgets are never confused with counts or vertex ids.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+)]
+pub struct BitCost(pub u64);
+
+impl BitCost {
+    /// Zero bits.
+    pub const ZERO: BitCost = BitCost(0);
+
+    /// The raw bit count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub fn saturating_add(self, other: BitCost) -> BitCost {
+        BitCost(self.0.saturating_add(other.0))
+    }
+}
+
+impl Add for BitCost {
+    type Output = BitCost;
+    fn add(self, rhs: BitCost) -> BitCost {
+        BitCost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for BitCost {
+    fn add_assign(&mut self, rhs: BitCost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for BitCost {
+    fn sum<I: Iterator<Item = BitCost>>(iter: I) -> BitCost {
+        BitCost(iter.map(|b| b.0).sum())
+    }
+}
+
+impl std::fmt::Display for BitCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} bits", self.0)
+    }
+}
+
+impl From<u64> for BitCost {
+    fn from(v: u64) -> Self {
+        BitCost(v)
+    }
+}
+
+/// Bits to name one vertex out of `n`: `⌈log₂ n⌉` (min 1).
+#[inline]
+pub fn bits_per_vertex(n: usize) -> u64 {
+    let n = n.max(2) as u64;
+    64 - (n - 1).leading_zeros() as u64
+}
+
+/// Bits to name one edge out of `n` vertices: two vertex ids.
+#[inline]
+pub fn bits_per_edge(n: usize) -> u64 {
+    2 * bits_per_vertex(n)
+}
+
+/// Binary length of a non-negative integer: `⌊log₂ x⌋ + 1` (1 for zero).
+#[inline]
+pub fn bits_for_count(x: u64) -> u64 {
+    (64 - x.leading_zeros() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_bits() {
+        assert_eq!(bits_per_vertex(2), 1);
+        assert_eq!(bits_per_vertex(3), 2);
+        assert_eq!(bits_per_vertex(4), 2);
+        assert_eq!(bits_per_vertex(5), 3);
+        assert_eq!(bits_per_vertex(1024), 10);
+        assert_eq!(bits_per_vertex(1025), 11);
+        // degenerate inputs still cost one bit
+        assert_eq!(bits_per_vertex(0), 1);
+        assert_eq!(bits_per_vertex(1), 1);
+    }
+
+    #[test]
+    fn edge_bits_are_double() {
+        for n in [2usize, 10, 100, 1 << 20] {
+            assert_eq!(bits_per_edge(n), 2 * bits_per_vertex(n));
+        }
+    }
+
+    #[test]
+    fn count_bits() {
+        assert_eq!(bits_for_count(0), 1);
+        assert_eq!(bits_for_count(1), 1);
+        assert_eq!(bits_for_count(2), 2);
+        assert_eq!(bits_for_count(255), 8);
+        assert_eq!(bits_for_count(256), 9);
+        assert_eq!(bits_for_count(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bitcost_arithmetic() {
+        let mut c = BitCost::ZERO;
+        c += BitCost(5);
+        assert_eq!(c + BitCost(3), BitCost(8));
+        let total: BitCost = [BitCost(1), BitCost(2), BitCost(3)].into_iter().sum();
+        assert_eq!(total, BitCost(6));
+        assert_eq!(BitCost(u64::MAX).saturating_add(BitCost(1)), BitCost(u64::MAX));
+        assert_eq!(BitCost(7).to_string(), "7 bits");
+        assert_eq!(BitCost::from(9u64).get(), 9);
+    }
+}

@@ -1,0 +1,63 @@
+//! # triad-comm
+//!
+//! The coordinator-model communication substrate for the `triad`
+//! reproduction of *"On the Multiparty Communication Complexity of Testing
+//! Triangle-Freeness"* (PODC 2017).
+//!
+//! The paper's model: `k` players hold private edge sets `E_1..E_k`
+//! (possibly overlapping) whose union is the input graph; a coordinator
+//! with no input exchanges messages with the players over private
+//! channels, and the cost of a protocol is the number of bits exchanged.
+//! This crate provides:
+//!
+//! * an exact bit-cost model ([`bits`], [`message::Payload`]),
+//! * transcripts and statistics ([`transcript`]),
+//! * free shared randomness realized as a PRF ([`rand`]),
+//! * player state with typed request handlers ([`player`], [`request`]),
+//! * runtimes — sequential and one-thread-per-player — under a common
+//!   cost-accounting [`runtime::Runtime`], with coordinator and blackboard
+//!   charging models,
+//! * the one-round simultaneous framework ([`simultaneous`]).
+//!
+//! # Example
+//!
+//! ```
+//! use triad_comm::{Runtime, CostModel, SharedRandomness, PlayerRequest, Payload};
+//! use triad_graph::{Edge, VertexId};
+//!
+//! let e = |a, b| Edge::new(VertexId(a), VertexId(b));
+//! let shares = vec![vec![e(0, 1)], vec![e(1, 2)]];
+//! let mut rt = Runtime::local(3, &shares, SharedRandomness::new(7), CostModel::Coordinator);
+//! let resp = rt.request(0, PlayerRequest::HasEdge(e(0, 1)));
+//! assert_eq!(resp, Payload::Bit(true));
+//! assert!(rt.stats().total_bits > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod message;
+pub mod oneway;
+pub mod player;
+pub mod rand;
+pub mod request;
+pub mod runtime;
+pub mod simultaneous;
+pub mod streaming;
+pub mod transcript;
+
+pub use bits::BitCost;
+pub use message::Payload;
+pub use oneway::{run_one_way, OneWayProtocol, OneWayRun};
+pub use streaming::{
+    run_stream, stream_as_one_way, EdgeReservoir, StreamAlgorithm, StreamOneWayRun, StreamRun,
+};
+pub use player::PlayerState;
+pub use rand::SharedRandomness;
+pub use request::PlayerRequest;
+pub use runtime::{CostModel, LocalTransport, Runtime, ThreadedTransport, Transport};
+pub use simultaneous::{
+    run_simultaneous, run_simultaneous_threaded, SimMessage, SimRun, SimultaneousProtocol,
+};
+pub use transcript::{CommStats, Direction, Event, Transcript};

@@ -1,0 +1,113 @@
+//! Message payloads and their exact bit lengths.
+
+use crate::bits::{bits_for_count, bits_per_edge, bits_per_vertex, BitCost};
+use triad_graph::{Edge, Triangle, VertexId};
+
+/// The content of one message in either direction.
+///
+/// Each variant has an exact bit cost under the model of [`crate::bits`];
+/// `Option` flags cost one bit, vectors carry a length prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Nothing (costs 0; used for fire-and-forget control).
+    Empty,
+    /// One boolean.
+    Bit(bool),
+    /// A fixed-width bit string (value, width).
+    Bits(u64, u32),
+    /// An unbounded non-negative integer (binary length).
+    Count(u64),
+    /// An optional vertex id.
+    Vertex(Option<VertexId>),
+    /// A list of vertex ids.
+    Vertices(Vec<VertexId>),
+    /// An optional edge.
+    Edge(Option<Edge>),
+    /// A list of edges.
+    Edges(Vec<Edge>),
+    /// An optional triangle (three vertex ids).
+    Triangle(Option<Triangle>),
+    /// A probability, quantized to 32 bits (protocol parameters sent by
+    /// the coordinator).
+    Probability(f64),
+}
+
+impl Payload {
+    /// Exact cost of the payload in a graph on `n` vertices.
+    pub fn bit_len(&self, n: usize) -> BitCost {
+        let v = bits_per_vertex(n);
+        let e = bits_per_edge(n);
+        let cost = match self {
+            Payload::Empty => 0,
+            Payload::Bit(_) => 1,
+            Payload::Bits(_, width) => u64::from(*width),
+            Payload::Count(x) => bits_for_count(*x),
+            Payload::Vertex(o) => 1 + if o.is_some() { v } else { 0 },
+            Payload::Vertices(vs) => bits_for_count(vs.len() as u64) + v * vs.len() as u64,
+            Payload::Edge(o) => 1 + if o.is_some() { e } else { 0 },
+            Payload::Edges(es) => bits_for_count(es.len() as u64) + e * es.len() as u64,
+            Payload::Triangle(o) => 1 + if o.is_some() { 3 * v } else { 0 },
+            Payload::Probability(_) => 32,
+        };
+        BitCost(cost)
+    }
+
+    /// Convenience: the edges of an `Edges` payload, empty otherwise.
+    pub fn as_edges(&self) -> &[Edge] {
+        match self {
+            Payload::Edges(es) => es,
+            _ => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn scalar_costs() {
+        let n = 1024; // 10 bits per vertex
+        assert_eq!(Payload::Empty.bit_len(n), BitCost(0));
+        assert_eq!(Payload::Bit(true).bit_len(n), BitCost(1));
+        assert_eq!(Payload::Bits(0b101, 3).bit_len(n), BitCost(3));
+        assert_eq!(Payload::Count(255).bit_len(n), BitCost(8));
+        assert_eq!(Payload::Probability(0.5).bit_len(n), BitCost(32));
+    }
+
+    #[test]
+    fn option_costs() {
+        let n = 1024;
+        assert_eq!(Payload::Vertex(None).bit_len(n), BitCost(1));
+        assert_eq!(Payload::Vertex(Some(v(3))).bit_len(n), BitCost(11));
+        assert_eq!(Payload::Edge(None).bit_len(n), BitCost(1));
+        assert_eq!(Payload::Edge(Some(Edge::new(v(0), v(1)))).bit_len(n), BitCost(21));
+        assert_eq!(Payload::Triangle(None).bit_len(n), BitCost(1));
+        assert_eq!(
+            Payload::Triangle(Some(Triangle::new(v(0), v(1), v(2)))).bit_len(n),
+            BitCost(31)
+        );
+    }
+
+    #[test]
+    fn vector_costs_scale_linearly() {
+        let n = 1024;
+        let es: Vec<Edge> = (0..10).map(|i| Edge::new(v(i), v(i + 1))).collect();
+        // length prefix of 10 = 4 bits, plus 10 edges × 20 bits
+        assert_eq!(Payload::Edges(es.clone()).bit_len(n), BitCost(4 + 200));
+        let vs: Vec<VertexId> = (0..3).map(v).collect();
+        assert_eq!(Payload::Vertices(vs).bit_len(n), BitCost(2 + 30));
+        assert_eq!(Payload::Edges(vec![]).bit_len(n), BitCost(1));
+    }
+
+    #[test]
+    fn as_edges_accessor() {
+        let es = vec![Edge::new(v(0), v(1))];
+        assert_eq!(Payload::Edges(es.clone()).as_edges(), es.as_slice());
+        assert!(Payload::Bit(false).as_edges().is_empty());
+    }
+}

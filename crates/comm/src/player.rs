@@ -1,0 +1,431 @@
+//! A player's private state and its request handlers.
+
+use crate::message::Payload;
+use crate::rand::SharedRandomness;
+use crate::request::PlayerRequest;
+use std::collections::HashSet;
+use triad_graph::{Edge, Triangle, VertexId};
+
+/// One player's private input `E_j` with precomputed local adjacency.
+///
+/// Players never see each other's state; all interaction flows through
+/// [`PlayerRequest`]s (unrestricted protocols) or one-shot messages
+/// (simultaneous protocols).
+#[derive(Debug, Clone)]
+pub struct PlayerState {
+    id: usize,
+    n: usize,
+    edges: HashSet<Edge>,
+    adj: Vec<Vec<VertexId>>,
+    /// Vertices with positive local degree, for suspect-set scans.
+    occupied: Vec<VertexId>,
+}
+
+impl PlayerState {
+    /// Builds player `id`'s state over a graph on `n` vertices from its
+    /// edge share (duplicates within the share are collapsed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn new(id: usize, n: usize, share: &[Edge]) -> Self {
+        let mut edges = HashSet::with_capacity(share.len());
+        let mut adj = vec![Vec::new(); n];
+        for e in share {
+            assert!(e.v().index() < n, "edge endpoint out of range");
+            if edges.insert(*e) {
+                adj[e.u().index()].push(e.v());
+                adj[e.v().index()].push(e.u());
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let occupied = (0..n)
+            .filter(|v| !adj[*v].is_empty())
+            .map(VertexId::from_index)
+            .collect();
+        PlayerState { id, n, edges, adj, occupied }
+    }
+
+    /// The player's index `j ∈ 0..k`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The number of vertices in the (global) graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges this player holds.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The player's local degree `d_j(v)`.
+    pub fn local_degree(&self, v: VertexId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// The player's local neighbors of `v`, sorted.
+    pub fn local_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v.index()]
+    }
+
+    /// The average degree `d̄_j` of the player's own input — the quantity
+    /// the degree-oblivious simultaneous protocol keys its guesses on.
+    pub fn local_average_degree(&self) -> f64 {
+        2.0 * self.edges.len() as f64 / self.n.max(1) as f64
+    }
+
+    /// Does the player hold `e`?
+    pub fn has_edge(&self, e: Edge) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Iterates the player's distinct edges (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter()
+    }
+
+    /// Handles one coordinator request. Pure with respect to the player's
+    /// state; all randomness comes from the shared string.
+    pub fn handle(&self, req: &PlayerRequest, shared: &SharedRandomness) -> Payload {
+        match req {
+            PlayerRequest::HasEdge(e) => Payload::Bit(self.has_edge(*e)),
+            PlayerRequest::FirstIncidentEdge { v, perm_tag } => {
+                let best = self.adj[v.index()]
+                    .iter()
+                    .map(|u| Edge::new(*v, *u))
+                    .min_by_key(|e| shared.edge_rank(*perm_tag, *e));
+                Payload::Edge(best)
+            }
+            PlayerRequest::FirstEdge { perm_tag } => {
+                let best =
+                    self.edges.iter().copied().min_by_key(|e| shared.edge_rank(*perm_tag, *e));
+                Payload::Edge(best)
+            }
+            PlayerRequest::LocalDegree { v } => {
+                Payload::Count(self.local_degree(*v) as u64)
+            }
+            PlayerRequest::LocalEdgeCount => Payload::Count(self.edges.len() as u64),
+            PlayerRequest::EdgeCountMsb => {
+                let c = self.edges.len() as u64;
+                Payload::Count(if c == 0 { 0 } else { 64 - c.leading_zeros() as u64 })
+            }
+            PlayerRequest::GlobalSampleHit { tag, p } => {
+                Payload::Bit(self.edges.iter().any(|e| shared.edge_sampled(*tag, *e, *p)))
+            }
+            PlayerRequest::DegreeMsb { v } => {
+                let d = self.local_degree(*v) as u64;
+                Payload::Count(if d == 0 { 0 } else { 64 - d.leading_zeros() as u64 })
+            }
+            PlayerRequest::DegreePrefix { v, prefix_bits } => {
+                let d = self.local_degree(*v) as u64;
+                let width: u64 = 64 - u64::from(d.leading_zeros().min(63));
+                let truncated = if width > u64::from(*prefix_bits) {
+                    let drop = width - u64::from(*prefix_bits);
+                    (d >> drop) << drop
+                } else {
+                    d
+                };
+                // Cost: the kept prefix plus the exponent (≈ loglog d).
+                let cost =
+                    u64::from(*prefix_bits) + crate::bits::bits_for_count(width.max(1));
+                Payload::Bits(truncated, cost as u32)
+            }
+            PlayerRequest::SampleHit { v, tag, p } => {
+                let hit =
+                    self.adj[v.index()].iter().any(|u| shared.vertex_sampled(*tag, *u, *p));
+                Payload::Bit(hit)
+            }
+            PlayerRequest::FirstSuspectInBucket { bucket, k, perm_tag } => {
+                let best = self
+                    .suspects(*bucket, *k)
+                    .min_by_key(|v| shared.vertex_rank(*perm_tag, *v));
+                Payload::Vertex(best)
+            }
+            PlayerRequest::SuspectSample { bucket, k, perm_tag, count } => {
+                let mut ranked: Vec<VertexId> = self.suspects(*bucket, *k).collect();
+                ranked.sort_unstable_by_key(|v| shared.vertex_rank(*perm_tag, *v));
+                ranked.truncate(*count);
+                Payload::Vertices(ranked)
+            }
+            PlayerRequest::IncidentEdgesSampled { v, tag, p, cap } => {
+                let mut out = Vec::new();
+                for u in &self.adj[v.index()] {
+                    if shared.vertex_sampled(*tag, *u, *p) {
+                        out.push(Edge::new(*v, *u));
+                        if out.len() >= *cap {
+                            break;
+                        }
+                    }
+                }
+                Payload::Edges(out)
+            }
+            PlayerRequest::FindClosingTriangle { edges } => {
+                Payload::Triangle(self.close_any_vee(edges))
+            }
+            PlayerRequest::InducedEdges { tag, p, cap } => {
+                let mut out = Vec::new();
+                for e in &self.edges {
+                    if shared.vertex_sampled(*tag, e.u(), *p)
+                        && shared.vertex_sampled(*tag, e.v(), *p)
+                    {
+                        out.push(*e);
+                        if out.len() >= *cap {
+                            break;
+                        }
+                    }
+                }
+                Payload::Edges(out)
+            }
+            PlayerRequest::RsEdges { r_tag, p_r, s_tag, p_s, cap } => {
+                let in_r = |v: VertexId| shared.vertex_sampled(*r_tag, v, *p_r);
+                let in_rs = |v: VertexId| {
+                    in_r(v) || shared.vertex_sampled(*s_tag, v, *p_s)
+                };
+                let mut out = Vec::new();
+                for e in &self.edges {
+                    let (u, v) = e.endpoints();
+                    if (in_r(u) && in_rs(v)) || (in_r(v) && in_rs(u)) {
+                        out.push(*e);
+                        if out.len() >= *cap {
+                            break;
+                        }
+                    }
+                }
+                Payload::Edges(out)
+            }
+        }
+    }
+
+    /// The player's suspect set `B̃_i^j = {v : 3^i/k ≤ d_j(v) ≤ 3^{i+1}}`
+    /// for bucket `i` (only vertices of positive local degree are
+    /// scanned).
+    fn suspects(&self, bucket: usize, k: usize) -> impl Iterator<Item = VertexId> + '_ {
+        let lo = 3f64.powi(bucket as i32) / k as f64;
+        let hi = 3f64.powi(bucket as i32 + 1);
+        self.occupied.iter().copied().filter(move |v| {
+            let d = self.local_degree(*v) as f64;
+            d >= lo && d <= hi
+        })
+    }
+
+    /// Scans candidate edges for a vee whose closing edge is in this
+    /// player's input; returns the completed triangle if found.
+    ///
+    /// Local computation is free in the model; this is the step that makes
+    /// vee-finding sufficient for triangle-finding in the communication
+    /// setting (§3.3's key observation).
+    pub fn close_any_vee(&self, candidates: &[Edge]) -> Option<Triangle> {
+        // Group candidate edges by endpoint, then try to close each pair.
+        let mut by_vertex: std::collections::HashMap<VertexId, Vec<VertexId>> =
+            std::collections::HashMap::new();
+        for e in candidates {
+            by_vertex.entry(e.u()).or_default().push(e.v());
+            by_vertex.entry(e.v()).or_default().push(e.u());
+        }
+        for (s, others) in &by_vertex {
+            for (i, a) in others.iter().enumerate() {
+                for b in &others[i + 1..] {
+                    if a != b && *a != *s && *b != *s && self.has_edge(Edge::new(*a, *b)) {
+                        return Some(Triangle::new(*s, *a, *b));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Builds the `k` player states from a partition's shares.
+pub fn players_from_shares(n: usize, shares: &[Vec<Edge>]) -> Vec<PlayerState> {
+    shares.iter().enumerate().map(|(j, s)| PlayerState::new(j, n, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    fn player() -> PlayerState {
+        PlayerState::new(0, 6, &[e(0, 1), e(1, 2), e(0, 2), e(3, 4), e(0, 1)])
+    }
+
+    #[test]
+    fn dedups_and_indexes() {
+        let p = player();
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.local_degree(VertexId(0)), 2);
+        assert_eq!(p.local_degree(VertexId(5)), 0);
+        assert_eq!(p.local_neighbors(VertexId(1)), &[VertexId(0), VertexId(2)]);
+        assert!(p.has_edge(e(1, 0)));
+        assert!(!p.has_edge(e(0, 3)));
+        assert_eq!(p.id(), 0);
+        assert_eq!(p.n(), 6);
+        assert!((p.local_average_degree() - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handle_has_edge_and_degrees() {
+        let p = player();
+        let s = SharedRandomness::new(1);
+        assert_eq!(p.handle(&PlayerRequest::HasEdge(e(0, 1)), &s), Payload::Bit(true));
+        assert_eq!(
+            p.handle(&PlayerRequest::LocalDegree { v: VertexId(0) }, &s),
+            Payload::Count(2)
+        );
+        assert_eq!(p.handle(&PlayerRequest::LocalEdgeCount, &s), Payload::Count(4));
+        // degree 2 ⇒ MSB index+1 = 2
+        assert_eq!(
+            p.handle(&PlayerRequest::DegreeMsb { v: VertexId(0) }, &s),
+            Payload::Count(2)
+        );
+        assert_eq!(
+            p.handle(&PlayerRequest::DegreeMsb { v: VertexId(5) }, &s),
+            Payload::Count(0)
+        );
+    }
+
+    #[test]
+    fn degree_prefix_truncates() {
+        // Degree 13 = 0b1101; keep top 2 bits → 0b1100 = 12.
+        let edges: Vec<Edge> = (1..=13).map(|i| e(0, i)).collect();
+        let p = PlayerState::new(0, 20, &edges);
+        let s = SharedRandomness::new(0);
+        match p.handle(&PlayerRequest::DegreePrefix { v: VertexId(0), prefix_bits: 2 }, &s) {
+            Payload::Bits(v, _) => assert_eq!(v, 12),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_incident_edge_is_min_rank_and_consistent() {
+        let p = player();
+        let s = SharedRandomness::new(99);
+        let r1 = p.handle(
+            &PlayerRequest::FirstIncidentEdge { v: VertexId(0), perm_tag: 5 },
+            &s,
+        );
+        let r2 = p.handle(
+            &PlayerRequest::FirstIncidentEdge { v: VertexId(0), perm_tag: 5 },
+            &s,
+        );
+        assert_eq!(r1, r2);
+        match r1 {
+            Payload::Edge(Some(edge)) => assert!(edge.is_incident_to(VertexId(0))),
+            other => panic!("unexpected {other:?}"),
+        }
+        // vertex with no incident edges → None
+        assert_eq!(
+            p.handle(&PlayerRequest::FirstIncidentEdge { v: VertexId(5), perm_tag: 5 }, &s),
+            Payload::Edge(None)
+        );
+    }
+
+    #[test]
+    fn sample_hit_respects_probability_extremes() {
+        let p = player();
+        let s = SharedRandomness::new(2);
+        assert_eq!(
+            p.handle(&PlayerRequest::SampleHit { v: VertexId(0), tag: 1, p: 1.0 }, &s),
+            Payload::Bit(true)
+        );
+        assert_eq!(
+            p.handle(&PlayerRequest::SampleHit { v: VertexId(0), tag: 1, p: 0.0 }, &s),
+            Payload::Bit(false)
+        );
+        // isolated vertex never hits
+        assert_eq!(
+            p.handle(&PlayerRequest::SampleHit { v: VertexId(5), tag: 1, p: 1.0 }, &s),
+            Payload::Bit(false)
+        );
+    }
+
+    #[test]
+    fn suspect_set_respects_local_degree_window() {
+        // Player sees only 1 of hub's 9 edges: hub is suspect for bucket 2
+        // ([9,27)) only because 9/k ≤ 1 when k ≥ 9.
+        let edges: Vec<Edge> = vec![e(0, 1)];
+        let p = PlayerState::new(0, 30, &edges);
+        let s = SharedRandomness::new(1);
+        let with_k9 = p.handle(
+            &PlayerRequest::FirstSuspectInBucket { bucket: 2, k: 9, perm_tag: 0 },
+            &s,
+        );
+        assert!(matches!(with_k9, Payload::Vertex(Some(_))));
+        let with_k2 = p.handle(
+            &PlayerRequest::FirstSuspectInBucket { bucket: 2, k: 2, perm_tag: 0 },
+            &s,
+        );
+        assert_eq!(with_k2, Payload::Vertex(None));
+    }
+
+    #[test]
+    fn incident_edges_sampled_caps() {
+        let edges: Vec<Edge> = (1..=20).map(|i| e(0, i)).collect();
+        let p = PlayerState::new(0, 30, &edges);
+        let s = SharedRandomness::new(8);
+        match p.handle(
+            &PlayerRequest::IncidentEdgesSampled { v: VertexId(0), tag: 3, p: 1.0, cap: 5 },
+            &s,
+        ) {
+            Payload::Edges(es) => assert_eq!(es.len(), 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_any_vee_finds_triangle() {
+        // Player holds the closing edge (1,2); candidates form a vee at 0.
+        let p = PlayerState::new(0, 4, &[e(1, 2)]);
+        let found = p.close_any_vee(&[e(0, 1), e(0, 2)]);
+        assert_eq!(found, Some(Triangle::new(VertexId(0), VertexId(1), VertexId(2))));
+        assert_eq!(p.close_any_vee(&[e(0, 1), e(0, 3)]), None);
+        assert_eq!(p.close_any_vee(&[]), None);
+    }
+
+    #[test]
+    fn induced_and_rs_handlers_filter() {
+        let p = player();
+        let s = SharedRandomness::new(4);
+        match p.handle(&PlayerRequest::InducedEdges { tag: 0, p: 1.0, cap: 100 }, &s) {
+            Payload::Edges(es) => assert_eq!(es.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.handle(&PlayerRequest::InducedEdges { tag: 0, p: 0.0, cap: 100 }, &s) {
+            Payload::Edges(es) => assert!(es.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // R = everything ⇒ all edges qualify.
+        match p.handle(
+            &PlayerRequest::RsEdges { r_tag: 1, p_r: 1.0, s_tag: 2, p_s: 0.0, cap: 100 },
+            &s,
+        ) {
+            Payload::Edges(es) => assert_eq!(es.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        // R = nothing ⇒ no edge has an R endpoint.
+        match p.handle(
+            &PlayerRequest::RsEdges { r_tag: 1, p_r: 0.0, s_tag: 2, p_s: 1.0, cap: 100 },
+            &s,
+        ) {
+            Payload::Edges(es) => assert!(es.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn players_from_shares_builds_all() {
+        let shares = vec![vec![e(0, 1)], vec![e(1, 2), e(2, 3)]];
+        let ps = players_from_shares(5, &shares);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].id(), 0);
+        assert_eq!(ps[1].edge_count(), 2);
+    }
+}

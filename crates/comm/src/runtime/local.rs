@@ -1,0 +1,64 @@
+use super::Transport;
+use crate::message::Payload;
+use crate::player::{players_from_shares, PlayerState};
+use crate::rand::SharedRandomness;
+use crate::request::PlayerRequest;
+use triad_graph::Edge;
+
+/// Deterministic in-process transport: the coordinator calls player
+/// handlers directly. The reference execution mode — fast, allocation-light
+/// and reproducible.
+#[derive(Debug)]
+pub struct LocalTransport {
+    players: Vec<PlayerState>,
+    shared: SharedRandomness,
+}
+
+impl LocalTransport {
+    /// Builds player states from edge shares.
+    pub fn new(n: usize, shares: &[Vec<Edge>], shared: SharedRandomness) -> Self {
+        LocalTransport { players: players_from_shares(n, shares), shared }
+    }
+
+    /// Wraps pre-built player states.
+    pub fn from_players(players: Vec<PlayerState>, shared: SharedRandomness) -> Self {
+        LocalTransport { players, shared }
+    }
+
+    /// Read-only access to the players (tests and diagnostics).
+    pub fn players(&self) -> &[PlayerState] {
+        &self.players
+    }
+}
+
+impl Transport for LocalTransport {
+    fn k(&self) -> usize {
+        self.players.len()
+    }
+
+    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload {
+        self.players[player].handle(req, &self.shared)
+    }
+
+    fn adopt_shared(&mut self, shared: SharedRandomness) {
+        self.shared = shared;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_graph::VertexId;
+
+    #[test]
+    fn delivers_to_correct_player() {
+        let e01 = Edge::new(VertexId(0), VertexId(1));
+        let e12 = Edge::new(VertexId(1), VertexId(2));
+        let shared = SharedRandomness::new(5);
+        let mut t = LocalTransport::new(3, &[vec![e01], vec![e12]], shared);
+        assert_eq!(t.k(), 2);
+        assert_eq!(t.deliver(0, &PlayerRequest::HasEdge(e01)), Payload::Bit(true));
+        assert_eq!(t.deliver(1, &PlayerRequest::HasEdge(e01)), Payload::Bit(false));
+        assert_eq!(t.players()[1].edge_count(), 1);
+    }
+}

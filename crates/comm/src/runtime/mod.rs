@@ -1,0 +1,438 @@
+//! Protocol runtimes: cost accounting over pluggable transports.
+//!
+//! A [`Runtime`] drives one protocol execution: it owns the [`Transcript`],
+//! charges every request/response pair, and delivers requests through a
+//! [`Transport`] — either [`LocalTransport`] (deterministic, sequential,
+//! in-process) or [`ThreadedTransport`] (one OS thread per player,
+//! crossbeam channels). Both transports produce **identical transcripts**
+//! for the same seed, because all protocol randomness flows through the
+//! shared string, never through scheduling.
+
+mod local;
+mod threaded;
+
+pub use local::LocalTransport;
+pub use threaded::ThreadedTransport;
+
+use crate::message::Payload;
+use crate::rand::SharedRandomness;
+use crate::request::PlayerRequest;
+use crate::transcript::{CommStats, Direction, Transcript};
+use std::collections::HashSet;
+use triad_graph::Edge;
+
+/// How coordinator-side messages are charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// The paper's default: private channels between the coordinator and
+    /// each player; a broadcast costs `k` separate messages and duplicate
+    /// content is paid for by every sender.
+    #[default]
+    Coordinator,
+    /// The blackboard model (Theorem 3.23): every posted message is seen
+    /// by all parties, so a broadcast is charged once and players never
+    /// pay to repost content already on the board.
+    Blackboard,
+    /// The message-passing model simulated through the coordinator (§2):
+    /// every message additionally carries a `⌈log₂ k⌉`-bit recipient id,
+    /// the overhead of the paper's coordinator ⇄ message-passing
+    /// equivalence.
+    MessagePassing,
+}
+
+/// Message delivery to players, independent of cost accounting.
+pub trait Transport: Send {
+    /// Number of players.
+    fn k(&self) -> usize;
+    /// Delivers `req` to player `player` and returns its response.
+    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload;
+    /// Switches every player to a new shared-randomness seed (Newman's
+    /// conversion). Default: unsupported, panics — implement on
+    /// transports that carry the randomness.
+    fn adopt_shared(&mut self, _shared: SharedRandomness) {
+        panic!("this transport does not support switching shared randomness");
+    }
+}
+
+/// A protocol execution context: transport + transcript + shared randomness.
+pub struct Runtime {
+    transport: Box<dyn Transport>,
+    transcript: Transcript,
+    shared: SharedRandomness,
+    n: usize,
+    cost_model: CostModel,
+    tag_counter: u64,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("k", &self.transport.k())
+            .field("n", &self.n)
+            .field("cost_model", &self.cost_model)
+            .field("total_bits", &self.transcript.total_bits())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// A runtime over an explicit transport.
+    pub fn new(
+        transport: Box<dyn Transport>,
+        n: usize,
+        shared: SharedRandomness,
+        cost_model: CostModel,
+    ) -> Self {
+        let k = transport.k();
+        Runtime {
+            transport,
+            transcript: Transcript::new(k),
+            shared,
+            n,
+            cost_model,
+            tag_counter: 0,
+        }
+    }
+
+    /// Convenience: a sequential in-process runtime over per-player edge
+    /// shares.
+    pub fn local(
+        n: usize,
+        shares: &[Vec<Edge>],
+        shared: SharedRandomness,
+        cost_model: CostModel,
+    ) -> Self {
+        Runtime::new(Box::new(LocalTransport::new(n, shares, shared)), n, shared, cost_model)
+    }
+
+    /// Convenience: a threaded runtime (one thread per player).
+    pub fn threaded(
+        n: usize,
+        shares: &[Vec<Edge>],
+        shared: SharedRandomness,
+        cost_model: CostModel,
+    ) -> Self {
+        Runtime::new(
+            Box::new(ThreadedTransport::spawn(n, shares, shared)),
+            n,
+            shared,
+            cost_model,
+        )
+    }
+
+    /// Number of players `k`.
+    pub fn k(&self) -> usize {
+        self.transport.k()
+    }
+
+    /// Number of vertices `n` in the global graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The public random string.
+    pub fn shared(&self) -> SharedRandomness {
+        self.shared
+    }
+
+    /// The charging model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// Draws a fresh shared-randomness tag. Tags are derived from a
+    /// deterministic counter, so both runtimes and every party agree on
+    /// them for free.
+    pub fn fresh_tag(&mut self) -> u64 {
+        self.tag_counter += 1;
+        self.tag_counter
+    }
+
+    /// Advances the round counter (bookkeeping only).
+    pub fn next_round(&mut self) {
+        self.transcript.next_round();
+    }
+
+    /// Per-message routing overhead of the active cost model.
+    fn routing_overhead(&self) -> crate::bits::BitCost {
+        match self.cost_model {
+            CostModel::MessagePassing => {
+                crate::bits::BitCost(crate::bits::bits_per_vertex(self.transport.k()))
+            }
+            _ => crate::bits::BitCost::ZERO,
+        }
+    }
+
+    /// Sends `req` to one player, charging both directions; returns the
+    /// response.
+    pub fn request(&mut self, player: usize, req: PlayerRequest) -> Payload {
+        let label = req.label();
+        let ovh = self.routing_overhead();
+        self.transcript.record(
+            Some(player),
+            Direction::ToPlayer,
+            req.bit_len(self.n) + ovh,
+            label,
+        );
+        let resp = self.transport.deliver(player, &req);
+        self.transcript.record(
+            Some(player),
+            Direction::ToCoordinator,
+            resp.bit_len(self.n) + ovh,
+            label,
+        );
+        resp
+    }
+
+    /// Newman's theorem, operationally: the parties pre-agree on a family
+    /// of `family_size` candidate seeds (part of the protocol, free); the
+    /// coordinator draws one index privately and announces it to every
+    /// player, paying `k·⌈log₂ family_size⌉` bits (once under the
+    /// blackboard model). Returns the selected shared randomness.
+    ///
+    /// This is the §2 conversion from shared to private randomness for
+    /// multi-round protocols, at the stated `O(k log n)`-bit surcharge.
+    pub fn announce_seed_from_family(&mut self, family_size: u64) -> SharedRandomness {
+        use ::rand::RngCore;
+        let index = self.shared.stream(0x4E45_574D).next_u64() % family_size.max(1);
+        let payload = Payload::Bits(index, crate::bits::bits_for_count(family_size) as u32);
+        let bits = payload.bit_len(self.n);
+        match self.cost_model {
+            CostModel::Blackboard => {
+                self.transcript.record(None, Direction::Broadcast, bits, "newman_seed");
+            }
+            _ => {
+                let ovh = self.routing_overhead();
+                for j in 0..self.k() {
+                    self.transcript.record(
+                        Some(j),
+                        Direction::ToPlayer,
+                        bits + ovh,
+                        "newman_seed",
+                    );
+                }
+            }
+        }
+        SharedRandomness::new(self.shared.seed().wrapping_add(index.wrapping_mul(0x9E37)))
+    }
+
+    /// Replaces the runtime's shared randomness — the second half of
+    /// Newman's conversion: after
+    /// [`announce_seed_from_family`](Self::announce_seed_from_family),
+    /// every party (the transport's players included) proceeds under the
+    /// announced seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on transports that cannot switch seeds mid-run — currently
+    /// the threaded transport, whose players own their randomness copy.
+    /// Use a local runtime for private-coin executions.
+    pub fn adopt_shared(&mut self, shared: SharedRandomness) {
+        self.shared = shared;
+        self.transport.adopt_shared(shared);
+    }
+
+    /// Sends the same request to every player.
+    ///
+    /// Charging: under [`CostModel::Coordinator`] the request is paid `k`
+    /// times (one private channel each); under [`CostModel::Blackboard`]
+    /// it is paid once. Responses are always charged individually.
+    pub fn broadcast(&mut self, req: PlayerRequest) -> Vec<Payload> {
+        let label = req.label();
+        let ovh = self.routing_overhead();
+        let req_bits = req.bit_len(self.n) + ovh;
+        match self.cost_model {
+            CostModel::Blackboard => {
+                self.transcript.record(None, Direction::Broadcast, req_bits, label);
+            }
+            _ => {
+                for j in 0..self.k() {
+                    self.transcript.record(Some(j), Direction::ToPlayer, req_bits, label);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.k());
+        for j in 0..self.k() {
+            let resp = self.transport.deliver(j, &req);
+            self.transcript.record(
+                Some(j),
+                Direction::ToCoordinator,
+                resp.bit_len(self.n) + ovh,
+                label,
+            );
+            out.push(resp);
+        }
+        out
+    }
+
+    /// Broadcasts an edge-producing request and returns the deduplicated
+    /// union of all players' edges.
+    ///
+    /// Under [`CostModel::Blackboard`] each player is charged only for
+    /// edges not already on the board (players see prior postings), which
+    /// realizes the `k`-factor saving of Theorem 3.23; under
+    /// [`CostModel::Coordinator`] every copy is paid for.
+    pub fn gather_edges(&mut self, req: PlayerRequest) -> Vec<Edge> {
+        let label = req.label();
+        let ovh = self.routing_overhead();
+        let req_bits = req.bit_len(self.n) + ovh;
+        match self.cost_model {
+            CostModel::Blackboard => {
+                self.transcript.record(None, Direction::Broadcast, req_bits, label);
+            }
+            _ => {
+                for j in 0..self.k() {
+                    self.transcript.record(Some(j), Direction::ToPlayer, req_bits, label);
+                }
+            }
+        }
+        let mut seen: HashSet<Edge> = HashSet::new();
+        let mut union = Vec::new();
+        for j in 0..self.k() {
+            let resp = self.transport.deliver(j, &req);
+            let edges = resp.as_edges();
+            let charged: Vec<Edge> = match self.cost_model {
+                CostModel::Blackboard => {
+                    edges.iter().copied().filter(|e| !seen.contains(e)).collect()
+                }
+                _ => edges.to_vec(),
+            };
+            self.transcript.record(
+                Some(j),
+                Direction::ToCoordinator,
+                Payload::Edges(charged).bit_len(self.n) + ovh,
+                label,
+            );
+            for e in edges {
+                if seen.insert(*e) {
+                    union.push(*e);
+                }
+            }
+        }
+        union
+    }
+
+    /// The transcript so far.
+    pub fn transcript(&self) -> &Transcript {
+        &self.transcript
+    }
+
+    /// Aggregated statistics so far.
+    pub fn stats(&self) -> CommStats {
+        self.transcript.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_graph::VertexId;
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    fn shares() -> Vec<Vec<Edge>> {
+        vec![vec![e(0, 1), e(1, 2)], vec![e(0, 2), e(1, 2)]]
+    }
+
+    #[test]
+    fn local_request_roundtrip_and_charging() {
+        let shared = SharedRandomness::new(7);
+        let mut rt = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        assert_eq!(rt.k(), 2);
+        assert_eq!(rt.n(), 4);
+        let resp = rt.request(0, PlayerRequest::HasEdge(e(0, 1)));
+        assert_eq!(resp, Payload::Bit(true));
+        let resp = rt.request(1, PlayerRequest::HasEdge(e(0, 1)));
+        assert_eq!(resp, Payload::Bit(false));
+        // 2 requests × (4 bits edge req... n=4 ⇒ 2 bits/vertex, 4/edge) + 1 bit resp each
+        assert_eq!(rt.stats().total_bits, 2 * (4 + 1));
+    }
+
+    #[test]
+    fn broadcast_charges_per_model() {
+        let shared = SharedRandomness::new(7);
+        let req = PlayerRequest::HasEdge(e(0, 1));
+        let mut coord = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        coord.broadcast(req.clone());
+        let mut board = Runtime::local(4, &shares(), shared, CostModel::Blackboard);
+        board.broadcast(req.clone());
+        let req_bits = req.bit_len(4).get();
+        assert_eq!(
+            coord.stats().total_bits - board.stats().total_bits,
+            req_bits, // k=2: one extra request copy
+        );
+    }
+
+    #[test]
+    fn gather_edges_dedups_and_blackboard_saves() {
+        let shared = SharedRandomness::new(3);
+        // Both players hold edge (1,2): duplicated content.
+        let req = PlayerRequest::InducedEdges { tag: 0, p: 1.0, cap: 100 };
+        let mut coord = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        let union_c = coord.gather_edges(req.clone());
+        let mut board = Runtime::local(4, &shares(), shared, CostModel::Blackboard);
+        let union_b = board.gather_edges(req);
+        let mut uc = union_c.clone();
+        let mut ub = union_b.clone();
+        uc.sort_unstable();
+        ub.sort_unstable();
+        assert_eq!(uc, ub);
+        assert_eq!(uc.len(), 3, "union of shares has 3 distinct edges");
+        assert!(
+            board.stats().total_bits < coord.stats().total_bits,
+            "blackboard must save on duplicated content"
+        );
+    }
+
+    #[test]
+    fn threaded_matches_local_transcript() {
+        let shared = SharedRandomness::new(11);
+        let mut local = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        let mut threaded = Runtime::threaded(4, &shares(), shared, CostModel::Coordinator);
+        for rt in [&mut local, &mut threaded] {
+            rt.request(0, PlayerRequest::LocalEdgeCount);
+            rt.request(1, PlayerRequest::FirstEdge { perm_tag: 9 });
+            rt.broadcast(PlayerRequest::HasEdge(e(1, 2)));
+        }
+        assert_eq!(local.stats(), threaded.stats());
+    }
+
+    #[test]
+    fn message_passing_adds_routing_overhead() {
+        let shared = SharedRandomness::new(7);
+        let req = PlayerRequest::HasEdge(e(0, 1));
+        let mut coord = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        coord.request(0, req.clone());
+        let mut mp = Runtime::local(4, &shares(), shared, CostModel::MessagePassing);
+        mp.request(0, req);
+        // k = 2 ⇒ 1 routing bit per message, 2 messages.
+        assert_eq!(mp.stats().total_bits, coord.stats().total_bits + 2);
+    }
+
+    #[test]
+    fn newman_seed_costs_k_announcements() {
+        let shared = SharedRandomness::new(9);
+        let mut rt = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        let derived = rt.announce_seed_from_family(1 << 10);
+        // Index payload: 11 bits (bits_for_count(1024)) per player, k = 2.
+        assert_eq!(rt.stats().total_bits, 2 * 11);
+        assert_ne!(derived.seed(), shared.seed());
+        // Deterministic: same family, same base seed → same derived seed.
+        let mut rt2 = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        assert_eq!(rt2.announce_seed_from_family(1 << 10).seed(), derived.seed());
+    }
+
+    #[test]
+    fn fresh_tags_are_unique_and_rounds_advance() {
+        let shared = SharedRandomness::new(0);
+        let mut rt = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        let t1 = rt.fresh_tag();
+        let t2 = rt.fresh_tag();
+        assert_ne!(t1, t2);
+        assert_eq!(rt.stats().rounds, 1);
+        rt.next_round();
+        assert_eq!(rt.stats().rounds, 2);
+    }
+}

@@ -1,0 +1,105 @@
+use super::Transport;
+use crate::message::Payload;
+use crate::player::PlayerState;
+use crate::rand::SharedRandomness;
+use crate::request::{Envelope, PlayerRequest};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use triad_graph::Edge;
+
+/// One OS thread per player, communicating with the coordinator over
+/// crossbeam channels — a genuinely concurrent execution of the same
+/// protocols.
+///
+/// Because all protocol randomness is derived from the shared string and
+/// the coordinator serializes request/response pairs, the transcript is
+/// bit-for-bit identical to [`super::LocalTransport`]'s.
+#[derive(Debug)]
+pub struct ThreadedTransport {
+    senders: Vec<Sender<Envelope>>,
+    receivers: Vec<Receiver<Payload>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedTransport {
+    /// Spawns `shares.len()` player threads.
+    pub fn spawn(n: usize, shares: &[Vec<Edge>], shared: SharedRandomness) -> Self {
+        let mut senders = Vec::with_capacity(shares.len());
+        let mut receivers = Vec::with_capacity(shares.len());
+        let mut handles = Vec::with_capacity(shares.len());
+        for (j, share) in shares.iter().enumerate() {
+            let (req_tx, req_rx) = unbounded::<Envelope>();
+            let (resp_tx, resp_rx) = unbounded::<Payload>();
+            let state = PlayerState::new(j, n, share);
+            let handle = std::thread::Builder::new()
+                .name(format!("triad-player-{j}"))
+                .spawn(move || {
+                    while let Ok(envelope) = req_rx.recv() {
+                        match envelope {
+                            Envelope::Request(req) => {
+                                let resp = state.handle(&req, &shared);
+                                if resp_tx.send(resp).is_err() {
+                                    break;
+                                }
+                            }
+                            Envelope::Halt => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn player thread");
+            senders.push(req_tx);
+            receivers.push(resp_rx);
+            handles.push(handle);
+        }
+        ThreadedTransport { senders, receivers, handles }
+    }
+}
+
+impl Transport for ThreadedTransport {
+    fn k(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload {
+        self.senders[player]
+            .send(Envelope::Request(req.clone()))
+            .expect("player thread hung up");
+        self.receivers[player].recv().expect("player thread hung up")
+    }
+}
+
+impl Drop for ThreadedTransport {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            // Best effort: a thread that already exited is fine.
+            let _ = tx.send(Envelope::Halt);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_graph::VertexId;
+
+    #[test]
+    fn threaded_roundtrip() {
+        let e01 = Edge::new(VertexId(0), VertexId(1));
+        let shared = SharedRandomness::new(1);
+        let mut t = ThreadedTransport::spawn(3, &[vec![e01], vec![]], shared);
+        assert_eq!(t.k(), 2);
+        assert_eq!(t.deliver(0, &PlayerRequest::HasEdge(e01)), Payload::Bit(true));
+        assert_eq!(t.deliver(1, &PlayerRequest::HasEdge(e01)), Payload::Bit(false));
+        assert_eq!(t.deliver(0, &PlayerRequest::LocalEdgeCount), Payload::Count(1));
+    }
+
+    #[test]
+    fn clean_shutdown_on_drop() {
+        let shared = SharedRandomness::new(2);
+        let t = ThreadedTransport::spawn(2, &[vec![], vec![]], shared);
+        drop(t); // must not hang or panic
+    }
+}

@@ -1,0 +1,254 @@
+//! The data-stream model and its reduction to one-way communication
+//! (§4.2.2 of the paper, after [4]).
+//!
+//! A streaming algorithm reads the edges once, in order, holding bounded
+//! memory; its space complexity is the peak memory over the run. The
+//! classic reduction: split the stream at player boundaries — the memory
+//! snapshot at each boundary *is* the message of a one-way protocol, so
+//! one-way communication lower bounds are streaming space lower bounds.
+//! [`stream_as_one_way`] performs exactly this accounting.
+
+use crate::bits::BitCost;
+use crate::transcript::CommStats;
+use triad_graph::Edge;
+
+/// A single-pass streaming algorithm over edges.
+pub trait StreamAlgorithm {
+    /// What the algorithm outputs at end of stream.
+    type Output;
+
+    /// Processes the next stream item.
+    fn process(&mut self, edge: Edge);
+
+    /// The current memory footprint under the bit model
+    /// (`⌈log n⌉`/vertex, twice per edge), for a graph on `n` vertices.
+    fn memory_bits(&self, n: usize) -> BitCost;
+
+    /// The output at end of stream.
+    fn output(&self) -> Self::Output;
+}
+
+/// The result of one streaming pass.
+#[derive(Debug, Clone)]
+pub struct StreamRun<O> {
+    /// The algorithm's output.
+    pub output: O,
+    /// Peak memory (bits) over the pass.
+    pub peak_memory_bits: u64,
+    /// Number of stream items processed.
+    pub items: u64,
+}
+
+/// Runs one pass over `edges`, tracking peak memory.
+///
+/// # Example
+///
+/// ```
+/// use triad_comm::{run_stream, EdgeReservoir, SharedRandomness};
+/// use triad_graph::{Edge, VertexId};
+///
+/// let edges: Vec<Edge> =
+///     (0..20).map(|i| Edge::new(VertexId(i), VertexId(i + 20))).collect();
+/// let alg = EdgeReservoir::new(SharedRandomness::new(1), 7, 5);
+/// let run = run_stream(alg, 40, edges);
+/// assert_eq!(run.output.len(), 5); // a uniform 5-edge sample
+/// assert_eq!(run.items, 20);
+/// ```
+pub fn run_stream<A, I>(mut alg: A, n: usize, edges: I) -> StreamRun<A::Output>
+where
+    A: StreamAlgorithm,
+    I: IntoIterator<Item = Edge>,
+{
+    let mut peak = alg.memory_bits(n).get();
+    let mut items = 0u64;
+    for e in edges {
+        alg.process(e);
+        items += 1;
+        peak = peak.max(alg.memory_bits(n).get());
+    }
+    StreamRun { output: alg.output(), peak_memory_bits: peak, items }
+}
+
+/// The result of running a streaming algorithm as a one-way protocol.
+#[derive(Debug, Clone)]
+pub struct StreamOneWayRun<O> {
+    /// The output at end of stream.
+    pub output: O,
+    /// The memory snapshot sizes at each player boundary — exactly the
+    /// one-way messages' bit costs.
+    pub boundary_bits: Vec<u64>,
+    /// Aggregate one-way statistics.
+    pub stats: CommStats,
+    /// Peak memory over the whole pass (≥ every boundary snapshot).
+    pub peak_memory_bits: u64,
+}
+
+/// Runs `alg` over the concatenation of the players' shares in player
+/// order, charging the memory snapshot at each share boundary as a
+/// one-way message — the §4.2.2 reduction, executable.
+///
+/// Any space-`S` algorithm therefore yields a one-way protocol of cost
+/// `(k−1)·S`, and conversely the paper's `Ω(n^{1/4})` one-way bound is
+/// an `Ω(n^{1/4})` space bound for triangle-edge detection.
+pub fn stream_as_one_way<A>(
+    mut alg: A,
+    n: usize,
+    shares: &[Vec<Edge>],
+) -> StreamOneWayRun<A::Output>
+where
+    A: StreamAlgorithm,
+{
+    assert!(shares.len() >= 2, "one-way model needs at least two players");
+    let mut boundary_bits = Vec::with_capacity(shares.len() - 1);
+    let mut peak = alg.memory_bits(n).get();
+    for (j, share) in shares.iter().enumerate() {
+        for e in share {
+            alg.process(*e);
+            peak = peak.max(alg.memory_bits(n).get());
+        }
+        if j + 1 < shares.len() {
+            boundary_bits.push(alg.memory_bits(n).get());
+        }
+    }
+    let total: u64 = boundary_bits.iter().sum();
+    StreamOneWayRun {
+        output: alg.output(),
+        stats: CommStats {
+            total_bits: total,
+            rounds: boundary_bits.len() as u64,
+            messages: boundary_bits.len() as u64,
+            max_player_sent_bits: boundary_bits.iter().copied().max().unwrap_or(0),
+        },
+        boundary_bits,
+        peak_memory_bits: peak,
+    }
+}
+
+/// A bounded edge reservoir: keeps the `capacity` lowest-ranked edges
+/// under a public permutation — a uniform sample of the distinct edges
+/// seen so far, in `O(capacity·log n)` memory. The simplest non-trivial
+/// [`StreamAlgorithm`]; used as a building block and in tests.
+#[derive(Debug, Clone)]
+pub struct EdgeReservoir {
+    shared: crate::rand::SharedRandomness,
+    tag: u64,
+    capacity: usize,
+    /// Kept edges as a max-heap by rank: O(log capacity) per eviction.
+    kept: std::collections::BinaryHeap<(u64, Edge)>,
+    /// Membership mirror of the heap for O(1) duplicate checks.
+    members: std::collections::HashSet<Edge>,
+}
+
+impl EdgeReservoir {
+    /// A reservoir of at most `capacity` edges, ranked by the public
+    /// permutation `(shared, tag)`.
+    pub fn new(shared: crate::rand::SharedRandomness, tag: u64, capacity: usize) -> Self {
+        EdgeReservoir {
+            shared,
+            tag,
+            capacity,
+            kept: std::collections::BinaryHeap::new(),
+            members: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The sampled edges (unordered).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.kept.iter().map(|(_, e)| *e)
+    }
+}
+
+impl StreamAlgorithm for EdgeReservoir {
+    type Output = Vec<Edge>;
+
+    fn process(&mut self, edge: Edge) {
+        if self.members.contains(&edge) {
+            return; // duplicates in the stream are free
+        }
+        let rank = self.shared.edge_rank(self.tag, edge).0;
+        if self.kept.len() < self.capacity {
+            self.kept.push((rank, edge));
+            self.members.insert(edge);
+        } else if let Some((max_rank, _)) = self.kept.peek() {
+            if rank < *max_rank {
+                let (_, evicted) = self.kept.pop().expect("non-empty reservoir");
+                self.members.remove(&evicted);
+                self.kept.push((rank, edge));
+                self.members.insert(edge);
+            }
+        }
+    }
+
+    fn memory_bits(&self, n: usize) -> BitCost {
+        BitCost(self.kept.len() as u64 * crate::bits::bits_per_edge(n))
+    }
+
+    fn output(&self) -> Vec<Edge> {
+        self.kept.iter().map(|(_, e)| *e).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rand::SharedRandomness;
+    use triad_graph::VertexId;
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    #[test]
+    fn reservoir_respects_capacity_and_memory() {
+        let shared = SharedRandomness::new(1);
+        let alg = EdgeReservoir::new(shared, 7, 3);
+        let edges: Vec<Edge> = (0..20).map(|i| e(i, i + 20)).collect();
+        let run = run_stream(alg, 64, edges);
+        assert_eq!(run.output.len(), 3);
+        assert_eq!(run.items, 20);
+        // 64 vertices ⇒ 6 bits per vertex, 12 per edge, 3 kept.
+        assert_eq!(run.peak_memory_bits, 36);
+    }
+
+    #[test]
+    fn reservoir_sample_is_rank_minimal() {
+        let shared = SharedRandomness::new(2);
+        let tag = 5;
+        let edges: Vec<Edge> = (0..30).map(|i| e(i, i + 30)).collect();
+        let alg = EdgeReservoir::new(shared, tag, 4);
+        let run = run_stream(alg, 64, edges.clone());
+        let mut ranks: Vec<u64> = edges.iter().map(|e| shared.edge_rank(tag, *e).0).collect();
+        ranks.sort_unstable();
+        let mut got: Vec<u64> =
+            run.output.iter().map(|e| shared.edge_rank(tag, *e).0).collect();
+        got.sort_unstable();
+        assert_eq!(got, ranks[..4].to_vec(), "reservoir must keep the 4 lowest ranks");
+    }
+
+    #[test]
+    fn duplicates_are_free() {
+        let shared = SharedRandomness::new(3);
+        let alg = EdgeReservoir::new(shared, 1, 10);
+        let run = run_stream(alg, 16, vec![e(0, 1), e(0, 1), e(0, 1)]);
+        assert_eq!(run.output.len(), 1);
+    }
+
+    #[test]
+    fn reduction_charges_boundary_snapshots() {
+        let shared = SharedRandomness::new(4);
+        let alg = EdgeReservoir::new(shared, 2, 8);
+        let shares = vec![
+            (0..4).map(|i| e(i, i + 30)).collect::<Vec<_>>(),
+            (4..8).map(|i| e(i, i + 30)).collect(),
+            (8..12).map(|i| e(i, i + 30)).collect(),
+        ];
+        let run = stream_as_one_way(alg, 64, &shares);
+        assert_eq!(run.boundary_bits.len(), 2);
+        // After 4 and 8 distinct edges with capacity 8: 4 and 8 edges held.
+        assert_eq!(run.boundary_bits[0], 4 * 12);
+        assert_eq!(run.boundary_bits[1], 8 * 12);
+        assert_eq!(run.stats.total_bits, 12 * 12);
+        assert!(run.peak_memory_bits >= run.boundary_bits[1]);
+        assert_eq!(run.output.len(), 8);
+    }
+}

@@ -1,0 +1,262 @@
+//! Transcript recording and communication statistics.
+
+use crate::bits::BitCost;
+use serde::Serialize;
+
+/// Direction of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Direction {
+    /// Coordinator → one player.
+    ToPlayer,
+    /// Player → coordinator.
+    ToCoordinator,
+    /// Coordinator → all players (cost model dependent).
+    Broadcast,
+}
+
+/// One recorded message.
+#[derive(Debug, Clone, Serialize)]
+pub struct Event {
+    /// Communication round index.
+    pub round: u64,
+    /// The player involved (`None` for broadcast bookkeeping).
+    pub player: Option<usize>,
+    /// Direction of the message.
+    pub direction: Direction,
+    /// Bits charged for this message.
+    pub bits: u64,
+    /// A short protocol-phase label, for debugging and per-phase breakdowns.
+    pub label: &'static str,
+}
+
+/// The ordered record of every message exchanged in one protocol run.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    events: Vec<Event>,
+    round: u64,
+    total: BitCost,
+    per_player_sent: Vec<u64>,
+}
+
+impl Transcript {
+    /// An empty transcript for `k` players.
+    pub fn new(k: usize) -> Self {
+        Transcript {
+            events: Vec::new(),
+            round: 0,
+            total: BitCost::ZERO,
+            per_player_sent: vec![0; k],
+        }
+    }
+
+    /// Advances to the next communication round.
+    pub fn next_round(&mut self) {
+        self.round += 1;
+    }
+
+    /// Current round index.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Records a message.
+    pub fn record(
+        &mut self,
+        player: Option<usize>,
+        direction: Direction,
+        bits: BitCost,
+        label: &'static str,
+    ) {
+        if direction == Direction::ToCoordinator {
+            if let Some(j) = player {
+                if let Some(slot) = self.per_player_sent.get_mut(j) {
+                    *slot += bits.get();
+                }
+            }
+        }
+        self.total += bits;
+        self.events.push(Event { round: self.round, player, direction, bits: bits.get(), label });
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Total bits across all messages.
+    pub fn total_bits(&self) -> BitCost {
+        self.total
+    }
+
+    /// Bits each player sent to the coordinator.
+    pub fn per_player_sent(&self) -> &[u64] {
+        &self.per_player_sent
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            total_bits: self.total.get(),
+            rounds: self.round + 1,
+            messages: self.events.len() as u64,
+            max_player_sent_bits: self.per_player_sent.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Total bits charged to events carrying the given label.
+    pub fn bits_for_label(&self, label: &str) -> u64 {
+        self.events.iter().filter(|e| e.label == label).map(|e| e.bits).sum()
+    }
+
+    /// Per-label totals, sorted by descending bits — the per-phase cost
+    /// breakdown of a run.
+    pub fn breakdown(&self) -> Vec<LabelTotals> {
+        let mut map: std::collections::HashMap<&'static str, LabelTotals> =
+            std::collections::HashMap::new();
+        for e in &self.events {
+            let slot = map
+                .entry(e.label)
+                .or_insert(LabelTotals { label: e.label, bits: 0, messages: 0 });
+            slot.bits += e.bits;
+            slot.messages += 1;
+        }
+        let mut out: Vec<LabelTotals> = map.into_values().collect();
+        out.sort_by(|a, b| b.bits.cmp(&a.bits).then(a.label.cmp(b.label)));
+        out
+    }
+
+    /// Serializes every event as one JSON object per line (JSONL) — the
+    /// interchange format for external transcript analysis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for e in &self.events {
+            let player = match e.player {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            let direction = match e.direction {
+                Direction::ToPlayer => "to_player",
+                Direction::ToCoordinator => "to_coordinator",
+                Direction::Broadcast => "broadcast",
+            };
+            writeln!(
+                w,
+                "{{\"round\":{},\"player\":{},\"direction\":\"{}\",\"bits\":{},\"label\":\"{}\"}}",
+                e.round, player, direction, e.bits, e.label
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate totals for one transcript label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct LabelTotals {
+    /// The protocol-phase label.
+    pub label: &'static str,
+    /// Total bits across the label's events.
+    pub bits: u64,
+    /// Number of events.
+    pub messages: u64,
+}
+
+/// Summary statistics of one protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct CommStats {
+    /// Total bits exchanged (the paper's `CC(Π)` sample).
+    pub total_bits: u64,
+    /// Number of communication rounds used.
+    pub rounds: u64,
+    /// Number of messages exchanged.
+    pub messages: u64,
+    /// The largest number of bits any single player sent — the quantity
+    /// capped by the simultaneous protocols' per-player budgets.
+    pub max_player_sent_bits: u64,
+}
+
+impl CommStats {
+    /// Merges two runs (summing totals, taking max of maxima).
+    pub fn merged(self, other: CommStats) -> CommStats {
+        CommStats {
+            total_bits: self.total_bits + other.total_bits,
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+            max_player_sent_bits: self.max_player_sent_bits.max(other.max_player_sent_bits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_totals_and_per_player() {
+        let mut t = Transcript::new(3);
+        t.record(Some(0), Direction::ToCoordinator, BitCost(10), "a");
+        t.record(Some(0), Direction::ToPlayer, BitCost(5), "a");
+        t.next_round();
+        t.record(Some(2), Direction::ToCoordinator, BitCost(7), "b");
+        assert_eq!(t.total_bits(), BitCost(22));
+        assert_eq!(t.per_player_sent(), &[10, 0, 7]);
+        let s = t.stats();
+        assert_eq!(s.total_bits, 22);
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.max_player_sent_bits, 10);
+        assert_eq!(t.bits_for_label("a"), 15);
+        assert_eq!(t.bits_for_label("b"), 7);
+        assert_eq!(t.events().len(), 3);
+    }
+
+    #[test]
+    fn broadcast_counts_toward_total_only() {
+        let mut t = Transcript::new(2);
+        t.record(None, Direction::Broadcast, BitCost(100), "bc");
+        assert_eq!(t.total_bits(), BitCost(100));
+        assert_eq!(t.per_player_sent(), &[0, 0]);
+    }
+
+    #[test]
+    fn breakdown_aggregates_and_sorts() {
+        let mut t = Transcript::new(2);
+        t.record(Some(0), Direction::ToCoordinator, BitCost(5), "small");
+        t.record(Some(1), Direction::ToCoordinator, BitCost(30), "big");
+        t.record(Some(0), Direction::ToPlayer, BitCost(10), "big");
+        let b = t.breakdown();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0].label, "big");
+        assert_eq!(b[0].bits, 40);
+        assert_eq!(b[0].messages, 2);
+        assert_eq!(b[1].label, "small");
+    }
+
+    #[test]
+    fn jsonl_export_is_line_per_event() {
+        let mut t = Transcript::new(1);
+        t.record(Some(0), Direction::ToPlayer, BitCost(7), "x");
+        t.record(None, Direction::Broadcast, BitCost(3), "y");
+        let mut buf = Vec::new();
+        t.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bits\":7"));
+        assert!(lines[0].contains("\"direction\":\"to_player\""));
+        assert!(lines[1].contains("\"player\":null"));
+    }
+
+    #[test]
+    fn merged_stats() {
+        let a = CommStats { total_bits: 10, rounds: 2, messages: 3, max_player_sent_bits: 6 };
+        let b = CommStats { total_bits: 5, rounds: 4, messages: 1, max_player_sent_bits: 2 };
+        let m = a.merged(b);
+        assert_eq!(m.total_bits, 15);
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.messages, 4);
+        assert_eq!(m.max_player_sent_bits, 6);
+    }
+}

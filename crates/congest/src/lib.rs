@@ -1,0 +1,40 @@
+//! # triad-congest
+//!
+//! A synchronous CONGEST-model simulator and the distributed
+//! triangle-freeness tester that motivates the paper (§1's pointer to
+//! Censor-Hillel–Fischer–Schwartzman–Vasudev, who test
+//! triangle-freeness in `O(1/ε²)` CONGEST rounds).
+//!
+//! In the CONGEST model every *vertex* of the input graph is a
+//! processor; computation proceeds in synchronous rounds, and in each
+//! round a vertex may send one `O(log n)`-bit message over each incident
+//! edge. The simulator enforces the bandwidth cap per edge per round and
+//! accounts rounds and bits; [`triangle::TriangleTester`] implements the
+//! neighbor-probe tester, whose round budget scales as `Θ(1/ε²)` on
+//! ε-far inputs — the shape [`network::run_until`] experiments measure.
+//!
+//! The communication-complexity connection (the reason this crate lives
+//! here): lower bounds for CONGEST property testing are exactly what the
+//! paper's multiparty bounds are a first step toward (§1).
+//!
+//! # Example
+//!
+//! ```
+//! use triad_congest::{network::Network, triangle::TriangleTester};
+//! use triad_graph::Graph;
+//!
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+//! let mut net = Network::new(&g, 42);
+//! let tester = TriangleTester::new();
+//! let outcome = net.run_until(&tester, 50);
+//! assert!(outcome.witness.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c4;
+pub mod counting;
+pub mod message;
+pub mod network;
+pub mod triangle;

@@ -1,0 +1,56 @@
+//! CONGEST messages: `O(log n)` bits per edge per round.
+
+use triad_comm::bits::{bits_per_vertex, BitCost};
+use triad_graph::VertexId;
+
+/// A message small enough for one CONGEST slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Msg {
+    /// "Is this vertex your neighbor?" — carries one vertex id.
+    Probe(VertexId),
+    /// Answer to a probe: the queried vertex id plus one bit.
+    ProbeReply(VertexId, bool),
+    /// A single control bit.
+    Flag(bool),
+}
+
+impl Msg {
+    /// Exact bit cost in a graph on `n` vertices.
+    pub fn bit_len(&self, n: usize) -> BitCost {
+        let v = bits_per_vertex(n);
+        BitCost(match self {
+            Msg::Probe(_) => v,
+            Msg::ProbeReply(_, _) => v + 1,
+            Msg::Flag(_) => 1,
+        })
+    }
+
+    /// The CONGEST bandwidth cap: `c·⌈log₂ n⌉` bits per edge per round
+    /// (we fix `c = 2`, enough for any [`Msg`]).
+    pub fn bandwidth_cap(n: usize) -> u64 {
+        2 * bits_per_vertex(n)
+    }
+
+    /// Returns `true` if this message fits one CONGEST slot.
+    pub fn fits(&self, n: usize) -> bool {
+        self.bit_len(n).get() <= Self::bandwidth_cap(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_and_cap() {
+        let n = 1024; // 10-bit ids
+        assert_eq!(Msg::Probe(VertexId(3)).bit_len(n), BitCost(10));
+        assert_eq!(Msg::ProbeReply(VertexId(3), true).bit_len(n), BitCost(11));
+        assert_eq!(Msg::Flag(false).bit_len(n), BitCost(1));
+        assert_eq!(Msg::bandwidth_cap(n), 20);
+        for m in [Msg::Probe(VertexId(0)), Msg::ProbeReply(VertexId(0), false), Msg::Flag(true)]
+        {
+            assert!(m.fits(n));
+        }
+    }
+}

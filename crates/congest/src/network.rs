@@ -1,0 +1,287 @@
+//! The synchronous CONGEST network simulator.
+
+use crate::message::Msg;
+use triad_comm::SharedRandomness;
+use triad_graph::{Graph, Triangle, VertexId};
+
+/// What a vertex program does each round.
+pub trait VertexProgram {
+    /// Per-vertex state.
+    type State;
+
+    /// Initializes vertex `v`'s state from its local view (its id and
+    /// neighbor list — exactly what a CONGEST node knows at time 0).
+    fn init(&self, v: VertexId, neighbors: &[VertexId]) -> Self::State;
+
+    /// One round for vertex `v`: consume the inbox (messages delivered
+    /// this round with their senders), emit an outbox (neighbor →
+    /// message). Returning a witness triangle anywhere ends the run.
+    #[allow(clippy::too_many_arguments)]
+    fn round(
+        &self,
+        state: &mut Self::State,
+        v: VertexId,
+        neighbors: &[VertexId],
+        round: usize,
+        inbox: &[(VertexId, Msg)],
+        shared: &SharedRandomness,
+        out: &mut Outbox,
+    ) -> Option<Triangle>;
+}
+
+/// A vertex's outgoing messages for one round.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    sends: Vec<(VertexId, Msg)>,
+}
+
+impl Outbox {
+    /// Queues `msg` for neighbor `to` (validated against the topology
+    /// and the bandwidth cap at delivery).
+    pub fn send(&mut self, to: VertexId, msg: Msg) {
+        self.sends.push((to, msg));
+    }
+}
+
+/// The outcome of one network execution.
+#[derive(Debug, Clone)]
+pub struct CongestOutcome {
+    /// A witness triangle, if any vertex found one.
+    pub witness: Option<Triangle>,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Total bits sent over all edges and rounds.
+    pub total_bits: u64,
+    /// The largest single-edge, single-round load observed (must respect
+    /// the cap — the simulator panics otherwise).
+    pub max_edge_round_bits: u64,
+}
+
+/// A synchronous network over a fixed topology.
+#[derive(Debug)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    shared: SharedRandomness,
+}
+
+impl<'g> Network<'g> {
+    /// A network over `graph` with public randomness from `seed`.
+    ///
+    /// (CONGEST vertices usually use private coins; public coins only
+    /// strengthen lower-bound discussions and simplify reproducibility —
+    /// each vertex derives its stream from `(seed, v)`.)
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        Network { graph, shared: SharedRandomness::new(seed) }
+    }
+
+    /// Runs `program` for at most `max_rounds` rounds, stopping early as
+    /// soon as any vertex returns a witness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program sends to a non-neighbor or exceeds the
+    /// per-edge-per-round bandwidth cap — both are model violations, not
+    /// recoverable conditions.
+    pub fn run_until<P: VertexProgram>(&mut self, program: &P, max_rounds: usize) -> CongestOutcome {
+        let g = self.graph;
+        let n = g.vertex_count();
+        let mut states: Vec<P::State> =
+            g.vertices().map(|v| program.init(v, g.neighbors(v))).collect();
+        let mut inboxes: Vec<Vec<(VertexId, Msg)>> = vec![Vec::new(); n];
+        let mut total_bits = 0u64;
+        let mut max_edge_round = 0u64;
+        for round in 0..max_rounds {
+            let mut next_inboxes: Vec<Vec<(VertexId, Msg)>> = vec![Vec::new(); n];
+            let mut witness = None;
+            // Per-edge-per-round load for cap enforcement (directed).
+            let mut load: std::collections::HashMap<(VertexId, VertexId), u64> =
+                std::collections::HashMap::new();
+            for v in g.vertices() {
+                let mut out = Outbox::default();
+                let found = program.round(
+                    &mut states[v.index()],
+                    v,
+                    g.neighbors(v),
+                    round,
+                    &inboxes[v.index()],
+                    &self.shared,
+                    &mut out,
+                );
+                if let Some(t) = found {
+                    assert!(t.exists_in(g), "program reported a fake triangle");
+                    witness.get_or_insert(t);
+                }
+                for (to, msg) in out.sends {
+                    assert!(
+                        g.neighbors(v).binary_search(&to).is_ok(),
+                        "vertex {v} sent to non-neighbor {to}"
+                    );
+                    let bits = msg.bit_len(n).get();
+                    let slot = load.entry((v, to)).or_insert(0);
+                    *slot += bits;
+                    assert!(
+                        *slot <= Msg::bandwidth_cap(n),
+                        "bandwidth cap exceeded on edge {v}->{to}"
+                    );
+                    max_edge_round = max_edge_round.max(*slot);
+                    total_bits += bits;
+                    next_inboxes[to.index()].push((v, msg));
+                }
+            }
+            if witness.is_some() {
+                return CongestOutcome {
+                    witness,
+                    rounds: round + 1,
+                    total_bits,
+                    max_edge_round_bits: max_edge_round,
+                };
+            }
+            inboxes = next_inboxes;
+        }
+        CongestOutcome {
+            witness: None,
+            rounds: max_rounds,
+            total_bits,
+            max_edge_round_bits: max_edge_round,
+        }
+    }
+
+    /// Runs `program` for exactly `rounds` rounds (no early exit) and
+    /// returns the final per-vertex states alongside the outcome — the
+    /// simulator-side stand-in for a final convergecast, used by
+    /// aggregate algorithms like distributed counting.
+    pub fn run_collect<P: VertexProgram>(
+        &mut self,
+        program: &P,
+        rounds: usize,
+    ) -> (Vec<P::State>, CongestOutcome) {
+        let g = self.graph;
+        let n = g.vertex_count();
+        let mut states: Vec<P::State> =
+            g.vertices().map(|v| program.init(v, g.neighbors(v))).collect();
+        let mut inboxes: Vec<Vec<(VertexId, Msg)>> = vec![Vec::new(); n];
+        let mut total_bits = 0u64;
+        let mut max_edge_round = 0u64;
+        let mut witness = None;
+        for round in 0..rounds {
+            let mut next_inboxes: Vec<Vec<(VertexId, Msg)>> = vec![Vec::new(); n];
+            let mut load: std::collections::HashMap<(VertexId, VertexId), u64> =
+                std::collections::HashMap::new();
+            for v in g.vertices() {
+                let mut out = Outbox::default();
+                if let Some(t) = program.round(
+                    &mut states[v.index()],
+                    v,
+                    g.neighbors(v),
+                    round,
+                    &inboxes[v.index()],
+                    &self.shared,
+                    &mut out,
+                ) {
+                    assert!(t.exists_in(g), "program reported a fake triangle");
+                    witness.get_or_insert(t);
+                }
+                for (to, msg) in out.sends {
+                    assert!(
+                        g.neighbors(v).binary_search(&to).is_ok(),
+                        "vertex {v} sent to non-neighbor {to}"
+                    );
+                    let bits = msg.bit_len(n).get();
+                    let slot = load.entry((v, to)).or_insert(0);
+                    *slot += bits;
+                    assert!(
+                        *slot <= Msg::bandwidth_cap(n),
+                        "bandwidth cap exceeded on edge {v}->{to}"
+                    );
+                    max_edge_round = max_edge_round.max(*slot);
+                    total_bits += bits;
+                    next_inboxes[to.index()].push((v, msg));
+                }
+            }
+            inboxes = next_inboxes;
+        }
+        (
+            states,
+            CongestOutcome { witness, rounds, total_bits, max_edge_round_bits: max_edge_round },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_graph::Graph;
+
+    /// Flood a flag outward; never finds anything.
+    struct Flood;
+
+    impl VertexProgram for Flood {
+        type State = ();
+
+        fn init(&self, _v: VertexId, _neighbors: &[VertexId]) {}
+
+        fn round(
+            &self,
+            _state: &mut (),
+            _v: VertexId,
+            neighbors: &[VertexId],
+            round: usize,
+            inbox: &[(VertexId, Msg)],
+            _shared: &SharedRandomness,
+            out: &mut Outbox,
+        ) -> Option<Triangle> {
+            if round == 0 || !inbox.is_empty() {
+                for u in neighbors {
+                    out.send(*u, Msg::Flag(true));
+                }
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn flood_respects_caps_and_counts_bits() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut net = Network::new(&g, 1);
+        let out = net.run_until(&Flood, 3);
+        assert!(out.witness.is_none());
+        assert_eq!(out.rounds, 3);
+        // Every vertex floods every round (path stays active): 2·3 = 6
+        // directed edge-slots per round × 1 bit × 3 rounds.
+        assert_eq!(out.total_bits, 18);
+        assert!(out.max_edge_round_bits <= Msg::bandwidth_cap(4));
+    }
+
+    /// Sends to a non-neighbor: must panic.
+    struct Rogue;
+
+    impl VertexProgram for Rogue {
+        type State = ();
+
+        fn init(&self, _v: VertexId, _neighbors: &[VertexId]) {}
+
+        fn round(
+            &self,
+            _state: &mut (),
+            v: VertexId,
+            _neighbors: &[VertexId],
+            _round: usize,
+            _inbox: &[(VertexId, Msg)],
+            _shared: &SharedRandomness,
+            out: &mut Outbox,
+        ) -> Option<Triangle> {
+            if v == VertexId(0) {
+                out.send(VertexId(3), Msg::Flag(true));
+            }
+            None
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn topology_violations_panic() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let mut net = Network::new(&g, 1);
+        let _ = net.run_until(&Rogue, 1);
+    }
+}

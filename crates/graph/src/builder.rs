@@ -1,0 +1,139 @@
+use crate::{Edge, Graph, GraphError, VertexId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Deduplicates edges and validates vertex ranges. Non-consuming style
+/// (methods take `&mut self`), with a consuming [`GraphBuilder::build`]
+/// terminal.
+///
+/// # Example
+///
+/// ```
+/// use triad_graph::{GraphBuilder, Edge, VertexId};
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(Edge::new(VertexId(0), VertexId(1)));
+/// b.add_edge(Edge::new(VertexId(1), VertexId(0))); // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices (ids `0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Pre-allocates capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices this builder targets.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an edge; duplicates are removed at [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range. Use
+    /// [`try_add_edge`](Self::try_add_edge) for a fallible variant.
+    pub fn add_edge(&mut self, e: Edge) -> &mut Self {
+        self.try_add_edge(e).expect("edge endpoint out of range");
+        self
+    }
+
+    /// Fallible edge insertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    pub fn try_add_edge(&mut self, e: Edge) -> Result<&mut Self, GraphError> {
+        for w in [e.u(), e.v()] {
+            if w.index() >= self.n {
+                return Err(GraphError::VertexOutOfRange { vertex: w, n: self.n });
+            }
+        }
+        self.edges.push(e);
+        Ok(self)
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = Edge>>(&mut self, it: I) -> &mut Self {
+        for e in it {
+            self.add_edge(e);
+        }
+        self
+    }
+
+    /// Adds a triangle on three distinct vertices.
+    pub fn add_triangle(&mut self, a: VertexId, b: VertexId, c: VertexId) -> &mut Self {
+        self.add_edge(Edge::new(a, b));
+        self.add_edge(Edge::new(b, c));
+        self.add_edge(Edge::new(a, c));
+        self
+    }
+
+    /// Number of (possibly duplicate) edges inserted so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes into an immutable [`Graph`], sorting and deduplicating.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_sorted_dedup_edges(self.n, self.edges)
+    }
+}
+
+impl Extend<Edge> for GraphBuilder {
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        self.extend_edges(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_on_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(Edge::new(VertexId(0), VertexId(1)));
+        b.add_edge(Edge::new(VertexId(1), VertexId(0)));
+        b.add_edge(Edge::new(VertexId(1), VertexId(2)));
+        assert_eq!(b.pending_edges(), 3);
+        assert_eq!(b.build().edge_count(), 2);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut b = GraphBuilder::new(2);
+        let err = b.try_add_edge(Edge::new(VertexId(0), VertexId(5))).unwrap_err();
+        assert_eq!(err, GraphError::VertexOutOfRange { vertex: VertexId(5), n: 2 });
+    }
+
+    #[test]
+    fn add_triangle_adds_three_edges() {
+        let mut b = GraphBuilder::new(4);
+        b.add_triangle(VertexId(0), VertexId(1), VertexId(2));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+        assert!(crate::triangles::contains_triangle(&g));
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut b = GraphBuilder::with_capacity(4, 2);
+        b.extend([Edge::new(VertexId(0), VertexId(1)), Edge::new(VertexId(2), VertexId(3))]);
+        assert_eq!(b.vertex_count(), 4);
+        assert_eq!(b.build().edge_count(), 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! Distance to triangle-freeness and ε-farness certification.
+//!
+//! A graph is *ε-far* from triangle-free when at least `ε·|E|` edges must
+//! be removed to destroy all triangles. Computing the exact distance is
+//! NP-hard in general, so — exactly as the paper's analysis does — we work
+//! with two efficiently computable proxies:
+//!
+//! * a **lower bound**: the size of an edge-disjoint triangle packing
+//!   (each removal kills at most one packed triangle), and
+//! * an **upper bound**: the greedy hitting set obtained by deleting one
+//!   edge per remaining triangle.
+
+use crate::{triangles, Edge, Graph};
+use std::collections::HashSet;
+
+/// Certified bounds on the edge-removal distance to triangle-freeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceBounds {
+    /// Size of an edge-disjoint triangle packing (≤ true distance).
+    pub lower: usize,
+    /// Number of edges removed by a greedy hitting strategy (≥ true distance).
+    pub upper: usize,
+}
+
+impl DistanceBounds {
+    /// Distance expressed as a fraction of the edge count, using the
+    /// certified lower bound (so `epsilon_lower(g) ≥ x` *proves* the graph
+    /// is x-far).
+    pub fn epsilon_lower(&self, g: &Graph) -> f64 {
+        if g.edge_count() == 0 {
+            0.0
+        } else {
+            self.lower as f64 / g.edge_count() as f64
+        }
+    }
+}
+
+/// Computes certified lower and upper bounds on the distance of `g` to
+/// triangle-freeness.
+///
+/// # Example
+///
+/// ```
+/// use triad_graph::{Graph, distance};
+/// // Two disjoint triangles: distance exactly 2.
+/// let g = Graph::from_edges(6, [(0,1),(1,2),(0,2),(3,4),(4,5),(3,5)]);
+/// let b = distance::distance_bounds(&g);
+/// assert!(b.lower >= 2 && b.upper <= 3);
+/// ```
+pub fn distance_bounds(g: &Graph) -> DistanceBounds {
+    let lower = triangles::greedy_triangle_packing(g).len();
+    let upper = greedy_hitting_removal(g).len();
+    DistanceBounds { lower, upper }
+}
+
+/// Greedy triangle hitting set: repeatedly finds a triangle and removes one
+/// of its edges until the graph is triangle-free. Returns the removed edges.
+pub fn greedy_hitting_removal(g: &Graph) -> Vec<Edge> {
+    let mut removed: HashSet<Edge> = HashSet::new();
+    let mut current = g.clone();
+    while let Some(t) = triangles::find_triangle(&current) {
+        // Remove the edge of the triangle whose endpoints have highest
+        // combined degree — a cheap heuristic that tends to hit many
+        // triangles at once.
+        let e = *t
+            .edges()
+            .iter()
+            .max_by_key(|e| current.degree(e.u()) + current.degree(e.v()))
+            .expect("triangle has edges");
+        removed.insert(e);
+        let mut one = HashSet::new();
+        one.insert(e);
+        current = current.without_edges(&one);
+    }
+    removed.into_iter().collect()
+}
+
+/// Returns `true` if `g` is *certifiably* ε-far from triangle-free: the
+/// edge-disjoint packing alone proves that at least `ε·|E|` removals are
+/// needed.
+///
+/// A `false` answer does not prove the graph is ε-close; it only means the
+/// greedy certificate was insufficient.
+pub fn is_certifiably_far(g: &Graph, epsilon: f64) -> bool {
+    if g.edge_count() == 0 {
+        return false;
+    }
+    let packing = triangles::greedy_triangle_packing(g).len();
+    packing as f64 >= epsilon * g.edge_count() as f64
+}
+
+/// Returns `true` if `g` has no triangle at all.
+pub fn is_triangle_free(g: &Graph) -> bool {
+    !triangles::contains_triangle(g)
+}
+
+/// Exact minimum number of edge removals to destroy all triangles, by
+/// branch and bound on triangle edges. Exponential in the worst case —
+/// intended for validating the greedy bounds on small instances.
+///
+/// # Panics
+///
+/// Panics if the graph has more than `max_edges` edges (guard against
+/// accidental exponential blowups); pass the graph's own edge count to
+/// disable the guard consciously.
+pub fn exact_distance(g: &Graph, max_edges: usize) -> usize {
+    assert!(
+        g.edge_count() <= max_edges,
+        "exact_distance guard: {} edges exceeds the {max_edges}-edge cap",
+        g.edge_count()
+    );
+    // Upper bound from the greedy heuristic seeds the search.
+    let mut best = greedy_hitting_removal(g).len();
+    let mut removed = HashSet::new();
+    branch(g, &mut removed, 0, &mut best);
+    best
+}
+
+fn branch(g: &Graph, removed: &mut HashSet<Edge>, depth: usize, best: &mut usize) {
+    if depth >= *best {
+        return; // cannot improve
+    }
+    let current = g.without_edges(removed);
+    let Some(t) = triangles::find_triangle(&current) else {
+        *best = depth; // triangle-free with `depth` removals
+        return;
+    };
+    // Some edge of every remaining triangle must go: branch on the three.
+    for e in t.edges() {
+        removed.insert(e);
+        branch(g, removed, depth + 1, best);
+        removed.remove(&e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn triangle_free_graph_has_zero_distance() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let b = distance_bounds(&g);
+        assert_eq!(b, DistanceBounds { lower: 0, upper: 0 });
+        assert!(is_triangle_free(&g));
+        assert!(!is_certifiably_far(&g, 0.01));
+    }
+
+    #[test]
+    fn bounds_bracket_true_distance() {
+        let g = two_triangles();
+        let b = distance_bounds(&g);
+        assert!(b.lower <= 2, "true distance is 2");
+        assert!(b.upper >= 2);
+        assert_eq!(b.lower, 2); // disjoint triangles pack perfectly
+        assert_eq!(b.upper, 2); // one removal per triangle suffices
+    }
+
+    #[test]
+    fn hitting_removal_leaves_triangle_free() {
+        let g = Graph::from_edges(5, [
+            (0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (0, 3),
+        ]);
+        let removed = greedy_hitting_removal(&g);
+        let rm: HashSet<Edge> = removed.into_iter().collect();
+        assert!(is_triangle_free(&g.without_edges(&rm)));
+    }
+
+    #[test]
+    fn farness_certificate() {
+        let g = two_triangles();
+        // 2 packed triangles out of 6 edges: certifies 1/3-farness.
+        assert!(is_certifiably_far(&g, 1.0 / 3.0));
+        assert!(!is_certifiably_far(&g, 0.5));
+        let b = distance_bounds(&g);
+        assert!((b.epsilon_lower(&g) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_distance_on_known_instances() {
+        // Two disjoint triangles: exactly 2.
+        assert_eq!(exact_distance(&two_triangles(), 64), 2);
+        // K4: 4 triangles, any two share an edge; removing one edge kills
+        // two triangles, so 2 removals suffice (and 1 cannot).
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(exact_distance(&k4, 64), 2);
+        // Triangle-free: 0.
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(exact_distance(&path, 64), 0);
+        // Book graph (3 triangles sharing edge (0,1)): one removal.
+        let book = Graph::from_edges(5, [
+            (0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4),
+        ]);
+        assert_eq!(exact_distance(&book, 64), 1);
+    }
+
+    #[test]
+    fn greedy_bounds_bracket_the_exact_distance() {
+        use crate::generators::gnp;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for trial in 0..8 {
+            let g = gnp(14, 0.3, &mut rng);
+            if g.edge_count() > 40 {
+                continue;
+            }
+            let exact = exact_distance(&g, 40);
+            let b = distance_bounds(&g);
+            assert!(b.lower <= exact, "trial {trial}: packing {} > exact {exact}", b.lower);
+            assert!(b.upper >= exact, "trial {trial}: greedy {} < exact {exact}", b.upper);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "guard")]
+    fn exact_distance_guard() {
+        let g = two_triangles();
+        let _ = exact_distance(&g, 3);
+    }
+
+    #[test]
+    fn empty_graph_is_not_far() {
+        let g = Graph::from_edges(3, []);
+        assert!(!is_certifiably_far(&g, 0.1));
+        assert_eq!(distance_bounds(&g).epsilon_lower(&g), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+use crate::VertexId;
+
+/// Errors produced by graph construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A vertex id was at least the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The declared number of vertices.
+        n: usize,
+    },
+    /// A generator was asked for parameters it cannot satisfy
+    /// (e.g. more planted triangles than fit in `n` vertices).
+    InvalidParameters(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfRange { vertex: VertexId(9), n: 5 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::InvalidParameters("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,228 @@
+//! The Boolean-Matching reduction of §4.4 (Theorem 4.16).
+//!
+//! In the Boolean Matching problem `BM_n`, Alice holds `x ∈ {0,1}^{2n}`,
+//! Bob holds a perfect matching `M` on `[2n]` and a vector `w ∈ {0,1}^n`,
+//! and they must distinguish `Mx ⊕ w = 0ⁿ` from `Mx ⊕ w = 1ⁿ` (where
+//! `(Mx)_j = x_{j₁} ⊕ x_{j₂}` for the j-th matched pair). The reduction
+//! maps an instance to a graph on `{u} ∪ [2n]×{0,1}` such that pair `j`
+//! spawns a triangle iff `(Mx ⊕ w)_j = 0`; so the `0ⁿ` side yields `n`
+//! edge-disjoint triangles (1-far from triangle-free) and the `1ⁿ` side is
+//! triangle-free.
+
+use crate::{Edge, Graph, GraphBuilder, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which promise side an instance is drawn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmSide {
+    /// `Mx ⊕ w = 0ⁿ`: the reduction graph has `n` edge-disjoint triangles.
+    AllZero,
+    /// `Mx ⊕ w = 1ⁿ`: the reduction graph is triangle-free.
+    AllOne,
+}
+
+/// A Boolean Matching instance.
+#[derive(Debug, Clone)]
+pub struct BmInstance {
+    /// Alice's bit vector, length `2n`.
+    x: Vec<bool>,
+    /// Bob's matching: `n` disjoint pairs covering `0..2n`.
+    matching: Vec<(usize, usize)>,
+    /// Bob's target vector, length `n`.
+    w: Vec<bool>,
+}
+
+impl BmInstance {
+    /// Builds an instance from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `matching` is a perfect matching on `0..x.len()` and
+    /// `w.len() == matching.len()`.
+    pub fn new(x: Vec<bool>, matching: Vec<(usize, usize)>, w: Vec<bool>) -> Self {
+        assert_eq!(x.len(), 2 * matching.len(), "x must have 2n bits");
+        assert_eq!(w.len(), matching.len(), "w must have n bits");
+        let mut seen = vec![false; x.len()];
+        for &(a, b) in &matching {
+            assert!(a < x.len() && b < x.len() && a != b, "matching pair out of range");
+            assert!(!seen[a] && !seen[b], "matching must be disjoint");
+            seen[a] = true;
+            seen[b] = true;
+        }
+        BmInstance { x, matching, w }
+    }
+
+    /// Samples a uniformly random instance on `n` pairs from the given
+    /// promise side: `x` and `M` uniform, `w` forced so that
+    /// `Mx ⊕ w` is all-zero or all-one.
+    pub fn sample<R: Rng + ?Sized>(n: usize, side: BmSide, rng: &mut R) -> Self {
+        assert!(n >= 1, "need at least one pair");
+        let x: Vec<bool> = (0..2 * n).map(|_| rng.gen_bool(0.5)).collect();
+        let mut idx: Vec<usize> = (0..2 * n).collect();
+        idx.shuffle(rng);
+        let matching: Vec<(usize, usize)> =
+            idx.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let w: Vec<bool> = matching
+            .iter()
+            .map(|&(a, b)| {
+                let mx = x[a] ^ x[b];
+                match side {
+                    BmSide::AllZero => mx,      // w_j = (Mx)_j ⇒ xor is 0
+                    BmSide::AllOne => !mx,      // xor is 1
+                }
+            })
+            .collect();
+        BmInstance { x, matching, w }
+    }
+
+    /// Number of matched pairs `n`.
+    pub fn pairs(&self) -> usize {
+        self.matching.len()
+    }
+
+    /// Alice's vector.
+    pub fn x(&self) -> &[bool] {
+        &self.x
+    }
+
+    /// Bob's matching.
+    pub fn matching(&self) -> &[(usize, usize)] {
+        &self.matching
+    }
+
+    /// Bob's target vector.
+    pub fn w(&self) -> &[bool] {
+        &self.w
+    }
+
+    /// The vector `Mx ⊕ w`.
+    pub fn mx_xor_w(&self) -> Vec<bool> {
+        self.matching
+            .iter()
+            .zip(&self.w)
+            .map(|(&(a, b), &wj)| self.x[a] ^ self.x[b] ^ wj)
+            .collect()
+    }
+
+    /// Vertex id of the apex `u` in the reduction graph.
+    pub fn apex(&self) -> VertexId {
+        VertexId(0)
+    }
+
+    /// Vertex id of `(j, side)` in the reduction graph.
+    pub fn node(&self, j: usize, side: usize) -> VertexId {
+        debug_assert!(j < self.x.len() && side < 2);
+        VertexId((1 + 2 * j + side) as u32)
+    }
+
+    /// Alice's edges in the reduction: `{u, (j, x_j)}` for every `j`.
+    pub fn alice_edges(&self) -> Vec<Edge> {
+        self.x
+            .iter()
+            .enumerate()
+            .map(|(j, &xj)| Edge::new(self.apex(), self.node(j, usize::from(xj))))
+            .collect()
+    }
+
+    /// Bob's edges in the reduction: straight pairs for `w_j = 0`, crossed
+    /// pairs for `w_j = 1`.
+    pub fn bob_edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(2 * self.matching.len());
+        for (&(a, b), &wj) in self.matching.iter().zip(&self.w) {
+            if wj {
+                out.push(Edge::new(self.node(a, 0), self.node(b, 1)));
+                out.push(Edge::new(self.node(a, 1), self.node(b, 0)));
+            } else {
+                out.push(Edge::new(self.node(a, 0), self.node(b, 0)));
+                out.push(Edge::new(self.node(a, 1), self.node(b, 1)));
+            }
+        }
+        out
+    }
+
+    /// The full reduction graph on `1 + 4n` vertices.
+    pub fn reduction_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(1 + 2 * self.x.len());
+        b.extend_edges(self.alice_edges());
+        b.extend_edges(self.bob_edges());
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{distance, triangles};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn all_one_side_is_triangle_free() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..10 {
+            let inst = BmInstance::sample(8, BmSide::AllOne, &mut rng);
+            assert!(inst.mx_xor_w().iter().all(|b| *b));
+            let g = inst.reduction_graph();
+            assert!(distance::is_triangle_free(&g), "AllOne side must be triangle-free");
+        }
+    }
+
+    #[test]
+    fn all_zero_side_has_n_disjoint_triangles() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..10 {
+            let n = 8;
+            let inst = BmInstance::sample(n, BmSide::AllZero, &mut rng);
+            assert!(inst.mx_xor_w().iter().all(|b| !*b));
+            let g = inst.reduction_graph();
+            let packing = triangles::greedy_triangle_packing(&g);
+            assert!(packing.len() >= n, "packing {} < n={n}", packing.len());
+        }
+    }
+
+    #[test]
+    fn triangle_iff_bit_zero_per_pair() {
+        // Hand-build a mixed instance: pair 0 zero, pair 1 one.
+        let x = vec![true, false, true, true];
+        let matching = vec![(0, 1), (2, 3)];
+        // (Mx)_0 = x0^x1 = 1; want bit0 = 0 ⇒ w0 = 1.
+        // (Mx)_1 = x2^x3 = 0; want bit1 = 1 ⇒ w1 = 1.
+        let inst = BmInstance::new(x, matching, vec![true, true]);
+        assert_eq!(inst.mx_xor_w(), vec![false, true]);
+        let g = inst.reduction_graph();
+        let tris = triangles::enumerate_triangles(&g);
+        assert_eq!(tris.len(), 1, "exactly the zero pair closes a triangle");
+        // The triangle involves the apex.
+        assert!(tris[0].vertices().contains(&inst.apex()));
+    }
+
+    #[test]
+    fn alice_has_one_edge_per_index() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inst = BmInstance::sample(5, BmSide::AllZero, &mut rng);
+        assert_eq!(inst.alice_edges().len(), 10);
+        assert_eq!(inst.bob_edges().len(), 10);
+        let g = inst.reduction_graph();
+        assert_eq!(g.vertex_count(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn rejects_overlapping_matching() {
+        let _ = BmInstance::new(
+            vec![false; 4],
+            vec![(0, 1), (1, 2)],
+            vec![false, false],
+        );
+    }
+
+    #[test]
+    fn average_degree_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let inst = BmInstance::sample(64, BmSide::AllZero, &mut rng);
+        let g = inst.reduction_graph();
+        // 4n edges over 4n+1 vertices: average degree < 2.
+        assert!(g.average_degree() < 2.0);
+    }
+}

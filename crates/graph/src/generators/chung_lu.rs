@@ -1,0 +1,124 @@
+//! Chung–Lu random graphs with power-law expected degrees — the
+//! "realistic" workload family for the comparison experiments.
+//!
+//! Vertex `i` gets weight `w_i ∝ (i + i₀)^{-1/(β−1)}` (a power-law
+//! degree sequence with exponent `β`), scaled to the target average
+//! degree; each pair is an edge independently with probability
+//! `min(1, w_u·w_v / Σw)`. Heavy-tailed instances concentrate the
+//! triangles around a few hot vertices, which is exactly the regime the
+//! paper's bucketing and AlgLow's hub set `S` were designed for.
+
+use crate::{Edge, Graph, GraphBuilder, GraphError, VertexId};
+use rand::Rng;
+
+/// Parameters for a Chung–Lu power-law graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChungLu {
+    n: usize,
+    avg_degree: f64,
+    beta: f64,
+}
+
+impl ChungLu {
+    /// A sampler for `n` vertices with expected average degree
+    /// `avg_degree` and power-law exponent `beta` (typically 2–3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] unless `n ≥ 2`,
+    /// `avg_degree > 0` and `beta > 1`.
+    pub fn new(n: usize, avg_degree: f64, beta: f64) -> Result<Self, GraphError> {
+        if n < 2 || avg_degree <= 0.0 || beta <= 1.0 {
+            return Err(GraphError::InvalidParameters(format!(
+                "need n ≥ 2, avg_degree > 0, beta > 1 (got n={n}, d={avg_degree}, β={beta})"
+            )));
+        }
+        Ok(ChungLu { n, avg_degree, beta })
+    }
+
+    /// The expected-degree weights, scaled so their mean is the target
+    /// average degree (before the `min(1, ·)` clipping).
+    pub fn weights(&self) -> Vec<f64> {
+        let gamma = 1.0 / (self.beta - 1.0);
+        let i0 = 2.0; // offset tames the head
+        let mut w: Vec<f64> =
+            (0..self.n).map(|i| (i as f64 + i0).powf(-gamma)).collect();
+        let mean = w.iter().sum::<f64>() / self.n as f64;
+        let scale = self.avg_degree / mean;
+        for wi in &mut w {
+            *wi *= scale;
+        }
+        w
+    }
+
+    /// Draws one instance (exact pairwise Bernoulli draws; `O(n²)` —
+    /// intended for the `n ≤ 10⁴` experiment regime).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let w = self.weights();
+        let total: f64 = w.iter().sum();
+        let mut b = GraphBuilder::new(self.n);
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                let p = (w[u] * w[v] / total).min(1.0);
+                if rng.gen_bool(p) {
+                    b.add_edge(Edge::new(VertexId(u as u32), VertexId(v as u32)));
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ChungLu::new(1, 4.0, 2.5).is_err());
+        assert!(ChungLu::new(100, 0.0, 2.5).is_err());
+        assert!(ChungLu::new(100, 4.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn weights_hit_target_mean_and_decay() {
+        let cl = ChungLu::new(1000, 6.0, 2.5).unwrap();
+        let w = cl.weights();
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 6.0).abs() < 1e-9);
+        assert!(w[0] > w[10] && w[10] > w[500], "weights must decay");
+    }
+
+    #[test]
+    fn average_degree_is_near_target() {
+        let cl = ChungLu::new(2000, 8.0, 2.5).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = cl.sample(&mut rng);
+        let d = g.average_degree();
+        // Clipping min(1, ·) loses a bit of the head's mass.
+        assert!(d > 4.0 && d < 10.0, "avg degree {d} vs target 8");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let cl = ChungLu::new(3000, 6.0, 2.2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = cl.sample(&mut rng);
+        let max = g.max_degree() as f64;
+        let avg = g.average_degree();
+        assert!(
+            max > 8.0 * avg,
+            "max degree {max} should dwarf average {avg} in a power law"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cl = ChungLu::new(500, 5.0, 2.5).unwrap();
+        let g1 = cl.sample(&mut ChaCha8Rng::seed_from_u64(9));
+        let g2 = cl.sample(&mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(g1.edges(), g2.edges());
+    }
+}

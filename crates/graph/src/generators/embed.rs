@@ -1,0 +1,92 @@
+//! Degree embedding (Lemma 4.17).
+//!
+//! To extend a hardness result (or a workload) from average degree
+//! `d = Θ(n'^c)` on `n'` vertices to a lower average degree `d'` on `n`
+//! vertices, the paper pads the dense graph with isolated vertices: the
+//! distance to triangle-freeness is unchanged and the average degree
+//! scales by `n'/n`.
+
+use crate::{Graph, GraphError};
+
+/// Pads `g` with isolated vertices up to a total of `n` vertices.
+///
+/// Edges, triangles and the distance to triangle-freeness are exactly
+/// preserved; only the average degree shrinks by the factor
+/// `g.vertex_count() / n`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if `n < g.vertex_count()`.
+///
+/// # Example
+///
+/// ```
+/// use triad_graph::{Graph, generators::pad_with_isolated_vertices};
+/// let dense = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+/// let padded = pad_with_isolated_vertices(&dense, 12).unwrap();
+/// assert_eq!(padded.vertex_count(), 12);
+/// assert_eq!(padded.edge_count(), 3);
+/// assert_eq!(padded.average_degree(), dense.average_degree() * 3.0 / 12.0);
+/// ```
+pub fn pad_with_isolated_vertices(g: &Graph, n: usize) -> Result<Graph, GraphError> {
+    if n < g.vertex_count() {
+        return Err(GraphError::InvalidParameters(format!(
+            "target n={n} smaller than current vertex count {}",
+            g.vertex_count()
+        )));
+    }
+    Ok(Graph::from_sorted_dedup_edges(n, g.edges().to_vec()))
+}
+
+/// Given a target `(n, d')` and the dense-core exponent `c` (the paper's
+/// `d = Θ(n^c)`), returns the number of *core* vertices `n' = (d'·n)^{1/(1+c)}`
+/// whose padding into `n` vertices yields average degree `Θ(d')`.
+pub fn core_size_for(n: usize, d_target: f64, c: f64) -> usize {
+    ((d_target * n as f64).powf(1.0 / (1.0 + c))).round().max(3.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gnp_with_average_degree;
+    use crate::{distance, Graph};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn padding_preserves_distance() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let before = distance::distance_bounds(&g);
+        let padded = pad_with_isolated_vertices(&g, 50).unwrap();
+        let after = distance::distance_bounds(&padded);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn padding_scales_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let core = gnp_with_average_degree(100, 20.0, &mut rng);
+        let padded = pad_with_isolated_vertices(&core, 400).unwrap();
+        let expected = core.average_degree() * 100.0 / 400.0;
+        assert!((padded.average_degree() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_shrinking() {
+        let g = Graph::from_edges(5, [(0, 1)]);
+        assert!(pad_with_isolated_vertices(&g, 3).is_err());
+    }
+
+    #[test]
+    fn core_size_for_sqrt_regime() {
+        // c = 1/2 (degree √n core): n' = (d·n)^{2/3}.
+        let np = core_size_for(1_000_000, 10.0, 0.5);
+        let expected = (10.0f64 * 1_000_000.0).powf(2.0 / 3.0);
+        assert!((np as f64 - expected).abs() / expected < 0.01);
+        // The resulting padded degree is d·(n'/n)·... sanity: core degree
+        // √n' times n'/n ≈ d.
+        let core_degree = (np as f64).sqrt();
+        let padded_degree = core_degree * np as f64 / 1_000_000.0;
+        assert!((padded_degree - 10.0).abs() / 10.0 < 0.05, "got {padded_degree}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Erdős–Rényi random graphs.
+
+use crate::{Edge, Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Samples `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`.
+///
+/// Uses geometric skipping, so the cost is `O(n + m)` rather than `O(n²)`
+/// for sparse graphs.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(Edge::new(VertexId(u), VertexId(v)));
+            }
+        }
+        return b.build();
+    }
+    // Walk pair indices 0..n(n-1)/2 with geometric jumps.
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let log_q = (1.0 - p).ln();
+    let mut idx: u64 = 0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / log_q).floor() as u64;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let (a, bb) = pair_from_index(n as u64, idx);
+        b.add_edge(Edge::new(VertexId(a as u32), VertexId(bb as u32)));
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+    b.build()
+}
+
+/// Maps a linear index in `0..n(n-1)/2` to the corresponding unordered pair
+/// (row-major over the strictly-upper-triangular matrix).
+fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
+    // Row a contributes (n-1-a) pairs. Find the row by solving the
+    // triangular-number inequality, then refine (floating-point start,
+    // exact integer correction).
+    let mut a = {
+        let nf = n as f64;
+        let k = idx as f64;
+        let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * k;
+        (((2.0 * nf - 1.0) - disc.max(0.0).sqrt()) / 2.0).floor().max(0.0) as u64
+    };
+    let row_start = |a: u64| a * n - a * (a + 1) / 2;
+    while a > 0 && row_start(a) > idx {
+        a -= 1;
+    }
+    while a + 1 < n && row_start(a + 1) <= idx {
+        a += 1;
+    }
+    let b = a + 1 + (idx - row_start(a));
+    (a, b)
+}
+
+/// Samples `G(n, p)` with `p` chosen so the expected average degree is `d`:
+/// `p = d / (n-1)`.
+///
+/// # Panics
+///
+/// Panics if `d > n-1` (no simple graph has such average degree).
+pub fn gnp_with_average_degree<R: Rng + ?Sized>(n: usize, d: f64, rng: &mut R) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(d <= (n - 1) as f64, "average degree cannot exceed n-1");
+    gnp(n, d / (n - 1) as f64, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pair_index_bijection() {
+        for n in [2u64, 3, 5, 17] {
+            let mut seen = std::collections::HashSet::new();
+            let total = n * (n - 1) / 2;
+            for idx in 0..total {
+                let (a, b) = pair_from_index(n, idx);
+                assert!(a < b && b < n, "n={n} idx={idx} -> ({a},{b})");
+                assert!(seen.insert((a, b)));
+            }
+            assert_eq!(seen.len(), total as usize);
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(5, 1.0, &mut rng).edge_count(), 10);
+        assert_eq!(gnp(1, 0.5, &mut rng).edge_count(), 0);
+    }
+
+    #[test]
+    fn edge_count_concentrates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt().max(10.0),
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn average_degree_targeting() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = gnp_with_average_degree(1000, 12.0, &mut rng);
+        let d = g.average_degree();
+        assert!((d - 12.0).abs() < 2.0, "average degree {d} too far from 12");
+    }
+
+    #[test]
+    #[should_panic(expected = "average degree cannot exceed")]
+    fn rejects_impossible_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = gnp_with_average_degree(4, 5.0, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = gnp(100, 0.1, &mut ChaCha8Rng::seed_from_u64(9));
+        let g2 = gnp(100, 0.1, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(g1.edges(), g2.edges());
+    }
+}

@@ -1,0 +1,27 @@
+//! Input-distribution generators.
+//!
+//! Every workload the paper uses or implies:
+//!
+//! * [`gnp`] — Erdős–Rényi `G(n, p)` (the generic "average degree d" input),
+//! * [`tripartite`] — the hard distribution μ of §4.2 (tripartite, each
+//!   cross-part edge iid with probability `γ/√n`),
+//! * [`planted`] — certified ε-far graphs built from edge-disjoint triangle
+//!   families, and the dense-core adversarial instance of §3.4.2,
+//! * [`bhm`] — the Boolean-Matching reduction graphs of §4.4,
+//! * [`embed`] — the degree-embedding padding of Lemma 4.17.
+
+pub mod behrend;
+pub mod bhm;
+pub mod chung_lu;
+pub mod embed;
+pub mod gnp;
+pub mod planted;
+pub mod tripartite;
+
+pub use behrend::{behrend_set, RuzsaSzemeredi};
+pub use bhm::{BmInstance, BmSide};
+pub use chung_lu::ChungLu;
+pub use embed::pad_with_isolated_vertices;
+pub use gnp::{gnp, gnp_with_average_degree};
+pub use planted::{dense_core, far_graph, planted_copies, shifted_triangles, DenseCore};
+pub use tripartite::{MuInstance, TripartiteMu};

@@ -1,0 +1,225 @@
+//! The hard distribution μ of the paper's §4.2.1.
+//!
+//! A tripartite graph `G = (U ∪ V₁ ∪ V₂, E)` where every cross-part pair is
+//! an edge independently with probability `γ/√n`. The average degree is
+//! `Θ(√n)` and, for sufficiently small `γ`, a sample is `Ω(1)`-far from
+//! triangle-free with probability at least `1/2` (Lemma 4.5).
+//!
+//! In the three-player lower bound, Alice holds the `U×V₁` edges, Bob the
+//! `U×V₂` edges, and Charlie the `V₁×V₂` edges; Charlie must output a
+//! triangle edge from his side.
+
+use crate::{Edge, Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Which part of the tripartition a vertex belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Part {
+    /// The apex part `U`.
+    U,
+    /// Left base part `V₁`.
+    V1,
+    /// Right base part `V₂`.
+    V2,
+}
+
+/// Sampler for the μ distribution.
+///
+/// # Example
+///
+/// ```
+/// use triad_graph::generators::TripartiteMu;
+/// use rand::SeedableRng;
+/// let mu = TripartiteMu::new(64, 0.5);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let inst = mu.sample(&mut rng);
+/// assert_eq!(inst.graph().vertex_count(), 3 * 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripartiteMu {
+    part_size: usize,
+    gamma: f64,
+}
+
+impl TripartiteMu {
+    /// A μ sampler with parts of size `part_size` and edge probability
+    /// `γ/√part_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not positive or the resulting probability
+    /// exceeds 1.
+    pub fn new(part_size: usize, gamma: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        assert!(
+            gamma / (part_size as f64).sqrt() <= 1.0,
+            "edge probability gamma/sqrt(n) must be at most 1"
+        );
+        TripartiteMu { part_size, gamma }
+    }
+
+    /// Size of each of the three parts.
+    pub fn part_size(&self) -> usize {
+        self.part_size
+    }
+
+    /// The γ constant.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Per-pair edge probability `γ/√n`.
+    pub fn edge_probability(&self) -> f64 {
+        self.gamma / (self.part_size as f64).sqrt()
+    }
+
+    /// Draws one instance.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> MuInstance {
+        let n = self.part_size;
+        let p = self.edge_probability();
+        let mut b = GraphBuilder::new(3 * n);
+        let add_block = |rng: &mut R, off_a: usize, off_b: usize, out: &mut Vec<Edge>| {
+            for i in 0..n {
+                for j in 0..n {
+                    if rng.gen_bool(p) {
+                        let e = Edge::new(
+                            VertexId((off_a + i) as u32),
+                            VertexId((off_b + j) as u32),
+                        );
+                        out.push(e);
+                    }
+                }
+            }
+        };
+        let mut uv1 = Vec::new();
+        let mut uv2 = Vec::new();
+        let mut v1v2 = Vec::new();
+        add_block(rng, 0, n, &mut uv1); // U × V1
+        add_block(rng, 0, 2 * n, &mut uv2); // U × V2
+        add_block(rng, n, 2 * n, &mut v1v2); // V1 × V2
+        for e in uv1.iter().chain(&uv2).chain(&v1v2) {
+            b.add_edge(*e);
+        }
+        MuInstance { graph: b.build(), part_size: n, uv1, uv2, v1v2 }
+    }
+}
+
+/// One sample from μ, retaining the three cross-part edge blocks — exactly
+/// the three players' inputs in the lower-bound argument.
+#[derive(Debug, Clone)]
+pub struct MuInstance {
+    graph: Graph,
+    part_size: usize,
+    uv1: Vec<Edge>,
+    uv2: Vec<Edge>,
+    v1v2: Vec<Edge>,
+}
+
+impl MuInstance {
+    /// The sampled graph on `3·part_size` vertices.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Size of each part.
+    pub fn part_size(&self) -> usize {
+        self.part_size
+    }
+
+    /// Which part a vertex belongs to.
+    pub fn part_of(&self, v: VertexId) -> Part {
+        let i = v.index();
+        if i < self.part_size {
+            Part::U
+        } else if i < 2 * self.part_size {
+            Part::V1
+        } else {
+            Part::V2
+        }
+    }
+
+    /// Alice's input: the `U×V₁` edges.
+    pub fn alice_edges(&self) -> &[Edge] {
+        &self.uv1
+    }
+
+    /// Bob's input: the `U×V₂` edges.
+    pub fn bob_edges(&self) -> &[Edge] {
+        &self.uv2
+    }
+
+    /// Charlie's input: the `V₁×V₂` edges.
+    pub fn charlie_edges(&self) -> &[Edge] {
+        &self.v1v2
+    }
+
+    /// The three players' inputs in order (Alice, Bob, Charlie).
+    pub fn player_inputs(&self) -> [Vec<Edge>; 3] {
+        [self.uv1.clone(), self.uv2.clone(), self.v1v2.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn parts_and_blocks_are_consistent() {
+        let mu = TripartiteMu::new(32, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inst = mu.sample(&mut rng);
+        assert_eq!(inst.part_of(VertexId(0)), Part::U);
+        assert_eq!(inst.part_of(VertexId(32)), Part::V1);
+        assert_eq!(inst.part_of(VertexId(64)), Part::V2);
+        for e in inst.alice_edges() {
+            let parts = (inst.part_of(e.u()), inst.part_of(e.v()));
+            assert!(parts == (Part::U, Part::V1) || parts == (Part::V1, Part::U));
+        }
+        for e in inst.charlie_edges() {
+            let parts = (inst.part_of(e.u()), inst.part_of(e.v()));
+            assert!(parts == (Part::V1, Part::V2) || parts == (Part::V2, Part::V1));
+        }
+        let total =
+            inst.alice_edges().len() + inst.bob_edges().len() + inst.charlie_edges().len();
+        assert_eq!(total, inst.graph().edge_count());
+    }
+
+    #[test]
+    fn edge_count_matches_expectation() {
+        let mu = TripartiteMu::new(100, 2.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let inst = mu.sample(&mut rng);
+        // 3 blocks of n² pairs each, p = 2/√100 = 0.2 ⇒ E[m] = 3·10000·0.2.
+        let expected = 3.0 * 10_000.0 * 0.2;
+        let got = inst.graph().edge_count() as f64;
+        assert!((got - expected).abs() < 6.0 * expected.sqrt());
+    }
+
+    #[test]
+    fn average_degree_is_theta_sqrt_n() {
+        let mu = TripartiteMu::new(144, 1.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let inst = mu.sample(&mut rng);
+        // Expected degree of every vertex: 2n·γ/√n = 2γ√n = 2·1.5·12 = 36.
+        let d = inst.graph().average_degree();
+        assert!(d > 18.0 && d < 54.0, "degree {d} not Θ(√n)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 1")]
+    fn rejects_probability_over_one() {
+        let _ = TripartiteMu::new(4, 3.0);
+    }
+
+    #[test]
+    fn no_edges_within_parts() {
+        let mu = TripartiteMu::new(20, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let inst = mu.sample(&mut rng);
+        for e in inst.graph().edges() {
+            assert_ne!(inst.part_of(e.u()), inst.part_of(e.v()));
+        }
+    }
+}

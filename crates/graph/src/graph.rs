@@ -1,0 +1,270 @@
+use crate::{Edge, VertexId};
+
+/// An immutable undirected simple graph in compressed sparse row form.
+///
+/// Adjacency lists are sorted, enabling `O(log d)` edge queries and linear
+/// neighborhood intersection (the workhorse of triangle detection).
+///
+/// Construct with [`crate::GraphBuilder`], which deduplicates edges.
+///
+/// # Example
+///
+/// ```
+/// use triad_graph::{Graph, Edge, VertexId};
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2)]);
+/// assert_eq!(g.degree(VertexId(1)), 2);
+/// assert!(g.has_edge(Edge::new(VertexId(2), VertexId(0))));
+/// assert_eq!(g.average_degree(), 1.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// CSR offsets: `adj[offsets[v]..offsets[v+1]]` are v's neighbors, sorted.
+    offsets: Vec<usize>,
+    adj: Vec<VertexId>,
+    /// All edges in canonical order, sorted.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Builds a graph directly from `(u, v)` index pairs. Convenience for
+    /// tests and examples; panics on out-of-range vertices or self-loops.
+    pub fn from_edges<I>(n: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut b = crate::GraphBuilder::new(n);
+        for (u, v) in pairs {
+            b.add_edge(Edge::new(VertexId(u), VertexId(v)));
+        }
+        b.build()
+    }
+
+    pub(crate) fn from_sorted_dedup_edges(n: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        let mut degrees = vec![0usize; n];
+        for e in &edges {
+            degrees[e.u().index()] += 1;
+            degrees[e.v().index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![VertexId(0); acc];
+        for e in &edges {
+            let (u, v) = e.endpoints();
+            adj[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+            adj[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { n, offsets, adj, edges }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Average degree `d = 2|E|/n`.
+    ///
+    /// This is the paper's density parameter; protocols are analyzed in
+    /// terms of it and the degree-oblivious protocol estimates it.
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// `O(log d)` membership test.
+    pub fn has_edge(&self, e: Edge) -> bool {
+        let (u, v) = e.endpoints();
+        if u.index() >= self.n || v.index() >= self.n {
+            return false;
+        }
+        // Probe the smaller adjacency list.
+        let (probe, target) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.neighbors(probe).binary_search(&target).is_ok()
+    }
+
+    /// All edges, in sorted canonical order.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.n as u32).map(VertexId)
+    }
+
+    /// Common neighbors of `u` and `v` (sorted), via linear list merge.
+    pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The subgraph induced by `keep` (same vertex-id space; edges with both
+    /// endpoints in `keep`). `keep` need not be sorted.
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> Graph {
+        let mut inset = vec![false; self.n];
+        for v in keep {
+            inset[v.index()] = true;
+        }
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| inset[e.u().index()] && inset[e.v().index()])
+            .collect();
+        Graph::from_sorted_dedup_edges(self.n, edges)
+    }
+
+    /// Union of this graph's edges with another edge set over the same
+    /// vertex-id space.
+    pub fn union_with(&self, extra: &[Edge]) -> Graph {
+        let mut all: Vec<Edge> = self.edges.clone();
+        all.extend_from_slice(extra);
+        all.sort_unstable();
+        all.dedup();
+        Graph::from_sorted_dedup_edges(self.n, all)
+    }
+
+    /// Graph with the given edges removed.
+    pub fn without_edges(&self, remove: &std::collections::HashSet<Edge>) -> Graph {
+        let edges: Vec<Edge> =
+            self.edges.iter().copied().filter(|e| !remove.contains(e)).collect();
+        Graph::from_sorted_dedup_edges(self.n, edges)
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(VertexId::from_index(v))).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = path4();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(VertexId(0)), 1);
+        assert_eq!(g.degree(VertexId(1)), 2);
+        assert_eq!(g.neighbors(VertexId(1)), &[VertexId(0), VertexId(2)]);
+        assert_eq!(g.average_degree(), 1.5);
+    }
+
+    #[test]
+    fn has_edge_both_orders_and_missing() {
+        let g = path4();
+        assert!(g.has_edge(Edge::new(VertexId(1), VertexId(0))));
+        assert!(!g.has_edge(Edge::new(VertexId(0), VertexId(3))));
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let g = Graph::from_edges(5, [(0, 2), (1, 2), (0, 3), (1, 3), (0, 4)]);
+        assert_eq!(
+            g.common_neighbors(VertexId(0), VertexId(1)),
+            vec![VertexId(2), VertexId(3)]
+        );
+        assert!(g.common_neighbors(VertexId(2), VertexId(3)).iter().eq([
+            VertexId(0),
+            VertexId(1)
+        ]
+        .iter()));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let h = g.induced_subgraph(&[VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(h.edge_count(), 2);
+        assert!(h.has_edge(Edge::new(VertexId(1), VertexId(2))));
+        assert!(!h.has_edge(Edge::new(VertexId(0), VertexId(1))));
+    }
+
+    #[test]
+    fn union_and_removal() {
+        let g = path4();
+        let g2 = g.union_with(&[Edge::new(VertexId(0), VertexId(3))]);
+        assert_eq!(g2.edge_count(), 4);
+        let mut rm = std::collections::HashSet::new();
+        rm.insert(Edge::new(VertexId(0), VertexId(1)));
+        let g3 = g2.without_edges(&rm);
+        assert_eq!(g3.edge_count(), 3);
+        assert!(!g3.has_edge(Edge::new(VertexId(0), VertexId(1))));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.max_degree(), 4);
+    }
+}

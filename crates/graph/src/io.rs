@@ -1,0 +1,159 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: a header line `n m`, then `m` lines `u v` (whitespace
+//! separated, 0-based vertex indices). Lines starting with `#` are
+//! comments. This is the interchange format of the `triad` CLI.
+
+use crate::{Edge, Graph, GraphBuilder, GraphError, VertexId};
+use std::io::{BufRead, Write};
+
+/// Writes `g` in edge-list format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{} {}", g.vertex_count(), g.edge_count())?;
+    for e in g.edges() {
+        writeln!(w, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+/// Reads a graph in edge-list format.
+///
+/// # Errors
+///
+/// Returns [`ReadError::Io`] on reader failures and
+/// [`ReadError::Parse`]/[`ReadError::Graph`] on malformed content.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ReadError> {
+    let mut lines = r.lines();
+    let header = loop {
+        match lines.next() {
+            None => return Err(ReadError::Parse("missing header line".into())),
+            Some(line) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                    break trimmed.to_string();
+                }
+            }
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let n: usize = parse(parts.next(), "vertex count")?;
+    let m: usize = parse(parts.next(), "edge count")?;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut seen = std::collections::HashSet::with_capacity(m);
+    let mut read_edges = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u32 = parse(parts.next(), "edge endpoint")?;
+        let v: u32 = parse(parts.next(), "edge endpoint")?;
+        if u == v {
+            return Err(ReadError::Parse(format!("self-loop {u}-{v}")));
+        }
+        let e = Edge::new(VertexId(u), VertexId(v));
+        if !seen.insert(e) {
+            // Duplicates would make the header count silently disagree
+            // with the loaded graph; reject them outright.
+            return Err(ReadError::Parse(format!("duplicate edge {e}")));
+        }
+        b.try_add_edge(e).map_err(ReadError::Graph)?;
+        read_edges += 1;
+    }
+    if read_edges != m {
+        return Err(ReadError::Parse(format!("header promised {m} edges, found {read_edges}")));
+    }
+    Ok(b.build())
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, ReadError> {
+    tok.ok_or_else(|| ReadError::Parse(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ReadError::Parse(format!("invalid {what}")))
+}
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The content is not valid edge-list format.
+    Parse(String),
+    /// The edges are inconsistent with the declared vertex count.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse(msg) => write!(f, "parse error: {msg}"),
+            ReadError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Graph(e) => Some(e),
+            ReadError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let text = "# a comment\n\n4 2\n0 1\n# another\n2 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_content() {
+        assert!(read_edge_list("".as_bytes()).is_err());
+        assert!(read_edge_list("4".as_bytes()).is_err()); // missing m
+        assert!(read_edge_list("4 1\n0 0\n".as_bytes()).is_err()); // self-loop
+        assert!(read_edge_list("4 2\n0 1\n".as_bytes()).is_err()); // count mismatch
+        assert!(read_edge_list("2 1\n0 5\n".as_bytes()).is_err()); // out of range
+        assert!(read_edge_list("2 1\nx y\n".as_bytes()).is_err()); // not numbers
+        // duplicate edges contradict the header's count
+        let err = read_edge_list("3 2\n0 1\n1 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = read_edge_list("4 2\n0 1\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("promised 2"));
+    }
+}

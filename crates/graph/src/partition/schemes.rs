@@ -1,0 +1,168 @@
+use super::Partition;
+use crate::{triangles, Graph};
+use rand::Rng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Assigns each edge to exactly one uniformly random player.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn random_disjoint<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Partition {
+    assert!(k >= 1, "need at least one player");
+    let mut shares = vec![Vec::new(); k];
+    for e in g.edges() {
+        shares[rng.gen_range(0..k)].push(*e);
+    }
+    Partition::new(shares)
+}
+
+/// Assigns each edge to one uniformly random owner, then additionally to
+/// every other player independently with probability `dup_p` — the
+/// duplicated-input regime the paper's building blocks must survive.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `dup_p` is outside `[0, 1]`.
+pub fn with_duplication<R: Rng + ?Sized>(
+    g: &Graph,
+    k: usize,
+    dup_p: f64,
+    rng: &mut R,
+) -> Partition {
+    assert!(k >= 1, "need at least one player");
+    assert!((0.0..=1.0).contains(&dup_p), "dup_p must be in [0,1]");
+    let mut shares = vec![Vec::new(); k];
+    for e in g.edges() {
+        let owner = rng.gen_range(0..k);
+        for (j, share) in shares.iter_mut().enumerate() {
+            if j == owner || rng.gen_bool(dup_p) {
+                share.push(*e);
+            }
+        }
+    }
+    Partition::new(shares)
+}
+
+/// Splits the three edges of each packed triangle across three distinct
+/// players (round-robin over triangles), so no single player's share
+/// contains a packed triangle; remaining edges are assigned uniformly.
+///
+/// With `k ≥ 3` and a graph whose triangles form a packing (e.g. the
+/// planted workloads), the result typically has no local triangle at all,
+/// forcing genuine communication.
+///
+/// # Panics
+///
+/// Panics if `k < 3`.
+pub fn adversarial_triangle_split<R: Rng + ?Sized>(
+    g: &Graph,
+    k: usize,
+    rng: &mut R,
+) -> Partition {
+    assert!(k >= 3, "adversarial split needs at least 3 players");
+    let packing = triangles::greedy_triangle_packing(g);
+    let mut assigned = std::collections::HashMap::new();
+    for (t_idx, t) in packing.iter().enumerate() {
+        for (e_idx, e) in t.edges().into_iter().enumerate() {
+            // players t_idx, t_idx+1, t_idx+2 (mod k): distinct since k ≥ 3.
+            assigned.insert(e, (t_idx + e_idx) % k);
+        }
+    }
+    let mut shares = vec![Vec::new(); k];
+    for e in g.edges() {
+        let j = assigned.get(e).copied().unwrap_or_else(|| rng.gen_range(0..k));
+        shares[j].push(*e);
+    }
+    Partition::new(shares)
+}
+
+/// Locality partition: every edge goes to the player owning its smaller
+/// endpoint (by hash), so each vertex's edges concentrate on few players.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn by_vertex(g: &Graph, k: usize) -> Partition {
+    assert!(k >= 1, "need at least one player");
+    let mut shares = vec![Vec::new(); k];
+    for e in g.edges() {
+        let mut h = DefaultHasher::new();
+        e.u().hash(&mut h);
+        shares[(h.finish() % k as u64) as usize].push(*e);
+    }
+    Partition::new(shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{far_graph, gnp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_graph() -> Graph {
+        let mut rng = ChaCha8Rng::seed_from_u64(100);
+        gnp(60, 0.15, &mut rng)
+    }
+
+    #[test]
+    fn random_disjoint_covers_and_is_disjoint() {
+        let g = sample_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let p = random_disjoint(&g, 4, &mut rng);
+        assert!(p.covers(&g));
+        assert!(p.is_disjoint());
+        assert_eq!(p.total_copies(), g.edge_count());
+    }
+
+    #[test]
+    fn duplication_covers_and_duplicates() {
+        let g = sample_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p = with_duplication(&g, 4, 0.5, &mut rng);
+        assert!(p.covers(&g));
+        assert!(p.total_copies() > g.edge_count(), "expected duplicated copies");
+        assert!(!p.is_disjoint());
+    }
+
+    #[test]
+    fn duplication_with_zero_prob_is_disjoint() {
+        let g = sample_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let p = with_duplication(&g, 3, 0.0, &mut rng);
+        assert!(p.covers(&g));
+        assert!(p.is_disjoint());
+    }
+
+    #[test]
+    fn adversarial_split_hides_planted_triangles() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = far_graph(90, 4.0, 0.2, &mut rng).unwrap();
+        let p = adversarial_triangle_split(&g, 3, &mut rng);
+        assert!(p.covers(&g));
+        // Every packed triangle's edges are on three different players, so
+        // the packing contributes no local triangle. Random leftover edges
+        // could in principle close one, but with this seed they do not.
+        assert!(!p.has_local_triangle(&g));
+    }
+
+    #[test]
+    fn by_vertex_covers() {
+        let g = sample_graph();
+        let p = by_vertex(&g, 5);
+        assert!(p.covers(&g));
+        assert!(p.is_disjoint());
+        // stability: same partition every time
+        assert_eq!(p, by_vertex(&g, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn adversarial_needs_three_players() {
+        let g = sample_graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let _ = adversarial_triangle_split(&g, 2, &mut rng);
+    }
+}

@@ -1,0 +1,297 @@
+//! Small-subgraph detection: the machinery behind generalizing the
+//! paper's simultaneous testers from triangle-freeness to `H`-freeness
+//! (its §5 future-work direction, and the [19] line of related work on
+//! testing `H`-freeness for small `H`).
+//!
+//! Finds (non-induced) copies of a small pattern `H` in a host graph by
+//! degree-ordered backtracking. Intended for patterns of up to ~6
+//! vertices — cliques and short cycles — which is the regime the
+//! distributed property-testing literature treats.
+
+use crate::{Edge, Graph, GraphBuilder, VertexId};
+
+/// A small pattern graph with convenience constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    graph: Graph,
+}
+
+impl Pattern {
+    /// Wraps an arbitrary (small) graph as a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern has more than 8 vertices (backtracking cost)
+    /// or any isolated vertex (a match would be meaningless).
+    pub fn new(graph: Graph) -> Self {
+        assert!(graph.vertex_count() <= 8, "patterns are limited to 8 vertices");
+        assert!(
+            graph.vertices().all(|v| graph.degree(v) > 0),
+            "pattern must have no isolated vertices"
+        );
+        Pattern { graph }
+    }
+
+    /// The triangle `K₃`.
+    pub fn triangle() -> Self {
+        Pattern::clique(3)
+    }
+
+    /// The complete graph `K_h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ h ≤ 8`.
+    pub fn clique(h: usize) -> Self {
+        assert!((2..=8).contains(&h), "clique size out of range");
+        let mut b = GraphBuilder::new(h);
+        for a in 0..h as u32 {
+            for c in (a + 1)..h as u32 {
+                b.add_edge(Edge::new(VertexId(a), VertexId(c)));
+            }
+        }
+        Pattern::new(b.build())
+    }
+
+    /// The cycle `C_h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `3 ≤ h ≤ 8`.
+    pub fn cycle(h: usize) -> Self {
+        assert!((3..=8).contains(&h), "cycle length out of range");
+        let mut b = GraphBuilder::new(h);
+        for i in 0..h as u32 {
+            b.add_edge(Edge::new(VertexId(i), VertexId((i + 1) % h as u32)));
+        }
+        Pattern::new(b.build())
+    }
+
+    /// Number of pattern vertices.
+    pub fn vertices(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of pattern edges.
+    pub fn edges(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The underlying pattern graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+/// Finds a (non-induced) copy of `h` in `g`: returns, for each pattern
+/// vertex `i`, the host vertex it maps to. `None` if `g` is `H`-free.
+pub fn find_copy(g: &Graph, h: &Pattern) -> Option<Vec<VertexId>> {
+    let hp = h.graph();
+    let order = matching_order(hp);
+    let mut assignment: Vec<Option<VertexId>> = vec![None; hp.vertex_count()];
+    if backtrack(g, hp, &order, 0, &mut assignment) {
+        Some(assignment.into_iter().map(|v| v.expect("complete assignment")).collect())
+    } else {
+        None
+    }
+}
+
+/// Returns `true` if `g` contains no copy of `h`.
+pub fn is_free_of(g: &Graph, h: &Pattern) -> bool {
+    find_copy(g, h).is_none()
+}
+
+/// Greedily packs vertex-disjoint copies of `h` (each copy's hosts are
+/// removed before searching for the next). The packing size lower-bounds
+/// the number of *edge* removals needed to make `g` `H`-free, since the
+/// copies are a fortiori edge-disjoint.
+pub fn greedy_copy_packing(g: &Graph, h: &Pattern) -> Vec<Vec<VertexId>> {
+    let mut current = g.clone();
+    let mut out = Vec::new();
+    while let Some(copy) = find_copy(&current, h) {
+        // Remove all edges incident to the copy's host vertices.
+        let hosts: std::collections::HashSet<VertexId> = copy.iter().copied().collect();
+        let remove: std::collections::HashSet<Edge> = current
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| hosts.contains(&e.u()) || hosts.contains(&e.v()))
+            .collect();
+        current = current.without_edges(&remove);
+        out.push(copy);
+    }
+    out
+}
+
+/// Pattern vertices ordered so each (after the first) touches an
+/// already-placed one — keeps the backtracking frontier connected.
+fn matching_order(hp: &Graph) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = Vec::new();
+    let mut placed = vec![false; hp.vertex_count()];
+    // Start from the max-degree pattern vertex.
+    let start = hp
+        .vertices()
+        .max_by_key(|v| hp.degree(*v))
+        .expect("pattern is non-empty");
+    order.push(start);
+    placed[start.index()] = true;
+    while order.len() < hp.vertex_count() {
+        let next = hp
+            .vertices()
+            .filter(|v| !placed[v.index()])
+            .max_by_key(|v| {
+                hp.neighbors(*v).iter().filter(|u| placed[u.index()]).count()
+            })
+            .expect("vertices remain");
+        placed[next.index()] = true;
+        order.push(next);
+    }
+    order
+}
+
+fn backtrack(
+    g: &Graph,
+    hp: &Graph,
+    order: &[VertexId],
+    depth: usize,
+    assignment: &mut Vec<Option<VertexId>>,
+) -> bool {
+    if depth == order.len() {
+        return true;
+    }
+    let pv = order[depth];
+    let needed_degree = hp.degree(pv);
+    // Candidate hosts: neighbors of an already-placed neighbor if one
+    // exists (connected frontier), else all vertices.
+    let anchored: Option<(VertexId, VertexId)> = hp
+        .neighbors(pv)
+        .iter()
+        .find_map(|u| assignment[u.index()].map(|host| (*u, host)));
+    let candidates: Vec<VertexId> = match anchored {
+        Some((_, host)) => g.neighbors(host).to_vec(),
+        None => g.vertices().collect(),
+    };
+    'cand: for cand in candidates {
+        if g.degree(cand) < needed_degree {
+            continue;
+        }
+        if assignment.iter().any(|a| *a == Some(cand)) {
+            continue;
+        }
+        // Every placed pattern-neighbor must be a host-neighbor.
+        for u in hp.neighbors(pv) {
+            if let Some(host) = assignment[u.index()] {
+                if cand == host || !g.has_edge(Edge::new(cand, host)) {
+                    continue 'cand;
+                }
+            }
+        }
+        assignment[pv.index()] = Some(cand);
+        if backtrack(g, hp, order, depth + 1, assignment) {
+            return true;
+        }
+        assignment[pv.index()] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles;
+
+    #[test]
+    fn pattern_constructors() {
+        assert_eq!(Pattern::triangle().edges(), 3);
+        assert_eq!(Pattern::clique(4).edges(), 6);
+        assert_eq!(Pattern::cycle(5).edges(), 5);
+        assert_eq!(Pattern::cycle(5).vertices(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn pattern_rejects_isolated_vertices() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let _ = Pattern::new(g);
+    }
+
+    #[test]
+    fn triangle_pattern_agrees_with_triangle_machinery() {
+        let with = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let without = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let t = Pattern::triangle();
+        assert_eq!(find_copy(&with, &t).is_some(), triangles::contains_triangle(&with));
+        assert_eq!(is_free_of(&without, &t), !triangles::contains_triangle(&without));
+    }
+
+    #[test]
+    fn finds_k4() {
+        let mut pairs = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        pairs.extend([(3, 4), (4, 5)]);
+        let g = Graph::from_edges(6, pairs);
+        let copy = find_copy(&g, &Pattern::clique(4)).expect("K4 present");
+        // Every pair in the copy must be a host edge.
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert!(g.has_edge(Edge::new(copy[i], copy[j])));
+            }
+        }
+        assert!(is_free_of(&g, &Pattern::clique(5)));
+    }
+
+    #[test]
+    fn finds_c5_but_not_in_tree() {
+        let c5 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        assert!(find_copy(&c5, &Pattern::cycle(5)).is_some());
+        // C5 contains no triangle and no C4 (non-induced C4 needs a chord).
+        assert!(is_free_of(&c5, &Pattern::triangle()));
+        assert!(is_free_of(&c5, &Pattern::cycle(4)));
+        let tree = Graph::from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]);
+        for h in [Pattern::triangle(), Pattern::cycle(4), Pattern::cycle(5)] {
+            assert!(is_free_of(&tree, &h));
+        }
+    }
+
+    #[test]
+    fn copy_mapping_is_injective_and_valid() {
+        let g = Graph::from_edges(7, [
+            (0, 1), (1, 2), (2, 3), (3, 0), // C4
+            (4, 5), (5, 6),
+        ]);
+        let copy = find_copy(&g, &Pattern::cycle(4)).expect("C4 present");
+        let uniq: std::collections::HashSet<_> = copy.iter().collect();
+        assert_eq!(uniq.len(), 4);
+        let hp = Pattern::cycle(4);
+        for e in hp.graph().edges() {
+            assert!(g.has_edge(Edge::new(copy[e.u().index()], copy[e.v().index()])));
+        }
+    }
+
+    #[test]
+    fn packing_counts_disjoint_copies() {
+        // Two vertex-disjoint C4s plus noise.
+        let g = Graph::from_edges(10, [
+            (0, 1), (1, 2), (2, 3), (3, 0),
+            (4, 5), (5, 6), (6, 7), (7, 4),
+            (8, 9),
+        ]);
+        let packing = greedy_copy_packing(&g, &Pattern::cycle(4));
+        assert_eq!(packing.len(), 2);
+        assert!(greedy_copy_packing(&g, &Pattern::clique(3)).is_empty());
+    }
+
+    #[test]
+    fn dense_host_search_terminates_quickly() {
+        // K8 contains every pattern up to 8 vertices.
+        let mut pairs = Vec::new();
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                pairs.push((a, b));
+            }
+        }
+        let g = Graph::from_edges(8, pairs);
+        for h in [Pattern::clique(5), Pattern::cycle(6), Pattern::clique(8)] {
+            assert!(find_copy(&g, &h).is_some());
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Triangle machinery: detection, enumeration, counting, triangle-vees
+//! (the paper's Definition 2) and edge-disjoint triangle packings.
+//!
+//! A *triangle-vee* is a pair of edges `{u,v}, {v,w}` sharing the source
+//! vertex `v` such that the closing edge `{u,w}` is also in the graph.
+//! The paper's unrestricted protocol reduces triangle finding to vee
+//! finding, because in the communication model any player holding the
+//! closing edge can announce it.
+
+use crate::{Edge, Graph, Triangle, VertexId};
+use std::collections::HashSet;
+
+/// A pair of edges sharing a source vertex (Definition 2 of the paper),
+/// which closes into a triangle if the third edge exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Vee {
+    source: VertexId,
+    left: VertexId,
+    right: VertexId,
+}
+
+impl Vee {
+    /// Creates a vee with `source` as the shared vertex and `left`, `right`
+    /// the outer endpoints (canonicalized so `left < right`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three vertices are not distinct.
+    pub fn new(source: VertexId, a: VertexId, b: VertexId) -> Self {
+        assert!(source != a && source != b && a != b, "vee vertices must be distinct");
+        let (left, right) = if a < b { (a, b) } else { (b, a) };
+        Vee { source, left, right }
+    }
+
+    /// Attempts to form a vee from two edges; `None` unless they share
+    /// exactly one endpoint.
+    pub fn from_edges(e1: Edge, e2: Edge) -> Option<Self> {
+        let s = e1.shared_endpoint(e2)?;
+        let a = e1.other(s).expect("shared endpoint must be on e1");
+        let b = e2.other(s).expect("shared endpoint must be on e2");
+        Some(Vee::new(s, a, b))
+    }
+
+    /// The shared (source) vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// The two arms of the vee.
+    pub fn arms(&self) -> [Edge; 2] {
+        [Edge::new(self.source, self.left), Edge::new(self.source, self.right)]
+    }
+
+    /// The edge that would close the vee into a triangle.
+    pub fn closing_edge(&self) -> Edge {
+        Edge::new(self.left, self.right)
+    }
+
+    /// Returns the closed triangle if the closing edge is in `g`
+    /// (a *triangle-vee* per Definition 2).
+    pub fn close_in(&self, g: &Graph) -> Option<Triangle> {
+        if g.has_edge(self.closing_edge()) {
+            Some(Triangle::new(self.source, self.left, self.right))
+        } else {
+            None
+        }
+    }
+}
+
+/// Returns `true` if `g` contains at least one triangle.
+///
+/// Runs the standard edge-iterator intersection algorithm, probing each
+/// edge's smaller-degree endpoint; worst case `O(m^{3/2})`.
+pub fn contains_triangle(g: &Graph) -> bool {
+    find_triangle(g).is_some()
+}
+
+/// Returns some triangle of `g`, or `None` if triangle-free.
+pub fn find_triangle(g: &Graph) -> Option<Triangle> {
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        if let Some(w) = first_common_neighbor(g, u, v) {
+            return Some(Triangle::new(u, v, w));
+        }
+    }
+    None
+}
+
+fn first_common_neighbor(g: &Graph, u: VertexId, v: VertexId) -> Option<VertexId> {
+    let (a, b) = (g.neighbors(u), g.neighbors(v));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return Some(a[i]),
+        }
+    }
+    None
+}
+
+/// Enumerates all triangles of `g`, each exactly once.
+pub fn enumerate_triangles(g: &Graph) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        // Count each triangle once: only take w > v > u (edge is canonical
+        // with u < v, so requiring w > v picks each triangle at its
+        // lexicographically smallest edge).
+        for w in g.common_neighbors(u, v) {
+            if w > v {
+                out.push(Triangle::new(u, v, w));
+            }
+        }
+    }
+    out
+}
+
+/// Counts triangles of `g` without materializing them.
+pub fn count_triangles(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        count += g.common_neighbors(u, v).iter().filter(|w| **w > v).count() as u64;
+    }
+    count
+}
+
+/// Returns `true` if edge `e` participates in some triangle of `g`
+/// (a *triangle edge*, Definition 3). This is the object of the paper's
+/// lower-bound task `T^ε_{n,d}`.
+pub fn is_triangle_edge(g: &Graph, e: Edge) -> bool {
+    if !g.has_edge(e) {
+        return false;
+    }
+    let (u, v) = e.endpoints();
+    first_common_neighbor(g, u, v).is_some()
+}
+
+/// All edges of `g` that participate in at least one triangle.
+pub fn triangle_edges(g: &Graph) -> Vec<Edge> {
+    g.edges().iter().copied().filter(|e| is_triangle_edge(g, *e)).collect()
+}
+
+/// Greedily packs edge-disjoint triangles; the size of the packing is a
+/// lower bound on the number of edges that must be removed to make `g`
+/// triangle-free (removing one edge kills at most one packed triangle).
+///
+/// The paper's ε-far analysis works with exactly such families ("at least
+/// εnd disjoint triangle-vees"); generators use this to certify farness.
+pub fn greedy_triangle_packing(g: &Graph) -> Vec<Triangle> {
+    let mut used: HashSet<Edge> = HashSet::new();
+    let mut packing = Vec::new();
+    for e in g.edges() {
+        if used.contains(e) {
+            continue;
+        }
+        let (u, v) = e.endpoints();
+        let mut found = None;
+        for w in g.common_neighbors(u, v) {
+            let e2 = Edge::new(u, w);
+            let e3 = Edge::new(v, w);
+            if !used.contains(&e2) && !used.contains(&e3) {
+                found = Some(w);
+                break;
+            }
+        }
+        if let Some(w) = found {
+            used.insert(*e);
+            used.insert(Edge::new(u, w));
+            used.insert(Edge::new(v, w));
+            packing.push(Triangle::new(u, v, w));
+        }
+    }
+    packing
+}
+
+/// Counts, for a given vertex `v`, a maximal set of edge-disjoint
+/// triangle-vees sourced at `v` (greedy matching on v's triangle-closing
+/// neighbor pairs). Used to decide whether `v` is a *full vertex*
+/// (Definition 5).
+pub fn disjoint_vees_at(g: &Graph, v: VertexId) -> usize {
+    let nbrs = g.neighbors(v);
+    // Build the "link graph": neighbors of v, connected when they share an
+    // edge in g. A set of edge-disjoint vees sourced at v is a matching in
+    // the link graph; greedily match.
+    let mut used = vec![false; nbrs.len()];
+    let mut count = 0usize;
+    for i in 0..nbrs.len() {
+        if used[i] {
+            continue;
+        }
+        for j in (i + 1)..nbrs.len() {
+            if used[j] {
+                continue;
+            }
+            if g.has_edge(Edge::new(nbrs[i], nbrs[j])) {
+                used[i] = true;
+                used[j] = true;
+                count += 1;
+                break;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn vee_construction_and_closing() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let vee = Vee::from_edges(
+            Edge::new(VertexId(0), VertexId(1)),
+            Edge::new(VertexId(1), VertexId(2)),
+        )
+        .unwrap();
+        assert_eq!(vee.source(), VertexId(1));
+        assert_eq!(vee.closing_edge(), Edge::new(VertexId(0), VertexId(2)));
+        assert_eq!(
+            vee.close_in(&g),
+            Some(Triangle::new(VertexId(0), VertexId(1), VertexId(2)))
+        );
+    }
+
+    #[test]
+    fn vee_from_disjoint_edges_is_none() {
+        assert!(Vee::from_edges(
+            Edge::new(VertexId(0), VertexId(1)),
+            Edge::new(VertexId(2), VertexId(3))
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn vee_does_not_close_without_edge() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let vee = Vee::new(VertexId(1), VertexId(0), VertexId(2));
+        assert_eq!(vee.close_in(&g), None);
+    }
+
+    #[test]
+    fn detect_path_is_triangle_free() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(!contains_triangle(&g));
+        assert_eq!(count_triangles(&g), 0);
+        assert!(enumerate_triangles(&g).is_empty());
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let g = k4();
+        assert!(contains_triangle(&g));
+        assert_eq!(count_triangles(&g), 4);
+        let ts = enumerate_triangles(&g);
+        assert_eq!(ts.len(), 4);
+        let uniq: HashSet<_> = ts.iter().collect();
+        assert_eq!(uniq.len(), 4);
+        for t in &ts {
+            assert!(t.exists_in(&g));
+        }
+    }
+
+    #[test]
+    fn find_triangle_returns_valid_triangle() {
+        let g = k4();
+        let t = find_triangle(&g).unwrap();
+        assert!(t.exists_in(&g));
+    }
+
+    #[test]
+    fn triangle_edge_detection() {
+        // triangle 0-1-2 plus pendant edge 2-3
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert!(is_triangle_edge(&g, Edge::new(VertexId(0), VertexId(1))));
+        assert!(!is_triangle_edge(&g, Edge::new(VertexId(2), VertexId(3))));
+        // edges not in the graph are never triangle edges
+        assert!(!is_triangle_edge(&g, Edge::new(VertexId(0), VertexId(3))));
+        assert_eq!(triangle_edges(&g).len(), 3);
+    }
+
+    #[test]
+    fn packing_on_k4_is_one_triangle() {
+        // K4 has 4 triangles but any two share an edge, so max packing = 1.
+        let g = k4();
+        let p = greedy_triangle_packing(&g);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn packing_on_disjoint_triangles_is_all() {
+        let g = Graph::from_edges(9, [
+            (0, 1), (1, 2), (0, 2),
+            (3, 4), (4, 5), (3, 5),
+            (6, 7), (7, 8), (6, 8),
+        ]);
+        assert_eq!(greedy_triangle_packing(&g).len(), 3);
+    }
+
+    #[test]
+    fn packing_triangles_are_edge_disjoint_and_present() {
+        let g = k4().union_with(&[]);
+        let p = greedy_triangle_packing(&g);
+        let mut seen = HashSet::new();
+        for t in &p {
+            assert!(t.exists_in(&g));
+            for e in t.edges() {
+                assert!(seen.insert(e), "packing must be edge-disjoint");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_vees_at_hub() {
+        // Star center 0 with leaves 1..=4, plus edges (1,2) and (3,4):
+        // two edge-disjoint vees at 0.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)]);
+        assert_eq!(disjoint_vees_at(&g, VertexId(0)), 2);
+        // vertex 1 has neighbors {0, 2} which are adjacent: one vee.
+        assert_eq!(disjoint_vees_at(&g, VertexId(1)), 1);
+    }
+
+    #[test]
+    fn disjoint_vees_zero_without_triangles() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(disjoint_vees_at(&g, VertexId(0)), 0);
+    }
+}

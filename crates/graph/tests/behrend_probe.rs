@@ -1,0 +1,9 @@
+//! Size probe for the Behrend construction across scales.
+#[test]
+fn probe_sizes() {
+    for m in [64usize, 256, 1024, 4096, 16384] {
+        let s = triad_graph::generators::behrend_set(m);
+        println!("m={m} |S|={} sqrt={:.1}", s.len(), (m as f64).sqrt());
+        assert!(triad_graph::generators::behrend::is_three_ap_free(&s));
+    }
+}

@@ -1,0 +1,231 @@
+//! The communication side of the §4.4 Boolean-Matching reduction
+//! (Theorem 4.16): constant-degree triangle testing needs `Ω(√n)` bits
+//! one-way.
+//!
+//! The graph construction lives in
+//! [`triad_graph::generators::bhm`]; this module supplies the matching
+//! communication experiment: the natural one-way *index sketch* protocol
+//! for `BM_n`, whose success threshold sits at `Θ(√n)` revealed indices —
+//! the birthday-paradox witness that the bound is tight for this family.
+
+use rand::Rng;
+use triad_comm::bits::{bits_for_count, bits_per_vertex};
+use triad_graph::generators::{BmInstance, BmSide};
+
+/// Bob's verdict on one sketch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BmGuess {
+    /// Bob resolved some matched pair and read the answer off it.
+    Informed(BmSide),
+    /// No pair was fully revealed; Bob must guess blind.
+    Blind,
+}
+
+/// One run of the index-sketch protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BmAttempt {
+    /// Bob's verdict.
+    pub guess: BmGuess,
+    /// Bits Alice sent (`budget` × (index + bit)).
+    pub bits: u64,
+}
+
+/// Alice reveals `budget` uniformly random coordinates of `x` (index +
+/// value); Bob scans his matching for a pair with both endpoints
+/// revealed and, if found, reads `(Mx ⊕ w)_j` off it — which determines
+/// the promise side exactly.
+pub fn index_sketch_attempt<R: Rng + ?Sized>(
+    inst: &BmInstance,
+    budget: usize,
+    rng: &mut R,
+) -> BmAttempt {
+    let len = inst.x().len();
+    let budget = budget.min(len);
+    let mut revealed = vec![false; len];
+    // Uniform subset of `budget` indices (partial Fisher–Yates).
+    let mut idx: Vec<usize> = (0..len).collect();
+    for t in 0..budget {
+        let swap = rng.gen_range(t..len);
+        idx.swap(t, swap);
+        revealed[idx[t]] = true;
+    }
+    let bits = budget as u64 * (bits_per_vertex(len) + 1);
+    for (j, &(a, b)) in inst.matching().iter().enumerate() {
+        if revealed[a] && revealed[b] {
+            let bit = inst.x()[a] ^ inst.x()[b] ^ inst.w()[j];
+            let side = if bit { BmSide::AllOne } else { BmSide::AllZero };
+            return BmAttempt { guess: BmGuess::Informed(side), bits };
+        }
+    }
+    BmAttempt { guess: BmGuess::Blind, bits }
+}
+
+/// A point in the budget sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BmSweepPoint {
+    /// Revealed coordinates per trial.
+    pub budget: usize,
+    /// Mean bits sent.
+    pub mean_bits: f64,
+    /// Fraction of trials where Bob was informed (exact answer).
+    pub informed_rate: f64,
+    /// Overall success probability (informed ⇒ correct; blind ⇒ 1/2).
+    pub success_rate: f64,
+}
+
+/// Sweeps the index-sketch protocol over budgets, fresh instance per
+/// trial (alternating promise sides).
+pub fn sweep<R: Rng + ?Sized>(
+    n_pairs: usize,
+    budgets: &[usize],
+    trials: usize,
+    rng: &mut R,
+) -> Vec<BmSweepPoint> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            let mut informed = 0usize;
+            let mut correct = 0.0f64;
+            let mut bits = 0u64;
+            for t in 0..trials {
+                let side = if t % 2 == 0 { BmSide::AllZero } else { BmSide::AllOne };
+                let inst = BmInstance::sample(n_pairs, side, rng);
+                let attempt = index_sketch_attempt(&inst, budget, rng);
+                bits += attempt.bits;
+                match attempt.guess {
+                    BmGuess::Informed(answer) => {
+                        informed += 1;
+                        assert_eq!(answer, side, "informed answers are exact");
+                        correct += 1.0;
+                    }
+                    BmGuess::Blind => correct += 0.5,
+                }
+            }
+            BmSweepPoint {
+                budget,
+                mean_bits: bits as f64 / trials.max(1) as f64,
+                informed_rate: informed as f64 / trials.max(1) as f64,
+                success_rate: correct / trials.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Theorem 4.16 executed in the *reduction direction*: solve `BM_n` by
+/// building the reduction graph and running a triangle-freeness tester
+/// on it with Alice and Bob as the two players. `AllZero` instances are
+/// 1-far (n disjoint triangles) so the tester finds a witness w.h.p.;
+/// `AllOne` instances are triangle-free so it never does — hence any
+/// tester cheaper than the `Ω(√n)` BM bound would contradict it.
+///
+/// Returns the guessed side and the tester's communication bill.
+pub fn solve_bm_via_triangle_tester(
+    inst: &BmInstance,
+    seed: u64,
+) -> (BmSide, triad_comm::CommStats) {
+    use triad_graph::partition::Partition;
+    use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+    let g = inst.reduction_graph();
+    let parts = Partition::new(vec![inst.alice_edges(), inst.bob_edges()]);
+    // Constant average degree (< 2); the low-degree tester applies.
+    let tester = SimultaneousTester::new(
+        Tuning::practical(0.5),
+        SimProtocolKind::Low { avg_degree: g.average_degree().max(1.0) },
+    );
+    let run = tester.run(&g, &parts, seed).expect("reduction inputs are valid");
+    let side = if run.outcome.found_triangle() { BmSide::AllZero } else { BmSide::AllOne };
+    (side, run.stats)
+}
+
+/// The theoretical informed-rate at budget `s` over `n` pairs:
+/// `1 − (1 − (s/2n)²)ⁿ ≈ 1 − e^{−s²/4n}` — the birthday-paradox curve
+/// whose knee sits at `s = Θ(√n)`.
+pub fn predicted_informed_rate(n_pairs: usize, budget: usize) -> f64 {
+    let p_pair = (budget as f64 / (2.0 * n_pairs as f64)).min(1.0).powi(2);
+    1.0 - (1.0 - p_pair).powi(n_pairs as i32)
+}
+
+/// Bit cost of revealing `budget` coordinates at `n` pairs.
+pub fn budget_bits(n_pairs: usize, budget: usize) -> u64 {
+    budget as u64 * (bits_per_vertex(2 * n_pairs) + 1) + bits_for_count(budget as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn full_reveal_is_always_informed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = BmInstance::sample(16, BmSide::AllZero, &mut rng);
+        let a = index_sketch_attempt(&inst, 32, &mut rng);
+        assert_eq!(a.guess, BmGuess::Informed(BmSide::AllZero));
+    }
+
+    #[test]
+    fn zero_budget_is_blind() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = BmInstance::sample(16, BmSide::AllOne, &mut rng);
+        let a = index_sketch_attempt(&inst, 0, &mut rng);
+        assert_eq!(a.guess, BmGuess::Blind);
+        assert_eq!(a.bits, 0);
+    }
+
+    #[test]
+    fn success_tracks_birthday_threshold() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 256;
+        // Budgets well below and well above 2√n = 32.
+        let pts = sweep(n, &[4, 128], 60, &mut rng);
+        assert!(pts[0].informed_rate < 0.3, "tiny budget: {}", pts[0].informed_rate);
+        assert!(pts[1].informed_rate > 0.9, "huge budget: {}", pts[1].informed_rate);
+        assert!(pts[0].success_rate < pts[1].success_rate);
+    }
+
+    #[test]
+    fn predicted_rate_matches_measurement() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 128;
+        let budget = 30;
+        let pts = sweep(n, &[budget], 200, &mut rng);
+        let predicted = predicted_informed_rate(n, budget);
+        assert!(
+            (pts[0].informed_rate - predicted).abs() < 0.15,
+            "measured {} vs predicted {predicted}",
+            pts[0].informed_rate
+        );
+    }
+
+    #[test]
+    fn triangle_tester_solves_bm() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 64;
+        // AllOne side: never wrong (one-sided tester on a triangle-free
+        // graph cannot fabricate a witness).
+        for t in 0..10u64 {
+            let inst = BmInstance::sample(n, BmSide::AllOne, &mut rng);
+            let (side, _) = solve_bm_via_triangle_tester(&inst, t);
+            assert_eq!(side, BmSide::AllOne);
+        }
+        // AllZero side: 1-far, so the tester should find a triangle in
+        // most runs.
+        let mut hits = 0;
+        for t in 0..10u64 {
+            let inst = BmInstance::sample(n, BmSide::AllZero, &mut rng);
+            let (side, stats) = solve_bm_via_triangle_tester(&inst, t);
+            assert!(stats.total_bits > 0);
+            if side == BmSide::AllZero {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 7, "AllZero detected only {hits}/10 times");
+    }
+
+    #[test]
+    fn budget_bits_scale() {
+        assert!(budget_bits(256, 32) > budget_bits(256, 16));
+        assert_eq!(budget_bits(256, 0), 1);
+    }
+}

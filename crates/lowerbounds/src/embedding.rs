@@ -1,0 +1,100 @@
+//! Lemma 4.17 applied to μ: hard instances at any average degree
+//! `d' ≤ √n`.
+//!
+//! The μ distribution lives at degree `Θ(√n)`. To probe lower densities,
+//! embed a μ core on `3q` vertices (degree `2γ√q`) into `n` total
+//! vertices by padding with isolated vertices; the distance to
+//! triangle-freeness is untouched and the average degree scales to
+//! `2γ√q · 3q/n`, so choosing `q = (d'·n/(6γ))^{2/3}` hits the target.
+
+use rand::Rng;
+use triad_graph::generators::{pad_with_isolated_vertices, MuInstance, TripartiteMu};
+use triad_graph::{Edge, Graph, GraphError};
+
+/// A degree-embedded hard instance.
+#[derive(Debug, Clone)]
+pub struct EmbeddedMu {
+    /// The μ core (on vertices `0..3q`).
+    pub core: MuInstance,
+    /// The padded graph on `n` vertices.
+    pub padded: Graph,
+    /// Three-player shares in the padded id space (ids are unchanged by
+    /// padding, so these are the core's blocks verbatim).
+    pub shares: Vec<Vec<Edge>>,
+}
+
+/// The core part size `q` for target degree `d'` at `n` vertices.
+pub fn core_part_size(n: usize, target_degree: f64, gamma: f64) -> usize {
+    ((target_degree * n as f64 / (6.0 * gamma)).powf(2.0 / 3.0)).round().max(4.0) as usize
+}
+
+/// Builds an embedded hard instance of average degree ≈ `target_degree`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameters`] if the core would not fit
+/// (`3q > n`), which happens when `target_degree` exceeds `Θ(√n)`.
+pub fn embedded_mu<R: Rng + ?Sized>(
+    n: usize,
+    target_degree: f64,
+    gamma: f64,
+    rng: &mut R,
+) -> Result<EmbeddedMu, GraphError> {
+    let q = core_part_size(n, target_degree, gamma);
+    if 3 * q > n {
+        return Err(GraphError::InvalidParameters(format!(
+            "core 3q = {} exceeds n = {n}; target degree too high for μ embedding",
+            3 * q
+        )));
+    }
+    let core = TripartiteMu::new(q, gamma).sample(rng);
+    let padded = pad_with_isolated_vertices(core.graph(), n)?;
+    let shares = core.player_inputs().to_vec();
+    Ok(EmbeddedMu { core, padded, shares })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use triad_graph::distance;
+
+    #[test]
+    fn hits_target_degree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 3000;
+        let target = 4.0;
+        let emb = embedded_mu(n, target, 1.0, &mut rng).unwrap();
+        let d = emb.padded.average_degree();
+        assert!(
+            (d - target).abs() / target < 0.35,
+            "padded degree {d} vs target {target}"
+        );
+        assert_eq!(emb.padded.vertex_count(), n);
+    }
+
+    #[test]
+    fn distance_is_preserved_by_padding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let emb = embedded_mu(2000, 3.0, 1.2, &mut rng).unwrap();
+        let core_bounds = distance::distance_bounds(emb.core.graph());
+        let pad_bounds = distance::distance_bounds(&emb.padded);
+        assert_eq!(core_bounds, pad_bounds);
+    }
+
+    #[test]
+    fn rejects_overdense_targets() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // target ≈ n ≫ √n: impossible for a μ embedding.
+        assert!(embedded_mu(300, 250.0, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shares_cover_padded_graph() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let emb = embedded_mu(1500, 3.0, 1.0, &mut rng).unwrap();
+        let total: usize = emb.shares.iter().map(Vec::len).sum();
+        assert_eq!(total, emb.padded.edge_count());
+    }
+}

@@ -1,0 +1,36 @@
+//! # triad-lowerbounds
+//!
+//! Executable artifacts for §4 of *"On the Multiparty Communication
+//! Complexity of Testing Triangle-Freeness"* (PODC 2017).
+//!
+//! Lower bounds cannot be "run", but everything they are built from can:
+//!
+//! * [`mu`] — the hard tripartite distribution μ and empirical
+//!   verification of Lemma 4.5 (a sample is Ω(1)-far w.p. ≥ 1/2),
+//! * [`triangle_edge`] — the triangle-edge-finding task `T^ε_{n,d}` and
+//!   its verifier,
+//! * [`adversary`] — concrete budget-limited protocols for the task whose
+//!   success collapses below a budget threshold; sweeping budgets gives
+//!   empirical curves to set against the Ω((nd)^{1/3}) / Ω((nd)^{1/6})
+//!   bounds,
+//! * [`symmetrization`] — the §4.3 lift from k-player simultaneous
+//!   protocols to 3-player one-way protocols, executable and
+//!   cost-accounted (Theorem 4.15's `2/k` factor),
+//! * [`bhm`] — the §4.4 Boolean-Matching reduction and a one-way sketch
+//!   protocol exhibiting the `Θ(√n)` threshold for `d = Θ(1)`,
+//! * [`embedding`] — Lemma 4.17's degree embedding applied to μ,
+//! * [`info`] — the information-theory toolkit (entropy, KL divergence,
+//!   Lemma 4.3's Bernoulli bound, exact transcript-information accounting
+//!   for small protocols, superadditivity checks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod bhm;
+pub mod embedding;
+pub mod info;
+pub mod mu;
+pub mod streaming;
+pub mod symmetrization;
+pub mod triangle_edge;

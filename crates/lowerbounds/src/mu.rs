@@ -1,0 +1,154 @@
+//! The hard distribution μ (§4.2.1) and empirical Lemma 4.5.
+
+use rand::Rng;
+use triad_graph::generators::{MuInstance, TripartiteMu};
+use triad_graph::{distance, triangles};
+
+/// Aggregate statistics over samples of μ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MuFarnessReport {
+    /// Number of instances sampled.
+    pub trials: usize,
+    /// Fraction of instances certified ε-far by triangle packing.
+    pub far_fraction: f64,
+    /// Mean packing size (edge-disjoint triangles).
+    pub mean_packing: f64,
+    /// Mean edge count.
+    pub mean_edges: f64,
+    /// The ε used for certification.
+    pub epsilon: f64,
+}
+
+/// Samples μ `trials` times and reports how often the instance is
+/// *certifiably* ε-far from triangle-free.
+///
+/// Lemma 4.5 promises, for sufficiently small γ, constant farness with
+/// probability ≥ 1/2; the packing certificate makes the check one-sided
+/// (reported instances are genuinely far).
+pub fn verify_farness<R: Rng + ?Sized>(
+    mu: &TripartiteMu,
+    epsilon: f64,
+    trials: usize,
+    rng: &mut R,
+) -> MuFarnessReport {
+    let mut far = 0usize;
+    let mut packing_sum = 0usize;
+    let mut edge_sum = 0usize;
+    for _ in 0..trials {
+        let inst = mu.sample(rng);
+        let g = inst.graph();
+        let packing = triangles::greedy_triangle_packing(g).len();
+        packing_sum += packing;
+        edge_sum += g.edge_count();
+        if g.edge_count() > 0 && packing as f64 >= epsilon * g.edge_count() as f64 {
+            far += 1;
+        }
+    }
+    MuFarnessReport {
+        trials,
+        far_fraction: far as f64 / trials.max(1) as f64,
+        mean_packing: packing_sum as f64 / trials.max(1) as f64,
+        mean_edges: edge_sum as f64 / trials.max(1) as f64,
+        epsilon,
+    }
+}
+
+/// The three players' shares of a μ instance, in the lower bound's
+/// arrangement (Alice: `U×V₁`, Bob: `U×V₂`, Charlie: `V₁×V₂`).
+pub fn three_player_shares(inst: &MuInstance) -> Vec<Vec<triad_graph::Edge>> {
+    inst.player_inputs().to_vec()
+}
+
+/// Fraction of Charlie's edges that are triangle edges — the a-priori
+/// marginal the paper calls "small constant": each `V₁×V₂` edge closes a
+/// triangle with probability `≈ 1 − (1 − γ²/n)ⁿ ≈ 1 − e^{−γ²}`.
+pub fn charlie_triangle_edge_fraction(inst: &MuInstance) -> f64 {
+    let g = inst.graph();
+    let charlie = inst.charlie_edges();
+    if charlie.is_empty() {
+        return 0.0;
+    }
+    let hits = charlie.iter().filter(|e| triangles::is_triangle_edge(g, **e)).count();
+    hits as f64 / charlie.len() as f64
+}
+
+/// Convenience: is the instance certifiably far / triangle-free?
+pub fn classify(inst: &MuInstance, epsilon: f64) -> MuClass {
+    let g = inst.graph();
+    if distance::is_triangle_free(g) {
+        MuClass::TriangleFree
+    } else if distance::is_certifiably_far(g, epsilon) {
+        MuClass::CertifiablyFar
+    } else {
+        MuClass::Intermediate
+    }
+}
+
+/// Trichotomy of a μ sample with respect to the promise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuClass {
+    /// No triangle at all.
+    TriangleFree,
+    /// Certified ε-far via packing.
+    CertifiablyFar,
+    /// Has triangles but the certificate falls short of ε·|E|.
+    Intermediate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn lemma_4_5_constant_farness() {
+        // γ = 1.2, parts of 64: packing should certify Ω(1)-farness in
+        // well over half the samples at a small ε.
+        let mu = TripartiteMu::new(64, 1.2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = verify_farness(&mu, 0.05, 30, &mut rng);
+        assert!(
+            report.far_fraction >= 0.5,
+            "far fraction {} below Lemma 4.5's 1/2",
+            report.far_fraction
+        );
+        assert!(report.mean_packing > 0.0);
+        // Mean edges ≈ 3·n²·γ/√n = 3γ·n^{3/2} = 3·1.2·512 ≈ 1843.
+        assert!((report.mean_edges - 1843.0).abs() < 300.0, "{}", report.mean_edges);
+    }
+
+    #[test]
+    fn tiny_gamma_often_triangle_free() {
+        let mu = TripartiteMu::new(16, 0.05);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut free = 0;
+        for _ in 0..20 {
+            if classify(&mu.sample(&mut rng), 0.1) == MuClass::TriangleFree {
+                free += 1;
+            }
+        }
+        assert!(free >= 15, "nearly-empty graphs should be triangle-free ({free}/20)");
+    }
+
+    #[test]
+    fn charlie_marginal_is_small_constant() {
+        let mu = TripartiteMu::new(100, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inst = mu.sample(&mut rng);
+        let frac = charlie_triangle_edge_fraction(&inst);
+        // 1 − e^{−γ²} ≈ 0.63 at γ = 1; allow wide tolerance.
+        assert!(frac > 0.3 && frac < 0.9, "marginal {frac}");
+    }
+
+    #[test]
+    fn shares_cover_graph() {
+        let mu = TripartiteMu::new(32, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let inst = mu.sample(&mut rng);
+        let shares = three_player_shares(&inst);
+        assert_eq!(shares.len(), 3);
+        let total: usize = shares.iter().map(Vec::len).sum();
+        assert_eq!(total, inst.graph().edge_count());
+    }
+}

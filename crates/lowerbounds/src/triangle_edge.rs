@@ -1,0 +1,115 @@
+//! The triangle-edge-finding task `T^ε_{n,d}` (Theorem 4.1).
+//!
+//! Players must output an edge of the input graph that participates in a
+//! triangle. This is weaker than finding a whole triangle — which is why
+//! hardness of this task is *evidence* for hardness of testing — and the
+//! paper proves it requires `Ω(k·(nd)^{1/6})` bits simultaneously and
+//! `Ω((nd)^{1/3})` for three players.
+
+use triad_comm::CommStats;
+use triad_graph::{triangles, Edge, Graph};
+
+/// One attempt at the task: the protocol's output edge plus its cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskAttempt {
+    /// The edge the protocol output, if any.
+    pub output: Option<Edge>,
+    /// Communication spent.
+    pub stats: CommStats,
+}
+
+/// Verdict of the verifier on one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskVerdict {
+    /// The output edge exists and lies in a triangle — success.
+    Correct,
+    /// An edge was output but it is not a triangle edge (or not an edge).
+    WrongEdge,
+    /// The protocol declined to answer.
+    NoOutput,
+}
+
+/// Checks an attempt against the ground-truth graph.
+pub fn verify(g: &Graph, attempt: &TaskAttempt) -> TaskVerdict {
+    match attempt.output {
+        None => TaskVerdict::NoOutput,
+        Some(e) => {
+            if triangles::is_triangle_edge(g, e) {
+                TaskVerdict::Correct
+            } else {
+                TaskVerdict::WrongEdge
+            }
+        }
+    }
+}
+
+/// Success-rate summary of a budget sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The per-player budget, in edges.
+    pub budget_edges: usize,
+    /// Mean bits actually spent.
+    pub mean_bits: f64,
+    /// Fraction of trials verified [`TaskVerdict::Correct`].
+    pub success_rate: f64,
+    /// Fraction of trials that output a wrong edge.
+    pub error_rate: f64,
+}
+
+/// Aggregates verdicts into a sweep point.
+pub fn summarize(budget_edges: usize, results: &[(TaskVerdict, u64)]) -> SweepPoint {
+    let n = results.len().max(1) as f64;
+    let ok = results.iter().filter(|(v, _)| *v == TaskVerdict::Correct).count() as f64;
+    let bad = results.iter().filter(|(v, _)| *v == TaskVerdict::WrongEdge).count() as f64;
+    let bits: u64 = results.iter().map(|(_, b)| *b).sum();
+    SweepPoint {
+        budget_edges,
+        mean_bits: bits as f64 / n,
+        success_rate: ok / n,
+        error_rate: bad / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_graph::VertexId;
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    #[test]
+    fn verifier_distinguishes_cases() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let stats = CommStats::default();
+        assert_eq!(
+            verify(&g, &TaskAttempt { output: Some(e(0, 1)), stats }),
+            TaskVerdict::Correct
+        );
+        assert_eq!(
+            verify(&g, &TaskAttempt { output: Some(e(2, 3)), stats }),
+            TaskVerdict::WrongEdge
+        );
+        assert_eq!(
+            verify(&g, &TaskAttempt { output: Some(e(0, 3)), stats }),
+            TaskVerdict::WrongEdge
+        );
+        assert_eq!(verify(&g, &TaskAttempt { output: None, stats }), TaskVerdict::NoOutput);
+    }
+
+    #[test]
+    fn summary_rates() {
+        let rs = vec![
+            (TaskVerdict::Correct, 100),
+            (TaskVerdict::Correct, 120),
+            (TaskVerdict::WrongEdge, 80),
+            (TaskVerdict::NoOutput, 60),
+        ];
+        let p = summarize(32, &rs);
+        assert_eq!(p.budget_edges, 32);
+        assert!((p.success_rate - 0.5).abs() < 1e-12);
+        assert!((p.error_rate - 0.25).abs() < 1e-12);
+        assert!((p.mean_bits - 90.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! One-sided error amplification.
+//!
+//! Every tester in this crate has one-sided error: a witness is always
+//! real, and only the *miss* probability is bounded by δ. Repetition
+//! with independent public coins therefore multiplies the miss
+//! probability: `r` runs drive it to `δ^r`, at `r×` the communication.
+//! (This is the cheap direction of amplification — no majority vote
+//! needed, the first witness wins.)
+
+use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
+use triad_graph::partition::Partition;
+use triad_graph::Graph;
+
+/// Anything that can run once over a partitioned input — implemented by
+/// both tester families, so amplification is written once.
+pub trait Repeatable {
+    /// One run with the given public seed.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface their own [`ProtocolError`]s.
+    fn run_once(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        seed: u64,
+    ) -> Result<ProtocolRun, ProtocolError>;
+}
+
+impl Repeatable for crate::UnrestrictedTester {
+    fn run_once(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        seed: u64,
+    ) -> Result<ProtocolRun, ProtocolError> {
+        self.run(g, partition, seed)
+    }
+}
+
+impl Repeatable for crate::SimultaneousTester {
+    fn run_once(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        seed: u64,
+    ) -> Result<ProtocolRun, ProtocolError> {
+        self.run(g, partition, seed)
+    }
+}
+
+/// Runs `tester` up to `repetitions` times with independent seeds
+/// derived from `base_seed`, stopping at the first witness. Miss
+/// probability `δ^repetitions`; cost is the sum of the runs performed
+/// (early exit on success).
+///
+/// # Errors
+///
+/// Propagates the first failing run's error.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use triad_graph::generators::far_graph;
+/// use triad_graph::partition::random_disjoint;
+/// use triad_protocols::amplify::run_amplified;
+/// use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let g = far_graph(300, 8.0, 0.2, &mut rng)?;
+/// let parts = random_disjoint(&g, 4, &mut rng);
+/// let tester = SimultaneousTester::new(
+///     Tuning::practical(0.2),
+///     SimProtocolKind::Low { avg_degree: 8.0 },
+/// );
+/// let run = run_amplified(&tester, &g, &parts, 5, 7)?;
+/// assert!(run.outcome.found_triangle());
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_amplified<T: Repeatable>(
+    tester: &T,
+    g: &Graph,
+    partition: &Partition,
+    repetitions: u32,
+    base_seed: u64,
+) -> Result<ProtocolRun, ProtocolError> {
+    let mut stats = triad_comm::CommStats::default();
+    for r in 0..repetitions.max(1) {
+        let run = tester.run_once(g, partition, base_seed.wrapping_add(u64::from(r) * 7919))?;
+        stats = stats.merged(run.stats);
+        if run.outcome.found_triangle() {
+            return Ok(ProtocolRun { outcome: run.outcome, stats });
+        }
+    }
+    Ok(ProtocolRun { outcome: TestOutcome::NoTriangleFound, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimProtocolKind, SimultaneousTester, Tuning};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use triad_graph::generators::far_graph;
+    use triad_graph::partition::random_disjoint;
+
+    #[test]
+    fn amplification_boosts_a_weak_tester() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = far_graph(400, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        // Cripple the tester with a tiny sample scale so single runs miss
+        // often, then amplify.
+        let weak = SimultaneousTester::new(
+            Tuning::practical(0.2).with_scale(0.25),
+            SimProtocolKind::Low { avg_degree: 6.0 },
+        );
+        let single_hits = (0..20)
+            .filter(|s| weak.run(&g, &parts, *s).unwrap().outcome.found_triangle())
+            .count();
+        let amp_hits = (0..20)
+            .filter(|s| {
+                run_amplified(&weak, &g, &parts, 8, 1000 + s)
+                    .unwrap()
+                    .outcome
+                    .found_triangle()
+            })
+            .count();
+        assert!(
+            amp_hits > single_hits,
+            "amplified {amp_hits}/20 should beat single {single_hits}/20"
+        );
+        assert!(amp_hits >= 16, "8 repetitions should nearly always succeed");
+    }
+
+    #[test]
+    fn early_exit_keeps_cost_low_on_easy_inputs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = far_graph(400, 8.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let tester = SimultaneousTester::new(
+            Tuning::practical(0.2),
+            SimProtocolKind::Low { avg_degree: 8.0 },
+        );
+        let single = tester.run(&g, &parts, 3).unwrap();
+        let amplified = run_amplified(&tester, &g, &parts, 10, 3).unwrap();
+        assert!(amplified.outcome.found_triangle());
+        // Strong single-run tester ⇒ amplified run usually stops at 1–2
+        // repetitions; certainly nowhere near 10×.
+        assert!(
+            amplified.stats.total_bits <= 3 * single.stats.total_bits,
+            "{} vs single {}",
+            amplified.stats.total_bits,
+            single.stats.total_bits
+        );
+    }
+
+    #[test]
+    fn never_fabricates_on_triangle_free_inputs() {
+        let g = Graph::from_edges(60, (0..59).map(|i| (i as u32, i as u32 + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let parts = random_disjoint(&g, 3, &mut rng);
+        let tester = SimultaneousTester::new(
+            Tuning::practical(0.2),
+            SimProtocolKind::Oblivious,
+        );
+        let run = run_amplified(&tester, &g, &parts, 6, 0).unwrap();
+        assert!(run.outcome.accepts());
+        // All repetitions were spent (no early exit possible).
+        assert!(run.stats.messages >= 6 * 3);
+    }
+
+    #[test]
+    fn unrestricted_tester_is_repeatable_too() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let g = far_graph(240, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let tester = crate::UnrestrictedTester::new(Tuning::practical(0.2));
+        let run = run_amplified(&tester, &g, &parts, 3, 9).unwrap();
+        assert!(run.outcome.found_triangle());
+    }
+}

@@ -1,0 +1,105 @@
+//! Baselines: exact triangle detection.
+//!
+//! Woodruff–Zhang ([38] in the paper) showed exact triangle detection
+//! costs `Ω(k·n·d)` bits — essentially every player must ship its whole
+//! input. [`SendEverything`] realizes that regime: each player posts its
+//! entire edge share; the referee answers exactly. Comparing the paper's
+//! testers against it is the headline experiment ("property testing is
+//! cheaper than exact decision").
+
+use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
+use triad_comm::{
+    run_simultaneous, Payload, PlayerState, SharedRandomness, SimMessage, SimultaneousProtocol,
+};
+use triad_graph::partition::Partition;
+use triad_graph::{triangles, Graph, GraphBuilder, Triangle};
+
+/// The exact baseline: players send their full inputs; the referee
+/// decides triangle-existence with zero error (both sides).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SendEverything;
+
+impl SimultaneousProtocol for SendEverything {
+    type Output = Option<Triangle>;
+
+    fn message(&self, player: &PlayerState, _shared: &SharedRandomness) -> SimMessage {
+        SimMessage::of(Payload::Edges(player.edges().copied().collect()))
+    }
+
+    fn referee(
+        &self,
+        n: usize,
+        messages: &[SimMessage],
+        _shared: &SharedRandomness,
+    ) -> Option<Triangle> {
+        let mut b = GraphBuilder::new(n);
+        for m in messages {
+            for e in m.edges() {
+                b.add_edge(e);
+            }
+        }
+        triangles::find_triangle(&b.build())
+    }
+}
+
+/// Runs the exact baseline over a partitioned input. The verdict is
+/// exact: `TriangleFound` iff the union graph contains a triangle.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError::InvalidInput`] if a share references a vertex
+/// outside `g`.
+pub fn run_send_everything(
+    g: &Graph,
+    partition: &Partition,
+    seed: u64,
+) -> Result<ProtocolRun, ProtocolError> {
+    let n = g.vertex_count();
+    crate::outcome::validate_shares(g, partition)?;
+    let run =
+        run_simultaneous(&SendEverything, n, partition.shares(), SharedRandomness::new(seed));
+    Ok(ProtocolRun { outcome: TestOutcome::from(run.output), stats: run.stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use triad_graph::generators::gnp;
+    use triad_graph::partition::random_disjoint;
+
+    #[test]
+    fn exact_on_both_sides() {
+        let free = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let tri = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let pf = random_disjoint(&free, 3, &mut rng);
+        let pt = random_disjoint(&tri, 3, &mut rng);
+        assert!(run_send_everything(&free, &pf, 0).unwrap().outcome.accepts());
+        let out = run_send_everything(&tri, &pt, 0).unwrap().outcome;
+        assert!(out.triangle().unwrap().exists_in(&tri));
+    }
+
+    #[test]
+    fn cost_is_linear_in_total_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = gnp(200, 0.1, &mut rng);
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let run = run_send_everything(&g, &parts, 0).unwrap();
+        let bits_per_edge = 2 * 8; // n = 200 ⇒ 8 bits per vertex
+        let expected = g.edge_count() as u64 * bits_per_edge;
+        assert!(run.stats.total_bits >= expected);
+        assert!(run.stats.total_bits <= expected + 4 * 64, "only prefix overhead on top");
+    }
+
+    #[test]
+    fn detects_single_triangle_hidden_in_large_graph() {
+        let mut edges: Vec<(u32, u32)> = (0..500).map(|i| (i, i + 500)).collect();
+        edges.extend([(0, 1), (1, 2), (0, 2)]);
+        let g = Graph::from_edges(1000, edges);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let parts = random_disjoint(&g, 5, &mut rng);
+        assert!(run_send_everything(&g, &parts, 0).unwrap().outcome.found_triangle());
+    }
+}

@@ -1,0 +1,104 @@
+//! Subgraph exposure primitives.
+//!
+//! In the query model, learning the subgraph induced by `V' ⊆ V` costs
+//! `|V'|²` edge queries; in the communication model the players simply
+//! post the edges they hold, paying only for edges that exist. The same
+//! idea yields a cheap distributed BFS: all players post the neighbors of
+//! the frontier vertex.
+
+use triad_comm::{PlayerRequest, Runtime};
+use triad_graph::{Edge, VertexId};
+use std::collections::{HashSet, VecDeque};
+
+/// Collects every input edge whose endpoints both fall in the public
+/// vertex set drawn under `tag` with probability `p` (deduplicated union;
+/// under the blackboard cost model duplicate postings are free).
+pub fn induced_subgraph_edges(rt: &mut Runtime, tag: u64, p: f64, cap: usize) -> Vec<Edge> {
+    rt.gather_edges(PlayerRequest::InducedEdges { tag, p, cap })
+}
+
+/// Collects every input edge incident to `v` (deduplicated union) —
+/// the "post all neighbors of the examined vertex" step of the paper's
+/// BFS. Costs `O(k + deg(v))` edges' worth of bits.
+pub fn collect_incident_edges(rt: &mut Runtime, v: VertexId) -> Vec<Edge> {
+    // p = 1 over a throwaway tag: the sampled set is all of V.
+    rt.gather_edges(PlayerRequest::IncidentEdgesSampled {
+        v,
+        tag: 0,
+        p: 1.0,
+        cap: usize::MAX,
+    })
+}
+
+/// Distributed BFS from `start`, exploring at most `max_vertices`
+/// vertices; returns the visited set in discovery order.
+pub fn bfs(rt: &mut Runtime, start: VertexId, max_vertices: usize) -> Vec<VertexId> {
+    let mut seen: HashSet<VertexId> = HashSet::new();
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        if order.len() >= max_vertices {
+            break;
+        }
+        rt.next_round();
+        for e in collect_incident_edges(rt, v) {
+            let u = e.other(v).expect("incident edge must touch v");
+            if seen.insert(u) {
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_comm::{CostModel, SharedRandomness};
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    #[test]
+    fn induced_edges_full_probability_returns_union() {
+        let shares = vec![vec![e(0, 1), e(1, 2)], vec![e(1, 2), e(2, 3)]];
+        let mut rt =
+            Runtime::local(4, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let mut edges = induced_subgraph_edges(&mut rt, 1, 1.0, usize::MAX);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![e(0, 1), e(1, 2), e(2, 3)]);
+    }
+
+    #[test]
+    fn collect_incident_edges_unions_players() {
+        let shares = vec![vec![e(0, 1)], vec![e(0, 2)], vec![e(1, 2)]];
+        let mut rt =
+            Runtime::local(3, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let mut edges = collect_incident_edges(&mut rt, VertexId(0));
+        edges.sort_unstable();
+        assert_eq!(edges, vec![e(0, 1), e(0, 2)]);
+    }
+
+    #[test]
+    fn bfs_visits_component_in_order() {
+        // 0-1-2-3 path plus disconnected 4-5.
+        let shares = vec![vec![e(0, 1), e(2, 3)], vec![e(1, 2), e(4, 5)]];
+        let mut rt =
+            Runtime::local(6, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let order = bfs(&mut rt, VertexId(0), 10);
+        assert_eq!(order, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+    }
+
+    #[test]
+    fn bfs_respects_vertex_budget() {
+        let shares = vec![vec![e(0, 1), e(1, 2), e(2, 3), e(3, 4)]];
+        let mut rt =
+            Runtime::local(5, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let order = bfs(&mut rt, VertexId(0), 2);
+        assert_eq!(order.len(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Unbiased random-edge primitives.
+//!
+//! The naive "each player posts a random edge of its input" is biased
+//! toward duplicated edges. The paper's fix: publicly sample a random
+//! permutation over all potential edges, have each player report its
+//! *first* edge under the permutation, and take the overall first. Every
+//! present edge is equally likely to be the global minimum regardless of
+//! how many players hold it.
+
+use triad_comm::{Payload, PlayerRequest, Runtime};
+use triad_graph::{Edge, VertexId};
+
+/// Draws a uniformly random edge of the input graph, or `None` if the
+/// graph is empty. Costs `O(k log n)` bits.
+pub fn random_edge(rt: &mut Runtime) -> Option<Edge> {
+    let tag = rt.fresh_tag();
+    let shared = rt.shared();
+    rt.broadcast(PlayerRequest::FirstEdge { perm_tag: tag })
+        .into_iter()
+        .filter_map(|p| match p {
+            Payload::Edge(e) => e,
+            _ => None,
+        })
+        .min_by_key(|e| shared.edge_rank(tag, *e))
+}
+
+/// Draws a uniformly random edge incident to `v`, or `None` if `v` is
+/// isolated — the sparse-model neighbor primitive. Costs `O(k log n)`.
+pub fn random_incident_edge(rt: &mut Runtime, v: VertexId) -> Option<Edge> {
+    let tag = rt.fresh_tag();
+    let shared = rt.shared();
+    rt.broadcast(PlayerRequest::FirstIncidentEdge { v, perm_tag: tag })
+        .into_iter()
+        .filter_map(|p| match p {
+            Payload::Edge(e) => e,
+            _ => None,
+        })
+        .min_by_key(|e| shared.edge_rank(tag, *e))
+}
+
+/// Simulates a `steps`-step random walk from `start` by repeated
+/// random-neighbor draws; stops early at an isolated vertex. Returns the
+/// visited vertices including `start`.
+pub fn random_walk(rt: &mut Runtime, start: VertexId, steps: usize) -> Vec<VertexId> {
+    let mut path = vec![start];
+    let mut at = start;
+    for _ in 0..steps {
+        match random_incident_edge(rt, at) {
+            Some(e) => {
+                at = e.other(at).expect("incident edge must touch the walker");
+                path.push(at);
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triad_comm::{CostModel, Runtime, SharedRandomness};
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    fn runtime(seed: u64) -> Runtime {
+        // Triangle split across players, plus a pendant edge; edge (0,1)
+        // duplicated on both players to exercise unbiasedness.
+        let shares = vec![vec![e(0, 1), e(1, 2)], vec![e(0, 1), e(0, 2), e(2, 3)]];
+        Runtime::local(4, &shares, SharedRandomness::new(seed), CostModel::Coordinator)
+    }
+
+    #[test]
+    fn random_edge_returns_present_edge() {
+        for seed in 0..20 {
+            let mut rt = runtime(seed);
+            let edge = random_edge(&mut rt).expect("graph non-empty");
+            assert!([e(0, 1), e(1, 2), e(0, 2), e(2, 3)].contains(&edge));
+        }
+    }
+
+    #[test]
+    fn random_edge_is_unbiased_despite_duplication() {
+        // Frequencies over seeds should be ≈ uniform over the 4 edges even
+        // though (0,1) appears in both inputs.
+        let mut counts = std::collections::HashMap::new();
+        for seed in 0..2000 {
+            let mut rt = runtime(seed);
+            let edge = random_edge(&mut rt).unwrap();
+            *counts.entry(edge).or_insert(0usize) += 1;
+        }
+        for (edge, c) in &counts {
+            assert!(
+                (350..=650).contains(c),
+                "edge {edge} drawn {c} times out of 2000 (expected ≈500)"
+            );
+        }
+    }
+
+    #[test]
+    fn random_incident_edge_touches_vertex() {
+        for seed in 0..20 {
+            let mut rt = runtime(seed);
+            let edge = random_incident_edge(&mut rt, VertexId(2)).expect("vertex 2 not isolated");
+            assert!(edge.is_incident_to(VertexId(2)));
+        }
+    }
+
+    #[test]
+    fn random_incident_edge_none_for_isolated() {
+        let shares = vec![vec![e(0, 1)]];
+        let mut rt =
+            Runtime::local(5, &shares, SharedRandomness::new(0), CostModel::Coordinator);
+        assert_eq!(random_incident_edge(&mut rt, VertexId(4)), None);
+    }
+
+    #[test]
+    fn random_walk_follows_edges() {
+        let mut rt = runtime(3);
+        let path = random_walk(&mut rt, VertexId(0), 5);
+        assert_eq!(path[0], VertexId(0));
+        assert!(path.len() >= 2, "vertex 0 has neighbors");
+        // Each consecutive pair must be an actual edge of the union graph.
+        let union = triad_graph::Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        for w in path.windows(2) {
+            assert!(union.has_edge(Edge::new(w[0], w[1])));
+        }
+    }
+
+    #[test]
+    fn random_walk_stops_at_dead_end() {
+        // Path graph 0-1; walk of length 5 bounces between them (both have
+        // neighbors), but from an isolated start it stays put.
+        let shares = vec![vec![e(0, 1)]];
+        let mut rt =
+            Runtime::local(3, &shares, SharedRandomness::new(1), CostModel::Coordinator);
+        let path = random_walk(&mut rt, VertexId(2), 5);
+        assert_eq!(path, vec![VertexId(2)]);
+    }
+}

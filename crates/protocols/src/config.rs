@@ -1,0 +1,306 @@
+//! Protocol tuning: ε, δ and the constants behind every sample size.
+//!
+//! The paper's protocols carry polylogarithmic factors with enormous
+//! constants (e.g. `q = ln(6/δ)·108·log²n·k/ε²` samples per bucket).
+//! Those constants make the asymptotic proofs go through but swamp any
+//! finite experiment, so the tuning distinguishes two presets:
+//!
+//! * [`Tuning::paper_faithful`] — the constants exactly as printed, for
+//!   small-n validation runs;
+//! * [`Tuning::practical`] — the same formulas with the leading constants
+//!   reduced and one `log n` factor dropped where the paper itself notes
+//!   slack. Every dependence on `n`, `d`, `k`, `ε`, `δ` is preserved, so
+//!   scaling experiments measure the same exponents.
+
+/// Which constant regime to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Constants exactly as in the paper.
+    PaperFaithful,
+    /// Reduced constants; identical asymptotics.
+    Practical,
+}
+
+/// All knobs of the testing protocols.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tuning {
+    /// Distance parameter ε: inputs are promised triangle-free or ε-far.
+    pub epsilon: f64,
+    /// Error probability budget δ.
+    pub delta: f64,
+    /// Constant regime.
+    pub preset: Preset,
+    /// Extra global multiplier on sample sizes (1.0 = preset default).
+    pub scale: f64,
+}
+
+impl Tuning {
+    /// The paper's constants at error budget δ = 1/10.
+    pub fn paper_faithful(epsilon: f64) -> Self {
+        Tuning { epsilon, delta: 0.1, preset: Preset::PaperFaithful, scale: 1.0 }
+    }
+
+    /// Reduced constants at error budget δ = 1/10.
+    pub fn practical(epsilon: f64) -> Self {
+        Tuning { epsilon, delta: 0.1, preset: Preset::Practical, scale: 1.0 }
+    }
+
+    /// Overrides δ.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Overrides the global sample multiplier.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// `⌈log₂ n⌉` as a float (the paper's `log n`).
+    pub fn log_n(n: usize) -> f64 {
+        (n.max(2) as f64).log2().ceil()
+    }
+
+    // ------------------------------------------------------------------
+    // Unrestricted protocol (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Target size of the candidate set `C` per bucket
+    /// (paper: `ln(6/δ)·312·log²n/ε²`, Algorithm 3's second stop rule).
+    pub fn candidate_target(&self, n: usize) -> usize {
+        let ln6d = (6.0 / self.delta).ln();
+        let l = Self::log_n(n);
+        let raw = match self.preset {
+            Preset::PaperFaithful => ln6d * 312.0 * l * l / (self.epsilon * self.epsilon),
+            Preset::Practical => l / self.epsilon,
+        };
+        ((raw * self.scale).ceil() as usize).max(2)
+    }
+
+    /// Total sampling budget `q` per bucket (paper:
+    /// `ln(6/δ)·108·log²n·k/ε²`; the extra `k` covers the dilution of
+    /// `B_i` inside `B̃_i ⊆ N_k(B_i)`).
+    pub fn sample_budget(&self, n: usize, k: usize) -> usize {
+        let ln6d = (6.0 / self.delta).ln();
+        let l = Self::log_n(n);
+        let raw = match self.preset {
+            Preset::PaperFaithful => {
+                ln6d * 108.0 * l * l * k as f64 / (self.epsilon * self.epsilon)
+            }
+            Preset::Practical => 2.0 * l * k as f64 / self.epsilon,
+        };
+        ((raw * self.scale).ceil() as usize).max(4)
+    }
+
+    /// Per-edge sampling probability at a vertex of (approximate) degree
+    /// `d_approx` (Corollary 3.10: `4·sqrt(ln(6/δ))·sqrt(12·log n/(ε·d))`),
+    /// clamped to 1.
+    pub fn edge_sample_probability(&self, n: usize, d_approx: f64) -> f64 {
+        let l = Self::log_n(n);
+        let c = match self.preset {
+            Preset::PaperFaithful => 4.0 * (6.0 / self.delta).ln().sqrt(),
+            Preset::Practical => 2.0,
+        };
+        let p = c * (12.0 * l / (self.epsilon * d_approx.max(1.0))).sqrt() * self.scale;
+        p.clamp(0.0, 1.0)
+    }
+
+    /// Per-player cap on edges sent in one SampleEdges step (Algorithm 4's
+    /// cutoff `≈ √3·d'·p` with Chernoff slack).
+    pub fn edge_sample_cap(&self, d_approx: f64, p: f64) -> usize {
+        let expected = 3f64.sqrt() * d_approx * p;
+        let slack = match self.preset {
+            Preset::PaperFaithful => {
+                1.0 + 18.0 / (d_approx * p).max(1.0) * (6.0 / self.delta).ln()
+            }
+            Preset::Practical => 2.0,
+        };
+        ((expected * slack).ceil() as usize).max(8)
+    }
+
+    /// Degree-approximation ratio α used to filter candidates
+    /// (paper: √3-approximation checked against a widened bucket window).
+    pub fn degree_alpha(&self) -> f64 {
+        3f64.sqrt()
+    }
+
+    /// Experiments per guess round in Theorem 3.1's sampling phase
+    /// (`Θ(log log k)` with constants absorbing the union bound over
+    /// `O(log k)` rounds).
+    pub fn degree_experiments(&self, k: usize) -> usize {
+        let base = ((k.max(2) as f64).ln().ln().max(1.0) * (6.0 / self.delta).ln()).ceil();
+        let c = match self.preset {
+            Preset::PaperFaithful => 24.0,
+            Preset::Practical => 4.0,
+        };
+        ((base * c * self.scale) as usize).max(8)
+    }
+
+    // ------------------------------------------------------------------
+    // Simultaneous protocols (§3.4)
+    // ------------------------------------------------------------------
+
+    /// AlgHigh vertex-sample size `|S| = c·(n²/(ε·d))^{1/3}` (Algorithm 7).
+    pub fn high_sample_size(&self, n: usize, d: f64) -> f64 {
+        let c = match self.preset {
+            Preset::PaperFaithful => 8.0 / (9.0 * self.delta),
+            Preset::Practical => 3.0,
+        };
+        c * ((n as f64) * (n as f64) / (self.epsilon * d.max(1.0))).cbrt() * self.scale
+    }
+
+    /// AlgHigh per-player edge cap `l = (|S|/n)²·(4/δ)·(nd/2)` —
+    /// the Markov cutoff of Algorithm 7 step 2.
+    pub fn high_cap(&self, n: usize, d: f64) -> usize {
+        let s = self.high_sample_size(n, d);
+        let frac = (s / n as f64).min(1.0);
+        let m = n as f64 * d / 2.0;
+        ((frac * frac * (4.0 / self.delta) * m).ceil() as usize).max(16)
+    }
+
+    /// AlgLow constant `c` (the paper fixes `c = 8/(9δ)`).
+    pub fn low_c(&self) -> f64 {
+        let c = match self.preset {
+            Preset::PaperFaithful => 8.0 / (9.0 * self.delta),
+            Preset::Practical => 3.0,
+        };
+        c * self.scale
+    }
+
+    /// AlgLow probabilities `(p₁, p₂) = (min(c/d, 1), c/√n)` (Algorithm 8).
+    pub fn low_probabilities(&self, n: usize, d: f64) -> (f64, f64) {
+        let c = self.low_c();
+        ((c / d.max(1.0)).min(1.0), (c / (n as f64).sqrt()).min(1.0))
+    }
+
+    /// AlgLow per-player cap `q = 2c²(√n + d)·(2/δ)`.
+    pub fn low_cap(&self, n: usize, d: f64) -> usize {
+        let c = self.low_c();
+        ((2.0 * c * c * ((n as f64).sqrt() + d) * 2.0 / self.delta).ceil() as usize).max(16)
+    }
+
+    /// Degree-oblivious per-instance cap for a high-degree guess
+    /// (§3.4.3: `O((n·d̄_j)^{1/3}·log n·log(k·log n))`).
+    pub fn oblivious_high_cap(&self, n: usize, local_avg_degree: f64, k: usize) -> usize {
+        let l = Self::log_n(n);
+        let base = (n as f64 * local_avg_degree.max(1.0)).cbrt();
+        let polylog = match self.preset {
+            Preset::PaperFaithful => l * (k as f64 * l).ln().max(1.0),
+            Preset::Practical => (k as f64 * l).ln().max(1.0),
+        };
+        ((base * polylog * (4.0 / self.delta) * self.scale).ceil() as usize).max(16)
+    }
+
+    /// Degree-oblivious per-instance cap for a low-degree guess
+    /// (§3.4.3: `O(√n·log n·log(k·log n))`).
+    pub fn oblivious_low_cap(&self, n: usize, k: usize) -> usize {
+        let l = Self::log_n(n);
+        let base = (n as f64).sqrt();
+        let polylog = match self.preset {
+            Preset::PaperFaithful => l * (k as f64 * l).ln().max(1.0),
+            Preset::Practical => (k as f64 * l).ln().max(1.0),
+        };
+        ((base * polylog * (4.0 / self.delta) * self.scale).ceil() as usize).max(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_constants_not_shape() {
+        let paper = Tuning::paper_faithful(0.1);
+        let prac = Tuning::practical(0.1);
+        assert!(paper.candidate_target(1024) > prac.candidate_target(1024));
+        assert!(paper.sample_budget(1024, 8) > prac.sample_budget(1024, 8));
+        // shape: budget grows linearly in k for both
+        for t in [paper, prac] {
+            let b1 = t.sample_budget(1024, 4) as f64;
+            let b2 = t.sample_budget(1024, 8) as f64;
+            assert!((b2 / b1 - 2.0).abs() < 0.3, "budget not ~linear in k");
+        }
+    }
+
+    #[test]
+    fn edge_probability_decreases_with_degree() {
+        let t = Tuning::practical(0.2);
+        let p_low = t.edge_sample_probability(1024, 4.0);
+        let p_high = t.edge_sample_probability(1024, 400.0);
+        assert!(p_low >= p_high);
+        assert!(p_high > 0.0 && p_low <= 1.0);
+        // shape: p ~ 1/√d once unclamped
+        let p1 = t.edge_sample_probability(1 << 20, 10_000.0);
+        let p2 = t.edge_sample_probability(1 << 20, 40_000.0);
+        assert!((p1 / p2 - 2.0).abs() < 0.05, "p should scale as d^-1/2: {}", p1 / p2);
+    }
+
+    #[test]
+    fn high_sample_size_shape() {
+        let t = Tuning::practical(0.1);
+        // |S| ∝ (n²/d)^{1/3}: quadrupling d divides |S|³ by 4.
+        let s1 = t.high_sample_size(1 << 16, 256.0);
+        let s2 = t.high_sample_size(1 << 16, 1024.0);
+        assert!((s1 / s2 - 4f64.cbrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn low_probabilities_clamp() {
+        let t = Tuning::practical(0.1);
+        let (p1, p2) = t.low_probabilities(100, 1.0);
+        assert_eq!(p1, 1.0);
+        assert!(p2 <= 1.0);
+        let (p1, _) = t.low_probabilities(1 << 20, 1000.0);
+        assert!(p1 < 0.01);
+    }
+
+    #[test]
+    fn caps_are_positive_and_scale() {
+        let t = Tuning::practical(0.1);
+        assert!(t.high_cap(4096, 64.0) >= 16);
+        assert!(t.low_cap(4096, 10.0) >= 16);
+        assert!(t.oblivious_low_cap(4096, 8) >= 16);
+        assert!(t.oblivious_high_cap(4096, 64.0, 8) >= t.oblivious_high_cap(4096, 8.0, 8));
+        let scaled = t.with_scale(4.0);
+        assert!(scaled.high_sample_size(4096, 64.0) > t.high_sample_size(4096, 64.0));
+    }
+
+    #[test]
+    fn paper_faithful_formulas_match_the_printed_expressions() {
+        // The PaperFaithful preset must evaluate the paper's formulas
+        // verbatim; spot-check at n = 1024 (log n = 10), δ = 0.1, ε = 0.1.
+        let t = Tuning::paper_faithful(0.1);
+        let n = 1024;
+        let ln6d = (6.0f64 / 0.1).ln();
+        // |C| target: ln(6/δ)·312·log²n/ε².
+        let expected_c = (ln6d * 312.0 * 100.0 / 0.01).ceil() as usize;
+        assert_eq!(t.candidate_target(n), expected_c);
+        // q: ln(6/δ)·108·log²n·k/ε².
+        let expected_q = (ln6d * 108.0 * 100.0 * 8.0 / 0.01).ceil() as usize;
+        assert_eq!(t.sample_budget(n, 8), expected_q);
+        // Edge-sampling probability: 4·√(ln 6/δ)·√(12·log n/(ε·d)).
+        let d: f64 = 400.0;
+        let expected_p = 4.0 * ln6d.sqrt() * (12.0f64 * 10.0 / (0.1 * d)).sqrt();
+        assert!((t.edge_sample_probability(n, d) - expected_p.min(1.0)).abs() < 1e-12);
+        // AlgHigh sample size: (8/(9δ))·(n²/(εd))^{1/3}.
+        let expected_s = 8.0 / 0.9 * ((1024.0f64 * 1024.0) / (0.1 * d)).cbrt();
+        assert!((t.high_sample_size(n, d) - expected_s).abs() < 1e-9);
+        // AlgLow constant: c = 8/(9δ).
+        assert!((t.low_c() - 8.0 / 0.9).abs() < 1e-12);
+        // AlgLow cap: 2c²(√n + d)·(2/δ).
+        let c = 8.0 / 0.9;
+        let expected_cap =
+            (2.0 * c * c * ((n as f64).sqrt() + d) * 20.0).ceil() as usize;
+        assert_eq!(t.low_cap(n, d), expected_cap);
+    }
+
+    #[test]
+    fn builders() {
+        let t = Tuning::practical(0.2).with_delta(0.05);
+        assert_eq!(t.delta, 0.05);
+        assert_eq!(t.epsilon, 0.2);
+        assert!(t.degree_experiments(16) >= 8);
+        assert!((t.degree_alpha() - 3f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,238 @@
+//! The one-round (simultaneous) testers of §3.4.
+//!
+//! * [`AlgHigh`] — for `d = Ω(√n)`: publicly sample
+//!   `|S| = Θ((n²/εd)^{1/3})` vertices; players post the induced edges
+//!   they hold (Algorithm 7/9). Cost `Õ(k·(nd)^{1/3})`.
+//! * [`AlgLow`] — for `d = O(√n)`: sample a large set `S`
+//!   (`p₁ = c/d`, catching rare high-degree triangle hubs) and a small
+//!   set `R` (`p₂ = c/√n`); players post edges in `R × (R ∪ S)`
+//!   (Algorithm 8/10). Cost `Õ(k·√n)`.
+//! * [`Oblivious`] — no knowledge of `d`: every player brackets the true
+//!   density inside `D_j = [d̄_j, (4k/ε)·d̄_j]` from its own input (if it
+//!   is *relevant* — holds an `Ω(ε/k)` fraction of the edges), runs
+//!   `O(log k)` capped instances of the two protocols across its guess
+//!   range, and the referee unions everything (Algorithm 11,
+//!   Theorem 3.32).
+
+mod alg_high;
+mod alg_low;
+mod oblivious;
+
+pub use alg_high::AlgHigh;
+pub use alg_low::AlgLow;
+pub use oblivious::Oblivious;
+
+use crate::config::Tuning;
+use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
+use triad_comm::{run_simultaneous, SharedRandomness, SimMessage};
+use triad_graph::partition::Partition;
+use triad_graph::{triangles, Graph, GraphBuilder, Triangle};
+
+/// The referee of every §3.4 protocol: union all posted edges and look
+/// for a triangle in the exposed subgraph.
+pub(crate) fn referee_find_triangle(n: usize, messages: &[SimMessage]) -> Option<Triangle> {
+    let mut b = GraphBuilder::new(n);
+    for m in messages {
+        for e in m.edges() {
+            b.add_edge(e);
+        }
+    }
+    triangles::find_triangle(&b.build())
+}
+
+/// Which simultaneous protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimProtocolKind {
+    /// Algorithm 7/9, given the average degree.
+    High {
+        /// The (known) average degree `d`.
+        avg_degree: f64,
+    },
+    /// Algorithm 8/10, given the average degree.
+    Low {
+        /// The (known) average degree `d`.
+        avg_degree: f64,
+    },
+    /// Algorithm 11: degree-oblivious.
+    Oblivious,
+}
+
+/// Top-level driver for the simultaneous testers.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use triad_graph::generators::far_graph;
+/// use triad_graph::partition::random_disjoint;
+/// use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let g = far_graph(300, 8.0, 0.2, &mut rng)?;
+/// let parts = random_disjoint(&g, 4, &mut rng);
+/// let tester = SimultaneousTester::new(
+///     Tuning::practical(0.2),
+///     SimProtocolKind::Low { avg_degree: 8.0 },
+/// );
+/// let run = tester.run(&g, &parts, 3)?;
+/// println!("one round, {} bits", run.stats.total_bits);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimultaneousTester {
+    tuning: Tuning,
+    kind: SimProtocolKind,
+}
+
+impl SimultaneousTester {
+    /// A tester for the chosen protocol variant.
+    pub fn new(tuning: Tuning, kind: SimProtocolKind) -> Self {
+        SimultaneousTester { tuning, kind }
+    }
+
+    /// The protocol variant.
+    pub fn kind(&self) -> SimProtocolKind {
+        self.kind
+    }
+
+    /// Runs one simultaneous round over the partitioned input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidInput`] on malformed shares or
+    /// non-positive degree hints.
+    pub fn run(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        seed: u64,
+    ) -> Result<ProtocolRun, ProtocolError> {
+        let n = g.vertex_count();
+        crate::outcome::validate_shares(g, partition)?;
+        let shared = SharedRandomness::new(seed);
+        let run = match self.kind {
+            SimProtocolKind::High { avg_degree } => {
+                if avg_degree <= 0.0 {
+                    return Err(ProtocolError::InvalidInput(
+                        "average degree must be positive".into(),
+                    ));
+                }
+                let p = AlgHigh::new(self.tuning, avg_degree);
+                run_simultaneous(&p, n, partition.shares(), shared)
+            }
+            SimProtocolKind::Low { avg_degree } => {
+                if avg_degree <= 0.0 {
+                    return Err(ProtocolError::InvalidInput(
+                        "average degree must be positive".into(),
+                    ));
+                }
+                let p = AlgLow::new(self.tuning, avg_degree);
+                run_simultaneous(&p, n, partition.shares(), shared)
+            }
+            SimProtocolKind::Oblivious => {
+                let p = Oblivious::new(self.tuning, partition.players());
+                run_simultaneous(&p, n, partition.shares(), shared)
+            }
+        };
+        Ok(ProtocolRun { outcome: TestOutcome::from(run.output), stats: run.stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use triad_graph::generators::far_graph;
+    use triad_graph::partition::random_disjoint;
+
+    fn success_rate(kind: impl Fn(f64) -> SimProtocolKind, n: usize, d: f64) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let tester = SimultaneousTester::new(Tuning::practical(0.2), kind(d));
+        let mut hits = 0u32;
+        let trials = 20u64;
+        for seed in 0..trials {
+            let run = tester.run(&g, &parts, seed).unwrap();
+            if let Some(t) = run.outcome.triangle() {
+                assert!(t.exists_in(&g), "one-sided error violated");
+                hits += 1;
+            }
+            assert_eq!(run.stats.rounds, 1, "simultaneous means one round");
+        }
+        f64::from(hits) / trials as f64
+    }
+
+    #[test]
+    fn low_variant_finds_triangles_reliably() {
+        let rate = success_rate(|d| SimProtocolKind::Low { avg_degree: d }, 360, 8.0);
+        assert!(rate >= 0.8, "AlgLow success rate {rate}");
+    }
+
+    #[test]
+    fn high_variant_finds_triangles_reliably() {
+        let rate = success_rate(|d| SimProtocolKind::High { avg_degree: d }, 400, 40.0);
+        assert!(rate >= 0.8, "AlgHigh success rate {rate}");
+    }
+
+    #[test]
+    fn oblivious_variant_finds_triangles_reliably() {
+        let rate = success_rate(|_| SimProtocolKind::Oblivious, 360, 8.0);
+        assert!(rate >= 0.8, "Oblivious success rate {rate}");
+    }
+
+    #[test]
+    fn triangle_free_inputs_always_accept() {
+        let g = Graph::from_edges(100, (0..99).map(|i| (i as u32, i as u32 + 1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let parts = random_disjoint(&g, 3, &mut rng);
+        for kind in [
+            SimProtocolKind::High { avg_degree: 2.0 },
+            SimProtocolKind::Low { avg_degree: 2.0 },
+            SimProtocolKind::Oblivious,
+        ] {
+            let tester = SimultaneousTester::new(Tuning::practical(0.2), kind);
+            for seed in 0..5 {
+                assert!(tester.run(&g, &parts, seed).unwrap().outcome.accepts());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let g = Graph::from_edges(4, [(0, 1)]);
+        let parts = Partition::new(vec![vec![triad_graph::Edge::new(
+            triad_graph::VertexId(9),
+            triad_graph::VertexId(10),
+        )]]);
+        let tester = SimultaneousTester::new(
+            Tuning::practical(0.2),
+            SimProtocolKind::Low { avg_degree: 2.0 },
+        );
+        assert!(tester.run(&g, &parts, 0).is_err());
+        let ok_parts = Partition::new(vec![vec![triad_graph::Edge::new(
+            triad_graph::VertexId(0),
+            triad_graph::VertexId(1),
+        )]]);
+        let bad = SimultaneousTester::new(
+            Tuning::practical(0.2),
+            SimProtocolKind::High { avg_degree: 0.0 },
+        );
+        assert!(bad.run(&g, &ok_parts, 0).is_err());
+    }
+
+    #[test]
+    fn referee_unions_messages() {
+        use triad_comm::Payload;
+        let e = |a, b| triad_graph::Edge::new(triad_graph::VertexId(a), triad_graph::VertexId(b));
+        let m1 = SimMessage::of(Payload::Edges(vec![e(0, 1), e(1, 2)]));
+        let m2 = SimMessage::of(Payload::Edges(vec![e(0, 2)]));
+        let t = referee_find_triangle(3, &[m1, m2]).unwrap();
+        assert_eq!(t.vertices().len(), 3);
+        let empty = referee_find_triangle(3, &[]);
+        assert!(empty.is_none());
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: test a partitioned graph for triangle-freeness with every
+//! protocol in the library and compare their communication bills.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad::graph::generators::far_graph;
+use triad::graph::partition::random_disjoint;
+use triad::graph::{distance, Graph};
+use triad::protocols::baseline::run_send_everything;
+use triad::protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1200;
+    let d = 8.0;
+    let epsilon = 0.15;
+    let k = 6;
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+
+    // An ε-far input, split among k players with no duplication.
+    let g = far_graph(n, d, epsilon, &mut rng)?;
+    let parts = random_disjoint(&g, k, &mut rng);
+    println!("input: n = {n}, |E| = {}, avg degree = {:.1}, k = {k}", g.edge_count(), g.average_degree());
+    println!(
+        "certified ε-far: {} (packing lower bound {})",
+        distance::is_certifiably_far(&g, epsilon),
+        distance::distance_bounds(&g).lower
+    );
+    println!();
+
+    let tuning = Tuning::practical(epsilon);
+
+    let unrestricted = UnrestrictedTester::new(tuning).run(&g, &parts, 1)?;
+    report("unrestricted  Õ(k·(nd)^¼ + k²)", &g, unrestricted);
+
+    let low = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d })
+        .run(&g, &parts, 2)?;
+    report("AlgLow (1 rd) Õ(k·√n)        ", &g, low);
+
+    let oblivious = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious)
+        .run(&g, &parts, 3)?;
+    report("Oblivious     Õ(k·√n) no d   ", &g, oblivious);
+
+    let exact = run_send_everything(&g, &parts, 4)?;
+    report("exact baseline Θ(k·n·d)      ", &g, exact);
+
+    Ok(())
+}
+
+fn report(name: &str, g: &Graph, run: triad::protocols::ProtocolRun) {
+    let witness = match run.outcome.triangle() {
+        Some(t) => {
+            assert!(t.exists_in(g), "one-sided error violated");
+            format!("triangle {t}")
+        }
+        None => "accepted".to_string(),
+    };
+    println!(
+        "{name}  {:>9} bits  {:>3} rounds  → {witness}",
+        run.stats.total_bits, run.stats.rounds
+    );
+}

@@ -1,0 +1,71 @@
+//! Beyond triangles: one-round `H`-freeness testing (the paper's §5
+//! generalization direction).
+//!
+//! The induced-sampler mechanism of AlgHigh is pattern-agnostic; this
+//! example tests K₄-freeness and C₅-freeness of partitioned graphs with
+//! planted copies, and shows the sampler's cost growing with the pattern
+//! size exactly as the `p = Θ((e(H)/εm)^{1/v(H)})` analysis predicts.
+//!
+//! ```text
+//! cargo run --example subgraph_freeness
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad::graph::generators::planted_copies;
+use triad::graph::partition::random_disjoint;
+use triad::graph::subgraphs::Pattern;
+use triad::protocols::subgraphs::run_h_freeness;
+use triad::protocols::Tuning;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 2000;
+    let k = 5;
+    let tuning = Tuning::practical(0.2);
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+
+    for (name, pattern, copies) in [
+        ("triangle K3", Pattern::triangle(), 260),
+        ("clique   K4", Pattern::clique(4), 200),
+        ("cycle    C5", Pattern::cycle(5), 160),
+    ] {
+        let g = planted_copies(n, &pattern, copies, n / 8, &mut rng)?;
+        let parts = random_disjoint(&g, k, &mut rng);
+        let d = g.average_degree();
+        let mut found = 0;
+        let mut bits = 0u64;
+        let trials = 10;
+        for seed in 0..trials {
+            let run = run_h_freeness(tuning, pattern.clone(), &g, &parts, d, seed)?;
+            bits += run.stats.total_bits;
+            if let Some(hosts) = run.witness {
+                // One-sided: every pattern edge must map to a real edge.
+                for e in pattern.graph().edges() {
+                    assert!(g.has_edge(triad::graph::Edge::new(
+                        hosts[e.u().index()],
+                        hosts[e.v().index()],
+                    )));
+                }
+                found += 1;
+            }
+        }
+        println!(
+            "{name}: {copies} planted copies over {} edges → found {found}/{trials}, mean {} bits",
+            g.edge_count(),
+            bits / trials
+        );
+    }
+
+    // Control: an H-free input never yields a witness.
+    let bipartite =
+        triad::graph::Graph::from_edges(400, (0..200u32).map(|i| (i, i + 200)));
+    let parts = random_disjoint(&bipartite, k, &mut rng);
+    for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::cycle(5)] {
+        for seed in 0..5 {
+            let run = run_h_freeness(tuning, pattern.clone(), &bipartite, &parts, 2.0, seed)?;
+            assert!(run.witness.is_none());
+        }
+    }
+    println!("control: bipartite matching accepted as K3/K4/C5-free in all runs ✓");
+    Ok(())
+}

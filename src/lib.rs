@@ -1,0 +1,44 @@
+//! # triad
+//!
+//! A Rust reproduction of *"On the Multiparty Communication Complexity of
+//! Testing Triangle-Freeness"* (Fischer, Gershtein, Oshman — PODC 2017).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`graph`] — graph substrate: representations, triangles, bucketing,
+//!   generators, partitioning ([`triad_graph`]),
+//! * [`comm`] — the coordinator-model communication substrate with exact
+//!   bit accounting ([`triad_comm`]),
+//! * [`protocols`] — the paper's protocols: building blocks, the
+//!   unrestricted tester, the simultaneous testers, baselines
+//!   ([`triad_protocols`]),
+//! * [`lowerbounds`] — the §4 hard-instance constructions and
+//!   information-theoretic tooling ([`triad_lowerbounds`]),
+//! * [`congest`] — the CONGEST-model simulator with the distributed
+//!   triangle tester, counter and C₄ detector ([`triad_congest`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use triad::graph::generators::far_graph;
+//! use triad::graph::partition::random_disjoint;
+//! use triad::protocols::{Tuning, UnrestrictedTester};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let g = far_graph(300, 6.0, 0.2, &mut rng)?;
+//! let parts = random_disjoint(&g, 4, &mut rng);
+//! let tester = UnrestrictedTester::new(Tuning::practical(0.2));
+//! let run = tester.run(&g, &parts, 7)?;
+//! assert!(run.outcome.found_triangle(), "ε-far input must yield a witness");
+//! println!("communication: {} bits", run.stats.total_bits);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use triad_comm as comm;
+pub use triad_congest as congest;
+pub use triad_graph as graph;
+pub use triad_lowerbounds as lowerbounds;
+pub use triad_protocols as protocols;

@@ -1,0 +1,122 @@
+//! Coarse scaling sanity checks on communication costs — the fast inline
+//! versions of the bench harness's exponent fits.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad::graph::generators::far_graph;
+use triad::graph::partition::random_disjoint;
+use triad::protocols::baseline::run_send_everything;
+use triad::protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
+
+fn mean_bits<F: Fn(u64) -> u64>(trials: u64, f: F) -> f64 {
+    (0..trials).map(f).sum::<u64>() as f64 / trials as f64
+}
+
+#[test]
+fn sim_low_scales_sublinearly_in_n() {
+    // AlgLow is Õ(k√n): growing n by 16× at fixed d should grow cost by
+    // roughly 4×, certainly far below 16×.
+    let tuning = Tuning::practical(0.2);
+    let d = 6.0;
+    let mut costs = Vec::new();
+    for &n in &[500usize, 8000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
+        let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
+        costs.push(mean_bits(5, |s| tester.run(&g, &parts, s).unwrap().stats.total_bits));
+    }
+    let ratio = costs[1] / costs[0];
+    assert!(
+        ratio < 10.0,
+        "16× n grew AlgLow cost {ratio:.1}× — not Õ(√n)-like ({costs:?})"
+    );
+    assert!(ratio > 1.5, "cost should still grow with n ({costs:?})");
+}
+
+#[test]
+fn baseline_scales_linearly_in_m() {
+    let mut costs = Vec::new();
+    for &n in &[500usize, 4000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = far_graph(n, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let run = run_send_everything(&g, &parts, 0).unwrap();
+        costs.push((g.edge_count() as f64, run.stats.total_bits as f64));
+    }
+    let per_edge_small = costs[0].1 / costs[0].0;
+    let per_edge_big = costs[1].1 / costs[1].0;
+    // Per-edge cost grows only with log n (vertex id width).
+    assert!(per_edge_big / per_edge_small < 1.6, "{costs:?}");
+}
+
+#[test]
+fn testers_beat_exact_baseline_at_moderate_scale() {
+    let n = 6000;
+    let d = 10.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+    let parts = random_disjoint(&g, 6, &mut rng);
+    let tuning = Tuning::practical(0.2);
+    let exact = run_send_everything(&g, &parts, 0).unwrap().stats.total_bits;
+    let low = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d })
+        .run(&g, &parts, 1)
+        .unwrap()
+        .stats
+        .total_bits;
+    let unrestricted =
+        UnrestrictedTester::new(tuning).run(&g, &parts, 2).unwrap().stats.total_bits;
+    assert!(
+        low * 4 < exact,
+        "AlgLow ({low}) should be ≪ exact ({exact})"
+    );
+    assert!(
+        unrestricted < exact,
+        "unrestricted ({unrestricted}) should undercut exact ({exact})"
+    );
+}
+
+#[test]
+fn per_player_cap_bounds_max_message() {
+    // The simultaneous protocols' defining feature: no player's message
+    // exceeds the cap regardless of how skewed its share is.
+    let n = 2000;
+    let d = 8.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+    // Adversarially skewed: player 0 owns almost everything.
+    let mut shares = vec![g.edges().to_vec(), vec![], vec![], vec![]];
+    shares[1].push(g.edges()[0]);
+    let parts = triad::graph::partition::Partition::new(shares);
+    let tuning = Tuning::practical(0.2);
+    let run = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d })
+        .run(&g, &parts, 1)
+        .unwrap();
+    let cap_edges = tuning.low_cap(n, d) as u64;
+    let bits_per_edge = 2 * 11; // n = 2000 ⇒ 11-bit ids
+    assert!(
+        run.stats.max_player_sent_bits <= cap_edges * bits_per_edge + 64,
+        "max message {} exceeds cap {} edges",
+        run.stats.max_player_sent_bits,
+        cap_edges
+    );
+}
+
+#[test]
+fn oblivious_overhead_over_aware_is_polylog() {
+    let n = 4000;
+    let d = 8.0;
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+    let parts = random_disjoint(&g, 6, &mut rng);
+    let tuning = Tuning::practical(0.2);
+    let aware = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
+    let obl = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious);
+    let aware_bits = mean_bits(5, |s| aware.run(&g, &parts, s).unwrap().stats.total_bits);
+    let obl_bits = mean_bits(5, |s| obl.run(&g, &parts, s).unwrap().stats.total_bits);
+    let ratio = obl_bits / aware_bits;
+    assert!(
+        ratio < 60.0,
+        "oblivious/aware = {ratio:.1} — should be a polylog factor, not polynomial"
+    );
+}

@@ -1,0 +1,95 @@
+//! Integration tests for the extension surfaces: H-freeness, the
+//! streaming reduction, message-passing charging, and Newman's
+//! conversion.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad::comm::streaming::stream_as_one_way;
+use triad::comm::{CostModel, Runtime, SharedRandomness};
+use triad::graph::generators::{planted_copies, TripartiteMu};
+use triad::graph::partition::random_disjoint;
+use triad::graph::subgraphs::{greedy_copy_packing, Pattern};
+use triad::lowerbounds::streaming::TriangleEdgeStream;
+use triad::protocols::subgraphs::run_h_freeness;
+use triad::protocols::{Tuning, UnrestrictedTester};
+
+#[test]
+fn h_freeness_pipeline_for_multiple_patterns() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let tuning = Tuning::practical(0.2);
+    for pattern in [Pattern::clique(4), Pattern::cycle(5)] {
+        let g = planted_copies(1200, &pattern, 100, 150, &mut rng).unwrap();
+        assert!(
+            greedy_copy_packing(&g, &pattern).len() >= 80,
+            "generator must certify many disjoint copies"
+        );
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let d = g.average_degree();
+        let hits = (0..10)
+            .filter(|s| {
+                run_h_freeness(tuning, pattern.clone(), &g, &parts, d, *s)
+                    .unwrap()
+                    .witness
+                    .is_some()
+            })
+            .count();
+        assert!(hits >= 7, "pattern found only {hits}/10 times");
+    }
+}
+
+#[test]
+fn streaming_reduction_matches_one_way_accounting() {
+    let mu = TripartiteMu::new(96, 1.2);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let inst = mu.sample(&mut rng);
+    let alg = TriangleEdgeStream::new(SharedRandomness::new(3), 1, 128);
+    let run = stream_as_one_way(alg, 288, &inst.player_inputs());
+    // Two boundaries for three players; each boundary snapshot bounded by
+    // the peak; total = sum of boundaries.
+    assert_eq!(run.boundary_bits.len(), 2);
+    assert_eq!(run.stats.total_bits, run.boundary_bits.iter().sum::<u64>());
+    for b in &run.boundary_bits {
+        assert!(*b <= run.peak_memory_bits);
+    }
+    if let Some(e) = run.output {
+        assert!(triad::graph::triangles::is_triangle_edge(inst.graph(), e));
+    }
+}
+
+#[test]
+fn message_passing_costs_exceed_coordinator_verdict_unchanged() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let g = triad::graph::generators::far_graph(300, 6.0, 0.2, &mut rng).unwrap();
+    let parts = random_disjoint(&g, 5, &mut rng);
+    let tester = UnrestrictedTester::new(Tuning::practical(0.2));
+    let coord = tester.run(&g, &parts, 7).unwrap();
+    let mp = UnrestrictedTester::new(Tuning::practical(0.2))
+        .with_cost_model(CostModel::MessagePassing)
+        .run(&g, &parts, 7)
+        .unwrap();
+    assert_eq!(coord.outcome, mp.outcome, "routing overhead must not change verdicts");
+    assert!(mp.stats.total_bits > coord.stats.total_bits);
+    // Overhead is exactly ⌈log₂ k⌉ per message.
+    let per_msg = (5f64).log2().ceil() as u64;
+    assert_eq!(
+        mp.stats.total_bits - coord.stats.total_bits,
+        per_msg * mp.stats.messages,
+    );
+}
+
+#[test]
+fn newman_conversion_is_consistent_across_parties() {
+    let shares = vec![vec![], vec![], vec![]];
+    let base = SharedRandomness::new(99);
+    let mut rt1 = Runtime::local(10, &shares, base, CostModel::Coordinator);
+    let mut rt2 = Runtime::local(10, &shares, base, CostModel::Coordinator);
+    let s1 = rt1.announce_seed_from_family(256);
+    let s2 = rt2.announce_seed_from_family(256);
+    assert_eq!(s1.seed(), s2.seed(), "same base seed ⇒ same announced index");
+    // Announcement billed to every player (binary length of 256 is 9).
+    assert_eq!(rt1.stats().total_bits, 3 * 9);
+    // Blackboard: billed once.
+    let mut rt3 = Runtime::local(10, &shares, base, CostModel::Blackboard);
+    rt3.announce_seed_from_family(256);
+    assert_eq!(rt3.stats().total_bits, 9);
+}

@@ -1,0 +1,121 @@
+//! The coverage matrix: every tester × every workload family × every
+//! partition scheme, checked for soundness (never a fake witness) and
+//! completeness (finds witnesses on far inputs at a healthy rate).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad::graph::generators::{dense_core, far_graph, ChungLu};
+use triad::graph::partition::{
+    adversarial_triangle_split, by_vertex, random_disjoint, with_duplication, Partition,
+};
+use triad::graph::{distance, Graph};
+use triad::protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
+
+fn workloads(rng: &mut ChaCha8Rng) -> Vec<(&'static str, Graph)> {
+    vec![
+        ("planted_far", far_graph(400, 8.0, 0.2, rng).unwrap()),
+        ("dense_core", dense_core(400, 4, rng).unwrap().graph().clone()),
+        ("power_law", ChungLu::new(400, 10.0, 2.2).unwrap().sample(rng)),
+    ]
+}
+
+fn partitions(g: &Graph, rng: &mut ChaCha8Rng) -> Vec<(&'static str, Partition)> {
+    vec![
+        ("disjoint", random_disjoint(g, 4, rng)),
+        ("duplicated", with_duplication(g, 4, 0.4, rng)),
+        ("by_vertex", by_vertex(g, 4)),
+        ("adversarial", adversarial_triangle_split(g, 4, rng)),
+    ]
+}
+
+#[test]
+fn completeness_matrix_on_far_workloads() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let tuning = Tuning::practical(0.2);
+    for (wname, g) in workloads(&mut rng) {
+        // Every workload here is triangle-rich; confirm the premise.
+        assert!(
+            !distance::is_triangle_free(&g),
+            "workload {wname} unexpectedly triangle-free"
+        );
+        let d = g.average_degree();
+        for (pname, parts) in partitions(&g, &mut rng) {
+            let testers: Vec<(&str, Box<dyn Fn(u64) -> bool>)> = vec![
+                (
+                    "unrestricted",
+                    Box::new(|s| {
+                        UnrestrictedTester::new(tuning)
+                            .run(&g, &parts, s)
+                            .unwrap()
+                            .outcome
+                            .found_triangle()
+                    }),
+                ),
+                (
+                    "oblivious",
+                    Box::new(|s| {
+                        SimultaneousTester::new(tuning, SimProtocolKind::Oblivious)
+                            .run(&g, &parts, s)
+                            .unwrap()
+                            .outcome
+                            .found_triangle()
+                    }),
+                ),
+                (
+                    "alg_low",
+                    Box::new(|s| {
+                        SimultaneousTester::new(
+                            tuning,
+                            SimProtocolKind::Low { avg_degree: d },
+                        )
+                        .run(&g, &parts, s)
+                        .unwrap()
+                        .outcome
+                        .found_triangle()
+                    }),
+                ),
+            ];
+            for (tname, run) in testers {
+                let hits = (0..8).filter(|s| run(*s)).count();
+                assert!(
+                    hits >= 5,
+                    "{tname} on {wname}/{pname}: only {hits}/8 successes"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn soundness_matrix_on_triangle_free_workloads() {
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let tuning = Tuning::practical(0.2);
+    // Three triangle-free families: path, star, bipartite.
+    let frees: Vec<(&str, Graph)> = vec![
+        ("path", Graph::from_edges(200, (0..199).map(|i| (i as u32, i as u32 + 1)))),
+        ("star", Graph::from_edges(200, (1..200).map(|i| (0u32, i as u32)))),
+        ("bipartite", Graph::from_edges(200, (0..100).map(|i| (i as u32, i as u32 + 100)))),
+    ];
+    for (wname, g) in frees {
+        assert!(distance::is_triangle_free(&g));
+        for (pname, parts) in partitions(&g, &mut rng) {
+            for seed in 0..4 {
+                let u = UnrestrictedTester::new(tuning).run(&g, &parts, seed).unwrap();
+                assert!(u.outcome.accepts(), "unrestricted fabricated on {wname}/{pname}");
+                for kind in [
+                    SimProtocolKind::Low { avg_degree: 2.0 },
+                    SimProtocolKind::High { avg_degree: 2.0 },
+                    SimProtocolKind::Oblivious,
+                ] {
+                    let r = SimultaneousTester::new(tuning, kind)
+                        .run(&g, &parts, seed)
+                        .unwrap();
+                    assert!(
+                        r.outcome.accepts(),
+                        "{kind:?} fabricated on {wname}/{pname}"
+                    );
+                }
+            }
+        }
+    }
+}

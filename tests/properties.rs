@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) on the substrate invariants the
+//! protocols rely on.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use triad::comm::{bits, Payload, SharedRandomness};
+use triad::graph::partition::Partition;
+use triad::graph::{buckets, distance, triangles, Edge, Graph, GraphBuilder, VertexId};
+
+/// Strategy: a random edge list over `n` vertices.
+fn edge_list(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges)
+        .prop_map(|pairs| pairs.into_iter().filter(|(a, b)| a != b).collect())
+}
+
+fn build(n: usize, pairs: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for (a, bb) in pairs {
+        b.add_edge(Edge::new(VertexId(*a), VertexId(*bb)));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn graph_degrees_sum_to_twice_edges(pairs in edge_list(40, 120)) {
+        let g = build(40, &pairs);
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn has_edge_agrees_with_edge_list(pairs in edge_list(30, 80)) {
+        let g = build(30, &pairs);
+        let set: HashSet<Edge> = g.edges().iter().copied().collect();
+        for a in 0..30u32 {
+            for b in (a + 1)..30 {
+                let e = Edge::new(VertexId(a), VertexId(b));
+                prop_assert_eq!(g.has_edge(e), set.contains(&e));
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches_enumeration(pairs in edge_list(25, 100)) {
+        let g = build(25, &pairs);
+        let ts = triangles::enumerate_triangles(&g);
+        prop_assert_eq!(ts.len() as u64, triangles::count_triangles(&g));
+        let unique: HashSet<_> = ts.iter().collect();
+        prop_assert_eq!(unique.len(), ts.len(), "no duplicate triangles");
+        for t in &ts {
+            prop_assert!(t.exists_in(&g));
+        }
+    }
+
+    #[test]
+    fn packing_is_edge_disjoint_and_certifies(pairs in edge_list(25, 100)) {
+        let g = build(25, &pairs);
+        let packing = triangles::greedy_triangle_packing(&g);
+        let mut used = HashSet::new();
+        for t in &packing {
+            prop_assert!(t.exists_in(&g));
+            for e in t.edges() {
+                prop_assert!(used.insert(e), "edge reused across packed triangles");
+            }
+        }
+        // Packing is maximal: after removing one edge per packed triangle
+        // *all three*, no triangle may remain that is edge-disjoint from
+        // the packing. Weaker checkable fact: if there is any triangle,
+        // and the packing is empty, that is a bug.
+        if triangles::contains_triangle(&g) {
+            prop_assert!(!packing.is_empty());
+        }
+        let bounds = distance::distance_bounds(&g);
+        prop_assert!(bounds.lower <= bounds.upper);
+    }
+
+    #[test]
+    fn hitting_set_removal_destroys_all_triangles(pairs in edge_list(20, 60)) {
+        let g = build(20, &pairs);
+        let removed: HashSet<Edge> =
+            distance::greedy_hitting_removal(&g).into_iter().collect();
+        prop_assert!(distance::is_triangle_free(&g.without_edges(&removed)));
+    }
+
+    #[test]
+    fn bucketing_is_a_partition_of_non_isolated(pairs in edge_list(40, 120)) {
+        let g = build(40, &pairs);
+        let b = buckets::Bucketing::new(&g);
+        let mut assigned = 0usize;
+        for i in 0..b.num_buckets() {
+            for v in b.bucket(i) {
+                let d = g.degree(*v);
+                prop_assert!(d as u64 >= buckets::d_minus(i));
+                prop_assert!((d as u64) < buckets::d_plus(i));
+                assigned += 1;
+            }
+        }
+        let non_isolated = g.vertices().filter(|v| g.degree(*v) > 0).count();
+        prop_assert_eq!(assigned, non_isolated);
+    }
+
+    #[test]
+    fn payload_bit_len_is_monotone_in_content(
+        edges_a in edge_list(64, 20),
+        edges_b in edge_list(64, 20),
+    ) {
+        let to_edges = |pairs: &[(u32, u32)]| -> Vec<Edge> {
+            pairs.iter().map(|(a, b)| Edge::new(VertexId(*a), VertexId(*b))).collect()
+        };
+        let a = to_edges(&edges_a);
+        let mut both = a.clone();
+        both.extend(to_edges(&edges_b));
+        let n = 64;
+        prop_assert!(
+            Payload::Edges(a).bit_len(n) <= Payload::Edges(both).bit_len(n)
+        );
+    }
+
+    #[test]
+    fn bits_per_vertex_is_sufficient(n in 2usize..100_000) {
+        let width = bits::bits_per_vertex(n);
+        prop_assert!(1u64 << width >= n as u64, "width {width} cannot address {n}");
+        prop_assert!(width <= 17);
+    }
+
+    #[test]
+    fn shared_randomness_is_pure(seed in any::<u64>(), tag in any::<u64>(), item in any::<u64>()) {
+        let s1 = SharedRandomness::new(seed);
+        let s2 = SharedRandomness::new(seed);
+        prop_assert_eq!(s1.value(tag, item), s2.value(tag, item));
+        let u = s1.unit(tag, item);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn partition_union_has_no_new_edges(pairs in edge_list(30, 80), k in 1usize..6) {
+        let g = build(30, &pairs);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        use rand::SeedableRng;
+        let parts = triad::graph::partition::random_disjoint(&g, k, &mut rng);
+        prop_assert!(parts.covers(&g));
+        prop_assert!(parts.is_disjoint());
+        let all: HashSet<Edge> = g.edges().iter().copied().collect();
+        for share in parts.shares() {
+            for e in share {
+                prop_assert!(all.contains(e));
+            }
+        }
+    }
+
+    #[test]
+    fn vee_closing_matches_graph(pairs in edge_list(15, 40)) {
+        let g = build(15, &pairs);
+        // Every vee of every vertex closes iff the closing edge exists.
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            for (i, a) in nbrs.iter().enumerate() {
+                for b in &nbrs[i + 1..] {
+                    let vee = triangles::Vee::new(v, *a, *b);
+                    let closed = vee.close_in(&g).is_some();
+                    prop_assert_eq!(closed, g.has_edge(Edge::new(*a, *b)));
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn protocol_witnesses_are_sound_on_arbitrary_inputs(
+        pairs in edge_list(40, 160),
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        // The one-sided guarantee must hold for ARBITRARY inputs, not just
+        // promise-respecting ones.
+        let g = build(40, &pairs);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let parts = triad::graph::partition::random_disjoint(&g, k, &mut rng);
+        let tuning = triad::protocols::Tuning::practical(0.25);
+        let run = triad::protocols::UnrestrictedTester::new(tuning)
+            .run(&g, &parts, seed)
+            .unwrap();
+        if let Some(t) = run.outcome.triangle() {
+            prop_assert!(t.exists_in(&g));
+        }
+        let sim = triad::protocols::SimultaneousTester::new(
+            tuning,
+            triad::protocols::SimProtocolKind::Oblivious,
+        )
+        .run(&g, &parts, seed)
+        .unwrap();
+        if let Some(t) = sim.outcome.triangle() {
+            prop_assert!(t.exists_in(&g));
+        }
+    }
+
+    #[test]
+    fn bm_reduction_dichotomy(n_pairs in 2usize..24, seed in 0u64..500, zero_side in any::<bool>()) {
+        use triad::graph::generators::{BmInstance, BmSide};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let side = if zero_side { BmSide::AllZero } else { BmSide::AllOne };
+        let inst = BmInstance::sample(n_pairs, side, &mut rng);
+        let g = inst.reduction_graph();
+        match side {
+            BmSide::AllOne => prop_assert!(distance::is_triangle_free(&g)),
+            BmSide::AllZero => {
+                let packing = triangles::greedy_triangle_packing(&g);
+                prop_assert!(packing.len() >= n_pairs);
+            }
+        }
+    }
+}

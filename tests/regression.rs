@@ -1,0 +1,105 @@
+//! Shape-regression guards: quick-scale versions of the headline
+//! experiment fits, locked to the ranges the paper predicts. If a
+//! protocol or cost-model change breaks a scaling exponent, this fails
+//! before `reproduce` ever runs.
+
+use triad_bench_shim::*;
+
+/// The bench crate is not a dependency of the facade; re-derive the two
+/// fits inline from the public library APIs.
+mod triad_bench_shim {
+    pub use rand::SeedableRng;
+    pub use rand_chacha::ChaCha8Rng;
+    pub use triad::graph::generators::far_graph;
+    pub use triad::graph::partition::random_disjoint;
+    pub use triad::protocols::{SimProtocolKind, SimultaneousTester, Tuning};
+
+    pub fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
+        let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+        let n = lx.len() as f64;
+        let mx = lx.iter().sum::<f64>() / n;
+        let my = ly.iter().sum::<f64>() / n;
+        let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let sxx: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+        sxy / sxx
+    }
+}
+
+#[test]
+fn alg_low_exponent_stays_near_half() {
+    let tuning = Tuning::practical(0.2);
+    let d = 8.0;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in &[1000usize, 4000, 16000, 64000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 6, &mut rng);
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
+        let bits: u64 =
+            (0..4).map(|s| tester.run(&g, &parts, s).unwrap().stats.total_bits).sum();
+        xs.push(n as f64);
+        ys.push(bits as f64 / 4.0);
+    }
+    let e = fit_exponent(&xs, &ys);
+    assert!(
+        (0.45..=0.75).contains(&e),
+        "AlgLow exponent {e:.2} drifted out of the √n·polylog band"
+    );
+}
+
+#[test]
+fn alg_high_exponent_stays_near_third() {
+    let tuning = Tuning::practical(0.2);
+    let n = 4096usize;
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &c in &[0.5f64, 0.6, 0.7, 0.8] {
+        let d = (n as f64).powf(c);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+        let dd = g.average_degree();
+        let parts = random_disjoint(&g, 6, &mut rng);
+        let tester =
+            SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: dd });
+        let bits: u64 =
+            (0..3).map(|s| tester.run(&g, &parts, s).unwrap().stats.total_bits).sum();
+        xs.push(n as f64 * dd);
+        ys.push(bits as f64 / 3.0);
+    }
+    let e = fit_exponent(&xs, &ys);
+    assert!(
+        (0.28..=0.45).contains(&e),
+        "AlgHigh exponent {e:.2} drifted out of the (nd)^⅓ band"
+    );
+}
+
+#[test]
+fn exact_baseline_factor_keeps_growing() {
+    // The §5 headline must never regress: testing beats exact detection
+    // by a factor growing with n.
+    let tuning = Tuning::practical(0.2);
+    let d = 8.0;
+    let mut factors = Vec::new();
+    for &n in &[2000usize, 32000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = far_graph(n, d, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 6, &mut rng);
+        let exact = triad::protocols::baseline::run_send_everything(&g, &parts, 0)
+            .unwrap()
+            .stats
+            .total_bits as f64;
+        let low = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d })
+            .run(&g, &parts, 1)
+            .unwrap()
+            .stats
+            .total_bits as f64;
+        factors.push(exact / low);
+    }
+    assert!(factors[0] > 4.0, "speedup at n=2000 only {:.1}", factors[0]);
+    assert!(
+        factors[1] > 2.0 * factors[0],
+        "speedup must grow with n: {factors:?}"
+    );
+}

@@ -21,7 +21,11 @@ fn bench_ablation(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                tester.run(&g, parts, seed).unwrap().outcome.found_triangle()
+                tester
+                    .run(&g, parts, seed)
+                    .unwrap()
+                    .outcome
+                    .found_triangle()
             });
         });
     }

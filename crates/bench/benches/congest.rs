@@ -17,7 +17,9 @@ fn bench_congest(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                Network::new(g, seed).run_until(&TriangleTester::new(), 50).rounds
+                Network::new(g, seed)
+                    .run_until(&TriangleTester::new(), 50)
+                    .rounds
             });
         });
         group.bench_with_input(BenchmarkId::new("counter_20it", n), &g, |b, g| {

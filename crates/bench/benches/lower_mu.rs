@@ -29,7 +29,9 @@ fn bench_lower_mu(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    adversary::one_way_vee_attempt(&inst, budget, seed).stats.total_bits
+                    adversary::one_way_vee_attempt(&inst, budget, seed)
+                        .stats
+                        .total_bits
                 });
             },
         );

@@ -18,7 +18,11 @@ fn bench_oblivious(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+                    tester
+                        .run(&w.graph, &w.partition, seed)
+                        .unwrap()
+                        .stats
+                        .total_bits
                 });
             },
         );

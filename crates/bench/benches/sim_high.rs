@@ -12,8 +12,7 @@ fn bench_sim_high(c: &mut Criterion) {
     for &exp in &[0.5f64, 0.65, 0.8] {
         let d = (n as f64).powf(exp);
         let w = planted_far(n, d, 0.2, 6, 5);
-        let tester =
-            SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("d=n^{exp}")),
             &w,
@@ -21,7 +20,11 @@ fn bench_sim_high(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+                    tester
+                        .run(&w.graph, &w.partition, seed)
+                        .unwrap()
+                        .stats
+                        .total_bits
                 });
             },
         );

@@ -15,7 +15,11 @@ fn bench_sim_low(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+                tester
+                    .run(&w.graph, &w.partition, seed)
+                    .unwrap()
+                    .stats
+                    .total_bits
             });
         });
     }

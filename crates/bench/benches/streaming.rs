@@ -29,7 +29,9 @@ fn bench_streaming(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let alg = TriangleEdgeStream::new(SharedRandomness::new(seed), 1, cap);
-                stream_as_one_way(alg, 384, &inst.player_inputs()).stats.total_bits
+                stream_as_one_way(alg, 384, &inst.player_inputs())
+                    .stats
+                    .total_bits
             });
         });
     }

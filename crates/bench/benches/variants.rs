@@ -19,7 +19,11 @@ fn bench_variants(c: &mut Criterion) {
     let duplicated = with_duplication(&g, 8, 0.5, &mut rng);
     for (name, parts, model) in [
         ("coordinator_disjoint", &disjoint, CostModel::Coordinator),
-        ("coordinator_duplicated", &duplicated, CostModel::Coordinator),
+        (
+            "coordinator_duplicated",
+            &duplicated,
+            CostModel::Coordinator,
+        ),
         ("blackboard_duplicated", &duplicated, CostModel::Blackboard),
     ] {
         let tester = UnrestrictedTester::new(tuning).with_cost_model(model);

@@ -14,7 +14,10 @@ fn bench_vs_exact(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run_send_everything(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+            run_send_everything(&w.graph, &w.partition, seed)
+                .unwrap()
+                .stats
+                .total_bits
         });
     });
     let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: w.d });
@@ -22,7 +25,11 @@ fn bench_vs_exact(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            tester.run(&w.graph, &w.partition, seed).unwrap().stats.total_bits
+            tester
+                .run(&w.graph, &w.partition, seed)
+                .unwrap()
+                .stats
+                .total_bits
         });
     });
     group.finish();

@@ -1,23 +1,36 @@
-//! Regenerates every experiment (E1–E12) and prints its table.
+//! Regenerates every experiment (E1–E17) and prints its table.
 //!
 //! ```text
-//! reproduce [--quick] [--markdown] [e1 e5 ...]
+//! reproduce [--quick] [--markdown] [--json-dir DIR] [e1 e5 ...]
 //! ```
 //!
-//! With no experiment ids, all twelve run in order. `--quick` shrinks the
-//! sweeps (seconds instead of minutes); `--markdown` emits the
-//! EXPERIMENTS.md table format.
+//! With no experiment ids, all seventeen run in order. `--quick` shrinks
+//! the sweeps (seconds instead of minutes); `--markdown` emits the
+//! EXPERIMENTS.md table format; `--json-dir DIR` additionally writes the
+//! standard cost suite as `DIR/BENCH_costs.json` (the schema of
+//! `docs/OBSERVABILITY.md`), diffable across revisions.
 
 use triad_bench::experiments::{all, Scale};
+use triad_bench::report::{standard_suite, write_bench_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
+    let json_dir = args.iter().position(|a| a == "--json-dir").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--json-dir needs a directory argument");
+            std::process::exit(1);
+        })
+    });
     let wanted: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--json-dir")
+        })
+        .map(|(_, a)| a.to_lowercase())
         .collect();
     let scale = if quick { Scale::Quick } else { Scale::Full };
     let registry = all();
@@ -36,8 +49,19 @@ fn main() {
         }
         ran += 1;
     }
+    if let Some(dir) = json_dir {
+        let reports = standard_suite(scale);
+        match write_bench_json(std::path::Path::new(&dir), "costs", &reports) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_costs.json to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+        ran += 1;
+    }
     if ran == 0 {
-        eprintln!("unknown experiment id(s) {wanted:?}; available: e1..e12");
+        eprintln!("unknown experiment id(s) {wanted:?}; available: e1..e17");
         std::process::exit(1);
     }
 }

@@ -2,15 +2,13 @@
 
 use super::Scale;
 use crate::table::{f, Report};
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
 use triad_comm::{CostModel, Runtime, SharedRandomness};
 use triad_graph::partition::{random_disjoint, with_duplication};
 use triad_graph::{Edge, Graph, GraphBuilder, VertexId};
-use triad_protocols::blocks::{
-    approx_degree, approx_degree_no_duplication, random_edge,
-};
+use triad_protocols::blocks::{approx_degree, approx_degree_no_duplication, random_edge};
 use triad_protocols::Tuning;
 
 fn star(n: usize, degree: usize) -> Graph {
@@ -83,7 +81,9 @@ pub fn e8_building_blocks(scale: Scale) -> Report {
     );
 
     // Random-edge uniformity under duplication (χ² against uniform).
-    let edges: Vec<Edge> = (0..8u32).map(|i| Edge::new(VertexId(i), VertexId(i + 8))).collect();
+    let edges: Vec<Edge> = (0..8u32)
+        .map(|i| Edge::new(VertexId(i), VertexId(i + 8)))
+        .collect();
     // Edge 0 is held by all players; the rest by one each.
     let mut shares = vec![Vec::new(); 4];
     for (i, e) in edges.iter().enumerate() {

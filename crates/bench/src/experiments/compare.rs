@@ -31,10 +31,16 @@ pub fn e7_vs_exact(scale: Scale) -> Report {
     let mut speedups = Vec::new();
     for &n in ns {
         let w = planted_far(n, d, EPS, k, 17);
-        let exact = run_send_everything(&w.graph, &w.partition, 0).unwrap().stats.total_bits
-            as f64;
+        let exact = run_send_everything(&w.graph, &w.partition, 0)
+            .unwrap()
+            .stats
+            .total_bits as f64;
         let unres = mean_over_seeds(trials, |s| {
-            UnrestrictedTester::new(tuning).run(&w.graph, &w.partition, s).unwrap().stats.total_bits
+            UnrestrictedTester::new(tuning)
+                .run(&w.graph, &w.partition, s)
+                .unwrap()
+                .stats
+                .total_bits
         });
         let low = mean_over_seeds(trials, |s| {
             SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: w.d })
@@ -63,7 +69,11 @@ pub fn e7_vs_exact(scale: Scale) -> Report {
     }
     report.note(format!(
         "speedup grows monotonically with n ({}), as Ω(knd) vs Õ(k√n) predicts",
-        speedups.iter().map(|s| format!("{s:.0}×")).collect::<Vec<_>>().join(" → ")
+        speedups
+            .iter()
+            .map(|s| format!("{s:.0}×"))
+            .collect::<Vec<_>>()
+            .join(" → ")
     ));
     report
 }
@@ -110,8 +120,10 @@ pub fn e9_bucketing_ablation(scale: Scale) -> Report {
     let tuning = Tuning::practical(0.25);
     let trials = scale.pick(5u64, 15);
     let k = 4;
-    let cases: &[(usize, usize)] =
-        scale.pick(&[(4000, 18)][..], &[(4000, 18), (16000, 18), (64000, 18)][..]);
+    let cases: &[(usize, usize)] = scale.pick(
+        &[(4000, 18)][..],
+        &[(4000, 18), (16000, 18), (64000, 18)][..],
+    );
     for &(n, clique) in cases {
         let g = clique_plus_path(n, clique);
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
@@ -120,7 +132,12 @@ pub fn e9_bucketing_ablation(scale: Scale) -> Report {
         let mut bucketed = 0u64;
         let mut uniform = 0u64;
         for seed in 0..trials {
-            if tester.run(&g, &parts, seed).unwrap().outcome.found_triangle() {
+            if tester
+                .run(&g, &parts, seed)
+                .unwrap()
+                .outcome
+                .found_triangle()
+            {
                 bucketed += 1;
             }
             let mut rt = Runtime::local(

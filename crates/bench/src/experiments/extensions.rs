@@ -35,20 +35,18 @@ pub fn e13_h_freeness(scale: Scale) -> Report {
         ("C4", Pattern::cycle(4), n / 10),
         ("C5", Pattern::cycle(5), n / 12),
     ] {
-        let g = planted_copies(n, &pattern, copies, n / 8, &mut rng)
-            .expect("copies fit");
+        let g = planted_copies(n, &pattern, copies, n / 8, &mut rng).expect("copies fit");
         let parts = random_disjoint(&g, 5, &mut rng);
         let d = g.average_degree();
         let mut found = 0u64;
         let mut bits = 0u64;
         for seed in 0..trials {
-            let run = run_h_freeness(tuning, pattern.clone(), &g, &parts, d, seed)
-                .expect("valid run");
+            let run =
+                run_h_freeness(tuning, pattern.clone(), &g, &parts, d, seed).expect("valid run");
             bits += run.stats.total_bits;
             found += u64::from(run.witness.is_some());
         }
-        let proto =
-            triad_protocols::subgraphs::SimHFreeness::new(tuning, pattern.clone(), d);
+        let proto = triad_protocols::subgraphs::SimHFreeness::new(tuning, pattern.clone(), d);
         report.row(vec![
             name.into(),
             n.to_string(),
@@ -65,7 +63,7 @@ pub fn e13_h_freeness(scale: Scale) -> Report {
     report
 }
 
-/// E15 — the CONGEST tester (the paper's §1 motivation, after [10]):
+/// E15 — the CONGEST tester (the paper's §1 motivation, after \[10\]):
 /// rounds-to-detection vs ε — the `O(1/ε²)` round-budget shape.
 pub fn e15_congest(scale: Scale) -> Report {
     use triad_congest::{network::Network, triangle::TriangleTester};
@@ -93,8 +91,7 @@ pub fn e15_congest(scale: Scale) -> Report {
         }
         let third = nv / 3;
         for a in 0..t as u32 {
-            let corners =
-                [2 * a, 2 * a + third, 2 * a + 2 * third].map(|c| c % nv);
+            let corners = [2 * a, 2 * a + third, 2 * a + 2 * third].map(|c| c % nv);
             b.add_triangle(
                 triad_graph::VertexId(corners[0]),
                 triad_graph::VertexId(corners[1]),
@@ -151,7 +148,9 @@ pub fn e15_congest(scale: Scale) -> Report {
             fit.exponent
         ));
     }
-    report.note("every witness verified against the input graph; bandwidth cap enforced by the simulator");
+    report.note(
+        "every witness verified against the input graph; bandwidth cap enforced by the simulator",
+    );
     report
 }
 
@@ -218,16 +217,21 @@ pub fn e17_ruzsa_szemeredi(scale: Scale) -> Report {
     let k = 4;
     let instances: Vec<(&str, triad_graph::Graph)> =
         vec![("RS", g_rs), ("planted", g_pl), ("G(n,p)", g_np)];
-    let parts: Vec<_> =
-        instances.iter().map(|(_, g)| random_disjoint(g, k, &mut rng)).collect();
+    let parts: Vec<_> = instances
+        .iter()
+        .map(|(_, g)| random_disjoint(g, k, &mut rng))
+        .collect();
     for &s in &[0.25f64, 0.5, 1.0] {
         let tuning = triad_protocols::Tuning::practical(1.0 / 3.0).with_scale(s);
         for (i, (name, g)) in instances.iter().enumerate() {
-            let tester =
-                SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: d });
+            let tester = SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: d });
             let hits = (0..trials)
                 .filter(|seed| {
-                    tester.run(g, &parts[i], *seed).unwrap().outcome.found_triangle()
+                    tester
+                        .run(g, &parts[i], *seed)
+                        .unwrap()
+                        .outcome
+                        .found_triangle()
                 })
                 .count();
             let packing = distance::distance_bounds(g).lower;
@@ -236,7 +240,10 @@ pub fn e17_ruzsa_szemeredi(scale: Scale) -> Report {
                 n.to_string(),
                 f(d),
                 triangles::count_triangles(g).to_string(),
-                format!("{packing} ({:.2}·m)", packing as f64 / g.edge_count() as f64),
+                format!(
+                    "{packing} ({:.2}·m)",
+                    packing as f64 / g.edge_count() as f64
+                ),
                 f(s),
                 format!("{hits}/{trials}"),
             ]);
@@ -274,8 +281,11 @@ pub fn e14_streaming(scale: Scale) -> Report {
     let mut threshold_y = Vec::new();
     for &part in parts_sizes {
         let mu = TripartiteMu::new(part, gamma);
-        let caps: Vec<usize> =
-            [1usize, 4, 16, 64, 256].iter().map(|c| c * part / 64).map(|c| c.max(1)).collect();
+        let caps: Vec<usize> = [1usize, 4, 16, 64, 256]
+            .iter()
+            .map(|c| c * part / 64)
+            .map(|c| c.max(1))
+            .collect();
         let mut fifty = None;
         for &cap in &caps {
             let mut hits = 0usize;
@@ -283,11 +293,7 @@ pub fn e14_streaming(scale: Scale) -> Report {
             let mut ow = 0u64;
             for t in 0..trials {
                 let inst = mu.sample(&mut rng);
-                let alg = TriangleEdgeStream::new(
-                    SharedRandomness::new(1000 + t as u64),
-                    1,
-                    cap,
-                );
+                let alg = TriangleEdgeStream::new(SharedRandomness::new(1000 + t as u64), 1, cap);
                 let run = stream_as_one_way(alg, 3 * part, &inst.player_inputs());
                 peak = peak.max(run.peak_memory_bits);
                 ow += run.stats.total_bits;

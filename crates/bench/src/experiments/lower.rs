@@ -16,7 +16,14 @@ pub fn e5_mu_budget_sweeps(scale: Scale) -> Report {
         "E5",
         "triangle-edge finding on the hard distribution μ",
         "Ω((nd)^⅓) bits simultaneous / Ω((nd)^⅙) one-way per player, d = Θ(√n) (Thm 4.1)",
-        &["part n", "budget (edges)", "uniform", "targeted", "one-way", "mean bits (1-way)"],
+        &[
+            "part n",
+            "budget (edges)",
+            "uniform",
+            "targeted",
+            "one-way",
+            "mean bits (1-way)",
+        ],
     );
     let gamma = 1.2;
     let trials = scale.pick(10usize, 25);
@@ -24,10 +31,18 @@ pub fn e5_mu_budget_sweeps(scale: Scale) -> Report {
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     for &part in parts {
         let dist = TripartiteMu::new(part, gamma);
-        let budgets: Vec<usize> =
-            [1usize, 4, 16, 64, 256, 1024].iter().map(|b| *b * part / 64).map(|b| b.max(1)).collect();
-        let uni =
-            adversary::sweep(&dist, &budgets, trials, &mut rng, adversary::uniform_sketch_attempt);
+        let budgets: Vec<usize> = [1usize, 4, 16, 64, 256, 1024]
+            .iter()
+            .map(|b| *b * part / 64)
+            .map(|b| b.max(1))
+            .collect();
+        let uni = adversary::sweep(
+            &dist,
+            &budgets,
+            trials,
+            &mut rng,
+            adversary::uniform_sketch_attempt,
+        );
         let tgt = adversary::sweep(
             &dist,
             &budgets,
@@ -35,8 +50,13 @@ pub fn e5_mu_budget_sweeps(scale: Scale) -> Report {
             &mut rng,
             adversary::targeted_sketch_attempt,
         );
-        let ow =
-            adversary::sweep(&dist, &budgets, trials, &mut rng, adversary::one_way_vee_attempt);
+        let ow = adversary::sweep(
+            &dist,
+            &budgets,
+            trials,
+            &mut rng,
+            adversary::one_way_vee_attempt,
+        );
         for i in 0..budgets.len() {
             report.row(vec![
                 part.to_string(),
@@ -96,7 +116,13 @@ pub fn e6_boolean_matching(scale: Scale) -> Report {
         "E6",
         "Boolean-Matching reduction, constant degree",
         "Ω(√n) one-way bits for testing triangle-freeness at d = Θ(1) (Thm 4.16)",
-        &["pairs n", "revealed", "informed (meas)", "informed (pred)", "success"],
+        &[
+            "pairs n",
+            "revealed",
+            "informed (meas)",
+            "informed (pred)",
+            "success",
+        ],
     );
     let trials = scale.pick(40usize, 150);
     let ns: &[usize] = scale.pick(&[128, 512][..], &[128, 512, 2048, 8192][..]);
@@ -145,12 +171,21 @@ pub fn e11_mu_farness(scale: Scale) -> Report {
         "E11",
         "farness of the hard distribution μ",
         "for small γ, a μ sample is Ω(1)-far from triangle-free w.p. ≥ 1/2 (Lemma 4.5)",
-        &["part n", "γ", "ε tested", "certified-far fraction", "mean packing", "mean edges"],
+        &[
+            "part n",
+            "γ",
+            "ε tested",
+            "certified-far fraction",
+            "mean packing",
+            "mean edges",
+        ],
     );
     let trials = scale.pick(10usize, 40);
     let mut rng = ChaCha8Rng::seed_from_u64(41);
-    let cases: &[(usize, f64)] =
-        scale.pick(&[(64, 1.2)][..], &[(64, 0.6), (64, 1.2), (128, 1.2), (256, 1.2)][..]);
+    let cases: &[(usize, f64)] = scale.pick(
+        &[(64, 1.2)][..],
+        &[(64, 0.6), (64, 1.2), (128, 1.2), (256, 1.2)][..],
+    );
     for &(part, gamma) in cases {
         let dist = TripartiteMu::new(part, gamma);
         let eps = 0.05;

@@ -76,7 +76,11 @@ pub fn e1_unrestricted(scale: Scale) -> Report {
     for k in [3usize, 6, 12, 24] {
         let w = planted_far(n, d, EPS, k, 9);
         let mean = mean_over_seeds(trials, |s| {
-            tester.run(&w.graph, &w.partition, s).unwrap().stats.total_bits
+            tester
+                .run(&w.graph, &w.partition, s)
+                .unwrap()
+                .stats
+                .total_bits
         });
         ks.push(k as f64);
         bits.push(mean);
@@ -153,8 +157,7 @@ pub fn e3_sim_high(scale: Scale) -> Report {
     for &c in exps {
         let d = (n as f64).powf(c);
         let w = planted_far(n, d, EPS, k, 5);
-        let tester =
-            SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
         let mut totals = 0u64;
         let mut found = 0u64;
         for seed in 0..trials {
@@ -188,14 +191,27 @@ pub fn e4_oblivious(scale: Scale) -> Report {
         "E4",
         "degree-oblivious simultaneous tester (Alg. 11)",
         "matches the degree-aware cost up to polylog(n, k) factors, without knowing d (Thm 3.32)",
-        &["n", "d", "aware bits", "oblivious bits", "ratio", "obl. success"],
+        &[
+            "n",
+            "d",
+            "aware bits",
+            "oblivious bits",
+            "ratio",
+            "obl. success",
+        ],
     );
     let tuning = Tuning::practical(EPS);
     let trials = scale.pick(3u64, 8);
     let k = 6;
     let cases: &[(usize, f64)] = scale.pick(
         &[(2000, 8.0), (1024, 64.0)][..],
-        &[(4000, 8.0), (16000, 8.0), (64000, 8.0), (4096, 128.0), (16384, 256.0)][..],
+        &[
+            (4000, 8.0),
+            (16000, 8.0),
+            (64000, 8.0),
+            (4096, 128.0),
+            (16384, 256.0),
+        ][..],
     );
     for &(n, d) in cases {
         let w = planted_far(n, d, EPS, k, 13);
@@ -207,7 +223,11 @@ pub fn e4_oblivious(scale: Scale) -> Report {
         let aware = SimultaneousTester::new(tuning, aware_kind);
         let obl = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious);
         let aware_bits = mean_over_seeds(trials, |s| {
-            aware.run(&w.graph, &w.partition, s).unwrap().stats.total_bits
+            aware
+                .run(&w.graph, &w.partition, s)
+                .unwrap()
+                .stats
+                .total_bits
         });
         let mut obl_bits = 0u64;
         let mut found = 0u64;

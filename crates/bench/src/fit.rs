@@ -25,7 +25,8 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerFit {
         "power-law fit needs positive data"
     );
     assert!(
-        xs.iter().any(|x| (x - xs[0]).abs() > f64::EPSILON * xs[0].abs()),
+        xs.iter()
+            .any(|x| (x - xs[0]).abs() > f64::EPSILON * xs[0].abs()),
         "power-law fit needs at least two distinct x values"
     );
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
@@ -46,8 +47,16 @@ pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerFit {
             (y - pred) * (y - pred)
         })
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    PowerFit { exponent: b, prefactor: a, r_squared: r2 }
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    PowerFit {
+        exponent: b,
+        prefactor: a,
+        r_squared: r2,
+    }
 }
 
 #[cfg(test)]

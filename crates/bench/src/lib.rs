@@ -6,6 +6,8 @@
 //! paper-vs-measured comparison.
 //!
 //! * [`fit`] — log-log regression for scaling exponents,
+//! * [`predict`] — the paper's bounds evaluated at concrete parameters,
+//! * [`report`] — protocol runs rendered as exportable [`triad_comm::CostReport`]s,
 //! * [`table`] — plain-text / Markdown report rendering,
 //! * [`workloads`] — the standard input families at given `(n, d, k)`,
 //! * [`experiments`] — one function per experiment, each returning a
@@ -13,5 +15,7 @@
 
 pub mod experiments;
 pub mod fit;
+pub mod predict;
+pub mod report;
 pub mod table;
 pub mod workloads;

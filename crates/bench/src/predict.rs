@@ -1,0 +1,129 @@
+//! The paper's asymptotic upper bounds, evaluated at concrete
+//! parameters.
+//!
+//! Each function returns the bound's leading term with unit constants
+//! and no polylog factors; exported reports carry the `measured /
+//! predicted` ratio, so the hidden constant-plus-polylog factor is
+//! visible rather than assumed. The formula strings are the exact text
+//! stamped into `CostReport::predicted.formula`, keeping `BENCH_*.json`
+//! files diffable across revisions.
+
+/// A bound's formula (as stamped into reports) and its value at the
+/// run's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The asymptotic formula as written in the paper.
+    pub formula: &'static str,
+    /// The leading term evaluated with unit constants.
+    pub bits: f64,
+}
+
+/// Theorem 3.20 / Corollary 3.21: the unrestricted tester costs
+/// `Õ(k·(nd)^{1/4} + k²)` bits.
+pub fn unrestricted(n: usize, d: f64, k: usize) -> Prediction {
+    let k = k as f64;
+    Prediction {
+        formula: "k·(nd)^{1/4} + k²",
+        bits: k * (n as f64 * d).powf(0.25) + k * k,
+    }
+}
+
+/// Theorem 3.26: the low-degree (`d = O(√n)`) simultaneous tester costs
+/// `O(k·√n·log n)`; the leading term is `k·√n`.
+pub fn sim_low(n: usize, k: usize) -> Prediction {
+    Prediction {
+        formula: "k·√n",
+        bits: k as f64 * (n as f64).sqrt(),
+    }
+}
+
+/// Theorem 3.24: the high-degree (`d = Ω(√n)`) simultaneous tester costs
+/// `O(k·(nd)^{1/3}·log n)`; the leading term is `k·(nd)^{1/3}`.
+pub fn sim_high(n: usize, d: f64, k: usize) -> Prediction {
+    Prediction {
+        formula: "k·(nd)^{1/3}",
+        bits: k as f64 * (n as f64 * d).powf(1.0 / 3.0),
+    }
+}
+
+/// Theorem 3.32: the degree-oblivious simultaneous tester pays both
+/// regimes' terms (up to polylog): `k·(√n + (nd)^{1/3})`.
+pub fn sim_oblivious(n: usize, d: f64, k: usize) -> Prediction {
+    Prediction {
+        formula: "k·(√n + (nd)^{1/3})",
+        bits: k as f64 * ((n as f64).sqrt() + (n as f64 * d).powf(1.0 / 3.0)),
+    }
+}
+
+/// Woodruff–Zhang (\[38\]): exact triangle detection is `Ω(k·n·d)` — here
+/// rendered as the cost of shipping all `m = nd/2` edges at
+/// `2⌈log₂ n⌉` bits each, the exact cost of the `SendEverything`
+/// baseline up to length prefixes.
+pub fn exact(n: usize, d: f64) -> Prediction {
+    let m = n as f64 * d / 2.0;
+    let bits_per_vertex = (n.max(2) as f64).log2().ceil();
+    Prediction {
+        formula: "2m·⌈log₂ n⌉",
+        bits: m * 2.0 * bits_per_vertex,
+    }
+}
+
+/// The prediction for a protocol by its CLI name, or `None` for names
+/// with no closed-form bound in the paper.
+pub fn for_protocol(protocol: &str, n: usize, d: f64, k: usize) -> Option<Prediction> {
+    match protocol {
+        "unrestricted" => Some(unrestricted(n, d, k)),
+        "sim-low" => Some(sim_low(n, k)),
+        "sim-high" => Some(sim_high(n, d, k)),
+        "sim-oblivious" => Some(sim_oblivious(n, d, k)),
+        "exact" => Some(exact(n, d)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_evaluate_to_their_leading_terms() {
+        // n = 256, d = 4 ⇒ nd = 1024: every root is exact.
+        let p = unrestricted(256, 4.0, 3);
+        assert!((p.bits - (3.0 * 1024f64.powf(0.25) + 9.0)).abs() < 1e-9);
+        assert_eq!(sim_low(256, 3).bits, 48.0);
+        assert!((sim_high(256, 4.0, 3).bits - 3.0 * 1024f64.cbrt()).abs() < 1e-9);
+        let ob = sim_oblivious(256, 4.0, 3);
+        assert!((ob.bits - (sim_low(256, 3).bits + sim_high(256, 4.0, 3).bits)).abs() < 1e-9);
+        // m = 512 edges at 2 × 8 bits.
+        assert_eq!(exact(256, 4.0).bits, 512.0 * 16.0);
+    }
+
+    #[test]
+    fn lookup_covers_every_cli_protocol_name() {
+        for name in [
+            "unrestricted",
+            "sim-low",
+            "sim-high",
+            "sim-oblivious",
+            "exact",
+        ] {
+            let p = for_protocol(name, 1024, 8.0, 4).expect(name);
+            assert!(p.bits > 0.0, "{name}");
+        }
+        assert!(for_protocol("unknown", 1024, 8.0, 4).is_none());
+    }
+
+    #[test]
+    fn testers_beat_exact_asymptotically() {
+        let (n, d, k) = (1 << 20, 16.0, 8);
+        let ex = exact(n, d).bits;
+        for p in [
+            unrestricted(n, d, k),
+            sim_low(n, k),
+            sim_high(n, d, k),
+            sim_oblivious(n, d, k),
+        ] {
+            assert!(p.bits < ex / 100.0, "{} should be ≪ exact", p.formula);
+        }
+    }
+}

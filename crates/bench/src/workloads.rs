@@ -26,7 +26,13 @@ pub fn planted_far(n: usize, d: f64, epsilon: f64, k: usize, seed: u64) -> Workl
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let graph = far_graph(n, d, epsilon, &mut rng).expect("valid far-graph parameters");
     let partition = random_disjoint(&graph, k, &mut rng);
-    Workload { n, d: graph.average_degree(), k, graph, partition }
+    Workload {
+        n,
+        d: graph.average_degree(),
+        k,
+        graph,
+        partition,
+    }
 }
 
 /// The §3.4.2 dense-core adversarial workload.
@@ -36,7 +42,16 @@ pub fn dense_core_workload(n: usize, hubs: usize, k: usize, seed: u64) -> (Dense
     let graph = dc.graph().clone();
     let partition = random_disjoint(&graph, k, &mut rng);
     let d = graph.average_degree();
-    (dc, Workload { n, d, k, graph, partition })
+    (
+        dc,
+        Workload {
+            n,
+            d,
+            k,
+            graph,
+            partition,
+        },
+    )
 }
 
 /// The E9 ablation instance: all triangles confined to a small

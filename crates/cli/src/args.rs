@@ -2,33 +2,41 @@
 
 use std::collections::HashMap;
 
-/// Parsed `--key value` pairs.
+/// Parsed `--key value` pairs and bare `--flag` switches.
 #[derive(Debug, Clone, Default)]
 pub struct ArgMap {
     values: HashMap<String, String>,
 }
 
 impl ArgMap {
-    /// Parses alternating `--key value` tokens.
+    /// Parses alternating `--key value` tokens. A `--key` followed by
+    /// another option (or by nothing) is a bare flag and parses as the
+    /// value `true`, so switches like `--json` need no operand.
     ///
     /// # Errors
     ///
-    /// Returns [`CliError::Usage`] on stray tokens or missing values.
+    /// Returns [`CliError::Usage`] on stray tokens or duplicate options.
     pub fn parse(tokens: &[String]) -> Result<Self, CliError> {
         let mut values = HashMap::new();
-        let mut it = tokens.iter();
+        let mut it = tokens.iter().peekable();
         while let Some(tok) = it.next() {
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("expected an option, got `{tok}`")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("option --{key} needs a value")))?;
-            if values.insert(key.to_string(), value.clone()).is_some() {
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            if values.insert(key.to_string(), value).is_some() {
                 return Err(CliError::Usage(format!("option --{key} given twice")));
             }
         }
         Ok(ArgMap { values })
+    }
+
+    /// `true` iff `--key` was given, bare or as `--key true`.
+    pub fn flag(&self, key: &str) -> bool {
+        self.optional(key) == Some("true")
     }
 
     /// A required string option.
@@ -55,9 +63,9 @@ impl ArgMap {
     pub fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.optional(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| CliError::Usage(format!("invalid value for --{key}")))
-            }
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{key}"))),
         }
     }
 }
@@ -136,10 +144,21 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(ArgMap::parse(&argv("stray")).is_err());
-        assert!(ArgMap::parse(&argv("--k")).is_err());
         assert!(ArgMap::parse(&argv("--k 1 --k 2")).is_err());
         let m = ArgMap::parse(&argv("--n xyz")).unwrap();
         assert!(m.required_parsed::<usize>("n").is_err());
         assert!(m.required("missing").is_err());
+    }
+
+    #[test]
+    fn bare_flags_parse_as_true() {
+        let m = ArgMap::parse(&argv("--json --n 10")).unwrap();
+        assert!(m.flag("json"));
+        assert_eq!(m.required_parsed::<usize>("n").unwrap(), 10);
+        let m = ArgMap::parse(&argv("--n 10 --json")).unwrap();
+        assert!(m.flag("json"));
+        assert!(!m.flag("csv"));
+        let m = ArgMap::parse(&argv("--json true")).unwrap();
+        assert!(m.flag("json"));
     }
 }

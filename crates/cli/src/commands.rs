@@ -1,4 +1,4 @@
-//! The four CLI commands.
+//! The CLI commands.
 
 use crate::args::{ArgMap, CliError};
 use rand::SeedableRng;
@@ -136,7 +136,11 @@ pub fn info(args: &ArgMap) -> Result<String, CliError> {
     ));
     out.push_str(&format!(
         "certified {eps}-far: {}\n",
-        if distance::is_certifiably_far(&g, eps) { "yes" } else { "no" }
+        if distance::is_certifiably_far(&g, eps) {
+            "yes"
+        } else {
+            "no"
+        }
     ));
     Ok(out)
 }
@@ -158,7 +162,9 @@ fn load_shares(prefix: &str, n: usize) -> Result<Vec<Vec<triad_graph::Edge>>, Cl
         shares.push(g.edges().to_vec());
     }
     if shares.is_empty() {
-        return Err(CliError::Usage(format!("no share files found at {prefix}.0")));
+        return Err(CliError::Usage(format!(
+            "no share files found at {prefix}.0"
+        )));
     }
     Ok(shares)
 }
@@ -209,11 +215,18 @@ pub fn hfree(args: &ArgMap) -> Result<String, CliError> {
     let verdict = match run.witness {
         Some(hosts) => format!(
             "copy found at {}",
-            hosts.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")
+            hosts
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         None => "accepted (no copy found)".to_string(),
     };
-    Ok(format!("{verdict}\n{} bits, 1 round\n", run.stats.total_bits))
+    Ok(format!(
+        "{verdict}\n{} bits, 1 round\n",
+        run.stats.total_bits
+    ))
 }
 
 /// `triad congest` — run the distributed (CONGEST) tester and counter.
@@ -263,7 +276,10 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
         other => return Err(CliError::Usage(format!("unknown --cost-model `{other}`"))),
     };
     let tuning = Tuning::practical(eps);
-    let breakdown = args.optional("breakdown").map(|v| v == "true").unwrap_or(false);
+    let breakdown = args
+        .optional("breakdown")
+        .map(|v| v == "true")
+        .unwrap_or(false);
     if breakdown && protocol != "unrestricted" {
         return Err(CliError::Usage(
             "--breakdown is only available for --protocol unrestricted \
@@ -295,7 +311,11 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
                 row.label, row.bits, row.messages
             ));
         }
-        out.push_str(&format!("  {:<18} {:>10} bits total\n", "=", rt.stats().total_bits));
+        out.push_str(&format!(
+            "  {:<18} {:>10} bits total\n",
+            "=",
+            rt.stats().total_bits
+        ));
         return Ok(out);
     }
     let run: ProtocolRun = match protocol {
@@ -306,8 +326,9 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
             .run(&g, &parts, seed)?,
         "high" => SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: d })
             .run(&g, &parts, seed)?,
-        "oblivious" => SimultaneousTester::new(tuning, SimProtocolKind::Oblivious)
-            .run(&g, &parts, seed)?,
+        "oblivious" => {
+            SimultaneousTester::new(tuning, SimProtocolKind::Oblivious).run(&g, &parts, seed)?
+        }
         "exact" => run_send_everything(&g, &parts, seed)?,
         other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
     };
@@ -319,4 +340,51 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
         "{verdict}\n{} bits, {} rounds, {} messages, max player message {} bits\n",
         run.stats.total_bits, run.stats.rounds, run.stats.messages, run.stats.max_player_sent_bits
     ))
+}
+
+/// `triad report` — generate an input, run a protocol, and emit a
+/// structured cost report (text or JSON) with per-phase and per-player
+/// breakdowns plus the paper's predicted bound. The schema is documented
+/// in `docs/OBSERVABILITY.md`.
+pub fn report(args: &ArgMap) -> Result<String, CliError> {
+    use triad_bench::report as engine;
+    let protocol = args.required("protocol")?;
+    let generator = args.required("gen")?;
+    let n: usize = args.required_parsed("n")?;
+    let k: usize = args.required_parsed("k")?;
+    let d: f64 = args.parsed_or("d", 8.0)?;
+    let eps: f64 = args.parsed_or("eps", 0.2)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let w = engine::generate(generator, n, d, eps, k, seed)
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    let run = engine::run_protocol(protocol, &w, eps, seed).map_err(|e| match e {
+        engine::ReportError::Protocol(p) => CliError::Protocol(p),
+        other => CliError::Usage(other.to_string()),
+    })?;
+    let cost = engine::report_for_run(
+        protocol,
+        generator,
+        &run,
+        &run.transcript,
+        n,
+        k,
+        w.d,
+        eps,
+        seed,
+    );
+    if let Some(path) = args.optional("transcript") {
+        run.transcript
+            .write_events_json(BufWriter::new(File::create(path)?))?;
+    }
+    let rendered = if args.flag("json") {
+        format!("{}\n", cost.to_json())
+    } else {
+        cost.to_text()
+    };
+    if let Some(path) = args.optional("out") {
+        use std::io::Write;
+        File::create(path)?.write_all(rendered.as_bytes())?;
+        return Ok(format!("wrote {path}\n"));
+    }
+    Ok(rendered)
 }

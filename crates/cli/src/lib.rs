@@ -4,7 +4,7 @@
 //! processes; [`run`] takes raw arguments and returns the stdout text.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod args;
 mod commands;
@@ -35,6 +35,11 @@ commands:
              [--eps E] [--seed S] [--d D]
   congest    run the distributed (CONGEST) tester, optionally counting
              --graph FILE [--max-rounds R] [--count-iterations I] [--seed S]
+  report     generate an input, run a protocol, and emit a structured cost
+             report (see docs/OBSERVABILITY.md for the JSON schema)
+             --protocol unrestricted|sim-low|sim-high|sim-oblivious|exact
+             --gen planted|gnp|powerlaw|dense-core  --n N  --k K
+             [--d D] [--eps E] [--seed S] [--json] [--out FILE] [--transcript FILE]
 ";
 
 /// Executes one CLI invocation, returning the text to print.
@@ -56,6 +61,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "count" => commands::count(&map),
         "hfree" => commands::hfree(&map),
         "congest" => commands::congest(&map),
+        "report" => commands::report(&map),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -108,7 +114,10 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("bits"), "{out}");
-        assert!(out.contains("triangle") || out.contains("accepted"), "{out}");
+        assert!(
+            out.contains("triangle") || out.contains("accepted"),
+            "{out}"
+        );
         let out = run(&argv(&format!(
             "count --graph {} --shares {} --p 0.5 --trials 4",
             g.display(),
@@ -122,7 +131,10 @@ mod tests {
             shares.display()
         )))
         .unwrap();
-        assert!(out.contains("copy found") || out.contains("accepted"), "{out}");
+        assert!(
+            out.contains("copy found") || out.contains("accepted"),
+            "{out}"
+        );
         let out = run(&argv(&format!(
             "congest --graph {} --max-rounds 100 --count-iterations 10",
             g.display()
@@ -131,6 +143,119 @@ mod tests {
         assert!(out.contains("tester:"), "{out}");
         assert!(out.contains("counter:"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_json_phases_sum_to_total_bits() {
+        // The ISSUE acceptance command: a self-contained report run whose
+        // per-phase bit totals partition the measured total exactly.
+        let out = run(&argv(
+            "report --protocol sim-oblivious --gen planted --n 1024 --k 8 --json",
+        ))
+        .unwrap();
+        let total: u64 = out
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"total_bits\": "))
+            .and_then(|v| v.trim_end_matches(',').parse().ok())
+            .expect("total_bits field");
+        assert!(total > 0);
+        let phases_block = out
+            .split("\"phases\": [")
+            .nth(1)
+            .and_then(|rest| rest.split(']').next())
+            .expect("phases array");
+        let phase_sum: u64 = phases_block
+            .split("\"bits\":")
+            .skip(1)
+            .map(|s| {
+                s.split(',')
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .parse::<u64>()
+                    .expect("bits value")
+            })
+            .sum();
+        assert_eq!(
+            phase_sum, total,
+            "per-phase bits must partition total_bits:\n{out}"
+        );
+        assert!(out.contains("\"schema_version\": 1"), "{out}");
+        assert!(out.contains("\"predicted\": {\"formula\": "), "{out}");
+    }
+
+    #[test]
+    fn report_writes_transcript_and_out_files() {
+        let dir = std::env::temp_dir().join(format!("triad-cli-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let events_path = dir.join("events.json");
+        let out = run(&argv(&format!(
+            "report --protocol unrestricted --gen planted --n 300 --k 4 --d 6 --eps 0.2 \
+             --seed 3 --json --out {} --transcript {}",
+            report_path.display(),
+            events_path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let report = std::fs::read_to_string(&report_path).unwrap();
+        assert!(
+            report.contains("\"protocol\": \"unrestricted\""),
+            "{report}"
+        );
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        let parsed = triad_comm::parse_events_json(&events).unwrap();
+        assert!(!parsed.is_empty());
+        let event_bits: u64 = parsed.iter().map(|e| e.bits).sum();
+        let total: u64 = report
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("\"total_bits\": "))
+            .and_then(|v| v.trim_end_matches(',').parse().ok())
+            .unwrap();
+        assert_eq!(
+            event_bits, total,
+            "exported events must carry every charged bit"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn experiments_md_commands_parse() {
+        // Every `triad …` command listed in EXPERIMENTS.md must stay
+        // valid: known subcommand, parseable arguments, and all options
+        // the subcommand requires present.
+        let md = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS.md"),
+        )
+        .expect("EXPERIMENTS.md at repo root");
+        let commands: Vec<&str> = md
+            .lines()
+            .map(str::trim)
+            .filter(|l| l.starts_with("triad "))
+            .collect();
+        assert!(
+            commands.len() >= 8,
+            "EXPERIMENTS.md should list the triad report commands, found {commands:?}"
+        );
+        for line in commands {
+            let tokens = argv(line.strip_prefix("triad ").unwrap());
+            let (command, rest) = tokens.split_first().unwrap();
+            let map = ArgMap::parse(rest).unwrap_or_else(|e| panic!("`{line}`: {e}"));
+            match command.as_str() {
+                "report" => {
+                    for key in ["protocol", "gen"] {
+                        map.required(key)
+                            .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    }
+                    map.required_parsed::<usize>("n")
+                        .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    map.required_parsed::<usize>("k")
+                        .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                }
+                "gen" | "partition" | "info" | "test" | "count" | "hfree" | "congest" => {}
+                other => panic!("`{line}`: unknown subcommand `{other}`"),
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,7 @@ use std::ops::{Add, AddAssign};
 /// A number of communicated bits.
 ///
 /// A newtype so bit budgets are never confused with counts or vertex ids.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct BitCost(pub u64);
 
 impl BitCost {
@@ -129,7 +127,10 @@ mod tests {
         assert_eq!(c + BitCost(3), BitCost(8));
         let total: BitCost = [BitCost(1), BitCost(2), BitCost(3)].into_iter().sum();
         assert_eq!(total, BitCost(6));
-        assert_eq!(BitCost(u64::MAX).saturating_add(BitCost(1)), BitCost(u64::MAX));
+        assert_eq!(
+            BitCost(u64::MAX).saturating_add(BitCost(1)),
+            BitCost(u64::MAX)
+        );
         assert_eq!(BitCost(7).to_string(), "7 bits");
         assert_eq!(BitCost::from(9u64).get(), 9);
     }

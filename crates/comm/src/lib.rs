@@ -34,13 +34,14 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bits;
 pub mod message;
 pub mod oneway;
 pub mod player;
 pub mod rand;
+pub mod report;
 pub mod request;
 pub mod runtime;
 pub mod simultaneous;
@@ -50,14 +51,20 @@ pub mod transcript;
 pub use bits::BitCost;
 pub use message::Payload;
 pub use oneway::{run_one_way, OneWayProtocol, OneWayRun};
-pub use streaming::{
-    run_stream, stream_as_one_way, EdgeReservoir, StreamAlgorithm, StreamOneWayRun, StreamRun,
-};
 pub use player::PlayerState;
 pub use rand::SharedRandomness;
+pub use report::{
+    write_reports_json, CostReport, PredictedBound, ReportParams, REPORT_SCHEMA_VERSION,
+};
 pub use request::PlayerRequest;
 pub use runtime::{CostModel, LocalTransport, Runtime, ThreadedTransport, Transport};
 pub use simultaneous::{
     run_simultaneous, run_simultaneous_threaded, SimMessage, SimRun, SimultaneousProtocol,
 };
-pub use transcript::{CommStats, Direction, Event, Transcript};
+pub use streaming::{
+    run_stream, stream_as_one_way, EdgeReservoir, StreamAlgorithm, StreamOneWayRun, StreamRun,
+};
+pub use transcript::{
+    parse_events_csv, parse_events_json, CommStats, Direction, Event, LabelTotals, OwnedEvent,
+    ParseError, Rollup, Transcript, DEFAULT_PHASE,
+};

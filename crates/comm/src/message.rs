@@ -85,7 +85,10 @@ mod tests {
         assert_eq!(Payload::Vertex(None).bit_len(n), BitCost(1));
         assert_eq!(Payload::Vertex(Some(v(3))).bit_len(n), BitCost(11));
         assert_eq!(Payload::Edge(None).bit_len(n), BitCost(1));
-        assert_eq!(Payload::Edge(Some(Edge::new(v(0), v(1)))).bit_len(n), BitCost(21));
+        assert_eq!(
+            Payload::Edge(Some(Edge::new(v(0), v(1)))).bit_len(n),
+            BitCost(21)
+        );
         assert_eq!(Payload::Triangle(None).bit_len(n), BitCost(1));
         assert_eq!(
             Payload::Triangle(Some(Triangle::new(v(0), v(1), v(2)))).bit_len(n),

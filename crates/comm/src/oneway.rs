@@ -92,7 +92,10 @@ pub fn run_one_way<P: OneWayProtocol>(
     shares: &[Vec<Edge>],
     shared: SharedRandomness,
 ) -> OneWayRun<P::Output> {
-    assert!(shares.len() >= 2, "one-way model needs at least two players");
+    assert!(
+        shares.len() >= 2,
+        "one-way model needs at least two players"
+    );
     let players = players_from_shares(n, shares);
     let mut messages: Vec<SimMessage> = Vec::with_capacity(players.len() - 1);
     let mut hop_bits = Vec::with_capacity(players.len() - 1);

@@ -45,7 +45,13 @@ impl PlayerState {
             .filter(|v| !adj[*v].is_empty())
             .map(VertexId::from_index)
             .collect();
-        PlayerState { id, n, edges, adj, occupied }
+        PlayerState {
+            id,
+            n,
+            edges,
+            adj,
+            occupied,
+        }
     }
 
     /// The player's index `j ∈ 0..k`.
@@ -102,24 +108,33 @@ impl PlayerState {
                 Payload::Edge(best)
             }
             PlayerRequest::FirstEdge { perm_tag } => {
-                let best =
-                    self.edges.iter().copied().min_by_key(|e| shared.edge_rank(*perm_tag, *e));
+                let best = self
+                    .edges
+                    .iter()
+                    .copied()
+                    .min_by_key(|e| shared.edge_rank(*perm_tag, *e));
                 Payload::Edge(best)
             }
-            PlayerRequest::LocalDegree { v } => {
-                Payload::Count(self.local_degree(*v) as u64)
-            }
+            PlayerRequest::LocalDegree { v } => Payload::Count(self.local_degree(*v) as u64),
             PlayerRequest::LocalEdgeCount => Payload::Count(self.edges.len() as u64),
             PlayerRequest::EdgeCountMsb => {
                 let c = self.edges.len() as u64;
-                Payload::Count(if c == 0 { 0 } else { 64 - c.leading_zeros() as u64 })
+                Payload::Count(if c == 0 {
+                    0
+                } else {
+                    64 - c.leading_zeros() as u64
+                })
             }
             PlayerRequest::GlobalSampleHit { tag, p } => {
                 Payload::Bit(self.edges.iter().any(|e| shared.edge_sampled(*tag, *e, *p)))
             }
             PlayerRequest::DegreeMsb { v } => {
                 let d = self.local_degree(*v) as u64;
-                Payload::Count(if d == 0 { 0 } else { 64 - d.leading_zeros() as u64 })
+                Payload::Count(if d == 0 {
+                    0
+                } else {
+                    64 - d.leading_zeros() as u64
+                })
             }
             PlayerRequest::DegreePrefix { v, prefix_bits } => {
                 let d = self.local_degree(*v) as u64;
@@ -131,22 +146,31 @@ impl PlayerState {
                     d
                 };
                 // Cost: the kept prefix plus the exponent (≈ loglog d).
-                let cost =
-                    u64::from(*prefix_bits) + crate::bits::bits_for_count(width.max(1));
+                let cost = u64::from(*prefix_bits) + crate::bits::bits_for_count(width.max(1));
                 Payload::Bits(truncated, cost as u32)
             }
             PlayerRequest::SampleHit { v, tag, p } => {
-                let hit =
-                    self.adj[v.index()].iter().any(|u| shared.vertex_sampled(*tag, *u, *p));
+                let hit = self.adj[v.index()]
+                    .iter()
+                    .any(|u| shared.vertex_sampled(*tag, *u, *p));
                 Payload::Bit(hit)
             }
-            PlayerRequest::FirstSuspectInBucket { bucket, k, perm_tag } => {
+            PlayerRequest::FirstSuspectInBucket {
+                bucket,
+                k,
+                perm_tag,
+            } => {
                 let best = self
                     .suspects(*bucket, *k)
                     .min_by_key(|v| shared.vertex_rank(*perm_tag, *v));
                 Payload::Vertex(best)
             }
-            PlayerRequest::SuspectSample { bucket, k, perm_tag, count } => {
+            PlayerRequest::SuspectSample {
+                bucket,
+                k,
+                perm_tag,
+                count,
+            } => {
                 let mut ranked: Vec<VertexId> = self.suspects(*bucket, *k).collect();
                 ranked.sort_unstable_by_key(|v| shared.vertex_rank(*perm_tag, *v));
                 ranked.truncate(*count);
@@ -181,11 +205,15 @@ impl PlayerState {
                 }
                 Payload::Edges(out)
             }
-            PlayerRequest::RsEdges { r_tag, p_r, s_tag, p_s, cap } => {
+            PlayerRequest::RsEdges {
+                r_tag,
+                p_r,
+                s_tag,
+                p_s,
+                cap,
+            } => {
                 let in_r = |v: VertexId| shared.vertex_sampled(*r_tag, v, *p_r);
-                let in_rs = |v: VertexId| {
-                    in_r(v) || shared.vertex_sampled(*s_tag, v, *p_s)
-                };
+                let in_rs = |v: VertexId| in_r(v) || shared.vertex_sampled(*s_tag, v, *p_s);
                 let mut out = Vec::new();
                 for e in &self.edges {
                     let (u, v) = e.endpoints();
@@ -242,7 +270,11 @@ impl PlayerState {
 
 /// Builds the `k` player states from a partition's shares.
 pub fn players_from_shares(n: usize, shares: &[Vec<Edge>]) -> Vec<PlayerState> {
-    shares.iter().enumerate().map(|(j, s)| PlayerState::new(j, n, s)).collect()
+    shares
+        .iter()
+        .enumerate()
+        .map(|(j, s)| PlayerState::new(j, n, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -275,12 +307,18 @@ mod tests {
     fn handle_has_edge_and_degrees() {
         let p = player();
         let s = SharedRandomness::new(1);
-        assert_eq!(p.handle(&PlayerRequest::HasEdge(e(0, 1)), &s), Payload::Bit(true));
+        assert_eq!(
+            p.handle(&PlayerRequest::HasEdge(e(0, 1)), &s),
+            Payload::Bit(true)
+        );
         assert_eq!(
             p.handle(&PlayerRequest::LocalDegree { v: VertexId(0) }, &s),
             Payload::Count(2)
         );
-        assert_eq!(p.handle(&PlayerRequest::LocalEdgeCount, &s), Payload::Count(4));
+        assert_eq!(
+            p.handle(&PlayerRequest::LocalEdgeCount, &s),
+            Payload::Count(4)
+        );
         // degree 2 ⇒ MSB index+1 = 2
         assert_eq!(
             p.handle(&PlayerRequest::DegreeMsb { v: VertexId(0) }, &s),
@@ -298,7 +336,13 @@ mod tests {
         let edges: Vec<Edge> = (1..=13).map(|i| e(0, i)).collect();
         let p = PlayerState::new(0, 20, &edges);
         let s = SharedRandomness::new(0);
-        match p.handle(&PlayerRequest::DegreePrefix { v: VertexId(0), prefix_bits: 2 }, &s) {
+        match p.handle(
+            &PlayerRequest::DegreePrefix {
+                v: VertexId(0),
+                prefix_bits: 2,
+            },
+            &s,
+        ) {
             Payload::Bits(v, _) => assert_eq!(v, 12),
             other => panic!("unexpected payload {other:?}"),
         }
@@ -309,11 +353,17 @@ mod tests {
         let p = player();
         let s = SharedRandomness::new(99);
         let r1 = p.handle(
-            &PlayerRequest::FirstIncidentEdge { v: VertexId(0), perm_tag: 5 },
+            &PlayerRequest::FirstIncidentEdge {
+                v: VertexId(0),
+                perm_tag: 5,
+            },
             &s,
         );
         let r2 = p.handle(
-            &PlayerRequest::FirstIncidentEdge { v: VertexId(0), perm_tag: 5 },
+            &PlayerRequest::FirstIncidentEdge {
+                v: VertexId(0),
+                perm_tag: 5,
+            },
             &s,
         );
         assert_eq!(r1, r2);
@@ -323,7 +373,13 @@ mod tests {
         }
         // vertex with no incident edges → None
         assert_eq!(
-            p.handle(&PlayerRequest::FirstIncidentEdge { v: VertexId(5), perm_tag: 5 }, &s),
+            p.handle(
+                &PlayerRequest::FirstIncidentEdge {
+                    v: VertexId(5),
+                    perm_tag: 5
+                },
+                &s
+            ),
             Payload::Edge(None)
         );
     }
@@ -333,16 +389,37 @@ mod tests {
         let p = player();
         let s = SharedRandomness::new(2);
         assert_eq!(
-            p.handle(&PlayerRequest::SampleHit { v: VertexId(0), tag: 1, p: 1.0 }, &s),
+            p.handle(
+                &PlayerRequest::SampleHit {
+                    v: VertexId(0),
+                    tag: 1,
+                    p: 1.0
+                },
+                &s
+            ),
             Payload::Bit(true)
         );
         assert_eq!(
-            p.handle(&PlayerRequest::SampleHit { v: VertexId(0), tag: 1, p: 0.0 }, &s),
+            p.handle(
+                &PlayerRequest::SampleHit {
+                    v: VertexId(0),
+                    tag: 1,
+                    p: 0.0
+                },
+                &s
+            ),
             Payload::Bit(false)
         );
         // isolated vertex never hits
         assert_eq!(
-            p.handle(&PlayerRequest::SampleHit { v: VertexId(5), tag: 1, p: 1.0 }, &s),
+            p.handle(
+                &PlayerRequest::SampleHit {
+                    v: VertexId(5),
+                    tag: 1,
+                    p: 1.0
+                },
+                &s
+            ),
             Payload::Bit(false)
         );
     }
@@ -355,12 +432,20 @@ mod tests {
         let p = PlayerState::new(0, 30, &edges);
         let s = SharedRandomness::new(1);
         let with_k9 = p.handle(
-            &PlayerRequest::FirstSuspectInBucket { bucket: 2, k: 9, perm_tag: 0 },
+            &PlayerRequest::FirstSuspectInBucket {
+                bucket: 2,
+                k: 9,
+                perm_tag: 0,
+            },
             &s,
         );
         assert!(matches!(with_k9, Payload::Vertex(Some(_))));
         let with_k2 = p.handle(
-            &PlayerRequest::FirstSuspectInBucket { bucket: 2, k: 2, perm_tag: 0 },
+            &PlayerRequest::FirstSuspectInBucket {
+                bucket: 2,
+                k: 2,
+                perm_tag: 0,
+            },
             &s,
         );
         assert_eq!(with_k2, Payload::Vertex(None));
@@ -372,7 +457,12 @@ mod tests {
         let p = PlayerState::new(0, 30, &edges);
         let s = SharedRandomness::new(8);
         match p.handle(
-            &PlayerRequest::IncidentEdgesSampled { v: VertexId(0), tag: 3, p: 1.0, cap: 5 },
+            &PlayerRequest::IncidentEdgesSampled {
+                v: VertexId(0),
+                tag: 3,
+                p: 1.0,
+                cap: 5,
+            },
             &s,
         ) {
             Payload::Edges(es) => assert_eq!(es.len(), 5),
@@ -385,7 +475,10 @@ mod tests {
         // Player holds the closing edge (1,2); candidates form a vee at 0.
         let p = PlayerState::new(0, 4, &[e(1, 2)]);
         let found = p.close_any_vee(&[e(0, 1), e(0, 2)]);
-        assert_eq!(found, Some(Triangle::new(VertexId(0), VertexId(1), VertexId(2))));
+        assert_eq!(
+            found,
+            Some(Triangle::new(VertexId(0), VertexId(1), VertexId(2)))
+        );
         assert_eq!(p.close_any_vee(&[e(0, 1), e(0, 3)]), None);
         assert_eq!(p.close_any_vee(&[]), None);
     }
@@ -394,17 +487,37 @@ mod tests {
     fn induced_and_rs_handlers_filter() {
         let p = player();
         let s = SharedRandomness::new(4);
-        match p.handle(&PlayerRequest::InducedEdges { tag: 0, p: 1.0, cap: 100 }, &s) {
+        match p.handle(
+            &PlayerRequest::InducedEdges {
+                tag: 0,
+                p: 1.0,
+                cap: 100,
+            },
+            &s,
+        ) {
             Payload::Edges(es) => assert_eq!(es.len(), 4),
             other => panic!("unexpected {other:?}"),
         }
-        match p.handle(&PlayerRequest::InducedEdges { tag: 0, p: 0.0, cap: 100 }, &s) {
+        match p.handle(
+            &PlayerRequest::InducedEdges {
+                tag: 0,
+                p: 0.0,
+                cap: 100,
+            },
+            &s,
+        ) {
             Payload::Edges(es) => assert!(es.is_empty()),
             other => panic!("unexpected {other:?}"),
         }
         // R = everything ⇒ all edges qualify.
         match p.handle(
-            &PlayerRequest::RsEdges { r_tag: 1, p_r: 1.0, s_tag: 2, p_s: 0.0, cap: 100 },
+            &PlayerRequest::RsEdges {
+                r_tag: 1,
+                p_r: 1.0,
+                s_tag: 2,
+                p_s: 0.0,
+                cap: 100,
+            },
             &s,
         ) {
             Payload::Edges(es) => assert_eq!(es.len(), 4),
@@ -412,7 +525,13 @@ mod tests {
         }
         // R = nothing ⇒ no edge has an R endpoint.
         match p.handle(
-            &PlayerRequest::RsEdges { r_tag: 1, p_r: 0.0, s_tag: 2, p_s: 1.0, cap: 100 },
+            &PlayerRequest::RsEdges {
+                r_tag: 1,
+                p_r: 0.0,
+                s_tag: 2,
+                p_s: 1.0,
+                cap: 100,
+            },
             &s,
         ) {
             Payload::Edges(es) => assert!(es.is_empty()),

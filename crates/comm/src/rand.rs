@@ -162,7 +162,11 @@ mod tests {
                 .unwrap();
             winners.insert(w.0);
         }
-        assert!(winners.len() > 50, "only {} distinct winners", winners.len());
+        assert!(
+            winners.len() > 50,
+            "only {} distinct winners",
+            winners.len()
+        );
     }
 
     #[test]

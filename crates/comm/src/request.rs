@@ -13,10 +13,10 @@ use triad_graph::{Edge, VertexId};
 /// A request from the coordinator to a single player (or broadcast).
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlayerRequest {
-    /// "Is this edge in your input?" → [`Payload::Bit`].
+    /// "Is this edge in your input?" → [`Payload::Bit`](crate::message::Payload::Bit).
     HasEdge(Edge),
     /// "Your first edge incident to `v` under public permutation
-    /// `perm_tag`" → [`Payload::Edge`]. The permutation ranks all
+    /// `perm_tag`" → [`Payload::Edge`](crate::message::Payload::Edge). The permutation ranks all
     /// potential edges, so duplicated edges are not over-weighted
     /// (the paper's random-neighbor primitive).
     FirstIncidentEdge {
@@ -26,25 +26,25 @@ pub enum PlayerRequest {
         perm_tag: u64,
     },
     /// "Your first edge overall under permutation `perm_tag`" →
-    /// [`Payload::Edge`] (the uniform-random-edge primitive).
+    /// [`Payload::Edge`](crate::message::Payload::Edge) (the uniform-random-edge primitive).
     FirstEdge {
         /// Shared-randomness tag naming the permutation (free).
         perm_tag: u64,
     },
-    /// "Your local degree of `v`" → [`Payload::Count`]
+    /// "Your local degree of `v`" → [`Payload::Count`](crate::message::Payload::Count)
     /// (exact; only sound without duplication).
     LocalDegree {
         /// The queried vertex.
         v: VertexId,
     },
-    /// "How many edges do you hold?" → [`Payload::Count`].
+    /// "How many edges do you hold?" → [`Payload::Count`](crate::message::Payload::Count).
     LocalEdgeCount,
-    /// "The binary length of your local edge count" → [`Payload::Count`]
+    /// "The binary length of your local edge count" → [`Payload::Count`](crate::message::Payload::Count)
     /// (phase 1 of the distinct-edges estimator, the Theorem 3.1 remark
     /// on estimating distinct elements).
     EdgeCountMsb,
     /// "Does the public *edge* set (tag, p) intersect your input?" →
-    /// [`Payload::Bit`] (one sampling experiment of the distinct-edges
+    /// [`Payload::Bit`](crate::message::Payload::Bit) (one sampling experiment of the distinct-edges
     /// estimator; charged one response bit like `SampleHit`).
     GlobalSampleHit {
         /// Shared-randomness tag naming the sampled pair set (free).
@@ -53,13 +53,13 @@ pub enum PlayerRequest {
         p: f64,
     },
     /// "The binary length (MSB index + 1) of your local degree of `v`" →
-    /// [`Payload::Count`] (phase 1 of Theorem 3.1).
+    /// [`Payload::Count`](crate::message::Payload::Count) (phase 1 of Theorem 3.1).
     DegreeMsb {
         /// The queried vertex.
         v: VertexId,
     },
     /// "Your local degree of `v`, truncated to its top `prefix_bits`
-    /// bits" → [`Payload::Bits`] (Lemma 3.2, no-duplication α-approx).
+    /// bits" → [`Payload::Bits`](crate::message::Payload::Bits) (Lemma 3.2, no-duplication α-approx).
     DegreePrefix {
         /// The queried vertex.
         v: VertexId,
@@ -67,7 +67,7 @@ pub enum PlayerRequest {
         prefix_bits: u32,
     },
     /// "Does the public vertex set (tag, p) contain a neighbor of `v` in
-    /// your input?" → [`Payload::Bit`] (one sampling experiment of
+    /// your input?" → [`Payload::Bit`](crate::message::Payload::Bit) (one sampling experiment of
     /// Theorem 3.1 phase 2).
     SampleHit {
         /// The center vertex.
@@ -79,7 +79,7 @@ pub enum PlayerRequest {
     },
     /// "Your first vertex, under permutation `perm_tag`, in the suspect
     /// set `B̃_i^j = {v : 3^i/k ≤ d_j(v) ≤ 3^{i+1}}`" →
-    /// [`Payload::Vertex`] (Algorithm 1).
+    /// [`Payload::Vertex`](crate::message::Payload::Vertex) (Algorithm 1).
     FirstSuspectInBucket {
         /// Bucket index `i`.
         bucket: usize,
@@ -89,7 +89,7 @@ pub enum PlayerRequest {
         perm_tag: u64,
     },
     /// "Your `count` first vertices, under permutation `perm_tag`, in the
-    /// suspect set `B̃_i^j`" → [`Payload::Vertices`].
+    /// suspect set `B̃_i^j`" → [`Payload::Vertices`](crate::message::Payload::Vertices).
     ///
     /// The batched form of Algorithm 1: merging the players' lists by
     /// rank gives the `count` globally lowest-ranked suspects — a uniform
@@ -107,7 +107,7 @@ pub enum PlayerRequest {
         count: usize,
     },
     /// "Your edges at `v` whose other endpoint lies in the public set
-    /// (tag, p), at most `cap` of them" → [`Payload::Edges`]
+    /// (tag, p), at most `cap` of them" → [`Payload::Edges`](crate::message::Payload::Edges)
     /// (Algorithm 4, SampleEdges).
     IncidentEdgesSampled {
         /// The center vertex.
@@ -120,14 +120,14 @@ pub enum PlayerRequest {
         cap: usize,
     },
     /// "Here are candidate edges; if two of them form a vee whose closing
-    /// edge is in your input, name the triangle" → [`Payload::Triangle`]
+    /// edge is in your input, name the triangle" → [`Payload::Triangle`](crate::message::Payload::Triangle)
     /// (the final step of FindTriangleVee).
     FindClosingTriangle {
         /// The candidate edges the coordinator collected.
         edges: Vec<Edge>,
     },
     /// "Your edges with both endpoints in the public set (tag, p), at most
-    /// `cap`" → [`Payload::Edges`] (AlgHigh's induced sample).
+    /// `cap`" → [`Payload::Edges`](crate::message::Payload::Edges) (AlgHigh's induced sample).
     InducedEdges {
         /// Shared-randomness tag naming the sampled set (free).
         tag: u64,
@@ -137,7 +137,7 @@ pub enum PlayerRequest {
         cap: usize,
     },
     /// "Your edges with one endpoint in R = (r_tag, p_r) and the other in
-    /// R ∪ S, S = (s_tag, p_s), at most `cap`" → [`Payload::Edges`]
+    /// R ∪ S, S = (s_tag, p_s), at most `cap`" → [`Payload::Edges`](crate::message::Payload::Edges)
     /// (AlgLow's sample).
     RsEdges {
         /// Tag of the small set `R` (free).
@@ -178,9 +178,7 @@ impl PlayerRequest {
             // randomness — so one experiment costs only the response bit,
             // matching Theorem 3.1's O(k) per experiment.
             PlayerRequest::SampleHit { .. } => 0,
-            PlayerRequest::FirstSuspectInBucket { bucket, .. } => {
-                bits_for_count(*bucket as u64)
-            }
+            PlayerRequest::FirstSuspectInBucket { bucket, .. } => bits_for_count(*bucket as u64),
             PlayerRequest::SuspectSample { bucket, count, .. } => {
                 bits_for_count(*bucket as u64) + bits_for_count(*count as u64)
             }
@@ -236,13 +234,25 @@ mod tests {
         let e = Edge::new(VertexId(0), VertexId(1));
         assert_eq!(PlayerRequest::HasEdge(e).bit_len(n), BitCost(20));
         assert_eq!(
-            PlayerRequest::FirstIncidentEdge { v: VertexId(0), perm_tag: 9 }.bit_len(n),
+            PlayerRequest::FirstIncidentEdge {
+                v: VertexId(0),
+                perm_tag: 9
+            }
+            .bit_len(n),
             BitCost(10)
         );
-        assert_eq!(PlayerRequest::FirstEdge { perm_tag: 1 }.bit_len(n), BitCost(0));
+        assert_eq!(
+            PlayerRequest::FirstEdge { perm_tag: 1 }.bit_len(n),
+            BitCost(0)
+        );
         assert_eq!(PlayerRequest::LocalEdgeCount.bit_len(n), BitCost(0));
         assert_eq!(
-            PlayerRequest::SampleHit { v: VertexId(1), tag: 0, p: 0.5 }.bit_len(n),
+            PlayerRequest::SampleHit {
+                v: VertexId(1),
+                tag: 0,
+                p: 0.5
+            }
+            .bit_len(n),
             BitCost(0)
         );
         assert_eq!(

@@ -17,7 +17,10 @@ pub struct LocalTransport {
 impl LocalTransport {
     /// Builds player states from edge shares.
     pub fn new(n: usize, shares: &[Vec<Edge>], shared: SharedRandomness) -> Self {
-        LocalTransport { players: players_from_shares(n, shares), shared }
+        LocalTransport {
+            players: players_from_shares(n, shares),
+            shared,
+        }
     }
 
     /// Wraps pre-built player states.
@@ -57,8 +60,14 @@ mod tests {
         let shared = SharedRandomness::new(5);
         let mut t = LocalTransport::new(3, &[vec![e01], vec![e12]], shared);
         assert_eq!(t.k(), 2);
-        assert_eq!(t.deliver(0, &PlayerRequest::HasEdge(e01)), Payload::Bit(true));
-        assert_eq!(t.deliver(1, &PlayerRequest::HasEdge(e01)), Payload::Bit(false));
+        assert_eq!(
+            t.deliver(0, &PlayerRequest::HasEdge(e01)),
+            Payload::Bit(true)
+        );
+        assert_eq!(
+            t.deliver(1, &PlayerRequest::HasEdge(e01)),
+            Payload::Bit(false)
+        );
         assert_eq!(t.players()[1].edge_count(), 1);
     }
 }

@@ -102,7 +102,12 @@ impl Runtime {
         shared: SharedRandomness,
         cost_model: CostModel,
     ) -> Self {
-        Runtime::new(Box::new(LocalTransport::new(n, shares, shared)), n, shared, cost_model)
+        Runtime::new(
+            Box::new(LocalTransport::new(n, shares, shared)),
+            n,
+            shared,
+            cost_model,
+        )
     }
 
     /// Convenience: a threaded runtime (one thread per player).
@@ -153,6 +158,30 @@ impl Runtime {
         self.transcript.next_round();
     }
 
+    /// Runs `f` with every recorded message stamped with phase `name`,
+    /// restoring the previous phase afterwards — the structured way for a
+    /// protocol to attribute its communication to named stages (see the
+    /// phase registry in `docs/OBSERVABILITY.md`).
+    ///
+    /// ```
+    /// use triad_comm::{CostModel, PlayerRequest, Runtime, SharedRandomness};
+    /// use triad_graph::{Edge, VertexId};
+    ///
+    /// let shares = vec![vec![Edge::new(VertexId(0), VertexId(1))]];
+    /// let mut rt = Runtime::local(2, &shares, SharedRandomness::new(1), CostModel::Coordinator);
+    /// rt.phase("probe", |rt| {
+    ///     rt.request(0, PlayerRequest::LocalEdgeCount);
+    /// });
+    /// assert_eq!(rt.transcript().bits_for_phase("probe"), rt.stats().total_bits);
+    /// ```
+    pub fn phase<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let previous = self.transcript.current_phase();
+        self.transcript.set_phase(name);
+        let out = f(self);
+        self.transcript.set_phase(previous);
+        out
+    }
+
     /// Per-message routing overhead of the active cost model.
     fn routing_overhead(&self) -> crate::bits::BitCost {
         match self.cost_model {
@@ -199,17 +228,14 @@ impl Runtime {
         let bits = payload.bit_len(self.n);
         match self.cost_model {
             CostModel::Blackboard => {
-                self.transcript.record(None, Direction::Broadcast, bits, "newman_seed");
+                self.transcript
+                    .record(None, Direction::Broadcast, bits, "newman_seed");
             }
             _ => {
                 let ovh = self.routing_overhead();
                 for j in 0..self.k() {
-                    self.transcript.record(
-                        Some(j),
-                        Direction::ToPlayer,
-                        bits + ovh,
-                        "newman_seed",
-                    );
+                    self.transcript
+                        .record(Some(j), Direction::ToPlayer, bits + ovh, "newman_seed");
                 }
             }
         }
@@ -243,11 +269,13 @@ impl Runtime {
         let req_bits = req.bit_len(self.n) + ovh;
         match self.cost_model {
             CostModel::Blackboard => {
-                self.transcript.record(None, Direction::Broadcast, req_bits, label);
+                self.transcript
+                    .record(None, Direction::Broadcast, req_bits, label);
             }
             _ => {
                 for j in 0..self.k() {
-                    self.transcript.record(Some(j), Direction::ToPlayer, req_bits, label);
+                    self.transcript
+                        .record(Some(j), Direction::ToPlayer, req_bits, label);
                 }
             }
         }
@@ -278,11 +306,13 @@ impl Runtime {
         let req_bits = req.bit_len(self.n) + ovh;
         match self.cost_model {
             CostModel::Blackboard => {
-                self.transcript.record(None, Direction::Broadcast, req_bits, label);
+                self.transcript
+                    .record(None, Direction::Broadcast, req_bits, label);
             }
             _ => {
                 for j in 0..self.k() {
-                    self.transcript.record(Some(j), Direction::ToPlayer, req_bits, label);
+                    self.transcript
+                        .record(Some(j), Direction::ToPlayer, req_bits, label);
                 }
             }
         }
@@ -292,9 +322,11 @@ impl Runtime {
             let resp = self.transport.deliver(j, &req);
             let edges = resp.as_edges();
             let charged: Vec<Edge> = match self.cost_model {
-                CostModel::Blackboard => {
-                    edges.iter().copied().filter(|e| !seen.contains(e)).collect()
-                }
+                CostModel::Blackboard => edges
+                    .iter()
+                    .copied()
+                    .filter(|e| !seen.contains(e))
+                    .collect(),
                 _ => edges.to_vec(),
             };
             self.transcript.record(
@@ -315,6 +347,12 @@ impl Runtime {
     /// The transcript so far.
     pub fn transcript(&self) -> &Transcript {
         &self.transcript
+    }
+
+    /// Consumes the runtime, yielding its transcript — how finished
+    /// protocol drivers hand the full event log to their callers.
+    pub fn into_transcript(self) -> Transcript {
+        self.transcript
     }
 
     /// Aggregated statistics so far.
@@ -369,7 +407,11 @@ mod tests {
     fn gather_edges_dedups_and_blackboard_saves() {
         let shared = SharedRandomness::new(3);
         // Both players hold edge (1,2): duplicated content.
-        let req = PlayerRequest::InducedEdges { tag: 0, p: 1.0, cap: 100 };
+        let req = PlayerRequest::InducedEdges {
+            tag: 0,
+            p: 1.0,
+            cap: 100,
+        };
         let mut coord = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
         let union_c = coord.gather_edges(req.clone());
         let mut board = Runtime::local(4, &shares(), shared, CostModel::Blackboard);
@@ -421,7 +463,36 @@ mod tests {
         assert_ne!(derived.seed(), shared.seed());
         // Deterministic: same family, same base seed → same derived seed.
         let mut rt2 = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
-        assert_eq!(rt2.announce_seed_from_family(1 << 10).seed(), derived.seed());
+        assert_eq!(
+            rt2.announce_seed_from_family(1 << 10).seed(),
+            derived.seed()
+        );
+    }
+
+    #[test]
+    fn phase_scopes_nest_and_restore() {
+        let shared = SharedRandomness::new(5);
+        let mut rt = Runtime::local(4, &shares(), shared, CostModel::Coordinator);
+        rt.phase("outer", |rt| {
+            rt.request(0, PlayerRequest::LocalEdgeCount);
+            rt.phase("inner", |rt| {
+                rt.request(1, PlayerRequest::LocalEdgeCount);
+            });
+            rt.request(0, PlayerRequest::HasEdge(e(0, 1)));
+        });
+        rt.request(1, PlayerRequest::HasEdge(e(0, 1)));
+        let t = rt.transcript();
+        assert_eq!(t.current_phase(), crate::transcript::DEFAULT_PHASE);
+        let total = t.total_bits().get();
+        assert_eq!(
+            t.bits_for_phase("outer")
+                + t.bits_for_phase("inner")
+                + t.bits_for_phase(crate::transcript::DEFAULT_PHASE),
+            total
+        );
+        assert!(t.bits_for_phase("inner") > 0);
+        let events = rt.into_transcript();
+        assert_eq!(events.total_bits().get(), total);
     }
 
     #[test]

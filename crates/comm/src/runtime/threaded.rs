@@ -51,7 +51,11 @@ impl ThreadedTransport {
             receivers.push(resp_rx);
             handles.push(handle);
         }
-        ThreadedTransport { senders, receivers, handles }
+        ThreadedTransport {
+            senders,
+            receivers,
+            handles,
+        }
     }
 }
 
@@ -64,7 +68,9 @@ impl Transport for ThreadedTransport {
         self.senders[player]
             .send(Envelope::Request(req.clone()))
             .expect("player thread hung up");
-        self.receivers[player].recv().expect("player thread hung up")
+        self.receivers[player]
+            .recv()
+            .expect("player thread hung up")
     }
 }
 
@@ -91,9 +97,18 @@ mod tests {
         let shared = SharedRandomness::new(1);
         let mut t = ThreadedTransport::spawn(3, &[vec![e01], vec![]], shared);
         assert_eq!(t.k(), 2);
-        assert_eq!(t.deliver(0, &PlayerRequest::HasEdge(e01)), Payload::Bit(true));
-        assert_eq!(t.deliver(1, &PlayerRequest::HasEdge(e01)), Payload::Bit(false));
-        assert_eq!(t.deliver(0, &PlayerRequest::LocalEdgeCount), Payload::Count(1));
+        assert_eq!(
+            t.deliver(0, &PlayerRequest::HasEdge(e01)),
+            Payload::Bit(true)
+        );
+        assert_eq!(
+            t.deliver(1, &PlayerRequest::HasEdge(e01)),
+            Payload::Bit(false)
+        );
+        assert_eq!(
+            t.deliver(0, &PlayerRequest::LocalEdgeCount),
+            Payload::Count(1)
+        );
     }
 
     #[test]

@@ -9,13 +9,16 @@ use crate::bits::BitCost;
 use crate::message::Payload;
 use crate::player::{players_from_shares, PlayerState};
 use crate::rand::SharedRandomness;
-use crate::transcript::CommStats;
+use crate::transcript::{CommStats, Direction, Transcript, DEFAULT_PHASE};
 use triad_graph::Edge;
 
-/// A player's one-shot message: an ordered list of payloads.
+/// A player's one-shot message: an ordered list of payloads, each tagged
+/// with the protocol phase that produced it (so one-round transcripts
+/// still get per-phase cost attribution).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimMessage {
     payloads: Vec<Payload>,
+    phases: Vec<&'static str>,
 }
 
 impl SimMessage {
@@ -24,19 +27,39 @@ impl SimMessage {
         SimMessage::default()
     }
 
-    /// A message with one payload.
+    /// A message with one payload under the default phase.
     pub fn of(p: Payload) -> Self {
-        SimMessage { payloads: vec![p] }
+        SimMessage::of_phased(p, DEFAULT_PHASE)
     }
 
-    /// Appends a payload.
+    /// A message with one payload attributed to `phase`.
+    pub fn of_phased(p: Payload, phase: &'static str) -> Self {
+        SimMessage {
+            payloads: vec![p],
+            phases: vec![phase],
+        }
+    }
+
+    /// Appends a payload under the default phase.
     pub fn push(&mut self, p: Payload) {
+        self.push_phased(p, DEFAULT_PHASE);
+    }
+
+    /// Appends a payload attributed to `phase`.
+    pub fn push_phased(&mut self, p: Payload, phase: &'static str) {
         self.payloads.push(p);
+        self.phases.push(phase);
     }
 
     /// The payloads in order.
     pub fn payloads(&self) -> &[Payload] {
         &self.payloads
+    }
+
+    /// The per-payload phase tags, parallel to
+    /// [`payloads`](Self::payloads).
+    pub fn phases(&self) -> &[&'static str] {
+        &self.phases
     }
 
     /// Total bit cost in a graph on `n` vertices.
@@ -46,7 +69,9 @@ impl SimMessage {
 
     /// All edges carried anywhere in the message.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.payloads.iter().flat_map(|p| p.as_edges().iter().copied())
+        self.payloads
+            .iter()
+            .flat_map(|p| p.as_edges().iter().copied())
     }
 }
 
@@ -60,12 +85,8 @@ pub trait SimultaneousProtocol {
     fn message(&self, player: &PlayerState, shared: &SharedRandomness) -> SimMessage;
 
     /// The referee's aggregation of all `k` messages.
-    fn referee(
-        &self,
-        n: usize,
-        messages: &[SimMessage],
-        shared: &SharedRandomness,
-    ) -> Self::Output;
+    fn referee(&self, n: usize, messages: &[SimMessage], shared: &SharedRandomness)
+        -> Self::Output;
 }
 
 /// The result of one simultaneous execution.
@@ -77,6 +98,9 @@ pub struct SimRun<O> {
     pub stats: CommStats,
     /// Bits sent by each player.
     pub per_player_bits: Vec<u64>,
+    /// Per-payload event log: one `ToCoordinator` event per payload sent,
+    /// tagged with the payload's phase.
+    pub transcript: Transcript,
 }
 
 /// Runs a simultaneous protocol sequentially.
@@ -87,8 +111,10 @@ pub fn run_simultaneous<P: SimultaneousProtocol>(
     shared: SharedRandomness,
 ) -> SimRun<P::Output> {
     let players = players_from_shares(n, shares);
-    let messages: Vec<SimMessage> =
-        players.iter().map(|p| protocol.message(p, &shared)).collect();
+    let messages: Vec<SimMessage> = players
+        .iter()
+        .map(|p| protocol.message(p, &shared))
+        .collect();
     finish(protocol, n, messages, shared)
 }
 
@@ -111,7 +137,10 @@ where
             .iter()
             .map(|p| scope.spawn(move || protocol.message(p, &shared)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("player thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("player thread panicked"))
+            .collect()
     });
     finish(protocol, n, messages, shared)
 }
@@ -124,6 +153,13 @@ fn finish<P: SimultaneousProtocol>(
 ) -> SimRun<P::Output> {
     let per_player_bits: Vec<u64> = messages.iter().map(|m| m.bit_len(n).get()).collect();
     let total: u64 = per_player_bits.iter().sum();
+    let mut transcript = Transcript::new(messages.len());
+    for (j, m) in messages.iter().enumerate() {
+        for (payload, phase) in m.payloads().iter().zip(m.phases()) {
+            transcript.set_phase(phase);
+            transcript.record(Some(j), Direction::ToCoordinator, payload.bit_len(n), phase);
+        }
+    }
     let output = protocol.referee(n, &messages, &shared);
     SimRun {
         output,
@@ -134,6 +170,7 @@ fn finish<P: SimultaneousProtocol>(
             max_player_sent_bits: per_player_bits.iter().copied().max().unwrap_or(0),
         },
         per_player_bits,
+        transcript,
     }
 }
 
@@ -153,12 +190,7 @@ mod tests {
             SimMessage::of(Payload::Edges(player.edges().copied().collect()))
         }
 
-        fn referee(
-            &self,
-            _n: usize,
-            messages: &[SimMessage],
-            _shared: &SharedRandomness,
-        ) -> usize {
+        fn referee(&self, _n: usize, messages: &[SimMessage], _shared: &SharedRandomness) -> usize {
             let mut set = std::collections::HashSet::new();
             for m in messages {
                 set.extend(m.edges());
@@ -193,6 +225,40 @@ mod tests {
         assert_eq!(a.output, b.output);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.per_player_bits, b.per_player_bits);
+    }
+
+    #[test]
+    fn transcript_partitions_message_bits_by_phase() {
+        struct TwoPhase;
+        impl SimultaneousProtocol for TwoPhase {
+            type Output = ();
+            fn message(&self, player: &PlayerState, _shared: &SharedRandomness) -> SimMessage {
+                let mut m = SimMessage::of_phased(
+                    Payload::Edges(player.edges().copied().collect()),
+                    "induced-sample",
+                );
+                m.push_phased(Payload::Bit(true), "verdict");
+                m
+            }
+            fn referee(&self, _n: usize, _m: &[SimMessage], _s: &SharedRandomness) {}
+        }
+        let shares = vec![vec![e(0, 1), e(1, 2)], vec![e(1, 2)]];
+        let run = run_simultaneous(&TwoPhase, 4, &shares, SharedRandomness::new(1));
+        assert_eq!(run.transcript.total_bits().get(), run.stats.total_bits);
+        let by_phase = run.transcript.by_phase();
+        let phase_sum: u64 = by_phase.iter().map(|r| r.bits).sum();
+        assert_eq!(phase_sum, run.stats.total_bits);
+        assert_eq!(run.transcript.bits_for_phase("verdict"), 2);
+        assert_eq!(
+            run.transcript.bits_for_phase("induced-sample"),
+            run.stats.total_bits - 2
+        );
+        let per_player = run.transcript.by_player();
+        assert_eq!(per_player.len(), 2);
+        assert_eq!(
+            per_player[0].bits + per_player[1].bits,
+            run.stats.total_bits
+        );
     }
 
     #[test]

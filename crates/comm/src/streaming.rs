@@ -1,5 +1,5 @@
 //! The data-stream model and its reduction to one-way communication
-//! (§4.2.2 of the paper, after [4]).
+//! (§4.2.2 of the paper, after \[4\]).
 //!
 //! A streaming algorithm reads the edges once, in order, holding bounded
 //! memory; its space complexity is the peak memory over the run. The
@@ -66,7 +66,11 @@ where
         items += 1;
         peak = peak.max(alg.memory_bits(n).get());
     }
-    StreamRun { output: alg.output(), peak_memory_bits: peak, items }
+    StreamRun {
+        output: alg.output(),
+        peak_memory_bits: peak,
+        items,
+    }
 }
 
 /// The result of running a streaming algorithm as a one-way protocol.
@@ -98,7 +102,10 @@ pub fn stream_as_one_way<A>(
 where
     A: StreamAlgorithm,
 {
-    assert!(shares.len() >= 2, "one-way model needs at least two players");
+    assert!(
+        shares.len() >= 2,
+        "one-way model needs at least two players"
+    );
     let mut boundary_bits = Vec::with_capacity(shares.len() - 1);
     let mut peak = alg.memory_bits(n).get();
     for (j, share) in shares.iter().enumerate() {
@@ -219,10 +226,17 @@ mod tests {
         let run = run_stream(alg, 64, edges.clone());
         let mut ranks: Vec<u64> = edges.iter().map(|e| shared.edge_rank(tag, *e).0).collect();
         ranks.sort_unstable();
-        let mut got: Vec<u64> =
-            run.output.iter().map(|e| shared.edge_rank(tag, *e).0).collect();
+        let mut got: Vec<u64> = run
+            .output
+            .iter()
+            .map(|e| shared.edge_rank(tag, *e).0)
+            .collect();
         got.sort_unstable();
-        assert_eq!(got, ranks[..4].to_vec(), "reservoir must keep the 4 lowest ranks");
+        assert_eq!(
+            got,
+            ranks[..4].to_vec(),
+            "reservoir must keep the 4 lowest ranks"
+        );
     }
 
     #[test]

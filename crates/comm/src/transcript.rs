@@ -1,7 +1,29 @@
-//! Transcript recording and communication statistics.
+//! Transcript recording, aggregation and structured export.
+//!
+//! A [`Transcript`] is the ordered record of every message one protocol
+//! run exchanged. Besides the raw [`Event`] log it offers:
+//!
+//! * rollups — [`by_phase`](Transcript::by_phase),
+//!   [`by_player`](Transcript::by_player),
+//!   [`by_round`](Transcript::by_round) and
+//!   [`by_direction`](Transcript::by_direction), each a partition of the
+//!   event log whose bit totals sum exactly to
+//!   [`total_bits`](Transcript::total_bits),
+//! * structured export — JSONL ([`write_jsonl`](Transcript::write_jsonl)),
+//!   a JSON array ([`write_events_json`](Transcript::write_events_json)),
+//!   CSV ([`write_events_csv`](Transcript::write_events_csv)) and both
+//!   formats for the rollups,
+//! * parsing — [`parse_events_json`] / [`parse_events_csv`] read the
+//!   exported events back as [`OwnedEvent`]s, so external tooling (and
+//!   the round-trip tests) never have to guess the schema.
+//!
+//! The JSON/CSV schema is documented in `docs/OBSERVABILITY.md`.
 
 use crate::bits::BitCost;
 use serde::Serialize;
+
+/// The phase events carry when no explicit phase scope is active.
+pub const DEFAULT_PHASE: &str = "unphased";
 
 /// Direction of a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -12,6 +34,27 @@ pub enum Direction {
     ToCoordinator,
     /// Coordinator → all players (cost model dependent).
     Broadcast,
+}
+
+impl Direction {
+    /// The stable export name (`to_player`, `to_coordinator`, `broadcast`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Direction::ToPlayer => "to_player",
+            Direction::ToCoordinator => "to_coordinator",
+            Direction::Broadcast => "broadcast",
+        }
+    }
+
+    /// Parses an export name written by [`Direction::as_str`].
+    pub fn from_export_name(s: &str) -> Option<Direction> {
+        match s {
+            "to_player" => Some(Direction::ToPlayer),
+            "to_coordinator" => Some(Direction::ToCoordinator),
+            "broadcast" => Some(Direction::Broadcast),
+            _ => None,
+        }
+    }
 }
 
 /// One recorded message.
@@ -25,17 +68,49 @@ pub struct Event {
     pub direction: Direction,
     /// Bits charged for this message.
     pub bits: u64,
-    /// A short protocol-phase label, for debugging and per-phase breakdowns.
+    /// The protocol phase active when the message was recorded (see the
+    /// phase-name registry in `docs/OBSERVABILITY.md`).
+    pub phase: &'static str,
+    /// A short message-kind label, for debugging and per-label breakdowns.
     pub label: &'static str,
 }
 
 /// The ordered record of every message exchanged in one protocol run.
-#[derive(Debug, Clone, Default)]
+///
+/// # Example
+///
+/// ```
+/// use triad_comm::{BitCost, Direction, Transcript};
+///
+/// let mut t = Transcript::new(2);
+/// t.set_phase("sample");
+/// t.record(Some(0), Direction::ToCoordinator, BitCost(10), "edges");
+/// t.set_phase("verify");
+/// t.record(Some(1), Direction::ToCoordinator, BitCost(5), "bit");
+///
+/// let phases = t.by_phase();
+/// let total: u64 = phases.iter().map(|r| r.bits).sum();
+/// assert_eq!(total, t.total_bits().get());
+///
+/// let mut json = Vec::new();
+/// t.write_events_json(&mut json).unwrap();
+/// let parsed = triad_comm::parse_events_json(std::str::from_utf8(&json).unwrap()).unwrap();
+/// assert_eq!(parsed.len(), 2);
+/// assert_eq!(parsed[0].phase, "sample");
+/// ```
+#[derive(Debug, Clone)]
 pub struct Transcript {
     events: Vec<Event>,
     round: u64,
     total: BitCost,
     per_player_sent: Vec<u64>,
+    current_phase: &'static str,
+}
+
+impl Default for Transcript {
+    fn default() -> Self {
+        Transcript::new(0)
+    }
 }
 
 impl Transcript {
@@ -46,6 +121,7 @@ impl Transcript {
             round: 0,
             total: BitCost::ZERO,
             per_player_sent: vec![0; k],
+            current_phase: DEFAULT_PHASE,
         }
     }
 
@@ -59,7 +135,17 @@ impl Transcript {
         self.round
     }
 
-    /// Records a message.
+    /// Sets the phase stamped onto subsequently recorded events.
+    pub fn set_phase(&mut self, phase: &'static str) {
+        self.current_phase = phase;
+    }
+
+    /// The phase currently being stamped onto recorded events.
+    pub fn current_phase(&self) -> &'static str {
+        self.current_phase
+    }
+
+    /// Records a message under the current phase.
     pub fn record(
         &mut self,
         player: Option<usize>,
@@ -75,7 +161,39 @@ impl Transcript {
             }
         }
         self.total += bits;
-        self.events.push(Event { round: self.round, player, direction, bits: bits.get(), label });
+        self.events.push(Event {
+            round: self.round,
+            player,
+            direction,
+            bits: bits.get(),
+            phase: self.current_phase,
+            label,
+        });
+    }
+
+    /// Appends another transcript as later rounds of this one — the
+    /// accounting behind repetition wrappers: totals add, rounds
+    /// concatenate, per-player counters accumulate.
+    pub fn absorb(&mut self, other: &Transcript) {
+        let offset = if self.events.is_empty() && self.round == 0 {
+            0
+        } else {
+            self.round + 1
+        };
+        for e in &other.events {
+            self.events.push(Event {
+                round: e.round + offset,
+                ..*e
+            });
+        }
+        self.round = offset + other.round;
+        self.total += other.total;
+        if self.per_player_sent.len() < other.per_player_sent.len() {
+            self.per_player_sent.resize(other.per_player_sent.len(), 0);
+        }
+        for (slot, sent) in self.per_player_sent.iter_mut().zip(&other.per_player_sent) {
+            *slot += sent;
+        }
     }
 
     /// All recorded events in order.
@@ -105,24 +223,119 @@ impl Transcript {
 
     /// Total bits charged to events carrying the given label.
     pub fn bits_for_label(&self, label: &str) -> u64 {
-        self.events.iter().filter(|e| e.label == label).map(|e| e.bits).sum()
+        self.events
+            .iter()
+            .filter(|e| e.label == label)
+            .map(|e| e.bits)
+            .sum()
     }
 
-    /// Per-label totals, sorted by descending bits — the per-phase cost
+    /// Total bits charged to events recorded under the given phase.
+    pub fn bits_for_phase(&self, phase: &str) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.phase == phase)
+            .map(|e| e.bits)
+            .sum()
+    }
+
+    /// Per-label totals, sorted by descending bits — the per-label cost
     /// breakdown of a run.
     pub fn breakdown(&self) -> Vec<LabelTotals> {
         let mut map: std::collections::HashMap<&'static str, LabelTotals> =
             std::collections::HashMap::new();
         for e in &self.events {
-            let slot = map
-                .entry(e.label)
-                .or_insert(LabelTotals { label: e.label, bits: 0, messages: 0 });
+            let slot = map.entry(e.label).or_insert(LabelTotals {
+                label: e.label,
+                bits: 0,
+                messages: 0,
+            });
             slot.bits += e.bits;
             slot.messages += 1;
         }
         let mut out: Vec<LabelTotals> = map.into_values().collect();
         out.sort_by(|a, b| b.bits.cmp(&a.bits).then(a.label.cmp(b.label)));
         out
+    }
+
+    fn rollup_by<K: Ord, F>(&self, key_of: F) -> Vec<(K, Rollup)>
+    where
+        F: Fn(&Event) -> (K, String),
+    {
+        let mut map: std::collections::BTreeMap<K, Rollup> = std::collections::BTreeMap::new();
+        for e in &self.events {
+            let (sort_key, key) = key_of(e);
+            let slot = map.entry(sort_key).or_insert(Rollup {
+                key,
+                bits: 0,
+                messages: 0,
+            });
+            slot.bits += e.bits;
+            slot.messages += 1;
+        }
+        map.into_iter().collect()
+    }
+
+    /// Bits and messages per phase, sorted by descending bits. Every
+    /// event carries exactly one phase, so the rollup's bit totals sum
+    /// to [`total_bits`](Self::total_bits).
+    pub fn by_phase(&self) -> Vec<Rollup> {
+        let mut out: Vec<Rollup> = self
+            .rollup_by(|e| (e.phase, e.phase.to_string()))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        out.sort_by(|a, b| b.bits.cmp(&a.bits).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Bits and messages per involved party: `player-j` in index order,
+    /// then `broadcast` for coordinator postings charged to nobody. A
+    /// partition of the events, so bit totals sum to
+    /// [`total_bits`](Self::total_bits).
+    pub fn by_player(&self) -> Vec<Rollup> {
+        self.rollup_by(|e| match e.player {
+            Some(j) => ((0, j), format!("player-{j}")),
+            None => ((1, 0), "broadcast".to_string()),
+        })
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+    }
+
+    /// Bits and messages per round, in round order. Bit totals sum to
+    /// [`total_bits`](Self::total_bits).
+    pub fn by_round(&self) -> Vec<Rollup> {
+        self.rollup_by(|e| (e.round, format!("round-{}", e.round)))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    /// Bits and messages per [`Direction`], in declaration order. Bit
+    /// totals sum to [`total_bits`](Self::total_bits).
+    pub fn by_direction(&self) -> Vec<Rollup> {
+        self.rollup_by(|e| (e.direction as u8, e.direction.as_str().to_string()))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
+    }
+
+    fn event_json(e: &Event) -> String {
+        let player = match e.player {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"round\":{},\"player\":{},\"direction\":\"{}\",\"bits\":{},\
+             \"phase\":\"{}\",\"label\":\"{}\"}}",
+            e.round,
+            player,
+            e.direction.as_str(),
+            e.bits,
+            e.phase,
+            e.label
+        )
     }
 
     /// Serializes every event as one JSON object per line (JSONL) — the
@@ -133,29 +346,140 @@ impl Transcript {
     /// Propagates writer failures.
     pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         for e in &self.events {
+            writeln!(w, "{}", Self::event_json(e))?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the event log as one JSON array. Readable back with
+    /// [`parse_events_json`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_events_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "[")?;
+        for (i, e) in self.events.iter().enumerate() {
+            let sep = if i + 1 < self.events.len() { "," } else { "" };
+            writeln!(w, "  {}{}", Self::event_json(e), sep)?;
+        }
+        writeln!(w, "]")
+    }
+
+    /// Serializes the event log as CSV with header
+    /// `round,player,direction,bits,phase,label` (empty `player` for
+    /// broadcast events). Readable back with [`parse_events_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_events_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "round,player,direction,bits,phase,label")?;
+        for e in &self.events {
             let player = match e.player {
                 Some(p) => p.to_string(),
-                None => "null".to_string(),
-            };
-            let direction = match e.direction {
-                Direction::ToPlayer => "to_player",
-                Direction::ToCoordinator => "to_coordinator",
-                Direction::Broadcast => "broadcast",
+                None => String::new(),
             };
             writeln!(
                 w,
-                "{{\"round\":{},\"player\":{},\"direction\":\"{}\",\"bits\":{},\"label\":\"{}\"}}",
-                e.round, player, direction, e.bits, e.label
+                "{},{},{},{},{},{}",
+                e.round,
+                player,
+                e.direction.as_str(),
+                e.bits,
+                e.phase,
+                e.label
             )?;
+        }
+        Ok(())
+    }
+
+    /// Serializes all four rollups plus the grand total as one JSON
+    /// object: `{"total_bits": …, "by_phase": […], "by_player": […],
+    /// "by_round": […], "by_direction": […]}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_rollups_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"total_bits\": {},", self.total.get())?;
+        let groups = [
+            ("by_phase", self.by_phase()),
+            ("by_player", self.by_player()),
+            ("by_round", self.by_round()),
+            ("by_direction", self.by_direction()),
+        ];
+        for (i, (name, rows)) in groups.iter().enumerate() {
+            let sep = if i + 1 < groups.len() { "," } else { "" };
+            writeln!(
+                w,
+                "  \"{}\": {}{}",
+                name,
+                rollup_array_json(rows, "  "),
+                sep
+            )?;
+        }
+        writeln!(w, "}}")
+    }
+
+    /// Serializes all four rollups as CSV with header
+    /// `grouping,key,bits,messages`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_rollups_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "grouping,key,bits,messages")?;
+        let groups = [
+            ("by_phase", self.by_phase()),
+            ("by_player", self.by_player()),
+            ("by_round", self.by_round()),
+            ("by_direction", self.by_direction()),
+        ];
+        for (name, rows) in &groups {
+            for r in rows {
+                writeln!(w, "{},{},{},{}", name, r.key, r.bits, r.messages)?;
+            }
         }
         Ok(())
     }
 }
 
+/// Renders a rollup slice as a JSON array (used by the transcript and the
+/// report writers; `indent` prefixes each element line).
+pub(crate) fn rollup_array_json(rows: &[Rollup], indent: &str) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{indent}  {{\"key\":\"{}\",\"bits\":{},\"messages\":{}}}",
+                r.key, r.bits, r.messages
+            )
+        })
+        .collect();
+    format!("[\n{}\n{indent}]", body.join(",\n"))
+}
+
+/// One row of a transcript rollup: an aggregation key with its totals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Rollup {
+    /// The aggregation key (a phase name, `player-j`, `round-i`, or a
+    /// direction name).
+    pub key: String,
+    /// Total bits across the group's events.
+    pub bits: u64,
+    /// Number of events in the group.
+    pub messages: u64,
+}
+
 /// Aggregate totals for one transcript label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct LabelTotals {
-    /// The protocol-phase label.
+    /// The message-kind label.
     pub label: &'static str,
     /// Total bits across the label's events.
     pub bits: u64,
@@ -187,6 +511,158 @@ impl CommStats {
             max_player_sent_bits: self.max_player_sent_bits.max(other.max_player_sent_bits),
         }
     }
+}
+
+/// An [`Event`] read back from an export, with owned strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedEvent {
+    /// Communication round index.
+    pub round: u64,
+    /// The player involved (`None` for broadcast bookkeeping).
+    pub player: Option<usize>,
+    /// Direction of the message.
+    pub direction: Direction,
+    /// Bits charged for this message.
+    pub bits: u64,
+    /// The protocol phase the message was recorded under.
+    pub phase: String,
+    /// The message-kind label.
+    pub label: String,
+}
+
+/// Failure to parse an exported transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong, with enough context to locate the input.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transcript parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_err(message: impl Into<String>) -> ParseError {
+    ParseError {
+        message: message.into(),
+    }
+}
+
+/// Parses one flat JSON object (no nesting, no string escapes — the
+/// grammar the event writers emit) into key/value pairs; string values
+/// are returned unquoted.
+fn parse_flat_object(obj: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let inner = obj
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| parse_err(format!("expected an object, got `{obj}`")))?;
+    let mut pairs = Vec::new();
+    for field in inner.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| parse_err(format!("expected `key:value`, got `{field}`")))?;
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim();
+        if value.contains('\\') {
+            return Err(parse_err(format!(
+                "escape sequences unsupported in `{value}`"
+            )));
+        }
+        pairs.push((key, value.trim_matches('"').to_string()));
+    }
+    Ok(pairs)
+}
+
+fn event_from_pairs(pairs: &[(String, String)]) -> Result<OwnedEvent, ParseError> {
+    let get = |key: &str| -> Result<&str, ParseError> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| parse_err(format!("missing field `{key}`")))
+    };
+    let round = get("round")?
+        .parse()
+        .map_err(|_| parse_err("round is not an integer"))?;
+    let player = match get("player")? {
+        "" | "null" => None,
+        p => Some(p.parse().map_err(|_| parse_err("player is not an index"))?),
+    };
+    let direction_name = get("direction")?;
+    let direction = Direction::from_export_name(direction_name)
+        .ok_or_else(|| parse_err(format!("unknown direction `{direction_name}`")))?;
+    let bits = get("bits")?
+        .parse()
+        .map_err(|_| parse_err("bits is not an integer"))?;
+    Ok(OwnedEvent {
+        round,
+        player,
+        direction,
+        bits,
+        phase: get("phase")?.to_string(),
+        label: get("label")?.to_string(),
+    })
+}
+
+/// Parses the output of [`Transcript::write_events_json`] (also accepts
+/// the JSONL form of [`Transcript::write_jsonl`]).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input or missing fields.
+pub fn parse_events_json(text: &str) -> Result<Vec<OwnedEvent>, ParseError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        out.push(event_from_pairs(&parse_flat_object(line)?)?);
+    }
+    Ok(out)
+}
+
+/// Parses the output of [`Transcript::write_events_csv`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on a bad header, wrong column count, or
+/// malformed cells.
+pub fn parse_events_csv(text: &str) -> Result<Vec<OwnedEvent>, ParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| parse_err("empty input"))?;
+    let columns: Vec<&str> = header.trim().split(',').collect();
+    if columns != ["round", "player", "direction", "bits", "phase", "label"] {
+        return Err(parse_err(format!("unexpected header `{header}`")));
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != columns.len() {
+            return Err(parse_err(format!(
+                "expected {} cells in `{line}`",
+                columns.len()
+            )));
+        }
+        let pairs: Vec<(String, String)> = columns
+            .iter()
+            .zip(&cells)
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        out.push(event_from_pairs(&pairs)?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -235,6 +711,78 @@ mod tests {
     }
 
     #[test]
+    fn merged_stats() {
+        let a = CommStats {
+            total_bits: 10,
+            rounds: 2,
+            messages: 3,
+            max_player_sent_bits: 6,
+        };
+        let b = CommStats {
+            total_bits: 5,
+            rounds: 4,
+            messages: 1,
+            max_player_sent_bits: 2,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.total_bits, 15);
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.messages, 4);
+        assert_eq!(m.max_player_sent_bits, 6);
+    }
+
+    fn phased_transcript() -> Transcript {
+        let mut t = Transcript::new(3);
+        t.set_phase("sample");
+        t.record(Some(0), Direction::ToPlayer, BitCost(4), "req");
+        t.record(Some(0), Direction::ToCoordinator, BitCost(9), "resp");
+        t.next_round();
+        t.set_phase("verify");
+        t.record(Some(2), Direction::ToCoordinator, BitCost(6), "resp");
+        t.record(None, Direction::Broadcast, BitCost(11), "post");
+        t
+    }
+
+    #[test]
+    fn phases_default_and_scope() {
+        let mut t = Transcript::new(1);
+        t.record(Some(0), Direction::ToPlayer, BitCost(1), "x");
+        assert_eq!(t.events()[0].phase, DEFAULT_PHASE);
+        t.set_phase("p");
+        assert_eq!(t.current_phase(), "p");
+        t.record(Some(0), Direction::ToPlayer, BitCost(1), "x");
+        assert_eq!(t.events()[1].phase, "p");
+    }
+
+    #[test]
+    fn every_rollup_partitions_the_total() {
+        let t = phased_transcript();
+        let total = t.total_bits().get();
+        for rollup in [t.by_phase(), t.by_player(), t.by_round(), t.by_direction()] {
+            assert_eq!(rollup.iter().map(|r| r.bits).sum::<u64>(), total);
+            assert_eq!(
+                rollup.iter().map(|r| r.messages).sum::<u64>(),
+                t.events().len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn rollup_keys_and_order() {
+        let t = phased_transcript();
+        let phases: Vec<String> = t.by_phase().into_iter().map(|r| r.key).collect();
+        assert_eq!(phases, ["verify", "sample"], "descending bits");
+        let players: Vec<String> = t.by_player().into_iter().map(|r| r.key).collect();
+        assert_eq!(players, ["player-0", "player-2", "broadcast"]);
+        let rounds: Vec<String> = t.by_round().into_iter().map(|r| r.key).collect();
+        assert_eq!(rounds, ["round-0", "round-1"]);
+        let dirs: Vec<String> = t.by_direction().into_iter().map(|r| r.key).collect();
+        assert_eq!(dirs, ["to_player", "to_coordinator", "broadcast"]);
+        assert_eq!(t.bits_for_phase("sample"), 13);
+        assert_eq!(t.bits_for_phase("verify"), 17);
+    }
+
+    #[test]
     fn jsonl_export_is_line_per_event() {
         let mut t = Transcript::new(1);
         t.record(Some(0), Direction::ToPlayer, BitCost(7), "x");
@@ -246,17 +794,99 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"bits\":7"));
         assert!(lines[0].contains("\"direction\":\"to_player\""));
+        assert!(lines[0].contains("\"phase\":\"unphased\""));
         assert!(lines[1].contains("\"player\":null"));
     }
 
     #[test]
-    fn merged_stats() {
-        let a = CommStats { total_bits: 10, rounds: 2, messages: 3, max_player_sent_bits: 6 };
-        let b = CommStats { total_bits: 5, rounds: 4, messages: 1, max_player_sent_bits: 2 };
-        let m = a.merged(b);
-        assert_eq!(m.total_bits, 15);
-        assert_eq!(m.rounds, 4);
-        assert_eq!(m.messages, 4);
-        assert_eq!(m.max_player_sent_bits, 6);
+    fn json_round_trip() {
+        let t = phased_transcript();
+        let mut buf = Vec::new();
+        t.write_events_json(&mut buf).unwrap();
+        let parsed = parse_events_json(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed.len(), t.events().len());
+        for (p, e) in parsed.iter().zip(t.events()) {
+            assert_eq!(p.round, e.round);
+            assert_eq!(p.player, e.player);
+            assert_eq!(p.direction, e.direction);
+            assert_eq!(p.bits, e.bits);
+            assert_eq!(p.phase, e.phase);
+            assert_eq!(p.label, e.label);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_matches_json() {
+        let t = phased_transcript();
+        let mut json = Vec::new();
+        t.write_events_json(&mut json).unwrap();
+        let mut csv = Vec::new();
+        t.write_events_csv(&mut csv).unwrap();
+        let from_json = parse_events_json(std::str::from_utf8(&json).unwrap()).unwrap();
+        let from_csv = parse_events_csv(std::str::from_utf8(&csv).unwrap()).unwrap();
+        assert_eq!(from_json, from_csv);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_events_json("not json").is_err());
+        assert!(
+            parse_events_json("{\"round\":1}").is_err(),
+            "missing fields"
+        );
+        assert!(parse_events_csv("wrong,header\n").is_err());
+        assert!(parse_events_csv("round,player,direction,bits,phase,label\n1,2\n").is_err());
+        assert!(
+            parse_events_csv("round,player,direction,bits,phase,label\n0,0,sideways,1,p,l\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn rollup_exports_include_all_groupings() {
+        let t = phased_transcript();
+        let mut json = Vec::new();
+        t.write_rollups_json(&mut json).unwrap();
+        let text = String::from_utf8(json).unwrap();
+        for needle in [
+            "total_bits",
+            "by_phase",
+            "by_player",
+            "by_round",
+            "by_direction",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        let mut csv = Vec::new();
+        t.write_rollups_csv(&mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        assert!(text.starts_with("grouping,key,bits,messages\n"));
+        assert!(text.contains("by_phase,verify,17,2"), "{text}");
+        assert!(text.contains("by_player,broadcast,11,1"), "{text}");
+    }
+
+    #[test]
+    fn absorb_concatenates_rounds_and_totals() {
+        let mut a = phased_transcript();
+        let b = phased_transcript();
+        let total = a.total_bits() + b.total_bits();
+        a.absorb(&b);
+        assert_eq!(a.total_bits(), total);
+        assert_eq!(a.round(), 3, "rounds 0..=1 then 2..=3");
+        assert_eq!(a.events().len(), 8);
+        assert_eq!(
+            a.events()[4].round,
+            2,
+            "absorbed events start a fresh round"
+        );
+        assert_eq!(a.per_player_sent(), &[18, 0, 12]);
+        let mut empty = Transcript::new(3);
+        empty.absorb(&b);
+        assert_eq!(
+            empty.round(),
+            1,
+            "absorbing into empty keeps round numbering"
+        );
+        assert_eq!(empty.total_bits(), b.total_bits());
     }
 }

@@ -1,5 +1,5 @@
 //! Distributed C₄ detection — the 4-vertex `H`-freeness direction of
-//! Fraigniaud et al. (the paper's [19]), in our simulator.
+//! Fraigniaud et al. (the paper's \[19\]), in our simulator.
 //!
 //! One iteration costs four rounds, chaining probes along a path:
 //!
@@ -40,7 +40,10 @@ impl VertexProgram for C4Program {
     type State = C4State;
 
     fn init(&self, _v: VertexId, neighbors: &[VertexId]) -> C4State {
-        C4State { neighbors_sorted: neighbors.to_vec(), ..C4State::default() }
+        C4State {
+            neighbors_sorted: neighbors.to_vec(),
+            ..C4State::default()
+        }
     }
 
     fn round(
@@ -61,11 +64,9 @@ impl VertexProgram for C4Program {
                 if neighbors.len() >= 2 {
                     let iteration = (round / 4) as u64;
                     let tag = 0x4334_5052 ^ iteration.wrapping_mul(0x9E37_79B9);
-                    let i = (shared.value(tag, u64::from(v.0)) % neighbors.len() as u64)
-                        as usize;
+                    let i = (shared.value(tag, u64::from(v.0)) % neighbors.len() as u64) as usize;
                     let mut j = (shared.value(tag.wrapping_add(1), u64::from(v.0))
-                        % (neighbors.len() as u64 - 1))
-                        as usize;
+                        % (neighbors.len() as u64 - 1)) as usize;
                     if j >= i {
                         j += 1;
                     }
@@ -91,10 +92,8 @@ impl VertexProgram for C4Program {
                         if candidates.is_empty() {
                             continue;
                         }
-                        let idx = (shared
-                            .value(tag.wrapping_add(slot as u64), u64::from(v.0))
-                            % candidates.len() as u64)
-                            as usize;
+                        let idx = (shared.value(tag.wrapping_add(slot as u64), u64::from(v.0))
+                            % candidates.len() as u64) as usize;
                         let x = candidates[idx];
                         used_targets.push(x);
                         state.middle_pending.push((*from, x, *b));
@@ -178,8 +177,12 @@ pub fn detect_c4(g: &Graph, iterations: usize, seed: u64) -> C4Outcome {
     for s in &states {
         if let Some(c) = s.found {
             let [v, a, x, b] = c;
-            let edges =
-                [Edge::new(v, a), Edge::new(a, x), Edge::new(x, b), Edge::new(b, v)];
+            let edges = [
+                Edge::new(v, a),
+                Edge::new(a, x),
+                Edge::new(x, b),
+                Edge::new(b, v),
+            ];
             assert!(
                 edges.iter().all(|e| g.has_edge(*e)),
                 "certified cycle {c:?} has a missing edge"
@@ -190,7 +193,11 @@ pub fn detect_c4(g: &Graph, iterations: usize, seed: u64) -> C4Outcome {
             break;
         }
     }
-    C4Outcome { cycle, rounds: outcome.rounds, total_bits: outcome.total_bits }
+    C4Outcome {
+        cycle,
+        rounds: outcome.rounds,
+        total_bits: outcome.total_bits,
+    }
 }
 
 #[cfg(test)]

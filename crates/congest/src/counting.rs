@@ -46,7 +46,10 @@ impl VertexProgram for TriangleCountProgram {
     type State = CountState;
 
     fn init(&self, _v: VertexId, neighbors: &[VertexId]) -> CountState {
-        CountState { neighbors_sorted: neighbors.to_vec(), ..CountState::default() }
+        CountState {
+            neighbors_sorted: neighbors.to_vec(),
+            ..CountState::default()
+        }
     }
 
     fn round(
@@ -72,8 +75,7 @@ impl VertexProgram for TriangleCountProgram {
             if neighbors.len() >= 2 {
                 let iteration = (round / 2) as u64;
                 let tag = 0x434E_5447 ^ iteration.wrapping_mul(0x9E37_79B9);
-                let i =
-                    (shared.value(tag, u64::from(v.0)) % neighbors.len() as u64) as usize;
+                let i = (shared.value(tag, u64::from(v.0)) % neighbors.len() as u64) as usize;
                 let mut j = (shared.value(tag.wrapping_add(1), u64::from(v.0))
                     % (neighbors.len() as u64 - 1)) as usize;
                 if j >= i {
@@ -166,7 +168,11 @@ mod tests {
         // estimate is exact with any number of iterations.
         let g = clique(3);
         let est = estimate_triangles(&g, 4, 1);
-        assert!((est.estimate - 1.0).abs() < 1e-9, "estimate {}", est.estimate);
+        assert!(
+            (est.estimate - 1.0).abs() < 1e-9,
+            "estimate {}",
+            est.estimate
+        );
         assert!(est.total_bits > 0);
     }
 
@@ -196,6 +202,9 @@ mod tests {
         let g = clique(8);
         let a = estimate_triangles(&g, 5, 1).total_bits;
         let b = estimate_triangles(&g, 50, 1).total_bits;
-        assert!(b > 5 * a, "bits {a} → {b} should scale ~linearly in iterations");
+        assert!(
+            b > 5 * a,
+            "bits {a} → {b} should scale ~linearly in iterations"
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! edge. The simulator enforces the bandwidth cap per edge per round and
 //! accounts rounds and bits; [`triangle::TriangleTester`] implements the
 //! neighbor-probe tester, whose round budget scales as `Θ(1/ε²)` on
-//! ε-far inputs — the shape [`network::run_until`] experiments measure.
+//! ε-far inputs — the shape [`network::Network::run_until`] experiments measure.
 //!
 //! The communication-complexity connection (the reason this crate lives
 //! here): lower bounds for CONGEST property testing are exactly what the
@@ -31,7 +31,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod c4;
 pub mod counting;

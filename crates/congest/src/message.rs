@@ -48,8 +48,11 @@ mod tests {
         assert_eq!(Msg::ProbeReply(VertexId(3), true).bit_len(n), BitCost(11));
         assert_eq!(Msg::Flag(false).bit_len(n), BitCost(1));
         assert_eq!(Msg::bandwidth_cap(n), 20);
-        for m in [Msg::Probe(VertexId(0)), Msg::ProbeReply(VertexId(0), false), Msg::Flag(true)]
-        {
+        for m in [
+            Msg::Probe(VertexId(0)),
+            Msg::ProbeReply(VertexId(0), false),
+            Msg::Flag(true),
+        ] {
             assert!(m.fits(n));
         }
     }

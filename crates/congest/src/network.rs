@@ -71,7 +71,10 @@ impl<'g> Network<'g> {
     /// strengthen lower-bound discussions and simplify reproducibility —
     /// each vertex derives its stream from `(seed, v)`.)
     pub fn new(graph: &'g Graph, seed: u64) -> Self {
-        Network { graph, shared: SharedRandomness::new(seed) }
+        Network {
+            graph,
+            shared: SharedRandomness::new(seed),
+        }
     }
 
     /// Runs `program` for at most `max_rounds` rounds, stopping early as
@@ -82,11 +85,17 @@ impl<'g> Network<'g> {
     /// Panics if a program sends to a non-neighbor or exceeds the
     /// per-edge-per-round bandwidth cap — both are model violations, not
     /// recoverable conditions.
-    pub fn run_until<P: VertexProgram>(&mut self, program: &P, max_rounds: usize) -> CongestOutcome {
+    pub fn run_until<P: VertexProgram>(
+        &mut self,
+        program: &P,
+        max_rounds: usize,
+    ) -> CongestOutcome {
         let g = self.graph;
         let n = g.vertex_count();
-        let mut states: Vec<P::State> =
-            g.vertices().map(|v| program.init(v, g.neighbors(v))).collect();
+        let mut states: Vec<P::State> = g
+            .vertices()
+            .map(|v| program.init(v, g.neighbors(v)))
+            .collect();
         let mut inboxes: Vec<Vec<(VertexId, Msg)>> = vec![Vec::new(); n];
         let mut total_bits = 0u64;
         let mut max_edge_round = 0u64;
@@ -157,8 +166,10 @@ impl<'g> Network<'g> {
     ) -> (Vec<P::State>, CongestOutcome) {
         let g = self.graph;
         let n = g.vertex_count();
-        let mut states: Vec<P::State> =
-            g.vertices().map(|v| program.init(v, g.neighbors(v))).collect();
+        let mut states: Vec<P::State> = g
+            .vertices()
+            .map(|v| program.init(v, g.neighbors(v)))
+            .collect();
         let mut inboxes: Vec<Vec<(VertexId, Msg)>> = vec![Vec::new(); n];
         let mut total_bits = 0u64;
         let mut max_edge_round = 0u64;
@@ -202,7 +213,12 @@ impl<'g> Network<'g> {
         }
         (
             states,
-            CongestOutcome { witness, rounds, total_bits, max_edge_round_bits: max_edge_round },
+            CongestOutcome {
+                witness,
+                rounds,
+                total_bits,
+                max_edge_round_bits: max_edge_round,
+            },
         )
     }
 }

@@ -1,5 +1,5 @@
 //! The distributed triangle tester (after Censor-Hillel et al., the
-//! paper's [10]).
+//! paper's \[10\]).
 //!
 //! Each *iteration* costs two rounds:
 //!
@@ -40,7 +40,9 @@ impl VertexProgram for TriangleTester {
     type State = TesterState;
 
     fn init(&self, _v: VertexId, neighbors: &[VertexId]) -> TesterState {
-        TesterState { neighbors_sorted: neighbors.to_vec() }
+        TesterState {
+            neighbors_sorted: neighbors.to_vec(),
+        }
     }
 
     fn round(
@@ -58,8 +60,7 @@ impl VertexProgram for TriangleTester {
             if neighbors.len() >= 2 {
                 let iteration = (round / 2) as u64;
                 let tag = 0x434F_4E47 ^ iteration.wrapping_mul(0x9E37_79B9);
-                let i =
-                    (shared.value(tag, u64::from(v.0)) % neighbors.len() as u64) as usize;
+                let i = (shared.value(tag, u64::from(v.0)) % neighbors.len() as u64) as usize;
                 let mut j = (shared.value(tag.wrapping_add(1), u64::from(v.0))
                     % (neighbors.len() as u64 - 1)) as usize;
                 if j >= i {

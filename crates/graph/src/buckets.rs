@@ -78,7 +78,10 @@ impl Bucketing {
                 buckets[i].push(v);
             }
         }
-        Bucketing { assignment, buckets }
+        Bucketing {
+            assignment,
+            buckets,
+        }
     }
 
     /// Which bucket vertex `v` belongs to (`None` if isolated).
@@ -98,7 +101,9 @@ impl Bucketing {
 
     /// Indices of non-empty buckets, ascending.
     pub fn nonempty(&self) -> Vec<usize> {
-        (0..self.buckets.len()).filter(|i| !self.buckets[*i].is_empty()).collect()
+        (0..self.buckets.len())
+            .filter(|i| !self.buckets[*i].is_empty())
+            .collect()
     }
 
     /// Combined size of buckets `i-1, i, i+1` (the paper's `N(B_i)`).
@@ -132,7 +137,10 @@ pub struct FarnessParams {
 impl FarnessParams {
     /// Paper-faithful parameters for a given ε.
     pub fn new(epsilon: f64) -> Self {
-        FarnessParams { epsilon, log_scale: 1.0 }
+        FarnessParams {
+            epsilon,
+            log_scale: 1.0,
+        }
     }
 
     /// Fraction threshold of Definition 5: `ε / (12 log n)`.
@@ -203,7 +211,11 @@ pub fn is_full_vertex(g: &Graph, v: VertexId, params: &FarnessParams) -> bool {
 /// Counts disjoint triangle-vees sourced in bucket `i` (per-vertex greedy
 /// matchings; disjoint per the paper's convention).
 pub fn bucket_vee_count(g: &Graph, bucketing: &Bucketing, i: usize) -> usize {
-    bucketing.bucket(i).iter().map(|v| triangles::disjoint_vees_at(g, *v)).sum()
+    bucketing
+        .bucket(i)
+        .iter()
+        .map(|v| triangles::disjoint_vees_at(g, *v))
+        .sum()
 }
 
 /// Indices of *full buckets* (Definition 4) of `g`.
@@ -227,7 +239,10 @@ mod tests {
         assert_eq!(d_plus(2), 27);
         for d in 1..200usize {
             let i = bucket_of_degree(d).unwrap();
-            assert!(d as u64 >= d_minus(i) && (d as u64) < d_plus(i), "d={d} i={i}");
+            assert!(
+                d as u64 >= d_minus(i) && (d as u64) < d_plus(i),
+                "d={d} i={i}"
+            );
         }
     }
 
@@ -260,10 +275,20 @@ mod tests {
     fn full_vertex_on_book_graph() {
         // "Book": vertex 0 joined to 1..=6, with pages (1,2),(3,4),(5,6):
         // three disjoint vees at 0 covering all 6 incident edges.
-        let g = Graph::from_edges(7, [
-            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6),
-            (1, 2), (3, 4), (5, 6),
-        ]);
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 2),
+                (3, 4),
+                (5, 6),
+            ],
+        );
         let params = FarnessParams::new(0.3);
         assert!(is_full_vertex(&g, VertexId(0), &params));
         // leaf 1 has degree 2, both edges in one vee (0-1, 1-2 with 0-2 ∈ E):
@@ -293,9 +318,15 @@ mod tests {
         let g = Graph::from_edges(3 * t as usize, edges);
         let b = Bucketing::new(&g);
         // relax the log factor so the finite-n threshold is attainable
-        let params = FarnessParams { epsilon: 0.9, log_scale: 0.2 };
+        let params = FarnessParams {
+            epsilon: 0.9,
+            log_scale: 0.2,
+        };
         let fb = full_buckets(&g, &b, &params);
-        assert!(!fb.is_empty(), "disjoint-triangle graph must have a full bucket");
+        assert!(
+            !fb.is_empty(),
+            "disjoint-triangle graph must have a full bucket"
+        );
         assert_eq!(fb, vec![0]);
     }
 

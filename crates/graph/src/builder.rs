@@ -25,12 +25,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph on `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocates capacity for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        GraphBuilder { n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices this builder targets.
@@ -57,7 +63,10 @@ impl GraphBuilder {
     pub fn try_add_edge(&mut self, e: Edge) -> Result<&mut Self, GraphError> {
         for w in [e.u(), e.v()] {
             if w.index() >= self.n {
-                return Err(GraphError::VertexOutOfRange { vertex: w, n: self.n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: w,
+                    n: self.n,
+                });
             }
         }
         self.edges.push(e);
@@ -116,8 +125,16 @@ mod tests {
     #[test]
     fn out_of_range_is_error() {
         let mut b = GraphBuilder::new(2);
-        let err = b.try_add_edge(Edge::new(VertexId(0), VertexId(5))).unwrap_err();
-        assert_eq!(err, GraphError::VertexOutOfRange { vertex: VertexId(5), n: 2 });
+        let err = b
+            .try_add_edge(Edge::new(VertexId(0), VertexId(5)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: VertexId(5),
+                n: 2
+            }
+        );
     }
 
     #[test]
@@ -132,7 +149,10 @@ mod tests {
     #[test]
     fn extend_trait() {
         let mut b = GraphBuilder::with_capacity(4, 2);
-        b.extend([Edge::new(VertexId(0), VertexId(1)), Edge::new(VertexId(2), VertexId(3))]);
+        b.extend([
+            Edge::new(VertexId(0), VertexId(1)),
+            Edge::new(VertexId(2), VertexId(3)),
+        ]);
         assert_eq!(b.vertex_count(), 4);
         assert_eq!(b.build().edge_count(), 2);
     }

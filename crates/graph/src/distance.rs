@@ -163,9 +163,7 @@ mod tests {
 
     #[test]
     fn hitting_removal_leaves_triangle_free() {
-        let g = Graph::from_edges(5, [
-            (0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (0, 3),
-        ]);
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (0, 3)]);
         let removed = greedy_hitting_removal(&g);
         let rm: HashSet<Edge> = removed.into_iter().collect();
         assert!(is_triangle_free(&g.without_edges(&rm)));
@@ -193,9 +191,7 @@ mod tests {
         let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
         assert_eq!(exact_distance(&path, 64), 0);
         // Book graph (3 triangles sharing edge (0,1)): one removal.
-        let book = Graph::from_edges(5, [
-            (0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4),
-        ]);
+        let book = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (0, 4), (1, 4)]);
         assert_eq!(exact_distance(&book, 64), 1);
     }
 
@@ -211,8 +207,16 @@ mod tests {
             }
             let exact = exact_distance(&g, 40);
             let b = distance_bounds(&g);
-            assert!(b.lower <= exact, "trial {trial}: packing {} > exact {exact}", b.lower);
-            assert!(b.upper >= exact, "trial {trial}: greedy {} < exact {exact}", b.upper);
+            assert!(
+                b.lower <= exact,
+                "trial {trial}: packing {} > exact {exact}",
+                b.lower
+            );
+            assert!(
+                b.upper >= exact,
+                "trial {trial}: greedy {} < exact {exact}",
+                b.upper
+            );
         }
     }
 

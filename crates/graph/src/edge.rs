@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(e1, e2);
 /// assert_eq!(e1.u(), VertexId(2));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Edge {
     u: VertexId,
     v: VertexId,

@@ -20,7 +20,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
         }
@@ -35,7 +38,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::VertexOutOfRange { vertex: VertexId(9), n: 5 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: VertexId(9),
+            n: 5,
+        };
         assert!(e.to_string().contains("out of range"));
         let e = GraphError::InvalidParameters("bad".into());
         assert!(e.to_string().contains("bad"));

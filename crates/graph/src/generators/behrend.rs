@@ -32,7 +32,11 @@ pub fn behrend_set(m: usize) -> Vec<u64> {
     for d in 2usize..=12 {
         let base = 2 * d - 1;
         let mut k = 1usize;
-        while (base as u64).checked_pow(k as u32).map(|p| p < m as u64).unwrap_or(false) {
+        while (base as u64)
+            .checked_pow(k as u32)
+            .map(|p| p < m as u64)
+            .unwrap_or(false)
+        {
             k += 1;
         }
         // Enumerate digit vectors with digits < d; bucket by radius.
@@ -128,14 +132,17 @@ impl RuzsaSzemeredi {
             for &s in &set {
                 let y = m as u64 + x + s; // Y-part offset m, index x+s < 2m
                 let z = 3 * m as u64 + x + 2 * s; // Z-part offset 3m, index x+2s < 3m
-                let (vx, vy, vz) =
-                    (VertexId(x as u32), VertexId(y as u32), VertexId(z as u32));
+                let (vx, vy, vz) = (VertexId(x as u32), VertexId(y as u32), VertexId(z as u32));
                 b.add_edge(Edge::new(vx, vy));
                 b.add_edge(Edge::new(vy, vz));
                 b.add_edge(Edge::new(vx, vz));
             }
         }
-        RuzsaSzemeredi { graph: b.build(), m, set }
+        RuzsaSzemeredi {
+            graph: b.build(),
+            m,
+            set,
+        }
     }
 
     /// The graph.

@@ -45,7 +45,10 @@ impl BmInstance {
         assert_eq!(w.len(), matching.len(), "w must have n bits");
         let mut seen = vec![false; x.len()];
         for &(a, b) in &matching {
-            assert!(a < x.len() && b < x.len() && a != b, "matching pair out of range");
+            assert!(
+                a < x.len() && b < x.len() && a != b,
+                "matching pair out of range"
+            );
             assert!(!seen[a] && !seen[b], "matching must be disjoint");
             seen[a] = true;
             seen[b] = true;
@@ -61,15 +64,14 @@ impl BmInstance {
         let x: Vec<bool> = (0..2 * n).map(|_| rng.gen_bool(0.5)).collect();
         let mut idx: Vec<usize> = (0..2 * n).collect();
         idx.shuffle(rng);
-        let matching: Vec<(usize, usize)> =
-            idx.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        let matching: Vec<(usize, usize)> = idx.chunks_exact(2).map(|c| (c[0], c[1])).collect();
         let w: Vec<bool> = matching
             .iter()
             .map(|&(a, b)| {
                 let mx = x[a] ^ x[b];
                 match side {
-                    BmSide::AllZero => mx,      // w_j = (Mx)_j ⇒ xor is 0
-                    BmSide::AllOne => !mx,      // xor is 1
+                    BmSide::AllZero => mx, // w_j = (Mx)_j ⇒ xor is 0
+                    BmSide::AllOne => !mx, // xor is 1
                 }
             })
             .collect();
@@ -164,7 +166,10 @@ mod tests {
             let inst = BmInstance::sample(8, BmSide::AllOne, &mut rng);
             assert!(inst.mx_xor_w().iter().all(|b| *b));
             let g = inst.reduction_graph();
-            assert!(distance::is_triangle_free(&g), "AllOne side must be triangle-free");
+            assert!(
+                distance::is_triangle_free(&g),
+                "AllOne side must be triangle-free"
+            );
         }
     }
 
@@ -210,11 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "disjoint")]
     fn rejects_overlapping_matching() {
-        let _ = BmInstance::new(
-            vec![false; 4],
-            vec![(0, 1), (1, 2)],
-            vec![false, false],
-        );
+        let _ = BmInstance::new(vec![false; 4], vec![(0, 1), (1, 2)], vec![false, false]);
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl ChungLu {
                 "need n ≥ 2, avg_degree > 0, beta > 1 (got n={n}, d={avg_degree}, β={beta})"
             )));
         }
-        Ok(ChungLu { n, avg_degree, beta })
+        Ok(ChungLu {
+            n,
+            avg_degree,
+            beta,
+        })
     }
 
     /// The expected-degree weights, scaled so their mean is the target
@@ -41,8 +45,7 @@ impl ChungLu {
     pub fn weights(&self) -> Vec<f64> {
         let gamma = 1.0 / (self.beta - 1.0);
         let i0 = 2.0; // offset tames the head
-        let mut w: Vec<f64> =
-            (0..self.n).map(|i| (i as f64 + i0).powf(-gamma)).collect();
+        let mut w: Vec<f64> = (0..self.n).map(|i| (i as f64 + i0).powf(-gamma)).collect();
         let mean = w.iter().sum::<f64>() / self.n as f64;
         let scale = self.avg_degree / mean;
         for wi in &mut w {

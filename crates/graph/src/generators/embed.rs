@@ -42,7 +42,9 @@ pub fn pad_with_isolated_vertices(g: &Graph, n: usize) -> Result<Graph, GraphErr
 /// `d = Θ(n^c)`), returns the number of *core* vertices `n' = (d'·n)^{1/(1+c)}`
 /// whose padding into `n` vertices yields average degree `Θ(d')`.
 pub fn core_size_for(n: usize, d_target: f64, c: f64) -> usize {
-    ((d_target * n as f64).powf(1.0 / (1.0 + c))).round().max(3.0) as usize
+    ((d_target * n as f64).powf(1.0 / (1.0 + c)))
+        .round()
+        .max(3.0) as usize
 }
 
 #[cfg(test)]
@@ -87,6 +89,9 @@ mod tests {
         // √n' times n'/n ≈ d.
         let core_degree = (np as f64).sqrt();
         let padded_degree = core_degree * np as f64 / 1_000_000.0;
-        assert!((padded_degree - 10.0).abs() / 10.0 < 0.05, "got {padded_degree}");
+        assert!(
+            (padded_degree - 10.0).abs() / 10.0 < 0.05,
+            "got {padded_degree}"
+        );
     }
 }

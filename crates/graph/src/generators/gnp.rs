@@ -60,7 +60,9 @@ fn pair_from_index(n: u64, idx: u64) -> (u64, u64) {
         let nf = n as f64;
         let k = idx as f64;
         let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * k;
-        (((2.0 * nf - 1.0) - disc.max(0.0).sqrt()) / 2.0).floor().max(0.0) as u64
+        (((2.0 * nf - 1.0) - disc.max(0.0).sqrt()) / 2.0)
+            .floor()
+            .max(0.0) as u64
     };
     let row_start = |a: u64| a * n - a * (a + 1) / 2;
     while a > 0 && row_start(a) > idx {

@@ -2,7 +2,7 @@
 //!
 //! Every workload the paper uses or implies:
 //!
-//! * [`gnp`] — Erdős–Rényi `G(n, p)` (the generic "average degree d" input),
+//! * [`gnp`](fn@gnp) — Erdős–Rényi `G(n, p)` (the generic "average degree d" input),
 //! * [`tripartite`] — the hard distribution μ of §4.2 (tripartite, each
 //!   cross-part edge iid with probability `γ/√n`),
 //! * [`planted`] — certified ε-far graphs built from edge-disjoint triangle

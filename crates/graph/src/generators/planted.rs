@@ -33,7 +33,9 @@ use rand::Rng;
 pub fn shifted_triangles(n: usize, shifts: usize) -> Result<Graph, GraphError> {
     let q = n / 3;
     if q == 0 {
-        return Err(GraphError::InvalidParameters(format!("n={n} too small, need n>=3")));
+        return Err(GraphError::InvalidParameters(format!(
+            "n={n} too small, need n>=3"
+        )));
     }
     if shifts > q {
         return Err(GraphError::InvalidParameters(format!(
@@ -80,7 +82,9 @@ pub fn far_graph<R: Rng + ?Sized>(
         )));
     }
     if d < 2.0 || d > 2.0 * n as f64 / 3.0 {
-        return Err(GraphError::InvalidParameters(format!("degree d={d} out of range")));
+        return Err(GraphError::InvalidParameters(format!(
+            "degree d={d} out of range"
+        )));
     }
     let q = n / 3;
     let target_edges = (n as f64 * d / 2.0).round() as usize;
@@ -215,7 +219,10 @@ pub fn dense_core<R: Rng + ?Sized>(
             b.add_edge(Edge::new(pair[0], pair[1]));
         }
     }
-    Ok(DenseCore { graph: b.build(), hubs })
+    Ok(DenseCore {
+        graph: b.build(),
+        hubs,
+    })
 }
 
 #[cfg(test)]
@@ -231,7 +238,11 @@ mod tests {
         let shifts = 4;
         let g = shifted_triangles(n, shifts).unwrap();
         let q = n / 3;
-        assert_eq!(g.edge_count(), 3 * shifts * q, "edge-disjointness ⇔ no dedup");
+        assert_eq!(
+            g.edge_count(),
+            3 * shifts * q,
+            "edge-disjointness ⇔ no dedup"
+        );
         // Greedy packing is maximal, not maximum; combined shifts can form
         // "mixed" triangles that divert it, but it stays within a factor 3
         // of the planted family (each packed triangle blocks ≤ 3 others).
@@ -273,7 +284,10 @@ mod tests {
         let g = far_graph(n, d, eps, &mut rng).unwrap();
         let got_d = g.average_degree();
         assert!((got_d - d).abs() < 1.5, "avg degree {got_d} vs target {d}");
-        assert!(distance::is_certifiably_far(&g, eps), "graph must be certified ε-far");
+        assert!(
+            distance::is_certifiably_far(&g, eps),
+            "graph must be certified ε-far"
+        );
     }
 
     #[test]

@@ -82,10 +82,8 @@ impl TripartiteMu {
             for i in 0..n {
                 for j in 0..n {
                     if rng.gen_bool(p) {
-                        let e = Edge::new(
-                            VertexId((off_a + i) as u32),
-                            VertexId((off_b + j) as u32),
-                        );
+                        let e =
+                            Edge::new(VertexId((off_a + i) as u32), VertexId((off_b + j) as u32));
                         out.push(e);
                     }
                 }
@@ -100,7 +98,13 @@ impl TripartiteMu {
         for e in uv1.iter().chain(&uv2).chain(&v1v2) {
             b.add_edge(*e);
         }
-        MuInstance { graph: b.build(), part_size: n, uv1, uv2, v1v2 }
+        MuInstance {
+            graph: b.build(),
+            part_size: n,
+            uv1,
+            uv2,
+            v1v2,
+        }
     }
 }
 
@@ -181,8 +185,7 @@ mod tests {
             let parts = (inst.part_of(e.u()), inst.part_of(e.v()));
             assert!(parts == (Part::V1, Part::V2) || parts == (Part::V2, Part::V1));
         }
-        let total =
-            inst.alice_edges().len() + inst.bob_edges().len() + inst.charlie_edges().len();
+        let total = inst.alice_edges().len() + inst.bob_edges().len() + inst.charlie_edges().len();
         assert_eq!(total, inst.graph().edge_count());
     }
 

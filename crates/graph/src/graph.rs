@@ -41,7 +41,10 @@ impl Graph {
     }
 
     pub(crate) fn from_sorted_dedup_edges(n: usize, edges: Vec<Edge>) -> Self {
-        debug_assert!(edges.windows(2).all(|w| w[0] < w[1]), "edges must be sorted+dedup");
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be sorted+dedup"
+        );
         let mut degrees = vec![0usize; n];
         for e in &edges {
             degrees[e.u().index()] += 1;
@@ -66,7 +69,12 @@ impl Graph {
         for v in 0..n {
             adj[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Graph { n, offsets, adj, edges }
+        Graph {
+            n,
+            offsets,
+            adj,
+            edges,
+        }
     }
 
     /// Number of vertices `n`.
@@ -120,7 +128,11 @@ impl Graph {
             return false;
         }
         // Probe the smaller adjacency list.
-        let (probe, target) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (probe, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(probe).binary_search(&target).is_ok()
     }
 
@@ -182,14 +194,21 @@ impl Graph {
 
     /// Graph with the given edges removed.
     pub fn without_edges(&self, remove: &std::collections::HashSet<Edge>) -> Graph {
-        let edges: Vec<Edge> =
-            self.edges.iter().copied().filter(|e| !remove.contains(e)).collect();
+        let edges: Vec<Edge> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|e| !remove.contains(e))
+            .collect();
         Graph::from_sorted_dedup_edges(self.n, edges)
     }
 
     /// Maximum degree over all vertices (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|v| self.degree(VertexId::from_index(v))).max().unwrap_or(0)
+        (0..self.n)
+            .map(|v| self.degree(VertexId::from_index(v)))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -226,11 +245,10 @@ mod tests {
             g.common_neighbors(VertexId(0), VertexId(1)),
             vec![VertexId(2), VertexId(3)]
         );
-        assert!(g.common_neighbors(VertexId(2), VertexId(3)).iter().eq([
-            VertexId(0),
-            VertexId(1)
-        ]
-        .iter()));
+        assert!(g
+            .common_neighbors(VertexId(2), VertexId(3))
+            .iter()
+            .eq([VertexId(0), VertexId(1)].iter()));
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub fn read_edge_list<R: BufRead>(r: R) -> Result<Graph, ReadError> {
         read_edges += 1;
     }
     if read_edges != m {
-        return Err(ReadError::Parse(format!("header promised {m} edges, found {read_edges}")));
+        return Err(ReadError::Parse(format!(
+            "header promised {m} edges, found {read_edges}"
+        )));
     }
     Ok(b.build())
 }
@@ -146,7 +148,7 @@ mod tests {
         assert!(read_edge_list("4 2\n0 1\n".as_bytes()).is_err()); // count mismatch
         assert!(read_edge_list("2 1\n0 5\n".as_bytes()).is_err()); // out of range
         assert!(read_edge_list("2 1\nx y\n".as_bytes()).is_err()); // not numbers
-        // duplicate edges contradict the header's count
+                                                                   // duplicate edges contradict the header's count
         let err = read_edge_list("3 2\n0 1\n1 0\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }

@@ -33,7 +33,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod builder;
 mod edge;
@@ -73,10 +73,17 @@ impl Triangle {
     ///
     /// Panics if any two of the vertices are equal.
     pub fn new(a: VertexId, b: VertexId, c: VertexId) -> Self {
-        assert!(a != b && b != c && a != c, "triangle vertices must be distinct");
+        assert!(
+            a != b && b != c && a != c,
+            "triangle vertices must be distinct"
+        );
         let mut v = [a, b, c];
         v.sort_unstable();
-        Triangle { a: v[0], b: v[1], c: v[2] }
+        Triangle {
+            a: v[0],
+            b: v[1],
+            c: v[2],
+        }
     }
 
     /// The three vertices in increasing order.

@@ -15,9 +15,7 @@
 
 mod schemes;
 
-pub use schemes::{
-    adversarial_triangle_split, by_vertex, random_disjoint, with_duplication,
-};
+pub use schemes::{adversarial_triangle_split, by_vertex, random_disjoint, with_duplication};
 
 use crate::{Edge, Graph};
 use std::collections::HashSet;
@@ -120,7 +118,11 @@ impl Partition {
                 held_by_relevant.extend(share.iter().copied());
             }
         }
-        let lost = g.edges().iter().filter(|e| !held_by_relevant.contains(e)).count();
+        let lost = g
+            .edges()
+            .iter()
+            .filter(|e| !held_by_relevant.contains(e))
+            .count();
         lost as f64 / g.edge_count() as f64
     }
 

@@ -56,11 +56,7 @@ pub fn with_duplication<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `k < 3`.
-pub fn adversarial_triangle_split<R: Rng + ?Sized>(
-    g: &Graph,
-    k: usize,
-    rng: &mut R,
-) -> Partition {
+pub fn adversarial_triangle_split<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Partition {
     assert!(k >= 3, "adversarial split needs at least 3 players");
     let packing = triangles::greedy_triangle_packing(g);
     let mut assigned = std::collections::HashMap::new();
@@ -72,7 +68,10 @@ pub fn adversarial_triangle_split<R: Rng + ?Sized>(
     }
     let mut shares = vec![Vec::new(); k];
     for e in g.edges() {
-        let j = assigned.get(e).copied().unwrap_or_else(|| rng.gen_range(0..k));
+        let j = assigned
+            .get(e)
+            .copied()
+            .unwrap_or_else(|| rng.gen_range(0..k));
         shares[j].push(*e);
     }
     Partition::new(shares)
@@ -123,7 +122,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let p = with_duplication(&g, 4, 0.5, &mut rng);
         assert!(p.covers(&g));
-        assert!(p.total_copies() > g.edge_count(), "expected duplicated copies");
+        assert!(
+            p.total_copies() > g.edge_count(),
+            "expected duplicated copies"
+        );
         assert!(!p.is_disjoint());
     }
 

@@ -1,6 +1,6 @@
 //! Small-subgraph detection: the machinery behind generalizing the
 //! paper's simultaneous testers from triangle-freeness to `H`-freeness
-//! (its §5 future-work direction, and the [19] line of related work on
+//! (its §5 future-work direction, and the \[19\] line of related work on
 //! testing `H`-freeness for small `H`).
 //!
 //! Finds (non-induced) copies of a small pattern `H` in a host graph by
@@ -24,7 +24,10 @@ impl Pattern {
     /// Panics if the pattern has more than 8 vertices (backtracking cost)
     /// or any isolated vertex (a match would be meaningless).
     pub fn new(graph: Graph) -> Self {
-        assert!(graph.vertex_count() <= 8, "patterns are limited to 8 vertices");
+        assert!(
+            graph.vertex_count() <= 8,
+            "patterns are limited to 8 vertices"
+        );
         assert!(
             graph.vertices().all(|v| graph.degree(v) > 0),
             "pattern must have no isolated vertices"
@@ -90,7 +93,12 @@ pub fn find_copy(g: &Graph, h: &Pattern) -> Option<Vec<VertexId>> {
     let order = matching_order(hp);
     let mut assignment: Vec<Option<VertexId>> = vec![None; hp.vertex_count()];
     if backtrack(g, hp, &order, 0, &mut assignment) {
-        Some(assignment.into_iter().map(|v| v.expect("complete assignment")).collect())
+        Some(
+            assignment
+                .into_iter()
+                .map(|v| v.expect("complete assignment"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -140,7 +148,10 @@ fn matching_order(hp: &Graph) -> Vec<VertexId> {
             .vertices()
             .filter(|v| !placed[v.index()])
             .max_by_key(|v| {
-                hp.neighbors(*v).iter().filter(|u| placed[u.index()]).count()
+                hp.neighbors(*v)
+                    .iter()
+                    .filter(|u| placed[u.index()])
+                    .count()
             })
             .expect("vertices remain");
         placed[next.index()] = true;
@@ -220,8 +231,14 @@ mod tests {
         let with = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (3, 4)]);
         let without = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
         let t = Pattern::triangle();
-        assert_eq!(find_copy(&with, &t).is_some(), triangles::contains_triangle(&with));
-        assert_eq!(is_free_of(&without, &t), !triangles::contains_triangle(&without));
+        assert_eq!(
+            find_copy(&with, &t).is_some(),
+            triangles::contains_triangle(&with)
+        );
+        assert_eq!(
+            is_free_of(&without, &t),
+            !triangles::contains_triangle(&without)
+        );
     }
 
     #[test]
@@ -254,10 +271,17 @@ mod tests {
 
     #[test]
     fn copy_mapping_is_injective_and_valid() {
-        let g = Graph::from_edges(7, [
-            (0, 1), (1, 2), (2, 3), (3, 0), // C4
-            (4, 5), (5, 6),
-        ]);
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0), // C4
+                (4, 5),
+                (5, 6),
+            ],
+        );
         let copy = find_copy(&g, &Pattern::cycle(4)).expect("C4 present");
         let uniq: std::collections::HashSet<_> = copy.iter().collect();
         assert_eq!(uniq.len(), 4);
@@ -270,11 +294,20 @@ mod tests {
     #[test]
     fn packing_counts_disjoint_copies() {
         // Two vertex-disjoint C4s plus noise.
-        let g = Graph::from_edges(10, [
-            (0, 1), (1, 2), (2, 3), (3, 0),
-            (4, 5), (5, 6), (6, 7), (7, 4),
-            (8, 9),
-        ]);
+        let g = Graph::from_edges(
+            10,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+                (8, 9),
+            ],
+        );
         let packing = greedy_copy_packing(&g, &Pattern::cycle(4));
         assert_eq!(packing.len(), 2);
         assert!(greedy_copy_packing(&g, &Pattern::clique(3)).is_empty());

@@ -27,9 +27,16 @@ impl Vee {
     ///
     /// Panics if the three vertices are not distinct.
     pub fn new(source: VertexId, a: VertexId, b: VertexId) -> Self {
-        assert!(source != a && source != b && a != b, "vee vertices must be distinct");
+        assert!(
+            source != a && source != b && a != b,
+            "vee vertices must be distinct"
+        );
         let (left, right) = if a < b { (a, b) } else { (b, a) };
-        Vee { source, left, right }
+        Vee {
+            source,
+            left,
+            right,
+        }
     }
 
     /// Attempts to form a vee from two edges; `None` unless they share
@@ -48,7 +55,10 @@ impl Vee {
 
     /// The two arms of the vee.
     pub fn arms(&self) -> [Edge; 2] {
-        [Edge::new(self.source, self.left), Edge::new(self.source, self.right)]
+        [
+            Edge::new(self.source, self.left),
+            Edge::new(self.source, self.right),
+        ]
     }
 
     /// The edge that would close the vee into a triangle.
@@ -139,7 +149,11 @@ pub fn is_triangle_edge(g: &Graph, e: Edge) -> bool {
 
 /// All edges of `g` that participate in at least one triangle.
 pub fn triangle_edges(g: &Graph) -> Vec<Edge> {
-    g.edges().iter().copied().filter(|e| is_triangle_edge(g, *e)).collect()
+    g.edges()
+        .iter()
+        .copied()
+        .filter(|e| is_triangle_edge(g, *e))
+        .collect()
 }
 
 /// Greedily packs edge-disjoint triangles; the size of the packing is a
@@ -295,11 +309,20 @@ mod tests {
 
     #[test]
     fn packing_on_disjoint_triangles_is_all() {
-        let g = Graph::from_edges(9, [
-            (0, 1), (1, 2), (0, 2),
-            (3, 4), (4, 5), (3, 5),
-            (6, 7), (7, 8), (6, 8),
-        ]);
+        let g = Graph::from_edges(
+            9,
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (6, 7),
+                (7, 8),
+                (6, 8),
+            ],
+        );
         assert_eq!(greedy_triangle_packing(&g).len(), 3);
     }
 

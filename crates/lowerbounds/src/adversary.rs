@@ -40,8 +40,10 @@ fn sketch_of<'a>(
     }
     // Take the `budget` lowest-ranked edges under a public permutation —
     // a uniform random subset.
-    let mut ranked: Vec<(u64, &Edge)> =
-        edges.iter().map(|e| (shared.edge_rank(tag, *e).0, e)).collect();
+    let mut ranked: Vec<(u64, &Edge)> = edges
+        .iter()
+        .map(|e| (shared.edge_rank(tag, *e).0, e))
+        .collect();
     ranked.sort_unstable_by_key(|(r, _)| *r);
     ranked.into_iter().take(budget).map(|(_, e)| *e).collect()
 }
@@ -53,11 +55,7 @@ fn edge_bits(inst: &MuInstance, count: usize) -> u64 {
 /// Simultaneous uniform sketch: every player posts `budget_edges` uniform
 /// random edges; the referee outputs a `V₁×V₂` edge of any fully-sampled
 /// triangle.
-pub fn uniform_sketch_attempt(
-    inst: &MuInstance,
-    budget_edges: usize,
-    seed: u64,
-) -> TaskAttempt {
+pub fn uniform_sketch_attempt(inst: &MuInstance, budget_edges: usize, seed: u64) -> TaskAttempt {
     let shared = SharedRandomness::new(seed);
     let shares = inst.player_inputs();
     let mut sent = 0usize;
@@ -91,11 +89,7 @@ pub fn uniform_sketch_attempt(
 /// edges incident to the publicly lowest-ranked vertices of `U`; Charlie
 /// posts a uniform sketch. Correlating Alice's and Bob's samples at the
 /// same `u` multiplies the vee yield.
-pub fn targeted_sketch_attempt(
-    inst: &MuInstance,
-    budget_edges: usize,
-    seed: u64,
-) -> TaskAttempt {
+pub fn targeted_sketch_attempt(inst: &MuInstance, budget_edges: usize, seed: u64) -> TaskAttempt {
     let shared = SharedRandomness::new(seed);
     let n = inst.part_size();
     const U_PERM: u64 = 7;
@@ -108,8 +102,7 @@ pub fn targeted_sketch_attempt(
         // worth, so the kept edges concentrate on a shared U prefix.
         let mut owned: Vec<Edge> = edges.to_vec();
         owned.sort_unstable_by_key(|e| {
-            let u_end = if inst.part_of(e.u()) == triad_graph::generators::tripartite::Part::U
-            {
+            let u_end = if inst.part_of(e.u()) == triad_graph::generators::tripartite::Part::U {
                 e.u()
             } else {
                 e.v()
@@ -150,11 +143,7 @@ pub fn targeted_sketch_attempt(
 /// of her edges to Bob; Bob, using his *entire* input, lists up to
 /// `budget_edges` covered `V₁×V₂` pairs for Charlie; Charlie outputs the
 /// first covered pair present in his input.
-pub fn one_way_vee_attempt(
-    inst: &MuInstance,
-    budget_edges: usize,
-    seed: u64,
-) -> TaskAttempt {
+pub fn one_way_vee_attempt(inst: &MuInstance, budget_edges: usize, seed: u64) -> TaskAttempt {
     let shared = SharedRandomness::new(seed);
     let alice_sketch = sketch_of(inst.alice_edges(), budget_edges, &shared, 400);
     // Bob joins Alice's (u, v1) edges with his own (u, v2) edges.
@@ -190,8 +179,8 @@ pub fn one_way_vee_attempt(
     }
     let charlie: HashSet<Edge> = inst.charlie_edges().iter().copied().collect();
     let output = covered.iter().copied().find(|pair| charlie.contains(pair));
-    let bits = edge_bits(inst, alice_sketch.len() + covered.len())
-        + bits_per_edge(3 * inst.part_size());
+    let bits =
+        edge_bits(inst, alice_sketch.len() + covered.len()) + bits_per_edge(3 * inst.part_size());
     TaskAttempt {
         output,
         stats: CommStats {
@@ -233,7 +222,10 @@ where
 
 /// First budget in an ascending sweep whose success rate reaches `target`.
 pub fn threshold_budget(points: &[SweepPoint], target: f64) -> Option<usize> {
-    points.iter().find(|p| p.success_rate >= target).map(|p| p.budget_edges)
+    points
+        .iter()
+        .find(|p| p.success_rate >= target)
+        .map(|p| p.budget_edges)
 }
 
 #[cfg(test)]
@@ -283,7 +275,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert_eq!(successes, trials, "full input must always find a triangle edge");
+        assert_eq!(
+            successes, trials,
+            "full input must always find a triangle edge"
+        );
     }
 
     #[test]
@@ -316,9 +311,24 @@ mod tests {
     #[test]
     fn threshold_extraction() {
         let pts = vec![
-            SweepPoint { budget_edges: 1, mean_bits: 10.0, success_rate: 0.1, error_rate: 0.0 },
-            SweepPoint { budget_edges: 2, mean_bits: 20.0, success_rate: 0.6, error_rate: 0.0 },
-            SweepPoint { budget_edges: 4, mean_bits: 40.0, success_rate: 0.9, error_rate: 0.0 },
+            SweepPoint {
+                budget_edges: 1,
+                mean_bits: 10.0,
+                success_rate: 0.1,
+                error_rate: 0.0,
+            },
+            SweepPoint {
+                budget_edges: 2,
+                mean_bits: 20.0,
+                success_rate: 0.6,
+                error_rate: 0.0,
+            },
+            SweepPoint {
+                budget_edges: 4,
+                mean_bits: 40.0,
+                success_rate: 0.9,
+                error_rate: 0.0,
+            },
         ];
         assert_eq!(threshold_budget(&pts, 0.5), Some(2));
         assert_eq!(threshold_budget(&pts, 0.95), None);

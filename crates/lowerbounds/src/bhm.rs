@@ -54,10 +54,16 @@ pub fn index_sketch_attempt<R: Rng + ?Sized>(
         if revealed[a] && revealed[b] {
             let bit = inst.x()[a] ^ inst.x()[b] ^ inst.w()[j];
             let side = if bit { BmSide::AllOne } else { BmSide::AllZero };
-            return BmAttempt { guess: BmGuess::Informed(side), bits };
+            return BmAttempt {
+                guess: BmGuess::Informed(side),
+                bits,
+            };
         }
     }
-    BmAttempt { guess: BmGuess::Blind, bits }
+    BmAttempt {
+        guess: BmGuess::Blind,
+        bits,
+    }
 }
 
 /// A point in the budget sweep.
@@ -88,7 +94,11 @@ pub fn sweep<R: Rng + ?Sized>(
             let mut correct = 0.0f64;
             let mut bits = 0u64;
             for t in 0..trials {
-                let side = if t % 2 == 0 { BmSide::AllZero } else { BmSide::AllOne };
+                let side = if t % 2 == 0 {
+                    BmSide::AllZero
+                } else {
+                    BmSide::AllOne
+                };
                 let inst = BmInstance::sample(n_pairs, side, rng);
                 let attempt = index_sketch_attempt(&inst, budget, rng);
                 bits += attempt.bits;
@@ -130,10 +140,18 @@ pub fn solve_bm_via_triangle_tester(
     // Constant average degree (< 2); the low-degree tester applies.
     let tester = SimultaneousTester::new(
         Tuning::practical(0.5),
-        SimProtocolKind::Low { avg_degree: g.average_degree().max(1.0) },
+        SimProtocolKind::Low {
+            avg_degree: g.average_degree().max(1.0),
+        },
     );
-    let run = tester.run(&g, &parts, seed).expect("reduction inputs are valid");
-    let side = if run.outcome.found_triangle() { BmSide::AllZero } else { BmSide::AllOne };
+    let run = tester
+        .run(&g, &parts, seed)
+        .expect("reduction inputs are valid");
+    let side = if run.outcome.found_triangle() {
+        BmSide::AllZero
+    } else {
+        BmSide::AllOne
+    };
     (side, run.stats)
 }
 
@@ -179,8 +197,16 @@ mod tests {
         let n = 256;
         // Budgets well below and well above 2√n = 32.
         let pts = sweep(n, &[4, 128], 60, &mut rng);
-        assert!(pts[0].informed_rate < 0.3, "tiny budget: {}", pts[0].informed_rate);
-        assert!(pts[1].informed_rate > 0.9, "huge budget: {}", pts[1].informed_rate);
+        assert!(
+            pts[0].informed_rate < 0.3,
+            "tiny budget: {}",
+            pts[0].informed_rate
+        );
+        assert!(
+            pts[1].informed_rate > 0.9,
+            "huge budget: {}",
+            pts[1].informed_rate
+        );
         assert!(pts[0].success_rate < pts[1].success_rate);
     }
 

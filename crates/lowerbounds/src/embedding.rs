@@ -25,7 +25,9 @@ pub struct EmbeddedMu {
 
 /// The core part size `q` for target degree `d'` at `n` vertices.
 pub fn core_part_size(n: usize, target_degree: f64, gamma: f64) -> usize {
-    ((target_degree * n as f64 / (6.0 * gamma)).powf(2.0 / 3.0)).round().max(4.0) as usize
+    ((target_degree * n as f64 / (6.0 * gamma)).powf(2.0 / 3.0))
+        .round()
+        .max(4.0) as usize
 }
 
 /// Builds an embedded hard instance of average degree ≈ `target_degree`.
@@ -50,7 +52,11 @@ pub fn embedded_mu<R: Rng + ?Sized>(
     let core = TripartiteMu::new(q, gamma).sample(rng);
     let padded = pad_with_isolated_vertices(core.graph(), n)?;
     let shares = core.player_inputs().to_vec();
-    Ok(EmbeddedMu { core, padded, shares })
+    Ok(EmbeddedMu {
+        core,
+        padded,
+        shares,
+    })
 }
 
 #[cfg(test)]

@@ -123,7 +123,11 @@ where
         }
     }
     // I(X; M) = H(M) for deterministic f (H(M|X) = 0).
-    InfoReport { message_entropy, total_information: message_entropy, per_bit }
+    InfoReport {
+        message_entropy,
+        total_information: message_entropy,
+        per_bit,
+    }
 }
 
 #[cfg(test)]
@@ -184,8 +188,7 @@ mod tests {
     fn parity_shows_strict_superadditivity() {
         // At p = 1/2, parity carries 1 bit about X jointly but 0 about
         // each X_i individually — the canonical strict case.
-        let report =
-            exact_information(6, 0.5, |x| x.iter().filter(|b| **b).count() % 2 == 0);
+        let report = exact_information(6, 0.5, |x| x.iter().filter(|b| **b).count() % 2 == 0);
         assert!((report.message_entropy - 1.0).abs() < 1e-9);
         for b in &report.per_bit {
             assert!(b.abs() < 1e-9);
@@ -196,11 +199,7 @@ mod tests {
     #[test]
     fn superadditivity_holds_for_arbitrary_functions() {
         // A lossy, asymmetric function: count of ones clamped at 2.
-        let report = exact_information(
-            8,
-            0.25,
-            |x| x.iter().filter(|b| **b).count().min(2) as u8,
-        );
+        let report = exact_information(8, 0.25, |x| x.iter().filter(|b| **b).count().min(2) as u8);
         assert!(
             report.superadditivity_slack() > -1e-9,
             "Σ I(X_i;M) must not exceed I(X;M)"

@@ -24,7 +24,7 @@
 //!   for small protocols, superadditivity checks).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adversary;
 pub mod bhm;

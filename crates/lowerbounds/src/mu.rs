@@ -68,7 +68,10 @@ pub fn charlie_triangle_edge_fraction(inst: &MuInstance) -> f64 {
     if charlie.is_empty() {
         return 0.0;
     }
-    let hits = charlie.iter().filter(|e| triangles::is_triangle_edge(g, **e)).count();
+    let hits = charlie
+        .iter()
+        .filter(|e| triangles::is_triangle_edge(g, **e))
+        .count();
     hits as f64 / charlie.len() as f64
 }
 
@@ -115,7 +118,11 @@ mod tests {
         );
         assert!(report.mean_packing > 0.0);
         // Mean edges ≈ 3·n²·γ/√n = 3γ·n^{3/2} = 3·1.2·512 ≈ 1843.
-        assert!((report.mean_edges - 1843.0).abs() < 300.0, "{}", report.mean_edges);
+        assert!(
+            (report.mean_edges - 1843.0).abs() < 300.0,
+            "{}",
+            report.mean_edges
+        );
     }
 
     #[test]
@@ -128,7 +135,10 @@ mod tests {
                 free += 1;
             }
         }
-        assert!(free >= 15, "nearly-empty graphs should be triangle-free ({free}/20)");
+        assert!(
+            free >= 15,
+            "nearly-empty graphs should be triangle-free ({free}/20)"
+        );
     }
 
     #[test]

@@ -10,11 +10,11 @@
 //! one-way bound is an `Ω(n^{1/4})` space bound for this task, and this
 //! algorithm's `O(√n·log n)` space shows the gap from above.
 
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use triad_comm::bits::{bits_per_edge, BitCost};
 use triad_comm::streaming::StreamAlgorithm;
 use triad_comm::SharedRandomness;
 use triad_graph::{Edge, VertexId};
-use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// One-pass triangle-edge detector with bounded memory.
 #[derive(Debug, Clone)]
@@ -55,7 +55,11 @@ impl TriangleEdgeStream {
         let (u, v) = e.endpoints();
         match (self.adj.get(&u), self.adj.get(&v)) {
             (Some(nu), Some(nv)) => {
-                let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+                let (small, large) = if nu.len() <= nv.len() {
+                    (nu, nv)
+                } else {
+                    (nv, nu)
+                };
                 small.iter().any(|w| large.contains(w))
             }
             _ => false,
@@ -190,8 +194,11 @@ pub fn two_pass_triangle_edge(
                     [Some(a), None] if a.1 != *e => slots[1] = Some((rank, *e)),
                     [Some(a), Some(b)] if a.1 != *e && b.1 != *e => {
                         // Replace the larger if the newcomer is smaller.
-                        let (hi_idx, hi) =
-                            if a.0 >= b.0 { (0usize, a.0) } else { (1usize, b.0) };
+                        let (hi_idx, hi) = if a.0 >= b.0 {
+                            (0usize, a.0)
+                        } else {
+                            (1usize, b.0)
+                        };
                         if rank < hi {
                             slots[hi_idx] = Some((rank, *e));
                         }
@@ -221,7 +228,10 @@ pub fn two_pass_triangle_edge(
         peak_items as u64 * (v_bits + 2 * e_bits) + closings.len() as u64 * e_bits + 1;
     // Pass 2: scan for a closing edge.
     let output = edges.iter().copied().find(|e| closings.contains_key(e));
-    TwoPassResult { output, peak_memory_bits: memory_bits }
+    TwoPassResult {
+        output,
+        peak_memory_bits: memory_bits,
+    }
 }
 
 #[cfg(test)]
@@ -295,7 +305,10 @@ mod tests {
             rates.push(hits);
         }
         assert!(rates[1] > rates[0], "more memory must help: {rates:?}");
-        assert!(rates[1] >= 12, "near-unbounded memory should almost always win");
+        assert!(
+            rates[1] >= 12,
+            "near-unbounded memory should almost always win"
+        );
     }
 
     #[test]
@@ -304,13 +317,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         for t in 0..8u64 {
             let inst = mu.sample(&mut rng);
-            let res = two_pass_triangle_edge(
-                SharedRandomness::new(t),
-                1,
-                96,
-                192,
-                inst.graph().edges(),
-            );
+            let res =
+                two_pass_triangle_edge(SharedRandomness::new(t), 1, 96, 192, inst.graph().edges());
             if let Some(e) = res.output {
                 assert!(triad_graph::triangles::is_triangle_edge(inst.graph(), e));
             }
@@ -368,18 +376,16 @@ mod tests {
             // Track every vertex: each vertex's two lowest-ranked incident
             // edges form a random wedge; with ~γ²·√n closing probability
             // per vertex and 3n vertices, success is near-certain.
-            let res = two_pass_triangle_edge(
-                SharedRandomness::new(t),
-                1,
-                192,
-                192,
-                inst.graph().edges(),
-            );
+            let res =
+                two_pass_triangle_edge(SharedRandomness::new(t), 1, 192, 192, inst.graph().edges());
             if res.output.is_some() {
                 hits += 1;
             }
         }
-        assert!(hits >= 8, "full tracking should usually succeed ({hits}/{trials})");
+        assert!(
+            hits >= 8,
+            "full tracking should usually succeed ({hits}/{trials})"
+        );
     }
 
     #[test]
@@ -394,10 +400,16 @@ mod tests {
         assert_eq!(run.boundary_bits.len(), 2);
         let cap_bits = capacity as u64 * bits_per_edge(192) + bits_per_edge(192) + 1;
         for b in &run.boundary_bits {
-            assert!(*b <= cap_bits, "boundary snapshot {b} exceeds memory cap {cap_bits}");
+            assert!(
+                *b <= cap_bits,
+                "boundary snapshot {b} exceeds memory cap {cap_bits}"
+            );
         }
         if let Some(found) = run.output {
-            assert!(triad_graph::triangles::is_triangle_edge(inst.graph(), found));
+            assert!(triad_graph::triangles::is_triangle_edge(
+                inst.graph(),
+                found
+            ));
         }
     }
 }

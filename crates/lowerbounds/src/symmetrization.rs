@@ -10,9 +10,7 @@
 //! lower bound follows from a 3-player one-way lower bound.
 
 use rand::Rng;
-use triad_comm::{
-    PlayerState, SharedRandomness, SimMessage, SimultaneousProtocol,
-};
+use triad_comm::{PlayerState, SharedRandomness, SimMessage, SimultaneousProtocol};
 use triad_graph::Edge;
 
 /// The outcome of one symmetrized execution.
@@ -79,7 +77,12 @@ where
         messages.push(msg);
     }
     let output = protocol.referee(n, &messages, &shared);
-    SymmetrizedRun { output, one_way_bits, k_player_bits: total, roles: (i, j) }
+    SymmetrizedRun {
+        output,
+        one_way_bits,
+        k_player_bits: total,
+        roles: (i, j),
+    }
 }
 
 /// Averages the lift's cost accounting over `trials` role draws,
@@ -105,7 +108,10 @@ where
         ow += run.one_way_bits;
         kp += run.k_player_bits;
     }
-    (ow as f64 / trials.max(1) as f64, kp as f64 / trials.max(1) as f64)
+    (
+        ow as f64 / trials.max(1) as f64,
+        kp as f64 / trials.max(1) as f64,
+    )
 }
 
 #[cfg(test)]
@@ -158,8 +164,15 @@ mod tests {
         ];
         let k = 6;
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let (ow, kp) =
-            mean_cost_ratio(&SendEverything, 6, &x, k, SharedRandomness::new(4), 50, &mut rng);
+        let (ow, kp) = mean_cost_ratio(
+            &SendEverything,
+            6,
+            &x,
+            k,
+            SharedRandomness::new(4),
+            50,
+            &mut rng,
+        );
         let ratio = ow / kp;
         assert!(
             (ratio - 2.0 / k as f64).abs() < 0.02,

@@ -59,8 +59,14 @@ pub struct SweepPoint {
 /// Aggregates verdicts into a sweep point.
 pub fn summarize(budget_edges: usize, results: &[(TaskVerdict, u64)]) -> SweepPoint {
     let n = results.len().max(1) as f64;
-    let ok = results.iter().filter(|(v, _)| *v == TaskVerdict::Correct).count() as f64;
-    let bad = results.iter().filter(|(v, _)| *v == TaskVerdict::WrongEdge).count() as f64;
+    let ok = results
+        .iter()
+        .filter(|(v, _)| *v == TaskVerdict::Correct)
+        .count() as f64;
+    let bad = results
+        .iter()
+        .filter(|(v, _)| *v == TaskVerdict::WrongEdge)
+        .count() as f64;
     let bits: u64 = results.iter().map(|(_, b)| *b).sum();
     SweepPoint {
         budget_edges,
@@ -84,18 +90,45 @@ mod tests {
         let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
         let stats = CommStats::default();
         assert_eq!(
-            verify(&g, &TaskAttempt { output: Some(e(0, 1)), stats }),
+            verify(
+                &g,
+                &TaskAttempt {
+                    output: Some(e(0, 1)),
+                    stats
+                }
+            ),
             TaskVerdict::Correct
         );
         assert_eq!(
-            verify(&g, &TaskAttempt { output: Some(e(2, 3)), stats }),
+            verify(
+                &g,
+                &TaskAttempt {
+                    output: Some(e(2, 3)),
+                    stats
+                }
+            ),
             TaskVerdict::WrongEdge
         );
         assert_eq!(
-            verify(&g, &TaskAttempt { output: Some(e(0, 3)), stats }),
+            verify(
+                &g,
+                &TaskAttempt {
+                    output: Some(e(0, 3)),
+                    stats
+                }
+            ),
             TaskVerdict::WrongEdge
         );
-        assert_eq!(verify(&g, &TaskAttempt { output: None, stats }), TaskVerdict::NoOutput);
+        assert_eq!(
+            verify(
+                &g,
+                &TaskAttempt {
+                    output: None,
+                    stats
+                }
+            ),
+            TaskVerdict::NoOutput
+        );
     }
 
     #[test]

@@ -88,14 +88,24 @@ pub fn run_amplified<T: Repeatable>(
     base_seed: u64,
 ) -> Result<ProtocolRun, ProtocolError> {
     let mut stats = triad_comm::CommStats::default();
+    let mut transcript = triad_comm::Transcript::new(partition.players());
     for r in 0..repetitions.max(1) {
         let run = tester.run_once(g, partition, base_seed.wrapping_add(u64::from(r) * 7919))?;
         stats = stats.merged(run.stats);
+        transcript.absorb(&run.transcript);
         if run.outcome.found_triangle() {
-            return Ok(ProtocolRun { outcome: run.outcome, stats });
+            return Ok(ProtocolRun {
+                outcome: run.outcome,
+                stats,
+                transcript,
+            });
         }
     }
-    Ok(ProtocolRun { outcome: TestOutcome::NoTriangleFound, stats })
+    Ok(ProtocolRun {
+        outcome: TestOutcome::NoTriangleFound,
+        stats,
+        transcript,
+    })
 }
 
 #[cfg(test)]
@@ -163,10 +173,7 @@ mod tests {
         let g = Graph::from_edges(60, (0..59).map(|i| (i as u32, i as u32 + 1)));
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let parts = random_disjoint(&g, 3, &mut rng);
-        let tester = SimultaneousTester::new(
-            Tuning::practical(0.2),
-            SimProtocolKind::Oblivious,
-        );
+        let tester = SimultaneousTester::new(Tuning::practical(0.2), SimProtocolKind::Oblivious);
         let run = run_amplified(&tester, &g, &parts, 6, 0).unwrap();
         assert!(run.outcome.accepts());
         // All repetitions were spent (no early exit possible).

@@ -1,6 +1,6 @@
 //! Baselines: exact triangle detection.
 //!
-//! Woodruff–Zhang ([38] in the paper) showed exact triangle detection
+//! Woodruff–Zhang (\[38\] in the paper) showed exact triangle detection
 //! costs `Ω(k·n·d)` bits — essentially every player must ship its whole
 //! input. [`SendEverything`] realizes that regime: each player posts its
 //! entire edge share; the referee answers exactly. Comparing the paper's
@@ -23,7 +23,10 @@ impl SimultaneousProtocol for SendEverything {
     type Output = Option<Triangle>;
 
     fn message(&self, player: &PlayerState, _shared: &SharedRandomness) -> SimMessage {
-        SimMessage::of(Payload::Edges(player.edges().copied().collect()))
+        SimMessage::of_phased(
+            Payload::Edges(player.edges().copied().collect()),
+            "send-everything",
+        )
     }
 
     fn referee(
@@ -56,9 +59,17 @@ pub fn run_send_everything(
 ) -> Result<ProtocolRun, ProtocolError> {
     let n = g.vertex_count();
     crate::outcome::validate_shares(g, partition)?;
-    let run =
-        run_simultaneous(&SendEverything, n, partition.shares(), SharedRandomness::new(seed));
-    Ok(ProtocolRun { outcome: TestOutcome::from(run.output), stats: run.stats })
+    let run = run_simultaneous(
+        &SendEverything,
+        n,
+        partition.shares(),
+        SharedRandomness::new(seed),
+    );
+    Ok(ProtocolRun {
+        outcome: TestOutcome::from(run.output),
+        stats: run.stats,
+        transcript: run.transcript,
+    })
 }
 
 #[cfg(test)]
@@ -76,7 +87,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let pf = random_disjoint(&free, 3, &mut rng);
         let pt = random_disjoint(&tri, 3, &mut rng);
-        assert!(run_send_everything(&free, &pf, 0).unwrap().outcome.accepts());
+        assert!(run_send_everything(&free, &pf, 0)
+            .unwrap()
+            .outcome
+            .accepts());
         let out = run_send_everything(&tri, &pt, 0).unwrap().outcome;
         assert!(out.triangle().unwrap().exists_in(&tri));
     }
@@ -90,7 +104,10 @@ mod tests {
         let bits_per_edge = 2 * 8; // n = 200 ⇒ 8 bits per vertex
         let expected = g.edge_count() as u64 * bits_per_edge;
         assert!(run.stats.total_bits >= expected);
-        assert!(run.stats.total_bits <= expected + 4 * 64, "only prefix overhead on top");
+        assert!(
+            run.stats.total_bits <= expected + 4 * 64,
+            "only prefix overhead on top"
+        );
     }
 
     #[test]
@@ -100,6 +117,9 @@ mod tests {
         let g = Graph::from_edges(1000, edges);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let parts = random_disjoint(&g, 5, &mut rng);
-        assert!(run_send_everything(&g, &parts, 0).unwrap().outcome.found_triangle());
+        assert!(run_send_everything(&g, &parts, 0)
+            .unwrap()
+            .outcome
+            .found_triangle());
     }
 }

@@ -59,7 +59,10 @@ pub fn approx_degree(rt: &mut Runtime, v: VertexId, tuning: &Tuning) -> DegreeEs
     }
     if d_prime <= 2.0 {
         // Degree at most 2: the upper bound itself is a fine answer.
-        return DegreeEstimate { value: d_prime, rounds: 0 };
+        return DegreeEstimate {
+            value: d_prime,
+            rounds: 0,
+        };
     }
 
     // Phase 2: shrink guesses by √α until the experiments say stop.
@@ -74,11 +77,17 @@ pub fn approx_degree(rt: &mut Runtime, v: VertexId, tuning: &Tuning) -> DegreeEs
         let successes = run_experiments(rt, v, guess, m);
         let threshold = THETA * f_of(guess) * m as f64;
         if successes as f64 >= threshold {
-            return DegreeEstimate { value: guess, rounds };
+            return DegreeEstimate {
+                value: guess,
+                rounds,
+            };
         }
         guess /= step;
     }
-    DegreeEstimate { value: guess.max(2.0), rounds }
+    DegreeEstimate {
+        value: guess.max(2.0),
+        rounds,
+    }
 }
 
 fn run_experiments(rt: &mut Runtime, v: VertexId, guess: f64, m: usize) -> usize {
@@ -115,7 +124,10 @@ pub fn approx_edge_count(rt: &mut Runtime, tuning: &Tuning) -> DegreeEstimate {
         }
     }
     if m_prime <= 2.0 {
-        return DegreeEstimate { value: m_prime, rounds: 0 };
+        return DegreeEstimate {
+            value: m_prime,
+            rounds: 0,
+        };
     }
     let alpha = 3.0f64;
     let step = alpha.sqrt();
@@ -139,11 +151,17 @@ pub fn approx_edge_count(rt: &mut Runtime, tuning: &Tuning) -> DegreeEstimate {
         }
         let threshold = THETA * f_of(guess) * m as f64;
         if successes as f64 >= threshold {
-            return DegreeEstimate { value: guess, rounds };
+            return DegreeEstimate {
+                value: guess,
+                rounds,
+            };
         }
         guess /= step;
     }
-    DegreeEstimate { value: guess.max(2.0), rounds }
+    DegreeEstimate {
+        value: guess.max(2.0),
+        rounds,
+    }
 }
 
 /// Lemma 3.2: α-approximates `deg(v)` when the players' inputs are
@@ -166,7 +184,10 @@ pub fn approx_degree_no_duplication(rt: &mut Runtime, v: VertexId, alpha: f64) -
             sum += truncated;
         }
     }
-    DegreeEstimate { value: sum as f64, rounds: 0 }
+    DegreeEstimate {
+        value: sum as f64,
+        rounds: 0,
+    }
 }
 
 /// Bounds the total number of distinct edges `m` from the players' local
@@ -194,8 +215,9 @@ mod tests {
     fn star_shares(degree: u32, k: usize, duplicate: bool, n: usize) -> Vec<Vec<Edge>> {
         // Star centered at 0 with `degree` leaves, spread over k players;
         // when `duplicate`, every player holds every edge.
-        let edges: Vec<Edge> =
-            (1..=degree).map(|i| Edge::new(VertexId(0), VertexId(i))).collect();
+        let edges: Vec<Edge> = (1..=degree)
+            .map(|i| Edge::new(VertexId(0), VertexId(i)))
+            .collect();
         assert!((degree as usize) < n, "star too large");
         if duplicate {
             vec![edges; k]
@@ -210,7 +232,10 @@ mod tests {
 
     fn check_ratio(est: f64, truth: f64, lo: f64, hi: f64) {
         let r = est / truth;
-        assert!(r >= lo && r <= hi, "estimate {est} vs true {truth} (ratio {r})");
+        assert!(
+            r >= lo && r <= hi,
+            "estimate {est} vs true {truth} (ratio {r})"
+        );
     }
 
     #[test]
@@ -250,8 +275,12 @@ mod tests {
     fn approx_degree_isolated_vertex() {
         let tuning = Tuning::practical(0.1);
         let shares = star_shares(4, 2, false, 64);
-        let mut rt =
-            Runtime::local(64, &shares, SharedRandomness::new(3), CostModel::Coordinator);
+        let mut rt = Runtime::local(
+            64,
+            &shares,
+            SharedRandomness::new(3),
+            CostModel::Coordinator,
+        );
         let est = approx_degree(&mut rt, VertexId(63), &tuning);
         assert_eq!(est.value, 0.0);
         assert_eq!(est.rounds, 0);
@@ -302,23 +331,35 @@ mod tests {
     #[should_panic(expected = "alpha must exceed 1")]
     fn no_duplication_rejects_bad_alpha() {
         let shares = star_shares(4, 2, false, 64);
-        let mut rt =
-            Runtime::local(64, &shares, SharedRandomness::new(0), CostModel::Coordinator);
+        let mut rt = Runtime::local(
+            64,
+            &shares,
+            SharedRandomness::new(0),
+            CostModel::Coordinator,
+        );
         let _ = approx_degree_no_duplication(&mut rt, VertexId(0), 1.0);
     }
 
     #[test]
     fn edge_count_bounds_bracket_truth() {
         let shares = star_shares(30, 3, false, 64);
-        let mut rt =
-            Runtime::local(64, &shares, SharedRandomness::new(0), CostModel::Coordinator);
+        let mut rt = Runtime::local(
+            64,
+            &shares,
+            SharedRandomness::new(0),
+            CostModel::Coordinator,
+        );
         let (lo, hi) = total_edge_count_bound(&mut rt);
         assert!(lo <= 30.0 && 30.0 <= hi);
         assert_eq!(hi, 30.0, "disjoint shares sum exactly");
         // fully duplicated: upper bound is k×.
         let shares = star_shares(30, 3, true, 64);
-        let mut rt =
-            Runtime::local(64, &shares, SharedRandomness::new(0), CostModel::Coordinator);
+        let mut rt = Runtime::local(
+            64,
+            &shares,
+            SharedRandomness::new(0),
+            CostModel::Coordinator,
+        );
         let (lo, hi) = total_edge_count_bound(&mut rt);
         assert_eq!(hi, 90.0);
         assert_eq!(lo, 30.0);

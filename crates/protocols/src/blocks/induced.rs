@@ -6,9 +6,9 @@
 //! idea yields a cheap distributed BFS: all players post the neighbors of
 //! the frontier vertex.
 
+use std::collections::{HashSet, VecDeque};
 use triad_comm::{PlayerRequest, Runtime};
 use triad_graph::{Edge, VertexId};
-use std::collections::{HashSet, VecDeque};
 
 /// Collects every input edge whose endpoints both fall in the public
 /// vertex set drawn under `tag` with probability `p` (deduplicated union;
@@ -66,8 +66,7 @@ mod tests {
     #[test]
     fn induced_edges_full_probability_returns_union() {
         let shares = vec![vec![e(0, 1), e(1, 2)], vec![e(1, 2), e(2, 3)]];
-        let mut rt =
-            Runtime::local(4, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let mut rt = Runtime::local(4, &shares, SharedRandomness::new(5), CostModel::Coordinator);
         let mut edges = induced_subgraph_edges(&mut rt, 1, 1.0, usize::MAX);
         edges.sort_unstable();
         assert_eq!(edges, vec![e(0, 1), e(1, 2), e(2, 3)]);
@@ -76,8 +75,7 @@ mod tests {
     #[test]
     fn collect_incident_edges_unions_players() {
         let shares = vec![vec![e(0, 1)], vec![e(0, 2)], vec![e(1, 2)]];
-        let mut rt =
-            Runtime::local(3, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let mut rt = Runtime::local(3, &shares, SharedRandomness::new(5), CostModel::Coordinator);
         let mut edges = collect_incident_edges(&mut rt, VertexId(0));
         edges.sort_unstable();
         assert_eq!(edges, vec![e(0, 1), e(0, 2)]);
@@ -87,17 +85,18 @@ mod tests {
     fn bfs_visits_component_in_order() {
         // 0-1-2-3 path plus disconnected 4-5.
         let shares = vec![vec![e(0, 1), e(2, 3)], vec![e(1, 2), e(4, 5)]];
-        let mut rt =
-            Runtime::local(6, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let mut rt = Runtime::local(6, &shares, SharedRandomness::new(5), CostModel::Coordinator);
         let order = bfs(&mut rt, VertexId(0), 10);
-        assert_eq!(order, vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(
+            order,
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
     }
 
     #[test]
     fn bfs_respects_vertex_budget() {
         let shares = vec![vec![e(0, 1), e(1, 2), e(2, 3), e(3, 4)]];
-        let mut rt =
-            Runtime::local(5, &shares, SharedRandomness::new(5), CostModel::Coordinator);
+        let mut rt = Runtime::local(5, &shares, SharedRandomness::new(5), CostModel::Coordinator);
         let order = bfs(&mut rt, VertexId(0), 2);
         assert_eq!(order.len(), 2);
     }

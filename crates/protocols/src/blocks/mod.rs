@@ -49,8 +49,7 @@ mod tests {
     #[test]
     fn edge_query_ors_across_players() {
         let shares = vec![vec![e(0, 1)], vec![e(1, 2)], vec![]];
-        let mut rt =
-            Runtime::local(4, &shares, SharedRandomness::new(1), CostModel::Coordinator);
+        let mut rt = Runtime::local(4, &shares, SharedRandomness::new(1), CostModel::Coordinator);
         assert!(edge_exists(&mut rt, e(0, 1)));
         assert!(edge_exists(&mut rt, e(1, 2)));
         assert!(!edge_exists(&mut rt, e(0, 3)));

@@ -69,7 +69,12 @@ mod tests {
         // Triangle split across players, plus a pendant edge; edge (0,1)
         // duplicated on both players to exercise unbiasedness.
         let shares = vec![vec![e(0, 1), e(1, 2)], vec![e(0, 1), e(0, 2), e(2, 3)]];
-        Runtime::local(4, &shares, SharedRandomness::new(seed), CostModel::Coordinator)
+        Runtime::local(
+            4,
+            &shares,
+            SharedRandomness::new(seed),
+            CostModel::Coordinator,
+        )
     }
 
     #[test]
@@ -111,8 +116,7 @@ mod tests {
     #[test]
     fn random_incident_edge_none_for_isolated() {
         let shares = vec![vec![e(0, 1)]];
-        let mut rt =
-            Runtime::local(5, &shares, SharedRandomness::new(0), CostModel::Coordinator);
+        let mut rt = Runtime::local(5, &shares, SharedRandomness::new(0), CostModel::Coordinator);
         assert_eq!(random_incident_edge(&mut rt, VertexId(4)), None);
     }
 
@@ -134,8 +138,7 @@ mod tests {
         // Path graph 0-1; walk of length 5 bounces between them (both have
         // neighbors), but from an isolated start it stays put.
         let shares = vec![vec![e(0, 1)]];
-        let mut rt =
-            Runtime::local(3, &shares, SharedRandomness::new(1), CostModel::Coordinator);
+        let mut rt = Runtime::local(3, &shares, SharedRandomness::new(1), CostModel::Coordinator);
         let path = random_walk(&mut rt, VertexId(2), 5);
         assert_eq!(path, vec![VertexId(2)]);
     }

@@ -37,12 +37,22 @@ pub struct Tuning {
 impl Tuning {
     /// The paper's constants at error budget δ = 1/10.
     pub fn paper_faithful(epsilon: f64) -> Self {
-        Tuning { epsilon, delta: 0.1, preset: Preset::PaperFaithful, scale: 1.0 }
+        Tuning {
+            epsilon,
+            delta: 0.1,
+            preset: Preset::PaperFaithful,
+            scale: 1.0,
+        }
     }
 
     /// Reduced constants at error budget δ = 1/10.
     pub fn practical(epsilon: f64) -> Self {
-        Tuning { epsilon, delta: 0.1, preset: Preset::Practical, scale: 1.0 }
+        Tuning {
+            epsilon,
+            delta: 0.1,
+            preset: Preset::Practical,
+            scale: 1.0,
+        }
     }
 
     /// Overrides δ.
@@ -111,9 +121,7 @@ impl Tuning {
     pub fn edge_sample_cap(&self, d_approx: f64, p: f64) -> usize {
         let expected = 3f64.sqrt() * d_approx * p;
         let slack = match self.preset {
-            Preset::PaperFaithful => {
-                1.0 + 18.0 / (d_approx * p).max(1.0) * (6.0 / self.delta).ln()
-            }
+            Preset::PaperFaithful => 1.0 + 18.0 / (d_approx * p).max(1.0) * (6.0 / self.delta).ln(),
             Preset::Practical => 2.0,
         };
         ((expected * slack).ceil() as usize).max(8)
@@ -233,7 +241,11 @@ mod tests {
         // shape: p ~ 1/√d once unclamped
         let p1 = t.edge_sample_probability(1 << 20, 10_000.0);
         let p2 = t.edge_sample_probability(1 << 20, 40_000.0);
-        assert!((p1 / p2 - 2.0).abs() < 0.05, "p should scale as d^-1/2: {}", p1 / p2);
+        assert!(
+            (p1 / p2 - 2.0).abs() < 0.05,
+            "p should scale as d^-1/2: {}",
+            p1 / p2
+        );
     }
 
     #[test]
@@ -290,8 +302,7 @@ mod tests {
         assert!((t.low_c() - 8.0 / 0.9).abs() < 1e-12);
         // AlgLow cap: 2c²(√n + d)·(2/δ).
         let c = 8.0 / 0.9;
-        let expected_cap =
-            (2.0 * c * c * ((n as f64).sqrt() + d) * 20.0).ceil() as usize;
+        let expected_cap = (2.0 * c * c * ((n as f64).sqrt() + d) * 20.0).ceil() as usize;
         assert_eq!(t.low_cap(n, d), expected_cap);
     }
 

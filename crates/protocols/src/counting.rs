@@ -1,5 +1,5 @@
 //! Approximate triangle *counting* — the companion problem the paper's
-//! related-work section traces through streaming ([27]) and distributed
+//! related-work section traces through streaming (\[27\]) and distributed
 //! computing.
 //!
 //! The one-round estimator reuses the induced-sampler: expose the
@@ -35,7 +35,10 @@ impl TriangleCounter {
     ///
     /// Panics unless `0 < p ≤ 1`.
     pub fn new(p: f64) -> Self {
-        assert!(p > 0.0 && p <= 1.0, "sampling probability must be in (0, 1]");
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "sampling probability must be in (0, 1]"
+        );
         TriangleCounter { p, cap: usize::MAX }
     }
 
@@ -140,7 +143,10 @@ pub fn estimate_triangles(
     crate::outcome::validate_shares(g, partition)?;
     let counter = TriangleCounter::new(p);
     let run = run_simultaneous(&counter, n, partition.shares(), SharedRandomness::new(seed));
-    Ok(CountRun { output: run.output, stats: run.stats })
+    Ok(CountRun {
+        output: run.output,
+        stats: run.stats,
+    })
 }
 
 /// Averages the estimator over `trials` seeds — the standard variance
@@ -194,7 +200,10 @@ mod tests {
         let parts = random_disjoint(&g, 4, &mut rng);
         let (mean, _) = estimate_triangles_averaged(&g, &parts, 0.5, 40, 3).unwrap();
         let rel = (mean - truth).abs() / truth;
-        assert!(rel < 0.25, "mean estimate {mean} vs truth {truth} (rel {rel:.2})");
+        assert!(
+            rel < 0.25,
+            "mean estimate {mean} vs truth {truth} (rel {rel:.2})"
+        );
     }
 
     #[test]
@@ -202,8 +211,14 @@ mod tests {
         let g = shifted_triangles(600, 20).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let parts = random_disjoint(&g, 4, &mut rng);
-        let low = estimate_triangles(&g, &parts, 0.1, 1).unwrap().stats.total_bits as f64;
-        let high = estimate_triangles(&g, &parts, 0.4, 1).unwrap().stats.total_bits as f64;
+        let low = estimate_triangles(&g, &parts, 0.1, 1)
+            .unwrap()
+            .stats
+            .total_bits as f64;
+        let high = estimate_triangles(&g, &parts, 0.4, 1)
+            .unwrap()
+            .stats
+            .total_bits as f64;
         // Exposed edges ∝ p²: 16× expected; allow wide slack.
         let ratio = high / low.max(1.0);
         assert!(ratio > 6.0 && ratio < 40.0, "cost ratio {ratio}");

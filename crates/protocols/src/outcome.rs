@@ -1,6 +1,6 @@
 //! Protocol outcomes and errors.
 
-use triad_comm::CommStats;
+use triad_comm::{CommStats, Transcript};
 use triad_graph::Triangle;
 
 /// The verdict of a one-sided triangle-freeness test.
@@ -53,6 +53,20 @@ pub struct ProtocolRun {
     pub outcome: TestOutcome,
     /// Bits, rounds and message counts of the run.
     pub stats: CommStats,
+    /// The full event log of the run, with per-phase attribution; feeds
+    /// the rollups behind `triad report`.
+    pub transcript: Transcript,
+}
+
+impl ProtocolRun {
+    /// The verdict as the stable string used in exported reports.
+    pub fn outcome_str(&self) -> &'static str {
+        if self.outcome.found_triangle() {
+            "triangle-found"
+        } else {
+            "accepted"
+        }
+    }
 }
 
 /// Errors raised before or during a protocol run.

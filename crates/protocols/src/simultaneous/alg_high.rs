@@ -48,15 +48,14 @@ impl SimultaneousProtocol for AlgHigh {
         let cap = self.cap(n);
         let mut out = Vec::new();
         for e in player.edges() {
-            if shared.vertex_sampled(S_TAG, e.u(), p) && shared.vertex_sampled(S_TAG, e.v(), p)
-            {
+            if shared.vertex_sampled(S_TAG, e.u(), p) && shared.vertex_sampled(S_TAG, e.v(), p) {
                 out.push(*e);
                 if out.len() >= cap {
                     break;
                 }
             }
         }
-        SimMessage::of(Payload::Edges(out))
+        SimMessage::of_phased(Payload::Edges(out), "induced-sample")
     }
 
     fn referee(
@@ -94,7 +93,9 @@ mod tests {
 
     #[test]
     fn cap_limits_message_size() {
-        let edges: Vec<Edge> = (1..=500u32).map(|i| Edge::new(VertexId(0), VertexId(i))).collect();
+        let edges: Vec<Edge> = (1..=500u32)
+            .map(|i| Edge::new(VertexId(0), VertexId(i)))
+            .collect();
         let player = PlayerState::new(0, 501, &edges);
         let shared = SharedRandomness::new(9);
         // Tiny scale forces a small cap even at p close to 1.
@@ -110,7 +111,10 @@ mod tests {
         // must see every edge and find the triangle.
         let shares = vec![
             vec![Edge::new(VertexId(0), VertexId(1))],
-            vec![Edge::new(VertexId(1), VertexId(2)), Edge::new(VertexId(0), VertexId(2))],
+            vec![
+                Edge::new(VertexId(1), VertexId(2)),
+                Edge::new(VertexId(0), VertexId(2)),
+            ],
         ];
         let alg = AlgHigh::new(Tuning::practical(0.3), 1.0);
         let run = run_simultaneous(&alg, 3, &shares, SharedRandomness::new(1));

@@ -69,7 +69,7 @@ impl SimultaneousProtocol for AlgLow {
                 }
             }
         }
-        SimMessage::of(Payload::Edges(out))
+        SimMessage::of_phased(Payload::Edges(out), "r-cross-edges")
     }
 
     fn referee(
@@ -146,8 +146,9 @@ mod tests {
 
     #[test]
     fn cap_is_enforced() {
-        let edges: Vec<Edge> =
-            (1..=2000u32).map(|i| Edge::new(VertexId(0), VertexId(i))).collect();
+        let edges: Vec<Edge> = (1..=2000u32)
+            .map(|i| Edge::new(VertexId(0), VertexId(i)))
+            .collect();
         let player = PlayerState::new(0, 2001, &edges);
         let shared = SharedRandomness::new(1);
         let tuning = Tuning::practical(0.2).with_scale(0.1);

@@ -136,7 +136,11 @@ impl SimultaneousTester {
                 run_simultaneous(&p, n, partition.shares(), shared)
             }
         };
-        Ok(ProtocolRun { outcome: TestOutcome::from(run.output), stats: run.stats })
+        Ok(ProtocolRun {
+            outcome: TestOutcome::from(run.output),
+            stats: run.stats,
+            transcript: run.transcript,
+        })
     }
 }
 

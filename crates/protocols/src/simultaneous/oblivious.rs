@@ -80,8 +80,7 @@ impl SimultaneousProtocol for Oblivious {
                 let tag = HIGH_TAG_BASE + u64::from(i);
                 let mut out = Vec::new();
                 for e in player.edges() {
-                    if shared.vertex_sampled(tag, e.u(), p)
-                        && shared.vertex_sampled(tag, e.v(), p)
+                    if shared.vertex_sampled(tag, e.u(), p) && shared.vertex_sampled(tag, e.v(), p)
                     {
                         out.push(*e);
                         if out.len() >= cap {
@@ -89,7 +88,7 @@ impl SimultaneousProtocol for Oblivious {
                         }
                     }
                 }
-                msg.push(Payload::Edges(out));
+                msg.push_phased(Payload::Edges(out), "oblivious-high-guess");
             } else {
                 // AlgLow-style instance at density guess `guess`.
                 let c = self.tuning.low_c();
@@ -102,8 +101,7 @@ impl SimultaneousProtocol for Oblivious {
                     let (u, v) = e.endpoints();
                     let ru = shared.vertex_sampled(LOW_R_TAG, u, p2);
                     let rv = shared.vertex_sampled(LOW_R_TAG, v, p2);
-                    let qualifies = (ru
-                        && (rv || shared.vertex_sampled(s_tag, v, p1)))
+                    let qualifies = (ru && (rv || shared.vertex_sampled(s_tag, v, p1)))
                         || (rv && (ru || shared.vertex_sampled(s_tag, u, p1)));
                     if qualifies {
                         out.push(*e);
@@ -112,7 +110,7 @@ impl SimultaneousProtocol for Oblivious {
                         }
                     }
                 }
-                msg.push(Payload::Edges(out));
+                msg.push_phased(Payload::Edges(out), "oblivious-low-guess");
             }
         }
         msg
@@ -154,8 +152,12 @@ mod tests {
     #[test]
     fn number_of_instances_is_logarithmic_in_k() {
         let tuning = Tuning::practical(0.2);
-        let small = Oblivious::new(tuning, 2).guess_exponents(1 << 14, 8.0).len();
-        let large = Oblivious::new(tuning, 64).guess_exponents(1 << 14, 8.0).len();
+        let small = Oblivious::new(tuning, 2)
+            .guess_exponents(1 << 14, 8.0)
+            .len();
+        let large = Oblivious::new(tuning, 64)
+            .guess_exponents(1 << 14, 8.0)
+            .len();
         assert!(large > small);
         assert!(
             large - small <= 6,

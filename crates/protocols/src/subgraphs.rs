@@ -38,7 +38,11 @@ impl SimHFreeness {
     /// A tester for pattern `h` on graphs of (known) average degree
     /// `avg_degree`.
     pub fn new(tuning: Tuning, pattern: Pattern, avg_degree: f64) -> Self {
-        SimHFreeness { tuning, pattern, avg_degree }
+        SimHFreeness {
+            tuning,
+            pattern,
+            avg_degree,
+        }
     }
 
     /// The pattern under test.
@@ -52,7 +56,9 @@ impl SimHFreeness {
         let m = (n as f64 * self.avg_degree / 2.0).max(1.0);
         let c = 4.0 / self.tuning.delta;
         let base = c * self.pattern.edges() as f64 / (self.tuning.epsilon * m);
-        base.powf(1.0 / self.pattern.vertices() as f64).clamp(0.0, 1.0) * self.tuning.scale
+        base.powf(1.0 / self.pattern.vertices() as f64)
+            .clamp(0.0, 1.0)
+            * self.tuning.scale
     }
 
     /// Per-player cap: the Markov cutoff `m·p²·(4/δ)`.
@@ -72,8 +78,7 @@ impl SimultaneousProtocol for SimHFreeness {
         let cap = self.cap(n);
         let mut out = Vec::new();
         for e in player.edges() {
-            if shared.vertex_sampled(H_TAG, e.u(), p) && shared.vertex_sampled(H_TAG, e.v(), p)
-            {
+            if shared.vertex_sampled(H_TAG, e.u(), p) && shared.vertex_sampled(H_TAG, e.v(), p) {
                 out.push(*e);
                 if out.len() >= cap {
                     break;
@@ -106,6 +111,8 @@ pub struct HFreenessRun {
     pub witness: Option<Vec<VertexId>>,
     /// Communication statistics.
     pub stats: CommStats,
+    /// Per-payload event log with phase attribution.
+    pub transcript: triad_comm::Transcript,
 }
 
 /// Runs the one-round `H`-freeness tester over a partitioned input.
@@ -123,13 +130,24 @@ pub fn run_h_freeness(
     seed: u64,
 ) -> Result<HFreenessRun, ProtocolError> {
     if avg_degree <= 0.0 {
-        return Err(ProtocolError::InvalidInput("average degree must be positive".into()));
+        return Err(ProtocolError::InvalidInput(
+            "average degree must be positive".into(),
+        ));
     }
     let n = g.vertex_count();
     crate::outcome::validate_shares(g, partition)?;
     let protocol = SimHFreeness::new(tuning, pattern, avg_degree);
-    let run = run_simultaneous(&protocol, n, partition.shares(), SharedRandomness::new(seed));
-    Ok(HFreenessRun { witness: run.output, stats: run.stats })
+    let run = run_simultaneous(
+        &protocol,
+        n,
+        partition.shares(),
+        SharedRandomness::new(seed),
+    );
+    Ok(HFreenessRun {
+        witness: run.output,
+        stats: run.stats,
+        transcript: run.transcript,
+    })
 }
 
 /// Convenience: expose a [`ProtocolRun`]-shaped verdict for triangle
@@ -137,13 +155,17 @@ pub fn run_h_freeness(
 pub fn as_protocol_run(run: &HFreenessRun) -> ProtocolRun {
     use crate::outcome::TestOutcome;
     let outcome = match &run.witness {
-        Some(hosts) if hosts.len() == 3 => TestOutcome::TriangleFound(
-            triad_graph::Triangle::new(hosts[0], hosts[1], hosts[2]),
-        ),
+        Some(hosts) if hosts.len() == 3 => {
+            TestOutcome::TriangleFound(triad_graph::Triangle::new(hosts[0], hosts[1], hosts[2]))
+        }
         Some(_) => TestOutcome::NoTriangleFound,
         None => TestOutcome::NoTriangleFound,
     };
-    ProtocolRun { outcome, stats: run.stats }
+    ProtocolRun {
+        outcome,
+        stats: run.stats,
+        transcript: run.transcript.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -180,10 +202,7 @@ mod tests {
             if let Some(hosts) = run.witness {
                 // Witness soundness: every pattern edge maps to a host edge.
                 for e in pattern.graph().edges() {
-                    assert!(g.has_edge(Edge::new(
-                        hosts[e.u().index()],
-                        hosts[e.v().index()]
-                    )));
+                    assert!(g.has_edge(Edge::new(hosts[e.u().index()], hosts[e.v().index()])));
                 }
                 hits += 1;
             }
@@ -212,10 +231,7 @@ mod tests {
     #[test]
     fn h_free_inputs_always_accept() {
         // A bipartite-ish noise graph has no odd cycles; C5 and K4 free.
-        let g = Graph::from_edges(
-            200,
-            (0..100u32).map(|i| (i, i + 100)),
-        );
+        let g = Graph::from_edges(200, (0..100u32).map(|i| (i, i + 100)));
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let parts = random_disjoint(&g, 3, &mut rng);
         for pattern in [Pattern::clique(4), Pattern::cycle(5), Pattern::triangle()] {

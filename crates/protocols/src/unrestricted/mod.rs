@@ -20,8 +20,9 @@
 
 mod search;
 
-pub use search::{find_triangle_vee, get_full_candidates, sample_edges_at,
-    sample_uniform_from_btilde, Candidate};
+pub use search::{
+    find_triangle_vee, get_full_candidates, sample_edges_at, sample_uniform_from_btilde, Candidate,
+};
 
 use crate::blocks;
 use crate::config::Tuning;
@@ -60,7 +61,10 @@ pub struct UnrestrictedTester {
 impl UnrestrictedTester {
     /// A tester with the given tuning under the coordinator cost model.
     pub fn new(tuning: Tuning) -> Self {
-        UnrestrictedTester { tuning, cost_model: CostModel::Coordinator }
+        UnrestrictedTester {
+            tuning,
+            cost_model: CostModel::Coordinator,
+        }
     }
 
     /// Switches to blackboard charging (Theorem 3.23's `k`-factor saving
@@ -96,7 +100,11 @@ impl UnrestrictedTester {
             self.cost_model,
         );
         let outcome = self.run_on(&mut rt);
-        Ok(ProtocolRun { outcome, stats: rt.stats() })
+        Ok(ProtocolRun {
+            outcome,
+            stats: rt.stats(),
+            transcript: rt.into_transcript(),
+        })
     }
 
     /// Runs the tester with **private coins**, via Newman's conversion
@@ -123,10 +131,16 @@ impl UnrestrictedTester {
             SharedRandomness::new(seed),
             self.cost_model,
         );
-        let announced = rt.announce_seed_from_family(family_size);
-        rt.adopt_shared(announced);
+        rt.phase("newman-conversion", |rt| {
+            let announced = rt.announce_seed_from_family(family_size);
+            rt.adopt_shared(announced);
+        });
         let outcome = self.run_on(&mut rt);
-        Ok(ProtocolRun { outcome, stats: rt.stats() })
+        Ok(ProtocolRun {
+            outcome,
+            stats: rt.stats(),
+            transcript: rt.into_transcript(),
+        })
     }
 
     /// Runs the tester over an existing runtime (threaded, blackboard, …).
@@ -139,7 +153,7 @@ impl UnrestrictedTester {
         let k = rt.k() as f64;
         // Corollary 3.22: bracket the average degree from the players'
         // local counts (free of duplication assumptions, up to factor k).
-        let (m_lo, m_hi) = blocks::total_edge_count_bound(rt);
+        let (m_lo, m_hi) = rt.phase("estimate-degree", blocks::total_edge_count_bound);
         if m_hi == 0.0 {
             return TestOutcome::NoTriangleFound; // empty graph
         }
@@ -174,7 +188,10 @@ mod tests {
         let parts = random_disjoint(&g, 4, &mut rng);
         let tester = UnrestrictedTester::new(Tuning::practical(0.2));
         let run = tester.run(&g, &parts, 11).unwrap();
-        let t = run.outcome.triangle().expect("far graph must yield a triangle");
+        let t = run
+            .outcome
+            .triangle()
+            .expect("far graph must yield a triangle");
         assert!(t.exists_in(&g), "one-sided error: witness must be real");
         assert!(run.stats.total_bits > 0);
     }
@@ -187,7 +204,10 @@ mod tests {
         let run = UnrestrictedTester::new(Tuning::practical(0.2))
             .run(&g, &parts, 3)
             .unwrap();
-        let t = run.outcome.triangle().expect("duplication must not break the tester");
+        let t = run
+            .outcome
+            .triangle()
+            .expect("duplication must not break the tester");
         assert!(t.exists_in(&g));
     }
 
@@ -232,7 +252,10 @@ mod tests {
         let run = UnrestrictedTester::new(Tuning::practical(0.2))
             .run(dc.graph(), &parts, 6)
             .unwrap();
-        let t = run.outcome.triangle().expect("dense core is far from triangle-free");
+        let t = run
+            .outcome
+            .triangle()
+            .expect("dense core is far from triangle-free");
         assert!(t.exists_in(dc.graph()));
     }
 
@@ -265,7 +288,10 @@ mod tests {
         let parts = random_disjoint(&g, 4, &mut rng);
         let tester = UnrestrictedTester::new(Tuning::practical(0.2));
         let private = tester.run_private(&g, &parts, 1 << 12, 21).unwrap();
-        let t = private.outcome.triangle().expect("still finds the triangle");
+        let t = private
+            .outcome
+            .triangle()
+            .expect("still finds the triangle");
         assert!(t.exists_in(&g));
         // The run under the announced seed, replayed directly, costs the
         // private run minus the k × 13-bit announcement.

@@ -34,13 +34,17 @@ pub fn sample_uniform_from_btilde(
 ) -> Option<VertexId> {
     let shared = rt.shared();
     let k = rt.k();
-    rt.broadcast(PlayerRequest::FirstSuspectInBucket { bucket, k, perm_tag })
-        .into_iter()
-        .filter_map(|p| match p {
-            Payload::Vertex(v) => v,
-            _ => None,
-        })
-        .min_by_key(|v| shared.vertex_rank(perm_tag, *v))
+    rt.broadcast(PlayerRequest::FirstSuspectInBucket {
+        bucket,
+        k,
+        perm_tag,
+    })
+    .into_iter()
+    .filter_map(|p| match p {
+        Payload::Vertex(v) => v,
+        _ => None,
+    })
+    .min_by_key(|v| shared.vertex_rank(perm_tag, *v))
 }
 
 /// Algorithm 3: samples up to the tuning's budget of vertices from
@@ -78,9 +82,12 @@ pub fn get_full_candidates(rt: &mut Runtime, bucket: usize, tuning: &Tuning) -> 
             if !seen.insert(*v) {
                 continue;
             }
-            let est = approx_degree(rt, *v, tuning);
+            let est = rt.phase("approx-degree", |rt| approx_degree(rt, *v, tuning));
             if est.value >= lo && est.value <= hi {
-                out.push(Candidate { vertex: *v, degree_estimate: est.value });
+                out.push(Candidate {
+                    vertex: *v,
+                    degree_estimate: est.value,
+                });
             }
         }
         let exhausted = samples.len() < batch;
@@ -139,17 +146,25 @@ pub fn sample_edges_at(
 /// Algorithm 5: for each candidate, sample its edges, post them to all
 /// players, and let anyone holding a closing edge finish the triangle.
 pub fn find_triangle_vee(rt: &mut Runtime, bucket: usize, tuning: &Tuning) -> Option<Triangle> {
-    let candidates = get_full_candidates(rt, bucket, tuning);
+    let candidates = rt.phase("find-candidates", |rt| {
+        get_full_candidates(rt, bucket, tuning)
+    });
     for candidate in candidates {
-        let sampled = sample_edges_at(rt, candidate, tuning);
+        let sampled = rt.phase("sample-edges", |rt| sample_edges_at(rt, candidate, tuning));
         if sampled.len() < 2 {
             continue; // no vee can exist among fewer than two edges
         }
         rt.next_round();
-        for resp in rt.broadcast(PlayerRequest::FindClosingTriangle { edges: sampled }) {
-            if let Payload::Triangle(Some(t)) = resp {
-                return Some(t);
-            }
+        let found = rt.phase("close-triangle", |rt| {
+            rt.broadcast(PlayerRequest::FindClosingTriangle { edges: sampled })
+                .into_iter()
+                .find_map(|resp| match resp {
+                    Payload::Triangle(Some(t)) => Some(t),
+                    _ => None,
+                })
+        });
+        if let Some(t) = found {
+            return Some(t);
         }
     }
     None
@@ -181,7 +196,12 @@ mod tests {
     }
 
     fn runtime(seed: u64) -> Runtime {
-        Runtime::local(13, &book_shares(), SharedRandomness::new(seed), CostModel::Coordinator)
+        Runtime::local(
+            13,
+            &book_shares(),
+            SharedRandomness::new(seed),
+            CostModel::Coordinator,
+        )
     }
 
     #[test]
@@ -190,7 +210,11 @@ mod tests {
         // Hub degree (player 0's view) = 12 ⇒ bucket 2 [9,27).
         let tag = rt.fresh_tag();
         let v = sample_uniform_from_btilde(&mut rt, 2, tag);
-        assert_eq!(v, Some(VertexId(0)), "only the hub is suspected in bucket 2");
+        assert_eq!(
+            v,
+            Some(VertexId(0)),
+            "only the hub is suspected in bucket 2"
+        );
         // Bucket 4 [81,243): nobody qualifies (k=2 ⇒ window [40.5, 243]).
         let tag = rt.fresh_tag();
         assert_eq!(sample_uniform_from_btilde(&mut rt, 4, tag), None);
@@ -218,8 +242,15 @@ mod tests {
         // filter must reject any whose true degree estimate lands far out.
         let cands = get_full_candidates(&mut rt, 0, &tuning);
         for c in &cands {
-            assert!(c.degree_estimate <= 3.0 * 3.0, "leaf estimates stay small: {c:?}");
-            assert_ne!(c.vertex, VertexId(0), "hub (degree 12) must be filtered out");
+            assert!(
+                c.degree_estimate <= 3.0 * 3.0,
+                "leaf estimates stay small: {c:?}"
+            );
+            assert_ne!(
+                c.vertex,
+                VertexId(0),
+                "hub (degree 12) must be filtered out"
+            );
         }
     }
 
@@ -227,7 +258,10 @@ mod tests {
     fn sample_edges_returns_incident_edges() {
         let mut rt = runtime(4);
         let tuning = Tuning::practical(0.3);
-        let cand = Candidate { vertex: VertexId(0), degree_estimate: 12.0 };
+        let cand = Candidate {
+            vertex: VertexId(0),
+            degree_estimate: 12.0,
+        };
         let edges = sample_edges_at(&mut rt, cand, &tuning);
         assert!(!edges.is_empty());
         for edge in &edges {

@@ -40,10 +40,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let threaded_outcome = tester.run_on(&mut threaded);
 
-    println!("sequential runtime: {:?} — {} bits", local_outcome, local.stats().total_bits);
-    println!("threaded runtime:   {:?} — {} bits", threaded_outcome, threaded.stats().total_bits);
+    println!(
+        "sequential runtime: {:?} — {} bits",
+        local_outcome,
+        local.stats().total_bits
+    );
+    println!(
+        "threaded runtime:   {:?} — {} bits",
+        threaded_outcome,
+        threaded.stats().total_bits
+    );
     assert_eq!(local_outcome, threaded_outcome, "verdicts must agree");
-    assert_eq!(local.stats(), threaded.stats(), "transcripts must agree bit-for-bit");
-    println!("transcripts identical across {} messages ✓", local.stats().messages);
+    assert_eq!(
+        local.stats(),
+        threaded.stats(),
+        "transcripts must agree bit-for-bit"
+    );
+    println!(
+        "transcripts identical across {} messages ✓",
+        local.stats().messages
+    );
     Ok(())
 }

@@ -40,10 +40,27 @@ fn main() {
     println!("triangle-edge task on μ — success rate vs per-player budget (edges):");
     println!("  budget    uniform-sketch   targeted-sketch   one-way-vee");
     let trials = 20;
-    let uni = adversary::sweep(&dist, &budgets, trials, &mut rng, adversary::uniform_sketch_attempt);
-    let tgt =
-        adversary::sweep(&dist, &budgets, trials, &mut rng, adversary::targeted_sketch_attempt);
-    let ow = adversary::sweep(&dist, &budgets, trials, &mut rng, adversary::one_way_vee_attempt);
+    let uni = adversary::sweep(
+        &dist,
+        &budgets,
+        trials,
+        &mut rng,
+        adversary::uniform_sketch_attempt,
+    );
+    let tgt = adversary::sweep(
+        &dist,
+        &budgets,
+        trials,
+        &mut rng,
+        adversary::targeted_sketch_attempt,
+    );
+    let ow = adversary::sweep(
+        &dist,
+        &budgets,
+        trials,
+        &mut rng,
+        adversary::one_way_vee_attempt,
+    );
     for i in 0..budgets.len() {
         println!(
             "  {:>6}        {:>6.2}           {:>6.2}          {:>6.2}",
@@ -70,5 +87,8 @@ fn main() {
             p.success_rate
         );
     }
-    println!("  knee at ≈ 2√n = {:.0} revealed coordinates — the Ω(√n) bound is tight here", 2.0 * (pairs as f64).sqrt());
+    println!(
+        "  knee at ≈ 2√n = {:.0} revealed coordinates — the Ω(√n) bound is tight here",
+        2.0 * (pairs as f64).sqrt()
+    );
 }

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An ε-far input, split among k players with no duplication.
     let g = far_graph(n, d, epsilon, &mut rng)?;
     let parts = random_disjoint(&g, k, &mut rng);
-    println!("input: n = {n}, |E| = {}, avg degree = {:.1}, k = {k}", g.edge_count(), g.average_degree());
+    println!(
+        "input: n = {n}, |E| = {}, avg degree = {:.1}, k = {k}",
+        g.edge_count(),
+        g.average_degree()
+    );
     println!(
         "certified ε-far: {} (packing lower bound {})",
         distance::is_certifiably_far(&g, epsilon),
@@ -40,8 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run(&g, &parts, 2)?;
     report("AlgLow (1 rd) Õ(k·√n)        ", &g, low);
 
-    let oblivious = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious)
-        .run(&g, &parts, 3)?;
+    let oblivious =
+        SimultaneousTester::new(tuning, SimProtocolKind::Oblivious).run(&g, &parts, 3)?;
     report("Oblivious     Õ(k·√n) no d   ", &g, oblivious);
 
     let exact = run_send_everything(&g, &parts, 4)?;

@@ -57,8 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Control: an H-free input never yields a witness.
-    let bipartite =
-        triad::graph::Graph::from_edges(400, (0..200u32).map(|i| (i, i + 200)));
+    let bipartite = triad::graph::Graph::from_edges(400, (0..200u32).map(|i| (i, i + 200)));
     let parts = random_disjoint(&bipartite, k, &mut rng);
     for pattern in [Pattern::triangle(), Pattern::clique(4), Pattern::cycle(5)] {
         for seed in 0..5 {

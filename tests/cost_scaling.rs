@@ -24,7 +24,9 @@ fn sim_low_scales_sublinearly_in_n() {
         let g = far_graph(n, d, 0.2, &mut rng).unwrap();
         let parts = random_disjoint(&g, 4, &mut rng);
         let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
-        costs.push(mean_bits(5, |s| tester.run(&g, &parts, s).unwrap().stats.total_bits));
+        costs.push(mean_bits(5, |s| {
+            tester.run(&g, &parts, s).unwrap().stats.total_bits
+        }));
     }
     let ratio = costs[1] / costs[0];
     assert!(
@@ -64,8 +66,11 @@ fn testers_beat_exact_baseline_at_moderate_scale() {
         .unwrap()
         .stats
         .total_bits;
-    let unrestricted =
-        UnrestrictedTester::new(tuning).run(&g, &parts, 2).unwrap().stats.total_bits;
+    let unrestricted = UnrestrictedTester::new(tuning)
+        .run(&g, &parts, 2)
+        .unwrap()
+        .stats
+        .total_bits;
     assert!(
         low * 4 < exact,
         "AlgLow ({low}) should be ≪ exact ({exact})"

@@ -23,7 +23,9 @@ fn full_pipeline_on_planted_far_graph() {
     .enumerate()
     {
         assert!(parts.covers(&g));
-        let run = UnrestrictedTester::new(tuning).run(&g, &parts, 100 + pi as u64).unwrap();
+        let run = UnrestrictedTester::new(tuning)
+            .run(&g, &parts, 100 + pi as u64)
+            .unwrap();
         let t = run
             .outcome
             .triangle()
@@ -51,7 +53,10 @@ fn all_testers_agree_with_exact_baseline_on_far_inputs() {
         let hits = (0..10)
             .filter(|s| tester.run(&g, &parts, *s).unwrap().outcome.found_triangle())
             .count();
-        assert!(hits >= 6, "{kind:?} found the triangle only {hits}/10 times");
+        assert!(
+            hits >= 6,
+            "{kind:?} found the triangle only {hits}/10 times"
+        );
     }
 }
 
@@ -61,12 +66,20 @@ fn dense_core_is_cracked_by_every_tester() {
     let dc = dense_core(600, 5, &mut rng).unwrap();
     let parts = random_disjoint(dc.graph(), 4, &mut rng);
     let tuning = Tuning::practical(0.2);
-    let unrestricted =
-        UnrestrictedTester::new(tuning).run(dc.graph(), &parts, 5).unwrap();
-    assert!(unrestricted.outcome.found_triangle(), "bucketed search must find hubs");
+    let unrestricted = UnrestrictedTester::new(tuning)
+        .run(dc.graph(), &parts, 5)
+        .unwrap();
+    assert!(
+        unrestricted.outcome.found_triangle(),
+        "bucketed search must find hubs"
+    );
     let low = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious);
-    let hits =
-        (0..10).filter(|s| low.run(dc.graph(), &parts, *s).unwrap().outcome.found_triangle());
+    let hits = (0..10).filter(|s| {
+        low.run(dc.graph(), &parts, *s)
+            .unwrap()
+            .outcome
+            .found_triangle()
+    });
     assert!(hits.count() >= 6);
 }
 
@@ -94,12 +107,16 @@ fn sparse_random_graphs_with_no_triangles_always_accept() {
             SimProtocolKind::High { avg_degree: 1.2 },
             SimProtocolKind::Oblivious,
         ] {
-            let run =
-                SimultaneousTester::new(tuning, kind).run(&g, &parts, 9).unwrap();
+            let run = SimultaneousTester::new(tuning, kind)
+                .run(&g, &parts, 9)
+                .unwrap();
             assert!(run.outcome.accepts(), "{kind:?} invented a triangle");
         }
     }
-    assert!(checked >= 3, "too few triangle-free samples ({checked}) to be meaningful");
+    assert!(
+        checked >= 3,
+        "too few triangle-free samples ({checked}) to be meaningful"
+    );
 }
 
 #[test]
@@ -112,7 +129,10 @@ fn witnesses_are_always_real_triangles() {
     let tuning = Tuning::practical(0.15);
     for seed in 0..15 {
         for outcome in [
-            UnrestrictedTester::new(tuning).run(&g, &parts, seed).unwrap().outcome,
+            UnrestrictedTester::new(tuning)
+                .run(&g, &parts, seed)
+                .unwrap()
+                .outcome,
             SimultaneousTester::new(tuning, SimProtocolKind::Oblivious)
                 .run(&g, &parts, seed)
                 .unwrap()

@@ -67,7 +67,10 @@ fn message_passing_costs_exceed_coordinator_verdict_unchanged() {
         .with_cost_model(CostModel::MessagePassing)
         .run(&g, &parts, 7)
         .unwrap();
-    assert_eq!(coord.outcome, mp.outcome, "routing overhead must not change verdicts");
+    assert_eq!(
+        coord.outcome, mp.outcome,
+        "routing overhead must not change verdicts"
+    );
     assert!(mp.stats.total_bits > coord.stats.total_bits);
     // Overhead is exactly ⌈log₂ k⌉ per message.
     let per_msg = (5f64).log2().ceil() as u64;
@@ -85,7 +88,11 @@ fn newman_conversion_is_consistent_across_parties() {
     let mut rt2 = Runtime::local(10, &shares, base, CostModel::Coordinator);
     let s1 = rt1.announce_seed_from_family(256);
     let s2 = rt2.announce_seed_from_family(256);
-    assert_eq!(s1.seed(), s2.seed(), "same base seed ⇒ same announced index");
+    assert_eq!(
+        s1.seed(),
+        s2.seed(),
+        "same base seed ⇒ same announced index"
+    );
     // Announcement billed to every player (binary length of 256 is 9).
     assert_eq!(rt1.stats().total_bits, 3 * 9);
     // Blackboard: billed once.

@@ -14,8 +14,14 @@ use triad::protocols::{SimProtocolKind, SimultaneousTester, Tuning, Unrestricted
 fn workloads(rng: &mut ChaCha8Rng) -> Vec<(&'static str, Graph)> {
     vec![
         ("planted_far", far_graph(400, 8.0, 0.2, rng).unwrap()),
-        ("dense_core", dense_core(400, 4, rng).unwrap().graph().clone()),
-        ("power_law", ChungLu::new(400, 10.0, 2.2).unwrap().sample(rng)),
+        (
+            "dense_core",
+            dense_core(400, 4, rng).unwrap().graph().clone(),
+        ),
+        (
+            "power_law",
+            ChungLu::new(400, 10.0, 2.2).unwrap().sample(rng),
+        ),
     ]
 }
 
@@ -64,14 +70,11 @@ fn completeness_matrix_on_far_workloads() {
                 (
                     "alg_low",
                     Box::new(|s| {
-                        SimultaneousTester::new(
-                            tuning,
-                            SimProtocolKind::Low { avg_degree: d },
-                        )
-                        .run(&g, &parts, s)
-                        .unwrap()
-                        .outcome
-                        .found_triangle()
+                        SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d })
+                            .run(&g, &parts, s)
+                            .unwrap()
+                            .outcome
+                            .found_triangle()
                     }),
                 ),
             ];
@@ -92,16 +95,30 @@ fn soundness_matrix_on_triangle_free_workloads() {
     let tuning = Tuning::practical(0.2);
     // Three triangle-free families: path, star, bipartite.
     let frees: Vec<(&str, Graph)> = vec![
-        ("path", Graph::from_edges(200, (0..199).map(|i| (i as u32, i as u32 + 1)))),
-        ("star", Graph::from_edges(200, (1..200).map(|i| (0u32, i as u32)))),
-        ("bipartite", Graph::from_edges(200, (0..100).map(|i| (i as u32, i as u32 + 100)))),
+        (
+            "path",
+            Graph::from_edges(200, (0..199).map(|i| (i as u32, i as u32 + 1))),
+        ),
+        (
+            "star",
+            Graph::from_edges(200, (1..200).map(|i| (0u32, i as u32))),
+        ),
+        (
+            "bipartite",
+            Graph::from_edges(200, (0..100).map(|i| (i as u32, i as u32 + 100))),
+        ),
     ];
     for (wname, g) in frees {
         assert!(distance::is_triangle_free(&g));
         for (pname, parts) in partitions(&g, &mut rng) {
             for seed in 0..4 {
-                let u = UnrestrictedTester::new(tuning).run(&g, &parts, seed).unwrap();
-                assert!(u.outcome.accepts(), "unrestricted fabricated on {wname}/{pname}");
+                let u = UnrestrictedTester::new(tuning)
+                    .run(&g, &parts, seed)
+                    .unwrap();
+                assert!(
+                    u.outcome.accepts(),
+                    "unrestricted fabricated on {wname}/{pname}"
+                );
                 for kind in [
                     SimProtocolKind::Low { avg_degree: 2.0 },
                     SimProtocolKind::High { avg_degree: 2.0 },

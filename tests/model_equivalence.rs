@@ -33,7 +33,11 @@ fn threaded_and_local_runtimes_are_bit_identical() {
         let a = tester.run_on(&mut local);
         let b = tester.run_on(&mut threaded);
         assert_eq!(a, b, "verdicts diverged at seed {seed}");
-        assert_eq!(local.stats(), threaded.stats(), "transcripts diverged at seed {seed}");
+        assert_eq!(
+            local.stats(),
+            threaded.stats(),
+            "transcripts diverged at seed {seed}"
+        );
     }
 }
 
@@ -45,13 +49,18 @@ fn blackboard_never_costs_more_than_coordinator() {
     let parts = with_duplication(&g, 6, 0.6, &mut rng);
     let tuning = Tuning::practical(0.2);
     for seed in 0..3 {
-        let coord = UnrestrictedTester::new(tuning).run(&g, &parts, seed).unwrap();
+        let coord = UnrestrictedTester::new(tuning)
+            .run(&g, &parts, seed)
+            .unwrap();
         let board = UnrestrictedTester::new(tuning)
             .with_cost_model(CostModel::Blackboard)
             .run(&g, &parts, seed)
             .unwrap();
         assert!(board.stats.total_bits <= coord.stats.total_bits);
-        assert_eq!(board.outcome, coord.outcome, "cost model changed the verdict");
+        assert_eq!(
+            board.outcome, coord.outcome,
+            "cost model changed the verdict"
+        );
     }
 }
 

@@ -4,7 +4,6 @@
 use proptest::prelude::*;
 use std::collections::HashSet;
 use triad::comm::{bits, Payload, SharedRandomness};
-use triad::graph::partition::Partition;
 use triad::graph::{buckets, distance, triangles, Edge, Graph, GraphBuilder, VertexId};
 
 /// Strategy: a random edge list over `n` vertices.

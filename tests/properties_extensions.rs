@@ -28,13 +28,7 @@ fn brute_force_contains(g: &Graph, h: &Pattern) -> bool {
     let hv = h.vertices();
     let n = g.vertex_count();
     let mut assignment = vec![VertexId(0); hv];
-    fn rec(
-        g: &Graph,
-        h: &Pattern,
-        depth: usize,
-        assignment: &mut Vec<VertexId>,
-        n: usize,
-    ) -> bool {
+    fn rec(g: &Graph, h: &Pattern, depth: usize, assignment: &mut Vec<VertexId>, n: usize) -> bool {
         if depth == assignment.len() {
             return h.graph().edges().iter().all(|e| {
                 g.has_edge(Edge::new(

@@ -37,8 +37,9 @@ fn alg_low_exponent_stays_near_half() {
         let g = far_graph(n, d, 0.2, &mut rng).unwrap();
         let parts = random_disjoint(&g, 6, &mut rng);
         let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
-        let bits: u64 =
-            (0..4).map(|s| tester.run(&g, &parts, s).unwrap().stats.total_bits).sum();
+        let bits: u64 = (0..4)
+            .map(|s| tester.run(&g, &parts, s).unwrap().stats.total_bits)
+            .sum();
         xs.push(n as f64);
         ys.push(bits as f64 / 4.0);
     }
@@ -61,10 +62,10 @@ fn alg_high_exponent_stays_near_third() {
         let g = far_graph(n, d, 0.2, &mut rng).unwrap();
         let dd = g.average_degree();
         let parts = random_disjoint(&g, 6, &mut rng);
-        let tester =
-            SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: dd });
-        let bits: u64 =
-            (0..3).map(|s| tester.run(&g, &parts, s).unwrap().stats.total_bits).sum();
+        let tester = SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: dd });
+        let bits: u64 = (0..3)
+            .map(|s| tester.run(&g, &parts, s).unwrap().stats.total_bits)
+            .sum();
         xs.push(n as f64 * dd);
         ys.push(bits as f64 / 3.0);
     }

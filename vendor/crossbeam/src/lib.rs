@@ -1,0 +1,81 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! The workspace uses exactly one piece of crossbeam: unbounded MPSC
+//! channels for the threaded coordinator transport. This shim maps that
+//! surface onto `std::sync::mpsc`, which has identical semantics for the
+//! single-consumer pattern used here.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Multi-producer channels (the `crossbeam-channel` subset in use).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has hung up.
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    /// The sending half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives, failing if all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns immediately with a value if one is queued.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_across_threads() {
+            let (tx, rx) = unbounded::<u32>();
+            let handle = std::thread::spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            handle.join().unwrap();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_fails_after_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline shim for `proptest`: a deterministic property-test runner.
+//!
+//! Supports the subset this workspace uses — the [`proptest!`] macro,
+//! range / tuple / [`collection::vec`] / [`arbitrary::any`] strategies,
+//! [`strategy::Strategy::prop_map`], `prop_assert!`/`prop_assert_eq!`,
+//! and [`test_runner::ProptestConfig::with_cases`]. Inputs are generated
+//! from a rng seeded by the test name and case index, so every run (and
+//! every failure) is reproducible. There is no shrinking: a failing case
+//! panics immediately with the normal assertion message.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a [`proptest!`] body (no shrinking; maps
+/// directly onto `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assertion inside a [`proptest!`] body (maps onto `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assertion inside a [`proptest!`] body (maps onto `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` against `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases as u64 {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::deterministic(stringify!($name), __case);
+                    $( let $arg =
+                        $crate::strategy::Strategy::new_value(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,11 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Namespaced strategy modules, mirroring upstream's `prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}

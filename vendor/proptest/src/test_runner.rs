@@ -1,0 +1,85 @@
+//! Runner configuration and the deterministic generation rng.
+
+/// Configuration for a `proptest!` block. Only `cases` is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 generator seeded from `(test name, case index)` so every
+/// case is reproducible without any persisted state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The rng for case `case` of the test named `name`.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        };
+        rng.next_u64(); // decorrelate nearby case indices
+        rng
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, width)` (rejection sampling; `width > 0`).
+    pub fn below(&mut self, width: u64) -> u64 {
+        debug_assert!(width > 0);
+        let zone = u64::MAX - (u64::MAX % width + 1) % width;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % width;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_case_reproduce() {
+        let mut a = TestRng::deterministic("t", 3);
+        let mut b = TestRng::deterministic("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn cases_decorrelate() {
+        let mut a = TestRng::deterministic("t", 0);
+        let mut b = TestRng::deterministic("t", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline shim for the `rand_chacha` crate: ChaCha-keystream RNGs.
+//!
+//! This is a genuine ChaCha implementation (djb variant: 64-bit block
+//! counter, zero nonce) at 8, 12, and 20 rounds, seeded through
+//! [`rand::SeedableRng`]. It is deterministic and statistically strong,
+//! but the word order of its keystream is **not** guaranteed to be
+//! bit-identical to upstream `rand_chacha`'s buffered stream; this
+//! workspace only relies on determinism, not on upstream-exact values.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha keystream generator with `R` double-round pairs (`R` = the
+/// conventional round count: 8, 12, or 20).
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const R: usize> {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    next_word: usize,
+}
+
+/// 8-round ChaCha RNG.
+pub type ChaCha8Rng = ChaChaRng<8>;
+/// 12-round ChaCha RNG.
+pub type ChaCha12Rng = ChaChaRng<12>;
+/// 20-round ChaCha RNG.
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+/// "expand 32-byte k" — the standard ChaCha constants.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    /// Computes the keystream block for the current counter.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] = zero nonce.
+        let input = state;
+        for _ in 0..R / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, inp) in state.iter_mut().zip(input.iter()) {
+            *word = word.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.next_word = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        if self.next_word == 16 {
+            self.refill();
+        }
+        let w = self.block[self.next_word];
+        self.next_word += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        // `next_word = 16` forces a refill on first use.
+        ChaChaRng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            next_word: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn rounds_parameter_changes_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha12Rng::seed_from_u64(5);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn output_is_roughly_balanced() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64 000 bits, expect ~32 000 ones.
+        assert!((30_000..34_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha20Rng::seed_from_u64(9);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

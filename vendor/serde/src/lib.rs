@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (marker traits plus
+//! no-op derive macros) so that derive annotations on plain-data types
+//! compile. No serializer exists; the workspace hand-rolls all of its
+//! JSON/CSV output (see `docs/OBSERVABILITY.md`).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`; never used as a bound here.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; never used as a bound here.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Offline no-op shim for `serde_derive`.
+//!
+//! The workspace only *annotates* plain-data types with
+//! `#[derive(Serialize, Deserialize)]`; it never instantiates a serde
+//! serializer (all JSON/CSV output is hand-rolled in `triad-comm`). These
+//! derives therefore expand to nothing, keeping the annotations compiling
+//! without a serde runtime.
+
+#![deny(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

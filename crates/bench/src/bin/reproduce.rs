@@ -1,12 +1,15 @@
 //! Regenerates every experiment (E1–E17) and prints its table.
 //!
 //! ```text
-//! reproduce [--quick] [--markdown] [--json-dir DIR] [e1 e5 ...]
+//! reproduce [--quick] [--markdown] [--threads N] [--json-dir DIR] [e1 e5 ...]
 //! ```
 //!
 //! With no experiment ids, all seventeen run in order. `--quick` shrinks
 //! the sweeps (seconds instead of minutes); `--markdown` emits the
-//! EXPERIMENTS.md table format; `--json-dir DIR` additionally writes the
+//! EXPERIMENTS.md table format; `--threads N` sizes the deterministic
+//! worker pool (default: `TRIAD_THREADS` or the machine's parallelism —
+//! output is byte-identical at every thread count, see
+//! `docs/PARALLELISM.md`); `--json-dir DIR` additionally writes the
 //! standard cost suite as `DIR/BENCH_costs.json` (the schema of
 //! `docs/OBSERVABILITY.md`), diffable across revisions.
 
@@ -17,18 +20,33 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let markdown = args.iter().any(|a| a == "--markdown");
-    let json_dir = args.iter().position(|a| a == "--json-dir").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--json-dir needs a directory argument");
-            std::process::exit(1);
+    let value_of = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs an argument");
+                std::process::exit(1);
+            })
         })
-    });
+    };
+    let json_dir = value_of("--json-dir");
+    if let Some(raw) = value_of("--threads") {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => triad_comm::pool::set_threads(n),
+            _ => {
+                eprintln!("--threads needs a positive integer, got `{raw}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    let value_flags = ["--json-dir", "--threads"];
     let wanted: Vec<String> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
             !a.starts_with("--")
-                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--json-dir")
+                && !args
+                    .get(i.wrapping_sub(1))
+                    .is_some_and(|prev| value_flags.contains(&prev.as_str()))
         })
         .map(|(_, a)| a.to_lowercase())
         .collect();

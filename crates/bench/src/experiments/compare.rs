@@ -129,27 +129,27 @@ pub fn e9_bucketing_ablation(scale: Scale) -> Report {
         let mut rng = ChaCha8Rng::seed_from_u64(n as u64);
         let parts = random_disjoint(&g, k, &mut rng);
         let tester = UnrestrictedTester::new(tuning);
-        let mut bucketed = 0u64;
-        let mut uniform = 0u64;
-        for seed in 0..trials {
-            if tester
-                .run(&g, &parts, seed)
-                .unwrap()
-                .outcome
-                .found_triangle()
-            {
-                bucketed += 1;
-            }
-            let mut rt = Runtime::local(
-                n,
-                parts.shares(),
-                SharedRandomness::new(seed),
-                CostModel::Coordinator,
-            );
-            if uniform_sampling_attempt(&mut rt, &tuning) {
-                uniform += 1;
-            }
-        }
+        let (bucketed, uniform) = triad_comm::pool::Pool::current()
+            .ordered_map(trials as usize, |s| {
+                let seed = s as u64;
+                let hit_bucketed = tester
+                    .run(&g, &parts, seed)
+                    .unwrap()
+                    .outcome
+                    .found_triangle();
+                let mut rt = Runtime::local(
+                    n,
+                    parts.shares(),
+                    SharedRandomness::new(seed),
+                    CostModel::Coordinator,
+                );
+                let hit_uniform = uniform_sampling_attempt(&mut rt, &tuning);
+                (hit_bucketed, hit_uniform)
+            })
+            .into_iter()
+            .fold((0u64, 0u64), |(b, u), (hb, hu)| {
+                (b + u64::from(hb), u + u64::from(hu))
+            });
         report.row(vec![
             n.to_string(),
             clique.to_string(),

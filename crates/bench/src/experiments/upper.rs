@@ -4,10 +4,25 @@ use super::Scale;
 use crate::fit::fit_power_law;
 use crate::table::{f, Report};
 use crate::workloads::{mean_over_seeds, planted_far};
+use triad_comm::pool::Pool;
 use triad_comm::{CostModel, Runtime, SharedRandomness};
 use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
 
 const EPS: f64 = 0.2;
+
+/// Per-seed trial sums `(total bits, secondary metric, successes)`,
+/// computed on the configured pool in seed order.
+fn trial_sums<F>(trials: u64, per_seed: F) -> (u64, u64, u64)
+where
+    F: Fn(u64) -> (u64, u64, bool) + Sync,
+{
+    Pool::current()
+        .ordered_map(trials as usize, |s| per_seed(s as u64))
+        .into_iter()
+        .fold((0, 0, 0), |(t, m, c), (total, metric, hit)| {
+            (t + total, m + metric, c + u64::from(hit))
+        })
+}
 
 /// E1 — Table 1 row 1: the unrestricted tester's cost,
 /// `Õ(k·(nd)^{1/4} + k²)`.
@@ -33,23 +48,18 @@ pub fn e1_unrestricted(scale: Scale) -> Report {
     let mut edge_bits = Vec::new();
     for &n in ns {
         let w = planted_far(n, d, EPS, k, 7);
-        let mut totals = 0u64;
-        let mut edges = 0u64;
-        let mut found = 0u64;
-        for seed in 0..trials {
+        let (totals, edges, found) = trial_sums(trials, |seed| {
             let mut rt = Runtime::local(
                 n,
                 w.partition.shares(),
                 SharedRandomness::new(seed),
                 CostModel::Coordinator,
             );
-            if tester.run_on(&mut rt).found_triangle() {
-                found += 1;
-            }
-            totals += rt.stats().total_bits;
-            edges += rt.transcript().bits_for_label("incident_sampled")
+            let hit = tester.run_on(&mut rt).found_triangle();
+            let edge_bits = rt.transcript().bits_for_label("incident_sampled")
                 + rt.transcript().bits_for_label("close_triangle");
-        }
+            (rt.stats().total_bits, edge_bits, hit)
+        });
         let mean_total = totals as f64 / trials as f64;
         let mean_edges = edges as f64 / trials as f64;
         nds.push(n as f64 * d);
@@ -111,15 +121,14 @@ pub fn e2_sim_low(scale: Scale) -> Report {
     for &n in ns {
         let w = planted_far(n, d, EPS, k, 3);
         let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
-        let mut totals = 0u64;
-        let mut maxes = 0u64;
-        let mut found = 0u64;
-        for seed in 0..trials {
+        let (totals, maxes, found) = trial_sums(trials, |seed| {
             let run = tester.run(&w.graph, &w.partition, seed).unwrap();
-            totals += run.stats.total_bits;
-            maxes += run.stats.max_player_sent_bits;
-            found += u64::from(run.outcome.found_triangle());
-        }
+            (
+                run.stats.total_bits,
+                run.stats.max_player_sent_bits,
+                run.outcome.found_triangle(),
+            )
+        });
         xs.push(n as f64);
         ys.push(totals as f64 / trials as f64);
         report.row(vec![
@@ -158,13 +167,10 @@ pub fn e3_sim_high(scale: Scale) -> Report {
         let d = (n as f64).powf(c);
         let w = planted_far(n, d, EPS, k, 5);
         let tester = SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
-        let mut totals = 0u64;
-        let mut found = 0u64;
-        for seed in 0..trials {
+        let (totals, _, found) = trial_sums(trials, |seed| {
             let run = tester.run(&w.graph, &w.partition, seed).unwrap();
-            totals += run.stats.total_bits;
-            found += u64::from(run.outcome.found_triangle());
-        }
+            (run.stats.total_bits, 0, run.outcome.found_triangle())
+        });
         let mean = totals as f64 / trials as f64;
         xs.push(n as f64 * w.d);
         ys.push(mean);
@@ -229,13 +235,10 @@ pub fn e4_oblivious(scale: Scale) -> Report {
                 .stats
                 .total_bits
         });
-        let mut obl_bits = 0u64;
-        let mut found = 0u64;
-        for seed in 0..trials {
+        let (obl_bits, _, found) = trial_sums(trials, |seed| {
             let run = obl.run(&w.graph, &w.partition, seed).unwrap();
-            obl_bits += run.stats.total_bits;
-            found += u64::from(run.outcome.found_triangle());
-        }
+            (run.stats.total_bits, 0, run.outcome.found_triangle())
+        });
         let obl_mean = obl_bits as f64 / trials as f64;
         report.row(vec![
             n.to_string(),

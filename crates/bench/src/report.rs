@@ -222,19 +222,30 @@ pub fn run_report(
 /// pinned parameters and seed, so the resulting `BENCH_costs.json` is
 /// byte-for-byte diffable across revisions.
 ///
+/// Protocols run in parallel on the configured pool
+/// ([`triad_comm::pool::Pool::current`]); reports are emitted in
+/// registry order, so the JSON bytes do not depend on the thread count.
+///
 /// # Panics
 ///
 /// Panics if a protocol run fails — the parameters are pinned, so a
 /// failure is a regression, not an input problem.
 pub fn standard_suite(scale: Scale) -> Vec<CostReport> {
+    standard_suite_with(&triad_comm::pool::Pool::current(), scale)
+}
+
+/// [`standard_suite`] on an explicit pool.
+///
+/// # Panics
+///
+/// Panics if a protocol run fails (see [`standard_suite`]).
+pub fn standard_suite_with(pool: &triad_comm::pool::Pool, scale: Scale) -> Vec<CostReport> {
     let (n, d, k, seed) = scale.pick((512, 6.0, 4, 7), (4096, 8.0, 8, 7));
-    PROTOCOLS
-        .iter()
-        .map(|p| {
-            run_report(p, "planted", n, k, d, 0.2, seed)
-                .unwrap_or_else(|e| panic!("standard suite {p}: {e}"))
-        })
-        .collect()
+    pool.ordered_map(PROTOCOLS.len(), |i| {
+        let p = PROTOCOLS[i];
+        run_report(p, "planted", n, k, d, 0.2, seed)
+            .unwrap_or_else(|e| panic!("standard suite {p}: {e}"))
+    })
 }
 
 /// Writes reports to `<dir>/BENCH_<name>.json` (creating `dir` if

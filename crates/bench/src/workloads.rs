@@ -73,8 +73,24 @@ pub fn clique_plus_path(n: usize, clique: usize) -> Graph {
 }
 
 /// Mean over `trials` seeds of a per-run u64 metric.
-pub fn mean_over_seeds<F: FnMut(u64) -> u64>(trials: u64, mut f: F) -> f64 {
-    (0..trials).map(&mut f).sum::<u64>() as f64 / trials as f64
+///
+/// Seeds are sharded across the configured thread pool
+/// ([`triad_comm::pool::Pool::current`]); per-seed metrics are summed in
+/// seed order, so the result is identical at any thread count.
+pub fn mean_over_seeds<F: Fn(u64) -> u64 + Sync>(trials: u64, f: F) -> f64 {
+    mean_over_seeds_with(&triad_comm::pool::Pool::current(), trials, f)
+}
+
+/// [`mean_over_seeds`] on an explicit pool.
+pub fn mean_over_seeds_with<F: Fn(u64) -> u64 + Sync>(
+    pool: &triad_comm::pool::Pool,
+    trials: u64,
+    f: F,
+) -> f64 {
+    pool.ordered_map(trials as usize, |s| f(s as u64))
+        .into_iter()
+        .sum::<u64>() as f64
+        / trials as f64
 }
 
 #[cfg(test)]
@@ -100,5 +116,16 @@ mod tests {
     #[test]
     fn mean_over_seeds_averages() {
         assert_eq!(mean_over_seeds(4, |s| s), 1.5);
+    }
+
+    #[test]
+    fn mean_over_seeds_is_thread_count_invariant() {
+        use triad_comm::pool::Pool;
+        let metric = |s: u64| s.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let serial = mean_over_seeds_with(&Pool::serial(), 33, metric);
+        for threads in [2, 8] {
+            let par = mean_over_seeds_with(&Pool::new(threads), 33, metric);
+            assert_eq!(par.to_bits(), serial.to_bits(), "threads = {threads}");
+        }
     }
 }

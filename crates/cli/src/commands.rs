@@ -318,18 +318,28 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
         ));
         return Ok(out);
     }
+    let reps: u32 = args.parsed_or("reps", 1)?;
+    if reps == 0 {
+        return Err(CliError::Usage("--reps must be positive".into()));
+    }
+    // With --reps > 1 the run is amplified: repetitions execute on the
+    // configured worker pool (--threads), first witness wins, and cost
+    // covers exactly the repetitions a serial loop would have performed.
+    let amp = |t: &(dyn triad_protocols::amplify::Repeatable + Sync)| {
+        triad_protocols::amplify::run_amplified(&t, &g, &parts, reps, seed)
+    };
     let run: ProtocolRun = match protocol {
-        "unrestricted" => UnrestrictedTester::new(tuning)
-            .with_cost_model(cost_model)
-            .run(&g, &parts, seed)?,
-        "low" => SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d })
-            .run(&g, &parts, seed)?,
-        "high" => SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: d })
-            .run(&g, &parts, seed)?,
-        "oblivious" => {
-            SimultaneousTester::new(tuning, SimProtocolKind::Oblivious).run(&g, &parts, seed)?
-        }
-        "exact" => run_send_everything(&g, &parts, seed)?,
+        "unrestricted" => amp(&UnrestrictedTester::new(tuning).with_cost_model(cost_model))?,
+        "low" => amp(&SimultaneousTester::new(
+            tuning,
+            SimProtocolKind::Low { avg_degree: d },
+        ))?,
+        "high" => amp(&SimultaneousTester::new(
+            tuning,
+            SimProtocolKind::High { avg_degree: d },
+        ))?,
+        "oblivious" => amp(&SimultaneousTester::new(tuning, SimProtocolKind::Oblivious))?,
+        "exact" => amp(&triad_protocols::baseline::SendEverything)?,
         other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
     };
     let verdict = match run.outcome.triangle() {

@@ -28,6 +28,7 @@ commands:
              --graph FILE  --shares PREFIX  --protocol unrestricted|low|high|oblivious|exact
              [--eps E] [--seed S] [--cost-model coordinator|blackboard|message-passing]
              [--d D] [--breakdown true]   (per-phase bits; unrestricted only)
+             [--reps R]   (amplify: up to R repetitions, first witness wins)
   count      estimate the triangle count in one round
              --graph FILE  --shares PREFIX  [--p P] [--trials T] [--seed S]
   hfree      test H-freeness in one round
@@ -40,6 +41,12 @@ commands:
              --protocol unrestricted|sim-low|sim-high|sim-oblivious|exact
              --gen planted|gnp|powerlaw|dense-core  --n N  --k K
              [--d D] [--eps E] [--seed S] [--json] [--out FILE] [--transcript FILE]
+
+global options:
+  --threads N  size of the deterministic worker pool for amplified runs
+               and sweeps (default: TRIAD_THREADS or available
+               parallelism; output is identical at every thread count —
+               see docs/PARALLELISM.md)
 ";
 
 /// Executes one CLI invocation, returning the text to print.
@@ -53,6 +60,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         .split_first()
         .ok_or_else(|| CliError::Usage("missing command".into()))?;
     let map = ArgMap::parse(rest)?;
+    if let Some(raw) = map.optional("threads") {
+        let threads: usize = raw.parse().ok().filter(|n| *n > 0).ok_or_else(|| {
+            CliError::Usage(format!("--threads needs a positive integer, got `{raw}`"))
+        })?;
+        triad_comm::pool::set_threads(threads);
+    }
     match command.as_str() {
         "gen" => commands::gen(&map),
         "partition" => commands::partition(&map),

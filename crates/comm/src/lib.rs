@@ -17,7 +17,10 @@
 //! * runtimes — sequential and one-thread-per-player — under a common
 //!   cost-accounting [`runtime::Runtime`], with coordinator and blackboard
 //!   charging models,
-//! * the one-round simultaneous framework ([`simultaneous`]).
+//! * the one-round simultaneous framework ([`simultaneous`]),
+//! * a deterministic parallel execution engine ([`pool`]) for sharding
+//!   independent runs (amplification repetitions, seed sweeps) without
+//!   perturbing transcripts or cost accounting.
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ pub mod bits;
 pub mod message;
 pub mod oneway;
 pub mod player;
+pub mod pool;
 pub mod rand;
 pub mod report;
 pub mod request;
@@ -52,12 +56,15 @@ pub use bits::BitCost;
 pub use message::Payload;
 pub use oneway::{run_one_way, OneWayProtocol, OneWayRun};
 pub use player::PlayerState;
-pub use rand::SharedRandomness;
+pub use pool::Pool;
+pub use rand::{mix64, SharedRandomness};
 pub use report::{
     write_reports_json, CostReport, PredictedBound, ReportParams, REPORT_SCHEMA_VERSION,
 };
 pub use request::PlayerRequest;
-pub use runtime::{CostModel, LocalTransport, Runtime, ThreadedTransport, Transport};
+pub use runtime::{
+    CostModel, LocalTransport, Runtime, ThreadedTransport, Transport, TransportError,
+};
 pub use simultaneous::{
     run_simultaneous, run_simultaneous_threaded, SimMessage, SimRun, SimultaneousProtocol,
 };

@@ -1,0 +1,260 @@
+//! Deterministic parallel execution engine.
+//!
+//! Amplification repetitions, per-seed trials and experiment grids are
+//! embarrassingly parallel: public-coin runs with distinct seeds are
+//! independent, so they can execute on worker threads in any order. What
+//! must **not** change with the thread count is the output — the
+//! bit-level transcripts, `CommStats` totals and exported JSON this
+//! repository treats as ground truth. This module provides a scoped
+//! thread pool whose combinators guarantee exactly that:
+//!
+//! * work items are identified by their index, never by completion time;
+//! * results are reduced **in index order**, so any order-sensitive fold
+//!   (transcript absorption, stats merging, JSON emission) sees the same
+//!   sequence a serial loop would;
+//! * early-exit folds ([`Pool::ordered_map_until`]) return precisely the
+//!   prefix a serial loop would have computed — items speculatively
+//!   executed past the stopping point are discarded, so cost accounting
+//!   charges only the work a serial run would have performed.
+//!
+//! The determinism contract and sizing rules are documented in
+//! `docs/PARALLELISM.md`; the differential test suite
+//! (`tests/parallel_equivalence.rs`) enforces byte-identical output
+//! across thread counts.
+//!
+//! # Sizing
+//!
+//! [`Pool::current`] resolves the thread count from, in order: the
+//! process-wide override set by [`set_threads`] (the CLI's `--threads`
+//! flag), the `TRIAD_THREADS` environment variable, and
+//! [`std::thread::available_parallelism`]. A pool of one thread runs
+//! every combinator inline on the caller's thread — that *is* the serial
+//! path, with zero spawn overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use triad_comm::pool::Pool;
+//!
+//! let serial: Vec<u64> = (0..10u64).map(|i| i * i).collect();
+//! let parallel = Pool::new(4).ordered_map(10, |i| (i as u64) * (i as u64));
+//! assert_eq!(parallel, serial);
+//! ```
+
+use crossbeam::channel::unbounded;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide thread-count override (0 = unset). Set once at startup
+/// by the CLI's `--threads` flag; read by [`Pool::current`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide worker thread count used by [`Pool::current`]
+/// (the `--threads N` CLI flag). Values are clamped to at least 1.
+/// Intended to be called once at process startup, before any pool is
+/// created; explicit [`Pool::new`] pools are unaffected.
+pub fn set_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads.max(1), Ordering::SeqCst);
+}
+
+/// Resolves the configured worker thread count: the [`set_threads`]
+/// override if set, else a positive integer `TRIAD_THREADS` environment
+/// variable, else [`std::thread::available_parallelism`] (1 when even
+/// that is unavailable).
+pub fn configured_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("TRIAD_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scoped worker pool with deterministic, index-ordered reduction.
+///
+/// The pool owns no threads between calls: each combinator spawns scoped
+/// workers (crossbeam scoped threads over crossbeam channels) and joins
+/// them before returning, so borrowing inputs from the caller's stack is
+/// free and no shutdown protocol exists to get wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool — the serial reference path.
+    pub fn serial() -> Pool {
+        Pool::new(1)
+    }
+
+    /// The pool sized by the process configuration (see
+    /// [`configured_threads`]).
+    pub fn current() -> Pool {
+        Pool::new(configured_threads())
+    }
+
+    /// Number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Computes `f(0), …, f(n-1)` on the pool's workers and returns the
+    /// results in index order — byte-identical to the serial
+    /// `(0..n).map(f).collect()` regardless of thread count or worker
+    /// interleaving.
+    pub fn ordered_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.ordered_map_until(n, f, |_| false)
+    }
+
+    /// Ordered map with serial early-exit semantics: returns the results
+    /// for indices `0..=s` where `s` is the smallest index whose result
+    /// satisfies `stop` (all `n` results when none does) — exactly the
+    /// prefix a serial loop with `break`-on-`stop` would have computed.
+    ///
+    /// Workers may speculatively execute items past the eventual stopping
+    /// point; those results are discarded, never reduced, so order-
+    /// and cost-sensitive folds over the returned prefix match the
+    /// serial path bit for bit.
+    ///
+    /// A worker panic propagates to the caller when the scope joins, as
+    /// it would in a serial loop.
+    pub fn ordered_map_until<T, F, S>(&self, n: usize, f: F, stop: S) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        S: Fn(&T) -> bool + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            // The serial path: a plain loop with early exit.
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let r = f(i);
+                let done = stop(&r);
+                out.push(r);
+                if done {
+                    break;
+                }
+            }
+            return out;
+        }
+        // Claim indices from a shared counter; workers skip (and stop
+        // claiming) once a stopping index at or below their next claim is
+        // known. `cutoff` only ever decreases, and only to stopping
+        // indices, so every index ≤ the final cutoff is guaranteed to
+        // have been executed.
+        let next = AtomicUsize::new(0);
+        let cutoff = AtomicUsize::new(n);
+        let (tx, rx) = unbounded::<(usize, T)>();
+        let workers = self.threads.min(n);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, cutoff, f, stop) = (&next, &cutoff, &f, &stop);
+                s.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n || i > cutoff.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let r = f(i);
+                    if stop(&r) {
+                        cutoff.fetch_min(i, Ordering::SeqCst);
+                    }
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            slots.resize_with(n, || None);
+            while let Ok((i, r)) = rx.recv() {
+                slots[i] = Some(r);
+            }
+        })
+        .expect("pool worker panicked");
+        let stop_at = cutoff.load(Ordering::SeqCst);
+        let len = if stop_at < n { stop_at + 1 } else { n };
+        slots
+            .into_iter()
+            .take(len)
+            .map(|r| r.expect("every index up to the cutoff was executed"))
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_matches_serial_at_every_thread_count() {
+        let expect: Vec<u64> = (0..37u64).map(|i| i.wrapping_mul(0x9E37) ^ 13).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Pool::new(threads).ordered_map(37, |i| (i as u64).wrapping_mul(0x9E37) ^ 13);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn ordered_map_until_returns_the_serial_prefix() {
+        // Stops at index 5 (the smallest stopping index), not at 11.
+        let stops = |x: &usize| *x == 5 || *x == 11;
+        let expect: Vec<usize> = (0..=5).collect();
+        for threads in [1, 2, 4, 16] {
+            let got = Pool::new(threads).ordered_map_until(40, |i| i, stops);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn no_stop_returns_everything_and_empty_is_empty() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.ordered_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.ordered_map_until(6, |i| i, |_| false).len(), 6);
+        // Stop at index 0: exactly one item, as a serial loop would do.
+        assert_eq!(pool.ordered_map_until(6, |i| i, |_| true), vec![0]);
+    }
+
+    #[test]
+    fn pool_sizing_clamps_and_reports() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::serial().threads(), 1);
+        assert_eq!(Pool::new(7).threads(), 7);
+        assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates_like_a_serial_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            Pool::new(4).ordered_map(8, |i| {
+                assert!(i != 3, "boom");
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

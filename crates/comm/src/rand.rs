@@ -20,15 +20,20 @@ pub struct SharedRandomness {
     seed: u64,
 }
 
-/// SplitMix64 finalizer — a fast, well-mixed 64-bit permutation used as
-/// the PRF core.
+/// SplitMix64 finalizer — a fast, well-mixed 64-bit permutation. Used as
+/// the PRF core here and as the seed-derivation mix for amplification
+/// repetitions (`triad-protocols::amplify`): unlike affine schemes such
+/// as `base + r·c`, nearby `(base, r)` pairs never collide into the same
+/// stream.
 #[inline]
-fn mix(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
 }
+
+use mix64 as mix;
 
 impl SharedRandomness {
     /// Shared randomness derived from a public seed.

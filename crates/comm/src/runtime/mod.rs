@@ -40,12 +40,44 @@ pub enum CostModel {
     MessagePassing,
 }
 
+/// A player's channel failed mid-protocol — e.g. its thread panicked and
+/// hung up. Surfaced by [`Transport::try_deliver`] instead of a deadlock
+/// or an opaque abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportError {
+    /// The player whose channel failed.
+    pub player: usize,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "player {} hung up mid-protocol", self.player)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// Message delivery to players, independent of cost accounting.
 pub trait Transport: Send {
     /// Number of players.
     fn k(&self) -> usize;
     /// Delivers `req` to player `player` and returns its response.
     fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload;
+    /// Fallible delivery: like [`deliver`](Self::deliver), but a dead
+    /// player channel (thread panicked, hung up) surfaces as
+    /// [`TransportError`] instead of panicking the coordinator. The
+    /// default forwards to `deliver` for transports that cannot fail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] naming the failed player.
+    fn try_deliver(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+    ) -> Result<Payload, TransportError> {
+        Ok(self.deliver(player, req))
+    }
     /// Switches every player to a new shared-randomness seed (Newman's
     /// conversion). Default: unsupported, panics — implement on
     /// transports that carry the randomness.

@@ -1,4 +1,4 @@
-use super::Transport;
+use super::{Transport, TransportError};
 use crate::message::Payload;
 use crate::player::PlayerState;
 use crate::rand::SharedRandomness;
@@ -65,12 +65,25 @@ impl Transport for ThreadedTransport {
     }
 
     fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload {
+        self.try_deliver(player, req)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_deliver(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+    ) -> Result<Payload, TransportError> {
+        // A player whose thread panicked (or already halted) has dropped
+        // both channel ends: either the send or the recv fails, and the
+        // coordinator gets an error naming the player instead of a
+        // deadlock or an opaque unwrap across threads.
         self.senders[player]
             .send(Envelope::Request(req.clone()))
-            .expect("player thread hung up");
+            .map_err(|_| TransportError { player })?;
         self.receivers[player]
             .recv()
-            .expect("player thread hung up")
+            .map_err(|_| TransportError { player })
     }
 }
 
@@ -116,5 +129,54 @@ mod tests {
         let shared = SharedRandomness::new(2);
         let t = ThreadedTransport::spawn(2, &[vec![], vec![]], shared);
         drop(t); // must not hang or panic
+    }
+
+    #[test]
+    fn panicking_player_surfaces_error_not_deadlock() {
+        let shared = SharedRandomness::new(3);
+        let mut t = ThreadedTransport::spawn(2, &[vec![], vec![]], shared);
+        // Vertex 99 is out of range for n = 2: the player thread panics
+        // inside `PlayerState::handle` and drops both channel ends.
+        let err = t
+            .try_deliver(0, &PlayerRequest::LocalDegree { v: VertexId(99) })
+            .unwrap_err();
+        assert_eq!(err.player, 0);
+        assert!(err.to_string().contains("player 0"), "{err}");
+        // The dead player keeps failing cleanly instead of deadlocking...
+        assert!(t.try_deliver(0, &PlayerRequest::LocalEdgeCount).is_err());
+        // ...while the surviving player still answers.
+        assert_eq!(
+            t.try_deliver(1, &PlayerRequest::LocalEdgeCount).unwrap(),
+            Payload::Count(0)
+        );
+        // Drop joins the dead thread without propagating its panic.
+        drop(t);
+    }
+
+    #[test]
+    fn deliver_panics_with_player_id_after_thread_death() {
+        let shared = SharedRandomness::new(5);
+        let mut t = ThreadedTransport::spawn(2, &[vec![], vec![]], shared);
+        let _ = t.try_deliver(1, &PlayerRequest::LocalDegree { v: VertexId(42) });
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.deliver(1, &PlayerRequest::LocalEdgeCount)
+        }));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("player 1"), "{msg}");
+    }
+
+    #[test]
+    fn drop_with_requests_in_flight_shuts_down() {
+        let e01 = Edge::new(VertexId(0), VertexId(1));
+        let shared = SharedRandomness::new(4);
+        let t = ThreadedTransport::spawn(2, &[vec![e01], vec![]], shared);
+        // Queue a burst of requests without reading any responses; drop
+        // must drain/halt both threads without hanging on the replies.
+        for _ in 0..16 {
+            t.senders[0]
+                .send(Envelope::Request(PlayerRequest::LocalEdgeCount))
+                .unwrap();
+        }
+        drop(t);
     }
 }

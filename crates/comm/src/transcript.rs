@@ -58,7 +58,7 @@ impl Direction {
 }
 
 /// One recorded message.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Event {
     /// Communication round index.
     pub round: u64,
@@ -174,7 +174,20 @@ impl Transcript {
     /// Appends another transcript as later rounds of this one — the
     /// accounting behind repetition wrappers: totals add, rounds
     /// concatenate, per-player counters accumulate.
+    ///
+    /// Absorbing a pristine transcript (no events, round 0) is a no-op,
+    /// which makes `absorb` associative — the invariant the deterministic
+    /// parallel engine's ordered reduction relies on (see
+    /// `tests/properties.rs`).
     pub fn absorb(&mut self, other: &Transcript) {
+        if other.events.is_empty() && other.round == 0 {
+            // A pristine operand carries no rounds; bumping our round
+            // counter for it would make `absorb` non-associative.
+            if self.per_player_sent.len() < other.per_player_sent.len() {
+                self.per_player_sent.resize(other.per_player_sent.len(), 0);
+            }
+            return;
+        }
         let offset = if self.events.is_empty() && self.round == 0 {
             0
         } else {
@@ -888,5 +901,29 @@ mod tests {
             "absorbing into empty keeps round numbering"
         );
         assert_eq!(empty.total_bits(), b.total_bits());
+    }
+
+    #[test]
+    fn absorbing_a_pristine_transcript_is_a_no_op() {
+        let mut a = phased_transcript();
+        let before_round = a.round();
+        let before_events = a.events().len();
+        let before_total = a.total_bits();
+        a.absorb(&Transcript::new(3));
+        assert_eq!(a.round(), before_round, "no phantom round added");
+        assert_eq!(a.events().len(), before_events);
+        assert_eq!(a.total_bits(), before_total);
+        // Associativity witness: (a ⊕ empty) ⊕ b == a ⊕ (empty ⊕ b).
+        let b = phased_transcript();
+        let mut left = phased_transcript();
+        left.absorb(&Transcript::new(3));
+        left.absorb(&b);
+        let mut mid = Transcript::new(3);
+        mid.absorb(&b);
+        let mut right = phased_transcript();
+        right.absorb(&mid);
+        assert_eq!(left.round(), right.round());
+        assert_eq!(left.events(), right.events());
+        assert_eq!(left.per_player_sent(), right.per_player_sent());
     }
 }

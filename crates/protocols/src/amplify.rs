@@ -8,8 +8,29 @@
 //! needed, the first witness wins.)
 
 use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
+use triad_comm::pool::Pool;
 use triad_graph::partition::Partition;
 use triad_graph::Graph;
+
+/// The public seed for repetition `r` of an amplified run.
+///
+/// Seeds are derived through the splitmix64 finalizer
+/// ([`triad_comm::mix64`]) rather than an affine step: the historical
+/// `base_seed + r·7919` scheme collided across nearby base seeds
+/// (`rep_seed(0, 1) == rep_seed(7919, 0)`), silently correlating runs
+/// that the amplification analysis assumes are independent. The mixed
+/// streams are pinned by a regression test below; changing this function
+/// changes every amplified transcript.
+#[must_use]
+pub fn rep_seed(base_seed: u64, r: u32) -> u64 {
+    triad_comm::mix64(
+        triad_comm::mix64(base_seed).wrapping_add(
+            u64::from(r)
+                .wrapping_add(1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ),
+    )
+}
 
 /// Anything that can run once over a partitioned input — implemented by
 /// both tester families, so amplification is written once.
@@ -25,6 +46,17 @@ pub trait Repeatable {
         partition: &Partition,
         seed: u64,
     ) -> Result<ProtocolRun, ProtocolError>;
+}
+
+impl<T: Repeatable + ?Sized> Repeatable for &T {
+    fn run_once(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        seed: u64,
+    ) -> Result<ProtocolRun, ProtocolError> {
+        (**self).run_once(g, partition, seed)
+    }
 }
 
 impl Repeatable for crate::UnrestrictedTester {
@@ -80,17 +112,59 @@ impl Repeatable for crate::SimultaneousTester {
 /// # Ok(())
 /// # }
 /// ```
-pub fn run_amplified<T: Repeatable>(
+pub fn run_amplified<T: Repeatable + Sync>(
     tester: &T,
     g: &Graph,
     partition: &Partition,
     repetitions: u32,
     base_seed: u64,
 ) -> Result<ProtocolRun, ProtocolError> {
+    run_amplified_with(
+        &Pool::current(),
+        tester,
+        g,
+        partition,
+        repetitions,
+        base_seed,
+    )
+}
+
+/// [`run_amplified`] on an explicit [`Pool`].
+///
+/// Repetitions are sharded across the pool's workers and reduced **in
+/// repetition order**, with serial early-exit semantics: the reduction
+/// covers exactly the prefix of repetitions a serial loop would have
+/// performed (up to and including the first witness or error), so
+/// merged [`CommStats`](triad_comm::CommStats) totals and the absorbed
+/// transcript are byte-identical to the serial path at any thread count.
+/// Speculative repetitions computed past the stopping point are
+/// discarded before reduction and charge nothing.
+///
+/// # Errors
+///
+/// Propagates the error of the first failing repetition (in repetition
+/// order, as the serial loop would).
+pub fn run_amplified_with<T: Repeatable + Sync>(
+    pool: &Pool,
+    tester: &T,
+    g: &Graph,
+    partition: &Partition,
+    repetitions: u32,
+    base_seed: u64,
+) -> Result<ProtocolRun, ProtocolError> {
+    let reps = repetitions.max(1) as usize;
+    let runs = pool.ordered_map_until(
+        reps,
+        |r| tester.run_once(g, partition, rep_seed(base_seed, r as u32)),
+        |run| match run {
+            Ok(run) => run.outcome.found_triangle(),
+            Err(_) => true,
+        },
+    );
     let mut stats = triad_comm::CommStats::default();
     let mut transcript = triad_comm::Transcript::new(partition.players());
-    for r in 0..repetitions.max(1) {
-        let run = tester.run_once(g, partition, base_seed.wrapping_add(u64::from(r) * 7919))?;
+    for run in runs {
+        let run = run?;
         stats = stats.merged(run.stats);
         transcript.absorb(&run.transcript);
         if run.outcome.found_triangle() {
@@ -178,6 +252,65 @@ mod tests {
         assert!(run.outcome.accepts());
         // All repetitions were spent (no early exit possible).
         assert!(run.stats.messages >= 6 * 3);
+    }
+
+    #[test]
+    fn rep_seed_streams_are_pinned_and_collision_free() {
+        // The retired affine scheme (`base + r·7919`) collided exactly
+        // here: base 0 repetition 1 == base 7919 repetition 0.
+        assert_ne!(rep_seed(0, 1), rep_seed(7919, 0));
+        assert_ne!(rep_seed(0, 0), rep_seed(0, 1));
+        // Pin the streams: any change to the derivation rewrites every
+        // amplified transcript and must be deliberate.
+        assert_eq!(rep_seed(0, 0), 0xb382_a305_f441_4f5e);
+        assert_eq!(rep_seed(0, 1), 0x631a_9154_fbab_f717);
+        assert_eq!(rep_seed(0, 2), 0xa80a_ba8c_8664_0906);
+        assert_eq!(rep_seed(7919, 0), 0x325c_54e9_fe2c_bc87);
+        assert_eq!(rep_seed(7, 0), 0xa653_05fd_338e_c8fe);
+        assert_eq!(rep_seed(7, 1), 0x8ca3_cbb6_ca63_129b);
+        assert_eq!(rep_seed(1000, 3), 0xf379_1818_5553_213d);
+        // No collisions across a dense grid of nearby bases and reps.
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..64u64 {
+            for r in 0..32u32 {
+                assert!(seen.insert(rep_seed(base, r)), "collision at {base}/{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_amplification_matches_serial_bit_for_bit() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = far_graph(300, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let weak = SimultaneousTester::new(
+            Tuning::practical(0.2).with_scale(0.25),
+            SimProtocolKind::Low { avg_degree: 6.0 },
+        );
+        for seed in [0u64, 3, 11] {
+            let serial = run_amplified_with(&Pool::serial(), &weak, &g, &parts, 8, seed).unwrap();
+            for threads in [2, 8] {
+                let par =
+                    run_amplified_with(&Pool::new(threads), &weak, &g, &parts, 8, seed).unwrap();
+                assert_eq!(par.outcome, serial.outcome, "seed {seed} t{threads}");
+                assert_eq!(par.stats, serial.stats, "seed {seed} t{threads}");
+                assert_eq!(
+                    par.transcript.events(),
+                    serial.transcript.events(),
+                    "seed {seed} t{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_is_repeatable() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let parts = random_disjoint(&g, 3, &mut rng);
+        let run = run_amplified(&crate::baseline::SendEverything, &g, &parts, 4, 0).unwrap();
+        // Exact baseline finds the triangle on the first repetition.
+        assert!(run.outcome.found_triangle());
     }
 
     #[test]

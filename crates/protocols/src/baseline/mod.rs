@@ -45,6 +45,17 @@ impl SimultaneousProtocol for SendEverything {
     }
 }
 
+impl crate::amplify::Repeatable for SendEverything {
+    fn run_once(
+        &self,
+        g: &Graph,
+        partition: &Partition,
+        seed: u64,
+    ) -> Result<ProtocolRun, ProtocolError> {
+        run_send_everything(g, partition, seed)
+    }
+}
+
 /// Runs the exact baseline over a partitioned input. The verdict is
 /// exact: `TriangleFound` iff the union graph contains a triangle.
 ///

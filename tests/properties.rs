@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use std::collections::HashSet;
-use triad::comm::{bits, Payload, SharedRandomness};
+use triad::comm::pool::Pool;
+use triad::comm::{
+    bits, mix64, BitCost, CommStats, Direction, Payload, SharedRandomness, Transcript,
+};
 use triad::graph::{buckets, distance, triangles, Edge, Graph, GraphBuilder, VertexId};
 
 /// Strategy: a random edge list over `n` vertices.
@@ -18,6 +21,56 @@ fn build(n: usize, pairs: &[(u32, u32)]) -> Graph {
         b.add_edge(Edge::new(VertexId(*a), VertexId(*bb)));
     }
     b.build()
+}
+
+/// One recorded transcript operation: `(player, bits, label index,
+/// direction index, advance round first)`.
+type TranscriptOp = (usize, u64, usize, usize, bool);
+
+/// Strategy: an arbitrary transcript script over `k` players, including
+/// empty scripts and rounds with no events.
+fn transcript_ops(max_ops: usize) -> impl Strategy<Value = Vec<TranscriptOp>> {
+    // The vendored proptest shim implements `Strategy` for tuples of at
+    // most four elements, so the five fields are nested and flattened.
+    prop::collection::vec(
+        ((0..8usize, 0..64u64), (0..3usize, 0..3usize, any::<bool>()))
+            .prop_map(|((p, bits), (li, di, advance))| (p, bits, li, di, advance)),
+        0..max_ops,
+    )
+}
+
+fn build_transcript(k: usize, ops: &[TranscriptOp]) -> Transcript {
+    const LABELS: [&str; 3] = ["probe", "sample", "reply"];
+    let mut t = Transcript::new(k);
+    for &(p, bits, li, di, advance) in ops {
+        if advance {
+            t.next_round();
+        }
+        let dir = match di {
+            0 => Direction::ToPlayer,
+            1 => Direction::ToCoordinator,
+            _ => Direction::Broadcast,
+        };
+        let player = if dir == Direction::Broadcast {
+            None
+        } else {
+            Some(p % k.max(1))
+        };
+        t.record(player, dir, BitCost(bits), LABELS[li]);
+    }
+    t
+}
+
+/// Strategy: arbitrary (bounded) communication statistics.
+fn comm_stats() -> impl Strategy<Value = CommStats> {
+    (0..1u64 << 40, 0..1u64 << 20, 0..1u64 << 20, 0..1u64 << 40).prop_map(
+        |(total_bits, rounds, messages, max_player_sent_bits)| CommStats {
+            total_bits,
+            rounds,
+            messages,
+            max_player_sent_bits,
+        },
+    )
 }
 
 proptest! {
@@ -151,6 +204,52 @@ proptest! {
     }
 
     #[test]
+    fn comm_stats_merged_is_associative_with_identity(
+        a in comm_stats(), b in comm_stats(), c in comm_stats(),
+    ) {
+        // The parallel engine folds per-repetition stats in repetition
+        // order; associativity is what makes the grouping irrelevant.
+        prop_assert_eq!(a.merged(b).merged(c), a.merged(b.merged(c)));
+        prop_assert_eq!(a.merged(CommStats::default()), a);
+        prop_assert_eq!(CommStats::default().merged(a), a);
+    }
+
+    #[test]
+    fn transcript_absorb_is_associative(
+        k in 1usize..4,
+        ops_a in transcript_ops(12),
+        ops_b in transcript_ops(12),
+        ops_c in transcript_ops(12),
+    ) {
+        // ((a ⊕ b) ⊕ c) — transcripts are rebuilt per side because
+        // `absorb` mutates in place.
+        let mut left = build_transcript(k, &ops_a);
+        left.absorb(&build_transcript(k, &ops_b));
+        left.absorb(&build_transcript(k, &ops_c));
+        // (a ⊕ (b ⊕ c))
+        let mut bc = build_transcript(k, &ops_b);
+        bc.absorb(&build_transcript(k, &ops_c));
+        let mut right = build_transcript(k, &ops_a);
+        right.absorb(&bc);
+        prop_assert_eq!(left.round(), right.round());
+        prop_assert_eq!(left.events(), right.events());
+        prop_assert_eq!(left.stats(), right.stats());
+    }
+
+    #[test]
+    fn transcript_absorbing_pristine_is_identity(
+        k in 1usize..4,
+        ops in transcript_ops(12),
+    ) {
+        let reference = build_transcript(k, &ops);
+        let mut absorbed = build_transcript(k, &ops);
+        absorbed.absorb(&Transcript::new(k));
+        prop_assert_eq!(absorbed.round(), reference.round());
+        prop_assert_eq!(absorbed.events(), reference.events());
+        prop_assert_eq!(absorbed.stats(), reference.stats());
+    }
+
+    #[test]
     fn vee_closing_matches_graph(pairs in edge_list(15, 40)) {
         let g = build(15, &pairs);
         // Every vee of every vertex closes iff the closing edge exists.
@@ -197,6 +296,49 @@ proptest! {
         .unwrap();
         if let Some(t) = sim.outcome.triangle() {
             prop_assert!(t.exists_in(&g));
+        }
+    }
+
+    #[test]
+    fn pool_ordered_map_is_thread_count_invariant(n in 0usize..40, salt in any::<u64>()) {
+        let f = |i: usize| mix64(salt ^ i as u64);
+        let serial: Vec<u64> = (0..n).map(f).collect();
+        for threads in [1usize, 2, 3, 8] {
+            prop_assert_eq!(
+                Pool::new(threads).ordered_map(n, f),
+                serial.clone(),
+                "threads = {}",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn pool_ordered_map_until_returns_the_serial_prefix(
+        n in 0usize..40,
+        salt in any::<u64>(),
+        modulus in 1u64..9,
+    ) {
+        // Whatever the interleaving, the early-exit map must return
+        // exactly what a serial loop stopping at the first hit returns.
+        let f = |i: usize| mix64(salt ^ i as u64);
+        let stop = |v: &u64| v % modulus == 0;
+        let mut expected = Vec::new();
+        for i in 0..n {
+            let v = f(i);
+            let hit = stop(&v);
+            expected.push(v);
+            if hit {
+                break;
+            }
+        }
+        for threads in [1usize, 2, 3, 8] {
+            prop_assert_eq!(
+                Pool::new(threads).ordered_map_until(n, f, stop),
+                expected.clone(),
+                "threads = {}",
+                threads
+            );
         }
     }
 

@@ -1,12 +1,91 @@
 //! Offline shim for the `crossbeam` crate.
 //!
-//! The workspace uses exactly one piece of crossbeam: unbounded MPSC
-//! channels for the threaded coordinator transport. This shim maps that
-//! surface onto `std::sync::mpsc`, which has identical semantics for the
-//! single-consumer pattern used here.
+//! The workspace uses two pieces of crossbeam: unbounded MPSC channels
+//! for the threaded coordinator transport, and scoped threads for the
+//! deterministic parallel execution engine (`triad-comm::pool`). This
+//! shim maps the channel surface onto `std::sync::mpsc` (identical
+//! semantics for the single-consumer pattern used here) and the scoped
+//! thread surface onto `std::thread::scope`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+/// Scoped threads (the `crossbeam-utils` subset in use).
+///
+/// One documented deviation from upstream: [`thread::scope`] never
+/// returns `Err` — a panicking child propagates its panic when the scope
+/// joins (the `std::thread::scope` behaviour) instead of being collected
+/// into the result. The workspace treats a worker panic as fatal either
+/// way.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// The result type of [`scope`], mirroring upstream's signature.
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A handle to a thread spawned inside a [`scope`].
+    pub type ScopedJoinHandle<'scope, T> = stdthread::ScopedJoinHandle<'scope, T>;
+
+    /// A scope in which borrowed threads can be spawned (upstream's
+    /// `crossbeam::thread::Scope`, backed by `std::thread::Scope`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope again so workers can spawn
+        /// siblings, as in upstream crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; every thread spawned through the
+    /// handle is joined before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (see the module docs): a child panic
+    /// propagates as a panic at join time instead.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data.iter().map(|x| s.spawn(move |_| *x * 10)).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn workers_can_spawn_siblings() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 7u32).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}
 
 /// Multi-producer channels (the `crossbeam-channel` subset in use).
 pub mod channel {

@@ -11,9 +11,12 @@
 //! output is byte-identical at every thread count, see
 //! `docs/PARALLELISM.md`); `--json-dir DIR` additionally writes the
 //! standard cost suite as `DIR/BENCH_costs.json` (the schema of
-//! `docs/OBSERVABILITY.md`), diffable across revisions.
+//! `docs/OBSERVABILITY.md`), diffable across revisions, plus the
+//! naive-vs-kernel triangle timings as `DIR/BENCH_kernels.json`
+//! (wall-clock, machine-dependent — see `docs/KERNELS.md`).
 
 use triad_bench::experiments::{all, Scale};
+use triad_bench::kernels::{kernel_suite, write_kernels_json};
 use triad_bench::report::{standard_suite, write_bench_json};
 
 fn main() {
@@ -73,6 +76,14 @@ fn main() {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("failed to write BENCH_costs.json to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let timings = kernel_suite(scale);
+        match write_kernels_json(std::path::Path::new(&dir), &timings) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_kernels.json to {dir}: {e}");
                 std::process::exit(1);
             }
         }

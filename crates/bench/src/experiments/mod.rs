@@ -41,10 +41,13 @@ impl Scale {
     }
 }
 
+/// An experiment entry point: takes a [`Scale`], returns its report.
+pub type Experiment = fn(Scale) -> Report;
+
 /// Registry of all experiments in order.
-pub fn all() -> Vec<(&'static str, fn(Scale) -> Report)> {
+pub fn all() -> Vec<(&'static str, Experiment)> {
     vec![
-        ("e1", e1_unrestricted as fn(Scale) -> Report),
+        ("e1", e1_unrestricted as Experiment),
         ("e2", e2_sim_low),
         ("e3", e3_sim_high),
         ("e4", e4_oblivious),

@@ -1,0 +1,255 @@
+//! Naive-vs-kernel wall-clock timings — the `BENCH_kernels.json` export.
+//!
+//! Times the pre-kernel reference implementations
+//! (`triad_graph::kernels::naive`) against the degree-ordered forward
+//! kernel, the pool-parallel kernel, and the
+//! [`triad_graph::kernels::DeletionView`]-based greedy hitting loop, on
+//! the standard workload families. Counts and
+//! removal sequences are asserted equal while timing, so a speedup can
+//! never be reported for a kernel that silently changed the answer.
+//!
+//! Timings are wall-clock and therefore machine-dependent: unlike
+//! `BENCH_costs.json`, this file is *not* byte-diffable across runs. The
+//! reference numbers live in `EXPERIMENTS.md`.
+
+use crate::experiments::Scale;
+use crate::workloads::{clique_plus_path, dense_core_workload, planted_far};
+use std::time::Instant;
+use triad_comm::pool::Pool;
+use triad_graph::kernels::{self, naive};
+use triad_graph::{distance, Graph};
+
+/// One workload's measured kernel-vs-naive timings (milliseconds).
+#[derive(Debug, Clone)]
+pub struct KernelTiming {
+    /// Workload name.
+    pub workload: String,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Triangle count (agreed on by every implementation timed here).
+    pub triangles: u64,
+    /// Naive per-edge full-merge count, milliseconds.
+    pub naive_count_ms: f64,
+    /// Forward-kernel count, milliseconds.
+    pub kernel_count_ms: f64,
+    /// Pool-parallel forward-kernel count, milliseconds.
+    pub par_count_ms: f64,
+    /// Threads used for the parallel measurement.
+    pub par_threads: usize,
+    /// Rebuild-per-removal greedy hitting loop, milliseconds (`None`
+    /// when the workload is too large to time the naive loop).
+    pub naive_greedy_ms: Option<f64>,
+    /// DeletionView greedy hitting loop, milliseconds.
+    pub view_greedy_ms: Option<f64>,
+    /// Edges removed by the greedy loop (both variants, verified equal).
+    pub greedy_removed: Option<usize>,
+}
+
+impl KernelTiming {
+    /// Naive count time divided by kernel count time.
+    pub fn count_speedup(&self) -> f64 {
+        self.naive_count_ms / self.kernel_count_ms.max(1e-9)
+    }
+
+    /// Rebuild-loop time divided by view-loop time, when both ran.
+    pub fn greedy_speedup(&self) -> Option<f64> {
+        match (self.naive_greedy_ms, self.view_greedy_ms) {
+            (Some(n), Some(v)) => Some(n / v.max(1e-9)),
+            _ => None,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"workload\":\"{}\",", self.workload));
+        s.push_str(&format!("\"vertices\":{},", self.vertices));
+        s.push_str(&format!("\"edges\":{},", self.edges));
+        s.push_str(&format!("\"triangles\":{},", self.triangles));
+        s.push_str(&format!("\"naive_count_ms\":{:.3},", self.naive_count_ms));
+        s.push_str(&format!("\"kernel_count_ms\":{:.3},", self.kernel_count_ms));
+        s.push_str(&format!("\"par_count_ms\":{:.3},", self.par_count_ms));
+        s.push_str(&format!("\"par_threads\":{},", self.par_threads));
+        s.push_str(&format!("\"count_speedup\":{:.3},", self.count_speedup()));
+        match (
+            self.naive_greedy_ms,
+            self.view_greedy_ms,
+            self.greedy_removed,
+        ) {
+            (Some(n), Some(v), Some(r)) => {
+                s.push_str(&format!("\"naive_greedy_ms\":{n:.3},"));
+                s.push_str(&format!("\"view_greedy_ms\":{v:.3},"));
+                s.push_str(&format!("\"greedy_removed\":{r},"));
+                s.push_str(&format!(
+                    "\"greedy_speedup\":{:.3}",
+                    self.greedy_speedup().expect("both greedy timings present")
+                ));
+            }
+            _ => {
+                s.push_str("\"naive_greedy_ms\":null,");
+                s.push_str("\"view_greedy_ms\":null,");
+                s.push_str("\"greedy_removed\":null,");
+                s.push_str("\"greedy_speedup\":null");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Best-of-`reps` wall-clock time of `f`, in milliseconds, together with
+/// the (identical across reps) result of the final run.
+fn time_best<T: PartialEq + std::fmt::Debug, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        if let Some(prev) = &result {
+            assert!(prev == &r, "timed function is not deterministic");
+        }
+        result = Some(r);
+    }
+    (best, result.expect("at least one rep ran"))
+}
+
+/// Times all counting kernels (and, when `with_greedy`, both greedy
+/// hitting loops) on one workload, asserting the implementations agree.
+///
+/// # Panics
+///
+/// Panics if any kernel disagrees with its naive reference — a
+/// correctness bug, not a measurement problem.
+pub fn time_workload(name: &str, g: &Graph, with_greedy: bool, reps: usize) -> KernelTiming {
+    let pool = Pool::current();
+    let (naive_count_ms, naive_count) = time_best(reps, || naive::count_triangles(g));
+    let (kernel_count_ms, kernel_count) = time_best(reps, || kernels::count_triangles(g));
+    let (par_count_ms, par_count) = time_best(reps, || kernels::count_triangles_par(g, &pool));
+    assert_eq!(kernel_count, naive_count, "{name}: kernel count diverged");
+    assert_eq!(par_count, naive_count, "{name}: parallel count diverged");
+    let (naive_greedy_ms, view_greedy_ms, greedy_removed) = if with_greedy {
+        let (nms, nseq) = time_best(reps, || naive::greedy_hitting_removal(g));
+        let (vms, vseq) = time_best(reps, || distance::greedy_hitting_removal(g));
+        assert_eq!(vseq, nseq, "{name}: greedy removal sequence diverged");
+        (Some(nms), Some(vms), Some(vseq.len()))
+    } else {
+        (None, None, None)
+    };
+    KernelTiming {
+        workload: name.to_string(),
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        triangles: naive_count,
+        naive_count_ms,
+        kernel_count_ms,
+        par_count_ms,
+        par_threads: pool.threads(),
+        naive_greedy_ms,
+        view_greedy_ms,
+        greedy_removed,
+    }
+}
+
+/// The standard kernel timing suite: planted ε-far, dense-core (the
+/// skewed-degree adversary where the naive `Θ(m·Δ)` merges hurt most)
+/// and clique-plus-path workloads, ordered smallest to largest so the
+/// last entry is the headline number.
+pub fn kernel_suite(scale: Scale) -> Vec<KernelTiming> {
+    let reps = scale.pick(2, 3);
+    let mut out = Vec::new();
+
+    // Greedy-loop comparison: sized so the rebuild-per-removal naive
+    // loop stays tractable.
+    let (gn, gd) = scale.pick((600, 6.0), (1600, 6.0));
+    let w = planted_far(gn, gd, 0.2, 4, 7);
+    out.push(time_workload(
+        &format!("planted-far-greedy-n{gn}"),
+        &w.graph,
+        true,
+        reps,
+    ));
+
+    // Counting: clique embedded in a path (all triangles in one dense
+    // spot), then a dense-core skewed instance, then the large planted
+    // ε-far instance.
+    let (cn, cc) = scale.pick((1200, 40), (4000, 96));
+    out.push(time_workload(
+        &format!("clique-plus-path-n{cn}-c{cc}"),
+        &clique_plus_path(cn, cc),
+        false,
+        reps,
+    ));
+    let (dn, hubs) = scale.pick((1500, 6), (6000, 12));
+    let (_, w) = dense_core_workload(dn, hubs, 4, 7);
+    out.push(time_workload(
+        &format!("dense-core-n{dn}-h{hubs}"),
+        &w.graph,
+        false,
+        reps,
+    ));
+    let (pn, pd) = scale.pick((2000, 6.0), (20000, 8.0));
+    let w = planted_far(pn, pd, 0.2, 4, 7);
+    out.push(time_workload(
+        &format!("planted-far-n{pn}"),
+        &w.graph,
+        false,
+        reps,
+    ));
+    out
+}
+
+/// Writes timings to `<dir>/BENCH_kernels.json` (creating `dir` if
+/// needed) and returns the path. The JSON is a flat array of timing
+/// objects, hand-rolled like every other exporter in this repository.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_kernels_json(
+    dir: &std::path::Path,
+    timings: &[KernelTiming],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_kernels.json");
+    let body: Vec<String> = timings
+        .iter()
+        .map(|t| format!("  {}", t.to_json()))
+        .collect();
+    std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_a_workload_verifies_agreement() {
+        let w = planted_far(300, 6.0, 0.2, 4, 3);
+        let t = time_workload("test", &w.graph, true, 1);
+        assert_eq!(t.edges, w.graph.edge_count());
+        assert!(t.triangles > 0, "ε-far planted graphs have triangles");
+        assert!(t.greedy_removed.unwrap() > 0);
+        assert!(t.count_speedup() > 0.0);
+        assert!(t.greedy_speedup().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn kernels_json_is_well_formed() {
+        let w = planted_far(200, 6.0, 0.2, 4, 3);
+        let timings = vec![
+            time_workload("with-greedy", &w.graph, true, 1),
+            time_workload("without-greedy", &w.graph, false, 1),
+        ];
+        let dir = std::env::temp_dir().join(format!("triad-kernels-json-{}", std::process::id()));
+        let path = write_kernels_json(&dir, &timings).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_kernels.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"));
+        assert_eq!(text.matches("\"workload\"").count(), 2);
+        assert_eq!(text.matches("\"greedy_speedup\":null").count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -6,6 +6,7 @@
 //! paper-vs-measured comparison.
 //!
 //! * [`fit`] — log-log regression for scaling exponents,
+//! * [`kernels`] — naive-vs-kernel triangle timings (`BENCH_kernels.json`),
 //! * [`predict`] — the paper's bounds evaluated at concrete parameters,
 //! * [`report`] — protocol runs rendered as exportable [`triad_comm::CostReport`]s,
 //! * [`table`] — plain-text / Markdown report rendering,
@@ -15,6 +16,7 @@
 
 pub mod experiments;
 pub mod fit;
+pub mod kernels;
 pub mod predict;
 pub mod report;
 pub mod table;

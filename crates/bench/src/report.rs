@@ -150,29 +150,17 @@ pub fn run_protocol(
 }
 
 /// Builds a [`CostReport`] from a finished run, attaching the paper's
-/// predicted bound when the protocol has one.
+/// predicted bound when the protocol has one. The run's parameters
+/// arrive bundled as a [`ReportParams`] (the same struct the report
+/// embeds), not as a positional argument list.
 pub fn report_for_run(
-    protocol: &str,
-    generator: &str,
+    params: ReportParams,
     run: &ProtocolRun,
     transcript: &Transcript,
-    n: usize,
-    k: usize,
-    d: f64,
-    eps: f64,
-    seed: u64,
 ) -> CostReport {
-    let params = ReportParams {
-        protocol: protocol.to_string(),
-        generator: generator.to_string(),
-        n,
-        k,
-        d,
-        eps,
-        seed,
-    };
+    let (protocol, n, d, k) = (params.protocol.clone(), params.n, params.d, params.k);
     let report = CostReport::from_transcript(params, run.outcome_str(), run.stats, transcript);
-    match predict::for_protocol(protocol, n, d, k) {
+    match predict::for_protocol(&protocol, n, d, k) {
         Some(p) => report.with_predicted(p.formula, p.bits),
         None => report,
     }
@@ -205,17 +193,16 @@ pub fn run_report(
 ) -> Result<CostReport, ReportError> {
     let w = generate(generator, n, d, eps, k, seed)?;
     let run = run_protocol(protocol, &w, eps, seed)?;
-    Ok(report_for_run(
-        protocol,
-        generator,
-        &run,
-        &run.transcript,
+    let params = ReportParams {
+        protocol: protocol.to_string(),
+        generator: generator.to_string(),
         n,
         k,
-        w.d,
+        d: w.d,
         eps,
         seed,
-    ))
+    };
+    Ok(report_for_run(params, &run, &run.transcript))
 }
 
 /// The standard cost suite: every protocol on the planted workload at

@@ -8,8 +8,7 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use triad_comm::CostModel;
 use triad_graph::partition::Partition;
-use triad_graph::{distance, generators, io as gio, triangles, Graph};
-use triad_protocols::baseline::run_send_everything;
+use triad_graph::{distance, generators, io as gio, Graph};
 use triad_protocols::{
     ProtocolRun, SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester,
 };
@@ -40,7 +39,7 @@ pub fn gen(args: &ArgMap) -> Result<String, CliError> {
             generators::dense_core(n, hubs, &mut rng)?.graph().clone()
         }
         "mu" => {
-            if n % 3 != 0 {
+            if !n.is_multiple_of(3) {
                 return Err(CliError::Usage("--n must be divisible by 3 for mu".into()));
             }
             let gamma: f64 = args.parsed_or("gamma", 1.2)?;
@@ -129,7 +128,11 @@ pub fn info(args: &ArgMap) -> Result<String, CliError> {
     out.push_str(&format!("edges: {}\n", g.edge_count()));
     out.push_str(&format!("average degree: {:.3}\n", g.average_degree()));
     out.push_str(&format!("max degree: {}\n", g.max_degree()));
-    out.push_str(&format!("triangles: {}\n", triangles::count_triangles(&g)));
+    // Counted with the pool-parallel kernel: identical to the serial
+    // count at any `--threads` / `TRIAD_THREADS` setting.
+    let triangle_count =
+        triad_graph::kernels::count_triangles_par(&g, &triad_comm::pool::Pool::current());
+    out.push_str(&format!("triangles: {triangle_count}\n"));
     out.push_str(&format!(
         "distance to triangle-free: {} ≤ removals ≤ {}\n",
         bounds.lower, bounds.upper
@@ -372,15 +375,17 @@ pub fn report(args: &ArgMap) -> Result<String, CliError> {
         other => CliError::Usage(other.to_string()),
     })?;
     let cost = engine::report_for_run(
-        protocol,
-        generator,
+        triad_comm::ReportParams {
+            protocol: protocol.to_string(),
+            generator: generator.to_string(),
+            n,
+            k,
+            d: w.d,
+            eps,
+            seed,
+        },
         &run,
         &run.transcript,
-        n,
-        k,
-        w.d,
-        eps,
-        seed,
     );
     if let Some(path) = args.optional("transcript") {
         run.transcript

@@ -206,6 +206,23 @@ impl Default for Pool {
     }
 }
 
+/// A [`Pool`] is the production [`triad_graph::kernels::ParallelExecutor`]:
+/// the graph crate's parallel triangle kernels
+/// (`kernels::count_triangles_par`, `kernels::triangle_edges_par`) shard
+/// work over fixed edge ranges and reduce through this impl's
+/// [`Pool::ordered_map`], inheriting its thread-count-independence
+/// guarantee. (The trait lives in `triad-graph` because the crate
+/// dependency points this way round.)
+impl triad_graph::kernels::ParallelExecutor for Pool {
+    fn ordered_map_items<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.ordered_map(n, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -62,7 +62,7 @@ impl VertexProgram for TriangleCountProgram {
         shared: &SharedRandomness,
         out: &mut Outbox,
     ) -> Option<Triangle> {
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             // Probe round: issue one probe, and also harvest replies to
             // the previous iteration's probes (delivered this round).
             for (_, msg) in inbox {

@@ -55,7 +55,7 @@ impl VertexProgram for TriangleTester {
         shared: &SharedRandomness,
         out: &mut Outbox,
     ) -> Option<Triangle> {
-        if round % 2 == 0 {
+        if round.is_multiple_of(2) {
             // Probe round: draw two distinct random neighbors.
             if neighbors.len() >= 2 {
                 let iteration = (round / 2) as u64;

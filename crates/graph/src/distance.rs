@@ -10,6 +10,7 @@
 //! * an **upper bound**: the greedy hitting set obtained by deleting one
 //!   edge per remaining triangle.
 
+use crate::kernels::DeletionView;
 use crate::{triangles, Edge, Graph};
 use std::collections::HashSet;
 
@@ -54,25 +55,34 @@ pub fn distance_bounds(g: &Graph) -> DistanceBounds {
 }
 
 /// Greedy triangle hitting set: repeatedly finds a triangle and removes one
-/// of its edges until the graph is triangle-free. Returns the removed edges.
+/// of its edges until the graph is triangle-free. Returns the removed edges
+/// **in removal order** — a deterministic sequence, identical across
+/// process runs (the pre-kernel version leaked `HashSet` iteration
+/// order, violating the `docs/PARALLELISM.md` determinism contract).
+///
+/// Runs on a [`DeletionView`]: each removal flips tombstone bits instead
+/// of rebuilding the CSR graph, and the triangle scan resumes from the
+/// first edge that can still carry one (deletions never create
+/// triangles), so the whole loop costs one amortized pass over the edge
+/// set plus the intersections — not a rebuild per removed edge.
 pub fn greedy_hitting_removal(g: &Graph) -> Vec<Edge> {
-    let mut removed: HashSet<Edge> = HashSet::new();
-    let mut current = g.clone();
-    while let Some(t) = triangles::find_triangle(&current) {
+    let mut removed = Vec::new();
+    let mut view = DeletionView::new(g);
+    let mut cursor = 0;
+    while let Some(t) = view.find_triangle_from(&mut cursor) {
         // Remove the edge of the triangle whose endpoints have highest
         // combined degree — a cheap heuristic that tends to hit many
-        // triangles at once.
+        // triangles at once. (`max_by_key` keeps the *last* maximum, as
+        // the rebuild-based loop did — pinned by the differential suite.)
         let e = *t
             .edges()
             .iter()
-            .max_by_key(|e| current.degree(e.u()) + current.degree(e.v()))
+            .max_by_key(|e| view.degree(e.u()) + view.degree(e.v()))
             .expect("triangle has edges");
-        removed.insert(e);
-        let mut one = HashSet::new();
-        one.insert(e);
-        current = current.without_edges(&one);
+        view.delete_edge(e);
+        removed.push(e);
     }
-    removed.into_iter().collect()
+    removed
 }
 
 /// Returns `true` if `g` is *certifiably* ε-far from triangle-free: the
@@ -111,25 +121,50 @@ pub fn exact_distance(g: &Graph, max_edges: usize) -> usize {
     );
     // Upper bound from the greedy heuristic seeds the search.
     let mut best = greedy_hitting_removal(g).len();
-    let mut removed = HashSet::new();
-    branch(g, &mut removed, 0, &mut best);
+    let mut view = DeletionView::new(g);
+    let mut forbidden = HashSet::new();
+    branch(&mut view, &mut forbidden, 0, &mut best);
     best
 }
 
-fn branch(g: &Graph, removed: &mut HashSet<Edge>, depth: usize, best: &mut usize) {
+/// Branch-and-bound node: some edge of the first remaining triangle
+/// must be removed, so branch on its (non-forbidden) edges.
+///
+/// Two fixes over the pre-kernel version: the node works on a
+/// [`DeletionView`] (delete on descent, restore on backtrack — no graph
+/// rebuild per node), and branching uses the standard
+/// inclusion–exclusion discipline: after exploring "remove `eᵢ`", `eᵢ`
+/// is *forbidden* in the remaining branches of this node, so each
+/// removal **set** is explored once instead of once per permutation —
+/// the pre-kernel search was factorially larger for the same answer. A
+/// branch whose triangle consists only of forbidden edges is infeasible
+/// and is pruned.
+fn branch(
+    view: &mut DeletionView<'_>,
+    forbidden: &mut HashSet<Edge>,
+    depth: usize,
+    best: &mut usize,
+) {
     if depth >= *best {
         return; // cannot improve
     }
-    let current = g.without_edges(removed);
-    let Some(t) = triangles::find_triangle(&current) else {
+    let Some(t) = view.find_triangle() else {
         *best = depth; // triangle-free with `depth` removals
         return;
     };
-    // Some edge of every remaining triangle must go: branch on the three.
+    let mut locally_forbidden = Vec::new();
     for e in t.edges() {
-        removed.insert(e);
-        branch(g, removed, depth + 1, best);
-        removed.remove(&e);
+        if forbidden.contains(&e) {
+            continue;
+        }
+        view.delete_edge(e);
+        branch(view, forbidden, depth + 1, best);
+        view.restore_edge(e);
+        forbidden.insert(e);
+        locally_forbidden.push(e);
+    }
+    for e in locally_forbidden {
+        forbidden.remove(&e);
     }
 }
 
@@ -218,6 +253,103 @@ mod tests {
                 b.upper
             );
         }
+    }
+
+    #[test]
+    fn greedy_removal_sequence_is_identical_across_runs() {
+        // Regression: the pre-kernel implementation collected removals in
+        // a `HashSet` and returned its iteration order, which varies even
+        // within one process (per-instance `RandomState`). Two runs must
+        // now yield the same sequence, element for element.
+        use crate::generators::gnp;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..4 {
+            let g = gnp(24, 0.3, &mut rng);
+            let first = greedy_hitting_removal(&g);
+            let second = greedy_hitting_removal(&g);
+            assert_eq!(first, second, "removal order must be deterministic");
+        }
+    }
+
+    #[test]
+    fn exact_distance_matches_a_permutation_free_reference_on_small_graphs() {
+        // Brute force over all edge subsets, smallest first — the
+        // definitionally correct answer the pruned branch-and-bound must
+        // reproduce.
+        fn brute(g: &Graph) -> usize {
+            let edges = g.edges().to_vec();
+            for size in 0..=edges.len() {
+                let mut chosen = vec![false; edges.len()];
+                if subsets_of_size(g, &edges, &mut chosen, 0, size) {
+                    return size;
+                }
+            }
+            unreachable!("removing all edges always works");
+        }
+        fn subsets_of_size(
+            g: &Graph,
+            edges: &[Edge],
+            chosen: &mut Vec<bool>,
+            from: usize,
+            left: usize,
+        ) -> bool {
+            if left == 0 {
+                let rm: HashSet<Edge> = edges
+                    .iter()
+                    .zip(chosen.iter())
+                    .filter(|(_, c)| **c)
+                    .map(|(e, _)| *e)
+                    .collect();
+                return is_triangle_free(&g.without_edges(&rm));
+            }
+            if from + left > edges.len() {
+                return false;
+            }
+            for i in from..=edges.len() - left {
+                chosen[i] = true;
+                if subsets_of_size(g, edges, chosen, i + 1, left - 1) {
+                    chosen[i] = false;
+                    return true;
+                }
+                chosen[i] = false;
+            }
+            false
+        }
+
+        use crate::generators::gnp;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for trial in 0..6 {
+            let g = gnp(8, 0.4, &mut rng);
+            if g.edge_count() > 14 {
+                continue; // keep the brute force cheap
+            }
+            assert_eq!(
+                exact_distance(&g, 14),
+                brute(&g),
+                "trial {trial}: pruned search disagrees with brute force"
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "stress: K7 branch-and-bound; run with `cargo test -- --ignored`"]
+    fn exact_distance_k7_stress() {
+        // K7 has C(7,3) = 35 triangles. The exact distance of K_n is
+        // e(n) - ex(n; K3) where ex is the Turán number: for n = 7 that
+        // is 21 - 12 = 9. The forbidden-edge pruning stops the search
+        // from re-exploring permutations of the same removal set, which
+        // is what keeps this deep instance (optimum 9, so the search
+        // must also refute every depth-8 prefix) inside bounded time.
+        let mut edges = Vec::new();
+        for u in 0..7u32 {
+            for v in (u + 1)..7 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(7, edges);
+        assert_eq!(exact_distance(&g, 21), 9);
     }
 
     #[test]

@@ -83,12 +83,9 @@ impl Edge {
         if self == other {
             return None;
         }
-        for a in [self.u, self.v] {
-            if other.is_incident_to(a) {
-                return Some(a);
-            }
-        }
-        None
+        [self.u, self.v]
+            .into_iter()
+            .find(|&a| other.is_incident_to(a))
     }
 }
 

@@ -121,6 +121,26 @@ impl Graph {
         &self.adj[self.offsets[v.index()]..self.offsets[v.index() + 1]]
     }
 
+    /// Start of `v`'s slice in the flat CSR adjacency array; slot `i` of
+    /// `neighbors(v)` lives at flat index `adj_start(v) + i`. Used by the
+    /// tombstone overlays in [`crate::kernels`].
+    #[inline]
+    pub(crate) fn adj_start(&self, v: VertexId) -> usize {
+        self.offsets[v.index()]
+    }
+
+    /// Total number of CSR adjacency slots (`2m`).
+    #[inline]
+    pub(crate) fn adj_len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Position of `e` in the canonical sorted edge array, if present.
+    #[inline]
+    pub(crate) fn edge_index(&self, e: Edge) -> Option<usize> {
+        self.edges.binary_search(&e).ok()
+    }
+
     /// `O(log d)` membership test.
     pub fn has_edge(&self, e: Edge) -> bool {
         let (u, v) = e.endpoints();

@@ -1,0 +1,166 @@
+//! Fast triangle kernels: degree-ordered enumeration, incremental
+//! edge-deletion views, and pool-parallel counting.
+//!
+//! The naive triangle machinery in [`crate::triangles`] intersects the
+//! *full* adjacency lists of each edge's endpoints, which degrades to
+//! `Θ(m·Δ)` on skewed graphs, and the greedy distance loops in
+//! [`crate::distance`] used to rebuild the whole CSR graph after every
+//! single edge removal. This module is the engine that replaces both hot
+//! paths (see `docs/KERNELS.md`):
+//!
+//! * [`Forward`] — a degree-ordered *forward adjacency*: every edge is
+//!   oriented from its lower-rank endpoint to its higher-rank endpoint
+//!   (rank = position in the degree-ascending vertex order), and each
+//!   forward list is sorted by rank. Forward out-degrees are `O(√m)`,
+//!   so per-edge forward-list intersection gives genuinely `O(m^{3/2})`
+//!   [`find_triangle`], [`count_triangles`] and [`enumerate_triangles`].
+//! * [`DeletionView`] — a tombstone bitmap over a borrowed [`Graph`]:
+//!   edge deletion flips two bits (no rebuild, no re-sort), restoration
+//!   flips them back, and every query skips dead slots. The greedy
+//!   hitting/packing loops and the exact-distance branch-and-bound run
+//!   on views and never call [`Graph::without_edges`].
+//! * [`count_triangles_par`] / [`triangle_edges_par`] — the forward
+//!   kernel sharded over fixed-size edge ranges and mapped through any
+//!   [`ParallelExecutor`] (in practice `triad_comm::pool::Pool`, whose
+//!   `ordered_map` reduces shard results in index order). Shard
+//!   boundaries depend only on the edge count, and the reductions are
+//!   order-independent, so the output is byte-identical to the serial
+//!   kernel at any thread count — the `docs/PARALLELISM.md` contract.
+//! * [`naive`] — the pre-kernel reference implementations, kept as the
+//!   ground truth for the differential test suite
+//!   (`tests/kernels_differential.rs`) and the `BENCH_kernels.json`
+//!   naive-vs-kernel timings.
+
+mod forward;
+pub mod naive;
+mod par;
+mod view;
+
+pub use forward::Forward;
+pub use par::{count_triangles_par, triangle_edges_par, PAR_EDGE_CHUNK};
+pub use view::DeletionView;
+
+use crate::{Edge, Graph, Triangle, VertexId};
+
+/// Index-ordered parallel map, the only capability the parallel kernels
+/// need from an execution engine.
+///
+/// `triad-comm` implements this for its deterministic `pool::Pool` by
+/// delegating to `Pool::ordered_map` (the crate dependency points that
+/// way round, so the impl lives there). The contract is the one
+/// `docs/PARALLELISM.md` states for `ordered_map`: the returned vector
+/// holds `f(0), …, f(n-1)` in index order, regardless of how the calls
+/// were scheduled.
+pub trait ParallelExecutor {
+    /// Computes `f(0), …, f(n-1)` and returns the results in index order.
+    fn ordered_map_items<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync;
+}
+
+/// The inline, single-threaded executor: a plain loop. This *is* the
+/// serial reference path the parallel kernels are tested against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialExecutor;
+
+impl ParallelExecutor for SerialExecutor {
+    fn ordered_map_items<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Host-graph adjacency interface shared by [`Graph`] and
+/// [`DeletionView`], so subgraph search ([`crate::subgraphs`]) can run
+/// unchanged on a live view instead of a rebuilt graph.
+pub trait Adjacency {
+    /// Number of vertices in the host's id space.
+    fn vertex_count(&self) -> usize;
+    /// Current degree of `v` (live degree for views).
+    fn degree(&self, v: VertexId) -> usize;
+    /// Current sorted neighbors of `v`.
+    fn neighbor_list(&self, v: VertexId) -> Vec<VertexId>;
+    /// Whether `e` is currently present.
+    fn has_edge(&self, e: Edge) -> bool;
+}
+
+impl Adjacency for Graph {
+    fn vertex_count(&self) -> usize {
+        Graph::vertex_count(self)
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+    fn neighbor_list(&self, v: VertexId) -> Vec<VertexId> {
+        self.neighbors(v).to_vec()
+    }
+    fn has_edge(&self, e: Edge) -> bool {
+        Graph::has_edge(self, e)
+    }
+}
+
+/// Returns some triangle of `g`, or `None` if triangle-free, in
+/// `O(m^{3/2})` worst case via the forward kernel.
+///
+/// The witness is a deterministic function of the graph (the triangle
+/// whose base edge — the edge joining its two lowest-*rank* vertices —
+/// comes first in canonical edge order), but it is **not** the same
+/// witness the naive edge scan returns; callers that need a triangle,
+/// not a specific triangle, are unaffected.
+pub fn find_triangle(g: &Graph) -> Option<Triangle> {
+    Forward::build(g).find_triangle(g)
+}
+
+/// Counts triangles of `g` in `O(m^{3/2})` via the forward kernel.
+pub fn count_triangles(g: &Graph) -> u64 {
+    Forward::build(g).count_range(g, 0..g.edge_count())
+}
+
+/// Enumerates all triangles of `g`, each exactly once, in canonical
+/// (sorted) order, in `O(m^{3/2} + t)` via the forward kernel.
+pub fn enumerate_triangles(g: &Graph) -> Vec<Triangle> {
+    let mut out = Forward::build(g).enumerate_range(g, 0..g.edge_count());
+    out.sort_unstable();
+    out
+}
+
+/// All edges of `g` participating in at least one triangle, in canonical
+/// order — the serial instantiation of [`triangle_edges_par`].
+pub fn triangle_edges(g: &Graph) -> Vec<Edge> {
+    triangle_edges_par(g, &SerialExecutor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_executor_is_index_ordered() {
+        let got = SerialExecutor.ordered_map_items(5, |i| i * i);
+        assert_eq!(got, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn adjacency_impl_for_graph_matches_inherent_methods() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 2)]);
+        let a: &dyn Adjacency = &g;
+        assert_eq!(a.vertex_count(), 4);
+        assert_eq!(a.degree(VertexId(1)), 2);
+        assert_eq!(a.neighbor_list(VertexId(0)), g.neighbors(VertexId(0)));
+        assert!(a.has_edge(Edge::new(VertexId(2), VertexId(1))));
+    }
+
+    #[test]
+    fn kernel_entry_points_agree_with_naive_on_k4() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_triangles(&g), naive::count_triangles(&g));
+        assert_eq!(enumerate_triangles(&g), naive::enumerate_triangles(&g));
+        assert_eq!(triangle_edges(&g), naive::triangle_edges(&g));
+        let t = find_triangle(&g).expect("K4 has triangles");
+        assert!(t.exists_in(&g));
+    }
+}

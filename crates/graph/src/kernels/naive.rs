@@ -1,0 +1,145 @@
+//! The pre-kernel reference implementations, preserved verbatim.
+//!
+//! These are the merge-the-full-adjacency-lists and
+//! rebuild-the-graph-per-removal algorithms the kernel layer replaced.
+//! They stay in-tree for two reasons: the differential test suite
+//! (`tests/kernels_differential.rs`, plus the proptests in
+//! `tests/properties.rs`) pins every kernel against them on a seed ×
+//! generator × thread-count matrix, and the bench harness times them
+//! against the kernels for `BENCH_kernels.json`. Production callers
+//! should use [`crate::triangles`] / [`crate::distance`], which route
+//! through [`crate::kernels`].
+
+use crate::{Edge, Graph, Triangle, VertexId};
+use std::collections::HashSet;
+
+/// First common neighbor of `u` and `v` by full linear merge of both
+/// adjacency lists — `Θ(d_u + d_v)` even when one list is tiny.
+pub fn first_common_neighbor(g: &Graph, u: VertexId, v: VertexId) -> Option<VertexId> {
+    let (a, b) = (g.neighbors(u), g.neighbors(v));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return Some(a[i]),
+        }
+    }
+    None
+}
+
+/// First triangle in canonical edge order, closed at its smallest
+/// common neighbor.
+pub fn find_triangle(g: &Graph) -> Option<Triangle> {
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        if let Some(w) = first_common_neighbor(g, u, v) {
+            return Some(Triangle::new(u, v, w));
+        }
+    }
+    None
+}
+
+/// Per-edge full-merge triangle count.
+pub fn count_triangles(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        count += g.common_neighbors(u, v).iter().filter(|w| **w > v).count() as u64;
+    }
+    count
+}
+
+/// Per-edge full-merge triangle enumeration (canonical order).
+pub fn enumerate_triangles(g: &Graph) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        for w in g.common_neighbors(u, v) {
+            if w > v {
+                out.push(Triangle::new(u, v, w));
+            }
+        }
+    }
+    out
+}
+
+/// Per-edge full-merge triangle-edge filter (canonical order).
+pub fn triangle_edges(g: &Graph) -> Vec<Edge> {
+    g.edges()
+        .iter()
+        .copied()
+        .filter(|e| {
+            let (u, v) = e.endpoints();
+            first_common_neighbor(g, u, v).is_some()
+        })
+        .collect()
+}
+
+/// The rebuild-per-removal greedy hitting loop: find a triangle, remove
+/// its highest-degree-sum edge, rebuild the whole graph, repeat.
+/// Returns the removed edges in removal order (the original returned a
+/// `HashSet` in nondeterministic iteration order — that bug is fixed in
+/// [`crate::distance::greedy_hitting_removal`] and mirrored here so the
+/// two can be compared sequence-for-sequence).
+pub fn greedy_hitting_removal(g: &Graph) -> Vec<Edge> {
+    let mut removed = Vec::new();
+    let mut current = g.clone();
+    while let Some(t) = find_triangle(&current) {
+        let e = *t
+            .edges()
+            .iter()
+            .max_by_key(|e| current.degree(e.u()) + current.degree(e.v()))
+            .expect("triangle has edges");
+        removed.push(e);
+        let mut one = HashSet::new();
+        one.insert(e);
+        current = current.without_edges(&one);
+    }
+    removed
+}
+
+/// The `HashSet`-membership greedy edge-disjoint triangle packing.
+pub fn greedy_triangle_packing(g: &Graph) -> Vec<Triangle> {
+    let mut used: HashSet<Edge> = HashSet::new();
+    let mut packing = Vec::new();
+    for e in g.edges() {
+        if used.contains(e) {
+            continue;
+        }
+        let (u, v) = e.endpoints();
+        let mut found = None;
+        for w in g.common_neighbors(u, v) {
+            let e2 = Edge::new(u, w);
+            let e3 = Edge::new(v, w);
+            if !used.contains(&e2) && !used.contains(&e3) {
+                found = Some(w);
+                break;
+            }
+        }
+        if let Some(w) = found {
+            used.insert(*e);
+            used.insert(Edge::new(u, w));
+            used.insert(Edge::new(v, w));
+            packing.push(Triangle::new(u, v, w));
+        }
+    }
+    packing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_suite_agrees_with_itself_on_k4() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_triangles(&g), 4);
+        assert_eq!(enumerate_triangles(&g).len(), 4);
+        assert_eq!(triangle_edges(&g).len(), 6);
+        assert!(find_triangle(&g).unwrap().exists_in(&g));
+        assert_eq!(greedy_triangle_packing(&g).len(), 1);
+        let removed: HashSet<Edge> = greedy_hitting_removal(&g).into_iter().collect();
+        assert!(find_triangle(&g.without_edges(&removed)).is_none());
+    }
+}

@@ -1,0 +1,311 @@
+//! Incremental edge-deletion views over an immutable [`Graph`].
+//!
+//! [`Graph`] is CSR and immutable: the pre-kernel greedy loops therefore
+//! rebuilt (clone + re-sort) the entire graph after every single edge
+//! removal, an `O(m log m)` charge per removed edge. A [`DeletionView`]
+//! instead overlays two tombstone bitmaps on the borrowed CSR — one per
+//! adjacency slot, one per canonical edge — so deleting an edge flips
+//! two slot bits plus one edge bit (`O(log d)` to locate them, no
+//! allocation) and restoring it flips them back. All queries skip dead
+//! slots, and the scan order of live edges and live neighbors is
+//! exactly the order a rebuilt graph would expose, which is what makes
+//! the view-based greedy loops byte-compatible with the old
+//! rebuild-per-edge implementations (pinned by
+//! `tests/kernels_differential.rs`).
+
+use crate::kernels::Adjacency;
+use crate::{Edge, Graph, Triangle, VertexId};
+
+/// A borrowed graph plus tombstones: O(1)-ish edge deletion, no rebuild.
+#[derive(Debug, Clone)]
+pub struct DeletionView<'g> {
+    g: &'g Graph,
+    /// Liveness of each flat CSR adjacency slot.
+    slot_alive: Vec<bool>,
+    /// Liveness of each canonical edge (parallel to `g.edges()`).
+    edge_alive: Vec<bool>,
+    /// Live degree per vertex.
+    degrees: Vec<usize>,
+    /// Number of live edges.
+    live: usize,
+}
+
+impl<'g> DeletionView<'g> {
+    /// A view of `g` with every edge alive.
+    pub fn new(g: &'g Graph) -> Self {
+        DeletionView {
+            g,
+            slot_alive: vec![true; g.adj_len()],
+            edge_alive: vec![true; g.edge_count()],
+            degrees: g.vertices().map(|v| g.degree(v)).collect(),
+            live: g.edge_count(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Number of live edges.
+    pub fn live_edge_count(&self) -> usize {
+        self.live
+    }
+
+    /// Live degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.degrees[v.index()]
+    }
+
+    /// Whether `e` is present and not deleted.
+    pub fn is_alive(&self, e: Edge) -> bool {
+        self.g.edge_index(e).is_some_and(|i| self.edge_alive[i])
+    }
+
+    /// Flat CSR slot of `v → w`, if the underlying graph has the edge.
+    fn slot(&self, v: VertexId, w: VertexId) -> Option<usize> {
+        self.g
+            .neighbors(v)
+            .binary_search(&w)
+            .ok()
+            .map(|pos| self.g.adj_start(v) + pos)
+    }
+
+    /// Deletes `e`; returns `false` (and changes nothing) if `e` is
+    /// absent from the underlying graph or already dead.
+    pub fn delete_edge(&mut self, e: Edge) -> bool {
+        let Some(i) = self.g.edge_index(e) else {
+            return false;
+        };
+        if !self.edge_alive[i] {
+            return false;
+        }
+        let (u, v) = e.endpoints();
+        let su = self.slot(u, v).expect("edge present implies slot");
+        let sv = self.slot(v, u).expect("edge present implies slot");
+        self.edge_alive[i] = false;
+        self.slot_alive[su] = false;
+        self.slot_alive[sv] = false;
+        self.degrees[u.index()] -= 1;
+        self.degrees[v.index()] -= 1;
+        self.live -= 1;
+        true
+    }
+
+    /// Restores a previously deleted `e`; returns `false` if `e` is
+    /// absent from the underlying graph or already alive.
+    pub fn restore_edge(&mut self, e: Edge) -> bool {
+        let Some(i) = self.g.edge_index(e) else {
+            return false;
+        };
+        if self.edge_alive[i] {
+            return false;
+        }
+        let (u, v) = e.endpoints();
+        let su = self.slot(u, v).expect("edge present implies slot");
+        let sv = self.slot(v, u).expect("edge present implies slot");
+        self.edge_alive[i] = true;
+        self.slot_alive[su] = true;
+        self.slot_alive[sv] = true;
+        self.degrees[u.index()] += 1;
+        self.degrees[v.index()] += 1;
+        self.live += 1;
+        true
+    }
+
+    /// Deletes every live edge incident to `v`; returns how many died.
+    pub fn delete_incident(&mut self, v: VertexId) -> usize {
+        let doomed: Vec<Edge> = self.alive_neighbors(v).map(|w| Edge::new(v, w)).collect();
+        let mut killed = 0;
+        for e in doomed {
+            if self.delete_edge(e) {
+                killed += 1;
+            }
+        }
+        killed
+    }
+
+    /// Live neighbors of `v`, ascending (the order a rebuilt graph's
+    /// `neighbors` slice would have).
+    pub fn alive_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let base = self.g.adj_start(v);
+        self.g
+            .neighbors(v)
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| self.slot_alive[base + i])
+            .map(|(_, w)| *w)
+    }
+
+    /// Live edges in canonical order.
+    pub fn alive_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.g
+            .edges()
+            .iter()
+            .zip(&self.edge_alive)
+            .filter(|(_, alive)| **alive)
+            .map(|(e, _)| *e)
+    }
+
+    /// Smallest live common neighbor of `u` and `v` — the value the
+    /// naive `first_common_neighbor` would return on a rebuilt graph.
+    pub fn first_common_alive_neighbor(&self, u: VertexId, v: VertexId) -> Option<VertexId> {
+        let mut a = self.alive_neighbors(u).peekable();
+        let mut b = self.alive_neighbors(v).peekable();
+        while let (Some(x), Some(y)) = (a.peek().copied(), b.peek().copied()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => return Some(x),
+            }
+        }
+        None
+    }
+
+    /// First live triangle in canonical edge order (the triangle the
+    /// naive edge scan of a rebuilt graph would find), or `None`.
+    pub fn find_triangle(&self) -> Option<Triangle> {
+        let mut cursor = 0;
+        self.find_triangle_from(&mut cursor)
+    }
+
+    /// [`Self::find_triangle`] resuming from `*cursor` (an index into
+    /// the canonical edge array) and advancing it past edges that have
+    /// no live triangle.
+    ///
+    /// Deletions never create triangles, so once an edge has no live
+    /// common neighbor it never will again: a monotone greedy deletion
+    /// loop can carry the cursor across iterations and pay `O(1)`
+    /// amortized rescans instead of a full scan per removal. The edge a
+    /// triangle is found at is *not* skipped — it may sit in further
+    /// triangles after one of the other two edges is deleted.
+    pub fn find_triangle_from(&self, cursor: &mut usize) -> Option<Triangle> {
+        let edges = self.g.edges();
+        while *cursor < edges.len() {
+            let e = edges[*cursor];
+            if self.edge_alive[*cursor] {
+                let (u, v) = e.endpoints();
+                if let Some(w) = self.first_common_alive_neighbor(u, v) {
+                    return Some(Triangle::new(u, v, w));
+                }
+            }
+            *cursor += 1;
+        }
+        None
+    }
+
+    /// Materializes the live edges as a standalone [`Graph`] (the
+    /// rebuild the view exists to avoid — test/debug use only).
+    pub fn to_graph(&self) -> Graph {
+        let mut b = crate::GraphBuilder::new(self.g.vertex_count());
+        b.extend_edges(self.alive_edges());
+        b.build()
+    }
+}
+
+impl Adjacency for DeletionView<'_> {
+    fn vertex_count(&self) -> usize {
+        self.g.vertex_count()
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        DeletionView::degree(self, v)
+    }
+    fn neighbor_list(&self, v: VertexId) -> Vec<VertexId> {
+        self.alive_neighbors(v).collect()
+    }
+    fn has_edge(&self, e: Edge) -> bool {
+        self.is_alive(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn delete_and_restore_round_trip() {
+        let g = two_triangles();
+        let mut v = DeletionView::new(&g);
+        let e = Edge::new(VertexId(0), VertexId(1));
+        assert!(v.is_alive(e));
+        assert!(v.delete_edge(e));
+        assert!(!v.is_alive(e));
+        assert!(!v.delete_edge(e), "double delete is a no-op");
+        assert_eq!(v.degree(VertexId(0)), 1);
+        assert_eq!(v.live_edge_count(), 5);
+        assert!(v.restore_edge(e));
+        assert!(!v.restore_edge(e), "double restore is a no-op");
+        assert_eq!(v.to_graph(), g);
+    }
+
+    #[test]
+    fn missing_edges_are_rejected() {
+        let g = two_triangles();
+        let mut v = DeletionView::new(&g);
+        let missing = Edge::new(VertexId(0), VertexId(5));
+        assert!(!v.delete_edge(missing));
+        assert!(!v.restore_edge(missing));
+        assert!(!v.is_alive(missing));
+    }
+
+    #[test]
+    fn alive_neighbors_skip_tombstones_in_order() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let mut v = DeletionView::new(&g);
+        v.delete_edge(Edge::new(VertexId(0), VertexId(2)));
+        let nbrs: Vec<VertexId> = v.alive_neighbors(VertexId(0)).collect();
+        assert_eq!(nbrs, vec![VertexId(1), VertexId(3), VertexId(4)]);
+        assert_eq!(v.alive_edges().count(), 3);
+    }
+
+    #[test]
+    fn view_find_matches_rebuilt_graph_find() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (0, 3)]);
+        let mut v = DeletionView::new(&g);
+        let mut dead = std::collections::HashSet::new();
+        for e in [
+            Edge::new(VertexId(0), VertexId(1)),
+            Edge::new(VertexId(2), VertexId(3)),
+        ] {
+            v.delete_edge(e);
+            dead.insert(e);
+            let rebuilt = g.without_edges(&dead);
+            assert_eq!(
+                v.find_triangle(),
+                crate::kernels::naive::find_triangle(&rebuilt)
+            );
+            assert_eq!(v.to_graph(), rebuilt);
+        }
+    }
+
+    #[test]
+    fn cursor_resume_finds_the_same_triangles_as_full_scans() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (0, 3)]);
+        let mut v = DeletionView::new(&g);
+        let mut cursor = 0;
+        while let Some(t) = v.find_triangle_from(&mut cursor) {
+            assert_eq!(Some(t), v.find_triangle(), "resume must agree with rescan");
+            // Delete the lexicographically first edge of the triangle.
+            v.delete_edge(t.edges()[0]);
+        }
+        assert!(v.find_triangle().is_none());
+    }
+
+    #[test]
+    fn delete_incident_isolates_the_vertex() {
+        let g = two_triangles();
+        let mut v = DeletionView::new(&g);
+        assert_eq!(v.delete_incident(VertexId(4)), 2);
+        assert_eq!(v.degree(VertexId(4)), 0);
+        assert_eq!(v.live_edge_count(), 4);
+        assert_eq!(v.alive_neighbors(VertexId(4)).count(), 0);
+    }
+}

@@ -10,6 +10,9 @@
 //! * a compact immutable [`Graph`] representation with sorted adjacency,
 //! * triangle machinery: enumeration, counting, triangle-vees and
 //!   edge-disjoint triangle packings ([`triangles`]),
+//! * the fast kernels behind it: degree-ordered forward adjacency,
+//!   incremental edge-deletion views and pool-parallel counting
+//!   ([`kernels`]),
 //! * distance to triangle-freeness and ε-farness certification
 //!   ([`distance`]),
 //! * the degree-bucketing analysis of the paper's §3.2 ([`buckets`]),
@@ -45,6 +48,7 @@ pub mod buckets;
 pub mod distance;
 pub mod generators;
 pub mod io;
+pub mod kernels;
 pub mod partition;
 pub mod subgraphs;
 pub mod triangles;

@@ -8,6 +8,7 @@
 //! vertices — cliques and short cycles — which is the regime the
 //! distributed property-testing literature treats.
 
+use crate::kernels::{Adjacency, DeletionView};
 use crate::{Edge, Graph, GraphBuilder, VertexId};
 
 /// A small pattern graph with convenience constructors.
@@ -89,10 +90,18 @@ impl Pattern {
 /// Finds a (non-induced) copy of `h` in `g`: returns, for each pattern
 /// vertex `i`, the host vertex it maps to. `None` if `g` is `H`-free.
 pub fn find_copy(g: &Graph, h: &Pattern) -> Option<Vec<VertexId>> {
+    find_copy_in(g, h)
+}
+
+/// [`find_copy`] generalized over any [`Adjacency`] host — in particular
+/// a live [`DeletionView`], which is how [`greedy_copy_packing`] reuses
+/// the backtracking search without rebuilding the host graph after each
+/// packed copy.
+pub fn find_copy_in<A: Adjacency>(host: &A, h: &Pattern) -> Option<Vec<VertexId>> {
     let hp = h.graph();
     let order = matching_order(hp);
     let mut assignment: Vec<Option<VertexId>> = vec![None; hp.vertex_count()];
-    if backtrack(g, hp, &order, 0, &mut assignment) {
+    if backtrack(host, hp, &order, 0, &mut assignment) {
         Some(
             assignment
                 .into_iter()
@@ -113,19 +122,20 @@ pub fn is_free_of(g: &Graph, h: &Pattern) -> bool {
 /// removed before searching for the next). The packing size lower-bounds
 /// the number of *edge* removals needed to make `g` `H`-free, since the
 /// copies are a fortiori edge-disjoint.
+///
+/// Runs on a [`DeletionView`]: after each packed copy, every live edge
+/// incident to its host vertices is tombstoned ([`DeletionView::delete_incident`])
+/// and the search continues on the same view — the pre-kernel version
+/// rebuilt the host graph from scratch per copy. A view with those edges
+/// dead exposes exactly the adjacency a rebuilt graph would, so the
+/// packing is unchanged.
 pub fn greedy_copy_packing(g: &Graph, h: &Pattern) -> Vec<Vec<VertexId>> {
-    let mut current = g.clone();
+    let mut view = DeletionView::new(g);
     let mut out = Vec::new();
-    while let Some(copy) = find_copy(&current, h) {
-        // Remove all edges incident to the copy's host vertices.
-        let hosts: std::collections::HashSet<VertexId> = copy.iter().copied().collect();
-        let remove: std::collections::HashSet<Edge> = current
-            .edges()
-            .iter()
-            .copied()
-            .filter(|e| hosts.contains(&e.u()) || hosts.contains(&e.v()))
-            .collect();
-        current = current.without_edges(&remove);
+    while let Some(copy) = find_copy_in(&view, h) {
+        for v in &copy {
+            view.delete_incident(*v);
+        }
         out.push(copy);
     }
     out
@@ -160,8 +170,8 @@ fn matching_order(hp: &Graph) -> Vec<VertexId> {
     order
 }
 
-fn backtrack(
-    g: &Graph,
+fn backtrack<A: Adjacency>(
+    g: &A,
     hp: &Graph,
     order: &[VertexId],
     depth: usize,
@@ -179,14 +189,14 @@ fn backtrack(
         .iter()
         .find_map(|u| assignment[u.index()].map(|host| (*u, host)));
     let candidates: Vec<VertexId> = match anchored {
-        Some((_, host)) => g.neighbors(host).to_vec(),
-        None => g.vertices().collect(),
+        Some((_, host)) => g.neighbor_list(host),
+        None => (0..g.vertex_count() as u32).map(VertexId).collect(),
     };
     'cand: for cand in candidates {
         if g.degree(cand) < needed_degree {
             continue;
         }
-        if assignment.iter().any(|a| *a == Some(cand)) {
+        if assignment.contains(&Some(cand)) {
             continue;
         }
         // Every placed pattern-neighbor must be a host-neighbor.
@@ -311,6 +321,48 @@ mod tests {
         let packing = greedy_copy_packing(&g, &Pattern::cycle(4));
         assert_eq!(packing.len(), 2);
         assert!(greedy_copy_packing(&g, &Pattern::clique(3)).is_empty());
+    }
+
+    #[test]
+    fn view_based_packing_matches_a_rebuild_based_reference() {
+        // The pre-kernel packing rebuilt the host graph after every
+        // packed copy; the view-based loop must produce the identical
+        // sequence of copies.
+        fn rebuild_packing(g: &Graph, h: &Pattern) -> Vec<Vec<VertexId>> {
+            let mut current = g.clone();
+            let mut out = Vec::new();
+            while let Some(copy) = find_copy(&current, h) {
+                let hosts: std::collections::HashSet<VertexId> = copy.iter().copied().collect();
+                let remove: std::collections::HashSet<Edge> = current
+                    .edges()
+                    .iter()
+                    .copied()
+                    .filter(|e| hosts.contains(&e.u()) || hosts.contains(&e.v()))
+                    .collect();
+                current = current.without_edges(&remove);
+                out.push(copy);
+            }
+            out
+        }
+        use crate::generators::gnp;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..4 {
+            let g = gnp(18, 0.35, &mut rng);
+            for h in [Pattern::triangle(), Pattern::cycle(4), Pattern::clique(4)] {
+                assert_eq!(greedy_copy_packing(&g, &h), rebuild_packing(&g, &h));
+            }
+        }
+    }
+
+    #[test]
+    fn find_copy_in_agrees_between_graph_and_fresh_view() {
+        use crate::kernels::DeletionView;
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let view = DeletionView::new(&g);
+        for h in [Pattern::triangle(), Pattern::cycle(4)] {
+            assert_eq!(find_copy(&g, &h), find_copy_in(&view, &h));
+        }
     }
 
     #[test]

@@ -29,12 +29,7 @@ use triad_comm::{CommStats, SharedRandomness};
 use triad_graph::generators::{MuInstance, TripartiteMu};
 use triad_graph::{triangles, Edge, GraphBuilder, VertexId};
 
-fn sketch_of<'a>(
-    edges: &'a [Edge],
-    budget: usize,
-    shared: &SharedRandomness,
-    tag: u64,
-) -> Vec<Edge> {
+fn sketch_of(edges: &[Edge], budget: usize, shared: &SharedRandomness, tag: u64) -> Vec<Edge> {
     if edges.len() <= budget {
         return edges.to_vec();
     }

@@ -29,7 +29,9 @@ use triad_graph::partition::Partition;
 use triad_graph::{triangles, Graph, GraphBuilder, Triangle};
 
 /// The referee of every §3.4 protocol: union all posted edges and look
-/// for a triangle in the exposed subgraph.
+/// for a triangle in the exposed subgraph. The search runs on the
+/// `O(m^{3/2})` forward kernel (`triad_graph::kernels`), so referee time
+/// is sublinear in the naive `Θ(m·Δ)` even for skewed exposed subgraphs.
 pub(crate) fn referee_find_triangle(n: usize, messages: &[SimMessage]) -> Option<Triangle> {
     let mut b = GraphBuilder::new(n);
     for m in messages {

@@ -1,0 +1,174 @@
+//! Differential conformance for the triangle kernel layer.
+//!
+//! Every fast path in `triad::graph::kernels` is pinned against the
+//! preserved pre-kernel reference implementations
+//! (`triad::graph::kernels::naive`) on a seed × generator matrix, and
+//! the parallel kernels additionally across a thread-count matrix
+//! (1, 2, 8 — plus whatever `TRIAD_THREADS` says when CI runs the
+//! thread matrix). The contract (docs/KERNELS.md, docs/PARALLELISM.md):
+//!
+//! * counts, enumerations and triangle-edge filters are equal to the
+//!   naive implementations, bit for bit, at any thread count;
+//! * the view-based greedy loops (`distance::greedy_hitting_removal`,
+//!   `triangles::greedy_triangle_packing`) produce the *same sequences*
+//!   as the rebuild-per-removal loops they replaced;
+//! * two runs of the greedy removal yield the identical `Vec` — the
+//!   `HashSet`-iteration-order nondeterminism is gone;
+//! * `distance::exact_distance` (forbidden-set pruned, view-backed) is
+//!   unchanged on small instances.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use triad::comm::pool::Pool;
+use triad::graph::generators::{far_graph, gnp, TripartiteMu};
+use triad::graph::kernels::{self, naive, DeletionView};
+use triad::graph::{distance, triangles, Graph};
+
+const SEEDS: [u64; 4] = [1, 7, 42, 1000003];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// The generator matrix: one small instance per (kind, seed).
+fn workloads(seed: u64) -> Vec<(String, Graph)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    out.push((format!("gnp-sparse-{seed}"), gnp(120, 0.03, &mut rng)));
+    out.push((format!("gnp-dense-{seed}"), gnp(48, 0.25, &mut rng)));
+    out.push((
+        format!("planted-far-{seed}"),
+        far_graph(160, 6.0, 0.2, &mut rng).expect("far_graph parameters are valid"),
+    ));
+    out.push((
+        format!("tripartite-{seed}"),
+        TripartiteMu::new(24, 1.0).sample(&mut rng).graph().clone(),
+    ));
+    out
+}
+
+#[test]
+fn kernel_counts_and_enumerations_match_naive() {
+    for seed in SEEDS {
+        for (name, g) in workloads(seed) {
+            assert_eq!(
+                kernels::count_triangles(&g),
+                naive::count_triangles(&g),
+                "{name}: count"
+            );
+            assert_eq!(
+                kernels::enumerate_triangles(&g),
+                naive::enumerate_triangles(&g),
+                "{name}: enumeration"
+            );
+            assert_eq!(
+                kernels::triangle_edges(&g),
+                naive::triangle_edges(&g),
+                "{name}: triangle edges"
+            );
+            // Witnesses may differ between kernel and naive scan, but
+            // both must agree on existence and be real triangles.
+            match (kernels::find_triangle(&g), naive::find_triangle(&g)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert!(a.exists_in(&g), "{name}: kernel witness invalid");
+                    assert!(b.exists_in(&g), "{name}: naive witness invalid");
+                }
+                (a, b) => panic!("{name}: existence disagreement {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_kernels_are_thread_count_independent() {
+    for seed in SEEDS {
+        for (name, g) in workloads(seed) {
+            let count = naive::count_triangles(&g);
+            let edges = naive::triangle_edges(&g);
+            for threads in THREADS {
+                let pool = Pool::new(threads);
+                assert_eq!(
+                    kernels::count_triangles_par(&g, &pool),
+                    count,
+                    "{name} @ {threads} threads: count"
+                );
+                assert_eq!(
+                    kernels::triangle_edges_par(&g, &pool),
+                    edges,
+                    "{name} @ {threads} threads: triangle edges"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn view_based_greedy_removal_matches_the_rebuild_loop_sequence_for_sequence() {
+    for seed in SEEDS {
+        for (name, g) in workloads(seed) {
+            let fast = distance::greedy_hitting_removal(&g);
+            let slow = naive::greedy_hitting_removal(&g);
+            assert_eq!(fast, slow, "{name}: removal sequences differ");
+        }
+    }
+}
+
+#[test]
+fn greedy_removal_is_deterministic_across_runs() {
+    for seed in SEEDS {
+        for (name, g) in workloads(seed) {
+            let a = distance::greedy_hitting_removal(&g);
+            let b = distance::greedy_hitting_removal(&g);
+            assert_eq!(a, b, "{name}: two runs disagreed");
+        }
+    }
+}
+
+#[test]
+fn view_removal_leaves_the_graph_triangle_free() {
+    for seed in SEEDS {
+        for (name, g) in workloads(seed) {
+            let removed: std::collections::HashSet<_> =
+                distance::greedy_hitting_removal(&g).into_iter().collect();
+            let stripped = g.without_edges(&removed);
+            assert!(
+                !triangles::contains_triangle(&stripped),
+                "{name}: triangles survive the hitting set"
+            );
+            // The same holds when checked on the view itself, without a
+            // rebuild.
+            let mut view = DeletionView::new(&g);
+            for e in &removed {
+                assert!(view.delete_edge(*e), "{name}: removal not a live edge");
+            }
+            assert!(view.find_triangle().is_none(), "{name}: live triangle left");
+        }
+    }
+}
+
+#[test]
+fn view_based_packing_matches_the_hashset_loop() {
+    for seed in SEEDS {
+        for (name, g) in workloads(seed) {
+            assert_eq!(
+                triangles::greedy_triangle_packing(&g),
+                naive::greedy_triangle_packing(&g),
+                "{name}: packings differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_distance_is_unchanged_on_small_instances() {
+    for seed in SEEDS {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let g = gnp(12, 0.3, &mut rng);
+            if g.edge_count() > 30 {
+                continue;
+            }
+            let exact = distance::exact_distance(&g, 30);
+            let bounds = distance::distance_bounds(&g);
+            assert!(bounds.lower <= exact && exact <= bounds.upper);
+        }
+    }
+}

@@ -46,7 +46,8 @@ fn completeness_matrix_on_far_workloads() {
         );
         let d = g.average_degree();
         for (pname, parts) in partitions(&g, &mut rng) {
-            let testers: Vec<(&str, Box<dyn Fn(u64) -> bool>)> = vec![
+            type SeededTester<'a> = Box<dyn Fn(u64) -> bool + 'a>;
+            let testers: Vec<(&str, SeededTester)> = vec![
                 (
                     "unrestricted",
                     Box::new(|s| {

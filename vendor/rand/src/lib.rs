@@ -5,6 +5,8 @@
 //! [`seq::SliceRandom::shuffle`] — with the same semantics as upstream
 //! `rand 0.8` for that subset. See `vendor/README.md` for scope and caveats.
 
+// Vendored shim: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 

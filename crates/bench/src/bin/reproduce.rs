@@ -13,11 +13,14 @@
 //! standard cost suite as `DIR/BENCH_costs.json` (the schema of
 //! `docs/OBSERVABILITY.md`), diffable across revisions, plus the
 //! naive-vs-kernel triangle timings as `DIR/BENCH_kernels.json`
-//! (wall-clock, machine-dependent — see `docs/KERNELS.md`).
+//! (wall-clock, machine-dependent — see `docs/KERNELS.md`), plus the
+//! amplified-sweep recorder/prepared-input timings as
+//! `DIR/BENCH_runtime.json` (see `docs/RUNTIME.md`).
 
 use triad_bench::experiments::{all, Scale};
 use triad_bench::kernels::{kernel_suite, write_kernels_json};
 use triad_bench::report::{standard_suite, write_bench_json};
+use triad_bench::runtime::{runtime_suite, write_runtime_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -84,6 +87,14 @@ fn main() {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("failed to write BENCH_kernels.json to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let sweeps = runtime_suite(scale);
+        match write_runtime_json(std::path::Path::new(&dir), &sweeps) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_runtime.json to {dir}: {e}");
                 std::process::exit(1);
             }
         }

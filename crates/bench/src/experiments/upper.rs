@@ -5,8 +5,10 @@ use crate::fit::fit_power_law;
 use crate::table::{f, Report};
 use crate::workloads::{mean_over_seeds, planted_far};
 use triad_comm::pool::Pool;
-use triad_comm::{CostModel, Runtime, SharedRandomness};
-use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
+use triad_comm::{CostModel, Runtime, SharedRandomness, Tally};
+use triad_protocols::{
+    PreparedInput, SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester,
+};
 
 const EPS: f64 = 0.2;
 
@@ -48,16 +50,19 @@ pub fn e1_unrestricted(scale: Scale) -> Report {
     let mut edge_bits = Vec::new();
     for &n in ns {
         let w = planted_far(n, d, EPS, k, 7);
+        let input = PreparedInput::new(&w.graph, &w.partition).expect("planted workload is valid");
         let (totals, edges, found) = trial_sums(trials, |seed| {
-            let mut rt = Runtime::local(
+            // Prepared players + counters-only Tally: seeds only re-roll
+            // randomness, and the label query needs no event log.
+            let mut rt = Runtime::<Tally>::prepared_with(
                 n,
-                w.partition.shares(),
+                input.shared_players(),
                 SharedRandomness::new(seed),
                 CostModel::Coordinator,
             );
             let hit = tester.run_on(&mut rt).found_triangle();
-            let edge_bits = rt.transcript().bits_for_label("incident_sampled")
-                + rt.transcript().bits_for_label("close_triangle");
+            let edge_bits = rt.recorder().bits_for_label("incident_sampled")
+                + rt.recorder().bits_for_label("close_triangle");
             (rt.stats().total_bits, edge_bits, hit)
         });
         let mean_total = totals as f64 / trials as f64;
@@ -85,12 +90,9 @@ pub fn e1_unrestricted(scale: Scale) -> Report {
     let mut bits = Vec::new();
     for k in [3usize, 6, 12, 24] {
         let w = planted_far(n, d, EPS, k, 9);
+        let input = PreparedInput::new(&w.graph, &w.partition).expect("planted workload is valid");
         let mean = mean_over_seeds(trials, |s| {
-            tester
-                .run(&w.graph, &w.partition, s)
-                .unwrap()
-                .stats
-                .total_bits
+            tester.run_prepared_tally(&input, s).stats.total_bits
         });
         ks.push(k as f64);
         bits.push(mean);
@@ -120,9 +122,10 @@ pub fn e2_sim_low(scale: Scale) -> Report {
     let mut ys = Vec::new();
     for &n in ns {
         let w = planted_far(n, d, EPS, k, 3);
+        let input = PreparedInput::new(&w.graph, &w.partition).expect("planted workload is valid");
         let tester = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
         let (totals, maxes, found) = trial_sums(trials, |seed| {
-            let run = tester.run(&w.graph, &w.partition, seed).unwrap();
+            let run = tester.run_prepared_tally(&input, seed).unwrap();
             (
                 run.stats.total_bits,
                 run.stats.max_player_sent_bits,
@@ -166,9 +169,10 @@ pub fn e3_sim_high(scale: Scale) -> Report {
     for &c in exps {
         let d = (n as f64).powf(c);
         let w = planted_far(n, d, EPS, k, 5);
+        let input = PreparedInput::new(&w.graph, &w.partition).expect("planted workload is valid");
         let tester = SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: w.d });
         let (totals, _, found) = trial_sums(trials, |seed| {
-            let run = tester.run(&w.graph, &w.partition, seed).unwrap();
+            let run = tester.run_prepared_tally(&input, seed).unwrap();
             (run.stats.total_bits, 0, run.outcome.found_triangle())
         });
         let mean = totals as f64 / trials as f64;
@@ -228,15 +232,16 @@ pub fn e4_oblivious(scale: Scale) -> Report {
         };
         let aware = SimultaneousTester::new(tuning, aware_kind);
         let obl = SimultaneousTester::new(tuning, SimProtocolKind::Oblivious);
+        let input = PreparedInput::new(&w.graph, &w.partition).expect("planted workload is valid");
         let aware_bits = mean_over_seeds(trials, |s| {
             aware
-                .run(&w.graph, &w.partition, s)
+                .run_prepared_tally(&input, s)
                 .unwrap()
                 .stats
                 .total_bits
         });
         let (obl_bits, _, found) = trial_sums(trials, |seed| {
-            let run = obl.run(&w.graph, &w.partition, seed).unwrap();
+            let run = obl.run_prepared_tally(&input, seed).unwrap();
             (run.stats.total_bits, 0, run.outcome.found_triangle())
         });
         let obl_mean = obl_bits as f64 / trials as f64;

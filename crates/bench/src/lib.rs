@@ -8,6 +8,8 @@
 //! * [`fit`] — log-log regression for scaling exponents,
 //! * [`kernels`] — naive-vs-kernel triangle timings (`BENCH_kernels.json`),
 //! * [`predict`] — the paper's bounds evaluated at concrete parameters,
+//! * [`runtime`] — amplified-sweep recorder/prepared-input timings
+//!   (`BENCH_runtime.json`),
 //! * [`report`] — protocol runs rendered as exportable [`triad_comm::CostReport`]s,
 //! * [`table`] — plain-text / Markdown report rendering,
 //! * [`workloads`] — the standard input families at given `(n, d, k)`,
@@ -19,5 +21,6 @@ pub mod fit;
 pub mod kernels;
 pub mod predict;
 pub mod report;
+pub mod runtime;
 pub mod table;
 pub mod workloads;

@@ -1,0 +1,432 @@
+//! Amplified-sweep runtime microbench — the `BENCH_runtime.json` export.
+//!
+//! Times three implementations of the same amplified sweep (all
+//! repetitions of a one-sided tester on a triangle-free input, so no
+//! early exit shortens any path):
+//!
+//! * **naive** — the pre-recorder execution model, reconstructed
+//!   faithfully: every repetition re-validates the shares, rebuilds the
+//!   per-player states, detaches every message payload into an owned
+//!   clone, and logs a full [`Transcript`] that is absorbed into the
+//!   merged event log;
+//! * **full** — the current full-transcript path over a
+//!   [`PreparedInput`] (players built once, payloads borrowed);
+//! * **tally** — the fast path: prepared input plus the zero-allocation
+//!   [`Tally`] recorder.
+//!
+//! Outcomes and total bit counts are asserted equal across all three
+//! while timing, so a speedup can never be reported for a path that
+//! silently changed the cost accounting. Like `BENCH_kernels.json` the
+//! numbers are wall-clock and machine-dependent — not byte-diffable;
+//! reference numbers live in EXPERIMENTS.md. See `docs/RUNTIME.md` for
+//! the recorder and prepared-input design.
+
+use crate::experiments::Scale;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+use triad_comm::pool::Pool;
+use triad_comm::{
+    run_simultaneous_prepared, CommStats, PlayerState, Recorder, SharedRandomness, SimMessage,
+    SimultaneousProtocol, Tally, Transcript,
+};
+use triad_graph::partition::{random_disjoint, Partition};
+use triad_graph::{Graph, GraphBuilder, Triangle};
+use triad_protocols::amplify::{
+    rep_seed, run_amplified_prepared, run_amplified_with, PreparedInput,
+};
+use triad_protocols::baseline::SendEverything;
+use triad_protocols::simultaneous::{AlgHigh, AlgLow};
+use triad_protocols::{TestOutcome, Tuning, UnrestrictedTester};
+
+/// Wraps a simultaneous protocol so every message payload is detached
+/// into an owned clone — reconstructing the pre-`Cow` allocation
+/// behavior for the naive reference path.
+struct OwnedMessages<'p, P>(&'p P);
+
+impl<P: SimultaneousProtocol> SimultaneousProtocol for OwnedMessages<'_, P> {
+    type Output = P::Output;
+
+    fn message<'a>(&self, player: &'a PlayerState, shared: &SharedRandomness) -> SimMessage<'a> {
+        self.0.message(player, shared).into_owned()
+    }
+
+    fn referee(
+        &self,
+        n: usize,
+        messages: &[SimMessage],
+        shared: &SharedRandomness,
+    ) -> Self::Output {
+        self.0.referee(n, messages, shared)
+    }
+}
+
+/// One protocol's measured sweep timings (milliseconds).
+#[derive(Debug, Clone)]
+pub struct RuntimeTiming {
+    /// Protocol under amplification.
+    pub protocol: String,
+    /// Vertex count of the (triangle-free) input.
+    pub vertices: usize,
+    /// Edge count of the input.
+    pub edges: usize,
+    /// Number of players.
+    pub players: usize,
+    /// Amplification repetitions (all executed: the input is
+    /// triangle-free, so the sweep never exits early).
+    pub repetitions: u32,
+    /// Pre-recorder execution model: per-rep validate + player rebuild +
+    /// owned payload clones + full transcript, milliseconds.
+    pub naive_ms: f64,
+    /// Current full-transcript path over a prepared input, milliseconds.
+    pub full_ms: f64,
+    /// Prepared input + `Tally` fast path, milliseconds.
+    pub tally_ms: f64,
+    /// Total bits of the sweep (agreed on by every path timed here).
+    pub total_bits: u64,
+}
+
+impl RuntimeTiming {
+    /// Naive sweep time divided by tally fast-path time — the headline
+    /// `≥5×` number of the amplified-sweep microbench.
+    pub fn speedup(&self) -> f64 {
+        self.naive_ms / self.tally_ms.max(1e-9)
+    }
+
+    /// Full-transcript-on-prepared-input time divided by tally time —
+    /// what the recorder choice alone buys.
+    pub fn recorder_speedup(&self) -> f64 {
+        self.full_ms / self.tally_ms.max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"protocol\":\"{}\",", self.protocol));
+        s.push_str(&format!("\"vertices\":{},", self.vertices));
+        s.push_str(&format!("\"edges\":{},", self.edges));
+        s.push_str(&format!("\"players\":{},", self.players));
+        s.push_str(&format!("\"repetitions\":{},", self.repetitions));
+        s.push_str(&format!("\"naive_ms\":{:.3},", self.naive_ms));
+        s.push_str(&format!("\"full_ms\":{:.3},", self.full_ms));
+        s.push_str(&format!("\"tally_ms\":{:.3},", self.tally_ms));
+        s.push_str(&format!("\"total_bits\":{},", self.total_bits));
+        s.push_str(&format!("\"speedup\":{:.3},", self.speedup()));
+        s.push_str(&format!(
+            "\"recorder_speedup\":{:.3}",
+            self.recorder_speedup()
+        ));
+        s.push('}');
+        s
+    }
+}
+
+/// Best-of-`reps` wall-clock time of `f`, in milliseconds, with the
+/// (identical across reps) result of the final run.
+fn time_best<T: PartialEq + std::fmt::Debug, F: FnMut() -> T>(reps: usize, mut f: F) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        if let Some(prev) = &result {
+            assert!(prev == &r, "timed sweep is not deterministic");
+        }
+        result = Some(r);
+    }
+    (best, result.expect("at least one rep ran"))
+}
+
+/// A deterministic triangle-free (bipartite) workload: `n/2 · d/2`
+/// random cross edges, randomly partitioned across `k` players.
+fn bipartite_workload(n: usize, d: f64, k: usize, seed: u64) -> (Graph, Partition) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let half = (n / 2) as u32;
+    let target = (n as f64 * d / 2.0) as usize;
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..target {
+        let u = rng.gen_range(0..half);
+        let v = rng.gen_range(half..n as u32);
+        b.add_edge(triad_graph::Edge::new(
+            triad_graph::VertexId(u),
+            triad_graph::VertexId(v),
+        ));
+    }
+    let g = b.build();
+    let partition = random_disjoint(&g, k, &mut rng);
+    (g, partition)
+}
+
+/// The naive sweep: everything the pre-recorder path paid per
+/// repetition, reconstructed with today's public APIs.
+fn naive_sweep<P: SimultaneousProtocol<Output = Option<Triangle>>>(
+    protocol: &P,
+    g: &Graph,
+    partition: &Partition,
+    reps: u32,
+    base_seed: u64,
+) -> (Option<Triangle>, CommStats, u64) {
+    let wrapped = OwnedMessages(protocol);
+    let mut stats = CommStats::default();
+    let mut transcript = Transcript::new(partition.players());
+    for r in 0..reps {
+        // Per-rep validation + player construction, as every per-run
+        // entry point performed before PreparedInput existed.
+        let input = PreparedInput::new(g, partition).expect("valid workload");
+        let run = run_simultaneous_prepared::<_, Transcript>(
+            &wrapped,
+            input.n(),
+            input.players(),
+            SharedRandomness::new(rep_seed(base_seed, r)),
+        );
+        stats = stats.merged(run.stats);
+        transcript.absorb(&run.transcript);
+        if let Some(t) = run.output {
+            return (Some(t), stats, transcript.total_bits().get());
+        }
+    }
+    (None, stats, transcript.total_bits().get())
+}
+
+/// The recorder-generic prepared sweep: players built once, repetitions
+/// re-roll only the randomness.
+fn prepared_sweep<P, R>(
+    protocol: &P,
+    input: &PreparedInput<'_>,
+    reps: u32,
+    base_seed: u64,
+) -> (Option<Triangle>, CommStats, u64)
+where
+    P: SimultaneousProtocol<Output = Option<Triangle>>,
+    R: Recorder,
+{
+    let mut stats = CommStats::default();
+    let mut recorder = R::with_players(input.k());
+    for r in 0..reps {
+        let run = run_simultaneous_prepared::<_, R>(
+            protocol,
+            input.n(),
+            input.players(),
+            SharedRandomness::new(rep_seed(base_seed, r)),
+        );
+        stats = stats.merged(run.stats);
+        recorder.absorb(&run.transcript);
+        if let Some(t) = run.output {
+            return (Some(t), stats, recorder.total_bits().get());
+        }
+    }
+    (None, stats, recorder.total_bits().get())
+}
+
+/// Times one protocol's amplified sweep on all three paths, asserting
+/// verdicts and bit totals agree.
+///
+/// # Panics
+///
+/// Panics if any path disagrees on the outcome or the total bits — a
+/// cost-accounting bug, not a measurement problem.
+pub fn time_sweep<P: SimultaneousProtocol<Output = Option<Triangle>>>(
+    name: &str,
+    protocol: &P,
+    g: &Graph,
+    partition: &Partition,
+    reps: u32,
+    timing_reps: usize,
+    base_seed: u64,
+) -> RuntimeTiming {
+    let input = PreparedInput::new(g, partition).expect("valid workload");
+    let (naive_ms, naive) = time_best(timing_reps, || {
+        naive_sweep(protocol, g, partition, reps, base_seed)
+    });
+    let (full_ms, full) = time_best(timing_reps, || {
+        prepared_sweep::<_, Transcript>(protocol, &input, reps, base_seed)
+    });
+    let (tally_ms, tally) = time_best(timing_reps, || {
+        prepared_sweep::<_, Tally>(protocol, &input, reps, base_seed)
+    });
+    assert_eq!(full.0, naive.0, "{name}: outcome diverged (full)");
+    assert_eq!(tally.0, naive.0, "{name}: outcome diverged (tally)");
+    assert_eq!(full.1, naive.1, "{name}: stats diverged (full)");
+    assert_eq!(tally.1, naive.1, "{name}: stats diverged (tally)");
+    assert_eq!(tally.2, naive.2, "{name}: total bits diverged");
+    RuntimeTiming {
+        protocol: name.to_string(),
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        players: partition.players(),
+        repetitions: reps,
+        naive_ms,
+        full_ms,
+        tally_ms,
+        total_bits: naive.2,
+    }
+}
+
+/// Times the unrestricted (interactive) tester's amplified sweep.
+///
+/// The naive path here is the literal pre-`PreparedInput` entry point —
+/// [`run_amplified_with`] re-validates and rebuilds the players every
+/// repetition and logs full transcripts; `full` is prepared players with
+/// a [`Transcript`]; `tally` is [`run_amplified_prepared`]. The
+/// unrestricted tester is the event-heavy case: each repetition records
+/// per-player requests and responses across several phases, so this row
+/// is where the recorder choice itself shows up.
+///
+/// # Panics
+///
+/// Panics on verdict or bit-total divergence between the paths.
+pub fn time_unrestricted_sweep(
+    tuning: Tuning,
+    g: &Graph,
+    partition: &Partition,
+    reps: u32,
+    timing_reps: usize,
+    base_seed: u64,
+) -> RuntimeTiming {
+    let tester = UnrestrictedTester::new(tuning);
+    let input = PreparedInput::new(g, partition).expect("valid workload");
+    let serial = Pool::serial();
+    let (naive_ms, naive) = time_best(timing_reps, || {
+        let run = run_amplified_with(&serial, &tester, g, partition, reps, base_seed)
+            .expect("valid workload");
+        (run.outcome, run.stats, run.transcript.total_bits().get())
+    });
+    let (full_ms, full) = time_best(timing_reps, || {
+        let mut outcome = TestOutcome::NoTriangleFound;
+        let mut stats = CommStats::default();
+        let mut transcript = Transcript::new(input.k());
+        for r in 0..reps {
+            let run = tester.run_prepared_recorded::<Transcript>(&input, rep_seed(base_seed, r));
+            outcome = run.outcome;
+            stats = stats.merged(run.stats);
+            transcript.absorb(&run.transcript);
+            if run.outcome.found_triangle() {
+                break;
+            }
+        }
+        (outcome, stats, transcript.total_bits().get())
+    });
+    assert_eq!(full.0, naive.0, "unrestricted: outcome diverged (full)");
+    let (tally_ms, tally) = time_best(timing_reps, || {
+        let run = run_amplified_prepared(&serial, &tester, &input, reps, base_seed)
+            .expect("valid workload");
+        (run.outcome, run.stats, run.transcript.total_bits().get())
+    });
+    assert_eq!(tally.0, naive.0, "unrestricted: outcome diverged");
+    assert_eq!(full.1, naive.1, "unrestricted: stats diverged (full)");
+    assert_eq!(tally.1, naive.1, "unrestricted: stats diverged (tally)");
+    assert_eq!(full.2, naive.2, "unrestricted: total bits diverged (full)");
+    assert_eq!(tally.2, naive.2, "unrestricted: total bits diverged");
+    RuntimeTiming {
+        protocol: "unrestricted".to_string(),
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        players: partition.players(),
+        repetitions: reps,
+        naive_ms,
+        full_ms,
+        tally_ms,
+        total_bits: naive.2,
+    }
+}
+
+/// The standard runtime suite: the whole-input baseline (the allocation
+/// worst case the borrowed payloads target), the two degree-aware §3.4
+/// testers, and the interactive unrestricted tester, all on
+/// triangle-free inputs so every repetition runs.
+pub fn runtime_suite(scale: Scale) -> Vec<RuntimeTiming> {
+    let timing_reps = scale.pick(2, 3);
+    let (n, d, k) = scale.pick((1000, 8.0, 4), (6000, 10.0, 4));
+    let reps = scale.pick(8, 24);
+    let (g, parts) = bipartite_workload(n, d, k, 7);
+    let tuning = Tuning::practical(0.2);
+    vec![
+        time_unrestricted_sweep(tuning, &g, &parts, reps, timing_reps, 11),
+        time_sweep(
+            "send-everything",
+            &SendEverything,
+            &g,
+            &parts,
+            reps,
+            timing_reps,
+            11,
+        ),
+        time_sweep(
+            "sim-low",
+            &AlgLow::new(tuning, d),
+            &g,
+            &parts,
+            reps,
+            timing_reps,
+            11,
+        ),
+        time_sweep(
+            "sim-high",
+            &AlgHigh::new(tuning, d),
+            &g,
+            &parts,
+            reps,
+            timing_reps,
+            11,
+        ),
+    ]
+}
+
+/// Writes timings to `<dir>/BENCH_runtime.json` (creating `dir` if
+/// needed) and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_runtime_json(
+    dir: &std::path::Path,
+    timings: &[RuntimeTiming],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_runtime.json");
+    let body: Vec<String> = timings
+        .iter()
+        .map(|t| format!("  {}", t.to_json()))
+        .collect();
+    std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_paths_agree_and_time() {
+        let (g, parts) = bipartite_workload(400, 6.0, 3, 5);
+        let t = time_sweep("send-everything", &SendEverything, &g, &parts, 4, 1, 3);
+        assert_eq!(t.players, 3);
+        assert_eq!(t.repetitions, 4);
+        assert!(t.total_bits > 0);
+        assert!(t.speedup() > 0.0);
+        assert!(t.recorder_speedup() > 0.0);
+    }
+
+    #[test]
+    fn runtime_json_is_well_formed() {
+        let (g, parts) = bipartite_workload(300, 6.0, 3, 5);
+        let timings = vec![time_sweep(
+            "send-everything",
+            &SendEverything,
+            &g,
+            &parts,
+            3,
+            1,
+            3,
+        )];
+        let dir = std::env::temp_dir().join(format!("triad-runtime-json-{}", std::process::id()));
+        let path = write_runtime_json(&dir, &timings).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_runtime.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"));
+        assert!(text.contains("\"speedup\""));
+        assert!(text.contains("\"recorder_speedup\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

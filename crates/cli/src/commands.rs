@@ -9,9 +9,7 @@ use std::path::Path;
 use triad_comm::CostModel;
 use triad_graph::partition::Partition;
 use triad_graph::{distance, generators, io as gio, Graph};
-use triad_protocols::{
-    ProtocolRun, SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester,
-};
+use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
 
 fn load_graph(path: &str) -> Result<Graph, CliError> {
     Ok(gio::read_edge_list(BufReader::new(File::open(path)?))?)
@@ -325,13 +323,27 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
     if reps == 0 {
         return Err(CliError::Usage("--reps must be positive".into()));
     }
+    let record = args.optional("record").unwrap_or("tally");
+    if record != "tally" && record != "full" {
+        return Err(CliError::Usage(format!(
+            "unknown --record `{record}` (expected tally or full)"
+        )));
+    }
     // With --reps > 1 the run is amplified: repetitions execute on the
     // configured worker pool (--threads), first witness wins, and cost
     // covers exactly the repetitions a serial loop would have performed.
+    // `--record tally` (the default) skips the per-event log; totals and
+    // verdicts are identical either way (see docs/RUNTIME.md).
     let amp = |t: &(dyn triad_protocols::amplify::Repeatable + Sync)| {
-        triad_protocols::amplify::run_amplified(&t, &g, &parts, reps, seed)
+        if record == "tally" {
+            triad_protocols::amplify::run_amplified_tally(&t, &g, &parts, reps, seed)
+                .map(|r| (r.outcome, r.stats))
+        } else {
+            triad_protocols::amplify::run_amplified(&t, &g, &parts, reps, seed)
+                .map(|r| (r.outcome, r.stats))
+        }
     };
-    let run: ProtocolRun = match protocol {
+    let (outcome, stats) = match protocol {
         "unrestricted" => amp(&UnrestrictedTester::new(tuning).with_cost_model(cost_model))?,
         "low" => amp(&SimultaneousTester::new(
             tuning,
@@ -345,13 +357,13 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
         "exact" => amp(&triad_protocols::baseline::SendEverything)?,
         other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
     };
-    let verdict = match run.outcome.triangle() {
+    let verdict = match outcome.triangle() {
         Some(t) => format!("triangle {t}"),
         None => "accepted (no triangle found)".to_string(),
     };
     Ok(format!(
         "{verdict}\n{} bits, {} rounds, {} messages, max player message {} bits\n",
-        run.stats.total_bits, run.stats.rounds, run.stats.messages, run.stats.max_player_sent_bits
+        stats.total_bits, stats.rounds, stats.messages, stats.max_player_sent_bits
     ))
 }
 

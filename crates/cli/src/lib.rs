@@ -29,6 +29,9 @@ commands:
              [--eps E] [--seed S] [--cost-model coordinator|blackboard|message-passing]
              [--d D] [--breakdown true]   (per-phase bits; unrestricted only)
              [--reps R]   (amplify: up to R repetitions, first witness wins)
+             [--record tally|full]   (cost recorder: counters-only fast
+             path (default) or full event log — totals are identical,
+             see docs/RUNTIME.md)
   count      estimate the triangle count in one round
              --graph FILE  --shares PREFIX  [--p P] [--trials T] [--seed S]
   hfree      test H-freeness in one round
@@ -131,6 +134,30 @@ mod tests {
             out.contains("triangle") || out.contains("accepted"),
             "{out}"
         );
+        // The two recorder modes must print byte-identical results: the
+        // tally fast path changes bookkeeping, never totals.
+        let tally = run(&argv(&format!(
+            "test --graph {} --shares {} --protocol low --eps 0.2 --seed 3 --d 8 \
+             --reps 4 --record tally",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        let full = run(&argv(&format!(
+            "test --graph {} --shares {} --protocol low --eps 0.2 --seed 3 --d 8 \
+             --reps 4 --record full",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        assert_eq!(tally, full, "recorder modes diverged");
+        let err = run(&argv(&format!(
+            "test --graph {} --shares {} --protocol low --record sometimes",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
         let out = run(&argv(&format!(
             "count --graph {} --shares {} --p 0.5 --trials 4",
             g.display(),

@@ -34,6 +34,24 @@ impl BitCost {
     pub fn saturating_add(self, other: BitCost) -> BitCost {
         BitCost(self.0.saturating_add(other.0))
     }
+
+    /// Adds `rhs` into an accumulator under the repository's single
+    /// overflow policy: checked in debug builds (an overflow is an
+    /// accounting bug and must abort the run), saturating at
+    /// `u64::MAX` in release builds (a pinned ceiling beats silent
+    /// wraparound in long amplified sweeps). Every cost accumulator —
+    /// [`crate::transcript::Transcript`], [`crate::recorder::Tally`],
+    /// the runtime — funnels through this helper.
+    #[inline]
+    pub fn accumulate(&mut self, rhs: BitCost) {
+        debug_assert!(
+            self.0.checked_add(rhs.0).is_some(),
+            "BitCost overflow: {} + {}",
+            self.0,
+            rhs.0
+        );
+        self.0 = self.0.saturating_add(rhs.0);
+    }
 }
 
 impl Add for BitCost {
@@ -133,5 +151,27 @@ mod tests {
         );
         assert_eq!(BitCost(7).to_string(), "7 bits");
         assert_eq!(BitCost::from(9u64).get(), 9);
+    }
+
+    #[test]
+    fn accumulate_at_the_u64_boundary() {
+        let mut c = BitCost(u64::MAX - 1);
+        c.accumulate(BitCost(1));
+        assert_eq!(c, BitCost(u64::MAX), "exact addition up to the ceiling");
+        // Past the ceiling the release policy saturates; the debug
+        // policy panics (covered by the `should_panic` test below).
+        #[cfg(not(debug_assertions))]
+        {
+            c.accumulate(BitCost(1));
+            assert_eq!(c, BitCost(u64::MAX));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "BitCost overflow")]
+    fn accumulate_overflow_panics_in_debug() {
+        let mut c = BitCost(u64::MAX);
+        c.accumulate(BitCost(1));
     }
 }

@@ -12,6 +12,8 @@
 //!
 //! * an exact bit-cost model ([`bits`], [`message::Payload`]),
 //! * transcripts and statistics ([`transcript`]),
+//! * pluggable cost recorders — the full event log or an allocation-free
+//!   counter tally with identical totals ([`recorder`]),
 //! * free shared randomness realized as a PRF ([`rand`]),
 //! * player state with typed request handlers ([`player`], [`request`]),
 //! * runtimes — sequential and one-thread-per-player — under a common
@@ -45,6 +47,7 @@ pub mod oneway;
 pub mod player;
 pub mod pool;
 pub mod rand;
+pub mod recorder;
 pub mod report;
 pub mod request;
 pub mod runtime;
@@ -58,6 +61,7 @@ pub use oneway::{run_one_way, OneWayProtocol, OneWayRun};
 pub use player::PlayerState;
 pub use pool::Pool;
 pub use rand::{mix64, SharedRandomness};
+pub use recorder::{Recorder, Tally};
 pub use report::{
     write_reports_json, CostReport, PredictedBound, ReportParams, REPORT_SCHEMA_VERSION,
 };
@@ -66,7 +70,8 @@ pub use runtime::{
     CostModel, LocalTransport, Runtime, ThreadedTransport, Transport, TransportError,
 };
 pub use simultaneous::{
-    run_simultaneous, run_simultaneous_threaded, SimMessage, SimRun, SimultaneousProtocol,
+    run_simultaneous, run_simultaneous_prepared, run_simultaneous_threaded, SimMessage, SimRun,
+    SimultaneousProtocol,
 };
 pub use streaming::{
     run_stream, stream_as_one_way, EdgeReservoir, StreamAlgorithm, StreamOneWayRun, StreamRun,

@@ -1,14 +1,22 @@
 //! Message payloads and their exact bit lengths.
 
 use crate::bits::{bits_for_count, bits_per_edge, bits_per_vertex, BitCost};
+use std::borrow::Cow;
 use triad_graph::{Edge, Triangle, VertexId};
 
 /// The content of one message in either direction.
 ///
 /// Each variant has an exact bit cost under the model of [`crate::bits`];
 /// `Option` flags cost one bit, vectors carry a length prefix.
+///
+/// Edge lists are [`Cow`]s so a player can send a borrowed slice of its
+/// partition without cloning (the hot path of the exact baseline and the
+/// simultaneous samplers; see `docs/RUNTIME.md`). Owned and borrowed
+/// edge lists have identical bit cost — borrowing is a runtime
+/// optimization, never an accounting change. Construct with
+/// `Payload::Edges(vec.into())` or `Payload::Edges(slice.into())`.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Payload {
+pub enum Payload<'a> {
     /// Nothing (costs 0; used for fire-and-forget control).
     Empty,
     /// One boolean.
@@ -23,8 +31,8 @@ pub enum Payload {
     Vertices(Vec<VertexId>),
     /// An optional edge.
     Edge(Option<Edge>),
-    /// A list of edges.
-    Edges(Vec<Edge>),
+    /// A list of edges, owned or borrowed from the sender's partition.
+    Edges(Cow<'a, [Edge]>),
     /// An optional triangle (three vertex ids).
     Triangle(Option<Triangle>),
     /// A probability, quantized to 32 bits (protocol parameters sent by
@@ -32,7 +40,7 @@ pub enum Payload {
     Probability(f64),
 }
 
-impl Payload {
+impl<'a> Payload<'a> {
     /// Exact cost of the payload in a graph on `n` vertices.
     pub fn bit_len(&self, n: usize) -> BitCost {
         let v = bits_per_vertex(n);
@@ -52,11 +60,46 @@ impl Payload {
         BitCost(cost)
     }
 
-    /// Convenience: the edges of an `Edges` payload, empty otherwise.
+    /// The edges of an `Edges` payload.
+    ///
+    /// In debug builds, calling this on any other variant panics — a
+    /// non-`Edges` payload at an edge-consuming call site is a protocol
+    /// wiring bug that the old silent `&[]` fallback used to mask. Call
+    /// sites that legitimately skip non-edge payloads (e.g.
+    /// [`crate::simultaneous::SimMessage::edges`]) use
+    /// [`Payload::try_as_edges`] instead.
     pub fn as_edges(&self) -> &[Edge] {
+        debug_assert!(
+            matches!(self, Payload::Edges(_)),
+            "as_edges on a non-Edges payload ({self:?}); use try_as_edges \
+             where other variants are expected"
+        );
+        self.try_as_edges().unwrap_or(&[])
+    }
+
+    /// The edges when this payload is [`Payload::Edges`], `None`
+    /// otherwise.
+    pub fn try_as_edges(&self) -> Option<&[Edge]> {
         match self {
-            Payload::Edges(es) => es,
-            _ => &[],
+            Payload::Edges(es) => Some(es),
+            _ => None,
+        }
+    }
+
+    /// Clones any borrowed edge list, detaching the payload from its
+    /// sender's lifetime (needed to move payloads across threads).
+    pub fn into_owned(self) -> Payload<'static> {
+        match self {
+            Payload::Empty => Payload::Empty,
+            Payload::Bit(b) => Payload::Bit(b),
+            Payload::Bits(v, w) => Payload::Bits(v, w),
+            Payload::Count(c) => Payload::Count(c),
+            Payload::Vertex(o) => Payload::Vertex(o),
+            Payload::Vertices(vs) => Payload::Vertices(vs),
+            Payload::Edge(o) => Payload::Edge(o),
+            Payload::Edges(es) => Payload::Edges(Cow::Owned(es.into_owned())),
+            Payload::Triangle(o) => Payload::Triangle(o),
+            Payload::Probability(p) => Payload::Probability(p),
         }
     }
 }
@@ -101,16 +144,41 @@ mod tests {
         let n = 1024;
         let es: Vec<Edge> = (0..10).map(|i| Edge::new(v(i), v(i + 1))).collect();
         // length prefix of 10 = 4 bits, plus 10 edges × 20 bits
-        assert_eq!(Payload::Edges(es.clone()).bit_len(n), BitCost(4 + 200));
+        assert_eq!(
+            Payload::Edges(es.clone().into()).bit_len(n),
+            BitCost(4 + 200)
+        );
         let vs: Vec<VertexId> = (0..3).map(v).collect();
         assert_eq!(Payload::Vertices(vs).bit_len(n), BitCost(2 + 30));
-        assert_eq!(Payload::Edges(vec![]).bit_len(n), BitCost(1));
+        assert_eq!(Payload::Edges(vec![].into()).bit_len(n), BitCost(1));
+    }
+
+    #[test]
+    fn borrowed_and_owned_edges_cost_the_same() {
+        let n = 1024;
+        let es: Vec<Edge> = (0..7).map(|i| Edge::new(v(i), v(i + 1))).collect();
+        let owned = Payload::Edges(es.clone().into());
+        let borrowed = Payload::Edges(Cow::Borrowed(es.as_slice()));
+        assert_eq!(owned.bit_len(n), borrowed.bit_len(n));
+        assert_eq!(owned, borrowed, "content equality ignores ownership");
+        assert_eq!(borrowed.into_owned(), owned);
     }
 
     #[test]
     fn as_edges_accessor() {
         let es = vec![Edge::new(v(0), v(1))];
-        assert_eq!(Payload::Edges(es.clone()).as_edges(), es.as_slice());
-        assert!(Payload::Bit(false).as_edges().is_empty());
+        assert_eq!(Payload::Edges(es.clone().into()).as_edges(), es.as_slice());
+        assert_eq!(
+            Payload::Edges(es.clone().into()).try_as_edges(),
+            Some(es.as_slice())
+        );
+        assert_eq!(Payload::Bit(false).try_as_edges(), None);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "as_edges on a non-Edges payload")]
+    fn as_edges_rejects_other_variants_in_debug() {
+        let _ = Payload::Bit(false).as_edges();
     }
 }

@@ -20,13 +20,15 @@ pub trait OneWayProtocol {
     type Output;
 
     /// The message player `j` sends, given its private input and the
-    /// messages of all earlier players.
+    /// messages of all earlier players. The message is owned
+    /// (`'static`): one-way messages outlive their sender's turn, being
+    /// relayed down the whole chain.
     fn message(
         &self,
         player: &PlayerState,
         prior: &[SimMessage],
         shared: &SharedRandomness,
-    ) -> SimMessage;
+    ) -> SimMessage<'static>;
 
     /// The last player's output, computed from its private input and
     /// every earlier message (it sends nothing).
@@ -67,7 +69,7 @@ pub struct OneWayRun<O> {
 /// impl OneWayProtocol for CountChain {
 ///     type Output = u64;
 ///     fn message(&self, p: &PlayerState, prior: &[SimMessage],
-///                _s: &SharedRandomness) -> SimMessage {
+///                _s: &SharedRandomness) -> SimMessage<'static> {
 ///         let before = prior.last().and_then(|m| match m.payloads()[0] {
 ///             Payload::Count(c) => Some(c), _ => None }).unwrap_or(0);
 ///         SimMessage::of(Payload::Count(before + p.edge_count() as u64))
@@ -97,7 +99,7 @@ pub fn run_one_way<P: OneWayProtocol>(
         "one-way model needs at least two players"
     );
     let players = players_from_shares(n, shares);
-    let mut messages: Vec<SimMessage> = Vec::with_capacity(players.len() - 1);
+    let mut messages: Vec<SimMessage<'static>> = Vec::with_capacity(players.len() - 1);
     let mut hop_bits = Vec::with_capacity(players.len() - 1);
     for player in &players[..players.len() - 1] {
         let msg = protocol.message(player, &messages, &shared);
@@ -137,14 +139,14 @@ mod tests {
             player: &PlayerState,
             prior: &[SimMessage],
             _shared: &SharedRandomness,
-        ) -> SimMessage {
+        ) -> SimMessage<'static> {
             let mut edges: Vec<Edge> = player.edges().copied().collect();
             for m in prior {
                 edges.extend(m.edges());
             }
             edges.sort_unstable();
             edges.dedup();
-            SimMessage::of(Payload::Edges(edges))
+            SimMessage::of(Payload::Edges(edges.into()))
         }
 
         fn output(

@@ -16,6 +16,10 @@ pub struct PlayerState {
     id: usize,
     n: usize,
     edges: HashSet<Edge>,
+    /// The deduplicated share in sorted order — a stable slice the
+    /// simultaneous baselines can borrow into a [`Payload::Edges`]
+    /// without cloning (see `docs/RUNTIME.md`).
+    share: Vec<Edge>,
     adj: Vec<Vec<VertexId>>,
     /// Vertices with positive local degree, for suspect-set scans.
     occupied: Vec<VertexId>,
@@ -45,13 +49,22 @@ impl PlayerState {
             .filter(|v| !adj[*v].is_empty())
             .map(VertexId::from_index)
             .collect();
+        let mut share: Vec<Edge> = edges.iter().copied().collect();
+        share.sort_unstable();
         PlayerState {
             id,
             n,
             edges,
+            share,
             adj,
             occupied,
         }
+    }
+
+    /// The player's distinct edges, sorted — the borrowable counterpart of
+    /// [`edges`](Self::edges) for zero-copy message construction.
+    pub fn share(&self) -> &[Edge] {
+        &self.share
     }
 
     /// The player's index `j ∈ 0..k`.
@@ -96,8 +109,10 @@ impl PlayerState {
     }
 
     /// Handles one coordinator request. Pure with respect to the player's
-    /// state; all randomness comes from the shared string.
-    pub fn handle(&self, req: &PlayerRequest, shared: &SharedRandomness) -> Payload {
+    /// state; all randomness comes from the shared string. The response is
+    /// owned (`'static`): it crosses the transport boundary, possibly over
+    /// a channel to another thread.
+    pub fn handle(&self, req: &PlayerRequest, shared: &SharedRandomness) -> Payload<'static> {
         match req {
             PlayerRequest::HasEdge(e) => Payload::Bit(self.has_edge(*e)),
             PlayerRequest::FirstIncidentEdge { v, perm_tag } => {
@@ -186,7 +201,7 @@ impl PlayerState {
                         }
                     }
                 }
-                Payload::Edges(out)
+                Payload::Edges(out.into())
             }
             PlayerRequest::FindClosingTriangle { edges } => {
                 Payload::Triangle(self.close_any_vee(edges))
@@ -203,7 +218,7 @@ impl PlayerState {
                         }
                     }
                 }
-                Payload::Edges(out)
+                Payload::Edges(out.into())
             }
             PlayerRequest::RsEdges {
                 r_tag,
@@ -224,7 +239,7 @@ impl PlayerState {
                         }
                     }
                 }
-                Payload::Edges(out)
+                Payload::Edges(out.into())
             }
         }
     }

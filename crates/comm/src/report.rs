@@ -103,6 +103,38 @@ impl CostReport {
         stats: CommStats,
         transcript: &Transcript,
     ) -> Self {
+        CostReport::from_rollups(
+            params,
+            outcome,
+            stats,
+            transcript.by_phase(),
+            transcript.by_player(),
+        )
+    }
+
+    /// Builds a report from a tally-recorded run — same fields, same
+    /// JSON, no event log needed. A [`Tally`](crate::recorder::Tally)
+    /// produces rollups byte-identical to a [`Transcript`] over the same
+    /// charges, so reports from either recorder diff clean.
+    pub fn from_tally(
+        params: ReportParams,
+        outcome: &str,
+        stats: CommStats,
+        tally: &crate::recorder::Tally,
+    ) -> Self {
+        CostReport::from_rollups(params, outcome, stats, tally.by_phase(), tally.by_player())
+    }
+
+    /// Builds a report from pre-computed rollups — the common core of
+    /// [`from_transcript`](Self::from_transcript) and
+    /// [`from_tally`](Self::from_tally).
+    pub fn from_rollups(
+        params: ReportParams,
+        outcome: &str,
+        stats: CommStats,
+        phases: Vec<Rollup>,
+        per_player: Vec<Rollup>,
+    ) -> Self {
         CostReport {
             schema_version: REPORT_SCHEMA_VERSION,
             params,
@@ -111,8 +143,8 @@ impl CostReport {
             rounds: stats.rounds,
             messages: stats.messages,
             max_player_sent_bits: stats.max_player_sent_bits,
-            phases: transcript.by_phase(),
-            per_player: transcript.by_player(),
+            phases,
+            per_player,
             predicted: None,
         }
     }
@@ -292,6 +324,33 @@ mod tests {
             r.per_player.iter().map(|x| x.bits).sum::<u64>(),
             r.total_bits
         );
+    }
+
+    #[test]
+    fn tally_report_matches_transcript_report() {
+        use crate::recorder::{Recorder, Tally};
+        let drive = |r: &mut dyn FnMut(Option<usize>, Direction, BitCost, &'static str)| {
+            r(Some(0), Direction::ToCoordinator, BitCost(10), "edges");
+            r(Some(1), Direction::ToCoordinator, BitCost(4), "bit");
+        };
+        let mut t = Transcript::new(2);
+        t.set_phase("sample");
+        drive(&mut |p, d, b, l| t.record(p, d, b, l));
+        let mut y = Tally::with_players(2);
+        y.set_phase("sample");
+        drive(&mut |p, d, b, l| y.record(p, d, b, l));
+        let params = || ReportParams {
+            protocol: "sim-low".into(),
+            generator: "planted".into(),
+            n: 100,
+            k: 2,
+            d: 8.0,
+            eps: 0.2,
+            seed: 3,
+        };
+        let from_t = CostReport::from_transcript(params(), "accepted", t.stats(), &t);
+        let from_y = CostReport::from_tally(params(), "accepted", y.stats(), &y);
+        assert_eq!(from_t.to_json(), from_y.to_json());
     }
 
     #[test]

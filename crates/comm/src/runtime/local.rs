@@ -1,3 +1,5 @@
+use std::sync::Arc;
+
 use super::Transport;
 use crate::message::Payload;
 use crate::player::{players_from_shares, PlayerState};
@@ -8,9 +10,13 @@ use triad_graph::Edge;
 /// Deterministic in-process transport: the coordinator calls player
 /// handlers directly. The reference execution mode — fast, allocation-light
 /// and reproducible.
+///
+/// Player states are held behind an [`Arc`] so prepared inputs can share
+/// one set of players across many repetitions without re-deriving
+/// adjacency (request handlers take `&self`, so sharing is sound).
 #[derive(Debug)]
 pub struct LocalTransport {
-    players: Vec<PlayerState>,
+    players: Arc<Vec<PlayerState>>,
     shared: SharedRandomness,
 }
 
@@ -18,13 +24,22 @@ impl LocalTransport {
     /// Builds player states from edge shares.
     pub fn new(n: usize, shares: &[Vec<Edge>], shared: SharedRandomness) -> Self {
         LocalTransport {
-            players: players_from_shares(n, shares),
+            players: Arc::new(players_from_shares(n, shares)),
             shared,
         }
     }
 
     /// Wraps pre-built player states.
     pub fn from_players(players: Vec<PlayerState>, shared: SharedRandomness) -> Self {
+        LocalTransport {
+            players: Arc::new(players),
+            shared,
+        }
+    }
+
+    /// Shares pre-built player states with other transports — the
+    /// prepared-input fast path of amplified sweeps (`docs/RUNTIME.md`).
+    pub fn from_shared(players: Arc<Vec<PlayerState>>, shared: SharedRandomness) -> Self {
         LocalTransport { players, shared }
     }
 
@@ -39,7 +54,7 @@ impl Transport for LocalTransport {
         self.players.len()
     }
 
-    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload {
+    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload<'static> {
         self.players[player].handle(req, &self.shared)
     }
 

@@ -1,12 +1,17 @@
-//! Protocol runtimes: cost accounting over pluggable transports.
+//! Protocol runtimes: cost accounting over pluggable transports and
+//! pluggable recorders.
 //!
-//! A [`Runtime`] drives one protocol execution: it owns the [`Transcript`],
-//! charges every request/response pair, and delivers requests through a
+//! A [`Runtime`] drives one protocol execution: it owns a
+//! [`Recorder`] — the full-fidelity [`Transcript`] by default, or the
+//! zero-allocation [`crate::recorder::Tally`] on the fast path — charges
+//! every request/response pair, and delivers requests through a
 //! [`Transport`] — either [`LocalTransport`] (deterministic, sequential,
 //! in-process) or [`ThreadedTransport`] (one OS thread per player,
 //! crossbeam channels). Both transports produce **identical transcripts**
 //! for the same seed, because all protocol randomness flows through the
-//! shared string, never through scheduling.
+//! shared string, never through scheduling; both recorders produce
+//! **identical totals and rollups**, because every charge funnels
+//! through the same [`Recorder::record`] calls (see `docs/RUNTIME.md`).
 
 mod local;
 mod threaded;
@@ -14,8 +19,10 @@ mod threaded;
 pub use local::LocalTransport;
 pub use threaded::ThreadedTransport;
 
+use crate::bits::{bits_for_count, bits_per_edge, BitCost};
 use crate::message::Payload;
 use crate::rand::SharedRandomness;
+use crate::recorder::Recorder;
 use crate::request::PlayerRequest;
 use crate::transcript::{CommStats, Direction, Transcript};
 use std::collections::HashSet;
@@ -58,11 +65,17 @@ impl std::fmt::Display for TransportError {
 impl std::error::Error for TransportError {}
 
 /// Message delivery to players, independent of cost accounting.
+///
+/// Responses are always `Payload<'static>`: a transport hands payload
+/// ownership across the coordinator boundary (and, for the threaded
+/// transport, across a channel), so borrowed player-side slices are
+/// detached before delivery. Borrowing is exploited on the simultaneous
+/// path instead, where messages never cross an ownership boundary.
 pub trait Transport: Send {
     /// Number of players.
     fn k(&self) -> usize;
     /// Delivers `req` to player `player` and returns its response.
-    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload;
+    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload<'static>;
     /// Fallible delivery: like [`deliver`](Self::deliver), but a dead
     /// player channel (thread panicked, hung up) surfaces as
     /// [`TransportError`] instead of panicking the coordinator. The
@@ -75,7 +88,7 @@ pub trait Transport: Send {
         &mut self,
         player: usize,
         req: &PlayerRequest,
-    ) -> Result<Payload, TransportError> {
+    ) -> Result<Payload<'static>, TransportError> {
         Ok(self.deliver(player, req))
     }
     /// Switches every player to a new shared-randomness seed (Newman's
@@ -86,30 +99,77 @@ pub trait Transport: Send {
     }
 }
 
-/// A protocol execution context: transport + transcript + shared randomness.
-pub struct Runtime {
+/// A protocol execution context: transport + recorder + shared
+/// randomness. Generic over the [`Recorder`]; `Runtime` without a type
+/// argument is the full-transcript flavor.
+pub struct Runtime<R: Recorder = Transcript> {
     transport: Box<dyn Transport>,
-    transcript: Transcript,
+    recorder: R,
     shared: SharedRandomness,
     n: usize,
     cost_model: CostModel,
     tag_counter: u64,
 }
 
-impl std::fmt::Debug for Runtime {
+impl<R: Recorder> std::fmt::Debug for Runtime<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
             .field("k", &self.transport.k())
             .field("n", &self.n)
             .field("cost_model", &self.cost_model)
-            .field("total_bits", &self.transcript.total_bits())
+            .field("total_bits", &self.recorder.total_bits())
             .finish()
     }
 }
 
 impl Runtime {
-    /// A runtime over an explicit transport.
+    /// A full-transcript runtime over an explicit transport.
     pub fn new(
+        transport: Box<dyn Transport>,
+        n: usize,
+        shared: SharedRandomness,
+        cost_model: CostModel,
+    ) -> Self {
+        Runtime::new_with(transport, n, shared, cost_model)
+    }
+
+    /// Convenience: a sequential in-process full-transcript runtime over
+    /// per-player edge shares.
+    pub fn local(
+        n: usize,
+        shares: &[Vec<Edge>],
+        shared: SharedRandomness,
+        cost_model: CostModel,
+    ) -> Self {
+        Runtime::local_with(n, shares, shared, cost_model)
+    }
+
+    /// Convenience: a threaded full-transcript runtime (one thread per
+    /// player).
+    pub fn threaded(
+        n: usize,
+        shares: &[Vec<Edge>],
+        shared: SharedRandomness,
+        cost_model: CostModel,
+    ) -> Self {
+        Runtime::threaded_with(n, shares, shared, cost_model)
+    }
+
+    /// The transcript so far.
+    pub fn transcript(&self) -> &Transcript {
+        &self.recorder
+    }
+
+    /// Consumes the runtime, yielding its transcript — how finished
+    /// protocol drivers hand the full event log to their callers.
+    pub fn into_transcript(self) -> Transcript {
+        self.recorder
+    }
+}
+
+impl<R: Recorder> Runtime<R> {
+    /// A runtime over an explicit transport, recording into `R`.
+    pub fn new_with(
         transport: Box<dyn Transport>,
         n: usize,
         shared: SharedRandomness,
@@ -118,7 +178,7 @@ impl Runtime {
         let k = transport.k();
         Runtime {
             transport,
-            transcript: Transcript::new(k),
+            recorder: R::with_players(k),
             shared,
             n,
             cost_model,
@@ -126,15 +186,15 @@ impl Runtime {
         }
     }
 
-    /// Convenience: a sequential in-process runtime over per-player edge
-    /// shares.
-    pub fn local(
+    /// A sequential in-process runtime over per-player edge shares,
+    /// recording into `R`.
+    pub fn local_with(
         n: usize,
         shares: &[Vec<Edge>],
         shared: SharedRandomness,
         cost_model: CostModel,
     ) -> Self {
-        Runtime::new(
+        Runtime::new_with(
             Box::new(LocalTransport::new(n, shares, shared)),
             n,
             shared,
@@ -142,14 +202,32 @@ impl Runtime {
         )
     }
 
-    /// Convenience: a threaded runtime (one thread per player).
-    pub fn threaded(
+    /// A sequential runtime over **pre-built, shared** player states —
+    /// the prepared-input fast path: amplified sweeps build the players
+    /// once and hand every repetition the same `Arc` (see
+    /// `docs/RUNTIME.md`).
+    pub fn prepared_with(
+        n: usize,
+        players: std::sync::Arc<Vec<crate::player::PlayerState>>,
+        shared: SharedRandomness,
+        cost_model: CostModel,
+    ) -> Self {
+        Runtime::new_with(
+            Box::new(LocalTransport::from_shared(players, shared)),
+            n,
+            shared,
+            cost_model,
+        )
+    }
+
+    /// A threaded runtime (one thread per player), recording into `R`.
+    pub fn threaded_with(
         n: usize,
         shares: &[Vec<Edge>],
         shared: SharedRandomness,
         cost_model: CostModel,
     ) -> Self {
-        Runtime::new(
+        Runtime::new_with(
             Box::new(ThreadedTransport::spawn(n, shares, shared)),
             n,
             shared,
@@ -177,6 +255,16 @@ impl Runtime {
         self.cost_model
     }
 
+    /// The active cost recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Consumes the runtime, yielding its recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
+    }
+
     /// Draws a fresh shared-randomness tag. Tags are derived from a
     /// deterministic counter, so both runtimes and every party agree on
     /// them for free.
@@ -187,7 +275,7 @@ impl Runtime {
 
     /// Advances the round counter (bookkeeping only).
     pub fn next_round(&mut self) {
-        self.transcript.next_round();
+        self.recorder.next_round();
     }
 
     /// Runs `f` with every recorded message stamped with phase `name`,
@@ -207,36 +295,34 @@ impl Runtime {
     /// assert_eq!(rt.transcript().bits_for_phase("probe"), rt.stats().total_bits);
     /// ```
     pub fn phase<T>(&mut self, name: &'static str, f: impl FnOnce(&mut Self) -> T) -> T {
-        let previous = self.transcript.current_phase();
-        self.transcript.set_phase(name);
+        let previous = self.recorder.current_phase();
+        self.recorder.set_phase(name);
         let out = f(self);
-        self.transcript.set_phase(previous);
+        self.recorder.set_phase(previous);
         out
     }
 
     /// Per-message routing overhead of the active cost model.
-    fn routing_overhead(&self) -> crate::bits::BitCost {
+    fn routing_overhead(&self) -> BitCost {
         match self.cost_model {
-            CostModel::MessagePassing => {
-                crate::bits::BitCost(crate::bits::bits_per_vertex(self.transport.k()))
-            }
-            _ => crate::bits::BitCost::ZERO,
+            CostModel::MessagePassing => BitCost(crate::bits::bits_per_vertex(self.transport.k())),
+            _ => BitCost::ZERO,
         }
     }
 
     /// Sends `req` to one player, charging both directions; returns the
     /// response.
-    pub fn request(&mut self, player: usize, req: PlayerRequest) -> Payload {
+    pub fn request(&mut self, player: usize, req: PlayerRequest) -> Payload<'static> {
         let label = req.label();
         let ovh = self.routing_overhead();
-        self.transcript.record(
+        self.recorder.record(
             Some(player),
             Direction::ToPlayer,
             req.bit_len(self.n) + ovh,
             label,
         );
         let resp = self.transport.deliver(player, &req);
-        self.transcript.record(
+        self.recorder.record(
             Some(player),
             Direction::ToCoordinator,
             resp.bit_len(self.n) + ovh,
@@ -256,17 +342,17 @@ impl Runtime {
     pub fn announce_seed_from_family(&mut self, family_size: u64) -> SharedRandomness {
         use ::rand::RngCore;
         let index = self.shared.stream(0x4E45_574D).next_u64() % family_size.max(1);
-        let payload = Payload::Bits(index, crate::bits::bits_for_count(family_size) as u32);
+        let payload = Payload::Bits(index, bits_for_count(family_size) as u32);
         let bits = payload.bit_len(self.n);
         match self.cost_model {
             CostModel::Blackboard => {
-                self.transcript
+                self.recorder
                     .record(None, Direction::Broadcast, bits, "newman_seed");
             }
             _ => {
                 let ovh = self.routing_overhead();
                 for j in 0..self.k() {
-                    self.transcript
+                    self.recorder
                         .record(Some(j), Direction::ToPlayer, bits + ovh, "newman_seed");
                 }
             }
@@ -295,18 +381,18 @@ impl Runtime {
     /// Charging: under [`CostModel::Coordinator`] the request is paid `k`
     /// times (one private channel each); under [`CostModel::Blackboard`]
     /// it is paid once. Responses are always charged individually.
-    pub fn broadcast(&mut self, req: PlayerRequest) -> Vec<Payload> {
+    pub fn broadcast(&mut self, req: PlayerRequest) -> Vec<Payload<'static>> {
         let label = req.label();
         let ovh = self.routing_overhead();
         let req_bits = req.bit_len(self.n) + ovh;
         match self.cost_model {
             CostModel::Blackboard => {
-                self.transcript
+                self.recorder
                     .record(None, Direction::Broadcast, req_bits, label);
             }
             _ => {
                 for j in 0..self.k() {
-                    self.transcript
+                    self.recorder
                         .record(Some(j), Direction::ToPlayer, req_bits, label);
                 }
             }
@@ -314,7 +400,7 @@ impl Runtime {
         let mut out = Vec::with_capacity(self.k());
         for j in 0..self.k() {
             let resp = self.transport.deliver(j, &req);
-            self.transcript.record(
+            self.recorder.record(
                 Some(j),
                 Direction::ToCoordinator,
                 resp.bit_len(self.n) + ovh,
@@ -332,18 +418,24 @@ impl Runtime {
     /// edges not already on the board (players see prior postings), which
     /// realizes the `k`-factor saving of Theorem 3.23; under
     /// [`CostModel::Coordinator`] every copy is paid for.
+    ///
+    /// The charge is computed in closed form from the charged edge
+    /// *count* — `bits_for_count(c) + c·bits_per_edge(n)`, exactly
+    /// `Payload::Edges` of that length — without materializing the
+    /// charged subset, so the per-player hop allocates nothing beyond
+    /// the union itself.
     pub fn gather_edges(&mut self, req: PlayerRequest) -> Vec<Edge> {
         let label = req.label();
         let ovh = self.routing_overhead();
         let req_bits = req.bit_len(self.n) + ovh;
         match self.cost_model {
             CostModel::Blackboard => {
-                self.transcript
+                self.recorder
                     .record(None, Direction::Broadcast, req_bits, label);
             }
             _ => {
                 for j in 0..self.k() {
-                    self.transcript
+                    self.recorder
                         .record(Some(j), Direction::ToPlayer, req_bits, label);
                 }
             }
@@ -353,20 +445,13 @@ impl Runtime {
         for j in 0..self.k() {
             let resp = self.transport.deliver(j, &req);
             let edges = resp.as_edges();
-            let charged: Vec<Edge> = match self.cost_model {
-                CostModel::Blackboard => edges
-                    .iter()
-                    .copied()
-                    .filter(|e| !seen.contains(e))
-                    .collect(),
-                _ => edges.to_vec(),
+            let charged = match self.cost_model {
+                CostModel::Blackboard => edges.iter().filter(|e| !seen.contains(*e)).count() as u64,
+                _ => edges.len() as u64,
             };
-            self.transcript.record(
-                Some(j),
-                Direction::ToCoordinator,
-                Payload::Edges(charged).bit_len(self.n) + ovh,
-                label,
-            );
+            let content = BitCost(bits_for_count(charged) + bits_per_edge(self.n) * charged);
+            self.recorder
+                .record(Some(j), Direction::ToCoordinator, content + ovh, label);
             for e in edges {
                 if seen.insert(*e) {
                     union.push(*e);
@@ -376,26 +461,16 @@ impl Runtime {
         union
     }
 
-    /// The transcript so far.
-    pub fn transcript(&self) -> &Transcript {
-        &self.transcript
-    }
-
-    /// Consumes the runtime, yielding its transcript — how finished
-    /// protocol drivers hand the full event log to their callers.
-    pub fn into_transcript(self) -> Transcript {
-        self.transcript
-    }
-
     /// Aggregated statistics so far.
     pub fn stats(&self) -> CommStats {
-        self.transcript.stats()
+        self.recorder.stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recorder::Tally;
     use triad_graph::VertexId;
 
     fn e(a: u32, b: u32) -> Edge {
@@ -457,6 +532,78 @@ mod tests {
         assert!(
             board.stats().total_bits < coord.stats().total_bits,
             "blackboard must save on duplicated content"
+        );
+    }
+
+    #[test]
+    fn gather_edges_closed_form_matches_payload_cost() {
+        // The count-only charge must equal what materializing the charged
+        // subset as a `Payload::Edges` would have cost, per player.
+        let shared = SharedRandomness::new(3);
+        let req = PlayerRequest::InducedEdges {
+            tag: 0,
+            p: 1.0,
+            cap: 100,
+        };
+        for model in [CostModel::Coordinator, CostModel::Blackboard] {
+            let mut rt = Runtime::local(4, &shares(), shared, model);
+            rt.gather_edges(req.clone());
+            let mut expected = Transcript::new(2);
+            let mut seen: HashSet<Edge> = HashSet::new();
+            match model {
+                CostModel::Blackboard => {
+                    expected.record(None, Direction::Broadcast, req.bit_len(4), req.label())
+                }
+                _ => {
+                    for j in 0..2 {
+                        expected.record(Some(j), Direction::ToPlayer, req.bit_len(4), req.label());
+                    }
+                }
+            }
+            for (j, share) in shares().iter().enumerate() {
+                let charged: Vec<Edge> = share
+                    .iter()
+                    .copied()
+                    .filter(|e| model != CostModel::Blackboard || !seen.contains(e))
+                    .collect();
+                seen.extend(share.iter().copied());
+                expected.record(
+                    Some(j),
+                    Direction::ToCoordinator,
+                    Payload::Edges(charged.into()).bit_len(4),
+                    req.label(),
+                );
+            }
+            assert_eq!(rt.stats(), expected.stats(), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn tally_runtime_matches_transcript_runtime() {
+        let shared = SharedRandomness::new(11);
+        fn drive<R: Recorder>(rt: &mut Runtime<R>) {
+            rt.request(0, PlayerRequest::LocalEdgeCount);
+            rt.next_round();
+            rt.broadcast(PlayerRequest::HasEdge(e(1, 2)));
+            rt.gather_edges(PlayerRequest::InducedEdges {
+                tag: 1,
+                p: 1.0,
+                cap: 10,
+            });
+        }
+        let mut full: Runtime<Transcript> =
+            Runtime::local_with(4, &shares(), shared, CostModel::Coordinator);
+        let mut fast: Runtime<Tally> =
+            Runtime::local_with(4, &shares(), shared, CostModel::Coordinator);
+        drive(&mut full);
+        drive(&mut fast);
+        assert_eq!(full.stats(), fast.stats());
+        assert_eq!(full.transcript().by_phase(), fast.recorder().by_phase());
+        assert_eq!(full.transcript().by_player(), fast.recorder().by_player());
+        assert_eq!(full.transcript().by_round(), fast.recorder().by_round());
+        assert_eq!(
+            full.transcript().by_direction(),
+            fast.recorder().by_direction()
         );
     }
 

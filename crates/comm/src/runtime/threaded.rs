@@ -17,7 +17,7 @@ use triad_graph::Edge;
 #[derive(Debug)]
 pub struct ThreadedTransport {
     senders: Vec<Sender<Envelope>>,
-    receivers: Vec<Receiver<Payload>>,
+    receivers: Vec<Receiver<Payload<'static>>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -29,7 +29,7 @@ impl ThreadedTransport {
         let mut handles = Vec::with_capacity(shares.len());
         for (j, share) in shares.iter().enumerate() {
             let (req_tx, req_rx) = unbounded::<Envelope>();
-            let (resp_tx, resp_rx) = unbounded::<Payload>();
+            let (resp_tx, resp_rx) = unbounded::<Payload<'static>>();
             let state = PlayerState::new(j, n, share);
             let handle = std::thread::Builder::new()
                 .name(format!("triad-player-{j}"))
@@ -64,7 +64,7 @@ impl Transport for ThreadedTransport {
         self.senders.len()
     }
 
-    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload {
+    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload<'static> {
         self.try_deliver(player, req)
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -73,7 +73,7 @@ impl Transport for ThreadedTransport {
         &mut self,
         player: usize,
         req: &PlayerRequest,
-    ) -> Result<Payload, TransportError> {
+    ) -> Result<Payload<'static>, TransportError> {
         // A player whose thread panicked (or already halted) has dropped
         // both channel ends: either the send or the recv fails, and the
         // coordinator gets an error naming the player instead of a

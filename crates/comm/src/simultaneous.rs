@@ -4,36 +4,45 @@
 //! randomness; the referee sees only the messages. This is the
 //! communication analog of oblivious property testers, and the model of
 //! the paper's §3.4 protocols and §4.2.3 lower bound.
+//!
+//! Messages may *borrow* from the sending player's state: a
+//! [`SimMessage<'a>`] carries `Payload<'a>` entries, so a baseline that
+//! sends its whole partition does so as a `Cow::Borrowed` slice with no
+//! per-run clone (see `docs/RUNTIME.md`). Ownership never needs to cross
+//! a boundary here — the referee reads the messages while the players are
+//! still alive, even in the threaded driver.
 
 use crate::bits::BitCost;
 use crate::message::Payload;
 use crate::player::{players_from_shares, PlayerState};
 use crate::rand::SharedRandomness;
+use crate::recorder::Recorder;
 use crate::transcript::{CommStats, Direction, Transcript, DEFAULT_PHASE};
 use triad_graph::Edge;
 
 /// A player's one-shot message: an ordered list of payloads, each tagged
 /// with the protocol phase that produced it (so one-round transcripts
-/// still get per-phase cost attribution).
+/// still get per-phase cost attribution). The lifetime `'a` is the
+/// sending player's: payloads may borrow its edge share.
 #[derive(Debug, Clone, PartialEq, Default)]
-pub struct SimMessage {
-    payloads: Vec<Payload>,
+pub struct SimMessage<'a> {
+    payloads: Vec<Payload<'a>>,
     phases: Vec<&'static str>,
 }
 
-impl SimMessage {
+impl<'a> SimMessage<'a> {
     /// The empty message (what irrelevant players send).
     pub fn empty() -> Self {
         SimMessage::default()
     }
 
     /// A message with one payload under the default phase.
-    pub fn of(p: Payload) -> Self {
+    pub fn of(p: Payload<'a>) -> Self {
         SimMessage::of_phased(p, DEFAULT_PHASE)
     }
 
     /// A message with one payload attributed to `phase`.
-    pub fn of_phased(p: Payload, phase: &'static str) -> Self {
+    pub fn of_phased(p: Payload<'a>, phase: &'static str) -> Self {
         SimMessage {
             payloads: vec![p],
             phases: vec![phase],
@@ -41,18 +50,18 @@ impl SimMessage {
     }
 
     /// Appends a payload under the default phase.
-    pub fn push(&mut self, p: Payload) {
+    pub fn push(&mut self, p: Payload<'a>) {
         self.push_phased(p, DEFAULT_PHASE);
     }
 
     /// Appends a payload attributed to `phase`.
-    pub fn push_phased(&mut self, p: Payload, phase: &'static str) {
+    pub fn push_phased(&mut self, p: Payload<'a>, phase: &'static str) {
         self.payloads.push(p);
         self.phases.push(phase);
     }
 
     /// The payloads in order.
-    pub fn payloads(&self) -> &[Payload] {
+    pub fn payloads(&self) -> &[Payload<'a>] {
         &self.payloads
     }
 
@@ -67,11 +76,21 @@ impl SimMessage {
         self.payloads.iter().map(|p| p.bit_len(n)).sum()
     }
 
-    /// All edges carried anywhere in the message.
+    /// All edges carried anywhere in the message (non-edge payloads are
+    /// legitimately skipped, hence `try_as_edges`).
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.payloads
             .iter()
-            .flat_map(|p| p.as_edges().iter().copied())
+            .flat_map(|p| p.try_as_edges().into_iter().flatten().copied())
+    }
+
+    /// Detaches the message from its sender, cloning any borrowed
+    /// payloads.
+    pub fn into_owned(self) -> SimMessage<'static> {
+        SimMessage {
+            payloads: self.payloads.into_iter().map(Payload::into_owned).collect(),
+            phases: self.phases,
+        }
     }
 }
 
@@ -81,29 +100,33 @@ pub trait SimultaneousProtocol {
     type Output;
 
     /// The message player `j` sends, computed from its private input and
-    /// the public randomness only.
-    fn message(&self, player: &PlayerState, shared: &SharedRandomness) -> SimMessage;
+    /// the public randomness only. The message may borrow from `player`
+    /// (the explicit `'a` ties the two; implementations must spell it
+    /// out — eliding would wrongly tie the message to `&self`).
+    fn message<'a>(&self, player: &'a PlayerState, shared: &SharedRandomness) -> SimMessage<'a>;
 
     /// The referee's aggregation of all `k` messages.
     fn referee(&self, n: usize, messages: &[SimMessage], shared: &SharedRandomness)
         -> Self::Output;
 }
 
-/// The result of one simultaneous execution.
+/// The result of one simultaneous execution, generic over the cost
+/// recorder (`R = Transcript` keeps the full event log; `R = Tally` is
+/// the counters-only fast path of amplified sweeps).
 #[derive(Debug, Clone)]
-pub struct SimRun<O> {
+pub struct SimRun<O, R = Transcript> {
     /// The referee's output.
     pub output: O,
     /// Communication statistics (1 round; total = Σ message bits).
     pub stats: CommStats,
     /// Bits sent by each player.
     pub per_player_bits: Vec<u64>,
-    /// Per-payload event log: one `ToCoordinator` event per payload sent,
-    /// tagged with the payload's phase.
-    pub transcript: Transcript,
+    /// The recorder: one `ToCoordinator` charge per payload sent, tagged
+    /// with the payload's phase.
+    pub transcript: R,
 }
 
-/// Runs a simultaneous protocol sequentially.
+/// Runs a simultaneous protocol sequentially, with a full transcript.
 pub fn run_simultaneous<P: SimultaneousProtocol>(
     protocol: &P,
     n: usize,
@@ -111,6 +134,19 @@ pub fn run_simultaneous<P: SimultaneousProtocol>(
     shared: SharedRandomness,
 ) -> SimRun<P::Output> {
     let players = players_from_shares(n, shares);
+    run_simultaneous_prepared(protocol, n, &players, shared)
+}
+
+/// Runs a simultaneous protocol over **pre-built** player states,
+/// recording into any [`Recorder`] — the prepared-input fast path:
+/// amplified sweeps build the players once and re-roll only the shared
+/// randomness per repetition (see `docs/RUNTIME.md`).
+pub fn run_simultaneous_prepared<P: SimultaneousProtocol, R: Recorder>(
+    protocol: &P,
+    n: usize,
+    players: &[PlayerState],
+    shared: SharedRandomness,
+) -> SimRun<P::Output, R> {
     let messages: Vec<SimMessage> = players
         .iter()
         .map(|p| protocol.message(p, &shared))
@@ -121,7 +157,9 @@ pub fn run_simultaneous<P: SimultaneousProtocol>(
 /// Runs a simultaneous protocol with every player's message computed on
 /// its own thread — identical output and identical cost to
 /// [`run_simultaneous`], demonstrating that the messages really depend on
-/// private input and shared randomness alone.
+/// private input and shared randomness alone. The messages still borrow
+/// from the players: the scoped threads return borrows into the outer
+/// `players` vector, no detaching clone needed.
 pub fn run_simultaneous_threaded<P>(
     protocol: &P,
     n: usize,
@@ -145,15 +183,16 @@ where
     finish(protocol, n, messages, shared)
 }
 
-fn finish<P: SimultaneousProtocol>(
+fn finish<P: SimultaneousProtocol, R: Recorder>(
     protocol: &P,
     n: usize,
-    messages: Vec<SimMessage>,
+    messages: Vec<SimMessage<'_>>,
     shared: SharedRandomness,
-) -> SimRun<P::Output> {
+) -> SimRun<P::Output, R> {
     let per_player_bits: Vec<u64> = messages.iter().map(|m| m.bit_len(n).get()).collect();
     let total: u64 = per_player_bits.iter().sum();
-    let mut transcript = Transcript::new(messages.len());
+    let mut transcript = R::with_players(messages.len());
+    transcript.reserve_messages(messages.iter().map(|m| m.payloads().len()).sum());
     for (j, m) in messages.iter().enumerate() {
         for (payload, phase) in m.payloads().iter().zip(m.phases()) {
             transcript.set_phase(phase);
@@ -180,14 +219,19 @@ mod tests {
     use triad_graph::VertexId;
 
     /// Toy protocol: everyone sends their full input; referee counts
-    /// distinct edges.
+    /// distinct edges. Exercises the borrowed fast path: the payload is a
+    /// `Cow::Borrowed` view of the player's sorted share.
     struct SendAll;
 
     impl SimultaneousProtocol for SendAll {
         type Output = usize;
 
-        fn message(&self, player: &PlayerState, _shared: &SharedRandomness) -> SimMessage {
-            SimMessage::of(Payload::Edges(player.edges().copied().collect()))
+        fn message<'a>(
+            &self,
+            player: &'a PlayerState,
+            _shared: &SharedRandomness,
+        ) -> SimMessage<'a> {
+            SimMessage::of(Payload::Edges(player.share().into()))
         }
 
         fn referee(&self, _n: usize, messages: &[SimMessage], _shared: &SharedRandomness) -> usize {
@@ -228,15 +272,26 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_message_costs_like_owned() {
+        let p = PlayerState::new(0, 8, &[e(0, 1), e(2, 3)]);
+        let borrowed = SimMessage::of(Payload::Edges(p.share().into()));
+        let owned: SimMessage<'static> = SimMessage::of(Payload::Edges(p.share().to_vec().into()));
+        assert_eq!(borrowed.bit_len(8), owned.bit_len(8));
+        assert_eq!(borrowed.clone().into_owned(), owned);
+    }
+
+    #[test]
     fn transcript_partitions_message_bits_by_phase() {
         struct TwoPhase;
         impl SimultaneousProtocol for TwoPhase {
             type Output = ();
-            fn message(&self, player: &PlayerState, _shared: &SharedRandomness) -> SimMessage {
-                let mut m = SimMessage::of_phased(
-                    Payload::Edges(player.edges().copied().collect()),
-                    "induced-sample",
-                );
+            fn message<'a>(
+                &self,
+                player: &'a PlayerState,
+                _shared: &SharedRandomness,
+            ) -> SimMessage<'a> {
+                let mut m =
+                    SimMessage::of_phased(Payload::Edges(player.share().into()), "induced-sample");
                 m.push_phased(Payload::Bit(true), "verdict");
                 m
             }
@@ -266,7 +321,7 @@ mod tests {
         let mut m = SimMessage::empty();
         assert_eq!(m.bit_len(16), BitCost(0));
         m.push(Payload::Bit(true));
-        m.push(Payload::Edges(vec![e(0, 1)]));
+        m.push(Payload::Edges(vec![e(0, 1)].into()));
         assert_eq!(m.payloads().len(), 2);
         assert_eq!(m.edges().count(), 1);
         assert_eq!(m.bit_len(16), BitCost(1 + 1 + 8));

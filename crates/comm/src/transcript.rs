@@ -125,6 +125,13 @@ impl Transcript {
         }
     }
 
+    /// Pre-reserves space for `additional` further events — callers that
+    /// keep full transcripts on a hot path (e.g. the simultaneous
+    /// runner) size the log once instead of growing it per record.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.events.reserve(additional);
+    }
+
     /// Advances to the next communication round.
     pub fn next_round(&mut self) {
         self.round += 1;
@@ -160,7 +167,7 @@ impl Transcript {
                 }
             }
         }
-        self.total += bits;
+        self.total.accumulate(bits);
         self.events.push(Event {
             round: self.round,
             player,
@@ -193,6 +200,7 @@ impl Transcript {
         } else {
             self.round + 1
         };
+        self.events.reserve(other.events.len());
         for e in &other.events {
             self.events.push(Event {
                 round: e.round + offset,
@@ -200,7 +208,7 @@ impl Transcript {
             });
         }
         self.round = offset + other.round;
-        self.total += other.total;
+        self.total.accumulate(other.total);
         if self.per_player_sent.len() < other.per_player_sent.len() {
             self.per_player_sent.resize(other.per_player_sent.len(), 0);
         }

@@ -56,22 +56,28 @@ where
             break j;
         }
     };
+    // Build every impersonated player first: messages may borrow from
+    // their states, so the states must outlive the referee call.
+    let states: Vec<PlayerState> = (0..k)
+        .map(|player_id| {
+            let share = if player_id == i {
+                &x[0]
+            } else if player_id == j {
+                &x[1]
+            } else {
+                &x[2]
+            };
+            PlayerState::new(player_id, n, share)
+        })
+        .collect();
     let mut messages: Vec<SimMessage> = Vec::with_capacity(k);
     let mut one_way_bits = 0u64;
     let mut total = 0u64;
-    for player_id in 0..k {
-        let share = if player_id == i {
-            &x[0]
-        } else if player_id == j {
-            &x[1]
-        } else {
-            &x[2]
-        };
-        let state = PlayerState::new(player_id, n, share);
-        let msg = protocol.message(&state, &shared);
+    for state in &states {
+        let msg = protocol.message(state, &shared);
         let bits = msg.bit_len(n).get();
         total += bits;
-        if player_id == i || player_id == j {
+        if state.id() == i || state.id() == j {
             one_way_bits += bits;
         }
         messages.push(msg);

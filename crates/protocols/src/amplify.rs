@@ -7,8 +7,12 @@
 //! (This is the cheap direction of amplification — no majority vote
 //! needed, the first witness wins.)
 
-use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
+use std::sync::Arc;
+
+use crate::outcome::{ProtocolError, ProtocolRun, TallyRun, TestOutcome};
+use triad_comm::player::players_from_shares;
 use triad_comm::pool::Pool;
+use triad_comm::{PlayerState, Recorder, Tally};
 use triad_graph::partition::Partition;
 use triad_graph::Graph;
 
@@ -32,6 +36,70 @@ pub fn rep_seed(base_seed: u64, r: u32) -> u64 {
     )
 }
 
+/// A partitioned input with everything seed-independent hoisted out of
+/// the repetition loop: shares validated once, per-player states (sorted
+/// shares, adjacency, degree tables — the §3.2 bucket inputs) built once
+/// and handed to every repetition behind an [`Arc`]. Repetitions then
+/// re-roll only the shared randomness (see `docs/RUNTIME.md`).
+#[derive(Debug, Clone)]
+pub struct PreparedInput<'g> {
+    g: &'g Graph,
+    partition: &'g Partition,
+    n: usize,
+    players: Arc<Vec<PlayerState>>,
+}
+
+impl<'g> PreparedInput<'g> {
+    /// Validates the shares and builds the per-player states, once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidInput`] if a share references a
+    /// vertex outside `g` — the same check every per-run entry point
+    /// performs.
+    pub fn new(g: &'g Graph, partition: &'g Partition) -> Result<Self, ProtocolError> {
+        crate::outcome::validate_shares(g, partition)?;
+        let n = g.vertex_count();
+        Ok(PreparedInput {
+            g,
+            partition,
+            n,
+            players: Arc::new(players_from_shares(n, partition.shares())),
+        })
+    }
+
+    /// The input graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The edge partition.
+    pub fn partition(&self) -> &'g Partition {
+        self.partition
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of players.
+    pub fn k(&self) -> usize {
+        self.players.len()
+    }
+
+    /// The pre-built player states.
+    pub fn players(&self) -> &[PlayerState] {
+        &self.players
+    }
+
+    /// A shared handle to the player states, for transports that outlive
+    /// this borrow (e.g. [`triad_comm::Runtime::prepared_with`]).
+    pub fn shared_players(&self) -> Arc<Vec<PlayerState>> {
+        Arc::clone(&self.players)
+    }
+}
+
 /// Anything that can run once over a partitioned input — implemented by
 /// both tester families, so amplification is written once.
 pub trait Repeatable {
@@ -46,6 +114,24 @@ pub trait Repeatable {
         partition: &Partition,
         seed: u64,
     ) -> Result<ProtocolRun, ProtocolError>;
+
+    /// One run over a [`PreparedInput`], recording into a [`Tally`] —
+    /// the fast path amplified sweeps take. The default falls back to
+    /// [`run_once`](Self::run_once) and down-converts; the testers in
+    /// this crate override it to skip per-rep validation, player
+    /// construction, and event logging entirely.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface their own [`ProtocolError`]s.
+    fn run_prepared(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+    ) -> Result<TallyRun, ProtocolError> {
+        self.run_once(input.graph(), input.partition(), seed)
+            .map(|run| run.to_tally())
+    }
 }
 
 impl<T: Repeatable + ?Sized> Repeatable for &T {
@@ -56,6 +142,14 @@ impl<T: Repeatable + ?Sized> Repeatable for &T {
         seed: u64,
     ) -> Result<ProtocolRun, ProtocolError> {
         (**self).run_once(g, partition, seed)
+    }
+
+    fn run_prepared(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+    ) -> Result<TallyRun, ProtocolError> {
+        (**self).run_prepared(input, seed)
     }
 }
 
@@ -68,6 +162,14 @@ impl Repeatable for crate::UnrestrictedTester {
     ) -> Result<ProtocolRun, ProtocolError> {
         self.run(g, partition, seed)
     }
+
+    fn run_prepared(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+    ) -> Result<TallyRun, ProtocolError> {
+        Ok(self.run_prepared_tally(input, seed))
+    }
 }
 
 impl Repeatable for crate::SimultaneousTester {
@@ -78,6 +180,14 @@ impl Repeatable for crate::SimultaneousTester {
         seed: u64,
     ) -> Result<ProtocolRun, ProtocolError> {
         self.run(g, partition, seed)
+    }
+
+    fn run_prepared(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+    ) -> Result<TallyRun, ProtocolError> {
+        self.run_prepared_tally(input, seed)
     }
 }
 
@@ -179,6 +289,75 @@ pub fn run_amplified_with<T: Repeatable + Sync>(
         outcome: TestOutcome::NoTriangleFound,
         stats,
         transcript,
+    })
+}
+
+/// The amplified **fast path**: prepares the input once, then runs
+/// [`run_amplified_prepared`] on the current pool. This is what bench
+/// loops and sweeps should call when they only need counters — same
+/// verdicts and bit totals as [`run_amplified`], no event log, no
+/// per-repetition player rebuild.
+///
+/// # Errors
+///
+/// Propagates validation errors from [`PreparedInput::new`] and the
+/// first failing repetition's error.
+pub fn run_amplified_tally<T: Repeatable + Sync>(
+    tester: &T,
+    g: &Graph,
+    partition: &Partition,
+    repetitions: u32,
+    base_seed: u64,
+) -> Result<TallyRun, ProtocolError> {
+    let input = PreparedInput::new(g, partition)?;
+    run_amplified_prepared(&Pool::current(), tester, &input, repetitions, base_seed)
+}
+
+/// [`run_amplified_tally`] over an already-prepared input on an explicit
+/// [`Pool`] — the innermost loop of amplified sweeps. Identical
+/// early-exit and in-order reduction semantics to
+/// [`run_amplified_with`]: merged stats and tally totals are
+/// byte-identical to the serial full-transcript path at any thread
+/// count (pinned by `tests/recorder_differential.rs`).
+///
+/// # Errors
+///
+/// Propagates the error of the first failing repetition (in repetition
+/// order, as the serial loop would).
+pub fn run_amplified_prepared<T: Repeatable + Sync>(
+    pool: &Pool,
+    tester: &T,
+    input: &PreparedInput<'_>,
+    repetitions: u32,
+    base_seed: u64,
+) -> Result<TallyRun, ProtocolError> {
+    let reps = repetitions.max(1) as usize;
+    let runs = pool.ordered_map_until(
+        reps,
+        |r| tester.run_prepared(input, rep_seed(base_seed, r as u32)),
+        |run| match run {
+            Ok(run) => run.outcome.found_triangle(),
+            Err(_) => true,
+        },
+    );
+    let mut stats = triad_comm::CommStats::default();
+    let mut tally = Tally::with_players(input.k());
+    for run in runs {
+        let run = run?;
+        stats = stats.merged(run.stats);
+        tally.absorb(&run.transcript);
+        if run.outcome.found_triangle() {
+            return Ok(TallyRun {
+                outcome: run.outcome,
+                stats,
+                transcript: tally,
+            });
+        }
+    }
+    Ok(TallyRun {
+        outcome: TestOutcome::NoTriangleFound,
+        stats,
+        transcript: tally,
     })
 }
 
@@ -301,6 +480,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn prepared_tally_path_matches_transcript_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let g = far_graph(300, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let weak = SimultaneousTester::new(
+            Tuning::practical(0.2).with_scale(0.25),
+            SimProtocolKind::Low { avg_degree: 6.0 },
+        );
+        let input = PreparedInput::new(&g, &parts).unwrap();
+        for seed in [0u64, 5, 17] {
+            let slow = run_amplified_with(&Pool::serial(), &weak, &g, &parts, 8, seed).unwrap();
+            for threads in [1, 2, 8] {
+                let fast =
+                    run_amplified_prepared(&Pool::new(threads), &weak, &input, 8, seed).unwrap();
+                assert_eq!(fast.outcome, slow.outcome, "seed {seed} t{threads}");
+                assert_eq!(fast.stats, slow.stats, "seed {seed} t{threads}");
+                assert_eq!(
+                    fast.transcript.total_bits(),
+                    slow.transcript.total_bits(),
+                    "seed {seed} t{threads}"
+                );
+                assert_eq!(fast.transcript.by_phase(), slow.transcript.by_phase());
+                assert_eq!(fast.transcript.by_player(), slow.transcript.by_player());
+                assert_eq!(fast.transcript.by_round(), slow.transcript.by_round());
+                assert_eq!(
+                    fast.transcript.by_direction(),
+                    slow.transcript.by_direction()
+                );
+                assert_eq!(fast.transcript.breakdown(), slow.transcript.breakdown());
+            }
+        }
+    }
+
+    #[test]
+    fn unrestricted_prepared_tally_matches_its_transcript_run() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let g = far_graph(240, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let tester = crate::UnrestrictedTester::new(Tuning::practical(0.2));
+        let input = PreparedInput::new(&g, &parts).unwrap();
+        for seed in [3u64, 11] {
+            let slow = tester.run(&g, &parts, seed).unwrap();
+            let fast = tester.run_prepared(&input, seed).unwrap();
+            assert_eq!(fast.outcome, slow.outcome, "seed {seed}");
+            assert_eq!(fast.stats, slow.stats, "seed {seed}");
+            assert_eq!(fast.transcript.by_phase(), slow.transcript.by_phase());
+            assert_eq!(fast.transcript.breakdown(), slow.transcript.breakdown());
+        }
+    }
+
+    #[test]
+    fn default_run_prepared_downconverts_faithfully() {
+        // A Repeatable with no fast-path override takes the
+        // run_once + to_tally bridge; it must agree with itself.
+        struct Wrapper(SimultaneousTester);
+        impl Repeatable for Wrapper {
+            fn run_once(
+                &self,
+                g: &Graph,
+                partition: &Partition,
+                seed: u64,
+            ) -> Result<ProtocolRun, ProtocolError> {
+                self.0.run(g, partition, seed)
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let g = far_graph(200, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 3, &mut rng);
+        let tester = Wrapper(SimultaneousTester::new(
+            Tuning::practical(0.2),
+            SimProtocolKind::Low { avg_degree: 6.0 },
+        ));
+        let input = PreparedInput::new(&g, &parts).unwrap();
+        let bridged = tester.run_prepared(&input, 1).unwrap();
+        let native = tester.0.run_prepared_tally(&input, 1).unwrap();
+        assert_eq!(bridged.outcome, native.outcome);
+        assert_eq!(bridged.stats, native.stats);
+        assert_eq!(bridged.transcript, native.transcript);
     }
 
     #[test]

@@ -22,11 +22,11 @@ pub struct SendEverything;
 impl SimultaneousProtocol for SendEverything {
     type Output = Option<Triangle>;
 
-    fn message(&self, player: &PlayerState, _shared: &SharedRandomness) -> SimMessage {
-        SimMessage::of_phased(
-            Payload::Edges(player.edges().copied().collect()),
-            "send-everything",
-        )
+    fn message<'a>(&self, player: &'a PlayerState, _shared: &SharedRandomness) -> SimMessage<'a> {
+        // Borrow the player's sorted share: the whole-input baseline is the
+        // worst case for per-run cloning, and the payload never outlives the
+        // player here.
+        SimMessage::of_phased(Payload::Edges(player.share().into()), "send-everything")
     }
 
     fn referee(
@@ -53,6 +53,24 @@ impl crate::amplify::Repeatable for SendEverything {
         seed: u64,
     ) -> Result<ProtocolRun, ProtocolError> {
         run_send_everything(g, partition, seed)
+    }
+
+    fn run_prepared(
+        &self,
+        input: &crate::amplify::PreparedInput<'_>,
+        seed: u64,
+    ) -> Result<crate::outcome::TallyRun, ProtocolError> {
+        let run = triad_comm::run_simultaneous_prepared::<_, triad_comm::Tally>(
+            self,
+            input.n(),
+            input.players(),
+            SharedRandomness::new(seed),
+        );
+        Ok(crate::outcome::TallyRun {
+            outcome: TestOutcome::from(run.output),
+            stats: run.stats,
+            transcript: run.transcript,
+        })
     }
 }
 

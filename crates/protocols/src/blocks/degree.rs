@@ -16,7 +16,7 @@
 //!    at a correct guess, is declared.
 
 use crate::config::Tuning;
-use triad_comm::{Payload, PlayerRequest, Runtime};
+use triad_comm::{Payload, PlayerRequest, Recorder, Runtime};
 use triad_graph::VertexId;
 
 /// A degree estimate together with how it was produced.
@@ -46,7 +46,11 @@ const THETA: f64 = 0.7;
 /// with probability `≥ 1 − δ` at the tuning's experiment counts.
 /// Cost: `O(k·log log d)` for phase 1 plus
 /// `O(k · log k · experiments)` bits for phase 2.
-pub fn approx_degree(rt: &mut Runtime, v: VertexId, tuning: &Tuning) -> DegreeEstimate {
+pub fn approx_degree<R: Recorder>(
+    rt: &mut Runtime<R>,
+    v: VertexId,
+    tuning: &Tuning,
+) -> DegreeEstimate {
     // Phase 1: MSB round. d' = Σ_j 2^{len_j} satisfies d ≤ d' ≤ 2k·d.
     let responses = rt.broadcast(PlayerRequest::DegreeMsb { v });
     let mut d_prime: f64 = 0.0;
@@ -90,7 +94,7 @@ pub fn approx_degree(rt: &mut Runtime, v: VertexId, tuning: &Tuning) -> DegreeEs
     }
 }
 
-fn run_experiments(rt: &mut Runtime, v: VertexId, guess: f64, m: usize) -> usize {
+fn run_experiments<R: Recorder>(rt: &mut Runtime<R>, v: VertexId, guess: f64, m: usize) -> usize {
     let p = (1.0 / guess).min(1.0);
     let mut successes = 0;
     for _ in 0..m {
@@ -113,7 +117,7 @@ fn run_experiments(rt: &mut Runtime, v: VertexId, guess: f64, m: usize) -> usize
 /// set ("does the sampled pair set intersect your input?").
 ///
 /// Cost: `O(k·log log m + k·log k·experiments)` bits.
-pub fn approx_edge_count(rt: &mut Runtime, tuning: &Tuning) -> DegreeEstimate {
+pub fn approx_edge_count<R: Recorder>(rt: &mut Runtime<R>, tuning: &Tuning) -> DegreeEstimate {
     let responses = rt.broadcast(PlayerRequest::EdgeCountMsb);
     let mut m_prime: f64 = 0.0;
     for p in responses {
@@ -172,7 +176,11 @@ pub fn approx_edge_count(rt: &mut Runtime, tuning: &Tuning) -> DegreeEstimate {
 /// # Panics
 ///
 /// Panics unless `alpha > 1`.
-pub fn approx_degree_no_duplication(rt: &mut Runtime, v: VertexId, alpha: f64) -> DegreeEstimate {
+pub fn approx_degree_no_duplication<R: Recorder>(
+    rt: &mut Runtime<R>,
+    v: VertexId,
+    alpha: f64,
+) -> DegreeEstimate {
     assert!(alpha > 1.0, "alpha must exceed 1");
     // Truncation error per player is < d_j · 2^{1-prefix}; to keep the
     // total within (1 − 1/α)·d we need prefix ≥ 1 − log₂(1 − 1/α).
@@ -194,7 +202,7 @@ pub fn approx_degree_no_duplication(rt: &mut Runtime, v: VertexId, alpha: f64) -
 /// counts: `Σ_j |E_j| ∈ [m, k·m]`, so the return value brackets `m` within
 /// a factor `k`. Costs `O(k log m)` bits. With disjoint inputs the upper
 /// bound is exact.
-pub fn total_edge_count_bound(rt: &mut Runtime) -> (f64, f64) {
+pub fn total_edge_count_bound<R: Recorder>(rt: &mut Runtime<R>) -> (f64, f64) {
     let responses = rt.broadcast(PlayerRequest::LocalEdgeCount);
     let sum: u64 = responses
         .into_iter()

@@ -7,20 +7,25 @@
 //! the frontier vertex.
 
 use std::collections::{HashSet, VecDeque};
-use triad_comm::{PlayerRequest, Runtime};
+use triad_comm::{PlayerRequest, Recorder, Runtime};
 use triad_graph::{Edge, VertexId};
 
 /// Collects every input edge whose endpoints both fall in the public
 /// vertex set drawn under `tag` with probability `p` (deduplicated union;
 /// under the blackboard cost model duplicate postings are free).
-pub fn induced_subgraph_edges(rt: &mut Runtime, tag: u64, p: f64, cap: usize) -> Vec<Edge> {
+pub fn induced_subgraph_edges<R: Recorder>(
+    rt: &mut Runtime<R>,
+    tag: u64,
+    p: f64,
+    cap: usize,
+) -> Vec<Edge> {
     rt.gather_edges(PlayerRequest::InducedEdges { tag, p, cap })
 }
 
 /// Collects every input edge incident to `v` (deduplicated union) —
 /// the "post all neighbors of the examined vertex" step of the paper's
 /// BFS. Costs `O(k + deg(v))` edges' worth of bits.
-pub fn collect_incident_edges(rt: &mut Runtime, v: VertexId) -> Vec<Edge> {
+pub fn collect_incident_edges<R: Recorder>(rt: &mut Runtime<R>, v: VertexId) -> Vec<Edge> {
     // p = 1 over a throwaway tag: the sampled set is all of V.
     rt.gather_edges(PlayerRequest::IncidentEdgesSampled {
         v,
@@ -32,7 +37,11 @@ pub fn collect_incident_edges(rt: &mut Runtime, v: VertexId) -> Vec<Edge> {
 
 /// Distributed BFS from `start`, exploring at most `max_vertices`
 /// vertices; returns the visited set in discovery order.
-pub fn bfs(rt: &mut Runtime, start: VertexId, max_vertices: usize) -> Vec<VertexId> {
+pub fn bfs<R: Recorder>(
+    rt: &mut Runtime<R>,
+    start: VertexId,
+    max_vertices: usize,
+) -> Vec<VertexId> {
     let mut seen: HashSet<VertexId> = HashSet::new();
     let mut order = Vec::new();
     let mut queue = VecDeque::new();

@@ -24,13 +24,13 @@ pub use degree::{
 pub use induced::{bfs, collect_incident_edges, induced_subgraph_edges};
 pub use random_edge::{random_edge, random_incident_edge, random_walk};
 
-use triad_comm::{Payload, PlayerRequest, Runtime};
+use triad_comm::{Payload, PlayerRequest, Recorder, Runtime};
 use triad_graph::Edge;
 
 /// Queries whether `e` is in the (global) input graph: each player reports
 /// one bit and the coordinator ORs them — `O(k)` bits, the dense-model
 /// primitive.
-pub fn edge_exists(rt: &mut Runtime, e: Edge) -> bool {
+pub fn edge_exists<R: Recorder>(rt: &mut Runtime<R>, e: Edge) -> bool {
     rt.broadcast(PlayerRequest::HasEdge(e))
         .into_iter()
         .any(|p| p == Payload::Bit(true))

@@ -7,12 +7,12 @@
 //! present edge is equally likely to be the global minimum regardless of
 //! how many players hold it.
 
-use triad_comm::{Payload, PlayerRequest, Runtime};
+use triad_comm::{Payload, PlayerRequest, Recorder, Runtime};
 use triad_graph::{Edge, VertexId};
 
 /// Draws a uniformly random edge of the input graph, or `None` if the
 /// graph is empty. Costs `O(k log n)` bits.
-pub fn random_edge(rt: &mut Runtime) -> Option<Edge> {
+pub fn random_edge<R: Recorder>(rt: &mut Runtime<R>) -> Option<Edge> {
     let tag = rt.fresh_tag();
     let shared = rt.shared();
     rt.broadcast(PlayerRequest::FirstEdge { perm_tag: tag })
@@ -26,7 +26,7 @@ pub fn random_edge(rt: &mut Runtime) -> Option<Edge> {
 
 /// Draws a uniformly random edge incident to `v`, or `None` if `v` is
 /// isolated — the sparse-model neighbor primitive. Costs `O(k log n)`.
-pub fn random_incident_edge(rt: &mut Runtime, v: VertexId) -> Option<Edge> {
+pub fn random_incident_edge<R: Recorder>(rt: &mut Runtime<R>, v: VertexId) -> Option<Edge> {
     let tag = rt.fresh_tag();
     let shared = rt.shared();
     rt.broadcast(PlayerRequest::FirstIncidentEdge { v, perm_tag: tag })
@@ -41,7 +41,11 @@ pub fn random_incident_edge(rt: &mut Runtime, v: VertexId) -> Option<Edge> {
 /// Simulates a `steps`-step random walk from `start` by repeated
 /// random-neighbor draws; stops early at an isolated vertex. Returns the
 /// visited vertices including `start`.
-pub fn random_walk(rt: &mut Runtime, start: VertexId, steps: usize) -> Vec<VertexId> {
+pub fn random_walk<R: Recorder>(
+    rt: &mut Runtime<R>,
+    start: VertexId,
+    steps: usize,
+) -> Vec<VertexId> {
     let mut path = vec![start];
     let mut at = start;
     for _ in 0..steps {

@@ -57,7 +57,7 @@ impl TriangleCounter {
 impl SimultaneousProtocol for TriangleCounter {
     type Output = CountOutput;
 
-    fn message(&self, player: &PlayerState, shared: &SharedRandomness) -> SimMessage {
+    fn message<'a>(&self, player: &'a PlayerState, shared: &SharedRandomness) -> SimMessage<'a> {
         let mut out = Vec::new();
         for e in player.edges() {
             if shared.vertex_sampled(COUNT_TAG, e.u(), self.p)
@@ -69,7 +69,7 @@ impl SimultaneousProtocol for TriangleCounter {
                 }
             }
         }
-        SimMessage::of(Payload::Edges(out))
+        SimMessage::of(Payload::Edges(out.into()))
     }
 
     fn referee(

@@ -53,7 +53,8 @@ pub mod simultaneous;
 pub mod subgraphs;
 pub mod unrestricted;
 
+pub use amplify::{PreparedInput, Repeatable};
 pub use config::{Preset, Tuning};
-pub use outcome::{ProtocolError, ProtocolRun, TestOutcome};
+pub use outcome::{ProtocolError, ProtocolRun, TallyRun, TestOutcome};
 pub use simultaneous::{SimProtocolKind, SimultaneousTester};
 pub use unrestricted::UnrestrictedTester;

@@ -1,6 +1,6 @@
 //! Protocol outcomes and errors.
 
-use triad_comm::{CommStats, Transcript};
+use triad_comm::{CommStats, Tally, Transcript};
 use triad_graph::Triangle;
 
 /// The verdict of a one-sided triangle-freeness test.
@@ -46,25 +46,49 @@ impl From<Option<Triangle>> for TestOutcome {
     }
 }
 
-/// A completed protocol execution: verdict plus communication statistics.
+/// A completed protocol execution: verdict plus communication
+/// statistics, generic over the cost recorder. The default
+/// (`R = Transcript`) carries the full event log behind `triad report`;
+/// the fast path of amplified sweeps uses [`TallyRun`], which carries
+/// only counters (see `docs/RUNTIME.md`).
 #[derive(Debug, Clone)]
-pub struct ProtocolRun {
+pub struct ProtocolRun<R = Transcript> {
     /// The tester's verdict.
     pub outcome: TestOutcome,
     /// Bits, rounds and message counts of the run.
     pub stats: CommStats,
-    /// The full event log of the run, with per-phase attribution; feeds
-    /// the rollups behind `triad report`.
-    pub transcript: Transcript,
+    /// The recorder: the full per-phase event log by default, or a
+    /// [`Tally`] of the same charges on the fast path.
+    pub transcript: R,
 }
 
-impl ProtocolRun {
+/// A run recorded by the zero-allocation [`Tally`] — what
+/// [`run_prepared`](crate::amplify::Repeatable::run_prepared) and the
+/// amplified fast path return.
+pub type TallyRun = ProtocolRun<Tally>;
+
+impl<R> ProtocolRun<R> {
     /// The verdict as the stable string used in exported reports.
     pub fn outcome_str(&self) -> &'static str {
         if self.outcome.found_triangle() {
             "triangle-found"
         } else {
             "accepted"
+        }
+    }
+}
+
+impl ProtocolRun {
+    /// Down-converts the full event log to a counters-only tally (every
+    /// rollup unchanged) — the compatibility bridge for [`Repeatable`]
+    /// implementations without a native fast path.
+    ///
+    /// [`Repeatable`]: crate::amplify::Repeatable
+    pub fn to_tally(&self) -> TallyRun {
+        TallyRun {
+            outcome: self.outcome,
+            stats: self.stats,
+            transcript: Tally::from_transcript(&self.transcript),
         }
     }
 }

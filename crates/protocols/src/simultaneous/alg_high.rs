@@ -42,7 +42,7 @@ impl AlgHigh {
 impl SimultaneousProtocol for AlgHigh {
     type Output = Option<Triangle>;
 
-    fn message(&self, player: &PlayerState, shared: &SharedRandomness) -> SimMessage {
+    fn message<'a>(&self, player: &'a PlayerState, shared: &SharedRandomness) -> SimMessage<'a> {
         let n = player.n();
         let p = self.sample_probability(n);
         let cap = self.cap(n);
@@ -55,7 +55,7 @@ impl SimultaneousProtocol for AlgHigh {
                 }
             }
         }
-        SimMessage::of_phased(Payload::Edges(out), "induced-sample")
+        SimMessage::of_phased(Payload::Edges(out.into()), "induced-sample")
     }
 
     fn referee(

@@ -51,7 +51,7 @@ impl AlgLow {
 impl SimultaneousProtocol for AlgLow {
     type Output = Option<Triangle>;
 
-    fn message(&self, player: &PlayerState, shared: &SharedRandomness) -> SimMessage {
+    fn message<'a>(&self, player: &'a PlayerState, shared: &SharedRandomness) -> SimMessage<'a> {
         let n = player.n();
         let (p1, p2) = self.probabilities(n);
         let cap = self.cap(n);
@@ -69,7 +69,7 @@ impl SimultaneousProtocol for AlgLow {
                 }
             }
         }
-        SimMessage::of_phased(Payload::Edges(out), "r-cross-edges")
+        SimMessage::of_phased(Payload::Edges(out.into()), "r-cross-edges")
     }
 
     fn referee(

@@ -22,9 +22,11 @@ pub use alg_high::AlgHigh;
 pub use alg_low::AlgLow;
 pub use oblivious::Oblivious;
 
+use crate::amplify::PreparedInput;
 use crate::config::Tuning;
-use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
-use triad_comm::{run_simultaneous, SharedRandomness, SimMessage};
+use crate::outcome::{ProtocolError, ProtocolRun, TallyRun, TestOutcome};
+use triad_comm::player::players_from_shares;
+use triad_comm::{run_simultaneous_prepared, PlayerState, Recorder, SharedRandomness, SimMessage};
 use triad_graph::partition::Partition;
 use triad_graph::{triangles, Graph, GraphBuilder, Triangle};
 
@@ -113,6 +115,35 @@ impl SimultaneousTester {
     ) -> Result<ProtocolRun, ProtocolError> {
         let n = g.vertex_count();
         crate::outcome::validate_shares(g, partition)?;
+        let players = players_from_shares(n, partition.shares());
+        self.run_with(n, &players, seed)
+    }
+
+    /// Runs one simultaneous round over a [`PreparedInput`], recording
+    /// only a tally — the per-repetition fast path: shares are already
+    /// validated and the player states already built, so a repetition
+    /// re-rolls nothing but the shared randomness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidInput`] on non-positive degree
+    /// hints.
+    pub fn run_prepared_tally(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+    ) -> Result<TallyRun, ProtocolError> {
+        self.run_with(input.n(), input.players(), seed)
+    }
+
+    /// The dispatch shared by every entry point, generic over the
+    /// recorder.
+    fn run_with<R: Recorder>(
+        &self,
+        n: usize,
+        players: &[PlayerState],
+        seed: u64,
+    ) -> Result<ProtocolRun<R>, ProtocolError> {
         let shared = SharedRandomness::new(seed);
         let run = match self.kind {
             SimProtocolKind::High { avg_degree } => {
@@ -122,7 +153,7 @@ impl SimultaneousTester {
                     ));
                 }
                 let p = AlgHigh::new(self.tuning, avg_degree);
-                run_simultaneous(&p, n, partition.shares(), shared)
+                run_simultaneous_prepared(&p, n, players, shared)
             }
             SimProtocolKind::Low { avg_degree } => {
                 if avg_degree <= 0.0 {
@@ -131,11 +162,11 @@ impl SimultaneousTester {
                     ));
                 }
                 let p = AlgLow::new(self.tuning, avg_degree);
-                run_simultaneous(&p, n, partition.shares(), shared)
+                run_simultaneous_prepared(&p, n, players, shared)
             }
             SimProtocolKind::Oblivious => {
-                let p = Oblivious::new(self.tuning, partition.players());
-                run_simultaneous(&p, n, partition.shares(), shared)
+                let p = Oblivious::new(self.tuning, players.len());
+                run_simultaneous_prepared(&p, n, players, shared)
             }
         };
         Ok(ProtocolRun {
@@ -234,8 +265,8 @@ mod tests {
     fn referee_unions_messages() {
         use triad_comm::Payload;
         let e = |a, b| triad_graph::Edge::new(triad_graph::VertexId(a), triad_graph::VertexId(b));
-        let m1 = SimMessage::of(Payload::Edges(vec![e(0, 1), e(1, 2)]));
-        let m2 = SimMessage::of(Payload::Edges(vec![e(0, 2)]));
+        let m1 = SimMessage::of(Payload::Edges(vec![e(0, 1), e(1, 2)].into()));
+        let m2 = SimMessage::of(Payload::Edges(vec![e(0, 2)].into()));
         let t = referee_find_triangle(3, &[m1, m2]).unwrap();
         assert_eq!(t.vertices().len(), 3);
         let empty = referee_find_triangle(3, &[]);

@@ -66,7 +66,7 @@ impl Oblivious {
 impl SimultaneousProtocol for Oblivious {
     type Output = Option<Triangle>;
 
-    fn message(&self, player: &PlayerState, shared: &SharedRandomness) -> SimMessage {
+    fn message<'a>(&self, player: &'a PlayerState, shared: &SharedRandomness) -> SimMessage<'a> {
         let n = player.n();
         let sqrt_n = (n as f64).sqrt();
         let d_bar = player.local_average_degree();
@@ -88,7 +88,7 @@ impl SimultaneousProtocol for Oblivious {
                         }
                     }
                 }
-                msg.push_phased(Payload::Edges(out), "oblivious-high-guess");
+                msg.push_phased(Payload::Edges(out.into()), "oblivious-high-guess");
             } else {
                 // AlgLow-style instance at density guess `guess`.
                 let c = self.tuning.low_c();
@@ -110,7 +110,7 @@ impl SimultaneousProtocol for Oblivious {
                         }
                     }
                 }
-                msg.push_phased(Payload::Edges(out), "oblivious-low-guess");
+                msg.push_phased(Payload::Edges(out.into()), "oblivious-low-guess");
             }
         }
         msg

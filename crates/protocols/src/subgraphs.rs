@@ -72,7 +72,7 @@ impl SimHFreeness {
 impl SimultaneousProtocol for SimHFreeness {
     type Output = Option<Vec<VertexId>>;
 
-    fn message(&self, player: &PlayerState, shared: &SharedRandomness) -> SimMessage {
+    fn message<'a>(&self, player: &'a PlayerState, shared: &SharedRandomness) -> SimMessage<'a> {
         let n = player.n();
         let p = self.sample_probability(n).min(1.0);
         let cap = self.cap(n);
@@ -85,7 +85,7 @@ impl SimultaneousProtocol for SimHFreeness {
                 }
             }
         }
-        SimMessage::of(Payload::Edges(out))
+        SimMessage::of(Payload::Edges(out.into()))
     }
 
     fn referee(

@@ -27,7 +27,7 @@ pub use search::{
 use crate::blocks;
 use crate::config::Tuning;
 use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
-use triad_comm::{CostModel, Runtime, SharedRandomness};
+use triad_comm::{CostModel, Recorder, Runtime, SharedRandomness};
 use triad_graph::buckets;
 use triad_graph::partition::Partition;
 use triad_graph::Graph;
@@ -143,12 +143,47 @@ impl UnrestrictedTester {
         })
     }
 
-    /// Runs the tester over an existing runtime (threaded, blackboard, …).
+    /// Runs the tester over a [`PreparedInput`](crate::amplify::PreparedInput),
+    /// recording only a tally — the per-repetition fast path: shares are
+    /// already validated and the player states already built and shared
+    /// behind an `Arc`, so a repetition re-rolls nothing but the shared
+    /// randomness.
+    pub fn run_prepared_tally(
+        &self,
+        input: &crate::amplify::PreparedInput<'_>,
+        seed: u64,
+    ) -> crate::outcome::TallyRun {
+        self.run_prepared_recorded::<triad_comm::Tally>(input, seed)
+    }
+
+    /// [`run_prepared_tally`](Self::run_prepared_tally) with the recorder
+    /// left to the caller — prepared players, any cost bookkeeping.
+    pub fn run_prepared_recorded<R: Recorder>(
+        &self,
+        input: &crate::amplify::PreparedInput<'_>,
+        seed: u64,
+    ) -> crate::outcome::ProtocolRun<R> {
+        let mut rt = Runtime::<R>::prepared_with(
+            input.n(),
+            input.shared_players(),
+            SharedRandomness::new(seed),
+            self.cost_model,
+        );
+        let outcome = self.run_on(&mut rt);
+        crate::outcome::ProtocolRun {
+            outcome,
+            stats: rt.stats(),
+            transcript: rt.into_recorder(),
+        }
+    }
+
+    /// Runs the tester over an existing runtime (threaded, blackboard,
+    /// tally-recording, …).
     ///
     /// This is FindTriangle (Algorithm 6) with the degree-oblivious window
     /// of Corollary 3.22: the scan range is derived from communicated
     /// bounds on the edge count, never from ground truth.
-    pub fn run_on(&self, rt: &mut Runtime) -> TestOutcome {
+    pub fn run_on<R: Recorder>(&self, rt: &mut Runtime<R>) -> TestOutcome {
         let n = rt.n();
         let k = rt.k() as f64;
         // Corollary 3.22: bracket the average degree from the players'

@@ -5,7 +5,7 @@
 use crate::blocks::approx_degree;
 use crate::config::Tuning;
 use std::collections::HashSet;
-use triad_comm::{Payload, PlayerRequest, Runtime};
+use triad_comm::{Payload, PlayerRequest, Recorder, Runtime};
 use triad_graph::{buckets, Triangle, VertexId};
 
 /// A candidate full vertex with its approximate degree.
@@ -27,8 +27,8 @@ const FILTER_ALPHA: f64 = 3.0;
 /// `B̃_i = ⋃_j B̃_i^j` by taking the first suspect under a public random
 /// permutation. Unbiased regardless of how many players suspect a vertex.
 /// Returns `None` if no player has any suspect for this bucket.
-pub fn sample_uniform_from_btilde(
-    rt: &mut Runtime,
+pub fn sample_uniform_from_btilde<R: Recorder>(
+    rt: &mut Runtime<R>,
     bucket: usize,
     perm_tag: u64,
 ) -> Option<VertexId> {
@@ -58,7 +58,11 @@ pub fn sample_uniform_from_btilde(
 /// replacement from `B̃_i` — same total bits, one pass per player. A
 /// first small batch usually suffices; the full budget is fetched only
 /// if the degree filter starves.
-pub fn get_full_candidates(rt: &mut Runtime, bucket: usize, tuning: &Tuning) -> Vec<Candidate> {
+pub fn get_full_candidates<R: Recorder>(
+    rt: &mut Runtime<R>,
+    bucket: usize,
+    tuning: &Tuning,
+) -> Vec<Candidate> {
     let n = rt.n();
     let k = rt.k();
     let budget = tuning.sample_budget(n, k);
@@ -101,7 +105,12 @@ pub fn get_full_candidates(rt: &mut Runtime, bucket: usize, tuning: &Tuning) -> 
 
 /// One batched suspect round: the `count` globally lowest-ranked
 /// suspects of `B̃_i` under the public permutation named by `tag`.
-fn suspect_batch(rt: &mut Runtime, bucket: usize, tag: u64, count: usize) -> Vec<VertexId> {
+fn suspect_batch<R: Recorder>(
+    rt: &mut Runtime<R>,
+    bucket: usize,
+    tag: u64,
+    count: usize,
+) -> Vec<VertexId> {
     let shared = rt.shared();
     let k = rt.k();
     let mut all: Vec<VertexId> = Vec::new();
@@ -124,8 +133,8 @@ fn suspect_batch(rt: &mut Runtime, bucket: usize, tag: u64, count: usize) -> Vec
 /// Algorithm 4: samples each edge incident to `v` with the
 /// birthday-paradox probability `p ≈ c·√(log n/(ε·d'))` and collects the
 /// players' sampled edges (per-player cap per the cutoff rule).
-pub fn sample_edges_at(
-    rt: &mut Runtime,
+pub fn sample_edges_at<R: Recorder>(
+    rt: &mut Runtime<R>,
     candidate: Candidate,
     tuning: &Tuning,
 ) -> Vec<triad_graph::Edge> {
@@ -145,7 +154,11 @@ pub fn sample_edges_at(
 
 /// Algorithm 5: for each candidate, sample its edges, post them to all
 /// players, and let anyone holding a closing edge finish the triangle.
-pub fn find_triangle_vee(rt: &mut Runtime, bucket: usize, tuning: &Tuning) -> Option<Triangle> {
+pub fn find_triangle_vee<R: Recorder>(
+    rt: &mut Runtime<R>,
+    bucket: usize,
+    tuning: &Tuning,
+) -> Option<Triangle> {
     let candidates = rt.phase("find-candidates", |rt| {
         get_full_candidates(rt, bucket, tuning)
     });

@@ -167,7 +167,7 @@ proptest! {
         both.extend(to_edges(&edges_b));
         let n = 64;
         prop_assert!(
-            Payload::Edges(a).bit_len(n) <= Payload::Edges(both).bit_len(n)
+            Payload::Edges(a.into()).bit_len(n) <= Payload::Edges(both.into()).bit_len(n)
         );
     }
 

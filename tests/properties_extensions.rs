@@ -161,14 +161,14 @@ proptest! {
                 player: &PlayerState,
                 prior: &[SimMessage],
                 _shared: &SharedRandomness,
-            ) -> SimMessage {
+            ) -> SimMessage<'static> {
                 let mut edges: Vec<Edge> = player.edges().copied().collect();
                 for m in prior {
                     edges.extend(m.edges());
                 }
                 edges.sort_unstable();
                 edges.dedup();
-                SimMessage::of(Payload::Edges(edges))
+                SimMessage::of(Payload::Edges(edges.into()))
             }
             fn output(
                 &self,

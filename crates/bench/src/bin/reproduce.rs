@@ -15,8 +15,11 @@
 //! naive-vs-kernel triangle timings as `DIR/BENCH_kernels.json`
 //! (wall-clock, machine-dependent — see `docs/KERNELS.md`), plus the
 //! amplified-sweep recorder/prepared-input timings as
-//! `DIR/BENCH_runtime.json` (see `docs/RUNTIME.md`).
+//! `DIR/BENCH_runtime.json` (see `docs/RUNTIME.md`), plus the
+//! deterministic fault-injection matrix as `DIR/BENCH_chaos.json`
+//! (byte-diffable — see `docs/FAULTS.md`).
 
+use triad_bench::chaos::{chaos_suite, write_chaos_json};
 use triad_bench::experiments::{all, Scale};
 use triad_bench::kernels::{kernel_suite, write_kernels_json};
 use triad_bench::report::{standard_suite, write_bench_json};
@@ -95,6 +98,14 @@ fn main() {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("failed to write BENCH_runtime.json to {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let cells = chaos_suite(scale);
+        match write_chaos_json(std::path::Path::new(&dir), &cells) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_chaos.json to {dir}: {e}");
                 std::process::exit(1);
             }
         }

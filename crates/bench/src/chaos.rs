@@ -1,0 +1,270 @@
+//! Chaos-matrix benchmark — the `BENCH_chaos.json` export.
+//!
+//! Sweeps fault rate × protocol × player count over a deterministic
+//! triangle-free workload and records, per cell, the quorum-gated
+//! verdict, per-error-kind failure counts, the faults actually injected,
+//! and the recovery traffic charged under
+//! [`triad_comm::RETRANSMIT_LABEL`]. Unlike the timing benches
+//! (`BENCH_runtime.json`, `BENCH_kernels.json`) every number here is
+//! deterministic — same seeds, same plan, same verdict at any thread
+//! count — so `BENCH_chaos.json` is byte-diffable across machines.
+//!
+//! The rate-0 rows are the control group: the fault-free chaos path is
+//! byte-identical to the plain amplified path (pinned by
+//! `tests/chaos_differential.rs`), so those rows must show zero
+//! failures, zero injections and zero retransmitted bits.
+
+use crate::experiments::Scale;
+use crate::runtime::bipartite_workload;
+use triad_comm::pool::Pool;
+use triad_comm::{FaultPlan, FaultRates};
+use triad_protocols::amplify::PreparedInput;
+use triad_protocols::baseline::SendEverything;
+use triad_protocols::{
+    run_chaos_amplified, ChaosRun, Repeatable, SimProtocolKind, SimultaneousTester, Tuning,
+    UnrestrictedTester, DEFAULT_QUORUM,
+};
+
+/// One cell of the chaos matrix: one protocol amplified under one fault
+/// plan on one workload.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Protocol under amplification.
+    pub protocol: String,
+    /// Fault mix of the plan (`none` or `mixed`).
+    pub faults: String,
+    /// Aggregate per-delivery fault rate of the plan.
+    pub rate: f64,
+    /// Vertex count of the (triangle-free) input.
+    pub vertices: usize,
+    /// Edge count of the input.
+    pub edges: usize,
+    /// Number of players.
+    pub players: usize,
+    /// Scheduled repetitions (all attempted: the input is triangle-free,
+    /// so no witness short-circuits the sweep).
+    pub repetitions: u32,
+    /// The fault plan's seed.
+    pub seed: u64,
+    /// The survivor quorum applied.
+    pub quorum: f64,
+    /// The completed chaos run behind the cell.
+    pub run: ChaosRun,
+}
+
+impl ChaosCell {
+    fn to_json(&self) -> String {
+        let r = &self.run;
+        let mut s = String::from("{");
+        s.push_str(&format!("\"protocol\":\"{}\",", self.protocol));
+        s.push_str(&format!("\"faults\":\"{}\",", self.faults));
+        s.push_str(&format!("\"rate\":{:.3},", self.rate));
+        s.push_str(&format!("\"vertices\":{},", self.vertices));
+        s.push_str(&format!("\"edges\":{},", self.edges));
+        s.push_str(&format!("\"players\":{},", self.players));
+        s.push_str(&format!("\"repetitions\":{},", self.repetitions));
+        s.push_str(&format!("\"seed\":{},", self.seed));
+        s.push_str(&format!("\"quorum\":{:.3},", self.quorum));
+        s.push_str(&format!("\"outcome\":\"{}\",", r.outcome.as_str()));
+        s.push_str(&format!("\"survived\":{},", r.survived));
+        s.push_str(&format!("\"attempted\":{},", r.attempted));
+        s.push_str(&format!("\"needed\":{},", r.needed));
+        s.push_str(&format!(
+            "\"failures\":{{\"transport\":{},\"timeout\":{},\"corrupt\":{},\"aborted\":{}}},",
+            r.failures.transport, r.failures.timeout, r.failures.corrupt, r.failures.aborted
+        ));
+        s.push_str(&format!(
+            "\"injected\":{{\"drops\":{},\"corruptions\":{},\"duplicates\":{},\"delays\":{},\"crashes\":{}}},",
+            r.injected.drops,
+            r.injected.corruptions,
+            r.injected.duplicates,
+            r.injected.delays,
+            r.injected.crashes
+        ));
+        s.push_str(&format!("\"total_bits\":{},", r.stats.total_bits));
+        s.push_str(&format!("\"retransmit_bits\":{}", r.retransmit_bits()));
+        s.push('}');
+        s
+    }
+}
+
+/// Runs one chaos cell: `protocol` amplified `repetitions` times on
+/// `input` under a [`FaultRates::mixed`] plan at `rate` (rate 0 uses
+/// [`FaultRates::none`] and is labelled `none`).
+pub fn chaos_cell<T: Repeatable + Sync>(
+    pool: &Pool,
+    protocol: &str,
+    tester: &T,
+    input: &PreparedInput<'_>,
+    repetitions: u32,
+    rate: f64,
+    plan_seed: u64,
+) -> ChaosCell {
+    let (faults, rates) = if rate == 0.0 {
+        ("none", FaultRates::none())
+    } else {
+        ("mixed", FaultRates::mixed(rate))
+    };
+    let run = run_chaos_amplified(
+        pool,
+        tester,
+        input,
+        repetitions,
+        11,
+        &FaultPlan::new(plan_seed, rates),
+        DEFAULT_QUORUM,
+    );
+    ChaosCell {
+        protocol: protocol.to_string(),
+        faults: faults.to_string(),
+        rate,
+        vertices: input.n(),
+        edges: input.graph().edge_count(),
+        players: input.k(),
+        repetitions,
+        seed: plan_seed,
+        quorum: DEFAULT_QUORUM,
+        run,
+    }
+}
+
+/// The standard chaos matrix: fault rates × protocols × player counts
+/// on triangle-free bipartite workloads, all at the default (unanimous)
+/// quorum. Repetitions run on the current worker pool; the numbers are
+/// thread-count-invariant.
+pub fn chaos_suite(scale: Scale) -> Vec<ChaosCell> {
+    let (n, d) = scale.pick((400, 6.0), (2000, 8.0));
+    let reps = scale.pick(6, 16);
+    let rates: &[f64] = scale.pick(&[0.0, 0.05, 0.2][..], &[0.0, 0.02, 0.05, 0.1, 0.2][..]);
+    let ks: &[usize] = scale.pick(&[4][..], &[4, 8][..]);
+    let tuning = Tuning::practical(0.2);
+    let pool = Pool::current();
+    let mut cells = Vec::new();
+    for &k in ks {
+        let (g, parts) = bipartite_workload(n, d, k, 7);
+        let input = PreparedInput::new(&g, &parts).expect("valid workload");
+        let unrestricted = UnrestrictedTester::new(tuning);
+        let sim_low = SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d });
+        let testers: [(&str, &(dyn Repeatable + Sync)); 3] = [
+            ("unrestricted", &unrestricted),
+            ("sim-low", &sim_low),
+            ("send-everything", &SendEverything),
+        ];
+        for (pi, (name, tester)) in testers.into_iter().enumerate() {
+            for (ri, &rate) in rates.iter().enumerate() {
+                // A distinct plan seed per cell so cells don't share
+                // fault streams; the derivation is fixed, so the matrix
+                // is reproducible end to end.
+                let plan_seed = 0xC4A0_5EED ^ ((k as u64) << 16) ^ ((pi as u64) << 8) ^ ri as u64;
+                cells.push(chaos_cell(
+                    &pool, name, &tester, &input, reps, rate, plan_seed,
+                ));
+            }
+        }
+    }
+    cells
+}
+
+/// Writes cells to `<dir>/BENCH_chaos.json` (creating `dir` if needed)
+/// and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_chaos_json(
+    dir: &std::path::Path,
+    cells: &[ChaosCell],
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("BENCH_chaos.json");
+    let body: Vec<String> = cells.iter().map(|c| format!("  {}", c.to_json())).collect();
+    std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_cells() -> Vec<ChaosCell> {
+        let (g, parts) = bipartite_workload(200, 4.0, 3, 5);
+        let input = PreparedInput::new(&g, &parts).unwrap();
+        let pool = Pool::serial();
+        vec![
+            chaos_cell(&pool, "send-everything", &SendEverything, &input, 4, 0.0, 9),
+            chaos_cell(&pool, "send-everything", &SendEverything, &input, 4, 0.3, 9),
+        ]
+    }
+
+    #[test]
+    fn rate_zero_cell_is_a_clean_control() {
+        let cells = mini_cells();
+        let control = &cells[0];
+        assert_eq!(control.faults, "none");
+        assert_eq!(control.run.failures.total(), 0);
+        assert_eq!(control.run.injected.total(), 0);
+        assert_eq!(control.run.retransmit_bits(), 0);
+        assert_eq!(control.run.survived, control.run.attempted);
+        assert_eq!(control.run.outcome.as_str(), "accepted");
+    }
+
+    #[test]
+    fn faulted_cell_injects_and_never_flips_the_verdict() {
+        let cells = mini_cells();
+        let faulted = &cells[1];
+        assert_eq!(faulted.faults, "mixed");
+        assert!(
+            faulted.run.injected.total() > 0,
+            "{:?}",
+            faulted.run.injected
+        );
+        // A one-sided tester on a triangle-free input can only accept or
+        // refuse — a chaos cell must never invent a witness.
+        assert!(matches!(
+            faulted.run.outcome.as_str(),
+            "accepted" | "inconclusive"
+        ));
+    }
+
+    #[test]
+    fn cells_are_deterministic_across_thread_counts() {
+        let (g, parts) = bipartite_workload(200, 4.0, 3, 5);
+        let input = PreparedInput::new(&g, &parts).unwrap();
+        let serial = chaos_cell(
+            &Pool::serial(),
+            "send-everything",
+            &SendEverything,
+            &input,
+            5,
+            0.25,
+            13,
+        );
+        for threads in [2, 8] {
+            let par = chaos_cell(
+                &Pool::new(threads),
+                "send-everything",
+                &SendEverything,
+                &input,
+                5,
+                0.25,
+                13,
+            );
+            assert_eq!(par.to_json(), serial.to_json(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chaos_json_is_well_formed() {
+        let cells = mini_cells();
+        let dir = std::env::temp_dir().join(format!("triad-chaos-json-{}", std::process::id()));
+        let path = write_chaos_json(&dir, &cells).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_chaos.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"));
+        assert!(text.contains("\"outcome\""));
+        assert!(text.contains("\"failures\":{\"transport\":"));
+        assert!(text.contains("\"injected\":{\"drops\":"));
+        assert!(text.contains("\"retransmit_bits\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -5,6 +5,8 @@
 //! the experiment index (E1–E12) and `EXPERIMENTS.md` for the recorded
 //! paper-vs-measured comparison.
 //!
+//! * [`chaos`] — deterministic fault-injection matrix: survival and
+//!   retransmission accounting per fault rate (`BENCH_chaos.json`),
 //! * [`fit`] — log-log regression for scaling exponents,
 //! * [`kernels`] — naive-vs-kernel triangle timings (`BENCH_kernels.json`),
 //! * [`predict`] — the paper's bounds evaluated at concrete parameters,
@@ -16,6 +18,7 @@
 //! * [`experiments`] — one function per experiment, each returning a
 //!   [`table::Report`].
 
+pub mod chaos;
 pub mod experiments;
 pub mod fit;
 pub mod kernels;

@@ -1,6 +1,6 @@
 //! Amplified-sweep runtime microbench — the `BENCH_runtime.json` export.
 //!
-//! Times three implementations of the same amplified sweep (all
+//! Times four implementations of the same amplified sweep (all
 //! repetitions of a one-sided tester on a triangle-free input, so no
 //! early exit shortens any path):
 //!
@@ -12,7 +12,10 @@
 //! * **full** — the current full-transcript path over a
 //!   [`PreparedInput`] (players built once, payloads borrowed);
 //! * **tally** — the fast path: prepared input plus the zero-allocation
-//!   [`Tally`] recorder.
+//!   [`Tally`] recorder;
+//! * **pooled** — the tally fast path with the prepared players shared
+//!   across the workers of a deterministic pool: repetitions are
+//!   sharded, results merged in repetition order.
 //!
 //! Outcomes and total bit counts are asserted equal across all three
 //! while timing, so a speedup can never be reported for a path that
@@ -83,6 +86,12 @@ pub struct RuntimeTiming {
     pub full_ms: f64,
     /// Prepared input + `Tally` fast path, milliseconds.
     pub tally_ms: f64,
+    /// Tally fast path with the prepared players shared across a
+    /// multi-worker pool, milliseconds. Verdict, stats and bits are
+    /// asserted identical to the serial paths (docs/PARALLELISM.md).
+    pub pooled_ms: f64,
+    /// Worker count of the pooled run.
+    pub pool_workers: usize,
     /// Total bits of the sweep (agreed on by every path timed here).
     pub total_bits: u64,
 }
@@ -100,6 +109,13 @@ impl RuntimeTiming {
         self.full_ms / self.tally_ms.max(1e-9)
     }
 
+    /// Serial tally time divided by pooled tally time — what sharing the
+    /// prepared players across pool workers buys on top of the fast
+    /// path.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.tally_ms / self.pooled_ms.max(1e-9)
+    }
+
     fn to_json(&self) -> String {
         let mut s = String::from("{");
         s.push_str(&format!("\"protocol\":\"{}\",", self.protocol));
@@ -110,11 +126,17 @@ impl RuntimeTiming {
         s.push_str(&format!("\"naive_ms\":{:.3},", self.naive_ms));
         s.push_str(&format!("\"full_ms\":{:.3},", self.full_ms));
         s.push_str(&format!("\"tally_ms\":{:.3},", self.tally_ms));
+        s.push_str(&format!("\"pooled_ms\":{:.3},", self.pooled_ms));
+        s.push_str(&format!("\"pool_workers\":{},", self.pool_workers));
         s.push_str(&format!("\"total_bits\":{},", self.total_bits));
         s.push_str(&format!("\"speedup\":{:.3},", self.speedup()));
         s.push_str(&format!(
-            "\"recorder_speedup\":{:.3}",
+            "\"recorder_speedup\":{:.3},",
             self.recorder_speedup()
+        ));
+        s.push_str(&format!(
+            "\"parallel_speedup\":{:.3}",
+            self.parallel_speedup()
         ));
         s.push('}');
         s
@@ -139,8 +161,10 @@ fn time_best<T: PartialEq + std::fmt::Debug, F: FnMut() -> T>(reps: usize, mut f
 }
 
 /// A deterministic triangle-free (bipartite) workload: `n/2 · d/2`
-/// random cross edges, randomly partitioned across `k` players.
-fn bipartite_workload(n: usize, d: f64, k: usize, seed: u64) -> (Graph, Partition) {
+/// random cross edges, randomly partitioned across `k` players. Shared
+/// with the chaos matrix ([`crate::chaos`]): a triangle-free input
+/// guarantees no early exit, so every scheduled repetition runs.
+pub fn bipartite_workload(n: usize, d: f64, k: usize, seed: u64) -> (Graph, Partition) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let half = (n / 2) as u32;
     let target = (n as f64 * d / 2.0) as usize;
@@ -219,6 +243,51 @@ where
     (None, stats, recorder.total_bits().get())
 }
 
+/// Worker count of the pooled timing row. Fixed (rather than the
+/// machine's parallelism) so the row means the same thing everywhere;
+/// determinism makes the *results* identical at any worker count
+/// regardless.
+const POOL_WORKERS: usize = 4;
+
+/// The tally fast path with the prepared players shared across the
+/// workers of `pool`: repetitions are sharded, results are merged in
+/// repetition order, so the outcome is identical to the serial sweep.
+fn pooled_sweep<P>(
+    pool: &Pool,
+    protocol: &P,
+    input: &PreparedInput<'_>,
+    reps: u32,
+    base_seed: u64,
+) -> (Option<Triangle>, CommStats, u64)
+where
+    P: SimultaneousProtocol<Output = Option<Triangle>> + Sync,
+{
+    let runs = pool.ordered_map_until(
+        reps as usize,
+        |r| {
+            run_simultaneous_prepared::<_, Tally>(
+                protocol,
+                input.n(),
+                input.players(),
+                SharedRandomness::new(rep_seed(base_seed, r as u32)),
+            )
+        },
+        |run| run.output.is_some(),
+    );
+    let mut stats = CommStats::default();
+    let mut recorder = Tally::with_players(input.k());
+    let mut out = None;
+    for run in runs {
+        stats = stats.merged(run.stats);
+        recorder.absorb(&run.transcript);
+        if let Some(t) = run.output {
+            out = Some(t);
+            break;
+        }
+    }
+    (out, stats, recorder.total_bits().get())
+}
+
 /// Times one protocol's amplified sweep on all three paths, asserting
 /// verdicts and bit totals agree.
 ///
@@ -226,7 +295,7 @@ where
 ///
 /// Panics if any path disagrees on the outcome or the total bits — a
 /// cost-accounting bug, not a measurement problem.
-pub fn time_sweep<P: SimultaneousProtocol<Output = Option<Triangle>>>(
+pub fn time_sweep<P: SimultaneousProtocol<Output = Option<Triangle>> + Sync>(
     name: &str,
     protocol: &P,
     g: &Graph,
@@ -245,11 +314,18 @@ pub fn time_sweep<P: SimultaneousProtocol<Output = Option<Triangle>>>(
     let (tally_ms, tally) = time_best(timing_reps, || {
         prepared_sweep::<_, Tally>(protocol, &input, reps, base_seed)
     });
+    let pool = Pool::new(POOL_WORKERS);
+    let (pooled_ms, pooled) = time_best(timing_reps, || {
+        pooled_sweep(&pool, protocol, &input, reps, base_seed)
+    });
     assert_eq!(full.0, naive.0, "{name}: outcome diverged (full)");
     assert_eq!(tally.0, naive.0, "{name}: outcome diverged (tally)");
+    assert_eq!(pooled.0, naive.0, "{name}: outcome diverged (pooled)");
     assert_eq!(full.1, naive.1, "{name}: stats diverged (full)");
     assert_eq!(tally.1, naive.1, "{name}: stats diverged (tally)");
+    assert_eq!(pooled.1, naive.1, "{name}: stats diverged (pooled)");
     assert_eq!(tally.2, naive.2, "{name}: total bits diverged");
+    assert_eq!(pooled.2, naive.2, "{name}: total bits diverged (pooled)");
     RuntimeTiming {
         protocol: name.to_string(),
         vertices: g.vertex_count(),
@@ -259,6 +335,8 @@ pub fn time_sweep<P: SimultaneousProtocol<Output = Option<Triangle>>>(
         naive_ms,
         full_ms,
         tally_ms,
+        pooled_ms,
+        pool_workers: POOL_WORKERS,
         total_bits: naive.2,
     }
 }
@@ -313,11 +391,23 @@ pub fn time_unrestricted_sweep(
             .expect("valid workload");
         (run.outcome, run.stats, run.transcript.total_bits().get())
     });
+    let pool = Pool::new(POOL_WORKERS);
+    let (pooled_ms, pooled) = time_best(timing_reps, || {
+        let run = run_amplified_prepared(&pool, &tester, &input, reps, base_seed)
+            .expect("valid workload");
+        (run.outcome, run.stats, run.transcript.total_bits().get())
+    });
     assert_eq!(tally.0, naive.0, "unrestricted: outcome diverged");
+    assert_eq!(pooled.0, naive.0, "unrestricted: outcome diverged (pooled)");
     assert_eq!(full.1, naive.1, "unrestricted: stats diverged (full)");
     assert_eq!(tally.1, naive.1, "unrestricted: stats diverged (tally)");
+    assert_eq!(pooled.1, naive.1, "unrestricted: stats diverged (pooled)");
     assert_eq!(full.2, naive.2, "unrestricted: total bits diverged (full)");
     assert_eq!(tally.2, naive.2, "unrestricted: total bits diverged");
+    assert_eq!(
+        pooled.2, naive.2,
+        "unrestricted: total bits diverged (pooled)"
+    );
     RuntimeTiming {
         protocol: "unrestricted".to_string(),
         vertices: g.vertex_count(),
@@ -327,6 +417,8 @@ pub fn time_unrestricted_sweep(
         naive_ms,
         full_ms,
         tally_ms,
+        pooled_ms,
+        pool_workers: POOL_WORKERS,
         total_bits: naive.2,
     }
 }
@@ -406,6 +498,8 @@ mod tests {
         assert!(t.total_bits > 0);
         assert!(t.speedup() > 0.0);
         assert!(t.recorder_speedup() > 0.0);
+        assert!(t.parallel_speedup() > 0.0);
+        assert_eq!(t.pool_workers, 4);
     }
 
     #[test]
@@ -427,6 +521,8 @@ mod tests {
         assert!(text.starts_with("[\n") && text.ends_with("]\n"));
         assert!(text.contains("\"speedup\""));
         assert!(text.contains("\"recorder_speedup\""));
+        assert!(text.contains("\"pooled_ms\""));
+        assert!(text.contains("\"parallel_speedup\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -367,12 +367,147 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
     ))
 }
 
+/// `triad chaos` — run a protocol's amplified sweep under a
+/// deterministic fault-injection plan and report the quorum-gated
+/// verdict with per-kind failure, injection and retransmission
+/// accounting. The fault model is documented in `docs/FAULTS.md`.
+pub fn chaos(args: &ArgMap) -> Result<String, CliError> {
+    use triad_protocols::{run_chaos_amplified_tally, ChaosOutcome};
+    let g = load_graph(args.required("graph")?)?;
+    let shares = load_shares(args.required("shares")?, g.vertex_count())?;
+    let parts = Partition::new(shares);
+    let protocol = args.required("protocol")?;
+    let eps: f64 = args.parsed_or("eps", 0.2)?;
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let d: f64 = args.parsed_or("d", g.average_degree())?;
+    let reps: u32 = args.parsed_or("reps", 8)?;
+    if reps == 0 {
+        return Err(CliError::Usage("--reps must be positive".into()));
+    }
+    let rate: f64 = args.parsed_or("rate", 0.1)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Usage("--rate must be in [0, 1]".into()));
+    }
+    let quorum: f64 = args.parsed_or("quorum", triad_protocols::DEFAULT_QUORUM)?;
+    if !(0.0..=1.0).contains(&quorum) {
+        return Err(CliError::Usage("--quorum must be in [0, 1]".into()));
+    }
+    let fault_seed: u64 = args.parsed_or("fault-seed", seed)?;
+    let rates = match args.optional("faults").unwrap_or("mixed") {
+        "omission" => triad_comm::FaultRates::omission(rate),
+        "mixed" => triad_comm::FaultRates::mixed(rate),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --faults `{other}` (expected omission or mixed)"
+            )))
+        }
+    };
+    let plan = triad_comm::FaultPlan::new(fault_seed, rates);
+    let tuning = Tuning::practical(eps);
+    let run = match protocol {
+        "unrestricted" => run_chaos_amplified_tally(
+            &UnrestrictedTester::new(tuning),
+            &g,
+            &parts,
+            reps,
+            seed,
+            &plan,
+            quorum,
+        )?,
+        "low" => run_chaos_amplified_tally(
+            &SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d }),
+            &g,
+            &parts,
+            reps,
+            seed,
+            &plan,
+            quorum,
+        )?,
+        "high" => run_chaos_amplified_tally(
+            &SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: d }),
+            &g,
+            &parts,
+            reps,
+            seed,
+            &plan,
+            quorum,
+        )?,
+        "oblivious" => run_chaos_amplified_tally(
+            &SimultaneousTester::new(tuning, SimProtocolKind::Oblivious),
+            &g,
+            &parts,
+            reps,
+            seed,
+            &plan,
+            quorum,
+        )?,
+        "exact" => run_chaos_amplified_tally(
+            &triad_protocols::baseline::SendEverything,
+            &g,
+            &parts,
+            reps,
+            seed,
+            &plan,
+            quorum,
+        )?,
+        other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
+    };
+    let verdict = match run.outcome {
+        ChaosOutcome::TriangleFound(t) => format!("triangle {t}"),
+        ChaosOutcome::NoTriangleFound => "accepted (quorum met, no triangle found)".to_string(),
+        ChaosOutcome::Inconclusive => {
+            "inconclusive (quorum lost; not enough surviving repetitions to accept)".to_string()
+        }
+    };
+    let f = run.failures;
+    let i = run.injected;
+    Ok(format!(
+        "{verdict}\n\
+         survived {}/{} repetitions (quorum needs {})\n\
+         failures: {} (transport {}, timeout {}, corrupt {}, aborted {})\n\
+         injected: {} faults (drops {}, corruptions {}, duplicates {}, delays {}, crashes {})\n\
+         {} bits total, {} bits retransmitted\n",
+        run.survived,
+        run.attempted,
+        run.needed,
+        f.total(),
+        f.transport,
+        f.timeout,
+        f.corrupt,
+        f.aborted,
+        i.total(),
+        i.drops,
+        i.corruptions,
+        i.duplicates,
+        i.delays,
+        i.crashes,
+        run.stats.total_bits,
+        run.retransmit_bits(),
+    ))
+}
+
 /// `triad report` — generate an input, run a protocol, and emit a
 /// structured cost report (text or JSON) with per-phase and per-player
 /// breakdowns plus the paper's predicted bound. The schema is documented
 /// in `docs/OBSERVABILITY.md`.
 pub fn report(args: &ArgMap) -> Result<String, CliError> {
     use triad_bench::report as engine;
+    match args.optional("record").unwrap_or("full") {
+        "full" => {}
+        "tally" => {
+            return Err(CliError::Usage(
+                "`triad report` needs the per-event transcript for its per-phase \
+                 and per-player breakdowns, but `--record tally` keeps only \
+                 counters; re-run with `--record full` (the default)"
+                    .into(),
+            ))
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --record `{other}` (expected tally or full)"
+            )))
+        }
+    }
     let protocol = args.required("protocol")?;
     let generator = args.required("gen")?;
     let n: usize = args.required_parsed("n")?;

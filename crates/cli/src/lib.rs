@@ -32,6 +32,11 @@ commands:
              [--record tally|full]   (cost recorder: counters-only fast
              path (default) or full event log — totals are identical,
              see docs/RUNTIME.md)
+  chaos      run a protocol's amplified sweep under deterministic fault
+             injection and report the quorum-gated verdict (docs/FAULTS.md)
+             --graph FILE  --shares PREFIX  --protocol unrestricted|low|high|oblivious|exact
+             [--rate R] [--faults omission|mixed] [--fault-seed S]
+             [--reps R] [--quorum Q] [--eps E] [--seed S] [--d D]
   count      estimate the triangle count in one round
              --graph FILE  --shares PREFIX  [--p P] [--trials T] [--seed S]
   hfree      test H-freeness in one round
@@ -44,6 +49,8 @@ commands:
              --protocol unrestricted|sim-low|sim-high|sim-oblivious|exact
              --gen planted|gnp|powerlaw|dense-core  --n N  --k K
              [--d D] [--eps E] [--seed S] [--json] [--out FILE] [--transcript FILE]
+             [--record full]   (the per-event breakdowns need the full
+             recorder; a tally-only run is refused with a hint)
 
 global options:
   --threads N  size of the deterministic worker pool for amplified runs
@@ -74,6 +81,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "partition" => commands::partition(&map),
         "info" => commands::info(&map),
         "test" => commands::test(&map),
+        "chaos" => commands::chaos(&map),
         "count" => commands::count(&map),
         "hfree" => commands::hfree(&map),
         "congest" => commands::congest(&map),
@@ -292,10 +300,82 @@ mod tests {
                     map.required_parsed::<usize>("k")
                         .unwrap_or_else(|e| panic!("`{line}`: {e}"));
                 }
+                "chaos" => {
+                    for key in ["graph", "shares", "protocol"] {
+                        map.required(key)
+                            .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    }
+                }
                 "gen" | "partition" | "info" | "test" | "count" | "hfree" | "congest" => {}
                 other => panic!("`{line}`: unknown subcommand `{other}`"),
             }
         }
+    }
+
+    #[test]
+    fn chaos_command_reports_quorum_verdicts() {
+        let dir = std::env::temp_dir().join(format!("triad-cli-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.el");
+        let shares = dir.join("p");
+        run(&argv(&format!(
+            "gen --kind far --n 300 --d 6 --eps 0.2 --seed 1 --out {}",
+            g.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "partition --graph {} --k 3 --seed 2 --out {}",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        // Fault-free chaos is the plain amplified run: the far graph's
+        // witness must surface exactly as `triad test` finds it.
+        let clean = run(&argv(&format!(
+            "chaos --graph {} --shares {} --protocol unrestricted --eps 0.2 --seed 3 \
+             --reps 4 --rate 0.0",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        assert!(clean.contains("triangle"), "{clean}");
+        assert!(clean.contains("failures: 0"), "{clean}");
+        assert!(clean.contains("0 bits retransmitted"), "{clean}");
+        // Total omission kills every repetition: the verdict must be an
+        // explicit refusal, never an accept.
+        let dark = run(&argv(&format!(
+            "chaos --graph {} --shares {} --protocol unrestricted --eps 0.2 --seed 3 \
+             --reps 4 --rate 1.0 --faults omission",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        assert!(dark.contains("inconclusive"), "{dark}");
+        assert!(dark.contains("survived 0/4"), "{dark}");
+        let err = run(&argv(&format!(
+            "chaos --graph {} --shares {} --protocol unrestricted --faults always",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_refuses_tally_recorder_with_hint() {
+        let err = run(&argv(
+            "report --protocol sim-low --gen planted --n 300 --k 4 --record tally",
+        ))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--record full"), "{msg}");
+        assert!(msg.contains("per-event transcript"), "{msg}");
+        let err = run(&argv(
+            "report --protocol sim-low --gen planted --n 300 --k 4 --record sometimes",
+        ))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 
 pub mod bits;
+pub mod fault;
 pub mod message;
 pub mod oneway;
 pub mod player;
@@ -56,6 +57,11 @@ pub mod streaming;
 pub mod transcript;
 
 pub use bits::BitCost;
+pub use fault::{
+    checksum_payload, corrupt_payload, run_simultaneous_chaos, ChaosFailure, FaultCounters,
+    FaultKind, FaultPlan, FaultRates, FaultStats, FaultyTransport, Framed, SimChaos,
+    RETRANSMIT_LABEL,
+};
 pub use message::Payload;
 pub use oneway::{run_one_way, OneWayProtocol, OneWayRun};
 pub use player::PlayerState;
@@ -67,7 +73,8 @@ pub use report::{
 };
 pub use request::PlayerRequest;
 pub use runtime::{
-    CostModel, LocalTransport, Runtime, ThreadedTransport, Transport, TransportError,
+    CostModel, LocalTransport, RunError, RunErrorKind, Runtime, ThreadedTransport, Transport,
+    TransportError, DEFAULT_RETRY_BUDGET,
 };
 pub use simultaneous::{
     run_simultaneous, run_simultaneous_prepared, run_simultaneous_threaded, SimMessage, SimRun,

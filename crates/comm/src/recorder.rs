@@ -72,6 +72,17 @@ pub trait Recorder: Send + 'static {
     fn reserve_messages(&mut self, additional: usize) {
         let _ = additional;
     }
+
+    /// Total bits recorded under `label` (0 for unseen labels).
+    fn bits_for_label(&self, label: &str) -> u64;
+
+    /// Bits spent on fault recovery — retransmitted requests, duplicate
+    /// deliveries, and garbled responses — i.e. the rollup of the
+    /// [`crate::fault::RETRANSMIT_LABEL`] label. Zero on fault-free
+    /// runs.
+    fn retransmit_bits(&self) -> u64 {
+        self.bits_for_label(crate::fault::RETRANSMIT_LABEL)
+    }
 }
 
 impl Recorder for Transcript {
@@ -119,6 +130,10 @@ impl Recorder for Transcript {
 
     fn reserve_messages(&mut self, additional: usize) {
         Transcript::reserve_events(self, additional);
+    }
+
+    fn bits_for_label(&self, label: &str) -> u64 {
+        Transcript::bits_for_label(self, label)
     }
 }
 
@@ -439,6 +454,10 @@ impl Recorder for Tally {
             messages: self.messages,
             max_player_sent_bits: self.per_player_sent.iter().copied().max().unwrap_or(0),
         }
+    }
+
+    fn bits_for_label(&self, label: &str) -> u64 {
+        Tally::bits_for_label(self, label)
     }
 
     fn absorb(&mut self, other: &Self) {

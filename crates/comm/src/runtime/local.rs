@@ -1,6 +1,6 @@
 use std::sync::Arc;
 
-use super::Transport;
+use super::{RunError, Transport};
 use crate::message::Payload;
 use crate::player::{players_from_shares, PlayerState};
 use crate::rand::SharedRandomness;
@@ -54,8 +54,13 @@ impl Transport for LocalTransport {
         self.players.len()
     }
 
-    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload<'static> {
-        self.players[player].handle(req, &self.shared)
+    fn try_deliver(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+    ) -> Result<Payload<'static>, RunError> {
+        // In-process handlers cannot lose or garble a response.
+        Ok(self.players[player].handle(req, &self.shared))
     }
 
     fn adopt_shared(&mut self, shared: SharedRandomness) {

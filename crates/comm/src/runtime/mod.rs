@@ -17,7 +17,7 @@ mod local;
 mod threaded;
 
 pub use local::LocalTransport;
-pub use threaded::ThreadedTransport;
+pub use threaded::{ThreadedTransport, DEFAULT_RECV_TIMEOUT};
 
 use crate::bits::{bits_for_count, bits_per_edge, BitCost};
 use crate::message::Payload;
@@ -64,6 +64,106 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// The typed failure taxonomy of a protocol execution: everything that
+/// can go wrong between the coordinator and a player, so no protocol
+/// path needs to panic on a faulty peer (see `docs/FAULTS.md`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// A player's channel failed outright (thread panicked, hung up, or
+    /// the player crashed). Not retryable: the player stays dead.
+    Transport(TransportError),
+    /// The response deadline expired — a dropped message or a player too
+    /// slow to answer. Retryable.
+    Timeout {
+        /// The player that failed to answer in time.
+        player: usize,
+    },
+    /// The response failed its checksum frame — corrupted in flight.
+    /// Retryable.
+    Corrupt {
+        /// The player whose response was garbled.
+        player: usize,
+    },
+    /// The execution was abandoned — retry budget exhausted at a higher
+    /// layer, quorum lost, or a wrapped non-communication failure.
+    Aborted {
+        /// Human-readable cause.
+        reason: String,
+    },
+}
+
+/// The coarse classification of a [`RunError`], used for per-kind
+/// failure tallies in chaos sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunErrorKind {
+    /// [`RunError::Transport`].
+    Transport,
+    /// [`RunError::Timeout`].
+    Timeout,
+    /// [`RunError::Corrupt`].
+    Corrupt,
+    /// [`RunError::Aborted`].
+    Aborted,
+}
+
+impl RunError {
+    /// The error's coarse kind.
+    pub fn kind(&self) -> RunErrorKind {
+        match self {
+            RunError::Transport(_) => RunErrorKind::Transport,
+            RunError::Timeout { .. } => RunErrorKind::Timeout,
+            RunError::Corrupt { .. } => RunErrorKind::Corrupt,
+            RunError::Aborted { .. } => RunErrorKind::Aborted,
+        }
+    }
+
+    /// The player implicated, when the failure names one.
+    pub fn player(&self) -> Option<usize> {
+        match self {
+            RunError::Transport(e) => Some(e.player),
+            RunError::Timeout { player } | RunError::Corrupt { player } => Some(*player),
+            RunError::Aborted { .. } => None,
+        }
+    }
+
+    /// Whether a bounded retry can plausibly recover: timeouts and
+    /// corruptions are transient, crashes and aborts are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RunError::Timeout { .. } | RunError::Corrupt { .. })
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Transport(e) => e.fmt(f),
+            RunError::Timeout { player } => {
+                write!(f, "player {player} missed the response deadline")
+            }
+            RunError::Corrupt { player } => {
+                write!(f, "player {player}'s response failed checksum verification")
+            }
+            RunError::Aborted { reason } => write!(f, "run aborted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TransportError> for RunError {
+    fn from(e: TransportError) -> Self {
+        RunError::Transport(e)
+    }
+}
+
 /// Message delivery to players, independent of cost accounting.
 ///
 /// Responses are always `Payload<'static>`: a transport hands payload
@@ -71,25 +171,49 @@ impl std::error::Error for TransportError {}
 /// transport, across a channel), so borrowed player-side slices are
 /// detached before delivery. Borrowing is exploited on the simultaneous
 /// path instead, where messages never cross an ownership boundary.
+///
+/// Delivery is fallible by design — [`try_deliver`](Self::try_deliver)
+/// is the required method — because even the in-process transport can be
+/// decorated with injected faults ([`crate::fault::FaultyTransport`]).
+/// The panicking [`deliver`](Self::deliver) convenience survives for
+/// tests only.
 pub trait Transport: Send {
     /// Number of players.
     fn k(&self) -> usize;
     /// Delivers `req` to player `player` and returns its response.
-    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload<'static>;
-    /// Fallible delivery: like [`deliver`](Self::deliver), but a dead
-    /// player channel (thread panicked, hung up) surfaces as
-    /// [`TransportError`] instead of panicking the coordinator. The
-    /// default forwards to `deliver` for transports that cannot fail.
     ///
     /// # Errors
     ///
-    /// Returns [`TransportError`] naming the failed player.
+    /// Returns a [`RunError`] naming the failed player when the channel
+    /// is dead ([`RunError::Transport`]), the response deadline expires
+    /// ([`RunError::Timeout`]), or the response is detectably corrupted
+    /// ([`RunError::Corrupt`]).
     fn try_deliver(
         &mut self,
         player: usize,
         req: &PlayerRequest,
-    ) -> Result<Payload<'static>, TransportError> {
-        Ok(self.deliver(player, req))
+    ) -> Result<Payload<'static>, RunError>;
+    /// Checksum-framed delivery: what the runtime actually uses, so
+    /// duplicate deliveries and in-flight corruption are observable.
+    /// The default seals an honest [`try_deliver`](Self::try_deliver)
+    /// response; fault-injecting transports override it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_deliver`](Self::try_deliver) failures.
+    fn try_deliver_framed(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+    ) -> Result<crate::fault::Framed, RunError> {
+        Ok(crate::fault::Framed::seal(self.try_deliver(player, req)?))
+    }
+    /// Infallible delivery for tests and trusted harness code: panics on
+    /// any delivery failure. Production paths go through
+    /// [`try_deliver`](Self::try_deliver).
+    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload<'static> {
+        self.try_deliver(player, req)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
     /// Switches every player to a new shared-randomness seed (Newman's
     /// conversion). Default: unsupported, panics — implement on
@@ -109,7 +233,14 @@ pub struct Runtime<R: Recorder = Transcript> {
     n: usize,
     cost_model: CostModel,
     tag_counter: u64,
+    retry_budget: u32,
+    fault: Option<RunError>,
 }
+
+/// Default number of retries per delivery for retryable faults
+/// (timeouts, corrupted responses) before the runtime gives up on the
+/// exchange. Crashes are never retried.
+pub const DEFAULT_RETRY_BUDGET: u32 = 2;
 
 impl<R: Recorder> std::fmt::Debug for Runtime<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -183,7 +314,38 @@ impl<R: Recorder> Runtime<R> {
             n,
             cost_model,
             tag_counter: 0,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            fault: None,
         }
+    }
+
+    /// Sets the per-delivery retry budget for retryable faults
+    /// (builder-style). A budget of 0 fails on the first fault.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// The per-delivery retry budget in force.
+    pub fn retry_budget(&self) -> u32 {
+        self.retry_budget
+    }
+
+    /// The first unrecovered delivery failure, if any. A faulted runtime
+    /// suppresses all further communication (and charges nothing for
+    /// it); the infallible accessors return degraded empty payloads, so
+    /// legacy protocol code keeps running to a verdict that the caller
+    /// must then discard via [`take_fault`](Self::take_fault).
+    pub fn fault(&self) -> Option<&RunError> {
+        self.fault.as_ref()
+    }
+
+    /// Takes the first unrecovered failure, resetting the runtime's
+    /// fault state. Chaos drivers call this after a run: `Some(err)`
+    /// means the verdict cannot be trusted unless it is a verifiable
+    /// triangle witness.
+    pub fn take_fault(&mut self) -> Option<RunError> {
+        self.fault.take()
     }
 
     /// A sequential in-process runtime over per-player edge shares,
@@ -310,9 +472,90 @@ impl<R: Recorder> Runtime<R> {
         }
     }
 
+    /// One framed delivery with bounded retry. The caller has already
+    /// charged the first copy of the request; this method charges only
+    /// fault-recovery traffic — retransmitted requests, duplicate
+    /// deliveries, and garbled responses that crossed the wire — under
+    /// [`crate::fault::RETRANSMIT_LABEL`]. On a fault-free transport it
+    /// records nothing, so the fast path is byte-identical to the
+    /// pre-fault-layer accounting.
+    fn exchange(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+        ovh: BitCost,
+    ) -> Result<Payload<'static>, RunError> {
+        use crate::fault::RETRANSMIT_LABEL;
+        let mut attempts = 0u32;
+        loop {
+            let err = match self.transport.try_deliver_framed(player, req) {
+                Ok(framed) => {
+                    let resp_bits = framed.payload().bit_len(self.n) + ovh;
+                    for _ in 1..framed.deliveries() {
+                        // Extra copies of a duplicated delivery crossed
+                        // the wire too: charged, handed on once.
+                        self.recorder.record(
+                            Some(player),
+                            Direction::ToCoordinator,
+                            resp_bits,
+                            RETRANSMIT_LABEL,
+                        );
+                    }
+                    if framed.verify() {
+                        return Ok(framed.into_payload());
+                    }
+                    // A corrupted response still consumed bandwidth.
+                    self.recorder.record(
+                        Some(player),
+                        Direction::ToCoordinator,
+                        resp_bits,
+                        RETRANSMIT_LABEL,
+                    );
+                    RunError::Corrupt { player }
+                }
+                Err(e) => e,
+            };
+            if !err.is_retryable() || attempts >= self.retry_budget {
+                return Err(err);
+            }
+            attempts += 1;
+            // Retransmit the request itself.
+            self.recorder.record(
+                Some(player),
+                Direction::ToPlayer,
+                req.bit_len(self.n) + ovh,
+                RETRANSMIT_LABEL,
+            );
+        }
+    }
+
+    /// Records `err` as the runtime's fault if it is the first one.
+    fn poison(&mut self, err: RunError) {
+        if self.fault.is_none() {
+            self.fault = Some(err);
+        }
+    }
+
     /// Sends `req` to one player, charging both directions; returns the
-    /// response.
-    pub fn request(&mut self, player: usize, req: PlayerRequest) -> Payload<'static> {
+    /// response. Retryable delivery faults (timeouts, corruption) are
+    /// recovered within the [retry budget](Self::with_retry_budget),
+    /// with the recovery traffic charged under
+    /// [`crate::fault::RETRANSMIT_LABEL`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecovered [`RunError`] once the budget is
+    /// exhausted, or immediately for non-retryable failures (crashed
+    /// players). A previously faulted runtime fails fast with the
+    /// original error.
+    pub fn try_request(
+        &mut self,
+        player: usize,
+        req: PlayerRequest,
+    ) -> Result<Payload<'static>, RunError> {
+        if let Some(f) = &self.fault {
+            return Err(f.clone());
+        }
         let label = req.label();
         let ovh = self.routing_overhead();
         self.recorder.record(
@@ -321,14 +564,28 @@ impl<R: Recorder> Runtime<R> {
             req.bit_len(self.n) + ovh,
             label,
         );
-        let resp = self.transport.deliver(player, &req);
+        let resp = self.exchange(player, &req, ovh)?;
         self.recorder.record(
             Some(player),
             Direction::ToCoordinator,
             resp.bit_len(self.n) + ovh,
             label,
         );
-        resp
+        Ok(resp)
+    }
+
+    /// Infallible [`try_request`](Self::try_request): an unrecovered
+    /// fault poisons the runtime (see [`fault`](Self::fault)) and
+    /// degrades the response to [`Payload::Empty`] — never a panic, and
+    /// never a charge for bits that were not exchanged.
+    pub fn request(&mut self, player: usize, req: PlayerRequest) -> Payload<'static> {
+        match self.try_request(player, req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.poison(e);
+                Payload::Empty
+            }
+        }
     }
 
     /// Newman's theorem, operationally: the parties pre-agree on a family
@@ -381,7 +638,17 @@ impl<R: Recorder> Runtime<R> {
     /// Charging: under [`CostModel::Coordinator`] the request is paid `k`
     /// times (one private channel each); under [`CostModel::Blackboard`]
     /// it is paid once. Responses are always charged individually.
-    pub fn broadcast(&mut self, req: PlayerRequest) -> Vec<Payload<'static>> {
+    /// Retryable faults are recovered per player within the retry
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unrecovered [`RunError`]; responses gathered
+    /// before the failure stay charged (the bits were spent).
+    pub fn try_broadcast(&mut self, req: PlayerRequest) -> Result<Vec<Payload<'static>>, RunError> {
+        if let Some(f) = &self.fault {
+            return Err(f.clone());
+        }
         let label = req.label();
         let ovh = self.routing_overhead();
         let req_bits = req.bit_len(self.n) + ovh;
@@ -399,7 +666,7 @@ impl<R: Recorder> Runtime<R> {
         }
         let mut out = Vec::with_capacity(self.k());
         for j in 0..self.k() {
-            let resp = self.transport.deliver(j, &req);
+            let resp = self.exchange(j, &req, ovh)?;
             self.recorder.record(
                 Some(j),
                 Direction::ToCoordinator,
@@ -408,7 +675,20 @@ impl<R: Recorder> Runtime<R> {
             );
             out.push(resp);
         }
-        out
+        Ok(out)
+    }
+
+    /// Infallible [`try_broadcast`](Self::try_broadcast): an unrecovered
+    /// fault poisons the runtime and degrades the result to `k` empty
+    /// payloads, so index-based consumers stay in bounds.
+    pub fn broadcast(&mut self, req: PlayerRequest) -> Vec<Payload<'static>> {
+        match self.try_broadcast(req) {
+            Ok(out) => out,
+            Err(e) => {
+                self.poison(e);
+                vec![Payload::Empty; self.k()]
+            }
+        }
     }
 
     /// Broadcasts an edge-producing request and returns the deduplicated
@@ -425,6 +705,26 @@ impl<R: Recorder> Runtime<R> {
     /// charged subset, so the per-player hop allocates nothing beyond
     /// the union itself.
     pub fn gather_edges(&mut self, req: PlayerRequest) -> Vec<Edge> {
+        match self.try_gather_edges(req) {
+            Ok(union) => union,
+            Err(e) => {
+                self.poison(e);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Fallible [`gather_edges`](Self::gather_edges): retryable faults
+    /// are recovered per player within the retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unrecovered [`RunError`]; edges gathered before
+    /// the failure stay charged.
+    pub fn try_gather_edges(&mut self, req: PlayerRequest) -> Result<Vec<Edge>, RunError> {
+        if let Some(f) = &self.fault {
+            return Err(f.clone());
+        }
         let label = req.label();
         let ovh = self.routing_overhead();
         let req_bits = req.bit_len(self.n) + ovh;
@@ -443,7 +743,7 @@ impl<R: Recorder> Runtime<R> {
         let mut seen: HashSet<Edge> = HashSet::new();
         let mut union = Vec::new();
         for j in 0..self.k() {
-            let resp = self.transport.deliver(j, &req);
+            let resp = self.exchange(j, &req, ovh)?;
             let edges = resp.as_edges();
             let charged = match self.cost_model {
                 CostModel::Blackboard => edges.iter().filter(|e| !seen.contains(*e)).count() as u64,
@@ -458,7 +758,7 @@ impl<R: Recorder> Runtime<R> {
                 }
             }
         }
-        union
+        Ok(union)
     }
 
     /// Aggregated statistics so far.

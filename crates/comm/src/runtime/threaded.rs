@@ -1,11 +1,18 @@
-use super::{Transport, TransportError};
+use super::{RunError, Transport, TransportError};
 use crate::message::Payload;
 use crate::player::PlayerState;
 use crate::rand::SharedRandomness;
 use crate::request::{Envelope, PlayerRequest};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use triad_graph::Edge;
+
+/// Default per-response receive deadline. Generous — local player
+/// threads answer in microseconds — but bounded, so a wedged player
+/// surfaces as [`RunError::Timeout`] instead of blocking the
+/// coordinator forever.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One OS thread per player, communicating with the coordinator over
 /// crossbeam channels — a genuinely concurrent execution of the same
@@ -19,6 +26,7 @@ pub struct ThreadedTransport {
     senders: Vec<Sender<Envelope>>,
     receivers: Vec<Receiver<Payload<'static>>>,
     handles: Vec<JoinHandle<()>>,
+    timeout: Duration,
 }
 
 impl ThreadedTransport {
@@ -55,7 +63,19 @@ impl ThreadedTransport {
             senders,
             receivers,
             handles,
+            timeout: DEFAULT_RECV_TIMEOUT,
         }
+    }
+
+    /// Replaces the per-response receive deadline (builder-style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The per-response receive deadline in force.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
     }
 }
 
@@ -64,26 +84,25 @@ impl Transport for ThreadedTransport {
         self.senders.len()
     }
 
-    fn deliver(&mut self, player: usize, req: &PlayerRequest) -> Payload<'static> {
-        self.try_deliver(player, req)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     fn try_deliver(
         &mut self,
         player: usize,
         req: &PlayerRequest,
-    ) -> Result<Payload<'static>, TransportError> {
+    ) -> Result<Payload<'static>, RunError> {
         // A player whose thread panicked (or already halted) has dropped
         // both channel ends: either the send or the recv fails, and the
         // coordinator gets an error naming the player instead of a
-        // deadlock or an opaque unwrap across threads.
+        // deadlock or an opaque unwrap across threads. A wedged (but
+        // alive) player trips the receive deadline instead.
         self.senders[player]
             .send(Envelope::Request(req.clone()))
-            .map_err(|_| TransportError { player })?;
+            .map_err(|_| RunError::Transport(TransportError { player }))?;
         self.receivers[player]
-            .recv()
-            .map_err(|_| TransportError { player })
+            .recv_timeout(self.timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => RunError::Timeout { player },
+                RecvTimeoutError::Disconnected => RunError::Transport(TransportError { player }),
+            })
     }
 }
 
@@ -140,7 +159,7 @@ mod tests {
         let err = t
             .try_deliver(0, &PlayerRequest::LocalDegree { v: VertexId(99) })
             .unwrap_err();
-        assert_eq!(err.player, 0);
+        assert_eq!(err, RunError::Transport(TransportError { player: 0 }));
         assert!(err.to_string().contains("player 0"), "{err}");
         // The dead player keeps failing cleanly instead of deadlocking...
         assert!(t.try_deliver(0, &PlayerRequest::LocalEdgeCount).is_err());
@@ -163,6 +182,34 @@ mod tests {
         }));
         let msg = *caught.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("player 1"), "{msg}");
+    }
+
+    #[test]
+    fn wedged_player_trips_receive_deadline() {
+        // Hand-assemble a transport whose "player" receives requests but
+        // never answers: the deadline must fire as a Timeout, not hang.
+        let (req_tx, req_rx) = unbounded::<Envelope>();
+        let (_resp_tx, resp_rx) = unbounded::<Payload<'static>>();
+        let handle = std::thread::spawn(move || {
+            // Keep the request channel open until Halt so the send
+            // succeeds and the failure is unambiguously the deadline.
+            while let Ok(envelope) = req_rx.recv() {
+                if matches!(envelope, Envelope::Halt) {
+                    break;
+                }
+            }
+        });
+        let mut t = ThreadedTransport {
+            senders: vec![req_tx],
+            receivers: vec![resp_rx],
+            handles: vec![handle],
+            timeout: Duration::from_millis(10),
+        };
+        let err = t
+            .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+            .unwrap_err();
+        assert_eq!(err, RunError::Timeout { player: 0 });
+        drop(t); // Halt + join must still shut down cleanly.
     }
 
     #[test]

@@ -183,7 +183,7 @@ where
     finish(protocol, n, messages, shared)
 }
 
-fn finish<P: SimultaneousProtocol, R: Recorder>(
+pub(crate) fn finish<P: SimultaneousProtocol, R: Recorder>(
     protocol: &P,
     n: usize,
     messages: Vec<SimMessage<'_>>,

@@ -132,6 +132,42 @@ pub trait Repeatable {
         self.run_once(input.graph(), input.partition(), seed)
             .map(|run| run.to_tally())
     }
+
+    /// One repetition under a [`FaultPlan`](triad_comm::FaultPlan) —
+    /// what [`run_chaos_amplified`](crate::chaos::run_chaos_amplified)
+    /// calls per repetition. A surviving repetition returns its run plus
+    /// injected-fault counts; a killed one returns the error with the
+    /// bits already spent.
+    ///
+    /// The default **ignores the plan** and runs fault-free (mapping
+    /// validation errors to [`RunError::Aborted`](triad_comm::RunError)):
+    /// it exists so external `Repeatable` impls keep compiling. Every
+    /// tester in this crate overrides it to actually inject faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::chaos::FailedRep`] when the repetition dies on
+    /// an unrecovered fault.
+    fn run_chaos(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+        plan: &triad_comm::FaultPlan,
+        rep: u32,
+        retry_budget: u32,
+    ) -> Result<crate::chaos::ChaosRep, Box<crate::chaos::FailedRep>> {
+        let _ = (plan, rep, retry_budget);
+        match self.run_prepared(input, seed) {
+            Ok(run) => Ok(crate::chaos::ChaosRep {
+                run,
+                injected: triad_comm::FaultStats::default(),
+            }),
+            Err(e) => Err(Box::new(crate::chaos::FailedRep::aborted(
+                e.to_string(),
+                input.k(),
+            ))),
+        }
+    }
 }
 
 impl<T: Repeatable + ?Sized> Repeatable for &T {
@@ -150,6 +186,17 @@ impl<T: Repeatable + ?Sized> Repeatable for &T {
         seed: u64,
     ) -> Result<TallyRun, ProtocolError> {
         (**self).run_prepared(input, seed)
+    }
+
+    fn run_chaos(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+        plan: &triad_comm::FaultPlan,
+        rep: u32,
+        retry_budget: u32,
+    ) -> Result<crate::chaos::ChaosRep, Box<crate::chaos::FailedRep>> {
+        (**self).run_chaos(input, seed, plan, rep, retry_budget)
     }
 }
 
@@ -170,6 +217,17 @@ impl Repeatable for crate::UnrestrictedTester {
     ) -> Result<TallyRun, ProtocolError> {
         Ok(self.run_prepared_tally(input, seed))
     }
+
+    fn run_chaos(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+        plan: &triad_comm::FaultPlan,
+        rep: u32,
+        retry_budget: u32,
+    ) -> Result<crate::chaos::ChaosRep, Box<crate::chaos::FailedRep>> {
+        self.run_chaos_tally(input, seed, plan, rep, retry_budget)
+    }
 }
 
 impl Repeatable for crate::SimultaneousTester {
@@ -188,6 +246,18 @@ impl Repeatable for crate::SimultaneousTester {
         seed: u64,
     ) -> Result<TallyRun, ProtocolError> {
         self.run_prepared_tally(input, seed)
+    }
+
+    fn run_chaos(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+        plan: &triad_comm::FaultPlan,
+        rep: u32,
+        _retry_budget: u32,
+    ) -> Result<crate::chaos::ChaosRep, Box<crate::chaos::FailedRep>> {
+        // One-round protocols cannot retry; the budget is moot.
+        self.run_chaos_tally(input, seed, plan, rep)
     }
 }
 

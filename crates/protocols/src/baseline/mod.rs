@@ -72,6 +72,41 @@ impl crate::amplify::Repeatable for SendEverything {
             transcript: run.transcript,
         })
     }
+
+    fn run_chaos(
+        &self,
+        input: &crate::amplify::PreparedInput<'_>,
+        seed: u64,
+        plan: &triad_comm::FaultPlan,
+        rep: u32,
+        _retry_budget: u32,
+    ) -> Result<crate::chaos::ChaosRep, Box<crate::chaos::FailedRep>> {
+        // One round, no retries: the baseline degrades exactly like the
+        // §3.4 testers under faults.
+        match triad_comm::run_simultaneous_chaos::<_, triad_comm::Tally>(
+            self,
+            input.n(),
+            input.players(),
+            SharedRandomness::new(seed),
+            plan,
+            rep,
+        ) {
+            Ok(chaos) => Ok(crate::chaos::ChaosRep {
+                run: crate::outcome::TallyRun {
+                    outcome: TestOutcome::from(chaos.run.output),
+                    stats: chaos.run.stats,
+                    transcript: chaos.run.transcript,
+                },
+                injected: chaos.injected,
+            }),
+            Err(f) => Err(Box::new(crate::chaos::FailedRep {
+                error: f.error,
+                stats: f.stats,
+                transcript: f.transcript,
+                injected: f.injected,
+            })),
+        }
+    }
 }
 
 /// Runs the exact baseline over a partitioned input. The verdict is

@@ -17,6 +17,10 @@
 //!   [`simultaneous::Oblivious`] (Theorem 3.32).
 //! * [`baseline`] — exact triangle detection (the `Θ(k·n·d)`
 //!   send-everything regime the paper improves on).
+//! * [`chaos`] — quorum-gated amplification under deterministic fault
+//!   injection: failed repetitions are tallied per error kind, recovery
+//!   traffic is charged as retransmitted bits, and a lost quorum yields
+//!   an explicit `Inconclusive` instead of a silently wrong accept.
 //! * [`config`] — all sample-size constants, with paper-faithful and
 //!   practical presets.
 //!
@@ -46,6 +50,7 @@
 pub mod amplify;
 pub mod baseline;
 pub mod blocks;
+pub mod chaos;
 pub mod config;
 pub mod counting;
 pub mod outcome;
@@ -54,6 +59,10 @@ pub mod subgraphs;
 pub mod unrestricted;
 
 pub use amplify::{PreparedInput, Repeatable};
+pub use chaos::{
+    run_chaos_amplified, run_chaos_amplified_tally, ChaosOutcome, ChaosRep, ChaosRun, FailedRep,
+    FailureBreakdown, DEFAULT_QUORUM,
+};
 pub use config::{Preset, Tuning};
 pub use outcome::{ProtocolError, ProtocolRun, TallyRun, TestOutcome};
 pub use simultaneous::{SimProtocolKind, SimultaneousTester};

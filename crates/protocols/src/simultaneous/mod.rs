@@ -136,6 +136,77 @@ impl SimultaneousTester {
         self.run_with(input.n(), input.players(), seed)
     }
 
+    /// Runs one simultaneous round under a
+    /// [`FaultPlan`](triad_comm::FaultPlan). One-round protocols cannot
+    /// retry — each player speaks exactly once — so a dropped, crashed,
+    /// or corrupted message kills the repetition (bits preserved);
+    /// duplicate deliveries survive with the extra copy charged under
+    /// [`triad_comm::RETRANSMIT_LABEL`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailedRep`](crate::chaos::FailedRep) on a fatal fault,
+    /// or — wrapped as `Aborted` — on non-positive degree hints.
+    pub fn run_chaos_tally(
+        &self,
+        input: &PreparedInput<'_>,
+        seed: u64,
+        plan: &triad_comm::FaultPlan,
+        rep: u32,
+    ) -> Result<crate::chaos::ChaosRep, Box<crate::chaos::FailedRep>> {
+        let n = input.n();
+        let players = input.players();
+        let shared = SharedRandomness::new(seed);
+        let result = match self.kind {
+            SimProtocolKind::High { avg_degree } => {
+                if avg_degree <= 0.0 {
+                    return Err(Box::new(crate::chaos::FailedRep::aborted(
+                        "average degree must be positive".into(),
+                        input.k(),
+                    )));
+                }
+                let p = AlgHigh::new(self.tuning, avg_degree);
+                triad_comm::run_simultaneous_chaos::<_, triad_comm::Tally>(
+                    &p, n, players, shared, plan, rep,
+                )
+            }
+            SimProtocolKind::Low { avg_degree } => {
+                if avg_degree <= 0.0 {
+                    return Err(Box::new(crate::chaos::FailedRep::aborted(
+                        "average degree must be positive".into(),
+                        input.k(),
+                    )));
+                }
+                let p = AlgLow::new(self.tuning, avg_degree);
+                triad_comm::run_simultaneous_chaos::<_, triad_comm::Tally>(
+                    &p, n, players, shared, plan, rep,
+                )
+            }
+            SimProtocolKind::Oblivious => {
+                let p = Oblivious::new(self.tuning, players.len());
+                triad_comm::run_simultaneous_chaos::<_, triad_comm::Tally>(
+                    &p, n, players, shared, plan, rep,
+                )
+            }
+        };
+        match result {
+            Ok(chaos) => Ok(crate::chaos::ChaosRep {
+                run: TallyRun {
+                    outcome: TestOutcome::from(chaos.run.output),
+                    stats: chaos.run.stats,
+                    transcript: chaos.run.transcript,
+                },
+                injected: chaos.injected,
+            }),
+            Err(f) => Err(Box::new(crate::chaos::FailedRep {
+                error: f.error,
+                stats: f.stats,
+                transcript: f.transcript,
+                injected: f.injected,
+            })),
+        }
+    }
+
     /// The dispatch shared by every entry point, generic over the
     /// recorder.
     fn run_with<R: Recorder>(

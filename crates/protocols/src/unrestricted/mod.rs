@@ -177,6 +177,68 @@ impl UnrestrictedTester {
         }
     }
 
+    /// Runs the tester under a [`FaultPlan`](triad_comm::FaultPlan): the
+    /// prepared local transport is wrapped in a
+    /// [`FaultyTransport`](triad_comm::FaultyTransport), the runtime
+    /// retries retryable delivery faults up to `retry_budget` times per
+    /// delivery (charged under [`triad_comm::RETRANSMIT_LABEL`]), and
+    /// the run is killed — bits preserved — if a fault goes unrecovered.
+    ///
+    /// One-sided error survives faults in one direction: a witness found
+    /// despite a poisoned runtime is still a real triangle, so such a
+    /// repetition counts as survived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FailedRep`](crate::chaos::FailedRep) when an
+    /// unrecovered fault killed the run without a witness.
+    pub fn run_chaos_tally(
+        &self,
+        input: &crate::amplify::PreparedInput<'_>,
+        seed: u64,
+        plan: &triad_comm::FaultPlan,
+        rep: u32,
+        retry_budget: u32,
+    ) -> Result<crate::chaos::ChaosRep, Box<crate::chaos::FailedRep>> {
+        let transport = triad_comm::FaultyTransport::new(
+            triad_comm::LocalTransport::from_shared(
+                input.shared_players(),
+                SharedRandomness::new(seed),
+            ),
+            *plan,
+            rep,
+        );
+        let counters = transport.counters();
+        let mut rt = Runtime::<triad_comm::Tally>::new_with(
+            Box::new(transport),
+            input.n(),
+            SharedRandomness::new(seed),
+            self.cost_model,
+        )
+        .with_retry_budget(retry_budget);
+        let outcome = self.run_on(&mut rt);
+        let fault = rt.take_fault();
+        let stats = rt.stats();
+        let transcript = rt.into_recorder();
+        let injected = counters.snapshot();
+        match fault {
+            Some(error) if !outcome.found_triangle() => Err(Box::new(crate::chaos::FailedRep {
+                error,
+                stats,
+                transcript,
+                injected,
+            })),
+            _ => Ok(crate::chaos::ChaosRep {
+                run: crate::outcome::TallyRun {
+                    outcome,
+                    stats,
+                    transcript,
+                },
+                injected,
+            }),
+        }
+    }
+
     /// Runs the tester over an existing runtime (threaded, blackboard,
     /// tally-recording, …).
     ///

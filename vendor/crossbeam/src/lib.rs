@@ -94,7 +94,7 @@ pub mod channel {
     use std::sync::mpsc;
 
     /// Error returned when the receiving side has hung up.
-    pub use std::sync::mpsc::{RecvError, SendError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
 
     /// The sending half of an unbounded channel.
     #[derive(Debug)]
@@ -126,6 +126,12 @@ pub mod channel {
         /// Returns immediately with a value if one is queued.
         pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks until a value arrives or `timeout` elapses,
+        /// distinguishing deadline expiry from sender hang-up.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
     }
 

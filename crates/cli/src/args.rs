@@ -84,6 +84,8 @@ pub enum CliError {
     Graph(triad_graph::GraphError),
     /// A protocol rejected the input.
     Protocol(triad_protocols::ProtocolError),
+    /// The networked coordinator (`serve`/`connect`) failed.
+    Net(triad_comm::NetError),
 }
 
 impl std::fmt::Display for CliError {
@@ -94,6 +96,7 @@ impl std::fmt::Display for CliError {
             CliError::Read(e) => write!(f, "{e}"),
             CliError::Graph(e) => write!(f, "{e}"),
             CliError::Protocol(e) => write!(f, "{e}"),
+            CliError::Net(e) => write!(f, "{e}"),
         }
     }
 }
@@ -121,6 +124,12 @@ impl From<triad_graph::GraphError> for CliError {
 impl From<triad_protocols::ProtocolError> for CliError {
     fn from(e: triad_protocols::ProtocolError) -> Self {
         CliError::Protocol(e)
+    }
+}
+
+impl From<triad_comm::NetError> for CliError {
+    fn from(e: triad_comm::NetError) -> Self {
+        CliError::Net(e)
     }
 }
 

@@ -11,7 +11,7 @@ use triad_graph::partition::Partition;
 use triad_graph::{distance, generators, io as gio, Graph};
 use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
 
-fn load_graph(path: &str) -> Result<Graph, CliError> {
+pub(crate) fn load_graph(path: &str) -> Result<Graph, CliError> {
     Ok(gio::read_edge_list(BufReader::new(File::open(path)?))?)
 }
 

@@ -8,6 +8,7 @@
 
 mod args;
 mod commands;
+mod net;
 
 pub use args::{ArgMap, CliError};
 
@@ -51,6 +52,18 @@ commands:
              [--d D] [--eps E] [--seed S] [--json] [--out FILE] [--transcript FILE]
              [--record full]   (the per-event breakdowns need the full
              recorder; a tally-only run is refused with a hint)
+  serve      host a networked coordinator run over TCP; waits for k
+             players, drives the protocol, prints the `triad test`
+             verdict/stats lines (wire format: docs/NETWORKING.md)
+             --bind ADDR  --k K  --protocol unrestricted|low|high|oblivious|exact
+             (--graph FILE | --n N)
+             [--eps E] [--seed S] [--d D] [--cost-model M]
+             [--timeout-secs T] [--port-file FILE]   (written after bind,
+             so `--bind 127.0.0.1:0` publishes its ephemeral port)
+  connect    join a `triad serve` run as one player; loads the share
+             `PREFIX.J` for the slot the coordinator assigns
+             --addr HOST:PORT  --shares PREFIX
+             [--slot J] [--timeout-secs T]
 
 global options:
   --threads N  size of the deterministic worker pool for amplified runs
@@ -86,6 +99,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "hfree" => commands::hfree(&map),
         "congest" => commands::congest(&map),
         "report" => commands::report(&map),
+        "serve" => net::serve(&map),
+        "connect" => net::connect(&map),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
@@ -306,6 +321,22 @@ mod tests {
                             .unwrap_or_else(|e| panic!("`{line}`: {e}"));
                     }
                 }
+                "serve" => {
+                    for key in ["bind", "k", "protocol"] {
+                        map.required(key)
+                            .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    }
+                    if map.optional("graph").is_none() {
+                        map.required_parsed::<usize>("n")
+                            .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    }
+                }
+                "connect" => {
+                    for key in ["addr", "shares"] {
+                        map.required(key)
+                            .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    }
+                }
                 "gen" | "partition" | "info" | "test" | "count" | "hfree" | "congest" => {}
                 other => panic!("`{line}`: unknown subcommand `{other}`"),
             }
@@ -376,6 +407,119 @@ mod tests {
         ))
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    /// Polls `path` until the serve side has published its ephemeral
+    /// port, then returns the `host:port` it wrote.
+    fn wait_for_port_file(path: &std::path::Path) -> String {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        loop {
+            if let Ok(s) = std::fs::read_to_string(path) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    return s;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never published {path:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
+    /// One full serve/connect cycle over loopback, entirely in-process:
+    /// returns (serve output, connect outputs).
+    fn loopback_cycle(
+        dir: &std::path::Path,
+        g: &std::path::Path,
+        shares: &std::path::Path,
+        protocol: &str,
+        k: usize,
+    ) -> (String, Vec<String>) {
+        let port_file = dir.join(format!("port-{protocol}"));
+        let serve_cmd = format!(
+            "serve --bind 127.0.0.1:0 --k {k} --protocol {protocol} --graph {} \
+             --eps 0.2 --seed 3 --d 8 --port-file {} --timeout-secs 20",
+            g.display(),
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_cmd)));
+        let addr = wait_for_port_file(&port_file);
+        let players: Vec<_> = (0..k)
+            .map(|_| {
+                let connect_cmd = format!(
+                    "connect --addr {addr} --shares {} --timeout-secs 20",
+                    shares.display()
+                );
+                std::thread::spawn(move || run(&argv(&connect_cmd)))
+            })
+            .collect();
+        let served = server.join().unwrap().unwrap();
+        let connected = players
+            .into_iter()
+            .map(|p| p.join().unwrap().unwrap())
+            .collect();
+        (served, connected)
+    }
+
+    #[test]
+    fn serve_connect_loopback_matches_triad_test_byte_for_byte() {
+        // The ISSUE acceptance scenario: a k=3 run over loopback TCP
+        // must print the same verdict and bit-accounting lines as the
+        // in-process `triad test` over the same partition — the
+        // recorders charge logical bits, never wire bytes.
+        let dir = std::env::temp_dir().join(format!("triad-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.el");
+        let shares = dir.join("p");
+        run(&argv(&format!(
+            "gen --kind far --n 300 --d 8 --eps 0.2 --seed 1 --out {}",
+            g.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "partition --graph {} --k 3 --scheme random --seed 2 --out {}",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        for protocol in ["low", "unrestricted"] {
+            let reference = run(&argv(&format!(
+                "test --graph {} --shares {} --protocol {protocol} --eps 0.2 --seed 3 \
+                 --d 8 --reps 1",
+                g.display(),
+                shares.display()
+            )))
+            .unwrap();
+            let (served, connected) = loopback_cycle(&dir, &g, &shares, protocol, 3);
+            let expected: Vec<&str> = reference.lines().collect();
+            let got: Vec<&str> = served.lines().collect();
+            assert_eq!(
+                &got[..2], &expected[..2],
+                "{protocol}: served run diverged from triad test\nserved:\n{served}\nreference:\n{reference}"
+            );
+            assert!(got[2].contains("served 3 players"), "{served}");
+            for out in &connected {
+                assert!(out.contains("coordinator verdict:"), "{out}");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_arguments() {
+        for bad in [
+            "serve --bind 127.0.0.1:0 --k 0 --protocol low --n 10",
+            "serve --bind 127.0.0.1:0 --k 2 --protocol nope --n 10",
+            "serve --bind 127.0.0.1:0 --k 2 --protocol low", // no --n/--graph
+            "serve --k 2 --protocol low --n 10",             // no --bind
+        ] {
+            let err = run(&argv(bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "`{bad}`: {err}");
+        }
+        let err = run(&argv("connect --addr 127.0.0.1:1")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
     }
 
     #[test]

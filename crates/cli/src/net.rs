@@ -1,0 +1,269 @@
+//! `triad serve` / `triad connect` — the networked coordinator pair.
+//!
+//! `serve` binds a TCP listener, registers `k` players against the
+//! expected roster, drives one protocol run over the sockets, and prints
+//! the same verdict/stats lines as `triad test` (for a fault-free run
+//! the bit accounting is byte-identical to the in-process transports —
+//! the recorders charge logical payload bits, never wire bytes).
+//! `connect` joins as one player: it loads the share named by the
+//! coordinator's Welcome, then answers requests until the coordinator
+//! says goodbye. The wire format is specified in `docs/NETWORKING.md`.
+
+use crate::args::{ArgMap, CliError};
+use crate::commands::load_graph;
+use std::fs::File;
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use triad_comm::{
+    run_simultaneous_collected, CommStats, CostModel, NetError, PlayerSession, PlayerState,
+    Runtime, ServeConfig, SharedRandomness, SharedTransport, SimMessage, SimultaneousProtocol,
+    Tally, TcpCoordinator, TcpTransport,
+};
+use triad_protocols::amplify::rep_seed;
+use triad_protocols::baseline::SendEverything;
+use triad_protocols::simultaneous::{AlgHigh, AlgLow, Oblivious};
+use triad_protocols::{single_run_verdict, ChaosOutcome, TestOutcome, Tuning, UnrestrictedTester};
+
+const PROTOCOLS: [&str; 5] = ["unrestricted", "low", "high", "oblivious", "exact"];
+
+fn parse_cost_model(args: &ArgMap) -> Result<CostModel, CliError> {
+    match args.optional("cost-model").unwrap_or("coordinator") {
+        "coordinator" => Ok(CostModel::Coordinator),
+        "blackboard" => Ok(CostModel::Blackboard),
+        "message-passing" => Ok(CostModel::MessagePassing),
+        other => Err(CliError::Usage(format!("unknown --cost-model `{other}`"))),
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// `triad serve` — host a networked coordinator run.
+///
+/// The effective shared seed is `rep_seed(--seed, 0)`, exactly the seed
+/// `triad test --reps 1` uses for its single repetition, so a fault-free
+/// served run's first two output lines are byte-comparable to `triad
+/// test` over the same partition.
+pub fn serve(args: &ArgMap) -> Result<String, CliError> {
+    let bind = args.required("bind")?;
+    let k: usize = args.required_parsed("k")?;
+    if k == 0 {
+        return Err(CliError::Usage("--k must be positive".into()));
+    }
+    let protocol = args.required("protocol")?;
+    if !PROTOCOLS.contains(&protocol) {
+        return Err(CliError::Usage(format!("unknown --protocol `{protocol}`")));
+    }
+    // The coordinator has no input of its own; it only needs the vertex
+    // count (and, for the degree-aware protocols, a density hint). With
+    // --graph both default from the file; --n serves a run whose input
+    // the coordinator never sees.
+    let (n, d_default) = match args.optional("graph") {
+        Some(path) => {
+            let g = load_graph(path)?;
+            (g.vertex_count(), g.average_degree())
+        }
+        None => (args.required_parsed("n")?, 8.0),
+    };
+    let eps: f64 = args.parsed_or("eps", 0.2)?;
+    let d: f64 = args.parsed_or("d", d_default)?;
+    if (protocol == "low" || protocol == "high") && d <= 0.0 {
+        return Err(CliError::Usage(
+            "--d must be positive for the degree-aware protocols".into(),
+        ));
+    }
+    let seed: u64 = args.parsed_or("seed", 0)?;
+    let cost_model = parse_cost_model(args)?;
+    let timeout = Duration::from_secs(args.parsed_or("timeout-secs", 30)?);
+    let eff_seed = rep_seed(seed, 0);
+    let cfg = ServeConfig {
+        k,
+        n,
+        seed: eff_seed,
+        cost_model,
+        protocol: protocol.to_string(),
+        params: format!("eps={eps} d={d}"),
+    };
+    let coordinator = TcpCoordinator::bind(bind)?;
+    let addr = coordinator.local_addr()?;
+    if let Some(path) = args.optional("port-file") {
+        // Written after bind, so a poller that sees the file sees the
+        // real (possibly ephemeral) port.
+        let mut f = File::create(path)?;
+        writeln!(f, "{addr}")?;
+    }
+    let transport = coordinator.accept_players(&cfg, timeout)?;
+    let handle = Arc::new(Mutex::new(transport));
+    let tuning = Tuning::practical(eps);
+    let shared = SharedRandomness::new(eff_seed);
+    let (outcome, fault, stats) = if protocol == "unrestricted" {
+        let boxed = Box::new(SharedTransport::new(Arc::clone(&handle)));
+        let mut rt: Runtime<Tally> = Runtime::new_with(boxed, n, shared, cost_model);
+        let outcome = UnrestrictedTester::new(tuning)
+            .with_cost_model(cost_model)
+            .run_on(&mut rt);
+        let fault = rt.take_fault();
+        let stats = rt.stats();
+        (outcome, fault, stats)
+    } else {
+        match collect_and_referee(&handle, protocol, tuning, d, k, n, shared) {
+            Ok((outcome, stats)) => (outcome, None, stats),
+            Err(e) => (TestOutcome::NoTriangleFound, Some(e), CommStats::default()),
+        }
+    };
+    let verdict = match single_run_verdict(outcome, fault.as_ref()) {
+        ChaosOutcome::TriangleFound(t) => format!("triangle {t}"),
+        ChaosOutcome::NoTriangleFound => "accepted (no triangle found)".to_string(),
+        ChaosOutcome::Inconclusive => {
+            let err = fault.as_ref().expect("inconclusive implies a fault");
+            format!("inconclusive (quorum lost; {err})")
+        }
+    };
+    lock(&handle).goodbye(&verdict);
+    Ok(format!(
+        "{verdict}\n{} bits, {} rounds, {} messages, max player message {} bits\nserved {k} players on {addr} (protocol {protocol}, seed {seed})\n",
+        stats.total_bits, stats.rounds, stats.messages, stats.max_player_sent_bits
+    ))
+}
+
+/// One simultaneous round over TCP: collect every player's (single)
+/// message, then run the referee locally. Charging happens in the same
+/// `finish` the in-process paths use, so accounting matches
+/// `run_simultaneous_prepared` bit for bit.
+fn collect_and_referee(
+    handle: &Mutex<TcpTransport>,
+    protocol: &str,
+    tuning: Tuning,
+    d: f64,
+    k: usize,
+    n: usize,
+    shared: SharedRandomness,
+) -> Result<(TestOutcome, CommStats), triad_comm::RunError> {
+    let messages = lock(handle).collect_sim_messages()?;
+    let (output, stats) = match protocol {
+        "low" => {
+            let p = AlgLow::new(tuning, d);
+            let run = run_simultaneous_collected::<_, Tally>(&p, n, messages, shared);
+            (run.output, run.stats)
+        }
+        "high" => {
+            let p = AlgHigh::new(tuning, d);
+            let run = run_simultaneous_collected::<_, Tally>(&p, n, messages, shared);
+            (run.output, run.stats)
+        }
+        "oblivious" => {
+            let p = Oblivious::new(tuning, k);
+            let run = run_simultaneous_collected::<_, Tally>(&p, n, messages, shared);
+            (run.output, run.stats)
+        }
+        // `serve` validated the protocol name up front; everything that
+        // is not unrestricted or a §3.4 tester is the exact baseline.
+        _ => {
+            let run = run_simultaneous_collected::<_, Tally>(&SendEverything, n, messages, shared);
+            (run.output, run.stats)
+        }
+    };
+    Ok((TestOutcome::from(output), stats))
+}
+
+/// `triad connect` — join a `triad serve` run as one player.
+///
+/// The Welcome tells this player its slot, the run geometry, the seed,
+/// and the protocol; the share file `{--shares}.{player}` is loaded and
+/// validated against the advertised vertex count before serving.
+pub fn connect(args: &ArgMap) -> Result<String, CliError> {
+    let addr = args.required("addr")?;
+    let prefix = args.required("shares")?;
+    let slot = match args.optional("slot") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|e| CliError::Usage(format!("could not parse --slot value `{v}`: {e}")))?,
+        ),
+    };
+    let timeout = Duration::from_secs(args.parsed_or("timeout-secs", 30)?);
+    let session = PlayerSession::connect(addr, slot, timeout)?;
+    let w = session.welcome().clone();
+    let path = format!("{prefix}.{}", w.player);
+    if !std::path::Path::new(&path).exists() {
+        return Err(CliError::Usage(format!(
+            "no share file `{path}` for player {} (expected `{prefix}.J` per player)",
+            w.player
+        )));
+    }
+    let share = load_graph(&path)?;
+    if share.vertex_count() != w.n as usize {
+        return Err(CliError::Usage(format!(
+            "share `{path}` declares {} vertices but the coordinator serves n={}",
+            share.vertex_count(),
+            w.n
+        )));
+    }
+    let state = PlayerState::new(w.player as usize, w.n as usize, share.edges());
+    let sim = sim_closure(&w)?;
+    let summary = session.serve(&state, sim).map_err(CliError::Net)?;
+    Ok(match summary.farewell {
+        Some(farewell) => format!(
+            "player {} served {} requests\ncoordinator verdict: {farewell}\n",
+            w.player, summary.requests
+        ),
+        None => format!(
+            "player {} served {} requests (connection closed without a farewell)\n",
+            w.player, summary.requests
+        ),
+    })
+}
+
+/// The player-side one-round responder `PlayerSession::serve` drives.
+type SimResponder = Box<dyn FnMut(&PlayerState, &SharedRandomness) -> SimMessage<'static>>;
+
+/// Builds the player's one-round responder from the Welcome: the same
+/// protocol object the coordinator's referee uses, fed the same shared
+/// randomness, so the posted message matches the in-process transcript.
+fn sim_closure(w: &triad_comm::Welcome) -> Result<SimResponder, CliError> {
+    let mut eps = 0.2f64;
+    let mut d = 8.0f64;
+    for tok in w.params.split_whitespace() {
+        if let Some((key, val)) = tok.split_once('=') {
+            match key {
+                "eps" => {
+                    eps = val.parse().map_err(|e| {
+                        CliError::Usage(format!("bad eps `{val}` in coordinator params: {e}"))
+                    })?;
+                }
+                "d" => {
+                    d = val.parse().map_err(|e| {
+                        CliError::Usage(format!("bad d `{val}` in coordinator params: {e}"))
+                    })?;
+                }
+                _ => {} // Forward compatibility: ignore unknown params.
+            }
+        }
+    }
+    let tuning = Tuning::practical(eps);
+    Ok(match w.protocol.as_str() {
+        "low" => {
+            let p = AlgLow::new(tuning, d);
+            Box::new(move |s, r| p.message(s, r).into_owned())
+        }
+        "high" => {
+            let p = AlgHigh::new(tuning, d);
+            Box::new(move |s, r| p.message(s, r).into_owned())
+        }
+        "oblivious" => {
+            let p = Oblivious::new(tuning, w.k as usize);
+            Box::new(move |s, r| p.message(s, r).into_owned())
+        }
+        "exact" => Box::new(move |s, r| SendEverything.message(s, r).into_owned()),
+        // Interactive protocols never send a SimRequest; an empty
+        // message keeps the player well-defined if one arrives anyway.
+        "unrestricted" => Box::new(|_, _| SimMessage::empty()),
+        other => {
+            return Err(CliError::Net(NetError::Protocol(format!(
+                "coordinator serves unknown protocol `{other}`"
+            ))))
+        }
+    })
+}

@@ -1,0 +1,520 @@
+//! The networked coordinator daemon and its player-side counterpart —
+//! the two halves of `triad serve` / `triad connect`.
+//!
+//! [`TcpCoordinator`] owns the listening socket: it accepts player
+//! connections, handshakes each one (a [`Hello`] answered by a
+//! [`Welcome`] carrying protocol name, `k`, `n`, seed, cost model and
+//! the player's slot), and once every expected slot is filled hands
+//! back a [`TcpTransport`] ready to drop into a
+//! [`Runtime`](crate::runtime::Runtime). [`PlayerSession`] is the other
+//! side: connect, learn your assignment, then [`serve`] requests against
+//! a local [`PlayerState`] until the coordinator says
+//! [`Goodbye`](crate::wire::WireMessage::Goodbye).
+//!
+//! The wire format both halves speak is specified normatively in
+//! `docs/NETWORKING.md`; the codec lives in [`crate::wire`].
+//!
+//! [`Hello`]: crate::wire::WireMessage::Hello
+//! [`Welcome`]: crate::wire::Welcome
+//! [`serve`]: PlayerSession::serve
+
+use crate::player::PlayerState;
+use crate::rand::SharedRandomness;
+use crate::runtime::{CostModel, TcpTransport};
+use crate::simultaneous::SimMessage;
+use crate::wire::{self, Welcome, WireError, WireMessage};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Failures of session establishment and player-side serving — the
+/// pre-run phase, before the [`RunError`](crate::runtime::RunError)
+/// taxonomy of an executing protocol applies.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Socket-level failure (connect refused, listener died, EOF).
+    Io(std::io::Error),
+    /// A frame-level failure from the wire codec.
+    Wire(WireError),
+    /// The peer violated the session protocol (rejected registration,
+    /// unexpected frame, bad parameters).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network error: {e}"),
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Protocol(what) => write!(f, "session error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Wire(e) => Some(e),
+            NetError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+/// Everything a run needs agreed between coordinator and players — the
+/// contents of the [`Welcome`] each player receives, minus its slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of players the run expects; `accept_players` returns once
+    /// this many slots are filled.
+    pub k: usize,
+    /// Number of vertices of the global graph.
+    pub n: usize,
+    /// The shared-randomness seed in force (already rep-derived if the
+    /// caller amplifies).
+    pub seed: u64,
+    /// The charging model.
+    pub cost_model: CostModel,
+    /// Protocol name (`unrestricted`, `low`, `high`, `oblivious`,
+    /// `exact`).
+    pub protocol: String,
+    /// Free-form `key=value` protocol parameters (e.g. `eps=0.2 d=8`).
+    pub params: String,
+}
+
+impl ServeConfig {
+    fn welcome_for(&self, player: u32) -> Welcome {
+        Welcome {
+            player,
+            k: self.k as u32,
+            n: self.n as u64,
+            seed: self.seed,
+            cost_model: self.cost_model,
+            protocol: self.protocol.clone(),
+            params: self.params.clone(),
+        }
+    }
+}
+
+/// The listening half of `triad serve`: accepts and registers player
+/// connections until the expected player set is complete.
+#[derive(Debug)]
+pub struct TcpCoordinator {
+    listener: TcpListener,
+}
+
+impl TcpCoordinator {
+    /// Binds the coordinator's listening socket. Bind to port 0 to let
+    /// the OS pick — [`local_addr`](Self::local_addr) reports the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Ok(TcpCoordinator {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The address the coordinator actually listens on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until all `cfg.k` slots are filled, then
+    /// returns the ordered [`TcpTransport`].
+    ///
+    /// Each connection is handshaken inline: a
+    /// [`Hello`](WireMessage::Hello) may claim an explicit slot (useful
+    /// when share files are pre-assigned) or take the lowest free one.
+    /// Out-of-range and already-taken slots are answered with an
+    /// [`Error`](WireMessage::Error) frame and the connection is
+    /// dropped — the run keeps waiting for a valid claimant.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] when `timeout` expires before the player
+    /// set completes; I/O failures of the listener itself propagate as
+    /// [`NetError::Io`].
+    pub fn accept_players(
+        &self,
+        cfg: &ServeConfig,
+        timeout: Duration,
+    ) -> Result<TcpTransport, NetError> {
+        if cfg.k == 0 {
+            return Err(NetError::Protocol("k must be at least 1".into()));
+        }
+        let deadline = Instant::now() + timeout;
+        self.listener.set_nonblocking(true)?;
+        let mut slots: Vec<Option<TcpStream>> = (0..cfg.k).map(|_| None).collect();
+        let mut filled = 0usize;
+        while filled < cfg.k {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Protocol(format!(
+                            "timed out with {filled}/{} players registered",
+                            cfg.k
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            };
+            if let Some((slot, stream)) = self.register(stream, cfg, &slots, timeout)? {
+                slots[slot] = Some(stream);
+                filled += 1;
+            }
+        }
+        self.listener.set_nonblocking(false)?;
+        let conns = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        Ok(TcpTransport::from_conns(conns, timeout))
+    }
+
+    /// Handshakes one accepted connection. Returns `Ok(None)` when the
+    /// connection was rejected (bad slot, bad first frame) — the caller
+    /// keeps accepting.
+    fn register(
+        &self,
+        mut stream: TcpStream,
+        cfg: &ServeConfig,
+        slots: &[Option<TcpStream>],
+        timeout: Duration,
+    ) -> Result<Option<(usize, TcpStream)>, NetError> {
+        // The accepted socket may inherit the listener's non-blocking
+        // mode; the handshake wants a plain bounded read.
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let hello = match wire::read_frame(&mut stream) {
+            Ok(WireMessage::Hello { slot }) => slot,
+            Ok(other) => {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &WireMessage::Error {
+                        reason: format!("expected hello, got {}", other.kind()),
+                    },
+                );
+                return Ok(None);
+            }
+            // A garbled, silent or vanished dialer is not fatal to the
+            // run: drop it and keep waiting for a real player.
+            Err(_) => return Ok(None),
+        };
+        let slot = match hello {
+            Some(s) => {
+                let s = s as usize;
+                if s >= cfg.k {
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &WireMessage::Error {
+                            reason: format!("slot {s} out of range for k={}", cfg.k),
+                        },
+                    );
+                    return Ok(None);
+                }
+                if slots[s].is_some() {
+                    let _ = wire::write_frame(
+                        &mut stream,
+                        &WireMessage::Error {
+                            reason: format!("slot {s} already taken"),
+                        },
+                    );
+                    return Ok(None);
+                }
+                s
+            }
+            None => match slots.iter().position(Option::is_none) {
+                Some(free) => free,
+                None => return Ok(None),
+            },
+        };
+        wire::write_frame(
+            &mut stream,
+            &WireMessage::Welcome(cfg.welcome_for(slot as u32)),
+        )
+        .map_err(NetError::Io)?;
+        Ok(Some((slot, stream)))
+    }
+}
+
+/// How a player session ended: the request count it served and the
+/// coordinator's farewell, when the session closed cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Number of protocol requests answered (control frames excluded).
+    pub requests: u64,
+    /// The verdict line from the coordinator's
+    /// [`Goodbye`](WireMessage::Goodbye), or `None` when the session
+    /// ended by hitting a [`serve_until`](PlayerSession::serve_until)
+    /// limit.
+    pub farewell: Option<String>,
+}
+
+/// The player half of a networked run: one registered connection plus
+/// the [`Welcome`] describing the assignment.
+#[derive(Debug)]
+pub struct PlayerSession {
+    stream: TcpStream,
+    welcome: Welcome,
+}
+
+impl PlayerSession {
+    /// Dials the coordinator and completes the handshake, optionally
+    /// claiming an explicit player slot. `timeout` bounds the handshake
+    /// only; once registered, the session waits indefinitely between
+    /// requests (the coordinator is allowed to think).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the dial fails, [`NetError::Protocol`]
+    /// when the coordinator rejects the registration (the rejection
+    /// reason is passed through).
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        slot: Option<u32>,
+        timeout: Duration,
+    ) -> Result<Self, NetError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        wire::write_frame(&mut stream, &WireMessage::Hello { slot }).map_err(NetError::Io)?;
+        let welcome = match wire::read_frame(&mut stream)? {
+            WireMessage::Welcome(w) => w,
+            WireMessage::Error { reason } => return Err(NetError::Protocol(reason)),
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "expected welcome, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        stream.set_read_timeout(None)?;
+        Ok(PlayerSession { stream, welcome })
+    }
+
+    /// The run assignment the coordinator handed this player.
+    pub fn welcome(&self) -> &Welcome {
+        &self.welcome
+    }
+
+    /// Serves coordinator requests against `state` until the coordinator
+    /// says goodbye. `sim` computes this player's one-shot message when
+    /// a simultaneous protocol is being run (players in multi-round runs
+    /// can pass a closure returning [`SimMessage::empty`]).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces socket failures, garbled frames and protocol violations
+    /// as [`NetError`]; a clean [`Goodbye`](WireMessage::Goodbye)
+    /// returns the [`ServeSummary`].
+    pub fn serve<F>(self, state: &PlayerState, sim: F) -> Result<ServeSummary, NetError>
+    where
+        F: FnMut(&PlayerState, &SharedRandomness) -> SimMessage<'static>,
+    {
+        self.serve_until(state, sim, None)
+    }
+
+    /// [`serve`](Self::serve) with a request budget: after answering
+    /// `limit` protocol requests the session returns early and **drops
+    /// the connection** — a player that walks away mid-round. This is
+    /// deliberate conformance-test support: the coordinator observes the
+    /// hangup as a typed
+    /// [`RunError::Transport`](crate::runtime::RunError::Transport) and
+    /// its quorum machinery must degrade to `inconclusive`, never flip a
+    /// verdict (see `docs/NETWORKING.md` and the TCP differential
+    /// suite).
+    ///
+    /// # Errors
+    ///
+    /// As [`serve`](Self::serve).
+    pub fn serve_until<F>(
+        mut self,
+        state: &PlayerState,
+        mut sim: F,
+        limit: Option<u64>,
+    ) -> Result<ServeSummary, NetError>
+    where
+        F: FnMut(&PlayerState, &SharedRandomness) -> SimMessage<'static>,
+    {
+        let mut shared = SharedRandomness::new(self.welcome.seed);
+        let mut requests = 0u64;
+        loop {
+            match wire::read_frame(&mut self.stream)? {
+                WireMessage::Request { id, req } => {
+                    let payload = state.handle(&req, &shared);
+                    wire::write_frame(&mut self.stream, &WireMessage::Response { id, payload })
+                        .map_err(NetError::Io)?;
+                    requests += 1;
+                }
+                WireMessage::SimRequest { id } => {
+                    let message = sim(state, &shared);
+                    wire::write_frame(&mut self.stream, &WireMessage::SimResponse { id, message })
+                        .map_err(NetError::Io)?;
+                    requests += 1;
+                }
+                WireMessage::AdoptShared { seed } => {
+                    shared = SharedRandomness::new(seed);
+                    wire::write_frame(&mut self.stream, &WireMessage::Ack).map_err(NetError::Io)?;
+                }
+                WireMessage::Goodbye { summary } => {
+                    return Ok(ServeSummary {
+                        requests,
+                        farewell: Some(summary),
+                    })
+                }
+                WireMessage::Error { reason } => return Err(NetError::Protocol(reason)),
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected {} frame from coordinator",
+                        other.kind()
+                    )))
+                }
+            }
+            if let Some(max) = limit {
+                if requests >= max {
+                    return Ok(ServeSummary {
+                        requests,
+                        farewell: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use crate::request::PlayerRequest;
+    use crate::runtime::Transport;
+    use std::time::Duration;
+    use triad_graph::{Edge, VertexId};
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    fn cfg(k: usize) -> ServeConfig {
+        ServeConfig {
+            k,
+            n: 4,
+            seed: 11,
+            cost_model: CostModel::Coordinator,
+            protocol: "unrestricted".into(),
+            params: "eps=0.5".into(),
+        }
+    }
+
+    #[test]
+    fn full_session_roundtrip_with_reseed_and_goodbye() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let shares = [vec![e(0, 1), e(1, 2)], vec![e(0, 2)]];
+        let players: Vec<_> = (0..2u32)
+            .map(|j| {
+                let share = shares[j as usize].clone();
+                std::thread::spawn(move || {
+                    // Player 1 claims its slot explicitly, player 0 takes
+                    // the free one.
+                    let slot = (j == 1).then_some(1);
+                    let session =
+                        PlayerSession::connect(addr, slot, Duration::from_secs(10)).unwrap();
+                    let w = session.welcome().clone();
+                    assert_eq!(w.k, 2);
+                    assert_eq!(w.protocol, "unrestricted");
+                    let state = PlayerState::new(w.player as usize, w.n as usize, &share);
+                    session.serve(&state, |_, _| SimMessage::empty()).unwrap()
+                })
+            })
+            .collect();
+        let mut transport = coordinator
+            .accept_players(&cfg(2), Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(transport.k(), 2);
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::HasEdge(e(0, 1))),
+            Ok(Payload::Bit(true))
+        );
+        assert_eq!(
+            transport.try_deliver(1, &PlayerRequest::HasEdge(e(0, 1))),
+            Ok(Payload::Bit(false))
+        );
+        transport.adopt_shared(SharedRandomness::new(99));
+        assert_eq!(
+            transport.try_deliver(1, &PlayerRequest::LocalEdgeCount),
+            Ok(Payload::Count(1))
+        );
+        let sims = transport.collect_sim_messages().unwrap();
+        assert_eq!(sims.len(), 2);
+        transport.goodbye("accepted (no triangle found)");
+        let mut summaries: Vec<_> = players.into_iter().map(|h| h.join().unwrap()).collect();
+        summaries.sort_by_key(|s| s.requests);
+        for s in &summaries {
+            assert_eq!(s.farewell.as_deref(), Some("accepted (no triangle found)"));
+        }
+        // 2 + 1 deliveries and one sim request each.
+        assert_eq!(summaries[0].requests + summaries[1].requests, 3 + 2);
+    }
+
+    #[test]
+    fn bad_slot_claims_are_rejected_without_killing_the_run() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            coordinator.accept_players(&cfg(2), Duration::from_secs(10))
+        });
+        // Out of range.
+        let err = PlayerSession::connect(addr, Some(5), Duration::from_secs(10)).unwrap_err();
+        assert!(
+            matches!(&err, NetError::Protocol(r) if r.contains("out of range")),
+            "{err}"
+        );
+        // Valid explicit claim.
+        let a = PlayerSession::connect(addr, Some(0), Duration::from_secs(10)).unwrap();
+        assert_eq!(a.welcome().player, 0);
+        // Duplicate claim.
+        let err = PlayerSession::connect(addr, Some(0), Duration::from_secs(10)).unwrap_err();
+        assert!(
+            matches!(&err, NetError::Protocol(r) if r.contains("already taken")),
+            "{err}"
+        );
+        // Free-slot claim completes the set.
+        let b = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+        assert_eq!(b.welcome().player, 1);
+        let transport = accept.join().unwrap().unwrap();
+        assert_eq!(transport.k(), 2);
+    }
+
+    #[test]
+    fn accept_times_out_with_a_player_census() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let err = coordinator
+            .accept_players(&cfg(3), Duration::from_millis(60))
+            .unwrap_err();
+        assert!(
+            matches!(&err, NetError::Protocol(r) if r.contains("0/3 players")),
+            "{err}"
+        );
+    }
+}

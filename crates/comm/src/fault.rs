@@ -448,6 +448,41 @@ pub fn corrupt_payload(p: Payload<'static>, salt: u64) -> Payload<'static> {
 /// schedules. Crashed players stay crashed for the rest of the run;
 /// every other fault is per-delivery. Deterministic: the i-th delivery
 /// to player `j` is faulted identically on every replay.
+///
+/// # Example
+///
+/// Wrapping any inner transport (here a [`LocalTransport`][lt]; a
+/// [`TcpTransport`][tt] works identically — that is the TCP conformance
+/// suite) and driving it through a [`Runtime`](crate::runtime::Runtime).
+/// Keep the [`counters`](Self::counters) handle: the transport itself
+/// moves into the runtime.
+///
+/// ```
+/// use triad_comm::fault::{FaultPlan, FaultRates, FaultyTransport};
+/// use triad_comm::{
+///     CostModel, LocalTransport, PlayerRequest, Runtime, SharedRandomness,
+/// };
+/// use triad_graph::{Edge, VertexId};
+///
+/// let e = |a, b| Edge::new(VertexId(a), VertexId(b));
+/// let shares = vec![vec![e(0, 1)], vec![e(1, 2)]];
+/// let shared = SharedRandomness::new(7);
+/// let inner = LocalTransport::new(3, &shares, shared);
+/// let faulty = FaultyTransport::new(inner, FaultPlan::new(1, FaultRates::mixed(0.5)), 0);
+/// let stats = faulty.counters();
+/// let mut rt = Runtime::new(Box::new(faulty), 3, shared, CostModel::Coordinator);
+/// for _ in 0..16 {
+///     rt.request(0, PlayerRequest::LocalEdgeCount);
+/// }
+/// // Either a fault was injected (and counted) or the run stayed clean;
+/// // an unrecovered one is parked on the runtime, never panicked.
+/// let injected = stats.snapshot().total();
+/// let _ = rt.take_fault();
+/// assert!(injected > 0, "a 50% mixed rate over 16 deliveries injects something");
+/// ```
+///
+/// [lt]: crate::runtime::LocalTransport
+/// [tt]: crate::runtime::TcpTransport
 #[derive(Debug)]
 pub struct FaultyTransport<T> {
     inner: T,

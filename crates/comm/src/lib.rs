@@ -42,6 +42,7 @@
 #![deny(missing_docs)]
 
 pub mod bits;
+pub mod daemon;
 pub mod fault;
 pub mod message;
 pub mod oneway;
@@ -55,8 +56,10 @@ pub mod runtime;
 pub mod simultaneous;
 pub mod streaming;
 pub mod transcript;
+pub mod wire;
 
 pub use bits::BitCost;
+pub use daemon::{NetError, PlayerSession, ServeConfig, ServeSummary, TcpCoordinator};
 pub use fault::{
     checksum_payload, corrupt_payload, run_simultaneous_chaos, ChaosFailure, FaultCounters,
     FaultKind, FaultPlan, FaultRates, FaultStats, FaultyTransport, Framed, SimChaos,
@@ -73,12 +76,12 @@ pub use report::{
 };
 pub use request::PlayerRequest;
 pub use runtime::{
-    CostModel, LocalTransport, RunError, RunErrorKind, Runtime, ThreadedTransport, Transport,
-    TransportError, DEFAULT_RETRY_BUDGET,
+    CostModel, LocalTransport, RunError, RunErrorKind, Runtime, SharedTransport, TcpTransport,
+    ThreadedTransport, Transport, TransportError, DEFAULT_NET_TIMEOUT, DEFAULT_RETRY_BUDGET,
 };
 pub use simultaneous::{
-    run_simultaneous, run_simultaneous_prepared, run_simultaneous_threaded, SimMessage, SimRun,
-    SimultaneousProtocol,
+    run_simultaneous, run_simultaneous_collected, run_simultaneous_prepared,
+    run_simultaneous_threaded, SimMessage, SimRun, SimultaneousProtocol,
 };
 pub use streaming::{
     run_stream, stream_as_one_way, EdgeReservoir, StreamAlgorithm, StreamOneWayRun, StreamRun,
@@ -87,3 +90,4 @@ pub use transcript::{
     parse_events_csv, parse_events_json, CommStats, Direction, Event, LabelTotals, OwnedEvent,
     ParseError, Rollup, Transcript, DEFAULT_PHASE,
 };
+pub use wire::{Welcome, WireError, WireMessage, MAX_FRAME_BYTES, WIRE_VERSION};

@@ -14,6 +14,27 @@ use triad_graph::Edge;
 /// Player states are held behind an [`Arc`] so prepared inputs can share
 /// one set of players across many repetitions without re-deriving
 /// adjacency (request handlers take `&self`, so sharing is sound).
+///
+/// # Example
+///
+/// Handing an explicitly built `LocalTransport` to a
+/// [`Runtime`](crate::runtime::Runtime) — what the
+/// [`Runtime::local`](crate::runtime::Runtime::local) convenience does
+/// internally:
+///
+/// ```
+/// use triad_comm::{
+///     CostModel, LocalTransport, Payload, PlayerRequest, Runtime, SharedRandomness,
+/// };
+/// use triad_graph::{Edge, VertexId};
+///
+/// let e = |a, b| Edge::new(VertexId(a), VertexId(b));
+/// let shares = vec![vec![e(0, 1), e(1, 2)], vec![e(0, 2)]];
+/// let shared = SharedRandomness::new(7);
+/// let transport = LocalTransport::new(3, &shares, shared);
+/// let mut rt = Runtime::new(Box::new(transport), 3, shared, CostModel::Coordinator);
+/// assert_eq!(rt.request(1, PlayerRequest::LocalEdgeCount), Payload::Count(1));
+/// ```
 #[derive(Debug)]
 pub struct LocalTransport {
     players: Arc<Vec<PlayerState>>,

@@ -14,9 +14,11 @@
 //! through the same [`Recorder::record`] calls (see `docs/RUNTIME.md`).
 
 mod local;
+mod tcp;
 mod threaded;
 
 pub use local::LocalTransport;
+pub use tcp::{SharedTransport, TcpTransport, DEFAULT_NET_TIMEOUT};
 pub use threaded::{ThreadedTransport, DEFAULT_RECV_TIMEOUT};
 
 use crate::bits::{bits_for_count, bits_per_edge, BitCost};
@@ -177,6 +179,46 @@ impl From<TransportError> for RunError {
 /// decorated with injected faults ([`crate::fault::FaultyTransport`]).
 /// The panicking [`deliver`](Self::deliver) convenience survives for
 /// tests only.
+///
+/// # Example
+///
+/// A [`Runtime`] takes any implementor as `Box<dyn Transport>`; every
+/// charge it records depends only on the protocol's logical bit costs,
+/// so swapping the transport never changes the accounting. A custom
+/// implementor needs only `k` and `try_deliver`:
+///
+/// ```
+/// use triad_comm::{
+///     CostModel, Payload, PlayerRequest, RunError, Runtime, SharedRandomness, Transport,
+/// };
+///
+/// /// Every player claims to hold no edges at all.
+/// struct EmptyPlayers {
+///     k: usize,
+/// }
+///
+/// impl Transport for EmptyPlayers {
+///     fn k(&self) -> usize {
+///         self.k
+///     }
+///     fn try_deliver(
+///         &mut self,
+///         _player: usize,
+///         req: &PlayerRequest,
+///     ) -> Result<Payload<'static>, RunError> {
+///         Ok(match req {
+///             PlayerRequest::LocalEdgeCount => Payload::Count(0),
+///             _ => Payload::Empty,
+///         })
+///     }
+/// }
+///
+/// let transport = Box::new(EmptyPlayers { k: 3 });
+/// let mut rt = Runtime::new(transport, 8, SharedRandomness::new(1), CostModel::Coordinator);
+/// let counts = rt.broadcast(PlayerRequest::LocalEdgeCount);
+/// assert_eq!(counts, vec![Payload::Count(0); 3]);
+/// assert!(rt.stats().total_bits > 0, "requests and responses were charged");
+/// ```
 pub trait Transport: Send {
     /// Number of players.
     fn k(&self) -> usize;

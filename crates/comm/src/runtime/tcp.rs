@@ -1,0 +1,540 @@
+//! [`TcpTransport`]: coordinator-side message delivery over real
+//! sockets, speaking the framed wire protocol of [`crate::wire`]
+//! (specified in `docs/NETWORKING.md`).
+//!
+//! The transport holds one established, handshaken connection per
+//! player, ordered by player index — [`crate::daemon::TcpCoordinator`]
+//! produces it from the accept loop. Every delivery is one
+//! [`Request`](crate::wire::WireMessage::Request) frame tagged with a
+//! fresh correlation id; responses with stale ids (answers to a delivery
+//! the coordinator already timed out) are discarded instead of
+//! desynchronizing the stream, which is what makes the runtime's
+//! bounded-retry loop sound over TCP.
+//!
+//! Cost accounting is **unchanged** by this transport: the recorder
+//! charges model bit costs (`bit_len`), never wire bytes, so a
+//! fault-free TCP run produces accounting byte-identical to
+//! [`LocalTransport`](super::LocalTransport) for the same
+//! (protocol, seed, k).
+
+use crate::message::Payload;
+use crate::rand::SharedRandomness;
+use crate::request::PlayerRequest;
+use crate::runtime::{RunError, Transport, TransportError};
+use crate::simultaneous::SimMessage;
+use crate::wire::{self, WireError, WireMessage};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Default per-response deadline of a networked run. Generous because a
+/// remote player may legitimately scan a large share; operators tune it
+/// with `--timeout-secs`.
+pub const DEFAULT_NET_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Maps a wire-level failure on `player`'s connection onto the typed
+/// [`RunError`] taxonomy (normative table in `docs/NETWORKING.md`):
+/// read deadline → `Timeout` (retryable), garbled or version-confused
+/// frame → `Corrupt` (retryable), dead socket → `Transport`
+/// (player stays dead), protocol violation → `Aborted`.
+fn map_wire(player: usize, e: WireError) -> RunError {
+    if e.is_timeout() {
+        return RunError::Timeout { player };
+    }
+    match e {
+        WireError::Io(_) => RunError::Transport(TransportError { player }),
+        WireError::Corrupt(_) | WireError::Version { .. } => RunError::Corrupt { player },
+        WireError::Protocol(reason) => RunError::Aborted {
+            reason: format!("player {player}: {reason}"),
+        },
+    }
+}
+
+/// A [`Transport`] over one TCP connection per player.
+///
+/// Constructed by
+/// [`TcpCoordinator::accept_players`](crate::daemon::TcpCoordinator::accept_players)
+/// once every expected player has completed the handshake.
+///
+/// # Example
+///
+/// A complete single-player loopback run — coordinator on one side,
+/// [`PlayerSession`](crate::daemon::PlayerSession) on the other — driven
+/// through a [`Runtime`](crate::runtime::Runtime) exactly like any
+/// in-process transport:
+///
+/// ```
+/// use std::sync::{Arc, Mutex};
+/// use std::time::Duration;
+/// use triad_comm::daemon::{PlayerSession, ServeConfig, TcpCoordinator};
+/// use triad_comm::runtime::SharedTransport;
+/// use triad_comm::{
+///     CostModel, Payload, PlayerRequest, PlayerState, Runtime, SharedRandomness, SimMessage,
+/// };
+/// use triad_graph::{Edge, VertexId};
+///
+/// let coordinator = TcpCoordinator::bind("127.0.0.1:0")?;
+/// let addr = coordinator.local_addr()?;
+/// let cfg = ServeConfig {
+///     k: 1,
+///     n: 4,
+///     seed: 7,
+///     cost_model: CostModel::Coordinator,
+///     protocol: "unrestricted".into(),
+///     params: String::new(),
+/// };
+///
+/// let player = std::thread::spawn(move || {
+///     let session = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+///     let share = vec![Edge::new(VertexId(0), VertexId(1))];
+///     let state = PlayerState::new(session.welcome().player as usize, 4, &share);
+///     session.serve(&state, |_, _| SimMessage::empty()).unwrap()
+/// });
+///
+/// let transport = coordinator.accept_players(&cfg, Duration::from_secs(10))?;
+/// let handle = Arc::new(Mutex::new(transport));
+/// let mut rt = Runtime::new(
+///     Box::new(SharedTransport::new(handle.clone())),
+///     4,
+///     SharedRandomness::new(7),
+///     CostModel::Coordinator,
+/// );
+/// assert_eq!(rt.request(0, PlayerRequest::LocalEdgeCount), Payload::Count(1));
+/// drop(rt);
+/// handle.lock().unwrap().goodbye("done");
+/// let summary = player.join().unwrap();
+/// assert_eq!(summary.farewell.as_deref(), Some("done"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TcpTransport {
+    conns: Vec<TcpStream>,
+    next_id: u64,
+    timeout: Duration,
+    pending_fault: Option<RunError>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("k", &self.conns.len())
+            .field("timeout", &self.timeout)
+            .field("pending_fault", &self.pending_fault)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Wraps already-handshaken connections, ordered by player index,
+    /// arming each with the per-response read deadline.
+    pub(crate) fn from_conns(conns: Vec<TcpStream>, timeout: Duration) -> Self {
+        let mut t = TcpTransport {
+            conns,
+            next_id: 0,
+            timeout,
+            pending_fault: None,
+        };
+        t.arm_timeouts();
+        t
+    }
+
+    fn arm_timeouts(&mut self) {
+        for conn in &self.conns {
+            // A connection that cannot even accept a deadline is as good
+            // as dead; the next delivery on it will surface the error.
+            let _ = conn.set_read_timeout(Some(self.timeout));
+        }
+    }
+
+    /// Replaces the per-response deadline (builder-style).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self.arm_timeouts();
+        self
+    }
+
+    /// The per-response deadline in force.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Reads frames from `player` until the one with correlation id `id`
+    /// arrives, discarding stale responses along the way.
+    fn await_response(&mut self, player: usize, id: u64) -> Result<Payload<'static>, RunError> {
+        loop {
+            match wire::read_frame(&mut self.conns[player]) {
+                Ok(WireMessage::Response { id: got, payload }) if got == id => return Ok(payload),
+                Ok(
+                    WireMessage::Response { id: got, .. }
+                    | WireMessage::SimResponse { id: got, .. },
+                ) if got < id => {
+                    // A late answer to a delivery the runtime already
+                    // timed out and retried: drop it, keep reading.
+                    continue;
+                }
+                Ok(WireMessage::Error { reason }) => {
+                    return Err(RunError::Aborted {
+                        reason: format!("player {player}: {reason}"),
+                    })
+                }
+                Ok(other) => {
+                    return Err(RunError::Aborted {
+                        reason: format!(
+                            "player {player} sent an unexpected {} frame",
+                            other.kind()
+                        ),
+                    })
+                }
+                Err(e) => return Err(map_wire(player, e)),
+            }
+        }
+    }
+
+    /// Asks every player for its one-shot simultaneous message, in
+    /// player order — the networked gather feeding
+    /// [`run_simultaneous_collected`](crate::simultaneous::run_simultaneous_collected).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first delivery failure, mapped onto [`RunError`] like
+    /// any other exchange.
+    pub fn collect_sim_messages(&mut self) -> Result<Vec<SimMessage<'static>>, RunError> {
+        if let Some(f) = self.pending_fault.take() {
+            return Err(f);
+        }
+        let mut out = Vec::with_capacity(self.conns.len());
+        for player in 0..self.conns.len() {
+            let id = self.fresh_id();
+            wire::write_frame(&mut self.conns[player], &WireMessage::SimRequest { id })
+                .map_err(|_| RunError::Transport(TransportError { player }))?;
+            loop {
+                match wire::read_frame(&mut self.conns[player]) {
+                    Ok(WireMessage::SimResponse { id: got, message }) if got == id => {
+                        out.push(message);
+                        break;
+                    }
+                    Ok(
+                        WireMessage::Response { id: got, .. }
+                        | WireMessage::SimResponse { id: got, .. },
+                    ) if got < id => continue,
+                    Ok(WireMessage::Error { reason }) => {
+                        return Err(RunError::Aborted {
+                            reason: format!("player {player}: {reason}"),
+                        })
+                    }
+                    Ok(other) => {
+                        return Err(RunError::Aborted {
+                            reason: format!(
+                                "player {player} sent an unexpected {} frame",
+                                other.kind()
+                            ),
+                        })
+                    }
+                    Err(e) => return Err(map_wire(player, e)),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Best-effort farewell: sends a [`Goodbye`](WireMessage::Goodbye)
+    /// carrying the run's verdict line to every player, so remote
+    /// sessions exit cleanly instead of reading EOF. Errors are ignored —
+    /// the run is already over.
+    pub fn goodbye(&mut self, summary: &str) {
+        let msg = WireMessage::Goodbye {
+            summary: summary.to_owned(),
+        };
+        for conn in &mut self.conns {
+            let _ = wire::write_frame(conn, &msg);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn k(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn try_deliver(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+    ) -> Result<Payload<'static>, RunError> {
+        if let Some(f) = self.pending_fault.take() {
+            return Err(f);
+        }
+        let id = self.fresh_id();
+        wire::write_frame(
+            &mut self.conns[player],
+            &WireMessage::Request {
+                id,
+                req: req.clone(),
+            },
+        )
+        .map_err(|_| RunError::Transport(TransportError { player }))?;
+        self.await_response(player, id)
+    }
+
+    fn adopt_shared(&mut self, shared: SharedRandomness) {
+        // The trait signature is infallible (in-process transports cannot
+        // fail here), so a network failure is parked and surfaced by the
+        // next delivery instead of panicking on a dead peer.
+        if self.pending_fault.is_some() {
+            return;
+        }
+        let seed = shared.seed();
+        for player in 0..self.conns.len() {
+            let sent =
+                wire::write_frame(&mut self.conns[player], &WireMessage::AdoptShared { seed })
+                    .map_err(|_| RunError::Transport(TransportError { player }));
+            let result = sent.and_then(|()| loop {
+                match wire::read_frame(&mut self.conns[player]) {
+                    Ok(WireMessage::Ack) => return Ok(()),
+                    Ok(WireMessage::Response { .. } | WireMessage::SimResponse { .. }) => continue,
+                    Ok(WireMessage::Error { reason }) => {
+                        return Err(RunError::Aborted {
+                            reason: format!("player {player}: {reason}"),
+                        })
+                    }
+                    Ok(other) => {
+                        return Err(RunError::Aborted {
+                            reason: format!(
+                                "player {player} sent an unexpected {} frame",
+                                other.kind()
+                            ),
+                        })
+                    }
+                    Err(e) => return Err(map_wire(player, e)),
+                }
+            });
+            if let Err(e) = result {
+                self.pending_fault = Some(e);
+                return;
+            }
+        }
+    }
+}
+
+/// A cloneable [`Transport`] handle over a mutex-guarded inner
+/// transport.
+///
+/// [`Runtime`](crate::runtime::Runtime) consumes its transport as
+/// `Box<dyn Transport>`, which would strand a [`TcpTransport`]'s
+/// connections inside the finished runtime — no way to send the final
+/// [`goodbye`](TcpTransport::goodbye) or inspect fault counters.
+/// `SharedTransport` keeps the inner transport behind an
+/// `Arc<Mutex<…>>`: hand one clone to the runtime, keep the `Arc`.
+/// All trait methods delegate — including `try_deliver_framed`, so a
+/// wrapped fault-injecting transport keeps its override.
+pub struct SharedTransport<T: Transport> {
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T: Transport> SharedTransport<T> {
+    /// Wraps a shared inner transport.
+    pub fn new(inner: Arc<Mutex<T>>) -> Self {
+        SharedTransport { inner }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Transport> Clone for SharedTransport<T> {
+    fn clone(&self) -> Self {
+        SharedTransport {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Transport> Transport for SharedTransport<T> {
+    fn k(&self) -> usize {
+        self.lock().k()
+    }
+
+    fn try_deliver(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+    ) -> Result<Payload<'static>, RunError> {
+        self.lock().try_deliver(player, req)
+    }
+
+    fn try_deliver_framed(
+        &mut self,
+        player: usize,
+        req: &PlayerRequest,
+    ) -> Result<crate::fault::Framed, RunError> {
+        self.lock().try_deliver_framed(player, req)
+    }
+
+    fn adopt_shared(&mut self, shared: SharedRandomness) {
+        self.lock().adopt_shared(shared);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RunErrorKind;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpListener, std::net::SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        (listener, addr)
+    }
+
+    #[test]
+    fn stale_responses_are_discarded_until_the_matching_id() {
+        let (listener, addr) = pair();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let id = match wire::read_frame(&mut s).unwrap() {
+                WireMessage::Request { id, .. } => id,
+                other => panic!("expected request, got {other:?}"),
+            };
+            // A late answer to an earlier (timed-out) delivery first…
+            wire::write_frame(
+                &mut s,
+                &WireMessage::Response {
+                    id: id - 1,
+                    payload: Payload::Bit(false),
+                },
+            )
+            .unwrap();
+            // …then the real one.
+            wire::write_frame(
+                &mut s,
+                &WireMessage::Response {
+                    id,
+                    payload: Payload::Bit(true),
+                },
+            )
+            .unwrap();
+            s
+        });
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut t = TcpTransport::from_conns(vec![conn], Duration::from_secs(10));
+        // Burn an id so the server's `id - 1` is a valid stale id.
+        t.next_id = 1;
+        let resp = t.try_deliver(0, &PlayerRequest::LocalEdgeCount).unwrap();
+        assert_eq!(resp, Payload::Bit(true));
+        drop(server.join().unwrap());
+    }
+
+    #[test]
+    fn silence_maps_to_timeout() {
+        let (listener, addr) = pair();
+        let conn = TcpStream::connect(addr).unwrap();
+        let (held, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::from_conns(vec![conn], Duration::from_millis(50));
+        let err = t
+            .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+            .unwrap_err();
+        assert_eq!(err.kind(), RunErrorKind::Timeout);
+        assert_eq!(err.player(), Some(0));
+        assert!(err.is_retryable());
+        drop(held);
+    }
+
+    #[test]
+    fn garbled_frames_map_to_corrupt() {
+        let (listener, addr) = pair();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let id = match wire::read_frame(&mut s).unwrap() {
+                WireMessage::Request { id, .. } => id,
+                other => panic!("expected request, got {other:?}"),
+            };
+            let mut buf = Vec::new();
+            wire::write_frame(
+                &mut buf,
+                &WireMessage::Response {
+                    id,
+                    payload: Payload::Count(9),
+                },
+            )
+            .unwrap();
+            // Flip a body bit so the checksum fails on arrival.
+            let at = buf.len() - 9;
+            buf[at] ^= 0x01;
+            s.write_all(&buf).unwrap();
+            s.flush().unwrap();
+            s
+        });
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut t = TcpTransport::from_conns(vec![conn], Duration::from_secs(10));
+        let err = t
+            .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+            .unwrap_err();
+        assert_eq!(err.kind(), RunErrorKind::Corrupt);
+        assert!(err.is_retryable());
+        drop(server.join().unwrap());
+    }
+
+    #[test]
+    fn hangup_maps_to_transport_and_is_not_retryable() {
+        let (listener, addr) = pair();
+        let conn = TcpStream::connect(addr).unwrap();
+        drop(listener.accept().unwrap()); // peer hangs up immediately
+        let mut t = TcpTransport::from_conns(vec![conn], Duration::from_secs(10));
+        let err = t
+            .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+            .unwrap_err();
+        assert_eq!(err.kind(), RunErrorKind::Transport);
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn shared_transport_delegates_and_survives_clone() {
+        let (listener, addr) = pair();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            for _ in 0..2 {
+                let id = match wire::read_frame(&mut s).unwrap() {
+                    WireMessage::Request { id, .. } => id,
+                    other => panic!("expected request, got {other:?}"),
+                };
+                wire::write_frame(
+                    &mut s,
+                    &WireMessage::Response {
+                        id,
+                        payload: Payload::Count(3),
+                    },
+                )
+                .unwrap();
+            }
+            s
+        });
+        let conn = TcpStream::connect(addr).unwrap();
+        let inner = Arc::new(Mutex::new(TcpTransport::from_conns(
+            vec![conn],
+            Duration::from_secs(10),
+        )));
+        let mut handle = SharedTransport::new(inner.clone());
+        assert_eq!(handle.k(), 1);
+        let mut other = handle.clone();
+        assert_eq!(
+            handle
+                .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+                .unwrap(),
+            Payload::Count(3)
+        );
+        assert_eq!(
+            other
+                .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+                .unwrap(),
+            Payload::Count(3)
+        );
+        drop(server.join().unwrap());
+    }
+}

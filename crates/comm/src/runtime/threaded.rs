@@ -21,6 +21,26 @@ pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(10);
 /// Because all protocol randomness is derived from the shared string and
 /// the coordinator serializes request/response pairs, the transcript is
 /// bit-for-bit identical to [`super::LocalTransport`]'s.
+///
+/// # Example
+///
+/// Spawning player threads and driving them through a
+/// [`Runtime`](crate::runtime::Runtime); the transport joins its threads
+/// on drop:
+///
+/// ```
+/// use triad_comm::{
+///     CostModel, Payload, PlayerRequest, Runtime, SharedRandomness, ThreadedTransport,
+/// };
+/// use triad_graph::{Edge, VertexId};
+///
+/// let e = |a, b| Edge::new(VertexId(a), VertexId(b));
+/// let shares = vec![vec![e(0, 1)], vec![e(1, 2)]];
+/// let shared = SharedRandomness::new(7);
+/// let transport = ThreadedTransport::spawn(3, &shares, shared);
+/// let mut rt = Runtime::new(Box::new(transport), 3, shared, CostModel::Coordinator);
+/// assert_eq!(rt.request(0, PlayerRequest::HasEdge(e(0, 1))), Payload::Bit(true));
+/// ```
 #[derive(Debug)]
 pub struct ThreadedTransport {
     senders: Vec<Sender<Envelope>>,

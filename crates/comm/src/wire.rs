@@ -1,0 +1,1054 @@
+//! The `triad` wire protocol: length-prefixed, checksummed binary frames
+//! for networked coordinator runs (`triad serve` / `triad connect`).
+//!
+//! This module is the **reference codec** for the format specified
+//! normatively in `docs/NETWORKING.md`. Every frame is
+//!
+//! ```text
+//! [len: u32 BE] [version: u8] [type: u8] [body: len-2 bytes] [checksum: u64 BE]
+//! ```
+//!
+//! where `len` counts the version byte, the type byte and the body, and
+//! `checksum` is [`checksum_bytes`] over exactly those `len` bytes. A
+//! frame that fails its checksum or cannot be decoded surfaces as
+//! [`WireError::Corrupt`] — mapped to
+//! [`RunError::Corrupt`](crate::runtime::RunError::Corrupt) by the TCP
+//! transport — instead of desynchronizing the stream silently.
+//!
+//! The codec is hand-rolled: this build environment vendors a no-op
+//! `serde` shim (see `vendor/README.md`), so nothing here may rely on
+//! derived serialization. All integers are big-endian; floats travel as
+//! their IEEE-754 bit patterns; strings are UTF-8 with a `u32` length
+//! prefix.
+//!
+//! Wire overhead (length prefixes, checksums, correlation ids) is
+//! transport bookkeeping and is **never** charged to a protocol's
+//! communication cost: the recorder charges the model costs
+//! [`PlayerRequest::bit_len`] / [`Payload::bit_len`], which is why a
+//! fault-free TCP run is bit-for-bit identical to
+//! [`LocalTransport`](crate::runtime::LocalTransport) accounting.
+
+use crate::message::Payload;
+use crate::rand::mix64;
+use crate::request::PlayerRequest;
+use crate::runtime::CostModel;
+use crate::simultaneous::SimMessage;
+use std::io::{Read, Write};
+use triad_graph::{Edge, Triangle, VertexId};
+
+/// The protocol version carried by every frame. Peers speaking a
+/// different version are rejected during the handshake with
+/// [`WireError::Version`].
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on the framed length (version + type + body) a peer may
+/// announce. Larger lengths are treated as corruption before any
+/// allocation happens.
+pub const MAX_FRAME_BYTES: u32 = 1 << 26; // 64 MiB
+
+/// Checksum of a byte string: a [`mix64`] fold over 8-byte chunks with
+/// the length mixed in last — the same diffusion family as
+/// [`checksum_payload`](crate::fault::checksum_payload), applied to wire
+/// bytes instead of payload structure.
+pub fn checksum_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0x5452_4941_4457_4952u64; // "TRIADWIR"
+    for chunk in bytes.chunks(8) {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        h = mix64(h ^ u64::from_be_bytes(buf));
+    }
+    mix64(h ^ bytes.len() as u64)
+}
+
+/// Everything that can go wrong encoding, decoding or transporting a
+/// frame. The TCP transport maps these onto the
+/// [`RunError`](crate::runtime::RunError) taxonomy (see
+/// `docs/NETWORKING.md`).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The underlying socket failed (includes unexpected EOF and read
+    /// deadlines; see [`WireError::is_timeout`]).
+    Io(std::io::Error),
+    /// The frame failed its checksum, declared an impossible length, or
+    /// its body did not decode.
+    Corrupt(String),
+    /// The peer speaks a different protocol version.
+    Version {
+        /// The version byte the peer sent.
+        got: u8,
+    },
+    /// A structurally valid frame arrived where it makes no sense (e.g.
+    /// a `Welcome` sent to the coordinator).
+    Protocol(String),
+}
+
+impl WireError {
+    /// `true` when the error is a read deadline expiring rather than a
+    /// dead or garbled connection — the retryable case.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            WireError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+
+    fn corrupt(what: impl Into<String>) -> Self {
+        WireError::Corrupt(what.into())
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+            WireError::Version { got } => {
+                write!(f, "peer speaks wire version {got}, expected {WIRE_VERSION}")
+            }
+            WireError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// The coordinator's greeting to a player that completed the handshake:
+/// everything the player needs to participate without any out-of-band
+/// agreement beyond its share file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Welcome {
+    /// The player index `j` assigned to this connection (`0..k`).
+    pub player: u32,
+    /// Total number of players the run expects.
+    pub k: u32,
+    /// Number of vertices `n` of the global graph.
+    pub n: u64,
+    /// The shared-randomness seed in force for the run.
+    pub seed: u64,
+    /// The charging model of the run.
+    pub cost_model: CostModel,
+    /// The protocol name (`unrestricted`, `low`, `high`, `oblivious`,
+    /// `exact`).
+    pub protocol: String,
+    /// Free-form `key=value` parameters (e.g. `eps=0.2 d=8`), parsed by
+    /// the player to reconstruct the protocol object exactly.
+    pub params: String,
+}
+
+/// One frame of the wire protocol. The `u8` tags are part of the
+/// normative format — see the frame-type table in `docs/NETWORKING.md`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMessage {
+    /// Player → coordinator: request registration, optionally claiming
+    /// an explicit slot (`None` = any free slot).
+    Hello {
+        /// Explicit player index to claim, if any.
+        slot: Option<u32>,
+    },
+    /// Coordinator → player: registration accepted.
+    Welcome(Welcome),
+    /// Coordinator → player: one [`PlayerRequest`], tagged with a
+    /// correlation id the response must echo.
+    Request {
+        /// Correlation id (monotonic per connection).
+        id: u64,
+        /// The request itself.
+        req: PlayerRequest,
+    },
+    /// Player → coordinator: the response to the [`WireMessage::Request`]
+    /// with the same id. Stale ids (from a delivery the coordinator
+    /// already timed out) are discarded by the receiver.
+    Response {
+        /// Correlation id being answered.
+        id: u64,
+        /// The response payload.
+        payload: Payload<'static>,
+    },
+    /// Coordinator → player: compute and send your one-shot simultaneous
+    /// message.
+    SimRequest {
+        /// Correlation id (monotonic per connection).
+        id: u64,
+    },
+    /// Player → coordinator: the simultaneous message (payloads with
+    /// their phase tags).
+    SimResponse {
+        /// Correlation id being answered.
+        id: u64,
+        /// The player's one-shot message.
+        message: SimMessage<'static>,
+    },
+    /// Coordinator → player: switch to a new shared-randomness seed
+    /// (Newman's conversion). The player must answer [`WireMessage::Ack`].
+    AdoptShared {
+        /// The new seed.
+        seed: u64,
+    },
+    /// Player → coordinator: control acknowledgement.
+    Ack,
+    /// Either direction: the sender cannot continue; the connection is
+    /// dead afterwards.
+    Error {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Coordinator → player: the run is over; carries a one-line result
+    /// summary, after which both sides close.
+    Goodbye {
+        /// The run's verdict line.
+        summary: String,
+    },
+}
+
+impl WireMessage {
+    /// The frame-type byte (normative; see `docs/NETWORKING.md`).
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            WireMessage::Hello { .. } => 0x01,
+            WireMessage::Welcome(_) => 0x02,
+            WireMessage::Request { .. } => 0x03,
+            WireMessage::Response { .. } => 0x04,
+            WireMessage::SimRequest { .. } => 0x05,
+            WireMessage::SimResponse { .. } => 0x06,
+            WireMessage::AdoptShared { .. } => 0x07,
+            WireMessage::Ack => 0x08,
+            WireMessage::Error { .. } => 0x09,
+            WireMessage::Goodbye { .. } => 0x0A,
+        }
+    }
+
+    /// A short name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            WireMessage::Hello { .. } => "hello",
+            WireMessage::Welcome(_) => "welcome",
+            WireMessage::Request { .. } => "request",
+            WireMessage::Response { .. } => "response",
+            WireMessage::SimRequest { .. } => "sim-request",
+            WireMessage::SimResponse { .. } => "sim-response",
+            WireMessage::AdoptShared { .. } => "adopt-shared",
+            WireMessage::Ack => "ack",
+            WireMessage::Error { .. } => "error",
+            WireMessage::Goodbye { .. } => "goodbye",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn vertex(&mut self, v: VertexId) {
+        self.u32(v.0);
+    }
+
+    fn edge(&mut self, e: Edge) {
+        self.vertex(e.u());
+        self.vertex(e.v());
+    }
+
+    fn edges(&mut self, es: &[Edge]) {
+        self.u32(es.len() as u32);
+        for e in es {
+            self.edge(*e);
+        }
+    }
+}
+
+fn encode_request(enc: &mut Enc, req: &PlayerRequest) {
+    match req {
+        PlayerRequest::HasEdge(e) => {
+            enc.u8(0);
+            enc.edge(*e);
+        }
+        PlayerRequest::FirstIncidentEdge { v, perm_tag } => {
+            enc.u8(1);
+            enc.vertex(*v);
+            enc.u64(*perm_tag);
+        }
+        PlayerRequest::FirstEdge { perm_tag } => {
+            enc.u8(2);
+            enc.u64(*perm_tag);
+        }
+        PlayerRequest::LocalDegree { v } => {
+            enc.u8(3);
+            enc.vertex(*v);
+        }
+        PlayerRequest::LocalEdgeCount => enc.u8(4),
+        PlayerRequest::EdgeCountMsb => enc.u8(5),
+        PlayerRequest::GlobalSampleHit { tag, p } => {
+            enc.u8(6);
+            enc.u64(*tag);
+            enc.f64(*p);
+        }
+        PlayerRequest::DegreeMsb { v } => {
+            enc.u8(7);
+            enc.vertex(*v);
+        }
+        PlayerRequest::DegreePrefix { v, prefix_bits } => {
+            enc.u8(8);
+            enc.vertex(*v);
+            enc.u32(*prefix_bits);
+        }
+        PlayerRequest::SampleHit { v, tag, p } => {
+            enc.u8(9);
+            enc.vertex(*v);
+            enc.u64(*tag);
+            enc.f64(*p);
+        }
+        PlayerRequest::FirstSuspectInBucket {
+            bucket,
+            k,
+            perm_tag,
+        } => {
+            enc.u8(10);
+            enc.u64(*bucket as u64);
+            enc.u64(*k as u64);
+            enc.u64(*perm_tag);
+        }
+        PlayerRequest::SuspectSample {
+            bucket,
+            k,
+            perm_tag,
+            count,
+        } => {
+            enc.u8(11);
+            enc.u64(*bucket as u64);
+            enc.u64(*k as u64);
+            enc.u64(*perm_tag);
+            enc.u64(*count as u64);
+        }
+        PlayerRequest::IncidentEdgesSampled { v, tag, p, cap } => {
+            enc.u8(12);
+            enc.vertex(*v);
+            enc.u64(*tag);
+            enc.f64(*p);
+            enc.u64(*cap as u64);
+        }
+        PlayerRequest::FindClosingTriangle { edges } => {
+            enc.u8(13);
+            enc.edges(edges);
+        }
+        PlayerRequest::InducedEdges { tag, p, cap } => {
+            enc.u8(14);
+            enc.u64(*tag);
+            enc.f64(*p);
+            enc.u64(*cap as u64);
+        }
+        PlayerRequest::RsEdges {
+            r_tag,
+            p_r,
+            s_tag,
+            p_s,
+            cap,
+        } => {
+            enc.u8(15);
+            enc.u64(*r_tag);
+            enc.f64(*p_r);
+            enc.u64(*s_tag);
+            enc.f64(*p_s);
+            enc.u64(*cap as u64);
+        }
+    }
+}
+
+fn encode_payload(enc: &mut Enc, p: &Payload<'_>) {
+    match p {
+        Payload::Empty => enc.u8(0),
+        Payload::Bit(b) => {
+            enc.u8(1);
+            enc.u8(u8::from(*b));
+        }
+        Payload::Bits(v, w) => {
+            enc.u8(2);
+            enc.u64(*v);
+            enc.u32(*w);
+        }
+        Payload::Count(c) => {
+            enc.u8(3);
+            enc.u64(*c);
+        }
+        Payload::Vertex(o) => {
+            enc.u8(4);
+            match o {
+                None => enc.u8(0),
+                Some(v) => {
+                    enc.u8(1);
+                    enc.vertex(*v);
+                }
+            }
+        }
+        Payload::Vertices(vs) => {
+            enc.u8(5);
+            enc.u32(vs.len() as u32);
+            for v in vs {
+                enc.vertex(*v);
+            }
+        }
+        Payload::Edge(o) => {
+            enc.u8(6);
+            match o {
+                None => enc.u8(0),
+                Some(e) => {
+                    enc.u8(1);
+                    enc.edge(*e);
+                }
+            }
+        }
+        Payload::Edges(es) => {
+            enc.u8(7);
+            enc.edges(es);
+        }
+        Payload::Triangle(o) => {
+            enc.u8(8);
+            match o {
+                None => enc.u8(0),
+                Some(t) => {
+                    enc.u8(1);
+                    for v in t.vertices() {
+                        enc.vertex(v);
+                    }
+                }
+            }
+        }
+        Payload::Probability(p) => {
+            enc.u8(9);
+            enc.f64(*p);
+        }
+    }
+}
+
+fn encode_sim_message(enc: &mut Enc, m: &SimMessage<'_>) {
+    enc.u32(m.payloads().len() as u32);
+    for (payload, phase) in m.payloads().iter().zip(m.phases()) {
+        enc.str(phase);
+        encode_payload(enc, payload);
+    }
+}
+
+fn cost_model_byte(m: CostModel) -> u8 {
+    match m {
+        CostModel::Coordinator => 0,
+        CostModel::Blackboard => 1,
+        CostModel::MessagePassing => 2,
+    }
+}
+
+fn encode_body(enc: &mut Enc, msg: &WireMessage) {
+    match msg {
+        WireMessage::Hello { slot } => match slot {
+            None => enc.u8(0),
+            Some(s) => {
+                enc.u8(1);
+                enc.u32(*s);
+            }
+        },
+        WireMessage::Welcome(w) => {
+            enc.u32(w.player);
+            enc.u32(w.k);
+            enc.u64(w.n);
+            enc.u64(w.seed);
+            enc.u8(cost_model_byte(w.cost_model));
+            enc.str(&w.protocol);
+            enc.str(&w.params);
+        }
+        WireMessage::Request { id, req } => {
+            enc.u64(*id);
+            encode_request(enc, req);
+        }
+        WireMessage::Response { id, payload } => {
+            enc.u64(*id);
+            encode_payload(enc, payload);
+        }
+        WireMessage::SimRequest { id } => enc.u64(*id),
+        WireMessage::SimResponse { id, message } => {
+            enc.u64(*id);
+            encode_sim_message(enc, message);
+        }
+        WireMessage::AdoptShared { seed } => enc.u64(*seed),
+        WireMessage::Ack => {}
+        WireMessage::Error { reason } => enc.str(reason),
+        WireMessage::Goodbye { summary } => enc.str(summary),
+    }
+}
+
+/// Encodes `msg` as one complete frame (length prefix, version, type,
+/// body, checksum) and writes it to `w`, flushing afterwards.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from the writer.
+pub fn write_frame<W: Write>(w: &mut W, msg: &WireMessage) -> std::io::Result<()> {
+    let mut enc = Enc::new();
+    enc.u8(WIRE_VERSION);
+    enc.u8(msg.type_byte());
+    encode_body(&mut enc, msg);
+    let framed = enc.buf;
+    let mut out = Vec::with_capacity(framed.len() + 12);
+    out.extend_from_slice(&(framed.len() as u32).to_be_bytes());
+    out.extend_from_slice(&framed);
+    out.extend_from_slice(&checksum_bytes(&framed).to_be_bytes());
+    w.write_all(&out)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Dec<'b> {
+    buf: &'b [u8],
+}
+
+impl<'b> Dec<'b> {
+    fn take(&mut self, len: usize) -> Result<&'b [u8], WireError> {
+        if self.buf.len() < len {
+            return Err(WireError::corrupt("truncated body"));
+        }
+        let (head, tail) = self.buf.split_at(len);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::corrupt("count overflows usize"))
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::corrupt("non-UTF-8 string"))
+    }
+
+    fn vertex(&mut self) -> Result<VertexId, WireError> {
+        Ok(VertexId(self.u32()?))
+    }
+
+    fn edge(&mut self) -> Result<Edge, WireError> {
+        let u = self.vertex()?;
+        let v = self.vertex()?;
+        if u == v {
+            return Err(WireError::corrupt("self-loop edge"));
+        }
+        Ok(Edge::new(u, v))
+    }
+
+    fn edges(&mut self) -> Result<Vec<Edge>, WireError> {
+        let len = self.u32()? as usize;
+        // The length is attacker-sized only up to the checked frame
+        // bound; an edge costs 8 body bytes, so this cannot overshoot.
+        let mut out = Vec::with_capacity(len.min(self.buf.len() / 8 + 1));
+        for _ in 0..len {
+            out.push(self.edge()?);
+        }
+        Ok(out)
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::corrupt("trailing bytes after body"))
+        }
+    }
+}
+
+fn decode_request(d: &mut Dec<'_>) -> Result<PlayerRequest, WireError> {
+    Ok(match d.u8()? {
+        0 => PlayerRequest::HasEdge(d.edge()?),
+        1 => PlayerRequest::FirstIncidentEdge {
+            v: d.vertex()?,
+            perm_tag: d.u64()?,
+        },
+        2 => PlayerRequest::FirstEdge { perm_tag: d.u64()? },
+        3 => PlayerRequest::LocalDegree { v: d.vertex()? },
+        4 => PlayerRequest::LocalEdgeCount,
+        5 => PlayerRequest::EdgeCountMsb,
+        6 => PlayerRequest::GlobalSampleHit {
+            tag: d.u64()?,
+            p: d.f64()?,
+        },
+        7 => PlayerRequest::DegreeMsb { v: d.vertex()? },
+        8 => PlayerRequest::DegreePrefix {
+            v: d.vertex()?,
+            prefix_bits: d.u32()?,
+        },
+        9 => PlayerRequest::SampleHit {
+            v: d.vertex()?,
+            tag: d.u64()?,
+            p: d.f64()?,
+        },
+        10 => PlayerRequest::FirstSuspectInBucket {
+            bucket: d.usize()?,
+            k: d.usize()?,
+            perm_tag: d.u64()?,
+        },
+        11 => PlayerRequest::SuspectSample {
+            bucket: d.usize()?,
+            k: d.usize()?,
+            perm_tag: d.u64()?,
+            count: d.usize()?,
+        },
+        12 => PlayerRequest::IncidentEdgesSampled {
+            v: d.vertex()?,
+            tag: d.u64()?,
+            p: d.f64()?,
+            cap: d.usize()?,
+        },
+        13 => PlayerRequest::FindClosingTriangle { edges: d.edges()? },
+        14 => PlayerRequest::InducedEdges {
+            tag: d.u64()?,
+            p: d.f64()?,
+            cap: d.usize()?,
+        },
+        15 => PlayerRequest::RsEdges {
+            r_tag: d.u64()?,
+            p_r: d.f64()?,
+            s_tag: d.u64()?,
+            p_s: d.f64()?,
+            cap: d.usize()?,
+        },
+        tag => return Err(WireError::corrupt(format!("unknown request tag {tag}"))),
+    })
+}
+
+fn decode_payload(d: &mut Dec<'_>) -> Result<Payload<'static>, WireError> {
+    Ok(match d.u8()? {
+        0 => Payload::Empty,
+        1 => Payload::Bit(d.u8()? != 0),
+        2 => {
+            let v = d.u64()?;
+            Payload::Bits(v, d.u32()?)
+        }
+        3 => Payload::Count(d.u64()?),
+        4 => Payload::Vertex(match d.u8()? {
+            0 => None,
+            _ => Some(d.vertex()?),
+        }),
+        5 => {
+            let len = d.u32()? as usize;
+            let mut vs = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                vs.push(d.vertex()?);
+            }
+            Payload::Vertices(vs)
+        }
+        6 => Payload::Edge(match d.u8()? {
+            0 => None,
+            _ => Some(d.edge()?),
+        }),
+        7 => Payload::Edges(d.edges()?.into()),
+        8 => Payload::Triangle(match d.u8()? {
+            0 => None,
+            _ => {
+                let a = d.vertex()?;
+                let b = d.vertex()?;
+                let c = d.vertex()?;
+                if a == b || b == c || a == c {
+                    return Err(WireError::corrupt("degenerate triangle"));
+                }
+                Some(Triangle::new(a, b, c))
+            }
+        }),
+        9 => Payload::Probability(d.f64()?),
+        tag => return Err(WireError::corrupt(format!("unknown payload tag {tag}"))),
+    })
+}
+
+/// Interns a phase name into the `&'static str` world of
+/// [`SimMessage`]. Phase names form a small closed set per protocol, so
+/// the one-time leak per distinct name is bounded for any process
+/// lifetime; repeated names return the same pointer.
+pub fn intern_phase(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static REGISTRY: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+fn decode_sim_message(d: &mut Dec<'_>) -> Result<SimMessage<'static>, WireError> {
+    let len = d.u32()? as usize;
+    let mut m = SimMessage::empty();
+    for _ in 0..len {
+        let phase = d.str()?;
+        let payload = decode_payload(d)?;
+        m.push_phased(payload, intern_phase(&phase));
+    }
+    Ok(m)
+}
+
+fn decode_cost_model(b: u8) -> Result<CostModel, WireError> {
+    Ok(match b {
+        0 => CostModel::Coordinator,
+        1 => CostModel::Blackboard,
+        2 => CostModel::MessagePassing,
+        other => return Err(WireError::corrupt(format!("unknown cost model {other}"))),
+    })
+}
+
+fn decode_body(type_byte: u8, body: &[u8]) -> Result<WireMessage, WireError> {
+    let mut d = Dec { buf: body };
+    let msg = match type_byte {
+        0x01 => WireMessage::Hello {
+            slot: match d.u8()? {
+                0 => None,
+                _ => Some(d.u32()?),
+            },
+        },
+        0x02 => WireMessage::Welcome(Welcome {
+            player: d.u32()?,
+            k: d.u32()?,
+            n: d.u64()?,
+            seed: d.u64()?,
+            cost_model: decode_cost_model(d.u8()?)?,
+            protocol: d.str()?,
+            params: d.str()?,
+        }),
+        0x03 => WireMessage::Request {
+            id: d.u64()?,
+            req: decode_request(&mut d)?,
+        },
+        0x04 => WireMessage::Response {
+            id: d.u64()?,
+            payload: decode_payload(&mut d)?,
+        },
+        0x05 => WireMessage::SimRequest { id: d.u64()? },
+        0x06 => WireMessage::SimResponse {
+            id: d.u64()?,
+            message: decode_sim_message(&mut d)?,
+        },
+        0x07 => WireMessage::AdoptShared { seed: d.u64()? },
+        0x08 => WireMessage::Ack,
+        0x09 => WireMessage::Error { reason: d.str()? },
+        0x0A => WireMessage::Goodbye { summary: d.str()? },
+        other => return Err(WireError::corrupt(format!("unknown frame type {other}"))),
+    };
+    d.done()?;
+    Ok(msg)
+}
+
+/// Reads one complete frame from `r`, verifying length bounds, version
+/// and checksum before decoding.
+///
+/// # Errors
+///
+/// [`WireError::Io`] on socket failure or EOF (a read deadline surfaces
+/// as an `Io` error for which [`WireError::is_timeout`] is `true`),
+/// [`WireError::Corrupt`] on checksum or decode failure, and
+/// [`WireError::Version`] on a version mismatch.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<WireMessage, WireError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if !(2..=MAX_FRAME_BYTES).contains(&len) {
+        return Err(WireError::corrupt(format!("impossible frame length {len}")));
+    }
+    let mut framed = vec![0u8; len as usize];
+    r.read_exact(&mut framed)?;
+    let mut sum_buf = [0u8; 8];
+    r.read_exact(&mut sum_buf)?;
+    if u64::from_be_bytes(sum_buf) != checksum_bytes(&framed) {
+        return Err(WireError::corrupt("checksum mismatch"));
+    }
+    if framed[0] != WIRE_VERSION {
+        return Err(WireError::Version { got: framed[0] });
+    }
+    decode_body(framed[1], &framed[2..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transcript::DEFAULT_PHASE;
+    use std::io::Cursor;
+
+    fn roundtrip(msg: &WireMessage) -> WireMessage {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).unwrap();
+        read_frame(&mut Cursor::new(buf)).unwrap()
+    }
+
+    fn e(a: u32, b: u32) -> Edge {
+        Edge::new(VertexId(a), VertexId(b))
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        let reqs = vec![
+            PlayerRequest::HasEdge(e(0, 1)),
+            PlayerRequest::FirstIncidentEdge {
+                v: VertexId(3),
+                perm_tag: 42,
+            },
+            PlayerRequest::FirstEdge { perm_tag: 7 },
+            PlayerRequest::LocalDegree { v: VertexId(1) },
+            PlayerRequest::LocalEdgeCount,
+            PlayerRequest::EdgeCountMsb,
+            PlayerRequest::GlobalSampleHit { tag: 9, p: 0.25 },
+            PlayerRequest::DegreeMsb { v: VertexId(2) },
+            PlayerRequest::DegreePrefix {
+                v: VertexId(5),
+                prefix_bits: 3,
+            },
+            PlayerRequest::SampleHit {
+                v: VertexId(4),
+                tag: 11,
+                p: 0.5,
+            },
+            PlayerRequest::FirstSuspectInBucket {
+                bucket: 2,
+                k: 4,
+                perm_tag: 13,
+            },
+            PlayerRequest::SuspectSample {
+                bucket: 1,
+                k: 3,
+                perm_tag: 17,
+                count: 6,
+            },
+            PlayerRequest::IncidentEdgesSampled {
+                v: VertexId(6),
+                tag: 19,
+                p: 0.125,
+                cap: 32,
+            },
+            PlayerRequest::FindClosingTriangle {
+                edges: vec![e(0, 1), e(1, 2)],
+            },
+            PlayerRequest::InducedEdges {
+                tag: 23,
+                p: 0.75,
+                cap: 64,
+            },
+            PlayerRequest::RsEdges {
+                r_tag: 29,
+                p_r: 0.1,
+                s_tag: 31,
+                p_s: 0.9,
+                cap: 128,
+            },
+        ];
+        for req in reqs {
+            let back = roundtrip(&WireMessage::Request {
+                id: 99,
+                req: req.clone(),
+            });
+            assert_eq!(
+                back,
+                WireMessage::Request { id: 99, req },
+                "request failed wire roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn every_payload_variant_roundtrips() {
+        let payloads: Vec<Payload<'static>> = vec![
+            Payload::Empty,
+            Payload::Bit(true),
+            Payload::Bit(false),
+            Payload::Bits(0b1011, 4),
+            Payload::Count(123_456),
+            Payload::Vertex(None),
+            Payload::Vertex(Some(VertexId(7))),
+            Payload::Vertices(vec![VertexId(1), VertexId(2)]),
+            Payload::Edge(None),
+            Payload::Edge(Some(e(3, 4))),
+            Payload::Edges(vec![e(0, 1), e(2, 3)].into()),
+            Payload::Edges(Vec::new().into()),
+            Payload::Triangle(None),
+            Payload::Triangle(Some(Triangle::new(VertexId(0), VertexId(1), VertexId(2)))),
+            Payload::Probability(0.375),
+        ];
+        for payload in payloads {
+            let back = roundtrip(&WireMessage::Response {
+                id: 5,
+                payload: payload.clone(),
+            });
+            assert_eq!(back, WireMessage::Response { id: 5, payload });
+        }
+    }
+
+    #[test]
+    fn handshake_and_control_frames_roundtrip() {
+        let welcome = Welcome {
+            player: 2,
+            k: 4,
+            n: 1024,
+            seed: 0xDEAD_BEEF,
+            cost_model: CostModel::Blackboard,
+            protocol: "low".into(),
+            params: "eps=0.2 d=8".into(),
+        };
+        for msg in [
+            WireMessage::Hello { slot: None },
+            WireMessage::Hello { slot: Some(3) },
+            WireMessage::Welcome(welcome),
+            WireMessage::SimRequest { id: 1 },
+            WireMessage::AdoptShared { seed: 77 },
+            WireMessage::Ack,
+            WireMessage::Error {
+                reason: "no such slot".into(),
+            },
+            WireMessage::Goodbye {
+                summary: "accepted (no triangle found)".into(),
+            },
+        ] {
+            assert_eq!(roundtrip(&msg), msg);
+        }
+    }
+
+    #[test]
+    fn sim_messages_roundtrip_with_interned_phases() {
+        let mut m = SimMessage::empty();
+        m.push_phased(Payload::Edges(vec![e(0, 1)].into()), "induced-sample");
+        m.push_phased(Payload::Bit(true), DEFAULT_PHASE);
+        let back = roundtrip(&WireMessage::SimResponse {
+            id: 8,
+            message: m.clone(),
+        });
+        match back {
+            WireMessage::SimResponse { id, message } => {
+                assert_eq!(id, 8);
+                assert_eq!(message.payloads(), m.payloads());
+                assert_eq!(message.phases(), m.phases());
+                // Interning must return pointer-identical names on repeat.
+                assert!(std::ptr::eq(
+                    message.phases()[0],
+                    intern_phase("induced-sample")
+                ));
+            }
+            other => panic!("expected SimResponse, got {other:?}"),
+        }
+        assert_eq!(m.bit_len(16), m.clone().into_owned().bit_len(16));
+    }
+
+    #[test]
+    fn corruption_is_detected_not_decoded() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMessage::AdoptShared { seed: 4 }).unwrap();
+        // Flip one body bit: the checksum must catch it.
+        let flip = buf.len() - 9;
+        buf[flip] ^= 0x10;
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMessage::Ack).unwrap();
+        // Patch the version byte and re-seal the checksum so only the
+        // version is wrong.
+        buf[4] = WIRE_VERSION + 1;
+        let len = u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize;
+        let sum = checksum_bytes(&buf[4..4 + len]);
+        let at = 4 + len;
+        buf[at..at + 8].copy_from_slice(&sum.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(err, WireError::Version { got } if got == WIRE_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_streams_and_absurd_lengths_error_cleanly() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &WireMessage::Goodbye {
+                summary: "bye".into(),
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)).unwrap_err(),
+            WireError::Io(_)
+        ));
+        let absurd = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(absurd)).unwrap_err(),
+            WireError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn checksum_mixes_length_and_content() {
+        assert_ne!(checksum_bytes(b""), checksum_bytes(b"\0"));
+        assert_ne!(checksum_bytes(b"\0\0"), checksum_bytes(b"\0"));
+        assert_ne!(checksum_bytes(b"ab"), checksum_bytes(b"ba"));
+        assert_eq!(checksum_bytes(b"triad"), checksum_bytes(b"triad"));
+    }
+}

@@ -308,6 +308,23 @@ pub fn run_chaos_amplified_tally<T: Repeatable + Sync>(
     ))
 }
 
+/// The quorum rule of a **single** repetition — what a networked
+/// `triad serve` run applies after driving one execution over its
+/// sockets: a witness triangle stands regardless of faults (one-sided
+/// error makes it verifiable), an unrecovered fault without a witness is
+/// [`ChaosOutcome::Inconclusive`] (never an accept), and a clean
+/// fault-free accept stands. This is exactly the `repetitions = 1`,
+/// `quorum = 1` case of [`run_chaos_amplified`], factored out so remote
+/// runs degrade identically to in-process ones (pinned by
+/// `tests/tcp_differential.rs`).
+pub fn single_run_verdict(outcome: crate::TestOutcome, fault: Option<&RunError>) -> ChaosOutcome {
+    match (outcome, fault) {
+        (crate::TestOutcome::TriangleFound(t), _) => ChaosOutcome::TriangleFound(t),
+        (crate::TestOutcome::NoTriangleFound, Some(_)) => ChaosOutcome::Inconclusive,
+        (crate::TestOutcome::NoTriangleFound, None) => ChaosOutcome::NoTriangleFound,
+    }
+}
+
 /// Down-converts a chaos verdict for callers that only understand the
 /// two-way [`crate::TestOutcome`] — `Inconclusive` maps to `None`, never
 /// to an accept.
@@ -448,6 +465,31 @@ mod tests {
                 "t{threads}"
             );
         }
+    }
+
+    #[test]
+    fn single_run_verdict_mirrors_quorum_semantics() {
+        let t = Triangle::new(
+            triad_graph::VertexId(0),
+            triad_graph::VertexId(1),
+            triad_graph::VertexId(2),
+        );
+        let err = RunError::Timeout { player: 1 };
+        // A witness is trustworthy even when a fault occurred.
+        assert_eq!(
+            single_run_verdict(crate::TestOutcome::TriangleFound(t), Some(&err)),
+            ChaosOutcome::TriangleFound(t)
+        );
+        // An accept with any unrecovered fault refuses to guess…
+        assert_eq!(
+            single_run_verdict(crate::TestOutcome::NoTriangleFound, Some(&err)),
+            ChaosOutcome::Inconclusive
+        );
+        // …and stands only when the run was clean.
+        assert_eq!(
+            single_run_verdict(crate::TestOutcome::NoTriangleFound, None),
+            ChaosOutcome::NoTriangleFound
+        );
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Differential suite for the networked (TCP) coordinator.
+//!
+//! Three guarantees are pinned here, mirroring `docs/NETWORKING.md`:
+//!
+//! 1. **Wire transparency** — a fault-free run over loopback TCP is
+//!    byte-identical to the in-process transports: same verdict, same
+//!    [`CommStats`], same per-phase/player/round/direction rollups. The
+//!    recorders charge logical payload bits, never wire bytes, so
+//!    framing and checksums must be invisible to the accounting.
+//! 2. **Typed degradation** — a player that walks away mid-round
+//!    surfaces as a typed [`RunError`] (timeout or transport, never a
+//!    panic), and the single-run verdict degrades to `Inconclusive`
+//!    exactly as the in-process quorum machinery does. A verdict never
+//!    flips to an accept on a faulted run.
+//! 3. **Chaos conformance** — `FaultyTransport<TcpTransport>` over
+//!    loopback injects the same deterministic fault schedule as
+//!    `FaultyTransport<LocalTransport>` and produces identical
+//!    outcomes, stats, and injected-fault counts, repetition by
+//!    repetition.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use triad::comm::{
+    run_simultaneous_collected, run_simultaneous_prepared, CostModel, FaultPlan, FaultRates,
+    FaultyTransport, PlayerSession, PlayerState, Recorder, RunErrorKind, Runtime, ServeConfig,
+    SharedRandomness, SimMessage, SimultaneousProtocol, Tally, TcpCoordinator, TcpTransport,
+    Welcome,
+};
+use triad::graph::generators::gnp_with_average_degree;
+use triad::graph::partition::{random_disjoint, Partition};
+use triad::graph::{Edge, Graph};
+use triad::protocols::amplify::PreparedInput;
+use triad::protocols::baseline::SendEverything;
+use triad::protocols::simultaneous::{AlgHigh, AlgLow, Oblivious};
+use triad::protocols::{single_run_verdict, ChaosOutcome, Tuning, UnrestrictedTester};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn workload(n: usize, k: usize, graph_seed: u64) -> (Graph, Partition) {
+    let mut rng = ChaCha8Rng::seed_from_u64(graph_seed);
+    let g = gnp_with_average_degree(n, 6.0, &mut rng);
+    let parts = random_disjoint(&g, k, &mut rng);
+    (g, parts)
+}
+
+/// The one-round responder `PlayerSession::serve_until` drives.
+type SimResponder = Box<dyn FnMut(&PlayerState, &SharedRandomness) -> SimMessage<'static>>;
+
+/// The player side of every test: the same one-round responder
+/// `triad connect` builds from the Welcome, so the posted message is the
+/// one the in-process transports would have recorded.
+fn sim_closure(w: &Welcome) -> SimResponder {
+    let mut eps = 0.2f64;
+    let mut d = 8.0f64;
+    for tok in w.params.split_whitespace() {
+        if let Some((key, val)) = tok.split_once('=') {
+            match key {
+                "eps" => eps = val.parse().unwrap(),
+                "d" => d = val.parse().unwrap(),
+                _ => {}
+            }
+        }
+    }
+    let tuning = Tuning::practical(eps);
+    match w.protocol.as_str() {
+        "low" => {
+            let p = AlgLow::new(tuning, d);
+            Box::new(move |s, r| p.message(s, r).into_owned())
+        }
+        "high" => {
+            let p = AlgHigh::new(tuning, d);
+            Box::new(move |s, r| p.message(s, r).into_owned())
+        }
+        "oblivious" => {
+            let p = Oblivious::new(tuning, w.k as usize);
+            Box::new(move |s, r| p.message(s, r).into_owned())
+        }
+        "exact" => Box::new(move |s, r| SendEverything.message(s, r).into_owned()),
+        _ => Box::new(|_, _| SimMessage::empty()),
+    }
+}
+
+/// Spawns one player thread per share. `request_limit` simulates a
+/// player that walks away after that many answered requests (the
+/// disconnect-mid-round scenario); `None` serves until the coordinator
+/// hangs up. Serve errors are ignored: a coordinator that simply drops
+/// the socket after its run is a normal ending for a test player.
+fn spawn_players(
+    addr: SocketAddr,
+    shares: Arc<Vec<Vec<Edge>>>,
+    request_limit: Option<u64>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..shares.len())
+        .map(|_| {
+            let shares = Arc::clone(&shares);
+            std::thread::spawn(move || {
+                let Ok(session) = PlayerSession::connect(addr, None, TIMEOUT) else {
+                    return;
+                };
+                let w = session.welcome().clone();
+                let state =
+                    PlayerState::new(w.player as usize, w.n as usize, &shares[w.player as usize]);
+                let sim = sim_closure(&w);
+                let _ = session.serve_until(&state, sim, request_limit);
+            })
+        })
+        .collect()
+}
+
+/// Binds a loopback coordinator, spawns the players, and returns the
+/// registered transport plus the player handles to join afterwards.
+fn loopback_transport(
+    cfg: &ServeConfig,
+    shares: Arc<Vec<Vec<Edge>>>,
+    request_limit: Option<u64>,
+) -> (TcpTransport, Vec<std::thread::JoinHandle<()>>) {
+    let coordinator = TcpCoordinator::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr");
+    let players = spawn_players(addr, shares, request_limit);
+    let transport = coordinator
+        .accept_players(cfg, TIMEOUT)
+        .expect("register all players");
+    (transport, players)
+}
+
+fn config(protocol: &str, k: usize, n: usize, seed: u64, eps: f64, d: f64) -> ServeConfig {
+    ServeConfig {
+        k,
+        n,
+        seed,
+        cost_model: CostModel::Coordinator,
+        protocol: protocol.to_string(),
+        params: format!("eps={eps} d={d}"),
+    }
+}
+
+fn assert_tallies_equal(label: &str, tcp: &Tally, reference: &Tally) {
+    assert_eq!(
+        tcp.total_bits(),
+        reference.total_bits(),
+        "{label}: total bits"
+    );
+    assert_eq!(tcp.by_phase(), reference.by_phase(), "{label}: by phase");
+    assert_eq!(tcp.by_player(), reference.by_player(), "{label}: by player");
+    assert_eq!(tcp.by_round(), reference.by_round(), "{label}: by round");
+    assert_eq!(
+        tcp.by_direction(),
+        reference.by_direction(),
+        "{label}: by direction"
+    );
+}
+
+#[test]
+fn unrestricted_over_tcp_matches_local_bit_for_bit() {
+    let (g, parts) = workload(240, 3, 5);
+    let input = PreparedInput::new(&g, &parts).unwrap();
+    let tester = UnrestrictedTester::new(Tuning::practical(0.2));
+    for seed in [3u64, 11] {
+        let reference = tester.run_prepared_tally(&input, seed);
+        let shares = Arc::new(parts.shares().to_vec());
+        let cfg = config("unrestricted", 3, g.vertex_count(), seed, 0.2, 6.0);
+        let (transport, players) = loopback_transport(&cfg, shares, None);
+        let mut rt: Runtime<Tally> = Runtime::new_with(
+            Box::new(transport),
+            g.vertex_count(),
+            SharedRandomness::new(seed),
+            CostModel::Coordinator,
+        );
+        let outcome = tester.run_on(&mut rt);
+        assert_eq!(rt.take_fault(), None, "seed {seed}: fault-free loopback");
+        assert_eq!(
+            outcome.triangle(),
+            reference.outcome.triangle(),
+            "seed {seed}"
+        );
+        assert_eq!(rt.stats(), reference.stats, "seed {seed}: stats");
+        assert_tallies_equal(
+            &format!("seed {seed}"),
+            &rt.into_recorder(),
+            &reference.transcript,
+        );
+        for p in players {
+            p.join().unwrap();
+        }
+    }
+}
+
+#[test]
+fn simultaneous_over_tcp_matches_prepared_bit_for_bit() {
+    let (g, parts) = workload(300, 4, 7);
+    let n = g.vertex_count();
+    let input = PreparedInput::new(&g, &parts).unwrap();
+    let tuning = Tuning::practical(0.2);
+    let seed = 3u64;
+    let shared = SharedRandomness::new(seed);
+    // Each variant: run the referee over messages collected from real
+    // sockets, then over messages computed in-process, and demand
+    // identical verdicts and accounting.
+    let run_tcp = |protocol: &str| {
+        let shares = Arc::new(parts.shares().to_vec());
+        let cfg = config(protocol, parts.players(), n, seed, 0.2, 6.0);
+        let (mut transport, players) = loopback_transport(&cfg, shares, None);
+        let messages = transport.collect_sim_messages().expect("collect");
+        drop(transport);
+        for p in players {
+            p.join().unwrap();
+        }
+        messages
+    };
+    {
+        let p = AlgLow::new(tuning, 6.0);
+        let reference = run_simultaneous_prepared::<_, Tally>(&p, n, input.players(), shared);
+        let tcp = run_simultaneous_collected::<_, Tally>(&p, n, run_tcp("low"), shared);
+        assert_eq!(tcp.output, reference.output, "low: output");
+        assert_eq!(tcp.stats, reference.stats, "low: stats");
+        assert_tallies_equal("low", &tcp.transcript, &reference.transcript);
+    }
+    {
+        let p = Oblivious::new(tuning, parts.players());
+        let reference = run_simultaneous_prepared::<_, Tally>(&p, n, input.players(), shared);
+        let tcp = run_simultaneous_collected::<_, Tally>(&p, n, run_tcp("oblivious"), shared);
+        assert_eq!(tcp.output, reference.output, "oblivious: output");
+        assert_eq!(tcp.stats, reference.stats, "oblivious: stats");
+        assert_tallies_equal("oblivious", &tcp.transcript, &reference.transcript);
+    }
+    {
+        let reference =
+            run_simultaneous_prepared::<_, Tally>(&SendEverything, n, input.players(), shared);
+        let tcp =
+            run_simultaneous_collected::<_, Tally>(&SendEverything, n, run_tcp("exact"), shared);
+        assert_eq!(tcp.output, reference.output, "exact: output");
+        assert_eq!(tcp.stats, reference.stats, "exact: stats");
+        assert_tallies_equal("exact", &tcp.transcript, &reference.transcript);
+    }
+}
+
+#[test]
+fn disconnect_mid_round_degrades_to_inconclusive_not_a_flip() {
+    // A triangle-free path: the only honest verdicts are a clean accept
+    // or an explicit refusal. Players walk away after two answered
+    // requests, so the run *must* fault — and the verdict must be
+    // Inconclusive, never a silent accept, never a panic.
+    let g = Graph::from_edges(60, (0..59).map(|i| (i as u32, i as u32 + 1)));
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let parts = random_disjoint(&g, 3, &mut rng);
+    let seed = 4u64;
+    let shares = Arc::new(parts.shares().to_vec());
+    let cfg = config("unrestricted", 3, g.vertex_count(), seed, 0.2, 2.0);
+    let (transport, players) = loopback_transport(&cfg, shares, Some(2));
+    let mut rt: Runtime<Tally> = Runtime::new_with(
+        Box::new(transport),
+        g.vertex_count(),
+        SharedRandomness::new(seed),
+        CostModel::Coordinator,
+    );
+    let outcome = UnrestrictedTester::new(Tuning::practical(0.2)).run_on(&mut rt);
+    let fault = rt
+        .take_fault()
+        .expect("walked-away players must fault the run");
+    assert!(
+        matches!(
+            fault.kind(),
+            RunErrorKind::Timeout | RunErrorKind::Transport | RunErrorKind::Corrupt
+        ),
+        "typed delivery error expected, got {fault}"
+    );
+    // One-sided error survives: no witness can exist here, so the only
+    // lawful verdict under a fault is an explicit refusal.
+    assert_eq!(
+        outcome.triangle(),
+        None,
+        "fabricated witness on a path graph"
+    );
+    assert_eq!(
+        single_run_verdict(outcome, Some(&fault)),
+        ChaosOutcome::Inconclusive
+    );
+    for p in players {
+        p.join().unwrap();
+    }
+}
+
+#[test]
+fn faulty_tcp_transport_matches_faulty_local_rep_by_rep() {
+    // The chaos harness is the conformance suite: the deterministic
+    // fault schedule is injected *above* the transport, so wrapping the
+    // TCP transport must reproduce the local chaos runs exactly —
+    // verdict, fault, stats, and injected-fault counts, per repetition.
+    let (g, parts) = workload(200, 3, 9);
+    let input = PreparedInput::new(&g, &parts).unwrap();
+    let tester = UnrestrictedTester::new(Tuning::practical(0.2));
+    let plan = FaultPlan::new(77, FaultRates::mixed(0.05));
+    let budget = 2;
+    for rep in 0..4u32 {
+        let seed = 100 + u64::from(rep);
+        let reference = tester.run_chaos_tally(&input, seed, &plan, rep, budget);
+        let shares = Arc::new(parts.shares().to_vec());
+        let cfg = config("unrestricted", 3, g.vertex_count(), seed, 0.2, 6.0);
+        let (transport, players) = loopback_transport(&cfg, shares, None);
+        let faulty = FaultyTransport::new(transport, plan, rep);
+        let counters = faulty.counters();
+        let mut rt: Runtime<Tally> = Runtime::new_with(
+            Box::new(faulty),
+            g.vertex_count(),
+            SharedRandomness::new(seed),
+            CostModel::Coordinator,
+        )
+        .with_retry_budget(budget);
+        let outcome = tester.run_on(&mut rt);
+        let fault = rt.take_fault();
+        let stats = rt.stats();
+        let tally = rt.into_recorder();
+        let injected = counters.snapshot();
+        match &reference {
+            Ok(chaos) => {
+                // A surviving rep may still have swallowed a fault under
+                // the witness exemption; only the observables must match.
+                assert_eq!(
+                    outcome.triangle(),
+                    chaos.run.outcome.triangle(),
+                    "rep {rep}: outcome"
+                );
+                assert_eq!(stats, chaos.run.stats, "rep {rep}: stats");
+                assert_eq!(injected, chaos.injected, "rep {rep}: injected faults");
+                assert_tallies_equal(&format!("rep {rep}"), &tally, &chaos.run.transcript);
+            }
+            Err(failed) => {
+                let fault = fault.unwrap_or_else(|| panic!("rep {rep}: local failed, TCP didn't"));
+                assert_eq!(fault, failed.error, "rep {rep}: error");
+                assert_eq!(
+                    outcome.triangle(),
+                    None,
+                    "rep {rep}: failed rep has no witness"
+                );
+                assert_eq!(stats, failed.stats, "rep {rep}: stats");
+                assert_eq!(injected, failed.injected, "rep {rep}: injected faults");
+                assert_tallies_equal(&format!("rep {rep}"), &tally, &failed.transcript);
+            }
+        }
+        for p in players {
+            p.join().unwrap();
+        }
+    }
+}

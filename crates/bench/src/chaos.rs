@@ -148,7 +148,7 @@ pub fn chaos_suite(scale: Scale) -> Vec<ChaosCell> {
         let testers: [(&str, &(dyn Repeatable + Sync)); 3] = [
             ("unrestricted", &unrestricted),
             ("sim-low", &sim_low),
-            ("send-everything", &SendEverything),
+            ("send-everything", &SendEverything::default()),
         ];
         for (pi, (name, tester)) in testers.into_iter().enumerate() {
             for (ri, &rate) in rates.iter().enumerate() {
@@ -191,8 +191,24 @@ mod tests {
         let input = PreparedInput::new(&g, &parts).unwrap();
         let pool = Pool::serial();
         vec![
-            chaos_cell(&pool, "send-everything", &SendEverything, &input, 4, 0.0, 9),
-            chaos_cell(&pool, "send-everything", &SendEverything, &input, 4, 0.3, 9),
+            chaos_cell(
+                &pool,
+                "send-everything",
+                &SendEverything::default(),
+                &input,
+                4,
+                0.0,
+                9,
+            ),
+            chaos_cell(
+                &pool,
+                "send-everything",
+                &SendEverything::default(),
+                &input,
+                4,
+                0.3,
+                9,
+            ),
         ]
     }
 
@@ -233,7 +249,7 @@ mod tests {
         let serial = chaos_cell(
             &Pool::serial(),
             "send-everything",
-            &SendEverything,
+            &SendEverything::default(),
             &input,
             5,
             0.25,
@@ -243,7 +259,7 @@ mod tests {
             let par = chaos_cell(
                 &Pool::new(threads),
                 "send-everything",
-                &SendEverything,
+                &SendEverything::default(),
                 &input,
                 5,
                 0.25,

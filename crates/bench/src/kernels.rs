@@ -16,7 +16,7 @@ use crate::experiments::Scale;
 use crate::workloads::{clique_plus_path, dense_core_workload, planted_far};
 use std::time::Instant;
 use triad_comm::pool::Pool;
-use triad_graph::kernels::{self, naive};
+use triad_graph::kernels::{self, naive, BitsetAdjacency};
 use triad_graph::{distance, Graph};
 
 /// One workload's measured kernel-vs-naive timings (milliseconds).
@@ -36,6 +36,10 @@ pub struct KernelTiming {
     pub kernel_count_ms: f64,
     /// Pool-parallel forward-kernel count, milliseconds.
     pub par_count_ms: f64,
+    /// Word-parallel AND-popcount bitset count (build + sweep),
+    /// milliseconds — the dense referee path behind
+    /// [`triad_graph::kernels::dense_kernel_wins`].
+    pub bitset_count_ms: f64,
     /// Threads used for the parallel measurement.
     pub par_threads: usize,
     /// Rebuild-per-removal greedy hitting loop, milliseconds (`None`
@@ -51,6 +55,13 @@ impl KernelTiming {
     /// Naive count time divided by kernel count time.
     pub fn count_speedup(&self) -> f64 {
         self.naive_count_ms / self.kernel_count_ms.max(1e-9)
+    }
+
+    /// Forward-kernel time divided by bitset-kernel time: > 1 means
+    /// the word-parallel intersection beats the edge-list referee path
+    /// on this workload.
+    pub fn bitset_speedup(&self) -> f64 {
+        self.kernel_count_ms / self.bitset_count_ms.max(1e-9)
     }
 
     /// Rebuild-loop time divided by view-loop time, when both ran.
@@ -71,6 +82,8 @@ impl KernelTiming {
         s.push_str(&format!("\"kernel_count_ms\":{:.3},", self.kernel_count_ms));
         s.push_str(&format!("\"par_count_ms\":{:.3},", self.par_count_ms));
         s.push_str(&format!("\"par_threads\":{},", self.par_threads));
+        s.push_str(&format!("\"bitset_count_ms\":{:.3},", self.bitset_count_ms));
+        s.push_str(&format!("\"bitset_speedup\":{:.3},", self.bitset_speedup()));
         s.push_str(&format!("\"count_speedup\":{:.3},", self.count_speedup()));
         match (
             self.naive_greedy_ms,
@@ -127,8 +140,11 @@ pub fn time_workload(name: &str, g: &Graph, with_greedy: bool, reps: usize) -> K
     let (naive_count_ms, naive_count) = time_best(reps, || naive::count_triangles(g));
     let (kernel_count_ms, kernel_count) = time_best(reps, || kernels::count_triangles(g));
     let (par_count_ms, par_count) = time_best(reps, || kernels::count_triangles_par(g, &pool));
+    let (bitset_count_ms, bitset_count) =
+        time_best(reps, || BitsetAdjacency::build(g).count_all(g));
     assert_eq!(kernel_count, naive_count, "{name}: kernel count diverged");
     assert_eq!(par_count, naive_count, "{name}: parallel count diverged");
+    assert_eq!(bitset_count, naive_count, "{name}: bitset count diverged");
     let (naive_greedy_ms, view_greedy_ms, greedy_removed) = if with_greedy {
         let (nms, nseq) = time_best(reps, || naive::greedy_hitting_removal(g));
         let (vms, vseq) = time_best(reps, || distance::greedy_hitting_removal(g));
@@ -145,6 +161,7 @@ pub fn time_workload(name: &str, g: &Graph, with_greedy: bool, reps: usize) -> K
         naive_count_ms,
         kernel_count_ms,
         par_count_ms,
+        bitset_count_ms,
         par_threads: pool.threads(),
         naive_greedy_ms,
         view_greedy_ms,
@@ -233,6 +250,7 @@ mod tests {
         assert!(t.triangles > 0, "ε-far planted graphs have triangles");
         assert!(t.greedy_removed.unwrap() > 0);
         assert!(t.count_speedup() > 0.0);
+        assert!(t.bitset_speedup() > 0.0);
         assert!(t.greedy_speedup().unwrap() > 0.0);
     }
 
@@ -249,6 +267,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("[\n") && text.ends_with("]\n"));
         assert_eq!(text.matches("\"workload\"").count(), 2);
+        assert_eq!(text.matches("\"bitset_speedup\"").count(), 2);
         assert_eq!(text.matches("\"greedy_speedup\":null").count(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }

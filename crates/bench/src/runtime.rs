@@ -31,8 +31,8 @@ use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 use triad_comm::pool::Pool;
 use triad_comm::{
-    run_simultaneous_prepared, CommStats, PlayerState, Recorder, SharedRandomness, SimMessage,
-    SimultaneousProtocol, Tally, Transcript,
+    run_simultaneous_prepared, CommStats, PayloadRepr, PlayerState, Recorder, SharedRandomness,
+    SimMessage, SimultaneousProtocol, Tally, Transcript,
 };
 use triad_graph::partition::{random_disjoint, Partition};
 use triad_graph::{Graph, GraphBuilder, Triangle};
@@ -437,7 +437,7 @@ pub fn runtime_suite(scale: Scale) -> Vec<RuntimeTiming> {
         time_unrestricted_sweep(tuning, &g, &parts, reps, timing_reps, 11),
         time_sweep(
             "send-everything",
-            &SendEverything,
+            &SendEverything::default(),
             &g,
             &parts,
             reps,
@@ -462,7 +462,30 @@ pub fn runtime_suite(scale: Scale) -> Vec<RuntimeTiming> {
             timing_reps,
             11,
         ),
+        dense_payload_sweep(scale, timing_reps),
     ]
+}
+
+/// The dense-payload row: a bipartite workload thick enough that every
+/// exact share clears the `dense_kernel_wins` gate, run with the
+/// baseline forced onto `Payload::EdgeBits` — so the sweep exercises
+/// the packed-bitset message path (borrowed `share_bitset`, bitset
+/// referee union) end to end. Bit totals are asserted equal across
+/// paths as everywhere else; the representation is charged identically
+/// by construction.
+fn dense_payload_sweep(scale: Scale, timing_reps: usize) -> RuntimeTiming {
+    let (n, d, k) = scale.pick((400, 40.0, 3), (1200, 80.0, 3));
+    let reps = scale.pick(8, 24);
+    let (g, parts) = bipartite_workload(n, d, k, 9);
+    time_sweep(
+        "send-everything-dense-bits",
+        &SendEverything::with_repr(PayloadRepr::Bits),
+        &g,
+        &parts,
+        reps,
+        timing_reps,
+        11,
+    )
 }
 
 /// Writes timings to `<dir>/BENCH_runtime.json` (creating `dir` if
@@ -492,7 +515,15 @@ mod tests {
     #[test]
     fn sweep_paths_agree_and_time() {
         let (g, parts) = bipartite_workload(400, 6.0, 3, 5);
-        let t = time_sweep("send-everything", &SendEverything, &g, &parts, 4, 1, 3);
+        let t = time_sweep(
+            "send-everything",
+            &SendEverything::default(),
+            &g,
+            &parts,
+            4,
+            1,
+            3,
+        );
         assert_eq!(t.players, 3);
         assert_eq!(t.repetitions, 4);
         assert!(t.total_bits > 0);
@@ -503,11 +534,33 @@ mod tests {
     }
 
     #[test]
+    fn dense_payload_row_runs_on_bitsets() {
+        let t = dense_payload_sweep(Scale::Quick, 1);
+        assert_eq!(t.protocol, "send-everything-dense-bits");
+        assert!(t.total_bits > 0);
+        // The forced representation must not change the accounting: an
+        // edge-list run over the same workload agrees bit for bit.
+        let (g, parts) = bipartite_workload(400, 40.0, 3, 9);
+        let e = time_sweep(
+            "reference-edges",
+            &SendEverything::with_repr(PayloadRepr::Edges),
+            &g,
+            &parts,
+            Scale::Quick.pick(8, 24),
+            1,
+            11,
+        );
+        assert_eq!(t.total_bits, e.total_bits);
+        assert_eq!(t.vertices, e.vertices);
+        assert_eq!(t.edges, e.edges);
+    }
+
+    #[test]
     fn runtime_json_is_well_formed() {
         let (g, parts) = bipartite_workload(300, 6.0, 3, 5);
         let timings = vec![time_sweep(
             "send-everything",
-            &SendEverything,
+            &SendEverything::default(),
             &g,
             &parts,
             3,

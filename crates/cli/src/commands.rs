@@ -276,7 +276,8 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
         "message-passing" => CostModel::MessagePassing,
         other => return Err(CliError::Usage(format!("unknown --cost-model `{other}`"))),
     };
-    let tuning = Tuning::practical(eps);
+    let repr: triad_comm::PayloadRepr = args.parsed_or("payload", Default::default())?;
+    let tuning = Tuning::practical(eps).with_repr(repr);
     let breakdown = args
         .optional("breakdown")
         .map(|v| v == "true")
@@ -354,7 +355,7 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
             SimProtocolKind::High { avg_degree: d },
         ))?,
         "oblivious" => amp(&SimultaneousTester::new(tuning, SimProtocolKind::Oblivious))?,
-        "exact" => amp(&triad_protocols::baseline::SendEverything)?,
+        "exact" => amp(&triad_protocols::baseline::SendEverything::with_repr(repr))?,
         other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
     };
     let verdict = match outcome.triangle() {
@@ -403,7 +404,8 @@ pub fn chaos(args: &ArgMap) -> Result<String, CliError> {
         }
     };
     let plan = triad_comm::FaultPlan::new(fault_seed, rates);
-    let tuning = Tuning::practical(eps);
+    let repr: triad_comm::PayloadRepr = args.parsed_or("payload", Default::default())?;
+    let tuning = Tuning::practical(eps).with_repr(repr);
     let run = match protocol {
         "unrestricted" => run_chaos_amplified_tally(
             &UnrestrictedTester::new(tuning),
@@ -442,7 +444,7 @@ pub fn chaos(args: &ArgMap) -> Result<String, CliError> {
             quorum,
         )?,
         "exact" => run_chaos_amplified_tally(
-            &triad_protocols::baseline::SendEverything,
+            &triad_protocols::baseline::SendEverything::with_repr(repr),
             &g,
             &parts,
             reps,

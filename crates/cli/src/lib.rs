@@ -33,11 +33,14 @@ commands:
              [--record tally|full]   (cost recorder: counters-only fast
              path (default) or full event log — totals are identical,
              see docs/RUNTIME.md)
+             [--payload auto|edges|bits]   (edge-payload representation;
+             verdicts and recorded bits are identical, see docs/RUNTIME.md)
   chaos      run a protocol's amplified sweep under deterministic fault
              injection and report the quorum-gated verdict (docs/FAULTS.md)
              --graph FILE  --shares PREFIX  --protocol unrestricted|low|high|oblivious|exact
              [--rate R] [--faults omission|mixed] [--fault-seed S]
              [--reps R] [--quorum Q] [--eps E] [--seed S] [--d D]
+             [--payload auto|edges|bits]
   count      estimate the triangle count in one round
              --graph FILE  --shares PREFIX  [--p P] [--trials T] [--seed S]
   hfree      test H-freeness in one round
@@ -58,7 +61,7 @@ commands:
              --bind ADDR  --k K  --protocol unrestricted|low|high|oblivious|exact
              (--graph FILE | --n N)
              [--eps E] [--seed S] [--d D] [--cost-model M]
-             [--timeout-secs T] [--port-file FILE]   (written after bind,
+             [--payload auto|edges|bits] [--timeout-secs T] [--port-file FILE]   (written after bind,
              so `--bind 127.0.0.1:0` publishes its ephemeral port)
   connect    join a `triad serve` run as one player; loads the share
              `PREFIX.J` for the slot the coordinator assigns

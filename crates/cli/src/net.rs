@@ -16,9 +16,9 @@ use std::io::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use triad_comm::{
-    run_simultaneous_collected, CommStats, CostModel, NetError, PlayerSession, PlayerState,
-    Runtime, ServeConfig, SharedRandomness, SharedTransport, SimMessage, SimultaneousProtocol,
-    Tally, TcpCoordinator, TcpTransport,
+    run_simultaneous_collected, CommStats, CostModel, NetError, PayloadRepr, PlayerSession,
+    PlayerState, Runtime, ServeConfig, SharedRandomness, SharedTransport, SimMessage,
+    SimultaneousProtocol, Tally, TcpCoordinator, TcpTransport,
 };
 use triad_protocols::amplify::rep_seed;
 use triad_protocols::baseline::SendEverything;
@@ -75,6 +75,7 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
         ));
     }
     let seed: u64 = args.parsed_or("seed", 0)?;
+    let repr: PayloadRepr = args.parsed_or("payload", PayloadRepr::Auto)?;
     let cost_model = parse_cost_model(args)?;
     let timeout = Duration::from_secs(args.parsed_or("timeout-secs", 30)?);
     let eff_seed = rep_seed(seed, 0);
@@ -84,7 +85,9 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
         seed: eff_seed,
         cost_model,
         protocol: protocol.to_string(),
-        params: format!("eps={eps} d={d}"),
+        // `repr` travels in the Welcome so every player picks the same
+        // payload representation the coordinator's referee expects.
+        params: format!("eps={eps} d={d} repr={repr}"),
     };
     let coordinator = TcpCoordinator::bind(bind)?;
     let addr = coordinator.local_addr()?;
@@ -96,7 +99,7 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
     }
     let transport = coordinator.accept_players(&cfg, timeout)?;
     let handle = Arc::new(Mutex::new(transport));
-    let tuning = Tuning::practical(eps);
+    let tuning = Tuning::practical(eps).with_repr(repr);
     let shared = SharedRandomness::new(eff_seed);
     let (outcome, fault, stats) = if protocol == "unrestricted" {
         let boxed = Box::new(SharedTransport::new(Arc::clone(&handle)));
@@ -161,7 +164,8 @@ fn collect_and_referee(
         // `serve` validated the protocol name up front; everything that
         // is not unrestricted or a §3.4 tester is the exact baseline.
         _ => {
-            let run = run_simultaneous_collected::<_, Tally>(&SendEverything, n, messages, shared);
+            let p = SendEverything::with_repr(tuning.repr);
+            let run = run_simultaneous_collected::<_, Tally>(&p, n, messages, shared);
             (run.output, run.stats)
         }
     };
@@ -225,6 +229,7 @@ type SimResponder = Box<dyn FnMut(&PlayerState, &SharedRandomness) -> SimMessage
 fn sim_closure(w: &triad_comm::Welcome) -> Result<SimResponder, CliError> {
     let mut eps = 0.2f64;
     let mut d = 8.0f64;
+    let mut repr = PayloadRepr::Auto;
     for tok in w.params.split_whitespace() {
         if let Some((key, val)) = tok.split_once('=') {
             match key {
@@ -238,11 +243,16 @@ fn sim_closure(w: &triad_comm::Welcome) -> Result<SimResponder, CliError> {
                         CliError::Usage(format!("bad d `{val}` in coordinator params: {e}"))
                     })?;
                 }
+                "repr" => {
+                    repr = val.parse().map_err(|e| {
+                        CliError::Usage(format!("bad repr `{val}` in coordinator params: {e}"))
+                    })?;
+                }
                 _ => {} // Forward compatibility: ignore unknown params.
             }
         }
     }
-    let tuning = Tuning::practical(eps);
+    let tuning = Tuning::practical(eps).with_repr(repr);
     Ok(match w.protocol.as_str() {
         "low" => {
             let p = AlgLow::new(tuning, d);
@@ -256,7 +266,7 @@ fn sim_closure(w: &triad_comm::Welcome) -> Result<SimResponder, CliError> {
             let p = Oblivious::new(tuning, w.k as usize);
             Box::new(move |s, r| p.message(s, r).into_owned())
         }
-        "exact" => Box::new(move |s, r| SendEverything.message(s, r).into_owned()),
+        "exact" => Box::new(move |s, r| SendEverything::with_repr(repr).message(s, r).into_owned()),
         // Interactive protocols never send a SimRequest; an empty
         // message keeps the player well-defined if one arrives anyway.
         "unrestricted" => Box::new(|_, _| SimMessage::empty()),

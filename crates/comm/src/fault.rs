@@ -373,6 +373,13 @@ pub fn checksum_payload(p: &Payload<'_>) -> u64 {
         Payload::Edges(es) => es.iter().fold(fold(8, es.len() as u64), |a, e| {
             fold(fold(a, u64::from(e.u().0)), u64::from(e.v().0))
         }),
+        // Folded over the canonical edge iteration, so the checksum is
+        // independent of which rows happen to be sparse or dense — but
+        // the leading tag keeps it distinct from an `Edges` payload
+        // holding the same set (a representation flip is corruption).
+        Payload::EdgeBits(set) => set.edges().fold(fold(11, set.len() as u64), |a, e| {
+            fold(fold(a, u64::from(e.u().0)), u64::from(e.v().0))
+        }),
         Payload::Triangle(o) => match o {
             None => fold(9, 0),
             Some(t) => {
@@ -432,6 +439,29 @@ pub fn corrupt_payload(p: Payload<'static>, salt: u64) -> Payload<'static> {
                 let i = (salt as usize) % v.len();
                 v[i] = flip_edge(v[i]);
                 Payload::Edges(v.into())
+            }
+        }
+        Payload::EdgeBits(set) => {
+            let set = set.into_owned();
+            let n = set.n();
+            let mut v = set.to_edges();
+            if v.is_empty() {
+                Payload::Edge(None)
+            } else {
+                let i = (salt as usize) % v.len();
+                let flipped = flip_edge(v[i]);
+                if flipped.v().index() < n {
+                    // The flip may collide with another edge of the set;
+                    // either way the canonical edge sequence changes.
+                    v[i] = flipped;
+                } else {
+                    // Flip would leave the bitset's vertex range (tiny
+                    // n): dropping the edge still changes the set.
+                    v.remove(i);
+                }
+                Payload::EdgeBits(std::borrow::Cow::Owned(
+                    triad_graph::kernels::EdgeBitset::from_edges(n, v),
+                ))
             }
         }
         Payload::Triangle(None) => Payload::Triangle(Some(triad_graph::Triangle::new(
@@ -778,6 +808,23 @@ mod tests {
             Payload::Edge(Some(e(0, 1))),
             Payload::Edges(vec![e(0, 1), e(2, 3)].into()),
             Payload::Edges(vec![].into()),
+            Payload::EdgeBits(std::borrow::Cow::Owned(
+                triad_graph::kernels::EdgeBitset::from_edges(8, vec![e(0, 1), e(2, 3)]),
+            )),
+            Payload::EdgeBits(std::borrow::Cow::Owned(
+                triad_graph::kernels::EdgeBitset::from_edges(
+                    128,
+                    (1..128u32).map(|v| e(0, v)).collect::<Vec<_>>(),
+                ),
+            )),
+            Payload::EdgeBits(std::borrow::Cow::Owned(
+                triad_graph::kernels::EdgeBitset::new(2),
+            )),
+            // n = 2 with its only edge: the corrupting flip would leave
+            // the vertex range, exercising the drop-the-edge fallback.
+            Payload::EdgeBits(std::borrow::Cow::Owned(
+                triad_graph::kernels::EdgeBitset::from_edges(2, vec![e(0, 1)]),
+            )),
             Payload::Triangle(None),
             Payload::Triangle(Some(triad_graph::Triangle::new(
                 VertexId(0),

@@ -65,7 +65,7 @@ pub use fault::{
     FaultKind, FaultPlan, FaultRates, FaultStats, FaultyTransport, Framed, SimChaos,
     RETRANSMIT_LABEL,
 };
-pub use message::Payload;
+pub use message::{Payload, PayloadEdges, PayloadRepr};
 pub use oneway::{run_one_way, OneWayProtocol, OneWayRun};
 pub use player::PlayerState;
 pub use pool::Pool;
@@ -90,4 +90,6 @@ pub use transcript::{
     parse_events_csv, parse_events_json, CommStats, Direction, Event, LabelTotals, OwnedEvent,
     ParseError, Rollup, Transcript, DEFAULT_PHASE,
 };
-pub use wire::{Welcome, WireError, WireMessage, MAX_FRAME_BYTES, WIRE_VERSION};
+pub use wire::{
+    Welcome, WireError, WireMessage, MAX_BITSET_VERTICES, MAX_FRAME_BYTES, WIRE_VERSION,
+};

@@ -2,7 +2,66 @@
 
 use crate::bits::{bits_for_count, bits_per_edge, bits_per_vertex, BitCost};
 use std::borrow::Cow;
+use triad_graph::kernels::bitset::{EdgeBitset, EdgeBitsetIter};
 use triad_graph::{Edge, Triangle, VertexId};
+
+/// Which physical representation an edge-set payload uses on the wire
+/// and in the referee. Representation is a **runtime choice, never an
+/// accounting one**: [`Payload::Edges`] and [`Payload::EdgeBits`] over
+/// the same edge set have identical [`Payload::bit_len`], identical
+/// referee verdicts, and identical transcripts (pinned by
+/// `tests/payload_differential.rs`); only wire bytes and referee time
+/// differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PayloadRepr {
+    /// Pick per payload: the packed bitset past the
+    /// [`dense_kernel_wins`](triad_graph::kernels::dense_kernel_wins)
+    /// density gate, the edge list below it.
+    #[default]
+    Auto,
+    /// Always the [`Payload::Edges`] list (the historical behavior).
+    Edges,
+    /// Always the [`Payload::EdgeBits`] bitset (forced dense — what the
+    /// differential campaign uses to cover sparse inputs too).
+    Bits,
+}
+
+impl PayloadRepr {
+    /// Whether an edge set of `count` edges over `n` vertices should
+    /// travel as a bitset under this policy.
+    pub fn use_bits(self, count: usize, n: usize) -> bool {
+        match self {
+            PayloadRepr::Edges => false,
+            PayloadRepr::Bits => true,
+            PayloadRepr::Auto => triad_graph::kernels::dense_kernel_wins(count, n),
+        }
+    }
+}
+
+impl std::str::FromStr for PayloadRepr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "auto" => Ok(PayloadRepr::Auto),
+            "edges" => Ok(PayloadRepr::Edges),
+            "bits" => Ok(PayloadRepr::Bits),
+            other => Err(format!(
+                "unknown payload representation `{other}` (expected auto|edges|bits)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for PayloadRepr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PayloadRepr::Auto => "auto",
+            PayloadRepr::Edges => "edges",
+            PayloadRepr::Bits => "bits",
+        })
+    }
+}
 
 /// The content of one message in either direction.
 ///
@@ -33,6 +92,15 @@ pub enum Payload<'a> {
     Edge(Option<Edge>),
     /// A list of edges, owned or borrowed from the sender's partition.
     Edges(Cow<'a, [Edge]>),
+    /// The same edge-set content as [`Payload::Edges`], packed as a
+    /// word-parallel [`EdgeBitset`] (the ISSUE's "bitset payload"; the
+    /// name avoids colliding with the fixed-width [`Payload::Bits`]).
+    /// Its bit cost is **schema-identical** to `Edges` — a length
+    /// prefix plus `⌈2·log₂ n⌉` per edge — because representation must
+    /// never change the paper's closed-form accounting. Construct
+    /// through [`Payload::edge_set`] to let a [`PayloadRepr`] policy
+    /// pick the representation.
+    EdgeBits(Cow<'a, EdgeBitset>),
     /// An optional triangle (three vertex ids).
     Triangle(Option<Triangle>),
     /// A probability, quantized to 32 bits (protocol parameters sent by
@@ -54,6 +122,7 @@ impl<'a> Payload<'a> {
             Payload::Vertices(vs) => bits_for_count(vs.len() as u64) + v * vs.len() as u64,
             Payload::Edge(o) => 1 + if o.is_some() { e } else { 0 },
             Payload::Edges(es) => bits_for_count(es.len() as u64) + e * es.len() as u64,
+            Payload::EdgeBits(set) => bits_for_count(set.len() as u64) + e * set.len() as u64,
             Payload::Triangle(o) => 1 + if o.is_some() { 3 * v } else { 0 },
             Payload::Probability(_) => 32,
         };
@@ -67,7 +136,7 @@ impl<'a> Payload<'a> {
     /// wiring bug that the old silent `&[]` fallback used to mask. Call
     /// sites that legitimately skip non-edge payloads (e.g.
     /// [`crate::simultaneous::SimMessage::edges`]) use
-    /// [`Payload::try_as_edges`] instead.
+    /// [`Payload::iter_edges`] or [`Payload::try_as_edges`] instead.
     pub fn as_edges(&self) -> &[Edge] {
         debug_assert!(
             matches!(self, Payload::Edges(_)),
@@ -86,6 +155,40 @@ impl<'a> Payload<'a> {
         }
     }
 
+    /// Builds the edge-set payload whose representation `repr` picks
+    /// for this density: a borrowed-or-owned [`Payload::Edges`] list,
+    /// or the same set packed into a [`Payload::EdgeBits`] bitset. The
+    /// two choices are cost-identical and verdict-identical.
+    pub fn edge_set(repr: PayloadRepr, n: usize, edges: Cow<'a, [Edge]>) -> Payload<'a> {
+        if repr.use_bits(edges.len(), n) {
+            Payload::EdgeBits(Cow::Owned(EdgeBitset::from_edges(n, edges.iter().copied())))
+        } else {
+            Payload::Edges(edges)
+        }
+    }
+
+    /// The edges this payload carries, in the payload's own order
+    /// (list order for [`Payload::Edges`], canonical order for
+    /// [`Payload::EdgeBits`], empty for every other variant). This is
+    /// how edge-consuming referees stay representation-agnostic.
+    pub fn iter_edges(&self) -> PayloadEdges<'_> {
+        match self {
+            Payload::Edges(es) => PayloadEdges::Slice(es.iter()),
+            Payload::EdgeBits(set) => PayloadEdges::Bits(set.edges()),
+            _ => PayloadEdges::None,
+        }
+    }
+
+    /// The number of edges an edge-set payload carries (`None` for
+    /// non-edge-set variants).
+    pub fn edge_set_len(&self) -> Option<usize> {
+        match self {
+            Payload::Edges(es) => Some(es.len()),
+            Payload::EdgeBits(set) => Some(set.len()),
+            _ => None,
+        }
+    }
+
     /// Clones any borrowed edge list, detaching the payload from its
     /// sender's lifetime (needed to move payloads across threads).
     pub fn into_owned(self) -> Payload<'static> {
@@ -98,8 +201,33 @@ impl<'a> Payload<'a> {
             Payload::Vertices(vs) => Payload::Vertices(vs),
             Payload::Edge(o) => Payload::Edge(o),
             Payload::Edges(es) => Payload::Edges(Cow::Owned(es.into_owned())),
+            Payload::EdgeBits(set) => Payload::EdgeBits(Cow::Owned(set.into_owned())),
             Payload::Triangle(o) => Payload::Triangle(o),
             Payload::Probability(p) => Payload::Probability(p),
+        }
+    }
+}
+
+/// Iterator over the edges of one payload, whatever its representation
+/// — the return type of [`Payload::iter_edges`].
+#[derive(Debug, Clone)]
+pub enum PayloadEdges<'p> {
+    /// A non-edge-set payload: nothing to yield.
+    None,
+    /// Walking a [`Payload::Edges`] list.
+    Slice(std::slice::Iter<'p, Edge>),
+    /// Walking a [`Payload::EdgeBits`] bitset in canonical order.
+    Bits(EdgeBitsetIter<'p>),
+}
+
+impl Iterator for PayloadEdges<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        match self {
+            PayloadEdges::None => None,
+            PayloadEdges::Slice(it) => it.next().copied(),
+            PayloadEdges::Bits(it) => it.next(),
         }
     }
 }
@@ -180,5 +308,86 @@ mod tests {
     #[should_panic(expected = "as_edges on a non-Edges payload")]
     fn as_edges_rejects_other_variants_in_debug() {
         let _ = Payload::Bit(false).as_edges();
+    }
+
+    #[test]
+    fn edge_bits_cost_is_schema_identical_to_edges() {
+        for (n, m) in [(16, 0), (16, 5), (1024, 200), (70, 69)] {
+            let es: Vec<Edge> = (0..m as u32).map(|i| Edge::new(v(i), v(i + 1))).collect();
+            let list = Payload::Edges(es.clone().into());
+            let bits = Payload::EdgeBits(Cow::Owned(EdgeBitset::from_edges(n, es.iter().copied())));
+            assert_eq!(
+                list.bit_len(n),
+                bits.bit_len(n),
+                "n={n} m={m}: representation changed the accounting"
+            );
+            assert_eq!(bits.edge_set_len(), Some(m));
+        }
+    }
+
+    #[test]
+    fn iter_edges_is_representation_agnostic() {
+        let es: Vec<Edge> = vec![
+            Edge::new(v(0), v(1)),
+            Edge::new(v(1), v(3)),
+            Edge::new(v(2), v(3)),
+        ];
+        let list = Payload::Edges(es.clone().into());
+        let bits = Payload::EdgeBits(Cow::Owned(EdgeBitset::from_edges(8, es.iter().copied())));
+        let from_list: Vec<Edge> = list.iter_edges().collect();
+        let mut from_bits: Vec<Edge> = bits.iter_edges().collect();
+        from_bits.sort_unstable();
+        let mut sorted = es.clone();
+        sorted.sort_unstable();
+        assert_eq!(from_list, es);
+        assert_eq!(from_bits, sorted);
+        assert_eq!(Payload::Bit(true).iter_edges().count(), 0);
+        assert_eq!(bits.clone().into_owned(), bits);
+    }
+
+    #[test]
+    fn edge_set_constructor_honors_the_policy() {
+        // Dense enough that Auto picks bits: K20 over n = 70.
+        let mut dense = Vec::new();
+        for a in 0..20u32 {
+            for b in (a + 1)..20 {
+                dense.push(Edge::new(v(a), v(b)));
+            }
+        }
+        let sparse: Vec<Edge> = (0..5u32).map(|i| Edge::new(v(i), v(i + 1))).collect();
+        let n = 70;
+        assert!(matches!(
+            Payload::edge_set(PayloadRepr::Auto, n, dense.clone().into()),
+            Payload::EdgeBits(_)
+        ));
+        assert!(matches!(
+            Payload::edge_set(PayloadRepr::Auto, n, sparse.clone().into()),
+            Payload::Edges(_)
+        ));
+        assert!(matches!(
+            Payload::edge_set(PayloadRepr::Edges, n, dense.clone().into()),
+            Payload::Edges(_)
+        ));
+        let forced = Payload::edge_set(PayloadRepr::Bits, n, sparse.clone().into());
+        assert!(matches!(forced, Payload::EdgeBits(_)));
+        assert_eq!(
+            forced.bit_len(n),
+            Payload::Edges(sparse.into()).bit_len(n),
+            "forcing the representation must not change the cost"
+        );
+    }
+
+    #[test]
+    fn payload_repr_parses_and_displays() {
+        for (s, r) in [
+            ("auto", PayloadRepr::Auto),
+            ("edges", PayloadRepr::Edges),
+            ("bits", PayloadRepr::Bits),
+        ] {
+            assert_eq!(s.parse::<PayloadRepr>().unwrap(), r);
+            assert_eq!(r.to_string(), s);
+        }
+        assert!("dense".parse::<PayloadRepr>().is_err());
+        assert_eq!(PayloadRepr::default(), PayloadRepr::Auto);
     }
 }

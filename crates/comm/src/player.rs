@@ -4,6 +4,8 @@ use crate::message::Payload;
 use crate::rand::SharedRandomness;
 use crate::request::PlayerRequest;
 use std::collections::HashSet;
+use std::sync::OnceLock;
+use triad_graph::kernels::EdgeBitset;
 use triad_graph::{Edge, Triangle, VertexId};
 
 /// One player's private input `E_j` with precomputed local adjacency.
@@ -23,6 +25,11 @@ pub struct PlayerState {
     adj: Vec<Vec<VertexId>>,
     /// Vertices with positive local degree, for suspect-set scans.
     occupied: Vec<VertexId>,
+    /// The share packed as an [`EdgeBitset`], built lazily on first use
+    /// and reused for every repetition — the bitset counterpart of the
+    /// borrowable [`share`](Self::share) slice, so dense-representation
+    /// baselines stay allocation-free per run too.
+    share_bits: OnceLock<EdgeBitset>,
 }
 
 impl PlayerState {
@@ -58,6 +65,7 @@ impl PlayerState {
             share,
             adj,
             occupied,
+            share_bits: OnceLock::new(),
         }
     }
 
@@ -65,6 +73,15 @@ impl PlayerState {
     /// [`edges`](Self::edges) for zero-copy message construction.
     pub fn share(&self) -> &[Edge] {
         &self.share
+    }
+
+    /// The share as a packed [`EdgeBitset`], built once per player and
+    /// borrowable into a [`Payload::EdgeBits`](crate::Payload::EdgeBits)
+    /// without cloning — the dense-representation twin of
+    /// [`share`](Self::share).
+    pub fn share_bitset(&self) -> &EdgeBitset {
+        self.share_bits
+            .get_or_init(|| EdgeBitset::from_edges(self.n, self.share.iter().copied()))
     }
 
     /// The player's index `j ∈ 0..k`.
@@ -316,6 +333,17 @@ mod tests {
         assert_eq!(p.id(), 0);
         assert_eq!(p.n(), 6);
         assert!((p.local_average_degree() - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn share_bitset_is_the_share_built_once() {
+        let p = player();
+        assert_eq!(p.share_bitset().to_edges(), p.share());
+        assert_eq!(p.share_bitset().len(), p.edge_count());
+        assert!(
+            std::ptr::eq(p.share_bitset(), p.share_bitset()),
+            "the bitset is cached, not rebuilt"
+        );
     }
 
     #[test]

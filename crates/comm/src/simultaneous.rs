@@ -76,12 +76,12 @@ impl<'a> SimMessage<'a> {
         self.payloads.iter().map(|p| p.bit_len(n)).sum()
     }
 
-    /// All edges carried anywhere in the message (non-edge payloads are
-    /// legitimately skipped, hence `try_as_edges`).
+    /// All edges carried anywhere in the message, whatever their
+    /// representation — [`Payload::Edges`] lists and
+    /// [`Payload::EdgeBits`] bitsets both contribute; non-edge payloads
+    /// are legitimately skipped.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.payloads
-            .iter()
-            .flat_map(|p| p.try_as_edges().into_iter().flatten().copied())
+        self.payloads.iter().flat_map(Payload::iter_edges)
     }
 
     /// Detaches the message from its sender, cloning any borrowed

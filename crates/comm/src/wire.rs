@@ -33,7 +33,9 @@ use crate::rand::mix64;
 use crate::request::PlayerRequest;
 use crate::runtime::CostModel;
 use crate::simultaneous::SimMessage;
+use std::borrow::Cow;
 use std::io::{Read, Write};
+use triad_graph::kernels::{EdgeBitset, RowRef};
 use triad_graph::{Edge, Triangle, VertexId};
 
 /// The protocol version carried by every frame. Peers speaking a
@@ -45,6 +47,13 @@ pub const WIRE_VERSION: u8 = 1;
 /// announce. Larger lengths are treated as corruption before any
 /// allocation happens.
 pub const MAX_FRAME_BYTES: u32 = 1 << 26; // 64 MiB
+
+/// Upper bound on the vertex-count a bitset payload (tag 10) may
+/// declare. Decoding an [`EdgeBitset`] allocates one row slot per
+/// vertex, so the `n` field is attacker-sized unless capped; the bound
+/// matches the `Vertices` decoder's element cap. Larger values are
+/// corruption, rejected before any allocation.
+pub const MAX_BITSET_VERTICES: u32 = 1 << 20;
 
 /// Checksum of a byte string: a [`mix64`] fold over 8-byte chunks with
 /// the length mixed in last — the same diffusion family as
@@ -445,6 +454,34 @@ fn encode_payload(enc: &mut Enc, p: &Payload<'_>) {
             enc.u8(7);
             enc.edges(es);
         }
+        Payload::EdgeBits(set) => {
+            // Normative bitset body (docs/NETWORKING.md): n, the number
+            // of non-empty rows, then each row as (u, kind, data) with
+            // kind 0 = sparse ascending ids, kind 1 = ⌈n/64⌉ packed
+            // words. Rows travel in ascending u order.
+            enc.u8(10);
+            enc.u32(set.n() as u32);
+            enc.u32(set.rows().count() as u32);
+            for (u, row) in set.rows() {
+                enc.u32(u);
+                match row {
+                    RowRef::Sparse(ids) => {
+                        enc.u8(0);
+                        enc.u32(ids.len() as u32);
+                        for &id in ids {
+                            enc.u32(id);
+                        }
+                    }
+                    RowRef::Dense(words) => {
+                        enc.u8(1);
+                        enc.u32(words.len() as u32);
+                        for &w in words {
+                            enc.u64(w);
+                        }
+                    }
+                }
+            }
+        }
         Payload::Triangle(o) => {
             enc.u8(8);
             match o {
@@ -712,8 +749,119 @@ fn decode_payload(d: &mut Dec<'_>) -> Result<Payload<'static>, WireError> {
             }
         }),
         9 => Payload::Probability(d.f64()?),
+        10 => Payload::EdgeBits(Cow::Owned(decode_edge_bitset(d)?)),
         tag => return Err(WireError::corrupt(format!("unknown payload tag {tag}"))),
     })
+}
+
+/// Decodes the tag-10 bitset body, validating every declared size and
+/// every id range *before* the allocation it would drive: `n` is capped
+/// by [`MAX_BITSET_VERTICES`], row and id counts are checked against the
+/// bytes actually remaining in the frame, row indices are strictly
+/// ascending and in range, sparse ids are strictly ascending inside
+/// `(u, n)`, and dense rows must be exactly `⌈n/64⌉` words with no bit
+/// at or below `u` and no bit at or past `n`.
+fn decode_edge_bitset(d: &mut Dec<'_>) -> Result<EdgeBitset, WireError> {
+    let n = d.u32()?;
+    if n > MAX_BITSET_VERTICES {
+        return Err(WireError::corrupt(format!(
+            "bitset vertex count {n} exceeds {MAX_BITSET_VERTICES}"
+        )));
+    }
+    let n = n as usize;
+    let rows = d.u32()? as usize;
+    if rows > n {
+        return Err(WireError::corrupt(
+            "bitset declares more rows than vertices",
+        ));
+    }
+    // A row costs at least u(4) + kind(1) + count(4) = 9 body bytes.
+    if rows * 9 > d.buf.len() {
+        return Err(WireError::corrupt("bitset row count exceeds frame"));
+    }
+    let words = n.div_ceil(64);
+    let mut set = EdgeBitset::new(n);
+    let mut prev_row: Option<u32> = None;
+    for _ in 0..rows {
+        let u = d.u32()?;
+        if u as usize >= n {
+            return Err(WireError::corrupt("bitset row index out of range"));
+        }
+        if prev_row.is_some_and(|p| u <= p) {
+            return Err(WireError::corrupt("bitset rows not strictly ascending"));
+        }
+        prev_row = Some(u);
+        match d.u8()? {
+            0 => {
+                let count = d.u32()? as usize;
+                if count == 0 {
+                    return Err(WireError::corrupt("empty sparse bitset row"));
+                }
+                if count * 4 > d.buf.len() {
+                    return Err(WireError::corrupt("sparse bitset row exceeds frame"));
+                }
+                let mut prev = u;
+                for _ in 0..count {
+                    let v = d.u32()?;
+                    if v <= prev {
+                        return Err(WireError::corrupt(
+                            "sparse bitset ids not strictly ascending above the row",
+                        ));
+                    }
+                    if v as usize >= n {
+                        return Err(WireError::corrupt("sparse bitset id out of range"));
+                    }
+                    prev = v;
+                    set.insert(Edge::new(VertexId(u), VertexId(v)));
+                }
+            }
+            1 => {
+                let wc = d.u32()? as usize;
+                if wc != words {
+                    return Err(WireError::corrupt(format!(
+                        "dense bitset row is {wc} words, expected {words}"
+                    )));
+                }
+                if wc * 8 > d.buf.len() {
+                    return Err(WireError::corrupt("dense bitset row exceeds frame"));
+                }
+                let mut row = vec![0u64; wc].into_boxed_slice();
+                for w in row.iter_mut() {
+                    *w = d.u64()?;
+                }
+                // Every set bit must name a neighbor in (u, n): bits at
+                // or below the row index would break canonical order,
+                // bits at or past n are trailing garbage.
+                for (wi, &word) in row.iter().enumerate() {
+                    let base = wi * 64;
+                    let lo = (u as usize + 1).max(base);
+                    let hi = n.min(base + 64);
+                    let allowed = if lo >= hi {
+                        0u64
+                    } else if hi - lo == 64 {
+                        !0u64
+                    } else {
+                        ((1u64 << (hi - lo)) - 1) << (lo - base)
+                    };
+                    if word & !allowed != 0 {
+                        return Err(WireError::corrupt(
+                            "dense bitset row has bits outside (u, n)",
+                        ));
+                    }
+                }
+                if row.iter().all(|&w| w == 0) {
+                    return Err(WireError::corrupt("empty dense bitset row"));
+                }
+                set.set_dense_row(u, row);
+            }
+            kind => {
+                return Err(WireError::corrupt(format!(
+                    "unknown bitset row kind {kind}"
+                )));
+            }
+        }
+    }
+    Ok(set)
 }
 
 /// Interns a phase name into the `&'static str` world of
@@ -926,6 +1074,18 @@ mod tests {
             Payload::Edge(Some(e(3, 4))),
             Payload::Edges(vec![e(0, 1), e(2, 3)].into()),
             Payload::Edges(Vec::new().into()),
+            Payload::EdgeBits(Cow::Owned(EdgeBitset::from_edges(
+                16,
+                vec![e(0, 1), e(2, 3), e(0, 15)],
+            ))),
+            // A hub row over many vertices promotes to dense, so this
+            // exercises the kind-1 word body.
+            Payload::EdgeBits(Cow::Owned(EdgeBitset::from_edges(
+                200,
+                (1..200u32).map(|v| e(0, v)).collect::<Vec<_>>(),
+            ))),
+            Payload::EdgeBits(Cow::Owned(EdgeBitset::new(5))),
+            Payload::EdgeBits(Cow::Owned(EdgeBitset::new(0))),
             Payload::Triangle(None),
             Payload::Triangle(Some(Triangle::new(VertexId(0), VertexId(1), VertexId(2)))),
             Payload::Probability(0.375),
@@ -1042,6 +1202,181 @@ mod tests {
             read_frame(&mut Cursor::new(absurd)).unwrap_err(),
             WireError::Corrupt(_)
         ));
+    }
+
+    /// Builds a correctly framed, correctly checksummed `Response` whose
+    /// payload is a hand-written tag-10 bitset body — so the only thing
+    /// under test is the bitset decoder's validation, not the checksum.
+    fn sealed_bitset_frame(build: impl FnOnce(&mut Enc)) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.u8(WIRE_VERSION);
+        enc.u8(0x04); // Response
+        enc.u64(1); // correlation id
+        enc.u8(10); // EdgeBits payload tag
+        build(&mut enc);
+        let framed = enc.buf;
+        let mut out = Vec::new();
+        out.extend_from_slice(&(framed.len() as u32).to_be_bytes());
+        out.extend_from_slice(&framed);
+        out.extend_from_slice(&checksum_bytes(&framed).to_be_bytes());
+        out
+    }
+
+    fn expect_bitset_reject(what: &str, build: impl FnOnce(&mut Enc)) {
+        let buf = sealed_bitset_frame(build);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(err, WireError::Corrupt(_)),
+            "{what}: expected Corrupt, got {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_bitset_bodies_are_rejected_before_allocation() {
+        // Vertex count past the cap: rejected before EdgeBitset::new.
+        expect_bitset_reject("oversized n", |enc| {
+            enc.u32(MAX_BITSET_VERTICES + 1);
+            enc.u32(0);
+        });
+        // Row count the frame cannot possibly hold.
+        expect_bitset_reject("rows exceed frame", |enc| {
+            enc.u32(1000);
+            enc.u32(900);
+        });
+        // More rows than vertices.
+        expect_bitset_reject("rows exceed vertices", |enc| {
+            enc.u32(2);
+            enc.u32(3);
+        });
+        // Rows out of ascending order.
+        expect_bitset_reject("rows not ascending", |enc| {
+            enc.u32(10);
+            enc.u32(2);
+            for u in [3u32, 2] {
+                enc.u32(u);
+                enc.u8(0);
+                enc.u32(1);
+                enc.u32(u + 1);
+            }
+        });
+        // Row index past n.
+        expect_bitset_reject("row index out of range", |enc| {
+            enc.u32(4);
+            enc.u32(1);
+            enc.u32(7);
+            enc.u8(0);
+            enc.u32(1);
+            enc.u32(8);
+        });
+        // Sparse count the frame cannot hold: rejected before the ids
+        // would be read (or any buffer allocated).
+        expect_bitset_reject("sparse count exceeds frame", |enc| {
+            enc.u32(100);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(0);
+            enc.u32(1_000_000);
+        });
+        // Sparse ids out of order, at/below the row, or past n.
+        expect_bitset_reject("sparse ids not ascending", |enc| {
+            enc.u32(10);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(0);
+            enc.u32(2);
+            enc.u32(5);
+            enc.u32(3);
+        });
+        expect_bitset_reject("sparse id at the row index", |enc| {
+            enc.u32(10);
+            enc.u32(1);
+            enc.u32(4);
+            enc.u8(0);
+            enc.u32(1);
+            enc.u32(4);
+        });
+        expect_bitset_reject("sparse id past n", |enc| {
+            enc.u32(10);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(0);
+            enc.u32(1);
+            enc.u32(10);
+        });
+        // Dense row with the wrong word count (n = 100 needs 2 words).
+        expect_bitset_reject("oversized dense word count", |enc| {
+            enc.u32(100);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(1);
+            enc.u32(3);
+            for _ in 0..3 {
+                enc.u64(2);
+            }
+        });
+        // Dense word count the frame cannot hold.
+        expect_bitset_reject("dense words exceed frame", |enc| {
+            enc.u32(1 << 19);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(1);
+            enc.u32((1usize << 19).div_ceil(64) as u32);
+        });
+        // Trailing bit at position 70 with n = 70: past the vertex space.
+        expect_bitset_reject("trailing bits past n", |enc| {
+            enc.u32(70);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(1);
+            enc.u32(2);
+            enc.u64(2);
+            enc.u64(1 << (70 - 64));
+        });
+        // Bit at or below the row index breaks canonical order.
+        expect_bitset_reject("bit at or below the row", |enc| {
+            enc.u32(70);
+            enc.u32(1);
+            enc.u32(5);
+            enc.u8(1);
+            enc.u32(2);
+            enc.u64(1 << 3);
+            enc.u64(0);
+        });
+        // Encodings of nothing: empty rows may not travel.
+        expect_bitset_reject("empty sparse row", |enc| {
+            enc.u32(10);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(0);
+            enc.u32(0);
+        });
+        expect_bitset_reject("empty dense row", |enc| {
+            enc.u32(70);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(1);
+            enc.u32(2);
+            enc.u64(0);
+            enc.u64(0);
+        });
+        // Unknown row kind.
+        expect_bitset_reject("unknown row kind", |enc| {
+            enc.u32(10);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(7);
+            enc.u32(1);
+            enc.u32(1);
+        });
+        // Truncated mid-row: the body ends before the declared id.
+        expect_bitset_reject("truncated sparse row", |enc| {
+            enc.u32(10);
+            enc.u32(1);
+            enc.u32(0);
+            enc.u8(0);
+            enc.u32(2);
+            enc.u32(3);
+        });
     }
 
     #[test]

@@ -31,11 +31,13 @@
 //!   (`tests/kernels_differential.rs`) and the `BENCH_kernels.json`
 //!   naive-vs-kernel timings.
 
+pub mod bitset;
 mod forward;
 pub mod naive;
 mod par;
 mod view;
 
+pub use bitset::{BitsetAdjacency, EdgeBitset, RowRef};
 pub use forward::Forward;
 pub use par::{count_triangles_par, triangle_edges_par, PAR_EDGE_CHUNK};
 pub use view::DeletionView;
@@ -115,9 +117,25 @@ pub fn find_triangle(g: &Graph) -> Option<Triangle> {
     Forward::build(g).find_triangle(g)
 }
 
-/// Counts triangles of `g` in `O(m^{3/2})` via the forward kernel.
+/// Average-degree density gate: at `m ≥ n²/128` (average degree
+/// `≥ n/64`, i.e. adjacency rows averaging one set bit per word) the
+/// word-parallel [`BitsetAdjacency`] sweep overtakes the forward-list
+/// merges, so [`count_triangles`] switches kernels there. Both sides of
+/// the gate are asserted equal by the differential tests.
+pub fn dense_kernel_wins(edges: usize, vertices: usize) -> bool {
+    vertices > 64 && (edges as u128) * 128 >= (vertices as u128) * (vertices as u128)
+}
+
+/// Counts triangles of `g`: `O(m^{3/2})` forward-list merges on sparse
+/// inputs, word-parallel AND-popcount ([`BitsetAdjacency`]) past the
+/// [`dense_kernel_wins`] density gate. Both kernels partition triangles
+/// by base edge, so the count is identical on either side of the gate.
 pub fn count_triangles(g: &Graph) -> u64 {
-    Forward::build(g).count_range(g, 0..g.edge_count())
+    if dense_kernel_wins(g.edge_count(), g.vertex_count()) {
+        BitsetAdjacency::build(g).count_all(g)
+    } else {
+        Forward::build(g).count_range(g, 0..g.edge_count())
+    }
 }
 
 /// Enumerates all triangles of `g`, each exactly once, in canonical
@@ -152,6 +170,26 @@ mod tests {
         assert_eq!(a.degree(VertexId(1)), 2);
         assert_eq!(a.neighbor_list(VertexId(0)), g.neighbors(VertexId(0)));
         assert!(a.has_edge(Edge::new(VertexId(2), VertexId(1))));
+    }
+
+    #[test]
+    fn dense_gate_routes_to_the_bitset_kernel_with_the_same_count() {
+        // K80 sits far past the density gate; a 100-vertex path sits
+        // far below it. Both must agree with the ungated forward kernel.
+        let mut pairs = Vec::new();
+        for a in 0..80u32 {
+            for b in (a + 1)..80 {
+                pairs.push((a, b));
+            }
+        }
+        let k80 = Graph::from_edges(80, pairs);
+        assert!(dense_kernel_wins(k80.edge_count(), k80.vertex_count()));
+        let forward = Forward::build(&k80).count_range(&k80, 0..k80.edge_count());
+        assert_eq!(count_triangles(&k80), forward);
+        assert_eq!(forward, 80 * 79 * 78 / 6);
+        let path = Graph::from_edges(2000, (0..1999).map(|i| (i, i + 1)));
+        assert!(!dense_kernel_wins(path.edge_count(), path.vertex_count()));
+        assert_eq!(count_triangles(&path), 0);
     }
 
     #[test]

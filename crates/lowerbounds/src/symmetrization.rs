@@ -144,7 +144,7 @@ mod tests {
     fn lift_preserves_referee_output() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let run = symmetrize_once(
-            &SendEverything,
+            &SendEverything::default(),
             6,
             &inputs(),
             5,
@@ -171,7 +171,7 @@ mod tests {
         let k = 6;
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let (ow, kp) = mean_cost_ratio(
-            &SendEverything,
+            &SendEverything::default(),
             6,
             &x,
             k,
@@ -192,7 +192,7 @@ mod tests {
     fn rejects_small_k() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let _ = symmetrize_once(
-            &SendEverything,
+            &SendEverything::default(),
             6,
             &inputs(),
             2,

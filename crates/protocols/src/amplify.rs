@@ -638,7 +638,14 @@ mod tests {
         let g = Graph::from_edges(6, [(0, 1), (1, 2), (0, 2)]);
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let parts = random_disjoint(&g, 3, &mut rng);
-        let run = run_amplified(&crate::baseline::SendEverything, &g, &parts, 4, 0).unwrap();
+        let run = run_amplified(
+            &crate::baseline::SendEverything::default(),
+            &g,
+            &parts,
+            4,
+            0,
+        )
+        .unwrap();
         // Exact baseline finds the triangle on the first repetition.
         assert!(run.outcome.found_triangle());
     }

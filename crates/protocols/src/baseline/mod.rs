@@ -9,24 +9,42 @@
 
 use crate::outcome::{ProtocolError, ProtocolRun, TestOutcome};
 use triad_comm::{
-    run_simultaneous, Payload, PlayerState, SharedRandomness, SimMessage, SimultaneousProtocol,
+    run_simultaneous, Payload, PayloadRepr, PlayerState, SharedRandomness, SimMessage,
+    SimultaneousProtocol,
 };
 use triad_graph::partition::Partition;
-use triad_graph::{triangles, Graph, GraphBuilder, Triangle};
+use triad_graph::{Graph, Triangle};
 
 /// The exact baseline: players send their full inputs; the referee
 /// decides triangle-existence with zero error (both sides).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct SendEverything;
+pub struct SendEverything {
+    /// How shares travel: edge lists, packed bitsets, or the density
+    /// gate deciding per share ([`PayloadRepr::Auto`], the default).
+    /// Recorded bits and verdicts are identical under every setting.
+    pub repr: PayloadRepr,
+}
+
+impl SendEverything {
+    /// The baseline pinned to a payload representation.
+    pub fn with_repr(repr: PayloadRepr) -> Self {
+        SendEverything { repr }
+    }
+}
 
 impl SimultaneousProtocol for SendEverything {
     type Output = Option<Triangle>;
 
     fn message<'a>(&self, player: &'a PlayerState, _shared: &SharedRandomness) -> SimMessage<'a> {
-        // Borrow the player's sorted share: the whole-input baseline is the
-        // worst case for per-run cloning, and the payload never outlives the
-        // player here.
-        SimMessage::of_phased(Payload::Edges(player.share().into()), "send-everything")
+        // Borrow the player's sorted share (or its cached bitset): the
+        // whole-input baseline is the worst case for per-run cloning, and
+        // the payload never outlives the player here.
+        let payload = if self.repr.use_bits(player.share().len(), player.n()) {
+            Payload::EdgeBits(std::borrow::Cow::Borrowed(player.share_bitset()))
+        } else {
+            Payload::Edges(player.share().into())
+        };
+        SimMessage::of_phased(payload, "send-everything")
     }
 
     fn referee(
@@ -35,13 +53,7 @@ impl SimultaneousProtocol for SendEverything {
         messages: &[SimMessage],
         _shared: &SharedRandomness,
     ) -> Option<Triangle> {
-        let mut b = GraphBuilder::new(n);
-        for m in messages {
-            for e in m.edges() {
-                b.add_edge(e);
-            }
-        }
-        triangles::find_triangle(&b.build())
+        crate::simultaneous::referee_find_triangle(n, messages)
     }
 }
 
@@ -124,7 +136,7 @@ pub fn run_send_everything(
     let n = g.vertex_count();
     crate::outcome::validate_shares(g, partition)?;
     let run = run_simultaneous(
-        &SendEverything,
+        &SendEverything::default(),
         n,
         partition.shares(),
         SharedRandomness::new(seed),
@@ -172,6 +184,27 @@ mod tests {
             run.stats.total_bits <= expected + 4 * 64,
             "only prefix overhead on top"
         );
+    }
+
+    #[test]
+    fn representation_never_changes_verdict_or_bits() {
+        use crate::amplify::{PreparedInput, Repeatable};
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = gnp(120, 0.3, &mut rng); // dense enough for Auto → bits
+        let parts = random_disjoint(&g, 3, &mut rng);
+        let input = PreparedInput::new(&g, &parts).unwrap();
+        let runs: Vec<_> = [PayloadRepr::Edges, PayloadRepr::Bits, PayloadRepr::Auto]
+            .into_iter()
+            .map(|repr| {
+                SendEverything::with_repr(repr)
+                    .run_prepared(&input, 11)
+                    .unwrap()
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(run.outcome, runs[0].outcome);
+            assert_eq!(run.stats.total_bits, runs[0].stats.total_bits);
+        }
     }
 
     #[test]

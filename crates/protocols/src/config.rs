@@ -12,6 +12,8 @@
 //!   slack. Every dependence on `n`, `d`, `k`, `ε`, `δ` is preserved, so
 //!   scaling experiments measure the same exponents.
 
+use triad_comm::PayloadRepr;
+
 /// Which constant regime to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Preset {
@@ -32,6 +34,11 @@ pub struct Tuning {
     pub preset: Preset,
     /// Extra global multiplier on sample sizes (1.0 = preset default).
     pub scale: f64,
+    /// How edge-set payloads are represented on the wire (edge list vs
+    /// packed bitset). Purely a runtime choice: recorded bits, verdicts
+    /// and witnesses are identical under every setting (the
+    /// `tests/payload_differential.rs` contract).
+    pub repr: PayloadRepr,
 }
 
 impl Tuning {
@@ -42,6 +49,7 @@ impl Tuning {
             delta: 0.1,
             preset: Preset::PaperFaithful,
             scale: 1.0,
+            repr: PayloadRepr::Auto,
         }
     }
 
@@ -52,6 +60,7 @@ impl Tuning {
             delta: 0.1,
             preset: Preset::Practical,
             scale: 1.0,
+            repr: PayloadRepr::Auto,
         }
     }
 
@@ -64,6 +73,12 @@ impl Tuning {
     /// Overrides the global sample multiplier.
     pub fn with_scale(mut self, scale: f64) -> Self {
         self.scale = scale;
+        self
+    }
+
+    /// Overrides the edge-payload representation policy.
+    pub fn with_repr(mut self, repr: PayloadRepr) -> Self {
+        self.repr = repr;
         self
     }
 
@@ -311,6 +326,8 @@ mod tests {
         let t = Tuning::practical(0.2).with_delta(0.05);
         assert_eq!(t.delta, 0.05);
         assert_eq!(t.epsilon, 0.2);
+        assert_eq!(t.repr, PayloadRepr::Auto);
+        assert_eq!(t.with_repr(PayloadRepr::Bits).repr, PayloadRepr::Bits);
         assert!(t.degree_experiments(16) >= 8);
         assert!((t.degree_alpha() - 3f64.sqrt()).abs() < 1e-12);
     }

@@ -55,7 +55,10 @@ impl SimultaneousProtocol for AlgHigh {
                 }
             }
         }
-        SimMessage::of_phased(Payload::Edges(out.into()), "induced-sample")
+        SimMessage::of_phased(
+            Payload::edge_set(self.tuning.repr, n, out.into()),
+            "induced-sample",
+        )
     }
 
     fn referee(

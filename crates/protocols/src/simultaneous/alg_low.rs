@@ -69,7 +69,10 @@ impl SimultaneousProtocol for AlgLow {
                 }
             }
         }
-        SimMessage::of_phased(Payload::Edges(out.into()), "r-cross-edges")
+        SimMessage::of_phased(
+            Payload::edge_set(self.tuning.repr, n, out.into()),
+            "r-cross-edges",
+        )
     }
 
     fn referee(

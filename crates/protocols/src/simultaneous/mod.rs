@@ -26,15 +26,46 @@ use crate::amplify::PreparedInput;
 use crate::config::Tuning;
 use crate::outcome::{ProtocolError, ProtocolRun, TallyRun, TestOutcome};
 use triad_comm::player::players_from_shares;
-use triad_comm::{run_simultaneous_prepared, PlayerState, Recorder, SharedRandomness, SimMessage};
+use triad_comm::{
+    run_simultaneous_prepared, Payload, PlayerState, Recorder, SharedRandomness, SimMessage,
+};
+use triad_graph::kernels::{bitset, EdgeBitset};
 use triad_graph::partition::Partition;
 use triad_graph::{triangles, Graph, GraphBuilder, Triangle};
 
 /// The referee of every §3.4 protocol: union all posted edges and look
-/// for a triangle in the exposed subgraph. The search runs on the
-/// `O(m^{3/2})` forward kernel (`triad_graph::kernels`), so referee time
-/// is sublinear in the naive `Θ(m·Δ)` even for skewed exposed subgraphs.
+/// for a triangle in the exposed subgraph.
+///
+/// Representation-aware: when every payload is an edge list, the union
+/// builds a [`Graph`] and the search runs on the `O(m^{3/2})` forward
+/// kernel. When any player posted a bitset payload, the union stays in
+/// bitset space (word-parallel ORs, `O(words)` per dense row) and the
+/// search runs the AND-popcount kernel instead. The two kernels return
+/// the **same witness** on the same edge set (pinned in `triad-graph`),
+/// so payload representation can never change the verdict — the
+/// `tests/payload_differential.rs` contract.
 pub(crate) fn referee_find_triangle(n: usize, messages: &[SimMessage]) -> Option<Triangle> {
+    let any_bits = messages
+        .iter()
+        .flat_map(|m| m.payloads().iter())
+        .any(|p| matches!(p, Payload::EdgeBits(_)));
+    if any_bits {
+        let mut set = EdgeBitset::new(n);
+        for m in messages {
+            for p in m.payloads() {
+                if let Payload::EdgeBits(b) = p {
+                    if b.n() == n {
+                        set.union_with(b);
+                        continue;
+                    }
+                }
+                for e in p.iter_edges() {
+                    set.insert(e);
+                }
+            }
+        }
+        return bitset::find_triangle(&set);
+    }
     let mut b = GraphBuilder::new(n);
     for m in messages {
         for e in m.edges() {
@@ -342,5 +373,30 @@ mod tests {
         assert_eq!(t.vertices().len(), 3);
         let empty = referee_find_triangle(3, &[]);
         assert!(empty.is_none());
+    }
+
+    #[test]
+    fn referee_witness_is_representation_independent() {
+        use std::borrow::Cow;
+        use triad_comm::Payload;
+        let e = |a, b| triad_graph::Edge::new(triad_graph::VertexId(a), triad_graph::VertexId(b));
+        // A graph with several triangles, split across two players.
+        let half_a = vec![e(0, 1), e(1, 2), e(3, 4), e(4, 5), e(1, 3)];
+        let half_b = vec![e(0, 2), e(3, 5), e(2, 3), e(1, 4)];
+        let n = 6;
+        let as_edges =
+            |es: &[triad_graph::Edge]| SimMessage::of(Payload::Edges(es.to_vec().into()));
+        let as_bits = |es: &[triad_graph::Edge]| {
+            SimMessage::of(Payload::EdgeBits(Cow::Owned(EdgeBitset::from_edges(
+                n,
+                es.iter().copied(),
+            ))))
+        };
+        let pure = referee_find_triangle(n, &[as_edges(&half_a), as_edges(&half_b)]);
+        let bits = referee_find_triangle(n, &[as_bits(&half_a), as_bits(&half_b)]);
+        let mixed = referee_find_triangle(n, &[as_edges(&half_a), as_bits(&half_b)]);
+        assert!(pure.is_some());
+        assert_eq!(pure, bits, "bitset referee must return the same witness");
+        assert_eq!(pure, mixed, "mixed representations must agree too");
     }
 }

@@ -88,7 +88,10 @@ impl SimultaneousProtocol for Oblivious {
                         }
                     }
                 }
-                msg.push_phased(Payload::Edges(out.into()), "oblivious-high-guess");
+                msg.push_phased(
+                    Payload::edge_set(self.tuning.repr, n, out.into()),
+                    "oblivious-high-guess",
+                );
             } else {
                 // AlgLow-style instance at density guess `guess`.
                 let c = self.tuning.low_c();
@@ -110,7 +113,10 @@ impl SimultaneousProtocol for Oblivious {
                         }
                     }
                 }
-                msg.push_phased(Payload::Edges(out.into()), "oblivious-low-guess");
+                msg.push_phased(
+                    Payload::edge_set(self.tuning.repr, n, out.into()),
+                    "oblivious-low-guess",
+                );
             }
         }
         msg

@@ -15,7 +15,7 @@
 
 use proptest::prelude::*;
 use triad::comm::pool::Pool;
-use triad::comm::{FaultPlan, FaultRates, Recorder, Tally};
+use triad::comm::{FaultPlan, FaultRates, PayloadRepr, Recorder, Tally};
 use triad::graph::generators::gnp_with_average_degree;
 use triad::graph::partition::{random_disjoint, Partition};
 use triad::graph::Graph;
@@ -160,11 +160,18 @@ fn check_omission_degradation<T: Repeatable + Sync>(
 }
 
 /// Dispatches a protocol index to a concrete tester (the vendored
-/// proptest shim has no trait-object strategies).
-fn with_protocol(idx: usize, d: f64, f: impl FnOnce(&str, &(dyn Repeatable + Sync))) {
-    let tuning = Tuning::practical(0.2);
+/// proptest shim has no trait-object strategies). `repr` selects the
+/// edge-set payload representation, so every chaos property below can
+/// be checked on edge lists, bitsets, and the auto gate alike.
+fn with_protocol(
+    idx: usize,
+    d: f64,
+    repr: PayloadRepr,
+    f: impl FnOnce(&str, &(dyn Repeatable + Sync)),
+) {
+    let tuning = Tuning::practical(0.2).with_repr(repr);
     match idx {
-        0 => f("exact", &SendEverything),
+        0 => f("exact", &SendEverything::with_repr(repr)),
         1 => f(
             "sim-low",
             &SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d }),
@@ -194,7 +201,7 @@ proptest! {
     ) {
         let (g, parts) = workload(80, k, graph_seed);
         let d = g.average_degree().max(0.1);
-        with_protocol(idx, d, |label, tester| {
+        with_protocol(idx, d, PayloadRepr::Auto, |label, tester| {
             check_transparency(label, &tester, &g, &parts, 3, seed);
         });
     }
@@ -210,10 +217,12 @@ proptest! {
         graph_seed in 0..4u64,
         rate_pct in 0..80u32,
         fault_seed in 0..1_000_000u64,
+        repr_idx in 0..3usize,
     ) {
         let (g, parts) = workload(80, k, graph_seed);
         let d = g.average_degree().max(0.1);
-        with_protocol(idx, d, |label, tester| {
+        let repr = [PayloadRepr::Auto, PayloadRepr::Edges, PayloadRepr::Bits][repr_idx];
+        with_protocol(idx, d, repr, |label, tester| {
             check_omission_degradation(
                 label,
                 &tester,
@@ -238,9 +247,11 @@ fn every_protocol_is_chaos_transparent_at_pinned_seed() {
     let (g, parts) = workload(150, 4, 9);
     let d = g.average_degree().max(0.1);
     for idx in 0..5 {
-        with_protocol(idx, d, |label, tester| {
-            check_transparency(label, &tester, &g, &parts, 4, 42);
-        });
+        for repr in [PayloadRepr::Edges, PayloadRepr::Bits] {
+            with_protocol(idx, d, repr, |label, tester| {
+                check_transparency(label, &tester, &g, &parts, 4, 42);
+            });
+        }
     }
 }
 
@@ -252,7 +263,7 @@ fn omission_sweep_never_flips_at_pinned_seed() {
     let d = g.average_degree().max(0.1);
     for idx in 0..5 {
         for rate in [0.05, 0.3, 1.0] {
-            with_protocol(idx, d, |label, tester| {
+            with_protocol(idx, d, PayloadRepr::Bits, |label, tester| {
                 let case = OmissionCase {
                     reps: 4,
                     seed: 42,
@@ -262,5 +273,79 @@ fn omission_sweep_never_flips_at_pinned_seed() {
                 check_omission_degradation(label, &tester, &g, &parts, &case);
             });
         }
+    }
+}
+
+/// Corruption of bitset frames is detected, typed, and one-sided: a
+/// dense workload forced onto (or auto-gated into) the packed
+/// representation, under a corruption-only fault plan, kills exactly
+/// the corrupted repetitions with `RunError::Corrupt` — and the
+/// quorum verdict may degrade but never flip relative to the
+/// fault-free sweep.
+#[test]
+fn bitset_frame_corruption_is_typed_and_never_flips() {
+    let mut rng = ChaCha8Rng::seed_from_u64(33);
+    let g = gnp_with_average_degree(120, 40.0, &mut rng);
+    let parts = random_disjoint(&g, 3, &mut rng);
+    let d = g.average_degree().max(0.1);
+    let input = PreparedInput::new(&g, &parts).unwrap();
+    let seed = 42u64;
+    for repr in [PayloadRepr::Bits, PayloadRepr::Auto] {
+        with_protocol(0, d, repr, |label, tester| {
+            let plain = run_amplified_prepared(&Pool::serial(), &tester, &input, 4, seed)
+                .unwrap_or_else(|e| panic!("{label}: plain run failed: {e}"));
+            for rate in [0.3, 1.0] {
+                let plan = FaultPlan::new(
+                    9,
+                    FaultRates {
+                        corrupt: rate,
+                        ..FaultRates::none()
+                    },
+                );
+                let chaos = run_chaos_amplified(
+                    &Pool::serial(),
+                    &tester,
+                    &input,
+                    4,
+                    seed,
+                    &plan,
+                    DEFAULT_QUORUM,
+                );
+                // Every kill is a typed Corrupt — corruption of a
+                // tag-10 bitset body never surfaces as a panic, a
+                // timeout, or (worst) a silently wrong verdict.
+                assert_eq!(
+                    chaos.failures.total(),
+                    chaos.failures.corrupt,
+                    "{label}@{rate}: only Corrupt failures expected"
+                );
+                assert_eq!(
+                    chaos.injected.drops + chaos.injected.crashes,
+                    0,
+                    "{label}@{rate}: corruption-only plan"
+                );
+                if rate == 1.0 {
+                    assert!(
+                        chaos.failures.corrupt > 0,
+                        "{label}: total corruption must kill repetitions"
+                    );
+                }
+                if let Some(t) = chaos.outcome.triangle() {
+                    assert!(t.exists_in(&g), "{label}@{rate}: fabricated witness");
+                }
+                if plain.outcome.found_triangle() {
+                    assert_ne!(
+                        chaos.outcome.as_str(),
+                        "accepted",
+                        "{label}@{rate}: corruption flipped a triangle into an accept"
+                    );
+                } else {
+                    assert!(
+                        !chaos.outcome.found_triangle(),
+                        "{label}@{rate}: corruption conjured a witness"
+                    );
+                }
+            }
+        });
     }
 }

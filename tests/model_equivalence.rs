@@ -79,7 +79,7 @@ fn symmetrization_ratio_and_output() {
     let n = inst.graph().vertex_count();
     let k = 8;
     let run = symmetrization::symmetrize_once(
-        &SendEverything,
+        &SendEverything::default(),
         n,
         &x,
         k,
@@ -93,7 +93,7 @@ fn symmetrization_ratio_and_output() {
     );
     assert!(run.one_way_bits <= run.k_player_bits);
     let (ow, kp) = symmetrization::mean_cost_ratio(
-        &SendEverything,
+        &SendEverything::default(),
         n,
         &x,
         k,

@@ -85,7 +85,7 @@ fn protocol_matrix(d: f64) -> Vec<(&'static str, Box<dyn Repeatable + Sync>)> {
                 SimProtocolKind::Oblivious,
             )),
         ),
-        ("exact", Box::new(SendEverything)),
+        ("exact", Box::new(SendEverything::default())),
     ]
 }
 

@@ -405,3 +405,78 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A random graph, split into player shares, survives the round
+    /// trip through the bitset payload exactly: packing a share into
+    /// `Payload::EdgeBits` and reading it back yields the player's
+    /// deduplicated share, edge for edge, at every density the
+    /// strategy reaches (n = 80 with up to 400 edges spans both sides
+    /// of the `dense_kernel_wins` gate at 50 edges).
+    #[test]
+    fn bitset_payload_roundtrips_each_share_exactly(
+        pairs in edge_list(80, 400),
+        k in 1usize..5,
+    ) {
+        use std::borrow::Cow;
+        use triad::comm::{PayloadRepr, PlayerState};
+        let n = 80usize;
+        let g = build(n, &pairs);
+        // Deterministic share split: edge i goes to player i mod k.
+        let mut shares = vec![Vec::new(); k];
+        for (i, e) in g.edges().iter().enumerate() {
+            shares[i % k].push(*e);
+        }
+        for share in &shares {
+            let player = PlayerState::new(0, n, share);
+            let payload = Payload::edge_set(
+                PayloadRepr::Bits,
+                n,
+                Cow::Borrowed(player.share()),
+            );
+            prop_assert!(matches!(payload, Payload::EdgeBits(_)));
+            let back: Vec<Edge> = payload.iter_edges().collect();
+            // Canonical bitset order is sorted; the share is sorted too.
+            prop_assert_eq!(&back, &player.share().to_vec());
+            // And the player's cached bitset agrees with the payload.
+            prop_assert_eq!(
+                player.share_bitset().len(),
+                player.share().len()
+            );
+        }
+    }
+
+    /// `bit_len` follows the closed form `bits_for_count(m) +
+    /// m·bits_per_edge(n)` for BOTH representations at every density,
+    /// and `Auto` — whichever side of the gate it lands on — never
+    /// changes the cost. Representation is invisible to accounting.
+    #[test]
+    fn edge_set_bit_len_matches_closed_form_at_every_density(
+        pairs in edge_list(80, 400),
+        small_pairs in edge_list(24, 60),
+    ) {
+        use std::borrow::Cow;
+        use triad::comm::PayloadRepr;
+        for (n, ps) in [(80usize, &pairs), (24usize, &small_pairs)] {
+            let g = build(n, ps);
+            let m = g.edge_count() as u64;
+            let expected = bits::bits_for_count(m) + m * bits::bits_per_edge(n);
+            let mut costs = Vec::new();
+            for repr in [PayloadRepr::Edges, PayloadRepr::Bits, PayloadRepr::Auto] {
+                let p = Payload::edge_set(repr, n, Cow::Borrowed(g.edges()));
+                prop_assert_eq!(
+                    p.bit_len(n).get(),
+                    expected,
+                    "repr {} at n={} m={}",
+                    repr,
+                    n,
+                    m
+                );
+                costs.push(p.bit_len(n).get());
+            }
+            prop_assert!(costs.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+}

@@ -92,7 +92,7 @@ fn check_protocol(idx: usize, g: &Graph, parts: &Partition, reps: u32, seed: u64
     let tuning = Tuning::practical(0.2);
     let d = g.average_degree().max(0.1);
     match idx {
-        0 => check_tester("exact", &SendEverything, g, parts, reps, seed),
+        0 => check_tester("exact", &SendEverything::default(), g, parts, reps, seed),
         1 => check_tester(
             "sim-low",
             &SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d }),

@@ -24,9 +24,9 @@ use std::time::Duration;
 
 use triad::comm::{
     run_simultaneous_collected, run_simultaneous_prepared, CostModel, FaultPlan, FaultRates,
-    FaultyTransport, PlayerSession, PlayerState, Recorder, RunErrorKind, Runtime, ServeConfig,
-    SharedRandomness, SimMessage, SimultaneousProtocol, Tally, TcpCoordinator, TcpTransport,
-    Welcome,
+    FaultyTransport, PayloadRepr, PlayerSession, PlayerState, Recorder, RunErrorKind, Runtime,
+    ServeConfig, SharedRandomness, SimMessage, SimultaneousProtocol, Tally, TcpCoordinator,
+    TcpTransport, Welcome,
 };
 use triad::graph::generators::gnp_with_average_degree;
 use triad::graph::partition::{random_disjoint, Partition};
@@ -57,16 +57,18 @@ type SimResponder = Box<dyn FnMut(&PlayerState, &SharedRandomness) -> SimMessage
 fn sim_closure(w: &Welcome) -> SimResponder {
     let mut eps = 0.2f64;
     let mut d = 8.0f64;
+    let mut repr = PayloadRepr::Auto;
     for tok in w.params.split_whitespace() {
         if let Some((key, val)) = tok.split_once('=') {
             match key {
                 "eps" => eps = val.parse().unwrap(),
                 "d" => d = val.parse().unwrap(),
+                "repr" => repr = val.parse().unwrap(),
                 _ => {}
             }
         }
     }
-    let tuning = Tuning::practical(eps);
+    let tuning = Tuning::practical(eps).with_repr(repr);
     match w.protocol.as_str() {
         "low" => {
             let p = AlgLow::new(tuning, d);
@@ -80,7 +82,7 @@ fn sim_closure(w: &Welcome) -> SimResponder {
             let p = Oblivious::new(tuning, w.k as usize);
             Box::new(move |s, r| p.message(s, r).into_owned())
         }
-        "exact" => Box::new(move |s, r| SendEverything.message(s, r).into_owned()),
+        "exact" => Box::new(move |s, r| SendEverything::with_repr(repr).message(s, r).into_owned()),
         _ => Box::new(|_, _| SimMessage::empty()),
     }
 }
@@ -129,13 +131,26 @@ fn loopback_transport(
 }
 
 fn config(protocol: &str, k: usize, n: usize, seed: u64, eps: f64, d: f64) -> ServeConfig {
+    config_repr(protocol, k, n, seed, eps, d, PayloadRepr::Auto)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn config_repr(
+    protocol: &str,
+    k: usize,
+    n: usize,
+    seed: u64,
+    eps: f64,
+    d: f64,
+    repr: PayloadRepr,
+) -> ServeConfig {
     ServeConfig {
         k,
         n,
         seed,
         cost_model: CostModel::Coordinator,
         protocol: protocol.to_string(),
-        params: format!("eps={eps} d={d}"),
+        params: format!("eps={eps} d={d} repr={repr}"),
     }
 }
 
@@ -229,13 +244,74 @@ fn simultaneous_over_tcp_matches_prepared_bit_for_bit() {
         assert_tallies_equal("oblivious", &tcp.transcript, &reference.transcript);
     }
     {
-        let reference =
-            run_simultaneous_prepared::<_, Tally>(&SendEverything, n, input.players(), shared);
-        let tcp =
-            run_simultaneous_collected::<_, Tally>(&SendEverything, n, run_tcp("exact"), shared);
+        let reference = run_simultaneous_prepared::<_, Tally>(
+            &SendEverything::default(),
+            n,
+            input.players(),
+            shared,
+        );
+        let tcp = run_simultaneous_collected::<_, Tally>(
+            &SendEverything::default(),
+            n,
+            run_tcp("exact"),
+            shared,
+        );
         assert_eq!(tcp.output, reference.output, "exact: output");
         assert_eq!(tcp.stats, reference.stats, "exact: stats");
         assert_tallies_equal("exact", &tcp.transcript, &reference.transcript);
+    }
+}
+
+#[test]
+fn dense_exact_over_tcp_ships_bitsets_and_matches_prepared() {
+    // A dense input past the density gate: every share is cheaper as a
+    // packed bitset, so the tag-10 wire body carries the whole round.
+    // The loopback run must stay bit-identical to the in-process path,
+    // and the collected messages must actually BE bitset payloads —
+    // otherwise this test would silently stop covering the codec.
+    use triad::comm::Payload;
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let g = gnp_with_average_degree(120, 40.0, &mut rng);
+    let parts = random_disjoint(&g, 3, &mut rng);
+    let n = g.vertex_count();
+    let input = PreparedInput::new(&g, &parts).unwrap();
+    let seed = 13u64;
+    let shared = SharedRandomness::new(seed);
+    for repr in [PayloadRepr::Bits, PayloadRepr::Auto] {
+        let shares = Arc::new(parts.shares().to_vec());
+        let cfg = config_repr("exact", parts.players(), n, seed, 0.2, 40.0, repr);
+        let (mut transport, players) = loopback_transport(&cfg, shares, None);
+        let messages = transport.collect_sim_messages().expect("collect");
+        drop(transport);
+        for p in players {
+            p.join().unwrap();
+        }
+        assert!(
+            messages
+                .iter()
+                .flat_map(|m| m.payloads().iter())
+                .all(|p| matches!(p, Payload::EdgeBits(_))),
+            "{repr}: dense shares must travel as bitset payloads"
+        );
+        let p = SendEverything::with_repr(repr);
+        let reference = run_simultaneous_prepared::<_, Tally>(&p, n, input.players(), shared);
+        let tcp = run_simultaneous_collected::<_, Tally>(&p, n, messages, shared);
+        assert_eq!(tcp.output, reference.output, "{repr}: output");
+        assert_eq!(tcp.stats, reference.stats, "{repr}: stats");
+        assert_tallies_equal(&format!("{repr}"), &tcp.transcript, &reference.transcript);
+        // The exact baseline's verdict must also be representation-free:
+        // the edge-list run agrees with the bitset run.
+        let edges_ref = run_simultaneous_prepared::<_, Tally>(
+            &SendEverything::with_repr(PayloadRepr::Edges),
+            n,
+            input.players(),
+            shared,
+        );
+        assert_eq!(tcp.output, edges_ref.output, "{repr}: vs edge-list verdict");
+        assert_eq!(
+            tcp.stats.total_bits, edges_ref.stats.total_bits,
+            "{repr}: vs edge-list bits"
+        );
     }
 }
 

@@ -24,6 +24,7 @@ use triad_bench::experiments::{all, Scale};
 use triad_bench::kernels::{kernel_suite, write_kernels_json};
 use triad_bench::report::{standard_suite, write_bench_json};
 use triad_bench::runtime::{runtime_suite, write_runtime_json};
+use triad_bench::sessions::session_saturation;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -94,7 +95,8 @@ fn main() {
             }
         }
         let sweeps = runtime_suite(scale);
-        match write_runtime_json(std::path::Path::new(&dir), &sweeps) {
+        let sessions = session_saturation(scale, if quick { 8 } else { 64 });
+        match write_runtime_json(std::path::Path::new(&dir), &sweeps, Some(&sessions)) {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("failed to write BENCH_runtime.json to {dir}: {e}");

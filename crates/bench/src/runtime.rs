@@ -489,7 +489,9 @@ fn dense_payload_sweep(scale: Scale, timing_reps: usize) -> RuntimeTiming {
 }
 
 /// Writes timings to `<dir>/BENCH_runtime.json` (creating `dir` if
-/// needed) and returns the path.
+/// needed) and returns the path. When `sessions` is given, its
+/// scheduler-saturation sweep is appended as the final row (protocol
+/// `scheduler-sessions`, queries/sec at 1/2/4/8 workers).
 ///
 /// # Errors
 ///
@@ -497,13 +499,17 @@ fn dense_payload_sweep(scale: Scale, timing_reps: usize) -> RuntimeTiming {
 pub fn write_runtime_json(
     dir: &std::path::Path,
     timings: &[RuntimeTiming],
+    sessions: Option<&crate::sessions::SessionSaturation>,
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join("BENCH_runtime.json");
-    let body: Vec<String> = timings
+    let mut body: Vec<String> = timings
         .iter()
         .map(|t| format!("  {}", t.to_json()))
         .collect();
+    if let Some(s) = sessions {
+        body.push(format!("  {}", s.to_json()));
+    }
     std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
     Ok(path)
 }
@@ -568,7 +574,8 @@ mod tests {
             3,
         )];
         let dir = std::env::temp_dir().join(format!("triad-runtime-json-{}", std::process::id()));
-        let path = write_runtime_json(&dir, &timings).unwrap();
+        let sessions = crate::sessions::session_saturation(Scale::Quick, 2);
+        let path = write_runtime_json(&dir, &timings, Some(&sessions)).unwrap();
         assert_eq!(path.file_name().unwrap(), "BENCH_runtime.json");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("[\n") && text.ends_with("]\n"));
@@ -576,6 +583,8 @@ mod tests {
         assert!(text.contains("\"recorder_speedup\""));
         assert!(text.contains("\"pooled_ms\""));
         assert!(text.contains("\"parallel_speedup\""));
+        assert!(text.contains("\"protocol\":\"scheduler-sessions\""));
+        assert!(text.contains("\"qps_8\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -552,3 +552,41 @@ pub fn report(args: &ArgMap) -> Result<String, CliError> {
     }
     Ok(rendered)
 }
+
+/// `triad bench --sessions N [--quick]` — the scheduler saturation
+/// microbench: drive one batch of `N` sessions over worker pools of
+/// 1, 2, 4 and 8 threads and print the measured queries/sec at each,
+/// asserting along the way that every worker count produced identical
+/// results (see `docs/RUNTIME.md`, "Sessions and scheduling").
+pub fn bench(args: &ArgMap) -> Result<String, CliError> {
+    let sessions: usize = args.required_parsed("sessions")?;
+    if sessions == 0 {
+        return Err(CliError::Usage(
+            "--sessions needs a positive integer".into(),
+        ));
+    }
+    let scale = if args.flag("quick") {
+        triad_bench::experiments::Scale::Quick
+    } else {
+        triad_bench::experiments::Scale::Full
+    };
+    let s = triad_bench::sessions::session_saturation(scale, sessions);
+    let mut out = format!(
+        "scheduler saturation: {} sessions x {} reps over {} distinct inputs \
+         (n={}, m={}, k={})\n",
+        s.sessions, s.reps, s.distinct_inputs, s.vertices, s.edges, s.players
+    );
+    for (w, qps) in triad_bench::sessions::SESSION_WORKER_COUNTS
+        .iter()
+        .zip(s.qps)
+    {
+        out.push_str(&format!("  {w} worker(s): {qps:>10.1} queries/sec\n"));
+    }
+    out.push_str(&format!(
+        "cache: {} hits, {} builds; saturation speedup (8w/1w): {:.2}x\n",
+        s.cache_hits,
+        s.distinct_inputs,
+        s.saturation_speedup()
+    ));
+    Ok(out)
+}

@@ -62,11 +62,21 @@ commands:
              (--graph FILE | --n N)
              [--eps E] [--seed S] [--d D] [--cost-model M]
              [--payload auto|edges|bits] [--timeout-secs T] [--port-file FILE]   (written after bind,
-             so `--bind 127.0.0.1:0` publishes its ephemeral port)
+             so `--bind 127.0.0.1:0` publishes its ephemeral port; removed
+             on graceful exit)
+             [--runs R]   (persistent mode: keep the registered players
+             and dispatch R successive sessions over the one
+             registration, re-seeding each via AdoptShared —
+             docs/NETWORKING.md)
   connect    join a `triad serve` run as one player; loads the share
              `PREFIX.J` for the slot the coordinator assigns
              --addr HOST:PORT  --shares PREFIX
              [--slot J] [--timeout-secs T]
+  bench      scheduler saturation microbench: run one batch of N
+             sessions over 1/2/4/8-worker pools and print queries/sec
+             at each (results asserted identical across worker counts —
+             docs/RUNTIME.md)
+             --sessions N  [--quick]
 
 global options:
   --threads N  size of the deterministic worker pool for amplified runs
@@ -102,6 +112,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "hfree" => commands::hfree(&map),
         "congest" => commands::congest(&map),
         "report" => commands::report(&map),
+        "bench" => commands::bench(&map),
         "serve" => net::serve(&map),
         "connect" => net::connect(&map),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
@@ -340,6 +351,10 @@ mod tests {
                             .unwrap_or_else(|e| panic!("`{line}`: {e}"));
                     }
                 }
+                "bench" => {
+                    map.required_parsed::<usize>("sessions")
+                        .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                }
                 "gen" | "partition" | "info" | "test" | "count" | "hfree" | "congest" => {}
                 other => panic!("`{line}`: unknown subcommand `{other}`"),
             }
@@ -432,18 +447,20 @@ mod tests {
     }
 
     /// One full serve/connect cycle over loopback, entirely in-process:
-    /// returns (serve output, connect outputs).
+    /// returns (serve output, connect outputs). `extra` is appended to
+    /// the serve command (e.g. `--runs 2`).
     fn loopback_cycle(
         dir: &std::path::Path,
         g: &std::path::Path,
         shares: &std::path::Path,
         protocol: &str,
         k: usize,
+        extra: &str,
     ) -> (String, Vec<String>) {
         let port_file = dir.join(format!("port-{protocol}"));
         let serve_cmd = format!(
             "serve --bind 127.0.0.1:0 --k {k} --protocol {protocol} --graph {} \
-             --eps 0.2 --seed 3 --d 8 --port-file {} --timeout-secs 20",
+             --eps 0.2 --seed 3 --d 8 --port-file {} --timeout-secs 20 {extra}",
             g.display(),
             port_file.display()
         );
@@ -495,7 +512,7 @@ mod tests {
                 shares.display()
             )))
             .unwrap();
-            let (served, connected) = loopback_cycle(&dir, &g, &shares, protocol, 3);
+            let (served, connected) = loopback_cycle(&dir, &g, &shares, protocol, 3, "");
             let expected: Vec<&str> = reference.lines().collect();
             let got: Vec<&str> = served.lines().collect();
             assert_eq!(
@@ -511,12 +528,146 @@ mod tests {
     }
 
     #[test]
+    fn serve_persistent_mode_runs_two_sessions_over_one_registration() {
+        // Persistent mode: `--runs 2` dispatches two sessions over the
+        // one registration. Session 0 must match the single-run seed
+        // derivation exactly — its lines are `triad test --reps 1`'s
+        // first two lines under a `run 0:` prefix — and the players
+        // must be re-keyed (AdoptShared), not re-registered.
+        let dir = std::env::temp_dir().join(format!("triad-cli-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.el");
+        let shares = dir.join("p");
+        run(&argv(&format!(
+            "gen --kind far --n 300 --d 8 --eps 0.2 --seed 1 --out {}",
+            g.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "partition --graph {} --k 3 --scheme random --seed 2 --out {}",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        let reference = run(&argv(&format!(
+            "test --graph {} --shares {} --protocol low --eps 0.2 --seed 3 --d 8 --reps 1",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        let (served, connected) = loopback_cycle(&dir, &g, &shares, "low", 3, "--runs 2");
+        let expected: Vec<&str> = reference.lines().collect();
+        let got: Vec<&str> = served.lines().collect();
+        assert_eq!(got.len(), 5, "2 runs x 2 lines + roster:\n{served}");
+        assert_eq!(got[0], format!("run 0: {}", expected[0]), "{served}");
+        assert_eq!(got[1], format!("run 0: {}", expected[1]), "{served}");
+        assert!(got[2].starts_with("run 1: "), "{served}");
+        assert!(got[3].starts_with("run 1: "), "{served}");
+        assert!(
+            got[4].contains("served 3 players") && got[4].contains("2 sessions"),
+            "{served}"
+        );
+        // Each player answered both sessions over its one connection.
+        for out in &connected {
+            assert!(out.contains("served 2 requests"), "{out}");
+            assert!(out.contains("coordinator verdict:"), "{out}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn port_file_is_atomic_and_removed_on_exit() {
+        // A concurrent poller hammering the port file must only ever
+        // see nothing or one complete `host:port` line (the write is
+        // temp-file + rename), and the file must be gone once serve
+        // returns.
+        let dir = std::env::temp_dir().join(format!("triad-cli-portfile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.el");
+        let shares = dir.join("p");
+        run(&argv(&format!(
+            "gen --kind far --n 200 --d 6 --eps 0.2 --seed 1 --out {}",
+            g.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "partition --graph {} --k 1 --seed 2 --out {}",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        let port_file = dir.join("port");
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let path = port_file.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    if let Ok(s) = std::fs::read_to_string(&path) {
+                        reads += 1;
+                        assert!(
+                            s.ends_with('\n') && s.trim().parse::<std::net::SocketAddr>().is_ok(),
+                            "partial port-file read: {s:?}"
+                        );
+                    }
+                    std::thread::yield_now();
+                }
+                reads
+            })
+        };
+        let serve_cmd = format!(
+            "serve --bind 127.0.0.1:0 --k 1 --protocol exact --graph {} \
+             --seed 3 --port-file {} --timeout-secs 20",
+            g.display(),
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_cmd)));
+        let addr = wait_for_port_file(&port_file);
+        let connect_cmd = format!(
+            "connect --addr {addr} --shares {} --timeout-secs 20",
+            shares.display()
+        );
+        let player = std::thread::spawn(move || run(&argv(&connect_cmd)));
+        server.join().unwrap().unwrap();
+        player.join().unwrap().unwrap();
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let reads = reader.join().unwrap();
+        assert!(reads > 0, "the poller never saw the published port");
+        assert!(
+            !port_file.exists(),
+            "port file must be removed on graceful exit"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_sessions_prints_throughput_table() {
+        let out = run(&argv("bench --sessions 2 --quick")).unwrap();
+        assert!(out.contains("scheduler saturation: 2 sessions"), "{out}");
+        for w in [1usize, 2, 4, 8] {
+            assert!(out.contains(&format!("{w} worker(s):")), "{out}");
+        }
+        assert!(out.contains("queries/sec"), "{out}");
+        assert!(out.contains("saturation speedup"), "{out}");
+        for bad in [
+            "bench --quick",
+            "bench --sessions 0",
+            "bench --sessions many",
+        ] {
+            let err = run(&argv(bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
     fn serve_rejects_bad_arguments() {
         for bad in [
             "serve --bind 127.0.0.1:0 --k 0 --protocol low --n 10",
             "serve --bind 127.0.0.1:0 --k 2 --protocol nope --n 10",
             "serve --bind 127.0.0.1:0 --k 2 --protocol low", // no --n/--graph
             "serve --k 2 --protocol low --n 10",             // no --bind
+            "serve --bind 127.0.0.1:0 --k 2 --protocol low --n 10 --runs 0",
         ] {
             let err = run(&argv(bad)).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "`{bad}`: {err}");

@@ -11,14 +11,14 @@
 
 use crate::args::{ArgMap, CliError};
 use crate::commands::load_graph;
-use std::fs::File;
-use std::io::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use triad_comm::{
     run_simultaneous_collected, CommStats, CostModel, NetError, PayloadRepr, PlayerSession,
     PlayerState, Runtime, ServeConfig, SharedRandomness, SharedTransport, SimMessage,
-    SimultaneousProtocol, Tally, TcpCoordinator, TcpTransport,
+    SimultaneousProtocol, Tally, TcpCoordinator, TcpTransport, Transport,
 };
 use triad_protocols::amplify::rep_seed;
 use triad_protocols::baseline::SendEverything;
@@ -40,12 +40,45 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// `triad serve` — host a networked coordinator run.
+/// Removes the published port file when the serve run ends (any exit
+/// path — success or error), so a later `triad connect` can never read
+/// a stale port from a finished run.
+struct PortFileGuard(PathBuf);
+
+impl Drop for PortFileGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Publishes `addr` to `path` atomically: the line is written to a
+/// temp file beside the target (same filesystem) and renamed into
+/// place, so a concurrent reader sees the previous contents, nothing,
+/// or the complete `host:port` line — never a partial write.
+fn publish_port_file(path: &str, addr: SocketAddr) -> std::io::Result<PortFileGuard> {
+    let tmp = PathBuf::from(format!("{path}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(PortFileGuard(PathBuf::from(path))),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// `triad serve` — host one or more networked coordinator runs.
 ///
 /// The effective shared seed is `rep_seed(--seed, 0)`, exactly the seed
 /// `triad test --reps 1` uses for its single repetition, so a fault-free
 /// served run's first two output lines are byte-comparable to `triad
 /// test` over the same partition.
+///
+/// With `--runs R` the daemon keeps the registered players and
+/// dispatches `R` successive sessions over the same connections —
+/// session `i` re-keys every player to `rep_seed(--seed, i)` with an
+/// `AdoptShared` frame, no re-registration (see `docs/NETWORKING.md`,
+/// "Persistent sessions").
 pub fn serve(args: &ArgMap) -> Result<String, CliError> {
     let bind = args.required("bind")?;
     let k: usize = args.required_parsed("k")?;
@@ -75,14 +108,17 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
         ));
     }
     let seed: u64 = args.parsed_or("seed", 0)?;
+    let runs: u32 = args.parsed_or("runs", 1)?;
+    if runs == 0 {
+        return Err(CliError::Usage("--runs must be positive".into()));
+    }
     let repr: PayloadRepr = args.parsed_or("payload", PayloadRepr::Auto)?;
     let cost_model = parse_cost_model(args)?;
     let timeout = Duration::from_secs(args.parsed_or("timeout-secs", 30)?);
-    let eff_seed = rep_seed(seed, 0);
     let cfg = ServeConfig {
         k,
         n,
-        seed: eff_seed,
+        seed: rep_seed(seed, 0),
         cost_model,
         protocol: protocol.to_string(),
         // `repr` travels in the Welcome so every player picks the same
@@ -91,44 +127,70 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
     };
     let coordinator = TcpCoordinator::bind(bind)?;
     let addr = coordinator.local_addr()?;
-    if let Some(path) = args.optional("port-file") {
-        // Written after bind, so a poller that sees the file sees the
-        // real (possibly ephemeral) port.
-        let mut f = File::create(path)?;
-        writeln!(f, "{addr}")?;
-    }
+    // Published after bind, so a poller that sees the file sees the
+    // real (possibly ephemeral) port; the guard removes it when this
+    // function returns, so no later run can read a stale port.
+    let _port_file = args
+        .optional("port-file")
+        .map(|path| publish_port_file(path, addr))
+        .transpose()?;
     let transport = coordinator.accept_players(&cfg, timeout)?;
     let handle = Arc::new(Mutex::new(transport));
     let tuning = Tuning::practical(eps).with_repr(repr);
-    let shared = SharedRandomness::new(eff_seed);
-    let (outcome, fault, stats) = if protocol == "unrestricted" {
-        let boxed = Box::new(SharedTransport::new(Arc::clone(&handle)));
-        let mut rt: Runtime<Tally> = Runtime::new_with(boxed, n, shared, cost_model);
-        let outcome = UnrestrictedTester::new(tuning)
-            .with_cost_model(cost_model)
-            .run_on(&mut rt);
-        let fault = rt.take_fault();
-        let stats = rt.stats();
-        (outcome, fault, stats)
+    let mut out = String::new();
+    let mut last_verdict = String::new();
+    for run in 0..runs {
+        let shared = SharedRandomness::new(rep_seed(seed, run));
+        if run > 0 {
+            // Dispatch the next session over the existing registration:
+            // re-key every player's shared randomness in place.
+            lock(&handle).adopt_shared(SharedRandomness::new(rep_seed(seed, run)));
+        }
+        let (outcome, fault, stats) = if protocol == "unrestricted" {
+            let boxed = Box::new(SharedTransport::new(Arc::clone(&handle)));
+            let mut rt: Runtime<Tally> = Runtime::new_with(boxed, n, shared, cost_model);
+            let outcome = UnrestrictedTester::new(tuning)
+                .with_cost_model(cost_model)
+                .run_on(&mut rt);
+            let fault = rt.take_fault();
+            let stats = rt.stats();
+            (outcome, fault, stats)
+        } else {
+            match collect_and_referee(&handle, protocol, tuning, d, k, n, shared) {
+                Ok((outcome, stats)) => (outcome, None, stats),
+                Err(e) => (TestOutcome::NoTriangleFound, Some(e), CommStats::default()),
+            }
+        };
+        let verdict = match single_run_verdict(outcome, fault.as_ref()) {
+            ChaosOutcome::TriangleFound(t) => format!("triangle {t}"),
+            ChaosOutcome::NoTriangleFound => "accepted (no triangle found)".to_string(),
+            ChaosOutcome::Inconclusive => {
+                let err = fault.as_ref().expect("inconclusive implies a fault");
+                format!("inconclusive (quorum lost; {err})")
+            }
+        };
+        let stats_line = format!(
+            "{} bits, {} rounds, {} messages, max player message {} bits",
+            stats.total_bits, stats.rounds, stats.messages, stats.max_player_sent_bits
+        );
+        if runs == 1 {
+            // Single-run output stays byte-identical to the historical
+            // format (and to `triad test --reps 1`'s first two lines).
+            out.push_str(&format!("{verdict}\n{stats_line}\n"));
+        } else {
+            out.push_str(&format!("run {run}: {verdict}\nrun {run}: {stats_line}\n"));
+        }
+        last_verdict = verdict;
+    }
+    lock(&handle).goodbye(&last_verdict);
+    let roster = if runs == 1 {
+        format!("served {k} players on {addr} (protocol {protocol}, seed {seed})\n")
     } else {
-        match collect_and_referee(&handle, protocol, tuning, d, k, n, shared) {
-            Ok((outcome, stats)) => (outcome, None, stats),
-            Err(e) => (TestOutcome::NoTriangleFound, Some(e), CommStats::default()),
-        }
+        format!(
+            "served {k} players on {addr} (protocol {protocol}, seed {seed}, {runs} sessions)\n"
+        )
     };
-    let verdict = match single_run_verdict(outcome, fault.as_ref()) {
-        ChaosOutcome::TriangleFound(t) => format!("triangle {t}"),
-        ChaosOutcome::NoTriangleFound => "accepted (no triangle found)".to_string(),
-        ChaosOutcome::Inconclusive => {
-            let err = fault.as_ref().expect("inconclusive implies a fault");
-            format!("inconclusive (quorum lost; {err})")
-        }
-    };
-    lock(&handle).goodbye(&verdict);
-    Ok(format!(
-        "{verdict}\n{} bits, {} rounds, {} messages, max player message {} bits\nserved {k} players on {addr} (protocol {protocol}, seed {seed})\n",
-        stats.total_bits, stats.rounds, stats.messages, stats.max_player_sent_bits
-    ))
+    Ok(out + &roster)
 }
 
 /// One simultaneous round over TCP: collect every player's (single)

@@ -180,31 +180,62 @@ impl TcpCoordinator {
                 }
                 Err(e) => return Err(NetError::Io(e)),
             };
-            if let Some((slot, stream)) = self.register(stream, cfg, &slots, timeout)? {
+            if let Some((slot, stream)) = self.register(stream, cfg, &slots, deadline, timeout)? {
                 slots[slot] = Some(stream);
                 filled += 1;
             }
         }
         self.listener.set_nonblocking(false)?;
-        let conns = slots.into_iter().map(|s| s.expect("slot filled")).collect();
+        // `filled == k` implies every slot is occupied, but a hostile
+        // network must never be one invariant away from a panic: an
+        // empty slot is a typed protocol error, not a crash.
+        let mut conns = Vec::with_capacity(cfg.k);
+        for (slot, stream) in slots.into_iter().enumerate() {
+            match stream {
+                Some(s) => conns.push(s),
+                None => {
+                    return Err(NetError::Protocol(format!(
+                        "slot {slot} empty after census of {} players",
+                        cfg.k
+                    )))
+                }
+            }
+        }
         Ok(TcpTransport::from_conns(conns, timeout))
     }
 
     /// Handshakes one accepted connection. Returns `Ok(None)` when the
-    /// connection was rejected (bad slot, bad first frame) — the caller
-    /// keeps accepting.
+    /// connection was rejected (bad slot, bad first frame, died during
+    /// setup, hung up before its `Welcome`) — the caller keeps
+    /// accepting. Nothing a single dialer does can surface an error
+    /// from here: a hostile client can cost the run at most its own
+    /// handshake window, never the listener.
     fn register(
         &self,
         mut stream: TcpStream,
         cfg: &ServeConfig,
         slots: &[Option<TcpStream>],
+        deadline: Instant,
         timeout: Duration,
     ) -> Result<Option<(usize, TcpStream)>, NetError> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            // The accept loop will notice the expired deadline and
+            // return the census error.
+            return Ok(None);
+        }
         // The accepted socket may inherit the listener's non-blocking
-        // mode; the handshake wants a plain bounded read.
-        stream.set_nonblocking(false)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(timeout))?;
+        // mode; the handshake wants a plain bounded read. A silent
+        // dialer gets at most the remaining registration window, so it
+        // cannot stall the census past the caller's deadline. A socket
+        // that dies during setup is a rejected dialer, not a dead run.
+        let setup = stream
+            .set_nonblocking(false)
+            .and_then(|()| stream.set_nodelay(true))
+            .and_then(|()| stream.set_read_timeout(Some(timeout.min(remaining))));
+        if setup.is_err() {
+            return Ok(None);
+        }
         let hello = match wire::read_frame(&mut stream) {
             Ok(WireMessage::Hello { slot }) => slot,
             Ok(other) => {
@@ -248,11 +279,17 @@ impl TcpCoordinator {
                 None => return Ok(None),
             },
         };
-        wire::write_frame(
+        // A peer that hangs up between its Hello and our Welcome must
+        // not kill the listener: drop it and leave the slot free for a
+        // real claimant.
+        if wire::write_frame(
             &mut stream,
             &WireMessage::Welcome(cfg.welcome_for(slot as u32)),
         )
-        .map_err(NetError::Io)?;
+        .is_err()
+        {
+            return Ok(None);
+        }
         Ok(Some((slot, stream)))
     }
 }
@@ -504,6 +541,114 @@ mod tests {
         assert_eq!(b.welcome().player, 1);
         let transport = accept.join().unwrap().unwrap();
         assert_eq!(transport.k(), 2);
+    }
+
+    #[test]
+    fn malformed_hello_battery_never_kills_the_listener() {
+        use std::io::Write;
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            coordinator.accept_players(&cfg(1), Duration::from_secs(10))
+        });
+        // (a) Pure garbage instead of a frame.
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        garbage.write_all(&[0xFF; 32]).unwrap();
+        drop(garbage);
+        // (b) A truncated frame: a length prefix promising 100 bytes,
+        // then a hangup three bytes in.
+        let mut truncated = TcpStream::connect(addr).unwrap();
+        truncated.write_all(&100u32.to_le_bytes()).unwrap();
+        truncated.write_all(&[1, 2, 3]).unwrap();
+        drop(truncated);
+        // (c) Hangup before sending anything at all.
+        drop(TcpStream::connect(addr).unwrap());
+        // (d) A well-formed frame of the wrong type.
+        let mut wrong = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut wrong, &WireMessage::Ack).unwrap();
+        match wire::read_frame(&mut wrong).unwrap() {
+            WireMessage::Error { reason } => assert!(reason.contains("expected hello"), "{reason}"),
+            other => panic!("expected error frame, got {}", other.kind()),
+        }
+        drop(wrong);
+        // (e) A real player still registers and the run completes.
+        let share = vec![e(0, 1)];
+        let player = std::thread::spawn(move || {
+            let session = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+            let state = PlayerState::new(0, 4, &share);
+            session.serve(&state, |_, _| SimMessage::empty()).unwrap()
+        });
+        let mut transport = accept.join().unwrap().expect("listener must survive");
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::HasEdge(e(0, 1))),
+            Ok(Payload::Bit(true))
+        );
+        transport.goodbye("done");
+        assert_eq!(player.join().unwrap().requests, 1);
+    }
+
+    #[test]
+    fn duplicate_slot_raw_frames_get_typed_rejections() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            coordinator.accept_players(&cfg(2), Duration::from_secs(10))
+        });
+        // First raw claimant takes slot 0.
+        let mut first = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut first, &WireMessage::Hello { slot: Some(0) }).unwrap();
+        match wire::read_frame(&mut first).unwrap() {
+            WireMessage::Welcome(w) => assert_eq!(w.player, 0),
+            other => panic!("expected welcome, got {}", other.kind()),
+        }
+        // Second claimant of the same slot gets an Error frame, not a
+        // dead listener.
+        let mut dup = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut dup, &WireMessage::Hello { slot: Some(0) }).unwrap();
+        match wire::read_frame(&mut dup).unwrap() {
+            WireMessage::Error { reason } => assert!(reason.contains("already taken"), "{reason}"),
+            other => panic!("expected error frame, got {}", other.kind()),
+        }
+        drop(dup);
+        // Slot 1 completes the census.
+        let mut second = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut second, &WireMessage::Hello { slot: Some(1) }).unwrap();
+        match wire::read_frame(&mut second).unwrap() {
+            WireMessage::Welcome(w) => assert_eq!(w.player, 1),
+            other => panic!("expected welcome, got {}", other.kind()),
+        }
+        let transport = accept.join().unwrap().expect("listener must survive");
+        assert_eq!(transport.k(), 2);
+    }
+
+    #[test]
+    fn hangup_after_hello_degrades_typed_never_panics() {
+        // A dialer that sends a valid Hello and vanishes: depending on
+        // socket timing the Welcome write either fails (the dialer is
+        // rejected and the census times out) or lands in the kernel
+        // buffer (the census completes over a dead connection and the
+        // first delivery surfaces a typed RunError). Both are survival;
+        // neither is a panic.
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            coordinator.accept_players(&cfg(1), Duration::from_millis(400))
+        });
+        let mut ghost = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut ghost, &WireMessage::Hello { slot: Some(0) }).unwrap();
+        drop(ghost);
+        match accept.join().unwrap() {
+            Ok(mut transport) => {
+                // unwrap_err: the dead connection must fail *typed*.
+                transport
+                    .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+                    .unwrap_err();
+            }
+            Err(NetError::Protocol(census)) => {
+                assert!(census.contains("players"), "{census}");
+            }
+            Err(other) => panic!("expected census timeout, got {other}"),
+        }
     }
 
     #[test]

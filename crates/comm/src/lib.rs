@@ -22,7 +22,10 @@
 //! * the one-round simultaneous framework ([`simultaneous`]),
 //! * a deterministic parallel execution engine ([`pool`]) for sharding
 //!   independent runs (amplification repetitions, seed sweeps) without
-//!   perturbing transcripts or cost accounting.
+//!   perturbing transcripts or cost accounting,
+//! * a multi-tenant session scheduler ([`scheduler`]) multiplexing many
+//!   independent query sessions over one pool with cross-session work
+//!   stealing and per-session serial-prefix early exit.
 //!
 //! # Example
 //!
@@ -53,6 +56,7 @@ pub mod recorder;
 pub mod report;
 pub mod request;
 pub mod runtime;
+pub mod scheduler;
 pub mod simultaneous;
 pub mod streaming;
 pub mod transcript;
@@ -79,6 +83,7 @@ pub use runtime::{
     CostModel, LocalTransport, RunError, RunErrorKind, Runtime, SharedTransport, TcpTransport,
     ThreadedTransport, Transport, TransportError, DEFAULT_NET_TIMEOUT, DEFAULT_RETRY_BUDGET,
 };
+pub use scheduler::{run_sessions, FnSession, SessionHandle, SessionJob};
 pub use simultaneous::{
     run_simultaneous, run_simultaneous_collected, run_simultaneous_prepared,
     run_simultaneous_threaded, SimMessage, SimRun, SimultaneousProtocol,

@@ -76,7 +76,7 @@ impl PlayerState {
     }
 
     /// The share as a packed [`EdgeBitset`], built once per player and
-    /// borrowable into a [`Payload::EdgeBits`](crate::Payload::EdgeBits)
+    /// borrowable into a [`crate::Payload::EdgeBits`]
     /// without cloning — the dense-representation twin of
     /// [`share`](Self::share).
     pub fn share_bitset(&self) -> &EdgeBitset {

@@ -521,6 +521,14 @@ impl<R: Recorder> Runtime<R> {
     /// [`crate::fault::RETRANSMIT_LABEL`]. On a fault-free transport it
     /// records nothing, so the fast path is byte-identical to the
     /// pre-fault-layer accounting.
+    ///
+    /// Only *delivered* retransmissions are charged: a retried request is
+    /// accounted for when a subsequent attempt produces a frame (delivered
+    /// or garbled), never when the exchange ultimately dies with
+    /// [`RunError::Timeout`] or another terminal fault. A request the
+    /// network swallowed whole cost the protocol nothing measurable, and
+    /// charging it inflated chaos-mode rollups relative to the
+    /// [`FaultStats`](crate::FaultStats) injection counts.
     fn exchange(
         &mut self,
         player: usize,
@@ -529,9 +537,23 @@ impl<R: Recorder> Runtime<R> {
     ) -> Result<Payload<'static>, RunError> {
         use crate::fault::RETRANSMIT_LABEL;
         let mut attempts = 0u32;
+        // Retried requests whose delivery outcome is not yet known.
+        let mut pending_retransmits = 0u32;
         loop {
             let err = match self.transport.try_deliver_framed(player, req) {
                 Ok(framed) => {
+                    // A frame came back, so every retransmitted copy of
+                    // the request that led here reached the player.
+                    let req_bits = req.bit_len(self.n) + ovh;
+                    for _ in 0..pending_retransmits {
+                        self.recorder.record(
+                            Some(player),
+                            Direction::ToPlayer,
+                            req_bits,
+                            RETRANSMIT_LABEL,
+                        );
+                    }
+                    pending_retransmits = 0;
                     let resp_bits = framed.payload().bit_len(self.n) + ovh;
                     for _ in 1..framed.deliveries() {
                         // Extra copies of a duplicated delivery crossed
@@ -558,16 +580,12 @@ impl<R: Recorder> Runtime<R> {
                 Err(e) => e,
             };
             if !err.is_retryable() || attempts >= self.retry_budget {
+                // Terminal failure: pending retransmissions were never
+                // observed to arrive, so they are not charged.
                 return Err(err);
             }
             attempts += 1;
-            // Retransmit the request itself.
-            self.recorder.record(
-                Some(player),
-                Direction::ToPlayer,
-                req.bit_len(self.n) + ovh,
-                RETRANSMIT_LABEL,
-            );
+            pending_retransmits += 1;
         }
     }
 

@@ -1,0 +1,288 @@
+//! Multi-tenant session scheduler.
+//!
+//! One [`Pool`] of workers, many independent query *sessions*: each
+//! session is a sequence of repetitions with serial early-exit
+//! semantics (stop at the first *final* item — a witness or an error),
+//! exactly what [`Pool::ordered_map_until`] provides for a single
+//! sweep. The scheduler flattens every session's repetitions into one
+//! shared claim queue, so workers **steal across sessions**: a worker
+//! that finishes session A's last repetition immediately picks up
+//! session B's next one, and a thousand one-repetition sessions
+//! saturate the pool just as well as one thousand-repetition sweep.
+//!
+//! # Determinism contract
+//!
+//! For every session the scheduler returns exactly the *serial prefix*
+//! of items a standalone serial loop (or `ordered_map_until` on its
+//! own) would have produced: repetitions `0..=s` where `s` is the
+//! smallest repetition whose item is final, or all repetitions when
+//! none is. Speculative items computed past a session's stopping point
+//! are discarded before the caller ever sees them. Higher layers reduce
+//! each prefix in repetition order (`CommStats::merged`,
+//! `Tally::absorb`), so a batched session is **byte-identical** to the
+//! same sweep run alone, at any worker count — enforced by
+//! `tests/scheduler_differential.rs`.
+//!
+//! # How the early exit works across sessions
+//!
+//! Each session owns an atomic cutoff, initially `usize::MAX`. A worker
+//! claiming global index `i` maps it to `(session s, repetition r)`; if
+//! `r` is strictly past `s`'s cutoff the item is skipped (the session
+//! already found its stopping point). After computing an item the
+//! worker tests it with the session's finality predicate and lowers the
+//! cutoff with `fetch_min(r)`. The cutoff only decreases, and the
+//! repetition that *set* it was fully computed before it was published,
+//! so every repetition in the final serial prefix (`r <= s`'s final
+//! cutoff) is guaranteed to have been computed, never skipped. This is
+//! the same serial-prefix argument [`Pool::ordered_map_until`] makes
+//! for a single sweep, replicated per session over one shared queue.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool::Pool;
+
+/// One session's work description: `reps` independent repetitions,
+/// computed by [`run_rep`](SessionJob::run_rep) and cut short at the
+/// first item for which [`is_final`](SessionJob::is_final) holds.
+///
+/// Implementations must be deterministic in `rep` — the scheduler may
+/// compute a repetition speculatively and discard it, or (at one
+/// worker) never compute it at all.
+pub trait SessionJob: Sync {
+    /// The per-repetition result.
+    type Item: Send;
+
+    /// Number of repetitions this session wants (the scheduler treats
+    /// `0` as an empty session).
+    fn reps(&self) -> usize;
+
+    /// Computes repetition `rep` (`0 <= rep < self.reps()`).
+    fn run_rep(&self, rep: usize) -> Self::Item;
+
+    /// `true` if `item` ends the session early (a witness, an error).
+    fn is_final(&self, item: &Self::Item) -> bool;
+}
+
+/// A closure-based [`SessionJob`] for callers that don't want a named
+/// type: `reps` repetitions of `run`, stopped by `is_final`.
+pub struct FnSession<T, R, F>
+where
+    R: Fn(usize) -> T + Sync,
+    F: Fn(&T) -> bool + Sync,
+    T: Send,
+{
+    reps: usize,
+    run: R,
+    is_final: F,
+}
+
+impl<T, R, F> FnSession<T, R, F>
+where
+    R: Fn(usize) -> T + Sync,
+    F: Fn(&T) -> bool + Sync,
+    T: Send,
+{
+    /// A session of `reps` repetitions of `run`, ended early at the
+    /// first item for which `is_final` holds.
+    pub fn new(reps: usize, run: R, is_final: F) -> Self {
+        FnSession {
+            reps,
+            run,
+            is_final,
+        }
+    }
+}
+
+impl<T, R, F> SessionJob for FnSession<T, R, F>
+where
+    R: Fn(usize) -> T + Sync,
+    F: Fn(&T) -> bool + Sync,
+    T: Send,
+{
+    type Item = T;
+
+    fn reps(&self) -> usize {
+        self.reps
+    }
+
+    fn run_rep(&self, rep: usize) -> T {
+        (self.run)(rep)
+    }
+
+    fn is_final(&self, item: &T) -> bool {
+        (self.is_final)(item)
+    }
+}
+
+/// An opaque ticket identifying one submitted session within a batch —
+/// handed out by higher-level batch builders (e.g.
+/// `triad_protocols::session::SessionBatch`) and redeemed against the
+/// batch's results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionHandle(usize);
+
+impl SessionHandle {
+    /// A handle for the session at `index` in submission order.
+    pub fn new(index: usize) -> Self {
+        SessionHandle(index)
+    }
+
+    /// The session's index in submission order.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Runs every session in `jobs` over `pool`, stealing work across
+/// sessions, and returns each session's serial prefix of items (see the
+/// [module docs](self) for the determinism contract).
+///
+/// The flattened index space is session-major: all of session 0's
+/// repetitions, then session 1's, and so on. At one worker this
+/// degenerates to running the sessions serially in submission order,
+/// which is the reference schedule the parallel path must reproduce.
+pub fn run_sessions<J: SessionJob>(pool: &Pool, jobs: &[J]) -> Vec<Vec<J::Item>> {
+    // Prefix sums over repetition counts: session s owns global indices
+    // offsets[s] .. offsets[s + 1].
+    let mut offsets = Vec::with_capacity(jobs.len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for job in jobs {
+        total = total
+            .checked_add(job.reps())
+            .expect("total session repetitions overflow usize");
+        offsets.push(total);
+    }
+
+    // Per-session early-exit cutoffs: the smallest repetition index
+    // known to be final, or usize::MAX while the session is still live.
+    let cutoffs: Vec<AtomicUsize> = (0..jobs.len())
+        .map(|_| AtomicUsize::new(usize::MAX))
+        .collect();
+
+    let slots = pool.ordered_map(total, |i| {
+        // Map the global index to (session, repetition). Sessions are
+        // contiguous, so a binary search over the prefix sums finds the
+        // owner; `partition_point` returns the first offset > i.
+        let s = offsets.partition_point(|&off| off <= i) - 1;
+        let r = i - offsets[s];
+        if r > cutoffs[s].load(Ordering::SeqCst) {
+            // The session already published an earlier stopping point;
+            // this repetition cannot be part of its serial prefix.
+            return None;
+        }
+        let item = jobs[s].run_rep(r);
+        if jobs[s].is_final(&item) {
+            cutoffs[s].fetch_min(r, Ordering::SeqCst);
+        }
+        Some(item)
+    });
+
+    // Slice the flat results back into per-session serial prefixes.
+    let mut slots = slots.into_iter();
+    let mut out = Vec::with_capacity(jobs.len());
+    for (s, job) in jobs.iter().enumerate() {
+        let reps = job.reps();
+        let mut prefix = Vec::new();
+        let mut done = false;
+        for slot in slots.by_ref().take(reps) {
+            if done {
+                continue; // drain this session's remaining slots
+            }
+            match slot {
+                Some(item) => {
+                    let is_final = job.is_final(&item);
+                    prefix.push(item);
+                    if is_final {
+                        done = true;
+                    }
+                }
+                None => {
+                    // A skipped repetition is strictly past the final
+                    // cutoff, so the prefix must already have ended.
+                    debug_assert!(
+                        false,
+                        "session {s}: skipped repetition inside the serial prefix"
+                    );
+                    done = true;
+                }
+            }
+        }
+        out.push(prefix);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn serial_reference<J: SessionJob>(job: &J) -> Vec<J::Item> {
+        let mut out = Vec::new();
+        for r in 0..job.reps() {
+            let item = job.run_rep(r);
+            let stop = job.is_final(&item);
+            out.push(item);
+            if stop {
+                break;
+            }
+        }
+        out
+    }
+
+    fn squares_until(reps: usize, stop_at: Option<usize>) -> impl SessionJob<Item = usize> {
+        FnSession::new(reps, |r| r * r, move |&v| Some(v) == stop_at.map(|s| s * s))
+    }
+
+    #[test]
+    fn matches_serial_reference_at_every_thread_count() {
+        let jobs: Vec<_> = vec![
+            squares_until(7, None),
+            squares_until(5, Some(2)),
+            squares_until(1, None),
+            squares_until(9, Some(0)),
+            squares_until(4, Some(99)), // predicate never fires
+        ];
+        let expected: Vec<Vec<usize>> = jobs.iter().map(serial_reference).collect();
+        for threads in [1, 2, 4, 8] {
+            let got = run_sessions(&Pool::new(threads), &jobs);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_sessions() {
+        type UnitSession = FnSession<usize, fn(usize) -> usize, fn(&usize) -> bool>;
+        let none: Vec<UnitSession> = Vec::new();
+        assert!(run_sessions(&Pool::new(4), &none).is_empty());
+
+        let jobs = vec![squares_until(0, None), squares_until(3, None)];
+        let got = run_sessions(&Pool::new(2), &jobs);
+        assert_eq!(got, vec![vec![], vec![0, 1, 4]]);
+    }
+
+    #[test]
+    fn early_exit_is_per_session_not_global() {
+        // Session 0 stops at its very first repetition; session 1 must
+        // still run to completion.
+        let jobs = vec![squares_until(6, Some(0)), squares_until(6, None)];
+        let got = run_sessions(&Pool::new(4), &jobs);
+        assert_eq!(got[0], vec![0]);
+        assert_eq!(got[1], vec![0, 1, 4, 9, 16, 25]);
+    }
+
+    #[test]
+    fn thousands_of_tiny_sessions() {
+        let jobs: Vec<_> = (0..2000).map(|_| squares_until(1, None)).collect();
+        let got = run_sessions(&Pool::new(4), &jobs);
+        assert_eq!(got.len(), 2000);
+        assert!(got.iter().all(|p| p == &vec![0]));
+    }
+
+    #[test]
+    fn handles_are_stable_indices() {
+        let h = SessionHandle::new(17);
+        assert_eq!(h.index(), 17);
+        assert_eq!(h, SessionHandle::new(17));
+    }
+}

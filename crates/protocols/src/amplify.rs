@@ -410,8 +410,21 @@ pub fn run_amplified_prepared<T: Repeatable + Sync>(
             Err(_) => true,
         },
     );
+    reduce_prefix(input.k(), runs)
+}
+
+/// Reduces a serial prefix of repetition results **in repetition
+/// order**: merged stats, absorbed tallies, early return on the first
+/// witness, first error propagated. This is the one fold shared by
+/// [`run_amplified_prepared`] and the session scheduler
+/// (`crate::session`), which is how batched sessions stay byte-identical
+/// to standalone sweeps.
+pub(crate) fn reduce_prefix(
+    k: usize,
+    runs: impl IntoIterator<Item = Result<TallyRun, ProtocolError>>,
+) -> Result<TallyRun, ProtocolError> {
     let mut stats = triad_comm::CommStats::default();
-    let mut tally = Tally::with_players(input.k());
+    let mut tally = Tally::with_players(k);
     for run in runs {
         let run = run?;
         stats = stats.merged(run.stats);

@@ -54,6 +54,7 @@ pub mod chaos;
 pub mod config;
 pub mod counting;
 pub mod outcome;
+pub mod session;
 pub mod simultaneous;
 pub mod subgraphs;
 pub mod unrestricted;
@@ -65,5 +66,7 @@ pub use chaos::{
 };
 pub use config::{Preset, Tuning};
 pub use outcome::{ProtocolError, ProtocolRun, TallyRun, TestOutcome};
+pub use session::{run_session_batch, SessionBatch, SessionResults, SessionSpec, SessionTester};
 pub use simultaneous::{SimProtocolKind, SimultaneousTester};
+pub use triad_comm::scheduler::SessionHandle;
 pub use unrestricted::UnrestrictedTester;

@@ -1,7 +1,8 @@
 //! Regenerates every experiment (E1–E17) and prints its table.
 //!
 //! ```text
-//! reproduce [--quick] [--markdown] [--threads N] [--json-dir DIR] [e1 e5 ...]
+//! reproduce [--quick] [--markdown] [--threads N] [--json-dir DIR]
+//!           [--graph-file FILE.csr] [e1 e5 ...]
 //! ```
 //!
 //! With no experiment ids, all seventeen run in order. `--quick` shrinks
@@ -18,6 +19,13 @@
 //! `DIR/BENCH_runtime.json` (see `docs/RUNTIME.md`), plus the
 //! deterministic fault-injection matrix as `DIR/BENCH_chaos.json`
 //! (byte-diffable — see `docs/FAULTS.md`).
+//!
+//! `--graph-file FILE.csr` (with `--json-dir`) appends an out-of-core
+//! row to `BENCH_kernels.json`: the forward and pool-parallel kernels
+//! plus one prepared protocol run timed over the mapped binary CSR
+//! container of `docs/IO.md`, with peak-RSS / owned-allocation evidence
+//! that the run stayed on borrowed slices. Write the container first
+//! with `triad gen … --format csr` (see `EXPERIMENTS.md`).
 
 use triad_bench::chaos::{chaos_suite, write_chaos_json};
 use triad_bench::experiments::{all, Scale};
@@ -48,7 +56,8 @@ fn main() {
             }
         }
     }
-    let value_flags = ["--json-dir", "--threads"];
+    let graph_file = value_of("--graph-file");
+    let value_flags = ["--json-dir", "--threads", "--graph-file"];
     let wanted: Vec<String> = args
         .iter()
         .enumerate()
@@ -86,7 +95,24 @@ fn main() {
                 std::process::exit(1);
             }
         }
-        let timings = kernel_suite(scale);
+        let mut timings = kernel_suite(scale);
+        if let Some(path) = &graph_file {
+            let path = std::path::Path::new(path);
+            let store = match triad_graph::CsrStore::open(path) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("failed to open --graph-file {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            };
+            let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("graph");
+            timings.push(triad_bench::kernels::time_store_workload(
+                &format!("store-{stem}"),
+                &store,
+                1,
+                &triad_comm::pool::Pool::current(),
+            ));
+        }
         match write_kernels_json(std::path::Path::new(&dir), &timings) {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => {

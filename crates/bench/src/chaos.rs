@@ -119,7 +119,10 @@ pub fn chaos_cell<T: Repeatable + Sync>(
         faults: faults.to_string(),
         rate,
         vertices: input.n(),
-        edges: input.graph().edge_count(),
+        edges: input
+            .graph()
+            .expect("chaos suite prepares its inputs with a graph")
+            .edge_count(),
         players: input.k(),
         repetitions,
         seed: plan_seed,

@@ -44,6 +44,14 @@ pub struct SessionSaturation {
     /// Queries/sec at each worker count, aligned with
     /// [`SESSION_WORKER_COUNTS`].
     pub qps: [f64; 4],
+    /// Workers actually used at each sweep point: the requested count
+    /// clamped to the machine's available parallelism
+    /// ([`Pool::clamped`]). Oversubscribing a CPU-bound scoped pool
+    /// only adds context-switch overhead — on a single-core runner the
+    /// old unclamped 8-worker pool measured *slower* than 1 worker —
+    /// so the sweep never runs more workers than cores and records
+    /// what it ran.
+    pub effective_workers: [usize; 4],
     /// Total bits across all sessions (agreed on by every worker
     /// count — asserted while timing).
     pub total_bits: u64,
@@ -69,8 +77,13 @@ impl SessionSaturation {
         s.push_str(&format!("\"vertices\":{},", self.vertices));
         s.push_str(&format!("\"edges\":{},", self.edges));
         s.push_str(&format!("\"players\":{},", self.players));
-        for (w, qps) in SESSION_WORKER_COUNTS.iter().zip(self.qps) {
+        for ((w, qps), eff) in SESSION_WORKER_COUNTS
+            .iter()
+            .zip(self.qps)
+            .zip(self.effective_workers)
+        {
             s.push_str(&format!("\"qps_{w}\":{qps:.1},"));
+            s.push_str(&format!("\"effective_workers_{w}\":{eff},"));
         }
         s.push_str(&format!("\"total_bits\":{},", self.total_bits));
         s.push_str(&format!("\"cache_hits\":{},", self.cache_hits));
@@ -139,10 +152,15 @@ pub fn session_saturation(scale: Scale, sessions: usize) -> SessionSaturation {
     }
 
     let mut qps = [0.0f64; 4];
+    let mut effective_workers = [1usize; 4];
     let mut reference: Option<Vec<SessionDigest>> = None;
     let mut cache_hits = 0;
     for (i, &workers) in SESSION_WORKER_COUNTS.iter().enumerate() {
-        let pool = Pool::new(workers);
+        // Clamped to available parallelism: an oversubscribed pool
+        // measures scheduler thrash, not scheduler throughput (the
+        // results are identical either way — only wall-clock differs).
+        let pool = Pool::clamped(workers);
+        effective_workers[i] = pool.threads();
         let start = Instant::now();
         let results = batch.run(&pool);
         let secs = start.elapsed().as_secs_f64();
@@ -164,6 +182,7 @@ pub fn session_saturation(scale: Scale, sessions: usize) -> SessionSaturation {
         edges: inputs[0].0.edge_count(),
         players: k,
         qps,
+        effective_workers,
         total_bits: reference.iter().map(|d| d.2).sum(),
         cache_hits,
     }
@@ -181,10 +200,20 @@ mod tests {
         assert_eq!(s.cache_hits, 5);
         assert!(s.total_bits > 0);
         assert!(s.qps.iter().all(|&q| q > 0.0));
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        for (req, eff) in SESSION_WORKER_COUNTS.iter().zip(s.effective_workers) {
+            assert_eq!(eff, (*req).min(hw), "sweep pools must be clamped");
+        }
         let json = s.to_json();
         assert!(json.contains("\"protocol\":\"scheduler-sessions\""));
         for w in SESSION_WORKER_COUNTS {
             assert!(json.contains(&format!("\"qps_{w}\":")), "{json}");
+            assert!(
+                json.contains(&format!("\"effective_workers_{w}\":")),
+                "{json}"
+            );
         }
     }
 

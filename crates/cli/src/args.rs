@@ -82,6 +82,8 @@ pub enum CliError {
     Read(triad_graph::io::ReadError),
     /// Generator rejected the parameters.
     Graph(triad_graph::GraphError),
+    /// A binary CSR file (`--graph-file`) failed to open or validate.
+    Store(triad_graph::store::StoreError),
     /// A protocol rejected the input.
     Protocol(triad_protocols::ProtocolError),
     /// The networked coordinator (`serve`/`connect`) failed.
@@ -95,6 +97,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Read(e) => write!(f, "{e}"),
             CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Store(e) => write!(f, "{e}"),
             CliError::Protocol(e) => write!(f, "{e}"),
             CliError::Net(e) => write!(f, "{e}"),
         }
@@ -118,6 +121,12 @@ impl From<triad_graph::io::ReadError> for CliError {
 impl From<triad_graph::GraphError> for CliError {
     fn from(e: triad_graph::GraphError) -> Self {
         CliError::Graph(e)
+    }
+}
+
+impl From<triad_graph::store::StoreError> for CliError {
+    fn from(e: triad_graph::store::StoreError) -> Self {
+        CliError::Store(e)
     }
 }
 

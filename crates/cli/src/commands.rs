@@ -8,19 +8,126 @@ use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use triad_comm::CostModel;
 use triad_graph::partition::Partition;
-use triad_graph::{distance, generators, io as gio, Graph};
+use triad_graph::store::{
+    write_csr, ChungLuStream, DenseCoreStream, EdgeStream, FarStream, GnpStream,
+};
+use triad_graph::{distance, generators, io as gio, AsCsr, CsrStore, Graph};
+use triad_protocols::amplify::{PreparedInput, Repeatable};
 use triad_protocols::{SimProtocolKind, SimultaneousTester, Tuning, UnrestrictedTester};
 
 pub(crate) fn load_graph(path: &str) -> Result<Graph, CliError> {
     Ok(gio::read_edge_list(BufReader::new(File::open(path)?))?)
 }
 
-/// `triad gen` — generate a graph and write it as an edge list.
+/// The tester behind a `--protocol` name. `cost_model` only affects
+/// `unrestricted` (the one multi-round protocol); the default
+/// [`CostModel::Coordinator`] matches the tester's own default.
+fn tester_for(
+    protocol: &str,
+    tuning: Tuning,
+    d: f64,
+    cost_model: CostModel,
+    repr: triad_comm::PayloadRepr,
+) -> Result<Box<dyn Repeatable + Sync>, CliError> {
+    Ok(match protocol {
+        "unrestricted" => Box::new(UnrestrictedTester::new(tuning).with_cost_model(cost_model)),
+        "low" => Box::new(SimultaneousTester::new(
+            tuning,
+            SimProtocolKind::Low { avg_degree: d },
+        )),
+        "high" => Box::new(SimultaneousTester::new(
+            tuning,
+            SimProtocolKind::High { avg_degree: d },
+        )),
+        "oblivious" => Box::new(SimultaneousTester::new(tuning, SimProtocolKind::Oblivious)),
+        "exact" => Box::new(triad_protocols::baseline::SendEverything::with_repr(repr)),
+        other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
+    })
+}
+
+/// Partitions the edges of any CSR backing among `k` players, in-memory,
+/// from `--scheme` / `--partition-seed` — how `--graph-file` runs get
+/// their shares without share files on disk.
+fn partition_for<G: AsCsr + ?Sized>(args: &ArgMap, g: &G) -> Result<Partition, CliError> {
+    let k: usize = args.required_parsed("k")?;
+    if k == 0 {
+        return Err(CliError::Usage("--k must be positive".into()));
+    }
+    let seed: u64 = args.parsed_or("partition-seed", 0)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Ok(match args.optional("scheme").unwrap_or("random") {
+        "random" => triad_graph::partition::random_disjoint(g, k, &mut rng),
+        "duplication" => {
+            let p: f64 = args.parsed_or("dup-p", 0.3)?;
+            triad_graph::partition::with_duplication(g, k, p, &mut rng)
+        }
+        "vertex" => triad_graph::partition::by_vertex(g, k),
+        other => return Err(CliError::Usage(format!("unknown --scheme `{other}`"))),
+    })
+}
+
+/// `triad gen` — generate a graph and write it as a text edge list
+/// (`--format edges`, the default) or stream it into the binary CSR
+/// container of `docs/IO.md` (`--format csr`). The CSR path never
+/// materializes the edge list for the `far`, `gnp`, `powerlaw` and
+/// `dense-core` families: edges are replayed chunk-by-chunk through the
+/// windowed writer, so peak memory is `O(n + window)` regardless of `m`.
 pub fn gen(args: &ArgMap) -> Result<String, CliError> {
     let kind = args.required("kind")?;
     let n: usize = args.required_parsed("n")?;
     let out = args.required("out")?;
     let seed: u64 = args.parsed_or("seed", 0)?;
+    let format = args.optional("format").unwrap_or("edges");
+    if format == "csr" {
+        let stream: Box<dyn EdgeStream> = match kind {
+            "gnp" => {
+                let d: f64 = args.parsed_or("d", 8.0)?;
+                Box::new(GnpStream::with_average_degree(n, d, seed)?)
+            }
+            "far" => {
+                let d: f64 = args.parsed_or("d", 8.0)?;
+                let eps: f64 = args.parsed_or("eps", 0.2)?;
+                Box::new(FarStream::new(n, d, eps, seed)?)
+            }
+            "powerlaw" => {
+                let d: f64 = args.parsed_or("d", 8.0)?;
+                let beta: f64 = args.parsed_or("beta", 2.5)?;
+                Box::new(ChungLuStream::new(n, d, beta, seed)?)
+            }
+            "dense-core" => {
+                let hubs: usize = args.parsed_or("hubs", 4)?;
+                Box::new(DenseCoreStream::new(n, hubs, seed)?)
+            }
+            // The remaining families have no streaming generator;
+            // materialize once and replay the Graph (still one pass
+            // over the writer, just not memory-bounded).
+            "mu" | "clique-path" => Box::new(gen_graph(args, kind, n, seed)?),
+            other => return Err(CliError::Usage(format!("unknown --kind `{other}`"))),
+        };
+        let summary = write_csr(Path::new(out), stream.as_ref())?;
+        return Ok(format!(
+            "wrote {out}: n = {}, m = {}, {} bytes in {} window(s) (binary CSR, docs/IO.md)\n",
+            summary.vertices, summary.edges, summary.file_bytes, summary.windows
+        ));
+    }
+    if format != "edges" {
+        return Err(CliError::Usage(format!(
+            "unknown --format `{format}` (expected edges or csr)"
+        )));
+    }
+    let graph = gen_graph(args, kind, n, seed)?;
+    gio::write_edge_list(&graph, BufWriter::new(File::create(out)?))?;
+    Ok(format!(
+        "wrote {out}: n = {}, m = {}, avg degree = {:.2}\n",
+        graph.vertex_count(),
+        graph.edge_count(),
+        graph.average_degree()
+    ))
+}
+
+/// The in-memory generator behind `triad gen` — shared by the edge-list
+/// path and the CSR fallback for families without a streaming form.
+fn gen_graph(args: &ArgMap, kind: &str, n: usize, seed: u64) -> Result<Graph, CliError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let graph = match kind {
         "far" => {
@@ -70,13 +177,7 @@ pub fn gen(args: &ArgMap) -> Result<String, CliError> {
         }
         other => return Err(CliError::Usage(format!("unknown --kind `{other}`"))),
     };
-    gio::write_edge_list(&graph, BufWriter::new(File::create(out)?))?;
-    Ok(format!(
-        "wrote {out}: n = {}, m = {}, avg degree = {:.2}\n",
-        graph.vertex_count(),
-        graph.edge_count(),
-        graph.average_degree()
-    ))
+    Ok(graph)
 }
 
 /// `triad partition` — split edges among k players, one file per share.
@@ -261,15 +362,14 @@ pub fn congest(args: &ArgMap) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `triad test` — run a protocol over a partitioned input.
+/// `triad test` — run a protocol over a partitioned input. The input is
+/// either a text edge list plus share files (`--graph --shares`) or a
+/// binary CSR container partitioned in-process (`--graph-file --k`);
+/// the protocol execution and the output format are identical.
 pub fn test(args: &ArgMap) -> Result<String, CliError> {
-    let g = load_graph(args.required("graph")?)?;
-    let shares = load_shares(args.required("shares")?, g.vertex_count())?;
-    let parts = Partition::new(shares);
     let protocol = args.required("protocol")?;
     let eps: f64 = args.parsed_or("eps", 0.2)?;
     let seed: u64 = args.parsed_or("seed", 0)?;
-    let d: f64 = args.parsed_or("d", g.average_degree())?;
     let cost_model = match args.optional("cost-model").unwrap_or("coordinator") {
         "coordinator" => CostModel::Coordinator,
         "blackboard" => CostModel::Blackboard,
@@ -278,6 +378,13 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
     };
     let repr: triad_comm::PayloadRepr = args.parsed_or("payload", Default::default())?;
     let tuning = Tuning::practical(eps).with_repr(repr);
+    if let Some(path) = args.optional("graph-file") {
+        return test_store(args, path, protocol, tuning, cost_model, repr, seed);
+    }
+    let g = load_graph(args.required("graph")?)?;
+    let shares = load_shares(args.required("shares")?, g.vertex_count())?;
+    let parts = Partition::new(shares);
+    let d: f64 = args.parsed_or("d", g.average_degree())?;
     let breakdown = args
         .optional("breakdown")
         .map(|v| v == "true")
@@ -335,37 +442,85 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
     // covers exactly the repetitions a serial loop would have performed.
     // `--record tally` (the default) skips the per-event log; totals and
     // verdicts are identical either way (see docs/RUNTIME.md).
-    let amp = |t: &(dyn triad_protocols::amplify::Repeatable + Sync)| {
-        if record == "tally" {
-            triad_protocols::amplify::run_amplified_tally(&t, &g, &parts, reps, seed)
-                .map(|r| (r.outcome, r.stats))
-        } else {
-            triad_protocols::amplify::run_amplified(&t, &g, &parts, reps, seed)
-                .map(|r| (r.outcome, r.stats))
+    let tester = tester_for(protocol, tuning, d, cost_model, repr)?;
+    let (outcome, stats) = if record == "tally" {
+        triad_protocols::amplify::run_amplified_tally(&&*tester, &g, &parts, reps, seed)
+            .map(|r| (r.outcome, r.stats))?
+    } else {
+        triad_protocols::amplify::run_amplified(&&*tester, &g, &parts, reps, seed)
+            .map(|r| (r.outcome, r.stats))?
+    };
+    Ok(render_test_run(&outcome, &stats))
+}
+
+/// The `--graph-file` arm of `triad test`: open the binary CSR store
+/// (mapped when the platform allows, buffered otherwise), partition its
+/// edges in-process, and run the protocol graph-free over a
+/// [`PreparedInput::from_partition`] — no [`Graph`] is ever built, so
+/// the resident cost is the shares plus whatever pages the kernel keeps
+/// warm.
+fn test_store(
+    args: &ArgMap,
+    path: &str,
+    protocol: &str,
+    tuning: Tuning,
+    cost_model: CostModel,
+    repr: triad_comm::PayloadRepr,
+    seed: u64,
+) -> Result<String, CliError> {
+    if args.flag("breakdown") {
+        return Err(CliError::Usage(
+            "--breakdown needs the in-memory runtime; use --graph/--shares, not --graph-file"
+                .into(),
+        ));
+    }
+    match args.optional("record").unwrap_or("tally") {
+        "tally" => {}
+        "full" => {
+            return Err(CliError::Usage(
+                "--record full replays repetitions over a materialized graph; \
+                 --graph-file runs keep only tallies (use --graph/--shares for \
+                 full transcripts)"
+                    .into(),
+            ))
         }
-    };
-    let (outcome, stats) = match protocol {
-        "unrestricted" => amp(&UnrestrictedTester::new(tuning).with_cost_model(cost_model))?,
-        "low" => amp(&SimultaneousTester::new(
-            tuning,
-            SimProtocolKind::Low { avg_degree: d },
-        ))?,
-        "high" => amp(&SimultaneousTester::new(
-            tuning,
-            SimProtocolKind::High { avg_degree: d },
-        ))?,
-        "oblivious" => amp(&SimultaneousTester::new(tuning, SimProtocolKind::Oblivious))?,
-        "exact" => amp(&triad_protocols::baseline::SendEverything::with_repr(repr))?,
-        other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
-    };
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --record `{other}` (expected tally or full)"
+            )))
+        }
+    }
+    let reps: u32 = args.parsed_or("reps", 1)?;
+    if reps == 0 {
+        return Err(CliError::Usage("--reps must be positive".into()));
+    }
+    let store = CsrStore::open(Path::new(path))?;
+    let d: f64 = args.parsed_or("d", store.average_degree())?;
+    let parts = partition_for(args, &store)?;
+    let input = PreparedInput::from_partition(store.vertex_count(), &parts)?;
+    let tester = tester_for(protocol, tuning, d, cost_model, repr)?;
+    let run = triad_protocols::amplify::run_amplified_prepared(
+        &triad_comm::pool::Pool::current(),
+        &&*tester,
+        &input,
+        reps,
+        seed,
+    )?;
+    Ok(render_test_run(&run.outcome, &run.stats))
+}
+
+fn render_test_run(
+    outcome: &triad_protocols::TestOutcome,
+    stats: &triad_comm::CommStats,
+) -> String {
     let verdict = match outcome.triangle() {
         Some(t) => format!("triangle {t}"),
         None => "accepted (no triangle found)".to_string(),
     };
-    Ok(format!(
+    format!(
         "{verdict}\n{} bits, {} rounds, {} messages, max player message {} bits\n",
         stats.total_bits, stats.rounds, stats.messages, stats.max_player_sent_bits
-    ))
+    )
 }
 
 /// `triad chaos` — run a protocol's amplified sweep under a
@@ -373,14 +528,10 @@ pub fn test(args: &ArgMap) -> Result<String, CliError> {
 /// verdict with per-kind failure, injection and retransmission
 /// accounting. The fault model is documented in `docs/FAULTS.md`.
 pub fn chaos(args: &ArgMap) -> Result<String, CliError> {
-    use triad_protocols::{run_chaos_amplified_tally, ChaosOutcome};
-    let g = load_graph(args.required("graph")?)?;
-    let shares = load_shares(args.required("shares")?, g.vertex_count())?;
-    let parts = Partition::new(shares);
+    use triad_protocols::ChaosOutcome;
     let protocol = args.required("protocol")?;
     let eps: f64 = args.parsed_or("eps", 0.2)?;
     let seed: u64 = args.parsed_or("seed", 0)?;
-    let d: f64 = args.parsed_or("d", g.average_degree())?;
     let reps: u32 = args.parsed_or("reps", 8)?;
     if reps == 0 {
         return Err(CliError::Usage("--reps must be positive".into()));
@@ -406,53 +557,32 @@ pub fn chaos(args: &ArgMap) -> Result<String, CliError> {
     let plan = triad_comm::FaultPlan::new(fault_seed, rates);
     let repr: triad_comm::PayloadRepr = args.parsed_or("payload", Default::default())?;
     let tuning = Tuning::practical(eps).with_repr(repr);
-    let run = match protocol {
-        "unrestricted" => run_chaos_amplified_tally(
-            &UnrestrictedTester::new(tuning),
-            &g,
-            &parts,
+    // `chaos` has no --cost-model flag; CostModel::Coordinator is the
+    // unrestricted tester's own default, so tester_for changes nothing.
+    let run = if let Some(path) = args.optional("graph-file") {
+        let store = CsrStore::open(Path::new(path))?;
+        let d: f64 = args.parsed_or("d", store.average_degree())?;
+        let parts = partition_for(args, &store)?;
+        let input = PreparedInput::from_partition(store.vertex_count(), &parts)?;
+        let tester = tester_for(protocol, tuning, d, CostModel::Coordinator, repr)?;
+        triad_protocols::run_chaos_amplified(
+            &triad_comm::pool::Pool::current(),
+            &&*tester,
+            &input,
             reps,
             seed,
             &plan,
             quorum,
-        )?,
-        "low" => run_chaos_amplified_tally(
-            &SimultaneousTester::new(tuning, SimProtocolKind::Low { avg_degree: d }),
-            &g,
-            &parts,
-            reps,
-            seed,
-            &plan,
-            quorum,
-        )?,
-        "high" => run_chaos_amplified_tally(
-            &SimultaneousTester::new(tuning, SimProtocolKind::High { avg_degree: d }),
-            &g,
-            &parts,
-            reps,
-            seed,
-            &plan,
-            quorum,
-        )?,
-        "oblivious" => run_chaos_amplified_tally(
-            &SimultaneousTester::new(tuning, SimProtocolKind::Oblivious),
-            &g,
-            &parts,
-            reps,
-            seed,
-            &plan,
-            quorum,
-        )?,
-        "exact" => run_chaos_amplified_tally(
-            &triad_protocols::baseline::SendEverything::with_repr(repr),
-            &g,
-            &parts,
-            reps,
-            seed,
-            &plan,
-            quorum,
-        )?,
-        other => return Err(CliError::Usage(format!("unknown --protocol `{other}`"))),
+        )
+    } else {
+        let g = load_graph(args.required("graph")?)?;
+        let shares = load_shares(args.required("shares")?, g.vertex_count())?;
+        let parts = Partition::new(shares);
+        let d: f64 = args.parsed_or("d", g.average_degree())?;
+        let tester = tester_for(protocol, tuning, d, CostModel::Coordinator, repr)?;
+        triad_protocols::run_chaos_amplified_tally(
+            &&*tester, &g, &parts, reps, seed, &plan, quorum,
+        )?
     };
     let verdict = match run.outcome {
         ChaosOutcome::TriangleFound(t) => format!("triangle {t}"),
@@ -559,6 +689,9 @@ pub fn report(args: &ArgMap) -> Result<String, CliError> {
 /// asserting along the way that every worker count produced identical
 /// results (see `docs/RUNTIME.md`, "Sessions and scheduling").
 pub fn bench(args: &ArgMap) -> Result<String, CliError> {
+    if let Some(path) = args.optional("graph-file") {
+        return bench_store(args, path);
+    }
     let sessions: usize = args.required_parsed("sessions")?;
     if sessions == 0 {
         return Err(CliError::Usage(
@@ -576,17 +709,75 @@ pub fn bench(args: &ArgMap) -> Result<String, CliError> {
          (n={}, m={}, k={})\n",
         s.sessions, s.reps, s.distinct_inputs, s.vertices, s.edges, s.players
     );
-    for (w, qps) in triad_bench::sessions::SESSION_WORKER_COUNTS
+    for ((w, qps), eff) in triad_bench::sessions::SESSION_WORKER_COUNTS
         .iter()
         .zip(s.qps)
+        .zip(s.effective_workers)
     {
-        out.push_str(&format!("  {w} worker(s): {qps:>10.1} queries/sec\n"));
+        // Requested counts beyond the machine's cores are clamped
+        // (Pool::clamped); flag the rows where that happened.
+        let clamp = if eff != *w {
+            format!(" [effective {eff}]")
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "  {w} worker(s): {qps:>10.1} queries/sec{clamp}\n"
+        ));
     }
     out.push_str(&format!(
         "cache: {} hits, {} builds; saturation speedup (8w/1w): {:.2}x\n",
         s.cache_hits,
         s.distinct_inputs,
         s.saturation_speedup()
+    ));
+    Ok(out)
+}
+
+/// The `--graph-file` arm of `triad bench`: open a binary CSR container
+/// and time the triangle kernels plus a prepared protocol run directly
+/// over its backing (mapped or buffered), reporting the memory evidence
+/// — file size, owned heap bytes, peak RSS — alongside the timings.
+fn bench_store(args: &ArgMap, path: &str) -> Result<String, CliError> {
+    let reps: usize = args.parsed_or("reps", 3)?;
+    if reps == 0 {
+        return Err(CliError::Usage("--reps must be positive".into()));
+    }
+    let store = CsrStore::open(Path::new(path))?;
+    let pool = triad_comm::pool::Pool::current();
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("store");
+    let t = triad_bench::kernels::time_store_workload(name, &store, reps, &pool);
+    let mut out = format!(
+        "store bench: {path} (n = {}, m = {}, {} file bytes, backing = {})\n",
+        store.vertex_count(),
+        store.edge_count(),
+        store.file_bytes(),
+        if store.mapped() { "mmap" } else { "owned" },
+    );
+    out.push_str(&format!(
+        "  forward kernel:  {:>10.3} ms  ({} triangles)\n",
+        t.kernel_count_ms, t.triangles
+    ));
+    out.push_str(&format!(
+        "  parallel kernel: {:>10.3} ms  ({} thread(s))\n",
+        t.par_count_ms, t.par_threads
+    ));
+    if let Some(ms) = t.sim_test_ms {
+        out.push_str(&format!(
+            "  sim-low test:    {:>10.3} ms  (prepared, graph-free)\n",
+            ms
+        ));
+    }
+    out.push_str(&format!(
+        "  owned heap: {} bytes{}\n",
+        t.store_owned_bytes.unwrap_or(0),
+        match t.peak_rss_mb {
+            Some(rss) => format!("; peak RSS {rss:.1} MiB"),
+            None => String::new(),
+        }
     ));
     Ok(out)
 }

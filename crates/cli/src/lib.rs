@@ -20,6 +20,10 @@ commands:
   gen        generate a graph
              --kind far|gnp|dense-core|mu|clique-path|powerlaw  --n N  --out FILE
              [--d D] [--eps E] [--seed S] [--hubs H] [--gamma G] [--clique C] [--beta B]
+             [--format edges|csr]   (csr streams edges straight into the
+             binary container of docs/IO.md — far/gnp/powerlaw/dense-core
+             never materialize the edge list, so million-edge graphs
+             write in O(n + window) memory)
   partition  split a graph's edges among k players
              --graph FILE  --k K  --out PREFIX
              [--scheme random|duplication|vertex] [--dup-p P] [--seed S]
@@ -27,6 +31,12 @@ commands:
              --graph FILE [--eps E]
   test       run a testing protocol over a partitioned input
              --graph FILE  --shares PREFIX  --protocol unrestricted|low|high|oblivious|exact
+             (or out-of-core: --graph-file FILE.csr --k K
+             [--scheme random|duplication|vertex] [--dup-p P]
+             [--partition-seed S] — opens the binary CSR container of
+             docs/IO.md read-only (mmap when available), partitions its
+             edges in-process, and runs graph-free; --breakdown and
+             --record full need the in-memory path)
              [--eps E] [--seed S] [--cost-model coordinator|blackboard|message-passing]
              [--d D] [--breakdown true]   (per-phase bits; unrestricted only)
              [--reps R]   (amplify: up to R repetitions, first witness wins)
@@ -38,6 +48,8 @@ commands:
   chaos      run a protocol's amplified sweep under deterministic fault
              injection and report the quorum-gated verdict (docs/FAULTS.md)
              --graph FILE  --shares PREFIX  --protocol unrestricted|low|high|oblivious|exact
+             (or out-of-core: --graph-file FILE.csr --k K [--scheme …]
+             [--partition-seed S], exactly as in `test`)
              [--rate R] [--faults omission|mixed] [--fault-seed S]
              [--reps R] [--quorum Q] [--eps E] [--seed S] [--d D]
              [--payload auto|edges|bits]
@@ -75,8 +87,12 @@ commands:
   bench      scheduler saturation microbench: run one batch of N
              sessions over 1/2/4/8-worker pools and print queries/sec
              at each (results asserted identical across worker counts —
-             docs/RUNTIME.md)
+             docs/RUNTIME.md); worker counts beyond the machine's cores
+             are clamped and flagged `[effective W]`
              --sessions N  [--quick]
+             (or out-of-core: --graph-file FILE.csr [--reps R] — time the
+             triangle kernels and one prepared protocol run over the
+             mapped container, with peak-RSS / owned-bytes evidence)
 
 global options:
   --threads N  size of the deterministic worker pool for amplified runs
@@ -330,9 +346,16 @@ mod tests {
                         .unwrap_or_else(|e| panic!("`{line}`: {e}"));
                 }
                 "chaos" => {
-                    for key in ["graph", "shares", "protocol"] {
-                        map.required(key)
+                    map.required("protocol")
+                        .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    if map.optional("graph-file").is_some() {
+                        map.required_parsed::<usize>("k")
                             .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    } else {
+                        for key in ["graph", "shares"] {
+                            map.required(key)
+                                .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                        }
                     }
                 }
                 "serve" => {
@@ -352,8 +375,10 @@ mod tests {
                     }
                 }
                 "bench" => {
-                    map.required_parsed::<usize>("sessions")
-                        .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    if map.optional("graph-file").is_none() {
+                        map.required_parsed::<usize>("sessions")
+                            .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                    }
                 }
                 "gen" | "partition" | "info" | "test" | "count" | "hfree" | "congest" => {}
                 other => panic!("`{line}`: unknown subcommand `{other}`"),
@@ -674,6 +699,81 @@ mod tests {
         }
         let err = run(&argv("connect --addr 127.0.0.1:1")).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_core_pipeline_runs_every_protocol_graph_free() {
+        // gen --format csr writes the docs/IO.md container; test, chaos
+        // and bench then run straight over the mapping (or the buffered
+        // fallback under TRIAD_NO_MMAP) without ever loading an edge
+        // list — and repeated runs are deterministic.
+        let dir = std::env::temp_dir().join(format!("triad-cli-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csr = dir.join("g.csr");
+        let out = run(&argv(&format!(
+            "gen --kind far --n 600 --d 8 --eps 0.2 --seed 1 --format csr --out {}",
+            csr.display()
+        )))
+        .unwrap();
+        assert!(out.contains("binary CSR"), "{out}");
+        for protocol in ["unrestricted", "low", "high", "oblivious", "exact"] {
+            let cmd = format!(
+                "test --graph-file {} --k 4 --protocol {protocol} --eps 0.2 --seed 3 --reps 2",
+                csr.display()
+            );
+            let first = run(&argv(&cmd)).unwrap();
+            assert!(first.contains("bits"), "{protocol}: {first}");
+            assert_eq!(
+                first,
+                run(&argv(&cmd)).unwrap(),
+                "{protocol} not deterministic"
+            );
+        }
+        let chaos_out = run(&argv(&format!(
+            "chaos --graph-file {} --k 3 --scheme vertex --protocol low --reps 4 --rate 0.0",
+            csr.display()
+        )))
+        .unwrap();
+        assert!(chaos_out.contains("failures: 0"), "{chaos_out}");
+        assert!(chaos_out.contains("0 bits retransmitted"), "{chaos_out}");
+        let bench_out = run(&argv(&format!(
+            "bench --graph-file {} --reps 1",
+            csr.display()
+        )))
+        .unwrap();
+        assert!(bench_out.contains("store bench:"), "{bench_out}");
+        assert!(bench_out.contains("forward kernel:"), "{bench_out}");
+        // The in-memory-only switches are refused with a hint, not
+        // silently ignored.
+        for bad in [
+            format!(
+                "test --graph-file {} --k 4 --protocol unrestricted --breakdown",
+                csr.display()
+            ),
+            format!(
+                "test --graph-file {} --k 4 --protocol low --record full",
+                csr.display()
+            ),
+            format!("test --graph-file {} --k 0 --protocol low", csr.display()),
+            format!(
+                "gen --kind far --n 60 --format json --out {}",
+                dir.join("x").display()
+            ),
+        ] {
+            let err = run(&argv(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "`{bad}`: {err}");
+        }
+        // A truncated container is rejected up front (CliError::Store).
+        let bytes = std::fs::read(&csr).unwrap();
+        let cut = dir.join("cut.csr");
+        std::fs::write(&cut, &bytes[..bytes.len() / 2]).unwrap();
+        let err = run(&argv(&format!(
+            "test --graph-file {} --k 4 --protocol low",
+            cut.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -107,6 +107,19 @@ impl Pool {
         Pool::new(configured_threads())
     }
 
+    /// A pool of `requested` workers clamped to the machine's
+    /// [`std::thread::available_parallelism`]. Oversubscribing a scoped
+    /// pool never helps CPU-bound work — extra workers just contend for
+    /// the same cores and the context switches show up as negative
+    /// scaling in throughput benchmarks — so saturation sweeps size their
+    /// pools through this instead of [`Pool::new`].
+    pub fn clamped(requested: usize) -> Pool {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Pool::new(requested.min(hw))
+    }
+
     /// Number of worker threads this pool uses.
     pub fn threads(&self) -> usize {
         self.threads
@@ -262,6 +275,16 @@ mod tests {
         assert_eq!(Pool::serial().threads(), 1);
         assert_eq!(Pool::new(7).threads(), 7);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn clamped_never_oversubscribes_the_machine() {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(Pool::clamped(1).threads(), 1);
+        assert_eq!(Pool::clamped(usize::MAX).threads(), hw);
+        assert!(Pool::clamped(0).threads() >= 1);
     }
 
     #[test]

@@ -57,18 +57,32 @@ impl ChungLu {
     /// Draws one instance (exact pairwise Bernoulli draws; `O(n²)` —
     /// intended for the `n ≤ 10⁴` experiment regime).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        self.emit(rng, &mut |e| {
+            b.add_edge(e);
+        });
+        b.build()
+    }
+
+    /// Number of vertices a sample will have.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// The sampling core behind [`ChungLu::sample`], emitting edges
+    /// instead of building — shared with [`crate::store::ChungLuStream`]
+    /// so both consume the RNG identically under the same seed.
+    pub(crate) fn emit<R: Rng + ?Sized>(&self, rng: &mut R, emit: &mut dyn FnMut(Edge)) {
         let w = self.weights();
         let total: f64 = w.iter().sum();
-        let mut b = GraphBuilder::new(self.n);
         for u in 0..self.n {
             for v in (u + 1)..self.n {
                 let p = (w[u] * w[v] / total).min(1.0);
                 if rng.gen_bool(p) {
-                    b.add_edge(Edge::new(VertexId(u as u32), VertexId(v as u32)));
+                    emit(Edge::new(VertexId(u as u32), VertexId(v as u32)));
                 }
             }
         }
-        b.build()
     }
 }
 

@@ -15,16 +15,28 @@ use rand::Rng;
 pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
     assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
     let mut b = GraphBuilder::new(n);
+    emit_gnp(n, p, rng, &mut |e| {
+        b.add_edge(e);
+    });
+    b.build()
+}
+
+/// The `G(n, p)` sampling core, emitting edges instead of building.
+///
+/// Shared verbatim between [`gnp`] and the out-of-core
+/// [`crate::store::GnpStream`] so both consume the RNG identically and
+/// produce the same edge set under the same seed.
+pub(crate) fn emit_gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R, emit: &mut dyn FnMut(Edge)) {
     if n < 2 || p == 0.0 {
-        return b.build();
+        return;
     }
     if p >= 1.0 {
         for u in 0..n as u32 {
             for v in (u + 1)..n as u32 {
-                b.add_edge(Edge::new(VertexId(u), VertexId(v)));
+                emit(Edge::new(VertexId(u), VertexId(v)));
             }
         }
-        return b.build();
+        return;
     }
     // Walk pair indices 0..n(n-1)/2 with geometric jumps.
     let total = n as u64 * (n as u64 - 1) / 2;
@@ -41,13 +53,12 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
             break;
         }
         let (a, bb) = pair_from_index(n as u64, idx);
-        b.add_edge(Edge::new(VertexId(a as u32), VertexId(bb as u32)));
+        emit(Edge::new(VertexId(a as u32), VertexId(bb as u32)));
         idx += 1;
         if idx >= total {
             break;
         }
     }
-    b.build()
 }
 
 /// Maps a linear index in `0..n(n-1)/2` to the corresponding unordered pair

@@ -43,20 +43,93 @@ pub fn shifted_triangles(n: usize, shifts: usize) -> Result<Graph, GraphError> {
         )));
     }
     let mut b = GraphBuilder::with_capacity(n, 3 * shifts * q);
+    emit_shifted(n, shifts, &mut |e| {
+        b.add_edge(e);
+    });
+    Ok(b.build())
+}
+
+/// Emits the three edges of every planted triangle of
+/// [`shifted_triangles`] (duplicates possible among `A–C` edges when
+/// `q` is even and `shifts > q/2`; consumers deduplicate). Shared with
+/// [`crate::store::FarStream`]. No RNG: the construction is
+/// deterministic.
+pub(crate) fn emit_shifted(n: usize, shifts: usize, emit: &mut dyn FnMut(Edge)) {
+    let q = n / 3;
     for s in 0..shifts {
         for i in 0..q {
             let a = VertexId(i as u32);
             let bb = VertexId((q + (i + s) % q) as u32);
             let c = VertexId((2 * q + (i + 2 * s) % q) as u32);
-            b.add_triangle(a, bb, c);
+            emit(Edge::new(a, bb));
+            emit(Edge::new(bb, c));
+            emit(Edge::new(a, c));
         }
     }
-    Ok(b.build())
 }
 
 /// Number of planted triangles produced by [`shifted_triangles`].
 pub fn shifted_triangle_count(n: usize, shifts: usize) -> usize {
     shifts * (n / 3)
+}
+
+/// Closed-form membership test for [`shifted_triangles`]`(n, shifts)`:
+/// returns whether `e` is an edge of that graph **without building it**.
+///
+/// Derivation, with `q = n/3`, parts `A = [0, q)`, `B = [q, 2q)`,
+/// `C = [2q, 3q)` and triangles `(A[i], B[(i+s) % q], C[(i+2s) % q])`
+/// for `s < shifts`:
+///
+/// * `A[i]–B[j]` exists iff `(j − i) mod q < shifts` (solve for `s`);
+/// * `B[j]–C[l]` exists iff `(l − j) mod q < shifts` (the difference of
+///   the two offsets is again `s`);
+/// * `A[i]–C[l]` exists iff some `s < shifts` solves `2s ≡ l − i
+///   (mod q)`: for odd `q` the unique solution is `s = r·(q+1)/2 mod q`
+///   with `r = (l − i) mod q`; for even `q` there are solutions only
+///   for even `r`, namely `s = r/2` and `s = r/2 + q/2`.
+///
+/// Exhaustively cross-checked against the materialized graph in this
+/// module's tests.
+pub fn shifted_has_edge(n: usize, shifts: usize, e: Edge) -> bool {
+    let q = n / 3;
+    if q == 0 || shifts == 0 {
+        return false;
+    }
+    let (u, v) = (e.u().index(), e.v().index());
+    if v >= 3 * q {
+        return false;
+    }
+    let r = (v % q + q - u % q) % q;
+    match (u / q, v / q) {
+        (0, 1) | (1, 2) => r < shifts,
+        (0, 2) => {
+            if q % 2 == 1 {
+                (r * q.div_ceil(2)) % q < shifts
+            } else {
+                r.is_multiple_of(2) && (r / 2 < shifts || r / 2 + q / 2 < shifts)
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Closed-form edge count of [`shifted_triangles`]`(n, shifts)`.
+///
+/// The `A–B` and `B–C` classes hold `q·shifts` distinct edges each; the
+/// `A–C` class holds `q · |{2s mod q : s < shifts}|` — the residues are
+/// all distinct when `q` is odd, and collapse pairwise (`s` with
+/// `s + q/2`) when `q` is even, leaving `min(shifts, q/2)` per row.
+pub fn shifted_edge_count(n: usize, shifts: usize) -> usize {
+    let q = n / 3;
+    if q == 0 || shifts == 0 {
+        return 0;
+    }
+    let dac = if q % 2 == 1 {
+        shifts
+    } else {
+        shifts.min(q / 2)
+    };
+    q * (2 * shifts + dac)
 }
 
 /// Builds an ε-far graph with `n` vertices and average degree ≈ `d`.
@@ -76,6 +149,25 @@ pub fn far_graph<R: Rng + ?Sized>(
     epsilon: f64,
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
+    let (shifts, target_edges) = far_plan(n, d, epsilon)?;
+    let base = shifted_triangles(n, shifts)?;
+    if base.edge_count() >= target_edges {
+        return Ok(base);
+    }
+    let missing = target_edges - base.edge_count();
+    let mut extra = Vec::with_capacity(missing);
+    emit_far_extras(n, missing, &|e| base.has_edge(e), rng, &mut |e| {
+        extra.push(e)
+    });
+    extra.sort_unstable();
+    extra.dedup();
+    Ok(base.union_with(&extra))
+}
+
+/// Parameter resolution shared by [`far_graph`] and
+/// [`crate::store::FarStream`]: validates `(n, d, ε)` and returns the
+/// `(shifts, target_edges)` pair both construct from.
+pub(crate) fn far_plan(n: usize, d: f64, epsilon: f64) -> Result<(usize, usize), GraphError> {
     if !(0.0..=1.0 / 3.0).contains(&epsilon) {
         return Err(GraphError::InvalidParameters(format!(
             "epsilon={epsilon} outside (0, 1/3]"
@@ -94,14 +186,26 @@ pub fn far_graph<R: Rng + ?Sized>(
     // the feasible range.
     let mut shifts = ((1.3 * epsilon * target_edges as f64) / q as f64).ceil() as usize;
     shifts = shifts.clamp(1, q.min(target_edges / (3 * q).max(1)).max(1));
-    let base = shifted_triangles(n, shifts)?;
-    if base.edge_count() >= target_edges {
-        return Ok(base);
-    }
-    let missing = target_edges - base.edge_count();
-    let mut extra = Vec::with_capacity(missing);
+    Ok((shifts, target_edges))
+}
+
+/// The noise-padding loop of [`far_graph`], emitting accepted extra
+/// edges (duplicates among them possible; consumers deduplicate).
+///
+/// `is_base` decides membership in the planted base: `far_graph` probes
+/// the materialized graph, the stream uses [`shifted_has_edge`]. As
+/// long as the two agree — pinned exhaustively in tests — both callers
+/// consume the RNG identically and emit the same edge sequence.
+pub(crate) fn emit_far_extras<R: Rng + ?Sized>(
+    n: usize,
+    missing: usize,
+    is_base: &dyn Fn(Edge) -> bool,
+    rng: &mut R,
+    emit: &mut dyn FnMut(Edge),
+) {
+    let mut emitted = 0usize;
     let mut guard = 0usize;
-    while extra.len() < missing && guard < 50 * missing + 1000 {
+    while emitted < missing && guard < 50 * missing + 1000 {
         guard += 1;
         let a = rng.gen_range(0..n as u32);
         let b = rng.gen_range(0..n as u32);
@@ -109,13 +213,11 @@ pub fn far_graph<R: Rng + ?Sized>(
             continue;
         }
         let e = Edge::new(VertexId(a), VertexId(b));
-        if !base.has_edge(e) {
-            extra.push(e);
+        if !is_base(e) {
+            emitted += 1;
+            emit(e);
         }
     }
-    extra.sort_unstable();
-    extra.dedup();
-    Ok(base.union_with(&extra))
 }
 
 /// Plants `copies` vertex-disjoint copies of a pattern `H` on the first
@@ -207,22 +309,37 @@ pub fn dense_core<R: Rng + ?Sized>(
             "need 1 <= h and n-h >= 4 (n={n}, h={h})"
         )));
     }
-    let leaves: Vec<VertexId> = (h..n).map(|i| VertexId(i as u32)).collect();
     let hubs: Vec<VertexId> = (0..h).map(|i| VertexId(i as u32)).collect();
     let mut b = GraphBuilder::new(n);
-    let mut perm = leaves.clone();
-    for &hub in &hubs {
-        perm.shuffle(rng);
-        for pair in perm.chunks_exact(2) {
-            b.add_edge(Edge::new(hub, pair[0]));
-            b.add_edge(Edge::new(hub, pair[1]));
-            b.add_edge(Edge::new(pair[0], pair[1]));
-        }
-    }
+    emit_dense_core(n, h, rng, &mut |e| {
+        b.add_edge(e);
+    });
     Ok(DenseCore {
         graph: b.build(),
         hubs,
     })
+}
+
+/// The sampling core behind [`dense_core`], emitting edges instead of
+/// building (duplicate leaf–leaf closers possible when two hubs match
+/// the same pair; consumers deduplicate). Shared with
+/// [`crate::store::DenseCoreStream`] so both consume the RNG
+/// identically under the same seed. Assumes `1 ≤ h` and `n − h ≥ 4`.
+pub(crate) fn emit_dense_core<R: Rng + ?Sized>(
+    n: usize,
+    h: usize,
+    rng: &mut R,
+    emit: &mut dyn FnMut(Edge),
+) {
+    let mut perm: Vec<VertexId> = (h..n).map(|i| VertexId(i as u32)).collect();
+    for hub in 0..h as u32 {
+        perm.shuffle(rng);
+        for pair in perm.chunks_exact(2) {
+            emit(Edge::new(VertexId(hub), pair[0]));
+            emit(Edge::new(VertexId(hub), pair[1]));
+            emit(Edge::new(pair[0], pair[1]));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +464,48 @@ mod tests {
         use crate::subgraphs::Pattern;
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         assert!(planted_copies(10, &Pattern::clique(4), 5, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn analytic_membership_matches_materialized_exhaustively() {
+        // Every part-size parity and every shift count up to q, against
+        // every vertex pair — the closed forms must agree bit-for-bit
+        // with the built graph (FarStream's RNG replay depends on it).
+        for n in [3usize, 6, 9, 10, 12, 15, 16, 21, 30, 31] {
+            let q = n / 3;
+            for shifts in 0..=q {
+                let g = shifted_triangles(n, shifts).unwrap();
+                assert_eq!(
+                    g.edge_count(),
+                    shifted_edge_count(n, shifts),
+                    "edge count n={n} shifts={shifts}"
+                );
+                for u in 0..n as u32 {
+                    for v in (u + 1)..n as u32 {
+                        let e = Edge::new(VertexId(u), VertexId(v));
+                        assert_eq!(
+                            g.has_edge(e),
+                            shifted_has_edge(n, shifts, e),
+                            "membership n={n} shifts={shifts} edge {u}-{v}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_membership_outside_the_parts_is_false() {
+        // n not divisible by 3 leaves 3q..n isolated.
+        let n = 11;
+        let shifts = 2;
+        assert!(!shifted_has_edge(
+            n,
+            shifts,
+            Edge::new(VertexId(0), VertexId(10))
+        ));
+        assert!(!shifted_has_edge(3, 0, Edge::new(VertexId(0), VertexId(1))));
+        assert_eq!(shifted_edge_count(2, 1), 0);
     }
 
     #[test]

@@ -129,12 +129,6 @@ impl Graph {
         self.offsets[v.index()]
     }
 
-    /// Total number of CSR adjacency slots (`2m`).
-    #[inline]
-    pub(crate) fn adj_len(&self) -> usize {
-        self.adj.len()
-    }
-
     /// Position of `e` in the canonical sorted edge array, if present.
     #[inline]
     pub(crate) fn edge_index(&self, e: Edge) -> Option<usize> {

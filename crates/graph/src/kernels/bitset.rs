@@ -28,7 +28,7 @@
 //! rank. The equivalence is pinned by the tests below and leaned on by
 //! the payload differential suite (`tests/payload_differential.rs`).
 
-use crate::{Edge, Graph, Triangle, VertexId};
+use crate::{AsCsr, Edge, Triangle, VertexId};
 
 /// Words needed for `n` bits.
 #[inline]
@@ -267,7 +267,7 @@ impl EdgeBitset {
     }
 
     /// Degree of every vertex under this edge set (both endpoints of
-    /// each edge are counted, exactly as [`Graph::degree`] would).
+    /// each edge are counted, exactly as [`Graph::degree`](crate::Graph::degree) would).
     pub fn degrees(&self) -> Vec<usize> {
         let mut deg = vec![0usize; self.n];
         for e in self.edges() {
@@ -428,14 +428,18 @@ pub struct BitsetAdjacency {
 
 impl BitsetAdjacency {
     /// Builds the packed adjacency of `g`.
-    pub fn build(g: &Graph) -> BitsetAdjacency {
+    pub fn build<G: AsCsr + ?Sized>(g: &G) -> BitsetAdjacency {
         let degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
-        Self::assemble(g.vertex_count(), &degrees, g.edges().iter().copied())
+        Self::assemble(
+            g.vertex_count(),
+            &degrees,
+            (0..g.edge_count()).map(|i| g.edge_at(i)),
+        )
     }
 
     /// Builds the packed adjacency of an [`EdgeBitset`], ranking by the
     /// degrees the edge set itself induces — identical to
-    /// [`BitsetAdjacency::build`] on a [`Graph`] holding the same edges.
+    /// [`BitsetAdjacency::build`] on a [`Graph`](crate::Graph) holding the same edges.
     pub fn from_edge_bitset(set: &EdgeBitset) -> BitsetAdjacency {
         Self::assemble(set.n(), &set.degrees(), set.edges())
     }
@@ -538,8 +542,8 @@ impl BitsetAdjacency {
     }
 
     /// Counts all triangles of `g` (whose adjacency this was built from).
-    pub fn count_all(&self, g: &Graph) -> u64 {
-        self.count_edges(g.edges().iter().copied())
+    pub fn count_all<G: AsCsr + ?Sized>(&self, g: &G) -> u64 {
+        self.count_edges((0..g.edge_count()).map(|i| g.edge_at(i)))
     }
 
     /// Returns the triangle closing the first base edge of `edges` (in
@@ -558,7 +562,7 @@ impl BitsetAdjacency {
 }
 
 /// Returns some triangle of `set`, or `None` if triangle-free — the
-/// **same witness** `kernels::find_triangle` returns on a [`Graph`]
+/// **same witness** `kernels::find_triangle` returns on a [`Graph`](crate::Graph)
 /// holding the same edges (pinned by tests), in `O(m·n/64)` word work.
 pub fn find_triangle(set: &EdgeBitset) -> Option<Triangle> {
     BitsetAdjacency::from_edge_bitset(set).find_triangle_in(set.edges())
@@ -573,6 +577,7 @@ pub fn count_triangles(set: &EdgeBitset) -> u64 {
 mod tests {
     use super::*;
     use crate::kernels::{self, naive, Forward};
+    use crate::Graph;
 
     /// Deterministic pseudo-random edge pairs (splitmix-style), dense
     /// enough to exercise row promotion.

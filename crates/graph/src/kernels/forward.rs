@@ -18,14 +18,16 @@
 //! Schank–Wagner; the same bound "Tri, Tri again" exploits in the
 //! distributed setting).
 
-use crate::{Graph, Triangle, VertexId};
+use crate::{AsCsr, Triangle, VertexId};
 use std::ops::Range;
 
-/// The degree-ordered forward adjacency of a [`Graph`].
+/// The degree-ordered forward adjacency of any CSR backing.
 ///
-/// Built once in `O(n + m log m)`; queries then run over forward lists
-/// only. The structure borrows nothing — edge iteration still goes
-/// through the host graph so sharded callers can slice `g.edges()`.
+/// Built once in `O(n + m log m)` from anything implementing [`AsCsr`] —
+/// a heap [`Graph`](crate::Graph) or an mmap-backed [`crate::store::CsrStore`]; queries
+/// then run over forward lists only. The structure borrows nothing — edge
+/// iteration still goes through the host backing so sharded callers can
+/// walk canonical edge ranges.
 #[derive(Debug, Clone)]
 pub struct Forward {
     /// `rank[v]` = position of vertex `v` in the degree-ascending order.
@@ -40,7 +42,7 @@ pub struct Forward {
 
 impl Forward {
     /// Builds the forward adjacency of `g`.
-    pub fn build(g: &Graph) -> Forward {
+    pub fn build<G: AsCsr + ?Sized>(g: &G) -> Forward {
         let n = g.vertex_count();
         let mut order: Vec<VertexId> = g.vertices().collect();
         order.sort_unstable_by_key(|v| (g.degree(*v), *v));
@@ -50,10 +52,10 @@ impl Forward {
         }
         // Forward out-degrees, then prefix sums, then fill + sort.
         let mut counts = vec![0usize; n];
-        for e in g.edges() {
+        g.for_each_edge(&mut |_, e| {
             let (ru, rv) = (rank[e.u().index()], rank[e.v().index()]);
             counts[ru.min(rv) as usize] += 1;
-        }
+        });
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
@@ -63,12 +65,12 @@ impl Forward {
         }
         let mut cursor = offsets.clone();
         let mut fwd = vec![0u32; acc];
-        for e in g.edges() {
+        g.for_each_edge(&mut |_, e| {
             let (ru, rv) = (rank[e.u().index()], rank[e.v().index()]);
             let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
             fwd[cursor[lo as usize]] = hi;
             cursor[lo as usize] += 1;
-        }
+        });
         for r in 0..n {
             fwd[offsets[r]..offsets[r + 1]].sort_unstable();
         }
@@ -103,25 +105,27 @@ impl Forward {
     /// Counts the triangles whose base edge (the edge joining the two
     /// lowest-rank vertices) lies in `g.edges()[range]`. Summing over a
     /// partition of `0..m` counts every triangle exactly once.
-    pub fn count_range(&self, g: &Graph, range: Range<usize>) -> u64 {
+    pub fn count_range<G: AsCsr + ?Sized>(&self, g: &G, range: Range<usize>) -> u64 {
         let mut count = 0u64;
-        for e in &g.edges()[range] {
+        g.for_each_edge_in(range, &mut |_, e| {
             let (a, b) = self.oriented_lists(e.u(), e.v());
             count += merge_count(a, b);
-        }
+            true
+        });
         count
     }
 
     /// Enumerates the triangles whose base edge lies in
     /// `g.edges()[range]`, in (edge index, closing rank) order.
-    pub fn enumerate_range(&self, g: &Graph, range: Range<usize>) -> Vec<Triangle> {
+    pub fn enumerate_range<G: AsCsr + ?Sized>(&self, g: &G, range: Range<usize>) -> Vec<Triangle> {
         let mut out = Vec::new();
-        for e in &g.edges()[range] {
+        g.for_each_edge_in(range, &mut |_, e| {
             let (a, b) = self.oriented_lists(e.u(), e.v());
             merge_common(a, b, |r| {
                 out.push(Triangle::new(e.u(), e.v(), self.order[r as usize]));
             });
-        }
+            true
+        });
         out
     }
 
@@ -129,14 +133,19 @@ impl Forward {
     /// triangle closing the first base edge (in canonical edge order)
     /// with a non-empty forward intersection, at its smallest closing
     /// rank — a deterministic function of the graph.
-    pub fn find_triangle(&self, g: &Graph) -> Option<Triangle> {
-        for e in g.edges() {
+    pub fn find_triangle<G: AsCsr + ?Sized>(&self, g: &G) -> Option<Triangle> {
+        let mut found = None;
+        g.for_each_edge_in(0..g.edge_count(), &mut |_, e| {
             let (a, b) = self.oriented_lists(e.u(), e.v());
-            if let Some(r) = merge_first(a, b) {
-                return Some(Triangle::new(e.u(), e.v(), self.order[r as usize]));
+            match merge_first(a, b) {
+                Some(r) => {
+                    found = Some(Triangle::new(e.u(), e.v(), self.order[r as usize]));
+                    false
+                }
+                None => true,
             }
-        }
-        None
+        });
+        found
     }
 
     /// The forward lists of an edge's endpoints (in either order — the
@@ -194,6 +203,7 @@ fn merge_common(a: &[u32], b: &[u32], mut hit: impl FnMut(u32)) {
 mod tests {
     use super::*;
     use crate::kernels::naive;
+    use crate::Graph;
 
     fn k5() -> Graph {
         let mut pairs = Vec::new();

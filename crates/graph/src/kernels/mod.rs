@@ -42,7 +42,7 @@ pub use forward::Forward;
 pub use par::{count_triangles_par, triangle_edges_par, PAR_EDGE_CHUNK};
 pub use view::DeletionView;
 
-use crate::{Edge, Graph, Triangle, VertexId};
+use crate::{AsCsr, Edge, Graph, Triangle, VertexId};
 
 /// Index-ordered parallel map, the only capability the parallel kernels
 /// need from an execution engine.
@@ -106,14 +106,16 @@ impl Adjacency for Graph {
 }
 
 /// Returns some triangle of `g`, or `None` if triangle-free, in
-/// `O(m^{3/2})` worst case via the forward kernel.
+/// `O(m^{3/2})` worst case via the forward kernel. Runs over any
+/// [`AsCsr`] backing — heap graph or mmap-backed store — with the same
+/// witness.
 ///
 /// The witness is a deterministic function of the graph (the triangle
 /// whose base edge — the edge joining its two lowest-*rank* vertices —
 /// comes first in canonical edge order), but it is **not** the same
 /// witness the naive edge scan returns; callers that need a triangle,
 /// not a specific triangle, are unaffected.
-pub fn find_triangle(g: &Graph) -> Option<Triangle> {
+pub fn find_triangle<G: AsCsr + ?Sized>(g: &G) -> Option<Triangle> {
     Forward::build(g).find_triangle(g)
 }
 
@@ -130,7 +132,7 @@ pub fn dense_kernel_wins(edges: usize, vertices: usize) -> bool {
 /// inputs, word-parallel AND-popcount ([`BitsetAdjacency`]) past the
 /// [`dense_kernel_wins`] density gate. Both kernels partition triangles
 /// by base edge, so the count is identical on either side of the gate.
-pub fn count_triangles(g: &Graph) -> u64 {
+pub fn count_triangles<G: AsCsr + ?Sized>(g: &G) -> u64 {
     if dense_kernel_wins(g.edge_count(), g.vertex_count()) {
         BitsetAdjacency::build(g).count_all(g)
     } else {
@@ -140,7 +142,7 @@ pub fn count_triangles(g: &Graph) -> u64 {
 
 /// Enumerates all triangles of `g`, each exactly once, in canonical
 /// (sorted) order, in `O(m^{3/2} + t)` via the forward kernel.
-pub fn enumerate_triangles(g: &Graph) -> Vec<Triangle> {
+pub fn enumerate_triangles<G: AsCsr + ?Sized>(g: &G) -> Vec<Triangle> {
     let mut out = Forward::build(g).enumerate_range(g, 0..g.edge_count());
     out.sort_unstable();
     out
@@ -148,7 +150,7 @@ pub fn enumerate_triangles(g: &Graph) -> Vec<Triangle> {
 
 /// All edges of `g` participating in at least one triangle, in canonical
 /// order — the serial instantiation of [`triangle_edges_par`].
-pub fn triangle_edges(g: &Graph) -> Vec<Edge> {
+pub fn triangle_edges<G: AsCsr + ?Sized>(g: &G) -> Vec<Edge> {
     triangle_edges_par(g, &SerialExecutor)
 }
 

@@ -11,7 +11,7 @@
 //! `tests/kernels_differential.rs`.
 
 use crate::kernels::{Forward, ParallelExecutor};
-use crate::{Edge, Graph};
+use crate::{AsCsr, Edge};
 
 /// Edges per parallel shard. Fixed (not derived from the thread count)
 /// so the shard decomposition — and hence any per-shard observable — is
@@ -32,7 +32,7 @@ fn shard_range(s: usize, m: usize) -> std::ops::Range<usize> {
 /// Counts triangles of `g` with per-shard forward intersections run on
 /// `exec` — equal to [`crate::kernels::count_triangles`] (and to the
 /// naive count) at any thread count.
-pub fn count_triangles_par<E: ParallelExecutor>(g: &Graph, exec: &E) -> u64 {
+pub fn count_triangles_par<G: AsCsr + ?Sized, E: ParallelExecutor>(g: &G, exec: &E) -> u64 {
     let fwd = Forward::build(g);
     let m = g.edge_count();
     exec.ordered_map_items(shard_count(m), |s| fwd.count_range(g, shard_range(s, m)))
@@ -47,7 +47,7 @@ pub fn count_triangles_par<E: ParallelExecutor>(g: &Graph, exec: &E) -> u64 {
 /// marks all three edges of each; the marks are OR-ed and emitted in
 /// canonical order, so the result equals the naive per-edge filter
 /// (`kernels::naive::triangle_edges`) bit for bit.
-pub fn triangle_edges_par<E: ParallelExecutor>(g: &Graph, exec: &E) -> Vec<Edge> {
+pub fn triangle_edges_par<G: AsCsr + ?Sized, E: ParallelExecutor>(g: &G, exec: &E) -> Vec<Edge> {
     let fwd = Forward::build(g);
     let m = g.edge_count();
     let shard_marks = exec.ordered_map_items(shard_count(m), |s| {
@@ -66,18 +66,20 @@ pub fn triangle_edges_par<E: ParallelExecutor>(g: &Graph, exec: &E) -> Vec<Edge>
             *slot |= hit;
         }
     }
-    g.edges()
-        .iter()
-        .zip(marked)
-        .filter(|(_, hit)| *hit)
-        .map(|(e, _)| *e)
-        .collect()
+    let mut out = Vec::new();
+    g.for_each_edge(&mut |i, e| {
+        if marked[i] {
+            out.push(e);
+        }
+    });
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kernels::{naive, SerialExecutor};
+    use crate::Graph;
 
     fn book_plus_pendant() -> Graph {
         Graph::from_edges(

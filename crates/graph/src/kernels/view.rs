@@ -14,12 +14,15 @@
 //! `tests/kernels_differential.rs`).
 
 use crate::kernels::Adjacency;
-use crate::{Edge, Graph, Triangle, VertexId};
+use crate::{AsCsr, Edge, Graph, Triangle, VertexId};
 
-/// A borrowed graph plus tombstones: O(1)-ish edge deletion, no rebuild.
+/// A borrowed CSR backing plus tombstones: O(1)-ish edge deletion, no
+/// rebuild. Generic over [`AsCsr`] (defaulting to [`Graph`]), so the
+/// greedy loops run unchanged over an mmap-backed
+/// [`crate::store::CsrStore`].
 #[derive(Debug, Clone)]
-pub struct DeletionView<'g> {
-    g: &'g Graph,
+pub struct DeletionView<'g, G: AsCsr + ?Sized = Graph> {
+    g: &'g G,
     /// Liveness of each flat CSR adjacency slot.
     slot_alive: Vec<bool>,
     /// Liveness of each canonical edge (parallel to `g.edges()`).
@@ -30,9 +33,9 @@ pub struct DeletionView<'g> {
     live: usize,
 }
 
-impl<'g> DeletionView<'g> {
+impl<'g, G: AsCsr + ?Sized> DeletionView<'g, G> {
     /// A view of `g` with every edge alive.
-    pub fn new(g: &'g Graph) -> Self {
+    pub fn new(g: &'g G) -> Self {
         DeletionView {
             g,
             slot_alive: vec![true; g.adj_len()],
@@ -42,8 +45,8 @@ impl<'g> DeletionView<'g> {
         }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
+    /// The underlying backing.
+    pub fn graph(&self) -> &'g G {
         self.g
     }
 
@@ -139,12 +142,11 @@ impl<'g> DeletionView<'g> {
 
     /// Live edges in canonical order.
     pub fn alive_edges(&self) -> impl Iterator<Item = Edge> + '_ {
-        self.g
-            .edges()
+        self.edge_alive
             .iter()
-            .zip(&self.edge_alive)
+            .enumerate()
             .filter(|(_, alive)| **alive)
-            .map(|(e, _)| *e)
+            .map(|(i, _)| self.g.edge_at(i))
     }
 
     /// Smallest live common neighbor of `u` and `v` — the value the
@@ -184,11 +186,10 @@ impl<'g> DeletionView<'g> {
     /// triangle is found at is *not* skipped — it may sit in further
     /// triangles after one of the other two edges is deleted.
     pub fn find_triangle_from(&self, cursor: &mut usize) -> Option<Triangle> {
-        let edges = self.g.edges();
-        while *cursor < edges.len() {
-            let e = edges[*cursor];
+        let m = self.edge_alive.len();
+        while *cursor < m {
             if self.edge_alive[*cursor] {
-                let (u, v) = e.endpoints();
+                let (u, v) = self.g.edge_at(*cursor).endpoints();
                 if let Some(w) = self.first_common_alive_neighbor(u, v) {
                     return Some(Triangle::new(u, v, w));
                 }
@@ -207,7 +208,7 @@ impl<'g> DeletionView<'g> {
     }
 }
 
-impl Adjacency for DeletionView<'_> {
+impl<G: AsCsr + ?Sized> Adjacency for DeletionView<'_, G> {
     fn vertex_count(&self) -> usize {
         self.g.vertex_count()
     }

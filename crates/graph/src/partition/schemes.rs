@@ -1,5 +1,5 @@
 use super::Partition;
-use crate::{triangles, Graph};
+use crate::{triangles, AsCsr, Graph};
 use rand::Rng;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -9,12 +9,16 @@ use std::hash::{Hash, Hasher};
 /// # Panics
 ///
 /// Panics if `k == 0`.
-pub fn random_disjoint<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Partition {
+pub fn random_disjoint<G: AsCsr + ?Sized, R: Rng + ?Sized>(
+    g: &G,
+    k: usize,
+    rng: &mut R,
+) -> Partition {
     assert!(k >= 1, "need at least one player");
     let mut shares = vec![Vec::new(); k];
-    for e in g.edges() {
-        shares[rng.gen_range(0..k)].push(*e);
-    }
+    g.for_each_edge(&mut |_, e| {
+        shares[rng.gen_range(0..k)].push(e);
+    });
     Partition::new(shares)
 }
 
@@ -25,8 +29,8 @@ pub fn random_disjoint<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Par
 /// # Panics
 ///
 /// Panics if `k == 0` or `dup_p` is outside `[0, 1]`.
-pub fn with_duplication<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn with_duplication<G: AsCsr + ?Sized, R: Rng + ?Sized>(
+    g: &G,
     k: usize,
     dup_p: f64,
     rng: &mut R,
@@ -34,14 +38,14 @@ pub fn with_duplication<R: Rng + ?Sized>(
     assert!(k >= 1, "need at least one player");
     assert!((0.0..=1.0).contains(&dup_p), "dup_p must be in [0,1]");
     let mut shares = vec![Vec::new(); k];
-    for e in g.edges() {
+    g.for_each_edge(&mut |_, e| {
         let owner = rng.gen_range(0..k);
         for (j, share) in shares.iter_mut().enumerate() {
             if j == owner || rng.gen_bool(dup_p) {
-                share.push(*e);
+                share.push(e);
             }
         }
-    }
+    });
     Partition::new(shares)
 }
 
@@ -83,14 +87,14 @@ pub fn adversarial_triangle_split<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mu
 /// # Panics
 ///
 /// Panics if `k == 0`.
-pub fn by_vertex(g: &Graph, k: usize) -> Partition {
+pub fn by_vertex<G: AsCsr + ?Sized>(g: &G, k: usize) -> Partition {
     assert!(k >= 1, "need at least one player");
     let mut shares = vec![Vec::new(); k];
-    for e in g.edges() {
+    g.for_each_edge(&mut |_, e| {
         let mut h = DefaultHasher::new();
         e.u().hash(&mut h);
-        shares[(h.finish() % k as u64) as usize].push(*e);
-    }
+        shares[(h.finish() % k as u64) as usize].push(e);
+    });
     Partition::new(shares)
 }
 

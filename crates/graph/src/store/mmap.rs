@@ -1,0 +1,193 @@
+//! Hand-rolled read-only memory mapping — the zero-copy backing of
+//! [`super::CsrStore`] on little-endian unix targets.
+//!
+//! This is the one place in `triad-graph` that uses `unsafe`: raw
+//! `extern "C"` declarations of `mmap(2)`/`munmap(2)` (no registry
+//! access, so no `libc` crate) plus the slice casts that reinterpret the
+//! mapped little-endian file bytes as `&[u64]`/`&[u32]`. Both casts are
+//! sound by construction:
+//!
+//! * `mmap` returns a page-aligned base, and the `docs/IO.md` layout
+//!   places the offset array at byte 40 (8-aligned) and the adjacency
+//!   array at `40 + 8·(n+1)` (4-aligned), so the element alignment of
+//!   every reinterpreted slice is satisfied;
+//! * the target is little-endian (`cfg`-gated at the module inclusion
+//!   site), so the on-disk and in-memory representations coincide;
+//! * the mapping is `PROT_READ`/`MAP_PRIVATE` and lives as long as the
+//!   [`Mapping`], which `munmap`s exactly once on drop.
+//!
+//! Every other target takes the buffered `read`-into-`Vec` fallback in
+//! [`super`] — same trait surface, same validation, owned memory.
+
+#![allow(unsafe_code)]
+
+use std::ffi::c_void;
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> i32;
+}
+
+/// A read-only, private mapping of the first `len` bytes of a file.
+#[derive(Debug)]
+pub(super) struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (`PROT_READ`) and exclusively owned —
+// no interior mutability, no aliasing writers — so sharing references
+// across threads and moving the handle between threads are both sound.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps the first `len` bytes of `file` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when `mmap` fails (callers fall back to the
+    /// owned backing).
+    pub(super) fn map(file: &File, len: usize) -> io::Result<Mapping> {
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty region",
+            ));
+        }
+        // SAFETY: plain mmap(2) call; a NULL hint and a valid borrowed fd
+        // are always acceptable inputs, and failure is reported as
+        // MAP_FAILED (checked below) with errno set.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    /// Total mapped length in bytes.
+    #[cfg(test)]
+    pub(super) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Reinterprets `count` little-endian `u64` words starting at
+    /// `byte_offset` as a borrowed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or misaligned — the caller
+    /// (the store) validates the file geometry before asking.
+    pub(super) fn u64s(&self, byte_offset: usize, count: usize) -> &[u64] {
+        let bytes = count.checked_mul(8).expect("u64 slice size overflow");
+        assert!(
+            byte_offset.is_multiple_of(8) && byte_offset + bytes <= self.len,
+            "u64 slice out of bounds or misaligned"
+        );
+        // SAFETY: in-bounds (asserted), 8-aligned (page-aligned base +
+        // 8-aligned offset), little-endian target, lifetime tied to self.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(byte_offset).cast::<u64>(), count) }
+    }
+
+    /// Reinterprets `count` little-endian `u32` words starting at
+    /// `byte_offset` as a borrowed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or misaligned.
+    pub(super) fn u32s(&self, byte_offset: usize, count: usize) -> &[u32] {
+        let bytes = count.checked_mul(4).expect("u32 slice size overflow");
+        assert!(
+            byte_offset.is_multiple_of(4) && byte_offset + bytes <= self.len,
+            "u32 slice out of bounds or misaligned"
+        );
+        // SAFETY: as in `u64s`, with 4-byte alignment.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(byte_offset).cast::<u32>(), count) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from a successful mmap and are
+        // unmapped exactly once; failure here is unrecoverable and
+        // ignorable (the region stays mapped until process exit).
+        unsafe {
+            munmap(self.ptr as *mut c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_reads_and_unmaps() {
+        let dir = std::env::temp_dir().join(format!("triad-mmap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("words.bin");
+        let mut f = File::create(&path).unwrap();
+        let words: Vec<u64> = (0..32u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        for w in &words {
+            f.write_all(&w.to_le_bytes()).unwrap();
+        }
+        f.flush().unwrap();
+        drop(f);
+
+        let file = File::open(&path).unwrap();
+        let map = Mapping::map(&file, 32 * 8).unwrap();
+        assert_eq!(map.len(), 256);
+        assert_eq!(map.u64s(0, 32), &words[..]);
+        // The same bytes through the u32 window: little-endian low word
+        // first.
+        let u32s = map.u32s(8, 2);
+        assert_eq!(u64::from(u32s[0]), words[1] & 0xFFFF_FFFF);
+        assert_eq!(u64::from(u32s[1]), words[1] >> 32);
+        drop(map);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejects_empty_regions() {
+        let file = File::open("/dev/null").unwrap();
+        assert!(Mapping::map(&file, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_slices_panic() {
+        let dir = std::env::temp_dir().join(format!("triad-mmap-oob-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.bin");
+        std::fs::write(&path, [0u8; 16]).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = Mapping::map(&file, 16).unwrap();
+        let _ = map.u64s(8, 2);
+    }
+}

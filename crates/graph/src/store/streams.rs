@@ -1,0 +1,309 @@
+//! Replayable generator streams: the paper's workload families as
+//! [`EdgeStream`]s, so million-edge instances go straight to a `.csr`
+//! file without ever materializing the edge list.
+//!
+//! Each stream owns validated parameters plus a seed; every
+//! [`EdgeStream::replay`] constructs a **fresh** `ChaCha8Rng` from that
+//! seed and runs the *same sampling core* as the in-memory generator in
+//! [`crate::generators`] (the cores are shared functions, not copies).
+//! Replays therefore always emit the same multiset of edges, and a
+//! stream written to disk decodes to exactly the graph the materializing
+//! generator returns under the same seed — pinned per family in the
+//! tests below and cross-backing in `tests/store_differential.rs`.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use super::writer::EdgeStream;
+use crate::generators::chung_lu::ChungLu;
+use crate::generators::{gnp, planted};
+use crate::{Edge, GraphError};
+
+/// Streaming `G(n, p)` — the replayable form of [`crate::generators::gnp()`].
+///
+/// Geometric skipping makes a replay `O(n + m)`, so even the windowed
+/// writer's repeated replays stay cheap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnpStream {
+    n: usize,
+    p: f64,
+    seed: u64,
+}
+
+impl GnpStream {
+    /// A stream over `G(n, p)` drawn with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] unless `p ∈ [0, 1]`.
+    pub fn new(n: usize, p: f64, seed: u64) -> Result<Self, GraphError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameters(format!(
+                "edge probability p={p} outside [0, 1]"
+            )));
+        }
+        Ok(GnpStream { n, p, seed })
+    }
+
+    /// `G(n, p)` with `p = d/(n−1)`, matching
+    /// [`crate::generators::gnp_with_average_degree`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameters`] unless `n ≥ 2` and
+    /// `d ≤ n−1`.
+    pub fn with_average_degree(n: usize, d: f64, seed: u64) -> Result<Self, GraphError> {
+        if n < 2 {
+            return Err(GraphError::InvalidParameters(
+                "need at least two vertices".into(),
+            ));
+        }
+        if d < 0.0 || d > (n - 1) as f64 {
+            return Err(GraphError::InvalidParameters(format!(
+                "average degree {d} outside [0, n−1]"
+            )));
+        }
+        GnpStream::new(n, d / (n - 1) as f64, seed)
+    }
+
+    /// The edge probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl EdgeStream for GnpStream {
+    fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    fn replay(&self, emit: &mut dyn FnMut(Edge)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        gnp::emit_gnp(self.n, self.p, &mut rng, emit);
+    }
+}
+
+/// Streaming Chung–Lu power-law graphs — the replayable form of
+/// [`ChungLu::sample`].
+///
+/// A replay recomputes the `O(n)` weight vector and runs the `O(n²)`
+/// pairwise Bernoulli core; memory stays `O(n)` but replays are as
+/// expensive as sampling, so this family is for the `n ≤ 10⁴` regime
+/// (like its in-memory counterpart).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChungLuStream {
+    model: ChungLu,
+    seed: u64,
+}
+
+impl ChungLuStream {
+    /// A stream drawing one Chung–Lu instance with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChungLu::new`].
+    pub fn new(n: usize, avg_degree: f64, beta: f64, seed: u64) -> Result<Self, GraphError> {
+        Ok(ChungLuStream {
+            model: ChungLu::new(n, avg_degree, beta)?,
+            seed,
+        })
+    }
+}
+
+impl EdgeStream for ChungLuStream {
+    fn vertex_count(&self) -> usize {
+        self.model.vertex_count()
+    }
+
+    fn replay(&self, emit: &mut dyn FnMut(Edge)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.model.emit(&mut rng, emit);
+    }
+}
+
+/// Streaming certified ε-far graphs — the replayable form of
+/// [`crate::generators::far_graph`].
+///
+/// The shifted-triangle base is deterministic and is emitted by the
+/// shared core; the noise-padding loop replays the RNG against the
+/// *closed-form* base membership
+/// (`shifted_has_edge`), which agrees exactly with
+/// probing the materialized base, so the extras — and hence the final
+/// edge set — match `far_graph` under the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarStream {
+    n: usize,
+    shifts: usize,
+    missing: usize,
+    seed: u64,
+}
+
+impl FarStream {
+    /// A stream over the ε-far instance with average degree ≈ `d` drawn
+    /// with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::generators::far_graph`].
+    pub fn new(n: usize, d: f64, epsilon: f64, seed: u64) -> Result<Self, GraphError> {
+        let (shifts, target_edges) = planted::far_plan(n, d, epsilon)?;
+        if n / 3 == 0 {
+            return Err(GraphError::InvalidParameters(format!(
+                "n={n} too small, need n>=3"
+            )));
+        }
+        let base_edges = planted::shifted_edge_count(n, shifts);
+        Ok(FarStream {
+            n,
+            shifts,
+            missing: target_edges.saturating_sub(base_edges),
+            seed,
+        })
+    }
+
+    /// Number of planted (certifying) triangle shifts.
+    pub fn shifts(&self) -> usize {
+        self.shifts
+    }
+}
+
+impl EdgeStream for FarStream {
+    fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    fn replay(&self, emit: &mut dyn FnMut(Edge)) {
+        planted::emit_shifted(self.n, self.shifts, emit);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        planted::emit_far_extras(
+            self.n,
+            self.missing,
+            &|e| planted::shifted_has_edge(self.n, self.shifts, e),
+            &mut rng,
+            emit,
+        );
+    }
+}
+
+/// Streaming dense-core instances — the replayable form of
+/// [`crate::generators::dense_core`]. Hubs are vertices `0..h`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseCoreStream {
+    n: usize,
+    h: usize,
+    seed: u64,
+}
+
+impl DenseCoreStream {
+    /// A stream over the `h`-hub instance on `n` vertices drawn with
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::generators::dense_core`]: needs `1 ≤ h`, `n − h ≥ 4`.
+    pub fn new(n: usize, h: usize, seed: u64) -> Result<Self, GraphError> {
+        if h == 0 || n < h + 4 {
+            return Err(GraphError::InvalidParameters(format!(
+                "need 1 <= h and n-h >= 4 (n={n}, h={h})"
+            )));
+        }
+        Ok(DenseCoreStream { n, h, seed })
+    }
+
+    /// Number of hub vertices (ids `0..h`).
+    pub fn hubs(&self) -> usize {
+        self.h
+    }
+}
+
+impl EdgeStream for DenseCoreStream {
+    fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    fn replay(&self, emit: &mut dyn FnMut(Edge)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        planted::emit_dense_core(self.n, self.h, &mut rng, emit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{dense_core, far_graph, gnp as gnp_fn};
+    use crate::store::{write_csr_with_budget, CsrStore};
+    use crate::Graph;
+    use std::path::PathBuf;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("triad-streams-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Writes `stream` at two very different window budgets and checks
+    /// both files decode to `expected` — proving replays reproduce the
+    /// edge multiset and the writer is budget-invariant.
+    fn assert_stream_matches(tag: &str, stream: &dyn EdgeStream, expected: &Graph) {
+        let dir = tempdir(tag);
+        for (label, budget) in [("wide", usize::MAX >> 8), ("narrow", 64)] {
+            let path = dir.join(format!("{label}.csr"));
+            write_csr_with_budget(&path, stream, budget).unwrap();
+            let store = CsrStore::open(&path).unwrap();
+            assert_eq!(
+                &store.to_graph(),
+                expected,
+                "{tag}/{label}: stream and materializing generator diverged"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gnp_stream_matches_generator() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let expected = gnp_fn(120, 0.08, &mut rng);
+        let stream = GnpStream::new(120, 0.08, 11).unwrap();
+        assert_stream_matches("gnp", &stream, &expected);
+    }
+
+    #[test]
+    fn chung_lu_stream_matches_generator() {
+        let model = ChungLu::new(90, 5.0, 2.5).unwrap();
+        let expected = model.sample(&mut ChaCha8Rng::seed_from_u64(23));
+        let stream = ChungLuStream::new(90, 5.0, 2.5, 23).unwrap();
+        assert_stream_matches("chung-lu", &stream, &expected);
+    }
+
+    #[test]
+    fn far_stream_matches_generator() {
+        // Both parities of q, to exercise both A–C membership branches.
+        for (n, seed) in [(90usize, 37u64), (93, 41)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let expected = far_graph(n, 8.0, 0.1, &mut rng).unwrap();
+            let stream = FarStream::new(n, 8.0, 0.1, seed).unwrap();
+            assert_stream_matches("far", &stream, &expected);
+        }
+    }
+
+    #[test]
+    fn dense_core_stream_matches_generator() {
+        let mut rng = ChaCha8Rng::seed_from_u64(53);
+        let expected = dense_core(80, 3, &mut rng).unwrap();
+        let stream = DenseCoreStream::new(80, 3, 53).unwrap();
+        assert_eq!(stream.hubs(), 3);
+        assert_stream_matches("dense-core", &stream, expected.graph());
+    }
+
+    #[test]
+    fn streams_validate_parameters() {
+        assert!(GnpStream::new(10, 1.5, 0).is_err());
+        assert!(GnpStream::with_average_degree(1, 0.5, 0).is_err());
+        assert!(GnpStream::with_average_degree(4, 9.0, 0).is_err());
+        assert!(ChungLuStream::new(1, 4.0, 2.5, 0).is_err());
+        assert!(FarStream::new(100, 1.0, 0.1, 0).is_err());
+        assert!(FarStream::new(100, 10.0, 0.9, 0).is_err());
+        assert!(DenseCoreStream::new(5, 3, 0).is_err());
+        assert!(DenseCoreStream::new(10, 0, 0).is_err());
+    }
+}

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
 )]
+#[repr(transparent)] // the store casts `&[u32]` mapped slices to `&[VertexId]`
 pub struct VertexId(pub u32);
 
 impl VertexId {

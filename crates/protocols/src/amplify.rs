@@ -43,7 +43,12 @@ pub fn rep_seed(base_seed: u64, r: u32) -> u64 {
 /// re-roll only the shared randomness (see `docs/RUNTIME.md`).
 #[derive(Debug, Clone)]
 pub struct PreparedInput<'g> {
-    g: &'g Graph,
+    /// `None` when the input was prepared from shares alone
+    /// ([`PreparedInput::from_partition`]) — the multiparty model's
+    /// native shape: no player, and no referee, ever holds the whole
+    /// graph. Every tester in this crate runs off the player states, so
+    /// protocol execution is identical either way.
+    g: Option<&'g Graph>,
     partition: &'g Partition,
     n: usize,
     players: Arc<Vec<PlayerState>>,
@@ -61,15 +66,42 @@ impl<'g> PreparedInput<'g> {
         crate::outcome::validate_shares(g, partition)?;
         let n = g.vertex_count();
         Ok(PreparedInput {
-            g,
+            g: Some(g),
             partition,
             n,
             players: Arc::new(players_from_shares(n, partition.shares())),
         })
     }
 
-    /// The input graph.
-    pub fn graph(&self) -> &'g Graph {
+    /// Prepares from an edge partition and a vertex count alone — no
+    /// materialized [`Graph`] anywhere. This is how out-of-core inputs
+    /// enter the protocol layer: shares are partitioned straight off a
+    /// [`triad_graph::CsrStore`]'s borrowed slices and only the
+    /// per-player states are ever allocated.
+    ///
+    /// Testers that override
+    /// [`run_prepared`](Repeatable::run_prepared) (every tester in this
+    /// crate) run natively; only the downconversion bridge for external
+    /// `run_once`-only impls needs the graph and will report
+    /// [`ProtocolError::InvalidInput`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidInput`] if a share references a
+    /// vertex `≥ n`.
+    pub fn from_partition(n: usize, partition: &'g Partition) -> Result<Self, ProtocolError> {
+        crate::outcome::validate_shares_n(n, partition)?;
+        Ok(PreparedInput {
+            g: None,
+            partition,
+            n,
+            players: Arc::new(players_from_shares(n, partition.shares())),
+        })
+    }
+
+    /// The input graph, if this input was prepared from one
+    /// (`None` for graph-free [`PreparedInput::from_partition`] inputs).
+    pub fn graph(&self) -> Option<&'g Graph> {
         self.g
     }
 
@@ -129,7 +161,14 @@ pub trait Repeatable {
         input: &PreparedInput<'_>,
         seed: u64,
     ) -> Result<TallyRun, ProtocolError> {
-        self.run_once(input.graph(), input.partition(), seed)
+        let g = input.graph().ok_or_else(|| {
+            ProtocolError::InvalidInput(
+                "this tester's run_prepared bridge needs a materialized graph; \
+                 prepare with PreparedInput::new, not from_partition"
+                    .into(),
+            )
+        })?;
+        self.run_once(g, input.partition(), seed)
             .map(|run| run.to_tally())
     }
 
@@ -644,6 +683,70 @@ mod tests {
         assert_eq!(bridged.outcome, native.outcome);
         assert_eq!(bridged.stats, native.stats);
         assert_eq!(bridged.transcript, native.transcript);
+    }
+
+    #[test]
+    fn graph_free_prepared_input_runs_native_testers_identically() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let g = far_graph(240, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 4, &mut rng);
+        let with_graph = PreparedInput::new(&g, &parts).unwrap();
+        let graph_free = PreparedInput::from_partition(g.vertex_count(), &parts).unwrap();
+        assert!(graph_free.graph().is_none());
+        assert_eq!(graph_free.n(), with_graph.n());
+        assert_eq!(graph_free.k(), with_graph.k());
+        let sim = SimultaneousTester::new(
+            Tuning::practical(0.2),
+            SimProtocolKind::Low { avg_degree: 6.0 },
+        );
+        let unr = crate::UnrestrictedTester::new(Tuning::practical(0.2));
+        for seed in [0u64, 7, 19] {
+            let a = sim.run_prepared(&with_graph, seed).unwrap();
+            let b = sim.run_prepared(&graph_free, seed).unwrap();
+            assert_eq!(a.outcome, b.outcome, "sim seed {seed}");
+            assert_eq!(a.stats, b.stats, "sim seed {seed}");
+            assert_eq!(a.transcript, b.transcript, "sim seed {seed}");
+            let a = unr.run_prepared(&with_graph, seed).unwrap();
+            let b = unr.run_prepared(&graph_free, seed).unwrap();
+            assert_eq!(a.outcome, b.outcome, "unr seed {seed}");
+            assert_eq!(a.stats, b.stats, "unr seed {seed}");
+            assert_eq!(a.transcript, b.transcript, "unr seed {seed}");
+        }
+    }
+
+    #[test]
+    fn graph_free_input_rejects_the_downconversion_bridge() {
+        struct Wrapper(SimultaneousTester);
+        impl Repeatable for Wrapper {
+            fn run_once(
+                &self,
+                g: &Graph,
+                partition: &Partition,
+                seed: u64,
+            ) -> Result<ProtocolRun, ProtocolError> {
+                self.0.run(g, partition, seed)
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let g = far_graph(120, 6.0, 0.2, &mut rng).unwrap();
+        let parts = random_disjoint(&g, 3, &mut rng);
+        let input = PreparedInput::from_partition(g.vertex_count(), &parts).unwrap();
+        let tester = Wrapper(SimultaneousTester::new(
+            Tuning::practical(0.2),
+            SimProtocolKind::Low { avg_degree: 6.0 },
+        ));
+        let err = tester.run_prepared(&input, 1).unwrap_err();
+        assert!(err.to_string().contains("materialized graph"), "{err}");
+    }
+
+    #[test]
+    fn from_partition_validates_vertex_range() {
+        let g = Graph::from_edges(8, [(0, 1), (1, 2), (0, 2)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let parts = random_disjoint(&g, 2, &mut rng);
+        assert!(PreparedInput::from_partition(8, &parts).is_ok());
+        // Shrinking n below the largest referenced vertex must fail.
+        assert!(PreparedInput::from_partition(2, &parts).is_err());
     }
 
     #[test]

@@ -117,7 +117,15 @@ pub(crate) fn validate_shares(
     g: &triad_graph::Graph,
     partition: &triad_graph::partition::Partition,
 ) -> Result<(), ProtocolError> {
-    let n = g.vertex_count();
+    validate_shares_n(g.vertex_count(), partition)
+}
+
+/// [`validate_shares`] against a bare vertex count — what graph-free
+/// prepared inputs (shares partitioned off an out-of-core store) use.
+pub(crate) fn validate_shares_n(
+    n: usize,
+    partition: &triad_graph::partition::Partition,
+) -> Result<(), ProtocolError> {
     for share in partition.shares() {
         for e in share {
             if e.v().index() >= n {

@@ -27,7 +27,7 @@
 //! that the run stayed on borrowed slices. Write the container first
 //! with `triad gen … --format csr` (see `EXPERIMENTS.md`).
 
-use triad_bench::chaos::{chaos_suite, write_chaos_json};
+use triad_bench::chaos::{chaos_suite, reconnect_suite, write_chaos_json};
 use triad_bench::experiments::{all, Scale};
 use triad_bench::kernels::{kernel_suite, write_kernels_json};
 use triad_bench::report::{standard_suite, write_bench_json};
@@ -130,7 +130,8 @@ fn main() {
             }
         }
         let cells = chaos_suite(scale);
-        match write_chaos_json(std::path::Path::new(&dir), &cells) {
+        let reconnect = reconnect_suite(scale);
+        match write_chaos_json(std::path::Path::new(&dir), &cells, &reconnect) {
             Ok(path) => eprintln!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("failed to write BENCH_chaos.json to {dir}: {e}");

@@ -14,15 +14,22 @@
 //! `tests/chaos_differential.rs`), so those rows must show zero
 //! failures, zero injections and zero retransmitted bits.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use crate::experiments::Scale;
 use crate::runtime::bipartite_workload;
 use triad_comm::pool::Pool;
-use triad_comm::{FaultPlan, FaultRates};
+use triad_comm::{
+    ConnectOptions, CostModel, FaultPlan, FaultRates, PlayerSession, PlayerState, Recorder,
+    ResumeClaim, RunError, RunErrorKind, Runtime, ServeConfig, SessionOptions, SharedRandomness,
+    SimMessage, Tally, TcpCoordinator,
+};
 use triad_protocols::amplify::PreparedInput;
 use triad_protocols::baseline::SendEverything;
 use triad_protocols::{
-    run_chaos_amplified, ChaosRun, Repeatable, SimProtocolKind, SimultaneousTester, Tuning,
-    UnrestrictedTester, DEFAULT_QUORUM,
+    run_chaos_amplified, single_run_verdict, ChaosRun, Repeatable, SimProtocolKind,
+    SimultaneousTester, Tuning, UnrestrictedTester, DEFAULT_QUORUM,
 };
 
 /// One cell of the chaos matrix: one protocol amplified under one fault
@@ -131,6 +138,209 @@ pub fn chaos_cell<T: Repeatable + Sync>(
     }
 }
 
+/// One row of the reconnect matrix: a live loopback daemon run with a
+/// scripted mid-run disconnect (`docs/NETWORKING.md`, *Sessions*). The
+/// `rejoin` scenario drops player 0 after two answered requests and
+/// rejoins it inside a generous window: the interrupted delivery
+/// replays below the charging layer, so the verdict, [`CommStats`] and
+/// the full tally must match the uninterrupted in-process reference
+/// bit for bit (`matches_uninterrupted`). The `expire` scenario lets
+/// the window lapse instead: the run records a typed abort and the
+/// verdict degrades to `inconclusive` — it never flips to an accept.
+///
+/// [`CommStats`]: triad_comm::CommStats
+#[derive(Debug, Clone)]
+pub struct ReconnectCell {
+    /// `rejoin` (reconnect inside the window) or `expire` (window
+    /// lapses with the slot detached).
+    pub scenario: String,
+    /// Protocol under test. Requests are answered statelessly from the
+    /// seed in force, so any multi-round protocol exercises the replay
+    /// path; the matrix uses `unrestricted`.
+    pub protocol: String,
+    /// Vertex count of the (triangle-free) input.
+    pub vertices: usize,
+    /// Edge count of the input.
+    pub edges: usize,
+    /// Number of players.
+    pub players: usize,
+    /// Reconnect window the daemon served with, in milliseconds.
+    pub window_ms: u64,
+    /// Shared-randomness seed of the run.
+    pub seed: u64,
+    /// Single-run quorum verdict (`accepted`, `inconclusive`, or
+    /// `triangle-found`) per [`single_run_verdict`].
+    pub verdict: String,
+    /// Coarse kind of the recorded fault (`none` on a clean run,
+    /// `aborted` on window expiry).
+    pub fault: String,
+    /// Whether verdict, stats, and every tally rollup matched the
+    /// uninterrupted in-process reference exactly.
+    pub matches_uninterrupted: bool,
+    /// Logical payload bits charged before the run ended.
+    pub total_bits: u64,
+}
+
+impl ReconnectCell {
+    fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"scenario\":\"{}\",", self.scenario));
+        s.push_str(&format!("\"protocol\":\"{}\",", self.protocol));
+        s.push_str(&format!("\"vertices\":{},", self.vertices));
+        s.push_str(&format!("\"edges\":{},", self.edges));
+        s.push_str(&format!("\"players\":{},", self.players));
+        s.push_str(&format!("\"window_ms\":{},", self.window_ms));
+        s.push_str(&format!("\"seed\":{},", self.seed));
+        s.push_str(&format!("\"verdict\":\"{}\",", self.verdict));
+        s.push_str(&format!("\"fault\":\"{}\",", self.fault));
+        s.push_str(&format!(
+            "\"matches_uninterrupted\":{},",
+            self.matches_uninterrupted
+        ));
+        s.push_str(&format!("\"total_bits\":{}", self.total_bits));
+        s.push('}');
+        s
+    }
+}
+
+/// Runs one reconnect scenario over a real loopback daemon. Player 0
+/// answers two requests and drops its connection; with `rejoin` it
+/// presents its resume nonce and serves on, otherwise it stays away and
+/// the slot's window expires. The cell records the verdict, the typed
+/// fault (if any), and whether the run matched the uninterrupted
+/// in-process reference bit for bit. Every number is deterministic: the
+/// disconnect is scripted at a fixed request count, so the same seeds
+/// produce the same row on any machine.
+pub fn reconnect_cell(
+    rejoin: bool,
+    window: Duration,
+    n: usize,
+    d: f64,
+    seed: u64,
+) -> ReconnectCell {
+    let k = 3usize;
+    let (g, parts) = bipartite_workload(n, d, k, 7);
+    let input = PreparedInput::new(&g, &parts).expect("valid workload");
+    let tester = UnrestrictedTester::new(Tuning::practical(0.2));
+    let reference = tester.run_prepared_tally(&input, seed);
+    let shares = Arc::new(parts.shares().to_vec());
+    let cfg = ServeConfig {
+        k,
+        n: g.vertex_count(),
+        seed,
+        cost_model: CostModel::Coordinator,
+        protocol: "unrestricted".to_string(),
+        params: format!("eps=0.2 d={d}"),
+    };
+    let coordinator = TcpCoordinator::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr");
+    let handles: Vec<_> = (0..k as u32)
+        .map(|j| {
+            let shares = Arc::clone(&shares);
+            std::thread::spawn(move || {
+                let opts = ConnectOptions {
+                    slot: Some(j),
+                    retries: 40,
+                    backoff: Duration::from_millis(10),
+                    ..ConnectOptions::default()
+                };
+                let Ok(session) = PlayerSession::connect_with(addr, &opts) else {
+                    return;
+                };
+                let w = session.welcome().clone();
+                let state =
+                    PlayerState::new(w.player as usize, w.n as usize, &shares[w.player as usize]);
+                let sim = |_: &PlayerState, _: &SharedRandomness| SimMessage::empty();
+                if j == 0 {
+                    // The scripted casualty: answer two requests, then
+                    // drop the connection mid-round…
+                    let _ = session.serve_until(&state, sim, Some(2));
+                    if rejoin {
+                        // …and come straight back with the resume nonce.
+                        if let Ok(back) = PlayerSession::rejoin_with(
+                            addr,
+                            &opts,
+                            ResumeClaim {
+                                slot: w.player,
+                                nonce: w.resume_nonce,
+                                last_acked: 2,
+                            },
+                        ) {
+                            let _ = back.serve(&state, sim);
+                        }
+                    }
+                } else {
+                    let _ = session.serve(&state, sim);
+                }
+            })
+        })
+        .collect();
+    let options = SessionOptions {
+        auth_token: None,
+        reconnect_window: window,
+    };
+    let transport = coordinator
+        .accept_players_with(&cfg, Duration::from_secs(20), &options)
+        .expect("register all players");
+    let mut rt: Runtime<Tally> = Runtime::new_with(
+        Box::new(transport),
+        g.vertex_count(),
+        SharedRandomness::new(seed),
+        CostModel::Coordinator,
+    );
+    let outcome = tester.run_on(&mut rt);
+    let fault = rt.take_fault();
+    let verdict = single_run_verdict(outcome, fault.as_ref());
+    let stats = rt.stats();
+    let tally = rt.into_recorder();
+    let reference_tally = &reference.transcript;
+    let matches = fault.is_none()
+        && outcome.triangle() == reference.outcome.triangle()
+        && stats == reference.stats
+        && tally.total_bits() == reference_tally.total_bits()
+        && tally.by_phase() == reference_tally.by_phase()
+        && tally.by_player() == reference_tally.by_player()
+        && tally.by_round() == reference_tally.by_round()
+        && tally.by_direction() == reference_tally.by_direction();
+    for h in handles {
+        let _ = h.join();
+    }
+    ReconnectCell {
+        scenario: if rejoin { "rejoin" } else { "expire" }.to_string(),
+        protocol: cfg.protocol,
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        players: k,
+        window_ms: window.as_millis() as u64,
+        seed,
+        verdict: verdict.as_str().to_string(),
+        fault: match fault.as_ref().map(RunError::kind) {
+            None => "none",
+            Some(RunErrorKind::Transport) => "transport",
+            Some(RunErrorKind::Timeout) => "timeout",
+            Some(RunErrorKind::Corrupt) => "corrupt",
+            Some(RunErrorKind::Aborted) => "aborted",
+        }
+        .to_string(),
+        matches_uninterrupted: matches,
+        total_bits: tally.total_bits().get(),
+    }
+}
+
+/// The reconnect matrix appended to `BENCH_chaos.json`: both
+/// session-layer scenarios over a live loopback daemon. The `rejoin`
+/// row must report `matches_uninterrupted = true` with no fault; the
+/// `expire` row must report a typed `aborted` fault and an
+/// `inconclusive` verdict. Anything else is a session-layer regression.
+pub fn reconnect_suite(scale: Scale) -> Vec<ReconnectCell> {
+    let (n, d) = scale.pick((240, 4.0), (400, 6.0));
+    let expire_window = Duration::from_millis(scale.pick(150, 300));
+    vec![
+        reconnect_cell(true, Duration::from_secs(20), n, d, 11),
+        reconnect_cell(false, expire_window, n, d, 11),
+    ]
+}
+
 /// The standard chaos matrix: fault rates × protocols × player counts
 /// on triangle-free bipartite workloads, all at the default (unanimous)
 /// quorum. Repetitions run on the current worker pool; the numbers are
@@ -168,8 +378,10 @@ pub fn chaos_suite(scale: Scale) -> Vec<ChaosCell> {
     cells
 }
 
-/// Writes cells to `<dir>/BENCH_chaos.json` (creating `dir` if needed)
-/// and returns the path.
+/// Writes the chaos cells followed by the reconnect rows to
+/// `<dir>/BENCH_chaos.json` (creating `dir` if needed) and returns the
+/// path. Reconnect rows carry a `scenario` key, so consumers of the
+/// original schema can filter them out by its presence.
 ///
 /// # Errors
 ///
@@ -177,10 +389,15 @@ pub fn chaos_suite(scale: Scale) -> Vec<ChaosCell> {
 pub fn write_chaos_json(
     dir: &std::path::Path,
     cells: &[ChaosCell],
+    reconnect: &[ReconnectCell],
 ) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join("BENCH_chaos.json");
-    let body: Vec<String> = cells.iter().map(|c| format!("  {}", c.to_json())).collect();
+    let body: Vec<String> = cells
+        .iter()
+        .map(|c| format!("  {}", c.to_json()))
+        .chain(reconnect.iter().map(|c| format!("  {}", c.to_json())))
+        .collect();
     std::fs::write(&path, format!("[\n{}\n]\n", body.join(",\n")))?;
     Ok(path)
 }
@@ -275,8 +492,9 @@ mod tests {
     #[test]
     fn chaos_json_is_well_formed() {
         let cells = mini_cells();
+        let reconnect = vec![reconnect_cell(true, Duration::from_secs(20), 120, 4.0, 3)];
         let dir = std::env::temp_dir().join(format!("triad-chaos-json-{}", std::process::id()));
-        let path = write_chaos_json(&dir, &cells).unwrap();
+        let path = write_chaos_json(&dir, &cells, &reconnect).unwrap();
         assert_eq!(path.file_name().unwrap(), "BENCH_chaos.json");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("[\n") && text.ends_with("]\n"));
@@ -284,6 +502,31 @@ mod tests {
         assert!(text.contains("\"failures\":{\"transport\":"));
         assert!(text.contains("\"injected\":{\"drops\":"));
         assert!(text.contains("\"retransmit_bits\""));
+        assert!(text.contains("\"scenario\":\"rejoin\""));
+        assert!(text.contains("\"matches_uninterrupted\":true"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejoin_row_matches_the_uninterrupted_reference() {
+        // The reconnect matrix's headline number: a mid-run disconnect
+        // healed inside the window leaves no trace in the accounting.
+        let cell = reconnect_cell(true, Duration::from_secs(20), 120, 4.0, 5);
+        assert_eq!(cell.scenario, "rejoin");
+        assert_eq!(cell.fault, "none");
+        assert_eq!(cell.verdict, "accepted");
+        assert!(cell.matches_uninterrupted, "{cell:?}");
+        assert!(cell.total_bits > 0);
+    }
+
+    #[test]
+    fn expire_row_degrades_typed_and_never_flips() {
+        let cell = reconnect_cell(false, Duration::from_millis(100), 120, 4.0, 5);
+        assert_eq!(cell.scenario, "expire");
+        assert_eq!(cell.fault, "aborted");
+        // A lost player past the window can only refuse to answer —
+        // the verdict must degrade to inconclusive, never accept.
+        assert_eq!(cell.verdict, "inconclusive");
+        assert!(!cell.matches_uninterrupted);
     }
 }

@@ -80,10 +80,24 @@ commands:
              and dispatch R successive sessions over the one
              registration, re-seeding each via AdoptShared —
              docs/NETWORKING.md)
+             [--auth-token T]   (require every Hello to present this
+             shared secret; mismatches get a typed Unauthorized frame)
+             [--window-ms W]   (hold a slot whose connection dies mid-run
+             open for W ms awaiting a resume claim; an expired window
+             degrades that run to inconclusive and the daemon proceeds —
+             docs/NETWORKING.md)
+             [--deadline-ms D]   (census deadline: how long to wait for
+             all k registrations; defaults to --timeout-secs)
   connect    join a `triad serve` run as one player; loads the share
              `PREFIX.J` for the slot the coordinator assigns
              --addr HOST:PORT  --shares PREFIX
-             [--slot J] [--timeout-secs T]
+             [--slot J] [--timeout-secs T] [--auth-token T]
+             [--connect-retries N] [--backoff-ms B]   (bounded exponential
+             backoff on refused dials and rejoin races; also bounds
+             mid-run reconnect attempts)
+             [--session-file FILE]   (persist the resume credential so a
+             relaunched process reclaims its slot inside the daemon's
+             reconnect window; removed on a clean farewell)
   bench      scheduler saturation microbench: run one batch of N
              sessions over 1/2/4/8-worker pools and print queries/sec
              at each (results asserted identical across worker counts —
@@ -473,14 +487,16 @@ mod tests {
 
     /// One full serve/connect cycle over loopback, entirely in-process:
     /// returns (serve output, connect outputs). `extra` is appended to
-    /// the serve command (e.g. `--runs 2`).
-    fn loopback_cycle(
+    /// the serve command (e.g. `--runs 2`), `connect_extra` to every
+    /// connect command (e.g. `--auth-token s3cr3t`).
+    fn loopback_cycle_with(
         dir: &std::path::Path,
         g: &std::path::Path,
         shares: &std::path::Path,
         protocol: &str,
         k: usize,
         extra: &str,
+        connect_extra: &str,
     ) -> (String, Vec<String>) {
         let port_file = dir.join(format!("port-{protocol}"));
         let serve_cmd = format!(
@@ -494,7 +510,7 @@ mod tests {
         let players: Vec<_> = (0..k)
             .map(|_| {
                 let connect_cmd = format!(
-                    "connect --addr {addr} --shares {} --timeout-secs 20",
+                    "connect --addr {addr} --shares {} --timeout-secs 20 {connect_extra}",
                     shares.display()
                 );
                 std::thread::spawn(move || run(&argv(&connect_cmd)))
@@ -506,6 +522,18 @@ mod tests {
             .map(|p| p.join().unwrap().unwrap())
             .collect();
         (served, connected)
+    }
+
+    /// [`loopback_cycle_with`] without connect-side extras.
+    fn loopback_cycle(
+        dir: &std::path::Path,
+        g: &std::path::Path,
+        shares: &std::path::Path,
+        protocol: &str,
+        k: usize,
+        extra: &str,
+    ) -> (String, Vec<String>) {
+        loopback_cycle_with(dir, g, shares, protocol, k, extra, "")
     }
 
     #[test]
@@ -693,12 +721,80 @@ mod tests {
             "serve --bind 127.0.0.1:0 --k 2 --protocol low", // no --n/--graph
             "serve --k 2 --protocol low --n 10",             // no --bind
             "serve --bind 127.0.0.1:0 --k 2 --protocol low --n 10 --runs 0",
+            "serve --bind 127.0.0.1:0 --k 2 --protocol low --n 10 --deadline-ms 0",
+            "serve --bind 127.0.0.1:0 --k 2 --protocol low --n 10 --deadline-ms soon",
+            "serve --bind 127.0.0.1:0 --k 2 --protocol low --n 10 --window-ms forever",
         ] {
             let err = run(&argv(bad)).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "`{bad}`: {err}");
         }
-        let err = run(&argv("connect --addr 127.0.0.1:1")).unwrap_err();
-        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        for bad in [
+            "connect --addr 127.0.0.1:1",
+            "connect --addr 127.0.0.1:1 --shares x --connect-retries lots",
+            "connect --addr 127.0.0.1:1 --shares x --backoff-ms slow",
+        ] {
+            let err = run(&argv(bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "`{bad}`: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_with_auth_token_gates_clients_and_session_files_are_retired() {
+        // An authenticated daemon with a reconnect window: a client with
+        // the wrong token is refused with a typed error, clients with
+        // the right token complete the run byte-identically to an
+        // unauthenticated one, and the resume credential written to
+        // --session-file is removed again on the clean farewell.
+        let dir = std::env::temp_dir().join(format!("triad-cli-auth-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.el");
+        let shares = dir.join("p");
+        run(&argv(&format!(
+            "gen --kind far --n 200 --d 6 --eps 0.2 --seed 1 --out {}",
+            g.display()
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "partition --graph {} --k 1 --seed 2 --out {}",
+            g.display(),
+            shares.display()
+        )))
+        .unwrap();
+        let port_file = dir.join("port-auth");
+        let session_file = dir.join("session.0");
+        let serve_cmd = format!(
+            "serve --bind 127.0.0.1:0 --k 1 --protocol exact --graph {} --seed 3 \
+             --port-file {} --timeout-secs 20 --auth-token s3cr3t --window-ms 5000",
+            g.display(),
+            port_file.display()
+        );
+        let server = std::thread::spawn(move || run(&argv(&serve_cmd)));
+        let addr = wait_for_port_file(&port_file);
+        // Wrong token: refused with a typed NetError, daemon survives.
+        let err = run(&argv(&format!(
+            "connect --addr {addr} --shares {} --timeout-secs 20 --auth-token nope",
+            shares.display()
+        )))
+        .unwrap_err();
+        assert!(err.to_string().contains("unauthorized"), "{err}");
+        // Right token: the run completes and the session file — written
+        // while serving (the daemon issued a live nonce) — is retired
+        // with the farewell.
+        let out = run(&argv(&format!(
+            "connect --addr {addr} --shares {} --timeout-secs 20 --auth-token s3cr3t \
+             --session-file {}",
+            shares.display(),
+            session_file.display()
+        )))
+        .unwrap();
+        assert!(out.contains("coordinator verdict:"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("served 1 players"), "{served}");
+        assert!(
+            !session_file.exists(),
+            "a clean farewell must retire the resume credential"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

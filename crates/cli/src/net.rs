@@ -16,9 +16,10 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use triad_comm::{
-    run_simultaneous_collected, CommStats, CostModel, NetError, PayloadRepr, PlayerSession,
-    PlayerState, Runtime, ServeConfig, SharedRandomness, SharedTransport, SimMessage,
-    SimultaneousProtocol, Tally, TcpCoordinator, TcpTransport, Transport,
+    run_simultaneous_collected, CommStats, ConnectOptions, CostModel, NetError, PayloadRepr,
+    PlayerSession, PlayerState, ResumeClaim, Runtime, ServeConfig, SessionOptions,
+    SharedRandomness, SharedTransport, SimMessage, SimultaneousProtocol, Tally, TcpCoordinator,
+    TcpTransport, Transport,
 };
 use triad_protocols::amplify::rep_seed;
 use triad_protocols::baseline::SendEverything;
@@ -115,6 +116,18 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
     let repr: PayloadRepr = args.parsed_or("payload", PayloadRepr::Auto)?;
     let cost_model = parse_cost_model(args)?;
     let timeout = Duration::from_secs(args.parsed_or("timeout-secs", 30)?);
+    // The census deadline defaults to the per-response timeout (the
+    // historical coupling) but is independently tunable: a slow fleet
+    // may need minutes to register while responses stay snappy.
+    let deadline =
+        Duration::from_millis(args.parsed_or("deadline-ms", timeout.as_millis() as u64)?);
+    if deadline.is_zero() {
+        return Err(CliError::Usage("--deadline-ms must be positive".into()));
+    }
+    let options = SessionOptions {
+        auth_token: args.optional("auth-token").map(str::to_string),
+        reconnect_window: Duration::from_millis(args.parsed_or("window-ms", 0)?),
+    };
     let cfg = ServeConfig {
         k,
         n,
@@ -134,7 +147,9 @@ pub fn serve(args: &ArgMap) -> Result<String, CliError> {
         .optional("port-file")
         .map(|path| publish_port_file(path, addr))
         .transpose()?;
-    let transport = coordinator.accept_players(&cfg, timeout)?;
+    let transport = coordinator
+        .accept_players_with(&cfg, deadline, &options)?
+        .with_timeout(timeout);
     let handle = Arc::new(Mutex::new(transport));
     let tuning = Tuning::practical(eps).with_repr(repr);
     let mut out = String::new();
@@ -234,11 +249,36 @@ fn collect_and_referee(
     Ok((TestOutcome::from(output), stats))
 }
 
+/// Parses a `--session-file` left by a previous incarnation of this
+/// player: one line, `{slot} {nonce}`. Anything unreadable or malformed
+/// is treated as no credential (the client registers fresh).
+fn read_session_claim(path: &std::path::Path) -> Option<ResumeClaim> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut fields = text.split_whitespace();
+    let slot = fields.next()?.parse().ok()?;
+    let nonce = fields.next()?.parse().ok()?;
+    Some(ResumeClaim {
+        slot,
+        nonce,
+        // A relaunched process has no request log; replay is driven by
+        // the coordinator's fresh correlation ids, so 0 is honest.
+        last_acked: 0,
+    })
+}
+
 /// `triad connect` — join a `triad serve` run as one player.
 ///
 /// The Welcome tells this player its slot, the run geometry, the seed,
 /// and the protocol; the share file `{--shares}.{player}` is loaded and
 /// validated against the advertised vertex count before serving.
+///
+/// Refused dials are absorbed by a bounded exponential backoff
+/// (`--connect-retries`/`--backoff-ms`), so a client racing the
+/// daemon's `--port-file` publication no longer dies on a raw
+/// `ConnectionRefused`. With `--session-file` the resume credential
+/// from the Welcome is persisted, a relaunched process presents it to
+/// reclaim its slot inside the daemon's reconnect window, and the file
+/// is removed again on a clean farewell.
 pub fn connect(args: &ArgMap) -> Result<String, CliError> {
     let addr = args.required("addr")?;
     let prefix = args.required("shares")?;
@@ -250,8 +290,33 @@ pub fn connect(args: &ArgMap) -> Result<String, CliError> {
         ),
     };
     let timeout = Duration::from_secs(args.parsed_or("timeout-secs", 30)?);
-    let session = PlayerSession::connect(addr, slot, timeout)?;
+    let opts = ConnectOptions {
+        slot,
+        token: args.optional("auth-token").map(str::to_string),
+        timeout,
+        retries: args.parsed_or("connect-retries", 5)?,
+        backoff: Duration::from_millis(args.parsed_or("backoff-ms", 50)?),
+    };
+    let session_file = args.optional("session-file").map(PathBuf::from);
+    let session = match session_file.as_deref().and_then(read_session_claim) {
+        Some(claim) => match PlayerSession::rejoin_with(addr, &opts, claim) {
+            Ok(session) => session,
+            // A stale credential — the window expired, the daemon
+            // restarted, or the slot was reassigned — falls back to a
+            // fresh registration rather than giving up.
+            Err(NetError::Unauthorized(_) | NetError::WindowExpired(_) | NetError::Protocol(_)) => {
+                PlayerSession::connect_with(addr, &opts)?
+            }
+            Err(e) => return Err(CliError::Net(e)),
+        },
+        None => PlayerSession::connect_with(addr, &opts)?,
+    };
     let w = session.welcome().clone();
+    if let Some(path) = &session_file {
+        if w.resume_nonce != 0 {
+            std::fs::write(path, format!("{} {}\n", w.player, w.resume_nonce))?;
+        }
+    }
     let path = format!("{prefix}.{}", w.player);
     if !std::path::Path::new(&path).exists() {
         return Err(CliError::Usage(format!(
@@ -269,14 +334,29 @@ pub fn connect(args: &ArgMap) -> Result<String, CliError> {
     }
     let state = PlayerState::new(w.player as usize, w.n as usize, share.edges());
     let sim = sim_closure(&w)?;
-    let summary = session.serve(&state, sim).map_err(CliError::Net)?;
+    // `serve_rejoining` degrades to plain `serve` semantics when the
+    // Welcome carried no resume nonce (daemon without a window).
+    let summary = session
+        .serve_rejoining(addr, &opts, &state, sim)
+        .map_err(CliError::Net)?;
+    let rejoined = match summary.rejoins {
+        0 => String::new(),
+        r => format!(" (rejoined {r}x)"),
+    };
     Ok(match summary.farewell {
-        Some(farewell) => format!(
-            "player {} served {} requests\ncoordinator verdict: {farewell}\n",
-            w.player, summary.requests
-        ),
+        Some(farewell) => {
+            // A clean goodbye retires the resume credential: nothing is
+            // left to resume, and the next run must not present it.
+            if let Some(path) = &session_file {
+                let _ = std::fs::remove_file(path);
+            }
+            format!(
+                "player {} served {} requests{rejoined}\ncoordinator verdict: {farewell}\n",
+                w.player, summary.requests
+            )
+        }
         None => format!(
-            "player {} served {} requests (connection closed without a farewell)\n",
+            "player {} served {} requests{rejoined} (connection closed without a farewell)\n",
             w.player, summary.requests
         ),
     })

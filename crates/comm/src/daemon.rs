@@ -19,12 +19,19 @@
 //! [`serve`]: PlayerSession::serve
 
 use crate::player::PlayerState;
-use crate::rand::SharedRandomness;
+use crate::rand::{mix64, SharedRandomness};
 use crate::runtime::{CostModel, TcpTransport};
 use crate::simultaneous::SimMessage;
-use crate::wire::{self, Welcome, WireError, WireMessage};
+use crate::wire::{self, ErrorCode, ResumeClaim, Welcome, WireError, WireMessage};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How long the daemon's census and rejoin loops sleep between
+/// non-blocking accept polls. Short enough that a claimant in the
+/// backlog is picked up promptly; long enough not to spin a core.
+pub const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(5);
 
 /// Failures of session establishment and player-side serving — the
 /// pre-run phase, before the [`RunError`](crate::runtime::RunError)
@@ -39,6 +46,12 @@ pub enum NetError {
     /// The peer violated the session protocol (rejected registration,
     /// unexpected frame, bad parameters).
     Protocol(String),
+    /// The coordinator rejected this session's credential: wrong or
+    /// missing `--auth-token`, or a resume claim with a bad nonce.
+    Unauthorized(String),
+    /// A resume claim was valid but arrived after the slot's reconnect
+    /// window had expired; the run has already degraded without us.
+    WindowExpired(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -47,6 +60,8 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "network error: {e}"),
             NetError::Wire(e) => write!(f, "wire error: {e}"),
             NetError::Protocol(what) => write!(f, "session error: {what}"),
+            NetError::Unauthorized(what) => write!(f, "unauthorized: {what}"),
+            NetError::WindowExpired(what) => write!(f, "reconnect window expired: {what}"),
         }
     }
 }
@@ -56,7 +71,7 @@ impl std::error::Error for NetError {
         match self {
             NetError::Io(e) => Some(e),
             NetError::Wire(e) => Some(e),
-            NetError::Protocol(_) => None,
+            NetError::Protocol(_) | NetError::Unauthorized(_) | NetError::WindowExpired(_) => None,
         }
     }
 }
@@ -95,7 +110,7 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    fn welcome_for(&self, player: u32) -> Welcome {
+    fn welcome_for(&self, player: u32, resume_nonce: u64) -> Welcome {
         Welcome {
             player,
             k: self.k as u32,
@@ -104,7 +119,225 @@ impl ServeConfig {
             cost_model: self.cost_model,
             protocol: self.protocol.clone(),
             params: self.params.clone(),
+            resume_nonce,
         }
+    }
+}
+
+/// Session-layer policy for
+/// [`accept_players_with`](TcpCoordinator::accept_players_with): the
+/// shared secret required of every `Hello`, and the reconnect window a
+/// detached slot is held open for. The default (`None`, zero) is the
+/// pre-session behavior: no authentication, any mid-run disconnect is
+/// final.
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// When `Some`, every `Hello` (fresh registration or resume) must
+    /// carry exactly this token; mismatches are answered with a typed
+    /// [`ErrorCode::Unauthorized`] `Error` frame. Compared in constant
+    /// time. Plaintext on the wire — a perimeter against accidental
+    /// cross-run joins, not a cryptographic identity (docs/NETWORKING.md).
+    pub auth_token: Option<String>,
+    /// How long a slot that times out or hangs up mid-run stays
+    /// [`Detached`](docs/NETWORKING.md) awaiting a resume claim before
+    /// the run degrades. `Duration::ZERO` disables the reconnect
+    /// machinery entirely.
+    pub reconnect_window: Duration,
+}
+
+/// Constant-time byte-string equality: scans `max(len_a, len_b)`
+/// positions unconditionally so the comparison's duration leaks neither
+/// the match prefix length nor the expected token's contents.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+/// `true` when `presented` satisfies `expected`. A daemon without a
+/// configured token accepts anything (including tokens — forward
+/// compatible); a daemon with one requires an exact constant-time match.
+fn token_ok(expected: Option<&str>, presented: Option<&str>) -> bool {
+    match expected {
+        None => true,
+        Some(want) => {
+            presented.is_some_and(|got| constant_time_eq(want.as_bytes(), got.as_bytes()))
+        }
+    }
+}
+
+/// Issues a fresh per-slot resume nonce. Unpredictable enough to stop
+/// accidental cross-session resumes (seed, slot, process id and a
+/// process-global counter all diffused through [`mix64`]); **not** a
+/// cryptographic credential — it travels plaintext, exactly like the
+/// auth token (docs/NETWORKING.md).
+fn issue_nonce(seed: u64, slot: u32) -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = u64::from(std::process::id());
+    mix64(mix64(seed ^ 0x4E4F_4E43_4530_5F5Fu64) ^ (u64::from(slot) << 32) ^ pid ^ (count << 48))
+}
+
+/// The daemon-side session state that outlives the census: a clone of
+/// the listening socket (kept non-blocking), the run template for
+/// rejoin `Welcome`s, the auth policy, the per-slot resume nonces, and
+/// the seed currently in force (updated on every reseed so a rejoining
+/// player reconstructs the right shared randomness).
+///
+/// Owned by [`TcpTransport`](crate::runtime::TcpTransport) behind an
+/// `Arc`; the transport's delivery loop polls
+/// [`poll_claimants`](Self::poll_claimants) while any slot is detached.
+pub(crate) struct SessionHost {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    options: SessionOptions,
+    nonces: Vec<u64>,
+    current_seed: Mutex<u64>,
+}
+
+impl std::fmt::Debug for SessionHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHost")
+            .field("k", &self.cfg.k)
+            .field("window", &self.options.reconnect_window)
+            .field("auth", &self.options.auth_token.is_some())
+            .finish()
+    }
+}
+
+impl SessionHost {
+    /// The reconnect window slots are held open for.
+    pub(crate) fn window(&self) -> Duration {
+        self.options.reconnect_window
+    }
+
+    /// Records the seed now in force so rejoin `Welcome`s carry it.
+    /// Called by the transport *before* it propagates a reseed, so a
+    /// player that detaches mid-reseed still learns the new seed on
+    /// rejoin.
+    pub(crate) fn note_seed(&self, seed: u64) {
+        *self.current_seed.lock().unwrap_or_else(|p| p.into_inner()) = seed;
+    }
+
+    /// Drains the accept backlog once. Claimants presenting a valid
+    /// resume claim for a slot marked in `detached` (and not in
+    /// `expired`) are handshaken — the first such claimant is returned
+    /// with its `Welcome` already written. Everyone else is answered
+    /// with a typed `Error` frame and dropped: bad token or nonce →
+    /// [`ErrorCode::Unauthorized`], expired slot →
+    /// [`ErrorCode::WindowExpired`], attached slot →
+    /// [`ErrorCode::SlotAttached`] (the retryable race), fresh `Hello`
+    /// after the census → [`ErrorCode::Generic`]. Returns `None` once
+    /// the backlog is empty (or only held rejects).
+    pub(crate) fn poll_claimants(
+        &self,
+        detached: &[bool],
+        expired: &[bool],
+        io_timeout: Duration,
+    ) -> Option<(usize, TcpStream)> {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(_) => return None, // WouldBlock or a dying listener: nothing to do
+            };
+            if let Some(claimed) = self.vet_claimant(stream, detached, expired, io_timeout) {
+                return Some(claimed);
+            }
+        }
+    }
+
+    /// Handshakes one accepted connection against the rejoin rules.
+    /// Never propagates an error: a hostile or garbled claimant costs
+    /// only itself.
+    fn vet_claimant(
+        &self,
+        mut stream: TcpStream,
+        detached: &[bool],
+        expired: &[bool],
+        io_timeout: Duration,
+    ) -> Option<(usize, TcpStream)> {
+        let reject = |stream: &mut TcpStream, code: ErrorCode, reason: String| {
+            let _ = wire::write_frame(stream, &WireMessage::Error { code, reason });
+        };
+        stream
+            .set_nonblocking(false)
+            .and_then(|()| stream.set_nodelay(true))
+            .and_then(|()| stream.set_read_timeout(Some(io_timeout)))
+            .ok()?;
+        let (token, resume) = match wire::read_frame(&mut stream) {
+            Ok(WireMessage::Hello { token, resume, .. }) => (token, resume),
+            Ok(other) => {
+                reject(
+                    &mut stream,
+                    ErrorCode::Generic,
+                    format!("expected hello, got {}", other.kind()),
+                );
+                return None;
+            }
+            Err(_) => return None,
+        };
+        if !token_ok(self.options.auth_token.as_deref(), token.as_deref()) {
+            reject(
+                &mut stream,
+                ErrorCode::Unauthorized,
+                "invalid or missing auth token".into(),
+            );
+            return None;
+        }
+        let Some(claim) = resume else {
+            reject(
+                &mut stream,
+                ErrorCode::Generic,
+                "census is closed; only resume claims are accepted".into(),
+            );
+            return None;
+        };
+        let slot = claim.slot as usize;
+        if slot >= self.cfg.k {
+            reject(
+                &mut stream,
+                ErrorCode::Generic,
+                format!("resume slot {slot} out of range for k={}", self.cfg.k),
+            );
+            return None;
+        }
+        if claim.nonce != self.nonces[slot] {
+            reject(
+                &mut stream,
+                ErrorCode::Unauthorized,
+                format!("invalid resume nonce for slot {slot}"),
+            );
+            return None;
+        }
+        if expired[slot] {
+            reject(
+                &mut stream,
+                ErrorCode::WindowExpired,
+                format!(
+                    "slot {slot} reconnect window ({} ms) has expired",
+                    self.options.reconnect_window.as_millis()
+                ),
+            );
+            return None;
+        }
+        if !detached[slot] {
+            reject(
+                &mut stream,
+                ErrorCode::SlotAttached,
+                format!("slot {slot} is still attached; back off and retry"),
+            );
+            return None;
+        }
+        let mut welcome = self.cfg.welcome_for(claim.slot, self.nonces[slot]);
+        welcome.seed = *self.current_seed.lock().unwrap_or_else(|p| p.into_inner());
+        if wire::write_frame(&mut stream, &WireMessage::Welcome(welcome)).is_err() {
+            return None;
+        }
+        Some((slot, stream))
     }
 }
 
@@ -158,11 +391,34 @@ impl TcpCoordinator {
         cfg: &ServeConfig,
         timeout: Duration,
     ) -> Result<TcpTransport, NetError> {
+        self.accept_players_with(cfg, timeout, &SessionOptions::default())
+    }
+
+    /// [`accept_players`](Self::accept_players) with an explicit
+    /// session-layer policy: an auth token every `Hello` must present,
+    /// and a reconnect window during which a slot that dies mid-run may
+    /// be resumed (see `docs/NETWORKING.md`). With a non-zero window the
+    /// listener stays open for the transport's lifetime, polling for
+    /// resume claims whenever a slot is detached.
+    ///
+    /// # Errors
+    ///
+    /// As [`accept_players`](Self::accept_players); the census-timeout
+    /// error additionally names the filled and missing slots.
+    pub fn accept_players_with(
+        &self,
+        cfg: &ServeConfig,
+        timeout: Duration,
+        options: &SessionOptions,
+    ) -> Result<TcpTransport, NetError> {
         if cfg.k == 0 {
             return Err(NetError::Protocol("k must be at least 1".into()));
         }
         let deadline = Instant::now() + timeout;
         self.listener.set_nonblocking(true)?;
+        let nonces: Vec<u64> = (0..cfg.k as u32)
+            .map(|slot| issue_nonce(cfg.seed, slot))
+            .collect();
         let mut slots: Vec<Option<TcpStream>> = (0..cfg.k).map(|_| None).collect();
         let mut filled = 0usize;
         while filled < cfg.k {
@@ -170,22 +426,34 @@ impl TcpCoordinator {
                 Ok(accepted) => accepted,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if Instant::now() >= deadline {
+                        let present: Vec<usize> = slots
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(j, s)| s.is_some().then_some(j))
+                            .collect();
+                        let missing: Vec<usize> = slots
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(j, s)| s.is_none().then_some(j))
+                            .collect();
                         return Err(NetError::Protocol(format!(
-                            "timed out with {filled}/{} players registered",
+                            "timed out with {filled}/{} players registered \
+                             (registered slots {present:?}, missing {missing:?})",
                             cfg.k
                         )));
                     }
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(ACCEPT_POLL_INTERVAL);
                     continue;
                 }
                 Err(e) => return Err(NetError::Io(e)),
             };
-            if let Some((slot, stream)) = self.register(stream, cfg, &slots, deadline, timeout)? {
+            if let Some((slot, stream)) =
+                self.register(stream, cfg, options, &nonces, &slots, deadline, timeout)?
+            {
                 slots[slot] = Some(stream);
                 filled += 1;
             }
         }
-        self.listener.set_nonblocking(false)?;
         // `filled == k` implies every slot is occupied, but a hostile
         // network must never be one invariant away from a panic: an
         // empty slot is a typed protocol error, not a crash.
@@ -201,7 +469,26 @@ impl TcpCoordinator {
                 }
             }
         }
-        Ok(TcpTransport::from_conns(conns, timeout))
+        if options.reconnect_window.is_zero() {
+            self.listener.set_nonblocking(false)?;
+            return Ok(TcpTransport::from_conns(conns, timeout));
+        }
+        // The reconnect window needs the listener for the transport's
+        // lifetime. The clone shares the underlying socket (including
+        // its non-blocking flag), so it must stay non-blocking — the
+        // rejoin poll relies on it.
+        let host = SessionHost {
+            listener: self.listener.try_clone()?,
+            cfg: cfg.clone(),
+            options: options.clone(),
+            nonces,
+            current_seed: Mutex::new(cfg.seed),
+        };
+        Ok(TcpTransport::from_conns_with_session(
+            conns,
+            timeout,
+            Arc::new(host),
+        ))
     }
 
     /// Handshakes one accepted connection. Returns `Ok(None)` when the
@@ -210,10 +497,13 @@ impl TcpCoordinator {
     /// accepting. Nothing a single dialer does can surface an error
     /// from here: a hostile client can cost the run at most its own
     /// handshake window, never the listener.
+    #[allow(clippy::too_many_arguments)]
     fn register(
         &self,
         mut stream: TcpStream,
         cfg: &ServeConfig,
+        options: &SessionOptions,
+        nonces: &[u64],
         slots: &[Option<TcpStream>],
         deadline: Instant,
         timeout: Duration,
@@ -236,14 +526,20 @@ impl TcpCoordinator {
         if setup.is_err() {
             return Ok(None);
         }
-        let hello = match wire::read_frame(&mut stream) {
-            Ok(WireMessage::Hello { slot }) => slot,
+        let reject = |stream: &mut TcpStream, code: ErrorCode, reason: String| {
+            let _ = wire::write_frame(stream, &WireMessage::Error { code, reason });
+        };
+        let (hello, token, resume) = match wire::read_frame(&mut stream) {
+            Ok(WireMessage::Hello {
+                slot,
+                token,
+                resume,
+            }) => (slot, token, resume),
             Ok(other) => {
-                let _ = wire::write_frame(
+                reject(
                     &mut stream,
-                    &WireMessage::Error {
-                        reason: format!("expected hello, got {}", other.kind()),
-                    },
+                    ErrorCode::Generic,
+                    format!("expected hello, got {}", other.kind()),
                 );
                 return Ok(None);
             }
@@ -251,24 +547,38 @@ impl TcpCoordinator {
             // run: drop it and keep waiting for a real player.
             Err(_) => return Ok(None),
         };
+        if !token_ok(options.auth_token.as_deref(), token.as_deref()) {
+            reject(
+                &mut stream,
+                ErrorCode::Unauthorized,
+                "invalid or missing auth token".into(),
+            );
+            return Ok(None);
+        }
+        if resume.is_some() {
+            reject(
+                &mut stream,
+                ErrorCode::Unauthorized,
+                "nothing to resume: the census is still open".into(),
+            );
+            return Ok(None);
+        }
         let slot = match hello {
             Some(s) => {
                 let s = s as usize;
                 if s >= cfg.k {
-                    let _ = wire::write_frame(
+                    reject(
                         &mut stream,
-                        &WireMessage::Error {
-                            reason: format!("slot {s} out of range for k={}", cfg.k),
-                        },
+                        ErrorCode::Generic,
+                        format!("slot {s} out of range for k={}", cfg.k),
                     );
                     return Ok(None);
                 }
                 if slots[s].is_some() {
-                    let _ = wire::write_frame(
+                    reject(
                         &mut stream,
-                        &WireMessage::Error {
-                            reason: format!("slot {s} already taken"),
-                        },
+                        ErrorCode::Generic,
+                        format!("slot {s} already taken"),
                     );
                     return Ok(None);
                 }
@@ -279,12 +589,19 @@ impl TcpCoordinator {
                 None => return Ok(None),
             },
         };
+        // The resume nonce is only a live credential when a reconnect
+        // window exists; without one it is 0 so players know not to try.
+        let nonce = if options.reconnect_window.is_zero() {
+            0
+        } else {
+            nonces[slot]
+        };
         // A peer that hangs up between its Hello and our Welcome must
         // not kill the listener: drop it and leave the slot free for a
         // real claimant.
         if wire::write_frame(
             &mut stream,
-            &WireMessage::Welcome(cfg.welcome_for(slot as u32)),
+            &WireMessage::Welcome(cfg.welcome_for(slot as u32, nonce)),
         )
         .is_err()
         {
@@ -305,6 +622,80 @@ pub struct ServeSummary {
     /// ended by hitting a [`serve_until`](PlayerSession::serve_until)
     /// limit.
     pub farewell: Option<String>,
+    /// How many times the session lost its connection and successfully
+    /// resumed its slot ([`serve_rejoining`](PlayerSession::serve_rejoining));
+    /// `0` for a session that never dropped.
+    pub rejoins: u64,
+}
+
+/// Client-side dialing policy for [`PlayerSession::connect_with`] and
+/// [`PlayerSession::serve_rejoining`]: the slot and credential to
+/// present, the handshake deadline, and the bounded exponential backoff
+/// applied when the dial is refused (racing `--port-file` publication)
+/// or a rejoin races the coordinator's detach detection.
+#[derive(Debug, Clone)]
+pub struct ConnectOptions {
+    /// Explicit player slot to claim (`None` = any free slot).
+    pub slot: Option<u32>,
+    /// Auth token to present in the `Hello`, for daemons started with
+    /// `--auth-token`.
+    pub token: Option<String>,
+    /// Handshake deadline (dial + `Hello`/`Welcome` exchange). Once
+    /// registered the session waits indefinitely between requests.
+    pub timeout: Duration,
+    /// How many times a refused dial or a
+    /// [`SlotAttached`](crate::wire::ErrorCode::SlotAttached) rejection
+    /// is retried before the error surfaces. `0` = fail fast.
+    pub retries: u32,
+    /// Initial backoff between retries; doubles each attempt, capped at
+    /// [`ConnectOptions::MAX_BACKOFF`].
+    pub backoff: Duration,
+}
+
+impl ConnectOptions {
+    /// The ceiling the exponential backoff saturates at.
+    pub const MAX_BACKOFF: Duration = Duration::from_secs(2);
+
+    /// The backoff before retry number `attempt` (0-based): doubled
+    /// each time, saturating at [`Self::MAX_BACKOFF`].
+    fn backoff_for(&self, attempt: u32) -> Duration {
+        let exp = self
+            .backoff
+            .saturating_mul(2u32.saturating_pow(attempt.min(16)));
+        exp.min(Self::MAX_BACKOFF)
+    }
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            slot: None,
+            token: None,
+            timeout: crate::runtime::DEFAULT_NET_TIMEOUT,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// What one dial + handshake attempt produced: a registered session, a
+/// typed rejection frame, or a transport-level failure worth retrying.
+enum Dial {
+    Ok(PlayerSession),
+    Rejected { code: ErrorCode, reason: String },
+    Refused(std::io::Error),
+}
+
+/// `true` for dial failures the bounded backoff loop should absorb: the
+/// listener is not up yet (racing `--port-file`) or dropped the attempt.
+fn dial_retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::AddrNotAvailable
+    )
 }
 
 /// The player half of a networked run: one registered connection plus
@@ -323,30 +714,137 @@ impl PlayerSession {
     ///
     /// # Errors
     ///
-    /// [`NetError::Io`] when the dial fails, [`NetError::Protocol`]
-    /// when the coordinator rejects the registration (the rejection
-    /// reason is passed through).
+    /// [`NetError::Io`] when the dial fails, [`NetError::Unauthorized`]
+    /// when the daemon requires a token, [`NetError::Protocol`] for any
+    /// other rejection (the reason is passed through).
     pub fn connect<A: ToSocketAddrs>(
         addr: A,
         slot: Option<u32>,
         timeout: Duration,
     ) -> Result<Self, NetError> {
-        let mut stream = TcpStream::connect(addr)?;
+        Self::connect_with(
+            addr,
+            &ConnectOptions {
+                slot,
+                timeout,
+                ..ConnectOptions::default()
+            },
+        )
+    }
+
+    /// [`connect`](Self::connect) under an explicit [`ConnectOptions`]
+    /// policy: presents the auth token, and absorbs up to
+    /// `opts.retries` refused dials with exponential backoff — the fix
+    /// for clients racing the daemon's `--port-file` publication.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](Self::connect), after the retry budget is spent.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        opts: &ConnectOptions,
+    ) -> Result<Self, NetError> {
+        let hello = WireMessage::Hello {
+            slot: opts.slot,
+            token: opts.token.clone(),
+            resume: None,
+        };
+        let mut attempt = 0u32;
+        loop {
+            match Self::dial(&addr, opts, &hello)? {
+                Dial::Ok(session) => return Ok(session),
+                Dial::Rejected { code, reason } => return Err(rejection(code, reason)),
+                Dial::Refused(e) => {
+                    if attempt >= opts.retries {
+                        return Err(NetError::Io(e));
+                    }
+                    std::thread::sleep(opts.backoff_for(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Reattaches to a slot this client registered earlier in the
+    /// session, presenting the `Welcome`'s resume nonce. Retries both
+    /// refused dials and
+    /// [`SlotAttached`](crate::wire::ErrorCode::SlotAttached) rejections
+    /// (the claimant racing the coordinator's detach detection) under
+    /// the same bounded backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unauthorized`] for a bad token or nonce,
+    /// [`NetError::WindowExpired`] when the slot already degraded, and
+    /// the usual [`NetError::Io`]/[`NetError::Protocol`] otherwise.
+    pub fn rejoin_with<A: ToSocketAddrs>(
+        addr: A,
+        opts: &ConnectOptions,
+        claim: ResumeClaim,
+    ) -> Result<Self, NetError> {
+        let hello = WireMessage::Hello {
+            slot: None,
+            token: opts.token.clone(),
+            resume: Some(claim),
+        };
+        let mut attempt = 0u32;
+        loop {
+            let retry_after = match Self::dial(&addr, opts, &hello)? {
+                Dial::Ok(session) => return Ok(session),
+                Dial::Rejected {
+                    code: ErrorCode::SlotAttached,
+                    reason,
+                } => {
+                    if attempt >= opts.retries {
+                        return Err(rejection(ErrorCode::SlotAttached, reason));
+                    }
+                    opts.backoff_for(attempt)
+                }
+                Dial::Rejected { code, reason } => return Err(rejection(code, reason)),
+                Dial::Refused(e) => {
+                    if attempt >= opts.retries {
+                        return Err(NetError::Io(e));
+                    }
+                    opts.backoff_for(attempt)
+                }
+            };
+            std::thread::sleep(retry_after);
+            attempt += 1;
+        }
+    }
+
+    /// One dial + handshake attempt. Transport-level failures the
+    /// backoff loop may absorb come back as [`Dial::Refused`]; typed
+    /// `Error` frames as [`Dial::Rejected`]; hard local failures (e.g.
+    /// an unresolvable address) propagate.
+    fn dial<A: ToSocketAddrs>(
+        addr: &A,
+        opts: &ConnectOptions,
+        hello: &WireMessage,
+    ) -> Result<Dial, NetError> {
+        let mut stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) if dial_retryable(&e) => return Ok(Dial::Refused(e)),
+            Err(e) => return Err(NetError::Io(e)),
+        };
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(timeout))?;
-        wire::write_frame(&mut stream, &WireMessage::Hello { slot }).map_err(NetError::Io)?;
-        let welcome = match wire::read_frame(&mut stream)? {
-            WireMessage::Welcome(w) => w,
-            WireMessage::Error { reason } => return Err(NetError::Protocol(reason)),
-            other => {
+        stream.set_read_timeout(Some(opts.timeout))?;
+        if let Err(e) = wire::write_frame(&mut stream, hello) {
+            return Ok(Dial::Refused(e));
+        }
+        let welcome = match wire::read_frame(&mut stream) {
+            Ok(WireMessage::Welcome(w)) => w,
+            Ok(WireMessage::Error { code, reason }) => return Ok(Dial::Rejected { code, reason }),
+            Ok(other) => {
                 return Err(NetError::Protocol(format!(
                     "expected welcome, got {}",
                     other.kind()
                 )))
             }
+            Err(e) => return Err(NetError::Wire(e)),
         };
         stream.set_read_timeout(None)?;
-        Ok(PlayerSession { stream, welcome })
+        Ok(Dial::Ok(PlayerSession { stream, welcome }))
     }
 
     /// The run assignment the coordinator handed this player.
@@ -393,33 +891,114 @@ impl PlayerSession {
     where
         F: FnMut(&PlayerState, &SharedRandomness) -> SimMessage<'static>,
     {
-        let mut shared = SharedRandomness::new(self.welcome.seed);
-        let mut requests = 0u64;
+        let mut progress = ServeProgress::fresh(self.welcome.seed);
+        let farewell = self.serve_core(state, &mut sim, limit, &mut progress)?;
+        Ok(ServeSummary {
+            requests: progress.requests,
+            farewell,
+            rejoins: 0,
+        })
+    }
+
+    /// Serves like [`serve`](Self::serve) but survives connection loss:
+    /// when the socket dies mid-session, the player presents its resume
+    /// nonce (with `opts`'s token and backoff policy) and — if the
+    /// coordinator's reconnect window is still open — picks up exactly
+    /// where it left off. Requests are answered statelessly from the
+    /// seed in force, so a replayed request after rejoin produces the
+    /// byte-identical payload (see `docs/NETWORKING.md`). Up to
+    /// `opts.retries` rejoins are attempted over the session's lifetime.
+    ///
+    /// A session whose `Welcome` carried `resume_nonce == 0` (daemon
+    /// without a reconnect window) falls back to plain
+    /// [`serve`](Self::serve) semantics: the first disconnect is final.
+    ///
+    /// # Errors
+    ///
+    /// As [`serve`](Self::serve), plus [`NetError::Unauthorized`] /
+    /// [`NetError::WindowExpired`] when a rejoin attempt is rejected.
+    pub fn serve_rejoining<A, F>(
+        mut self,
+        addr: A,
+        opts: &ConnectOptions,
+        state: &PlayerState,
+        mut sim: F,
+    ) -> Result<ServeSummary, NetError>
+    where
+        A: ToSocketAddrs,
+        F: FnMut(&PlayerState, &SharedRandomness) -> SimMessage<'static>,
+    {
+        let mut progress = ServeProgress::fresh(self.welcome.seed);
+        let mut rejoins = 0u64;
+        loop {
+            match self.serve_core(state, &mut sim, None, &mut progress) {
+                Ok(farewell) => {
+                    return Ok(ServeSummary {
+                        requests: progress.requests,
+                        farewell,
+                        rejoins,
+                    })
+                }
+                Err(e) if connection_lost(&e) && self.welcome.resume_nonce != 0 => {
+                    if rejoins >= u64::from(opts.retries) {
+                        return Err(e);
+                    }
+                    let claim = ResumeClaim {
+                        slot: self.welcome.player,
+                        nonce: self.welcome.resume_nonce,
+                        last_acked: progress.last_acked,
+                    };
+                    self = Self::rejoin_with(&addr, opts, claim)?;
+                    // The rejoin Welcome carries the seed currently in
+                    // force (the coordinator may have reseeded while we
+                    // were gone).
+                    progress.shared = SharedRandomness::new(self.welcome.seed);
+                    rejoins += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The serve loop proper, factored out so [`serve_until`] and
+    /// [`serve_rejoining`](Self::serve_rejoining) share it. Returns the
+    /// farewell on a clean `Goodbye`, `None` when `limit` was hit;
+    /// `progress` survives the call so a rejoin resumes counting where
+    /// the dead connection stopped.
+    ///
+    /// [`serve_until`]: Self::serve_until
+    fn serve_core<F>(
+        &mut self,
+        state: &PlayerState,
+        sim: &mut F,
+        limit: Option<u64>,
+        progress: &mut ServeProgress,
+    ) -> Result<Option<String>, NetError>
+    where
+        F: FnMut(&PlayerState, &SharedRandomness) -> SimMessage<'static>,
+    {
         loop {
             match wire::read_frame(&mut self.stream)? {
                 WireMessage::Request { id, req } => {
-                    let payload = state.handle(&req, &shared);
+                    let payload = state.handle(&req, &progress.shared);
                     wire::write_frame(&mut self.stream, &WireMessage::Response { id, payload })
                         .map_err(NetError::Io)?;
-                    requests += 1;
+                    progress.requests += 1;
+                    progress.last_acked = id;
                 }
                 WireMessage::SimRequest { id } => {
-                    let message = sim(state, &shared);
+                    let message = sim(state, &progress.shared);
                     wire::write_frame(&mut self.stream, &WireMessage::SimResponse { id, message })
                         .map_err(NetError::Io)?;
-                    requests += 1;
+                    progress.requests += 1;
+                    progress.last_acked = id;
                 }
                 WireMessage::AdoptShared { seed } => {
-                    shared = SharedRandomness::new(seed);
+                    progress.shared = SharedRandomness::new(seed);
                     wire::write_frame(&mut self.stream, &WireMessage::Ack).map_err(NetError::Io)?;
                 }
-                WireMessage::Goodbye { summary } => {
-                    return Ok(ServeSummary {
-                        requests,
-                        farewell: Some(summary),
-                    })
-                }
-                WireMessage::Error { reason } => return Err(NetError::Protocol(reason)),
+                WireMessage::Goodbye { summary } => return Ok(Some(summary)),
+                WireMessage::Error { code, reason } => return Err(rejection(code, reason)),
                 other => {
                     return Err(NetError::Protocol(format!(
                         "unexpected {} frame from coordinator",
@@ -428,15 +1007,48 @@ impl PlayerSession {
                 }
             }
             if let Some(max) = limit {
-                if requests >= max {
-                    return Ok(ServeSummary {
-                        requests,
-                        farewell: None,
-                    });
+                if progress.requests >= max {
+                    return Ok(None);
                 }
             }
         }
     }
+}
+
+/// Serve-loop state that must outlive any single connection so a rejoin
+/// resumes rather than restarts: the shared randomness in force, the
+/// requests answered so far, and the last acknowledged correlation id.
+#[derive(Debug)]
+struct ServeProgress {
+    shared: SharedRandomness,
+    requests: u64,
+    last_acked: u64,
+}
+
+impl ServeProgress {
+    fn fresh(seed: u64) -> Self {
+        ServeProgress {
+            shared: SharedRandomness::new(seed),
+            requests: 0,
+            last_acked: 0,
+        }
+    }
+}
+
+/// Maps a typed wire rejection onto the [`NetError`] taxonomy.
+fn rejection(code: ErrorCode, reason: String) -> NetError {
+    match code {
+        ErrorCode::Unauthorized => NetError::Unauthorized(reason),
+        ErrorCode::WindowExpired => NetError::WindowExpired(reason),
+        ErrorCode::Generic | ErrorCode::SlotAttached => NetError::Protocol(reason),
+    }
+}
+
+/// `true` for failures that mean the connection itself died (the
+/// rejoinable case), as opposed to a typed rejection or protocol
+/// violation.
+fn connection_lost(e: &NetError) -> bool {
+    matches!(e, NetError::Io(_) | NetError::Wire(WireError::Io(_)))
 }
 
 #[cfg(test)]
@@ -567,7 +1179,9 @@ mod tests {
         let mut wrong = TcpStream::connect(addr).unwrap();
         wire::write_frame(&mut wrong, &WireMessage::Ack).unwrap();
         match wire::read_frame(&mut wrong).unwrap() {
-            WireMessage::Error { reason } => assert!(reason.contains("expected hello"), "{reason}"),
+            WireMessage::Error { reason, .. } => {
+                assert!(reason.contains("expected hello"), "{reason}")
+            }
             other => panic!("expected error frame, got {}", other.kind()),
         }
         drop(wrong);
@@ -596,7 +1210,15 @@ mod tests {
         });
         // First raw claimant takes slot 0.
         let mut first = TcpStream::connect(addr).unwrap();
-        wire::write_frame(&mut first, &WireMessage::Hello { slot: Some(0) }).unwrap();
+        wire::write_frame(
+            &mut first,
+            &WireMessage::Hello {
+                slot: Some(0),
+                token: None,
+                resume: None,
+            },
+        )
+        .unwrap();
         match wire::read_frame(&mut first).unwrap() {
             WireMessage::Welcome(w) => assert_eq!(w.player, 0),
             other => panic!("expected welcome, got {}", other.kind()),
@@ -604,15 +1226,33 @@ mod tests {
         // Second claimant of the same slot gets an Error frame, not a
         // dead listener.
         let mut dup = TcpStream::connect(addr).unwrap();
-        wire::write_frame(&mut dup, &WireMessage::Hello { slot: Some(0) }).unwrap();
+        wire::write_frame(
+            &mut dup,
+            &WireMessage::Hello {
+                slot: Some(0),
+                token: None,
+                resume: None,
+            },
+        )
+        .unwrap();
         match wire::read_frame(&mut dup).unwrap() {
-            WireMessage::Error { reason } => assert!(reason.contains("already taken"), "{reason}"),
+            WireMessage::Error { reason, .. } => {
+                assert!(reason.contains("already taken"), "{reason}")
+            }
             other => panic!("expected error frame, got {}", other.kind()),
         }
         drop(dup);
         // Slot 1 completes the census.
         let mut second = TcpStream::connect(addr).unwrap();
-        wire::write_frame(&mut second, &WireMessage::Hello { slot: Some(1) }).unwrap();
+        wire::write_frame(
+            &mut second,
+            &WireMessage::Hello {
+                slot: Some(1),
+                token: None,
+                resume: None,
+            },
+        )
+        .unwrap();
         match wire::read_frame(&mut second).unwrap() {
             WireMessage::Welcome(w) => assert_eq!(w.player, 1),
             other => panic!("expected welcome, got {}", other.kind()),
@@ -635,7 +1275,15 @@ mod tests {
             coordinator.accept_players(&cfg(1), Duration::from_millis(400))
         });
         let mut ghost = TcpStream::connect(addr).unwrap();
-        wire::write_frame(&mut ghost, &WireMessage::Hello { slot: Some(0) }).unwrap();
+        wire::write_frame(
+            &mut ghost,
+            &WireMessage::Hello {
+                slot: Some(0),
+                token: None,
+                resume: None,
+            },
+        )
+        .unwrap();
         drop(ghost);
         match accept.join().unwrap() {
             Ok(mut transport) => {
@@ -661,5 +1309,577 @@ mod tests {
             matches!(&err, NetError::Protocol(r) if r.contains("0/3 players")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn census_timeout_names_registered_and_missing_slots() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let holder = std::thread::spawn(move || {
+            // Fill slot 1 only, then hold the connection open so the
+            // census report sees it registered.
+            let session = PlayerSession::connect(addr, Some(1), Duration::from_secs(10)).unwrap();
+            std::thread::sleep(Duration::from_millis(600));
+            drop(session);
+        });
+        let err = coordinator
+            .accept_players(&cfg(3), Duration::from_millis(300))
+            .unwrap_err();
+        assert!(
+            matches!(&err, NetError::Protocol(r) if r.contains("1/3 players")
+                && r.contains("registered slots [1]")
+                && r.contains("missing [0, 2]")),
+            "{err}"
+        );
+        holder.join().unwrap();
+    }
+
+    #[test]
+    fn net_error_display_and_source_pin_operator_messages() {
+        use std::error::Error as _;
+        let io = NetError::Io(std::io::Error::other("boom"));
+        assert_eq!(io.to_string(), "network error: boom");
+        assert!(io.source().is_some());
+        let wire_err = NetError::Wire(WireError::Protocol("bad frame".into()));
+        assert_eq!(
+            wire_err.to_string(),
+            "wire error: protocol violation: bad frame"
+        );
+        assert!(wire_err.source().is_some());
+        let proto = NetError::Protocol("slot 3 already taken".into());
+        assert_eq!(proto.to_string(), "session error: slot 3 already taken");
+        assert!(proto.source().is_none());
+        let unauthorized = NetError::Unauthorized("invalid or missing auth token".into());
+        assert_eq!(
+            unauthorized.to_string(),
+            "unauthorized: invalid or missing auth token"
+        );
+        assert!(unauthorized.source().is_none());
+        let expired =
+            NetError::WindowExpired("slot 0 reconnect window (250 ms) has expired".into());
+        assert_eq!(
+            expired.to_string(),
+            "reconnect window expired: slot 0 reconnect window (250 ms) has expired"
+        );
+        assert!(expired.source().is_none());
+    }
+
+    #[test]
+    fn token_matching_is_exact_and_constant_time_eq_is_total() {
+        assert!(token_ok(None, None));
+        assert!(token_ok(None, Some("anything")));
+        assert!(!token_ok(Some("secret"), None));
+        assert!(!token_ok(Some("secret"), Some("secret2")));
+        assert!(!token_ok(Some("secret2"), Some("secret")));
+        assert!(!token_ok(Some("secret"), Some("")));
+        assert!(token_ok(Some("secret"), Some("secret")));
+        assert!(constant_time_eq(b"", b""));
+        assert!(!constant_time_eq(b"", b"x"));
+        assert!(!constant_time_eq(b"x", b""));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates_at_the_cap() {
+        let opts = ConnectOptions {
+            backoff: Duration::from_millis(50),
+            ..ConnectOptions::default()
+        };
+        assert_eq!(opts.backoff_for(0), Duration::from_millis(50));
+        assert_eq!(opts.backoff_for(1), Duration::from_millis(100));
+        assert_eq!(opts.backoff_for(2), Duration::from_millis(200));
+        assert_eq!(opts.backoff_for(10), ConnectOptions::MAX_BACKOFF);
+        assert_eq!(opts.backoff_for(u32::MAX), ConnectOptions::MAX_BACKOFF);
+    }
+
+    #[test]
+    fn auth_token_gates_registration_with_typed_rejections() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let options = SessionOptions {
+            auth_token: Some("hunter2".into()),
+            reconnect_window: Duration::ZERO,
+        };
+        let accept = std::thread::spawn(move || {
+            coordinator.accept_players_with(&cfg(1), Duration::from_secs(10), &options)
+        });
+        // Wrong token.
+        let err = PlayerSession::connect_with(
+            addr,
+            &ConnectOptions {
+                token: Some("wrong".into()),
+                ..ConnectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, NetError::Unauthorized(r) if r.contains("auth token")),
+            "{err}"
+        );
+        // Missing token.
+        let err = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap_err();
+        assert!(matches!(&err, NetError::Unauthorized(_)), "{err}");
+        // Correct token registers — the listener survived both rejects.
+        let session = PlayerSession::connect_with(
+            addr,
+            &ConnectOptions {
+                token: Some("hunter2".into()),
+                ..ConnectOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(session.welcome().player, 0);
+        let transport = accept.join().unwrap().expect("listener must survive");
+        assert_eq!(transport.k(), 1);
+    }
+
+    #[test]
+    fn resume_claims_during_census_are_rejected_typed() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            coordinator.accept_players(&cfg(1), Duration::from_secs(10))
+        });
+        let err = PlayerSession::rejoin_with(
+            addr,
+            &ConnectOptions::default(),
+            ResumeClaim {
+                slot: 0,
+                nonce: 42,
+                last_acked: 0,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, NetError::Unauthorized(r) if r.contains("census is still open")),
+            "{err}"
+        );
+        let _session = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+        accept.join().unwrap().expect("listener must survive");
+    }
+
+    #[test]
+    fn welcome_nonce_is_zero_without_a_reconnect_window() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let player = std::thread::spawn(move || {
+            let session = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+            session.welcome().clone()
+        });
+        let _transport = coordinator
+            .accept_players(&cfg(1), Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(player.join().unwrap().resume_nonce, 0);
+    }
+
+    #[test]
+    fn refused_dials_are_retried_with_bounded_backoff() {
+        // Reserve a port, then free it so the first dials are refused.
+        let placeholder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+        let started = Instant::now();
+        let err = PlayerSession::connect_with(
+            addr,
+            &ConnectOptions {
+                retries: 2,
+                backoff: Duration::from_millis(20),
+                timeout: Duration::from_secs(1),
+                ..ConnectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(&err, NetError::Io(_)), "{err}");
+        // Two retries at 20 ms and 40 ms: at least 60 ms were slept.
+        assert!(started.elapsed() >= Duration::from_millis(60));
+        // A daemon that comes up late is absorbed by the same loop —
+        // the fix for clients racing `--port-file` publication.
+        let late = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(120));
+            let coordinator = TcpCoordinator::bind(addr).unwrap();
+            coordinator.accept_players(&cfg(1), Duration::from_secs(10))
+        });
+        let session = PlayerSession::connect_with(
+            addr,
+            &ConnectOptions {
+                retries: 40,
+                backoff: Duration::from_millis(25),
+                ..ConnectOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(session.welcome().player, 0);
+        late.join().unwrap().expect("census must complete");
+    }
+
+    /// Session options with a reconnect window and no auth token.
+    fn windowed(ms: u64) -> SessionOptions {
+        SessionOptions {
+            auth_token: None,
+            reconnect_window: Duration::from_millis(ms),
+        }
+    }
+
+    #[test]
+    fn detached_player_rejoins_within_window_and_delivery_replays() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let share = vec![e(0, 1), e(1, 2)];
+        let (nonce_tx, nonce_rx) = std::sync::mpsc::channel();
+        let first_share = share.clone();
+        let first = std::thread::spawn(move || {
+            let session = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+            let w = session.welcome().clone();
+            nonce_tx.send((w.player, w.resume_nonce)).unwrap();
+            let state = PlayerState::new(w.player as usize, 4, &first_share);
+            // Answer exactly one request, then walk away (drops the
+            // connection).
+            session
+                .serve_until(&state, |_, _| SimMessage::empty(), Some(1))
+                .unwrap()
+        });
+        let mut transport = coordinator
+            .accept_players_with(&cfg(1), Duration::from_secs(10), &windowed(10_000))
+            .unwrap();
+        let (slot, nonce) = nonce_rx.recv().unwrap();
+        assert_ne!(nonce, 0, "a windowed daemon must issue a live nonce");
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::HasEdge(e(0, 1))),
+            Ok(Payload::Bit(true))
+        );
+        first.join().unwrap();
+        // The second incarnation presents the nonce and serves to the
+        // goodbye; the interrupted delivery below replays onto it.
+        let second = std::thread::spawn(move || {
+            let session = PlayerSession::rejoin_with(
+                addr,
+                &ConnectOptions {
+                    retries: 20,
+                    backoff: Duration::from_millis(10),
+                    ..ConnectOptions::default()
+                },
+                ResumeClaim {
+                    slot,
+                    nonce,
+                    last_acked: 1,
+                },
+            )
+            .unwrap();
+            let state = PlayerState::new(slot as usize, 4, &share);
+            session.serve(&state, |_, _| SimMessage::empty()).unwrap()
+        });
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::LocalEdgeCount),
+            Ok(Payload::Count(2))
+        );
+        transport.goodbye("done");
+        let summary = second.join().unwrap();
+        assert_eq!(summary.farewell.as_deref(), Some("done"));
+    }
+
+    #[test]
+    fn rejoins_with_bad_credentials_are_rejected_and_the_run_still_recovers() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let token = || Some("hunter2".to_string());
+        let options = SessionOptions {
+            auth_token: token(),
+            reconnect_window: Duration::from_millis(10_000),
+        };
+        let share = vec![e(0, 1)];
+        let (nonce_tx, nonce_rx) = std::sync::mpsc::channel();
+        let first_share = share.clone();
+        let first = std::thread::spawn(move || {
+            let session = PlayerSession::connect_with(
+                addr,
+                &ConnectOptions {
+                    token: Some("hunter2".into()),
+                    ..ConnectOptions::default()
+                },
+            )
+            .unwrap();
+            let w = session.welcome().clone();
+            nonce_tx.send((w.player, w.resume_nonce)).unwrap();
+            let state = PlayerState::new(w.player as usize, 4, &first_share);
+            session
+                .serve_until(&state, |_, _| SimMessage::empty(), Some(1))
+                .unwrap()
+        });
+        let mut transport = coordinator
+            .accept_players_with(&cfg(1), Duration::from_secs(10), &options)
+            .unwrap();
+        let (slot, nonce) = nonce_rx.recv().unwrap();
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::HasEdge(e(0, 1))),
+            Ok(Payload::Bit(true))
+        );
+        first.join().unwrap();
+        // Two invalid claimants queue up before any valid one: a wrong
+        // nonce (right token) and a wrong token (right nonce). Both must
+        // be answered with typed Unauthorized frames — and the slot must
+        // still be rejoinable afterwards.
+        let mut bad_nonce = TcpStream::connect(addr).unwrap();
+        wire::write_frame(
+            &mut bad_nonce,
+            &WireMessage::Hello {
+                slot: None,
+                token: token(),
+                resume: Some(ResumeClaim {
+                    slot,
+                    nonce: nonce.wrapping_add(1),
+                    last_acked: 1,
+                }),
+            },
+        )
+        .unwrap();
+        let mut bad_token = TcpStream::connect(addr).unwrap();
+        wire::write_frame(
+            &mut bad_token,
+            &WireMessage::Hello {
+                slot: None,
+                token: Some("wrong".into()),
+                resume: Some(ResumeClaim {
+                    slot,
+                    nonce,
+                    last_acked: 1,
+                }),
+            },
+        )
+        .unwrap();
+        let second = std::thread::spawn(move || {
+            let session = PlayerSession::rejoin_with(
+                addr,
+                &ConnectOptions {
+                    token: Some("hunter2".into()),
+                    retries: 20,
+                    backoff: Duration::from_millis(10),
+                    ..ConnectOptions::default()
+                },
+                ResumeClaim {
+                    slot,
+                    nonce,
+                    last_acked: 1,
+                },
+            )
+            .unwrap();
+            let state = PlayerState::new(slot as usize, 4, &share);
+            session.serve(&state, |_, _| SimMessage::empty()).unwrap()
+        });
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::LocalEdgeCount),
+            Ok(Payload::Count(1))
+        );
+        for (stream, expect) in [
+            (&mut bad_nonce, "invalid resume nonce"),
+            (&mut bad_token, "auth token"),
+        ] {
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            match wire::read_frame(stream).unwrap() {
+                WireMessage::Error { code, reason } => {
+                    assert_eq!(code, ErrorCode::Unauthorized, "{reason}");
+                    assert!(reason.contains(expect), "{reason}");
+                }
+                other => panic!("expected error frame, got {}", other.kind()),
+            }
+        }
+        transport.goodbye("done");
+        let summary = second.join().unwrap();
+        assert_eq!(summary.farewell.as_deref(), Some("done"));
+    }
+
+    #[test]
+    fn duplicate_rejoin_race_has_exactly_one_winner() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let (nonce_tx, nonce_rx) = std::sync::mpsc::channel();
+        let share = vec![e(0, 1), e(0, 2), e(1, 2)];
+        let first = std::thread::spawn(move || {
+            let session = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+            let w = session.welcome().clone();
+            nonce_tx.send((w.player, w.resume_nonce)).unwrap();
+            let state = PlayerState::new(w.player as usize, 4, &share);
+            session
+                .serve_until(&state, |_, _| SimMessage::empty(), Some(1))
+                .unwrap()
+        });
+        let mut transport = coordinator
+            .accept_players_with(&cfg(1), Duration::from_secs(10), &windowed(10_000))
+            .unwrap();
+        let (slot, nonce) = nonce_rx.recv().unwrap();
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::LocalEdgeCount),
+            Ok(Payload::Count(3))
+        );
+        first.join().unwrap();
+        // Two claimants present the same valid claim before the
+        // coordinator notices the disconnect. Exactly one must win the
+        // slot; the other must get a typed SlotAttached rejection in the
+        // same drain.
+        let claim = ResumeClaim {
+            slot,
+            nonce,
+            last_acked: 1,
+        };
+        let hello = WireMessage::Hello {
+            slot: None,
+            token: None,
+            resume: Some(claim),
+        };
+        let mut a = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut a, &hello).unwrap();
+        let mut b = TcpStream::connect(addr).unwrap();
+        wire::write_frame(&mut b, &hello).unwrap();
+        let servicer = std::thread::spawn(move || {
+            for s in [&mut a, &mut b] {
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            }
+            let first_frame = wire::read_frame(&mut a).unwrap();
+            let second_frame = wire::read_frame(&mut b).unwrap();
+            let (mut winner, frames) = match (first_frame, second_frame) {
+                (WireMessage::Welcome(_), loser) => (a, loser),
+                (loser, WireMessage::Welcome(_)) => (b, loser),
+                (x, y) => panic!(
+                    "expected exactly one welcome, got {} and {}",
+                    x.kind(),
+                    y.kind()
+                ),
+            };
+            match frames {
+                WireMessage::Error { code, reason } => {
+                    assert_eq!(code, ErrorCode::SlotAttached, "{reason}");
+                    assert!(reason.contains("still attached"), "{reason}");
+                }
+                other => panic!("loser expected SlotAttached, got {}", other.kind()),
+            }
+            // The winner answers the replayed request.
+            match wire::read_frame(&mut winner).unwrap() {
+                WireMessage::Request { id, .. } => {
+                    wire::write_frame(
+                        &mut winner,
+                        &WireMessage::Response {
+                            id,
+                            payload: Payload::Count(3),
+                        },
+                    )
+                    .unwrap();
+                }
+                other => panic!("winner expected request, got {}", other.kind()),
+            }
+            winner
+        });
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::LocalEdgeCount),
+            Ok(Payload::Count(3))
+        );
+        drop(servicer.join().unwrap());
+    }
+
+    #[test]
+    fn window_expiry_degrades_typed_and_late_claimants_learn_it() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let (nonce_tx, nonce_rx) = std::sync::mpsc::channel();
+        let share = vec![e(0, 1)];
+        let first = std::thread::spawn(move || {
+            let session = PlayerSession::connect(addr, None, Duration::from_secs(10)).unwrap();
+            let w = session.welcome().clone();
+            nonce_tx.send((w.player, w.resume_nonce)).unwrap();
+            let state = PlayerState::new(w.player as usize, 4, &share);
+            session
+                .serve_until(&state, |_, _| SimMessage::empty(), Some(1))
+                .unwrap()
+        });
+        let mut transport = coordinator
+            .accept_players_with(&cfg(1), Duration::from_secs(10), &windowed(250))
+            .unwrap();
+        let (slot, nonce) = nonce_rx.recv().unwrap();
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::HasEdge(e(0, 1))),
+            Ok(Payload::Bit(true))
+        );
+        first.join().unwrap();
+        // Nobody rejoins: the delivery waits out the window and degrades
+        // with a typed Aborted naming the expiry and the original cause.
+        let err = transport
+            .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+            .unwrap_err();
+        match &err {
+            crate::runtime::RunError::Aborted { reason } => {
+                assert!(reason.contains("reconnect window expired"), "{reason}");
+                assert!(reason.contains("player 0"), "{reason}");
+            }
+            other => panic!("expected aborted, got {other}"),
+        }
+        // A claimant arriving after expiry — with perfectly valid
+        // credentials — is answered with a typed WindowExpired frame by
+        // the next delivery attempt's poll.
+        let mut late = TcpStream::connect(addr).unwrap();
+        wire::write_frame(
+            &mut late,
+            &WireMessage::Hello {
+                slot: None,
+                token: None,
+                resume: Some(ResumeClaim {
+                    slot,
+                    nonce,
+                    last_acked: 1,
+                }),
+            },
+        )
+        .unwrap();
+        transport
+            .try_deliver(0, &PlayerRequest::LocalEdgeCount)
+            .unwrap_err();
+        late.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        match wire::read_frame(&mut late).unwrap() {
+            WireMessage::Error { code, reason } => {
+                assert_eq!(code, ErrorCode::WindowExpired, "{reason}");
+                assert!(reason.contains("expired"), "{reason}");
+            }
+            other => panic!("expected error frame, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn serve_rejoining_survives_a_dropped_connection_transparently() {
+        let coordinator = TcpCoordinator::bind("127.0.0.1:0").unwrap();
+        let addr = coordinator.local_addr().unwrap();
+        let share = vec![e(0, 1), e(1, 2)];
+        let player = std::thread::spawn(move || {
+            let opts = ConnectOptions {
+                retries: 20,
+                backoff: Duration::from_millis(10),
+                ..ConnectOptions::default()
+            };
+            let session = PlayerSession::connect_with(addr, &opts).unwrap();
+            let state = PlayerState::new(session.welcome().player as usize, 4, &share);
+            session
+                .serve_rejoining(addr, &opts, &state, |_, _| SimMessage::empty())
+                .unwrap()
+        });
+        let mut transport = coordinator
+            .accept_players_with(&cfg(1), Duration::from_secs(10), &windowed(10_000))
+            .unwrap();
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::HasEdge(e(0, 1))),
+            Ok(Payload::Bit(true))
+        );
+        // Sever the connection out from under the player by replacing
+        // its slot with a detached marker: the player sees EOF and
+        // rejoins via its resume nonce; the coordinator welcomes it on
+        // the next delivery and replays.
+        transport.sever_for_test(0);
+        // A reseed while the player is detached must travel in the
+        // rejoin Welcome, not be lost with the dead connection.
+        transport.adopt_shared(SharedRandomness::new(4242));
+        assert_eq!(
+            transport.try_deliver(0, &PlayerRequest::LocalEdgeCount),
+            Ok(Payload::Count(2))
+        );
+        transport.goodbye("accepted");
+        let summary = player.join().unwrap();
+        assert_eq!(summary.farewell.as_deref(), Some("accepted"));
+        assert_eq!(summary.rejoins, 1);
     }
 }

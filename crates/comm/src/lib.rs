@@ -63,7 +63,10 @@ pub mod transcript;
 pub mod wire;
 
 pub use bits::BitCost;
-pub use daemon::{NetError, PlayerSession, ServeConfig, ServeSummary, TcpCoordinator};
+pub use daemon::{
+    ConnectOptions, NetError, PlayerSession, ServeConfig, ServeSummary, SessionOptions,
+    TcpCoordinator, ACCEPT_POLL_INTERVAL,
+};
 pub use fault::{
     checksum_payload, corrupt_payload, run_simultaneous_chaos, ChaosFailure, FaultCounters,
     FaultKind, FaultPlan, FaultRates, FaultStats, FaultyTransport, Framed, SimChaos,
@@ -96,5 +99,6 @@ pub use transcript::{
     ParseError, Rollup, Transcript, DEFAULT_PHASE,
 };
 pub use wire::{
-    Welcome, WireError, WireMessage, MAX_BITSET_VERTICES, MAX_FRAME_BYTES, WIRE_VERSION,
+    ErrorCode, ResumeClaim, Welcome, WireError, WireMessage, MAX_BITSET_VERTICES, MAX_FRAME_BYTES,
+    WIRE_VERSION,
 };

@@ -842,6 +842,43 @@ mod tests {
     }
 
     #[test]
+    fn run_error_display_source_and_taxonomy_pin_operator_messages() {
+        use std::error::Error as _;
+        let transport = RunError::Transport(TransportError { player: 2 });
+        assert_eq!(transport.to_string(), "player 2 hung up mid-protocol");
+        assert!(transport.source().is_some());
+        assert_eq!(transport.kind(), RunErrorKind::Transport);
+        assert_eq!(transport.player(), Some(2));
+        assert!(!transport.is_retryable());
+        let timeout = RunError::Timeout { player: 1 };
+        assert_eq!(timeout.to_string(), "player 1 missed the response deadline");
+        assert!(timeout.source().is_none());
+        assert!(timeout.is_retryable());
+        let corrupt = RunError::Corrupt { player: 0 };
+        assert_eq!(
+            corrupt.to_string(),
+            "player 0's response failed checksum verification"
+        );
+        assert!(corrupt.is_retryable());
+        // The reconnect machinery degrades an expired window into this
+        // exact shape — operator-facing and schema-stable (no new
+        // RunError variant, so RunErrorKind and BENCH_chaos stay fixed).
+        let expired = RunError::Aborted {
+            reason: "player 0 reconnect window expired after 250 ms \
+                     (player 0 hung up mid-protocol)"
+                .into(),
+        };
+        assert_eq!(
+            expired.to_string(),
+            "run aborted: player 0 reconnect window expired after 250 ms \
+             (player 0 hung up mid-protocol)"
+        );
+        assert_eq!(expired.kind(), RunErrorKind::Aborted);
+        assert_eq!(expired.player(), None);
+        assert!(!expired.is_retryable());
+    }
+
+    #[test]
     fn local_request_roundtrip_and_charging() {
         let shared = SharedRandomness::new(7);
         let mut rt = Runtime::local(4, &shares(), shared, CostModel::Coordinator);

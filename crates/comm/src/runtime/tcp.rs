@@ -17,6 +17,7 @@
 //! [`LocalTransport`](super::LocalTransport) for the same
 //! (protocol, seed, k).
 
+use crate::daemon::{SessionHost, ACCEPT_POLL_INTERVAL};
 use crate::message::Payload;
 use crate::rand::SharedRandomness;
 use crate::request::PlayerRequest;
@@ -25,7 +26,7 @@ use crate::simultaneous::SimMessage;
 use crate::wire::{self, WireError, WireMessage};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default per-response deadline of a networked run. Generous because a
 /// remote player may legitimately scan a large share; operators tune it
@@ -107,18 +108,46 @@ fn map_wire(player: usize, e: WireError) -> RunError {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct TcpTransport {
-    conns: Vec<TcpStream>,
+    conns: Vec<PlayerConn>,
     next_id: u64,
     timeout: Duration,
     pending_fault: Option<RunError>,
+    session: Option<Arc<SessionHost>>,
+}
+
+/// The per-slot connection state machine (normative diagram in
+/// `docs/NETWORKING.md`): a slot is `Active` over a live handshaken
+/// socket, or `Detached` — its connection died mid-run while a
+/// reconnect window holds the slot open for a resume claim. Without a
+/// [`SessionHost`] (no reconnect window), slots never detach: the first
+/// failure surfaces directly, exactly the pre-session behavior.
+enum PlayerConn {
+    /// A live connection.
+    Active(TcpStream),
+    /// The connection died at `since`; `cause` is the failure that
+    /// detached it. Deliveries poll for a rejoin until
+    /// `since + window`, after which the run degrades with a typed
+    /// `Aborted`.
+    Detached { since: Instant, cause: RunError },
+}
+
+impl PlayerConn {
+    fn is_active(&self) -> bool {
+        matches!(self, PlayerConn::Active(_))
+    }
 }
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
             .field("k", &self.conns.len())
+            .field(
+                "detached",
+                &self.conns.iter().filter(|c| !c.is_active()).count(),
+            )
             .field("timeout", &self.timeout)
             .field("pending_fault", &self.pending_fault)
+            .field("session", &self.session)
             .finish()
     }
 }
@@ -127,11 +156,26 @@ impl TcpTransport {
     /// Wraps already-handshaken connections, ordered by player index,
     /// arming each with the per-response read deadline.
     pub(crate) fn from_conns(conns: Vec<TcpStream>, timeout: Duration) -> Self {
+        Self::build(conns, timeout, None)
+    }
+
+    /// [`from_conns`](Self::from_conns) plus the session host whose
+    /// reconnect window lets detached slots rejoin mid-run.
+    pub(crate) fn from_conns_with_session(
+        conns: Vec<TcpStream>,
+        timeout: Duration,
+        session: Arc<SessionHost>,
+    ) -> Self {
+        Self::build(conns, timeout, Some(session))
+    }
+
+    fn build(conns: Vec<TcpStream>, timeout: Duration, session: Option<Arc<SessionHost>>) -> Self {
         let mut t = TcpTransport {
-            conns,
+            conns: conns.into_iter().map(PlayerConn::Active).collect(),
             next_id: 0,
             timeout,
             pending_fault: None,
+            session,
         };
         t.arm_timeouts();
         t
@@ -141,8 +185,127 @@ impl TcpTransport {
         for conn in &self.conns {
             // A connection that cannot even accept a deadline is as good
             // as dead; the next delivery on it will surface the error.
-            let _ = conn.set_read_timeout(Some(self.timeout));
+            if let PlayerConn::Active(stream) = conn {
+                let _ = stream.set_read_timeout(Some(self.timeout));
+            }
         }
+    }
+
+    /// Whether `e` is a failure the reconnect window absorbs: the
+    /// connection went silent or died. Corrupt frames and protocol
+    /// violations stay fatal-or-retryable exactly as before — they come
+    /// from a *live* peer, so a rejoin would change nothing.
+    fn detachable(&self, e: &RunError) -> bool {
+        self.session.as_ref().is_some_and(|s| !s.window().is_zero())
+            && matches!(e, RunError::Timeout { .. } | RunError::Transport(_))
+    }
+
+    /// Marks `player`'s slot detached as of now, recording the failure
+    /// that killed the connection.
+    fn detach(&mut self, player: usize, cause: RunError) {
+        self.conns[player] = PlayerConn::Detached {
+            since: Instant::now(),
+            cause,
+        };
+    }
+
+    /// Ensures `player`'s slot has a live connection, blocking while its
+    /// reconnect window is open: polls the session listener, reattaches
+    /// any valid claimant (for *any* detached slot — rejoins are
+    /// accepted even for players the current delivery is not waiting
+    /// on), and fails with a typed `Aborted` once the window expires.
+    /// Late claimants arriving after expiry are answered with a
+    /// `WindowExpired` error frame by the same poll.
+    fn ensure_active(&mut self, player: usize) -> Result<(), RunError> {
+        if self.conns[player].is_active() {
+            return Ok(());
+        }
+        let Some(session) = self.session.clone() else {
+            // Unreachable by construction (slots only detach when a
+            // session exists), but typed rather than trusted.
+            return Err(RunError::Transport(TransportError { player }));
+        };
+        let window = session.window();
+        loop {
+            let now = Instant::now();
+            let mut detached = vec![false; self.conns.len()];
+            let mut expired = vec![false; self.conns.len()];
+            for (j, conn) in self.conns.iter().enumerate() {
+                if let PlayerConn::Detached { since, .. } = conn {
+                    detached[j] = true;
+                    expired[j] = now >= *since + window;
+                }
+            }
+            if let Some((slot, stream)) = session.poll_claimants(&detached, &expired, self.timeout)
+            {
+                let _ = stream.set_read_timeout(Some(self.timeout));
+                self.conns[slot] = PlayerConn::Active(stream);
+                if slot == player {
+                    // One final drain so claimants racing this rejoin
+                    // (the duplicate-claim race) get their typed
+                    // SlotAttached answer now, not at the next detach.
+                    self.drain_claimants(&session);
+                    return Ok(());
+                }
+                // Another slot rejoined; recompute the masks and keep
+                // draining without sleeping.
+                continue;
+            }
+            if expired[player] {
+                if let PlayerConn::Detached { cause, .. } = &self.conns[player] {
+                    return Err(RunError::Aborted {
+                        reason: format!(
+                            "player {player} reconnect window expired after {} ms ({cause})",
+                            window.as_millis()
+                        ),
+                    });
+                }
+            }
+            std::thread::sleep(ACCEPT_POLL_INTERVAL);
+        }
+    }
+
+    /// Empties the accept backlog once, attaching any valid claimant
+    /// for a still-detached slot and answering the rest with typed
+    /// rejections. Returns when the backlog is empty.
+    fn drain_claimants(&mut self, session: &Arc<SessionHost>) {
+        let window = session.window();
+        loop {
+            let now = Instant::now();
+            let mut detached = vec![false; self.conns.len()];
+            let mut expired = vec![false; self.conns.len()];
+            for (j, conn) in self.conns.iter().enumerate() {
+                if let PlayerConn::Detached { since, .. } = conn {
+                    detached[j] = true;
+                    expired[j] = now >= *since + window;
+                }
+            }
+            match session.poll_claimants(&detached, &expired, self.timeout) {
+                Some((slot, stream)) => {
+                    let _ = stream.set_read_timeout(Some(self.timeout));
+                    self.conns[slot] = PlayerConn::Active(stream);
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// The live stream for `player`; typed failure if the slot is
+    /// detached (callers go through [`ensure_active`](Self::ensure_active)
+    /// first).
+    fn active(&mut self, player: usize) -> Result<&mut TcpStream, RunError> {
+        match &mut self.conns[player] {
+            PlayerConn::Active(stream) => Ok(stream),
+            PlayerConn::Detached { .. } => Err(RunError::Transport(TransportError { player })),
+        }
+    }
+
+    /// Test hook: drops `player`'s live connection (closing the socket
+    /// under the remote peer) and marks the slot detached, as if the
+    /// coordinator had just observed the disconnect.
+    #[cfg(test)]
+    pub(crate) fn sever_for_test(&mut self, player: usize) {
+        self.detach(player, RunError::Transport(TransportError { player }));
     }
 
     /// Replaces the per-response deadline (builder-style).
@@ -162,38 +325,6 @@ impl TcpTransport {
         self.next_id
     }
 
-    /// Reads frames from `player` until the one with correlation id `id`
-    /// arrives, discarding stale responses along the way.
-    fn await_response(&mut self, player: usize, id: u64) -> Result<Payload<'static>, RunError> {
-        loop {
-            match wire::read_frame(&mut self.conns[player]) {
-                Ok(WireMessage::Response { id: got, payload }) if got == id => return Ok(payload),
-                Ok(
-                    WireMessage::Response { id: got, .. }
-                    | WireMessage::SimResponse { id: got, .. },
-                ) if got < id => {
-                    // A late answer to a delivery the runtime already
-                    // timed out and retried: drop it, keep reading.
-                    continue;
-                }
-                Ok(WireMessage::Error { reason }) => {
-                    return Err(RunError::Aborted {
-                        reason: format!("player {player}: {reason}"),
-                    })
-                }
-                Ok(other) => {
-                    return Err(RunError::Aborted {
-                        reason: format!(
-                            "player {player} sent an unexpected {} frame",
-                            other.kind()
-                        ),
-                    })
-                }
-                Err(e) => return Err(map_wire(player, e)),
-            }
-        }
-    }
-
     /// Asks every player for its one-shot simultaneous message, in
     /// player order — the networked gather feeding
     /// [`run_simultaneous_collected`](crate::simultaneous::run_simultaneous_collected).
@@ -208,35 +339,26 @@ impl TcpTransport {
         }
         let mut out = Vec::with_capacity(self.conns.len());
         for player in 0..self.conns.len() {
-            let id = self.fresh_id();
-            wire::write_frame(&mut self.conns[player], &WireMessage::SimRequest { id })
-                .map_err(|_| RunError::Transport(TransportError { player }))?;
-            loop {
-                match wire::read_frame(&mut self.conns[player]) {
-                    Ok(WireMessage::SimResponse { id: got, message }) if got == id => {
-                        out.push(message);
-                        break;
-                    }
-                    Ok(
-                        WireMessage::Response { id: got, .. }
-                        | WireMessage::SimResponse { id: got, .. },
-                    ) if got < id => continue,
-                    Ok(WireMessage::Error { reason }) => {
-                        return Err(RunError::Aborted {
-                            reason: format!("player {player}: {reason}"),
-                        })
-                    }
-                    Ok(other) => {
-                        return Err(RunError::Aborted {
-                            reason: format!(
-                                "player {player} sent an unexpected {} frame",
-                                other.kind()
-                            ),
-                        })
-                    }
-                    Err(e) => return Err(map_wire(player, e)),
+            // The same detach-and-rejoin loop as `try_deliver`: a gather
+            // interrupted by a disconnect replays the sim request on the
+            // rejoined connection with a fresh id — invisible to cost
+            // accounting, identical to an uninterrupted gather.
+            let message = loop {
+                self.ensure_active(player)?;
+                let id = self.fresh_id();
+                let attempt = {
+                    let stream = self.active(player)?;
+                    wire::write_frame(stream, &WireMessage::SimRequest { id })
+                        .map_err(|_| RunError::Transport(TransportError { player }))
+                        .and_then(|()| await_sim_response(stream, player, id))
+                };
+                match attempt {
+                    Ok(message) => break message,
+                    Err(e) if self.detachable(&e) => self.detach(player, e),
+                    Err(e) => return Err(e),
                 }
-            }
+            };
+            out.push(message);
         }
         Ok(out)
     }
@@ -244,13 +366,78 @@ impl TcpTransport {
     /// Best-effort farewell: sends a [`Goodbye`](WireMessage::Goodbye)
     /// carrying the run's verdict line to every player, so remote
     /// sessions exit cleanly instead of reading EOF. Errors are ignored —
-    /// the run is already over.
+    /// the run is already over. Detached slots are skipped (their
+    /// connection is gone; a claimant arriving later finds the listener
+    /// closed).
     pub fn goodbye(&mut self, summary: &str) {
         let msg = WireMessage::Goodbye {
             summary: summary.to_owned(),
         };
         for conn in &mut self.conns {
-            let _ = wire::write_frame(conn, &msg);
+            if let PlayerConn::Active(stream) = conn {
+                let _ = wire::write_frame(stream, &msg);
+            }
+        }
+    }
+}
+
+/// Reads frames from `player`'s stream until the `Response` with
+/// correlation id `id` arrives, discarding stale responses along the
+/// way.
+fn await_response(
+    stream: &mut TcpStream,
+    player: usize,
+    id: u64,
+) -> Result<Payload<'static>, RunError> {
+    loop {
+        match wire::read_frame(stream) {
+            Ok(WireMessage::Response { id: got, payload }) if got == id => return Ok(payload),
+            Ok(
+                WireMessage::Response { id: got, .. } | WireMessage::SimResponse { id: got, .. },
+            ) if got < id => {
+                // A late answer to a delivery the runtime already
+                // timed out and retried: drop it, keep reading.
+                continue;
+            }
+            Ok(WireMessage::Error { reason, .. }) => {
+                return Err(RunError::Aborted {
+                    reason: format!("player {player}: {reason}"),
+                })
+            }
+            Ok(other) => {
+                return Err(RunError::Aborted {
+                    reason: format!("player {player} sent an unexpected {} frame", other.kind()),
+                })
+            }
+            Err(e) => return Err(map_wire(player, e)),
+        }
+    }
+}
+
+/// [`await_response`] for the simultaneous gather: waits for the
+/// `SimResponse` with correlation id `id`.
+fn await_sim_response(
+    stream: &mut TcpStream,
+    player: usize,
+    id: u64,
+) -> Result<SimMessage<'static>, RunError> {
+    loop {
+        match wire::read_frame(stream) {
+            Ok(WireMessage::SimResponse { id: got, message }) if got == id => return Ok(message),
+            Ok(
+                WireMessage::Response { id: got, .. } | WireMessage::SimResponse { id: got, .. },
+            ) if got < id => continue,
+            Ok(WireMessage::Error { reason, .. }) => {
+                return Err(RunError::Aborted {
+                    reason: format!("player {player}: {reason}"),
+                })
+            }
+            Ok(other) => {
+                return Err(RunError::Aborted {
+                    reason: format!("player {player} sent an unexpected {} frame", other.kind()),
+                })
+            }
+            Err(e) => return Err(map_wire(player, e)),
         }
     }
 }
@@ -268,16 +455,32 @@ impl Transport for TcpTransport {
         if let Some(f) = self.pending_fault.take() {
             return Err(f);
         }
-        let id = self.fresh_id();
-        wire::write_frame(
-            &mut self.conns[player],
-            &WireMessage::Request {
+        // The reconnect loop: a delivery interrupted by a disconnect
+        // waits out the rejoin (bounded by the session window) and
+        // replays the request with a fresh correlation id on the new
+        // connection. The replay happens entirely below the runtime's
+        // charging layer, so a run interrupted and resumed is
+        // bit-identical — verdict, stats and tally — to an
+        // uninterrupted one (docs/NETWORKING.md).
+        loop {
+            self.ensure_active(player)?;
+            let id = self.fresh_id();
+            let msg = WireMessage::Request {
                 id,
                 req: req.clone(),
-            },
-        )
-        .map_err(|_| RunError::Transport(TransportError { player }))?;
-        self.await_response(player, id)
+            };
+            let attempt = {
+                let stream = self.active(player)?;
+                wire::write_frame(stream, &msg)
+                    .map_err(|_| RunError::Transport(TransportError { player }))
+                    .and_then(|()| await_response(stream, player, id))
+            };
+            match attempt {
+                Ok(payload) => return Ok(payload),
+                Err(e) if self.detachable(&e) => self.detach(player, e),
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     fn adopt_shared(&mut self, shared: SharedRandomness) {
@@ -288,34 +491,60 @@ impl Transport for TcpTransport {
             return;
         }
         let seed = shared.seed();
+        // Record the seed *before* telling anyone: a player that
+        // detaches mid-reseed learns the new seed from its rejoin
+        // Welcome instead of the lost AdoptShared frame.
+        if let Some(session) = &self.session {
+            session.note_seed(seed);
+        }
         for player in 0..self.conns.len() {
-            let sent =
-                wire::write_frame(&mut self.conns[player], &WireMessage::AdoptShared { seed })
-                    .map_err(|_| RunError::Transport(TransportError { player }));
-            let result = sent.and_then(|()| loop {
-                match wire::read_frame(&mut self.conns[player]) {
-                    Ok(WireMessage::Ack) => return Ok(()),
-                    Ok(WireMessage::Response { .. } | WireMessage::SimResponse { .. }) => continue,
-                    Ok(WireMessage::Error { reason }) => {
-                        return Err(RunError::Aborted {
-                            reason: format!("player {player}: {reason}"),
-                        })
-                    }
-                    Ok(other) => {
-                        return Err(RunError::Aborted {
-                            reason: format!(
-                                "player {player} sent an unexpected {} frame",
-                                other.kind()
-                            ),
-                        })
-                    }
-                    Err(e) => return Err(map_wire(player, e)),
-                }
-            });
-            if let Err(e) = result {
-                self.pending_fault = Some(e);
-                return;
+            // A detached slot owes no Ack: re-arm its window (each run
+            // in persistent mode grants a fresh rejoin opportunity) and
+            // let the rejoin Welcome carry the seed.
+            if let PlayerConn::Detached { since, .. } = &mut self.conns[player] {
+                *since = Instant::now();
+                continue;
             }
+            let attempt = self.active(player).and_then(|stream| {
+                wire::write_frame(stream, &WireMessage::AdoptShared { seed })
+                    .map_err(|_| RunError::Transport(TransportError { player }))
+                    .and_then(|()| await_ack(stream, player))
+            });
+            match attempt {
+                Ok(()) => {}
+                Err(e) if self.detachable(&e) => {
+                    // The slot detaches with a fresh window; the seed
+                    // travels in the rejoin Welcome, so there is
+                    // nothing to retry here.
+                    self.detach(player, e);
+                }
+                Err(e) => {
+                    self.pending_fault = Some(e);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Waits for the `Ack` answering an `AdoptShared`, discarding stale
+/// data responses along the way.
+fn await_ack(stream: &mut TcpStream, player: usize) -> Result<(), RunError> {
+    loop {
+        match wire::read_frame(stream) {
+            Ok(WireMessage::Ack) => return Ok(()),
+            Ok(WireMessage::Response { .. } | WireMessage::SimResponse { .. }) => continue,
+            Ok(WireMessage::Error { reason, .. }) => {
+                return Err(RunError::Aborted {
+                    reason: format!("player {player}: {reason}"),
+                })
+            }
+            Ok(other) => {
+                return Err(RunError::Aborted {
+                    reason: format!("player {player} sent an unexpected {} frame", other.kind()),
+                })
+            }
+            Err(e) => return Err(map_wire(player, e)),
         }
     }
 }

@@ -40,8 +40,12 @@ use triad_graph::{Edge, Triangle, VertexId};
 
 /// The protocol version carried by every frame. Peers speaking a
 /// different version are rejected during the handshake with
-/// [`WireError::Version`].
-pub const WIRE_VERSION: u8 = 1;
+/// [`WireError::Version`]. Version 2 extended the handshake with
+/// authentication and resume credentials: `Hello` carries an optional
+/// auth token and an optional [`ResumeClaim`], `Welcome` issues a
+/// per-session resume nonce, and `Error` carries a typed [`ErrorCode`]
+/// alongside its human-readable reason (see `docs/NETWORKING.md`).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on the framed length (version + type + body) a peer may
 /// announce. Larger lengths are treated as corruption before any
@@ -138,6 +142,66 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+/// A machine-readable cause carried by [`WireMessage::Error`] so peers
+/// can react to a rejection without parsing the human-readable reason
+/// (e.g. retry a rejoin on [`ErrorCode::SlotAttached`], give up on
+/// [`ErrorCode::Unauthorized`]). The `u8` values are normative wire
+/// bytes; an unknown byte decodes as [`WireError::Corrupt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// An unclassified failure; the reason string is the only detail.
+    Generic,
+    /// The credential presented in `Hello` was rejected: wrong or
+    /// missing auth token, or an invalid resume nonce.
+    Unauthorized,
+    /// A resume claim arrived after the slot's reconnect window had
+    /// already expired.
+    WindowExpired,
+    /// A resume claim named a slot that is still attached to a live
+    /// connection. Transient: a claimant racing the coordinator's
+    /// detach detection should back off and retry.
+    SlotAttached,
+}
+
+impl ErrorCode {
+    /// The normative wire byte for this code.
+    pub fn wire_byte(self) -> u8 {
+        match self {
+            ErrorCode::Generic => 0,
+            ErrorCode::Unauthorized => 1,
+            ErrorCode::WindowExpired => 2,
+            ErrorCode::SlotAttached => 3,
+        }
+    }
+
+    fn from_wire_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => ErrorCode::Generic,
+            1 => ErrorCode::Unauthorized,
+            2 => ErrorCode::WindowExpired,
+            3 => ErrorCode::SlotAttached,
+            other => return Err(WireError::corrupt(format!("unknown error code {other}"))),
+        })
+    }
+}
+
+/// A player's claim, inside [`WireMessage::Hello`], to resume a slot it
+/// already registered this session: the slot index, the resume nonce the
+/// coordinator issued in that slot's [`Welcome`], and the last
+/// correlation id the player answered before losing the connection
+/// (diagnostic; replay is driven by fresh correlation ids, see
+/// `docs/NETWORKING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeClaim {
+    /// The slot being resumed.
+    pub slot: u32,
+    /// The per-session resume nonce issued in the slot's `Welcome`.
+    pub nonce: u64,
+    /// The highest correlation id the player acknowledged before the
+    /// connection dropped.
+    pub last_acked: u64,
+}
+
 /// The coordinator's greeting to a player that completed the handshake:
 /// everything the player needs to participate without any out-of-band
 /// agreement beyond its share file.
@@ -159,6 +223,11 @@ pub struct Welcome {
     /// Free-form `key=value` parameters (e.g. `eps=0.2 d=8`), parsed by
     /// the player to reconstruct the protocol object exactly.
     pub params: String,
+    /// Per-session resume credential for this slot: a later `Hello`
+    /// carrying a [`ResumeClaim`] with this nonce may reattach to the
+    /// slot while its reconnect window is open. `0` when the session
+    /// layer is disabled.
+    pub resume_nonce: u64,
 }
 
 /// One frame of the wire protocol. The `u8` tags are part of the
@@ -166,10 +235,17 @@ pub struct Welcome {
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireMessage {
     /// Player → coordinator: request registration, optionally claiming
-    /// an explicit slot (`None` = any free slot).
+    /// an explicit slot (`None` = any free slot), optionally presenting
+    /// an auth token, or — instead of fresh registration — a
+    /// [`ResumeClaim`] to reattach to a detached slot.
     Hello {
-        /// Explicit player index to claim, if any.
+        /// Explicit player index to claim, if any. Ignored when
+        /// `resume` is present (the claim names its own slot).
         slot: Option<u32>,
+        /// The shared secret for daemons started with an auth token.
+        token: Option<String>,
+        /// A claim to resume a previously registered slot.
+        resume: Option<ResumeClaim>,
     },
     /// Coordinator → player: registration accepted.
     Welcome(Welcome),
@@ -215,6 +291,8 @@ pub enum WireMessage {
     /// Either direction: the sender cannot continue; the connection is
     /// dead afterwards.
     Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
         /// Human-readable cause.
         reason: String,
     },
@@ -519,13 +597,35 @@ fn cost_model_byte(m: CostModel) -> u8 {
 
 fn encode_body(enc: &mut Enc, msg: &WireMessage) {
     match msg {
-        WireMessage::Hello { slot } => match slot {
-            None => enc.u8(0),
-            Some(s) => {
-                enc.u8(1);
-                enc.u32(*s);
+        WireMessage::Hello {
+            slot,
+            token,
+            resume,
+        } => {
+            match slot {
+                None => enc.u8(0),
+                Some(s) => {
+                    enc.u8(1);
+                    enc.u32(*s);
+                }
             }
-        },
+            match token {
+                None => enc.u8(0),
+                Some(t) => {
+                    enc.u8(1);
+                    enc.str(t);
+                }
+            }
+            match resume {
+                None => enc.u8(0),
+                Some(claim) => {
+                    enc.u8(1);
+                    enc.u32(claim.slot);
+                    enc.u64(claim.nonce);
+                    enc.u64(claim.last_acked);
+                }
+            }
+        }
         WireMessage::Welcome(w) => {
             enc.u32(w.player);
             enc.u32(w.k);
@@ -534,6 +634,7 @@ fn encode_body(enc: &mut Enc, msg: &WireMessage) {
             enc.u8(cost_model_byte(w.cost_model));
             enc.str(&w.protocol);
             enc.str(&w.params);
+            enc.u64(w.resume_nonce);
         }
         WireMessage::Request { id, req } => {
             enc.u64(*id);
@@ -550,7 +651,10 @@ fn encode_body(enc: &mut Enc, msg: &WireMessage) {
         }
         WireMessage::AdoptShared { seed } => enc.u64(*seed),
         WireMessage::Ack => {}
-        WireMessage::Error { reason } => enc.str(reason),
+        WireMessage::Error { code, reason } => {
+            enc.u8(code.wire_byte());
+            enc.str(reason);
+        }
         WireMessage::Goodbye { summary } => enc.str(summary),
     }
 }
@@ -912,6 +1016,18 @@ fn decode_body(type_byte: u8, body: &[u8]) -> Result<WireMessage, WireError> {
                 0 => None,
                 _ => Some(d.u32()?),
             },
+            token: match d.u8()? {
+                0 => None,
+                _ => Some(d.str()?),
+            },
+            resume: match d.u8()? {
+                0 => None,
+                _ => Some(ResumeClaim {
+                    slot: d.u32()?,
+                    nonce: d.u64()?,
+                    last_acked: d.u64()?,
+                }),
+            },
         },
         0x02 => WireMessage::Welcome(Welcome {
             player: d.u32()?,
@@ -921,6 +1037,7 @@ fn decode_body(type_byte: u8, body: &[u8]) -> Result<WireMessage, WireError> {
             cost_model: decode_cost_model(d.u8()?)?,
             protocol: d.str()?,
             params: d.str()?,
+            resume_nonce: d.u64()?,
         }),
         0x03 => WireMessage::Request {
             id: d.u64()?,
@@ -937,7 +1054,10 @@ fn decode_body(type_byte: u8, body: &[u8]) -> Result<WireMessage, WireError> {
         },
         0x07 => WireMessage::AdoptShared { seed: d.u64()? },
         0x08 => WireMessage::Ack,
-        0x09 => WireMessage::Error { reason: d.str()? },
+        0x09 => WireMessage::Error {
+            code: ErrorCode::from_wire_byte(d.u8()?)?,
+            reason: d.str()?,
+        },
         0x0A => WireMessage::Goodbye { summary: d.str()? },
         other => return Err(WireError::corrupt(format!("unknown frame type {other}"))),
     };
@@ -1109,16 +1229,52 @@ mod tests {
             cost_model: CostModel::Blackboard,
             protocol: "low".into(),
             params: "eps=0.2 d=8".into(),
+            resume_nonce: 0x5EED_D00D,
         };
         for msg in [
-            WireMessage::Hello { slot: None },
-            WireMessage::Hello { slot: Some(3) },
+            WireMessage::Hello {
+                slot: None,
+                token: None,
+                resume: None,
+            },
+            WireMessage::Hello {
+                slot: Some(3),
+                token: None,
+                resume: None,
+            },
+            WireMessage::Hello {
+                slot: Some(1),
+                token: Some("s3cret".into()),
+                resume: None,
+            },
+            WireMessage::Hello {
+                slot: None,
+                token: Some("s3cret".into()),
+                resume: Some(ResumeClaim {
+                    slot: 2,
+                    nonce: 0xDEAD_5EED,
+                    last_acked: 17,
+                }),
+            },
             WireMessage::Welcome(welcome),
             WireMessage::SimRequest { id: 1 },
             WireMessage::AdoptShared { seed: 77 },
             WireMessage::Ack,
             WireMessage::Error {
+                code: ErrorCode::Generic,
                 reason: "no such slot".into(),
+            },
+            WireMessage::Error {
+                code: ErrorCode::Unauthorized,
+                reason: "invalid auth token".into(),
+            },
+            WireMessage::Error {
+                code: ErrorCode::WindowExpired,
+                reason: "slot 2 reconnect window expired".into(),
+            },
+            WireMessage::Error {
+                code: ErrorCode::SlotAttached,
+                reason: "slot 2 is still attached".into(),
             },
             WireMessage::Goodbye {
                 summary: "accepted (no triangle found)".into(),
@@ -1126,6 +1282,22 @@ mod tests {
         ] {
             assert_eq!(roundtrip(&msg), msg);
         }
+    }
+
+    #[test]
+    fn unknown_error_codes_are_corruption_not_panics() {
+        let mut enc = Enc::new();
+        enc.u8(WIRE_VERSION);
+        enc.u8(0x09); // Error
+        enc.u8(200); // unknown code byte
+        enc.str("made up");
+        let framed = enc.buf;
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(framed.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&framed);
+        buf.extend_from_slice(&checksum_bytes(&framed).to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Corrupt(_)), "{err}");
     }
 
     #[test]

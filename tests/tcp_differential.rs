@@ -23,10 +23,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use triad::comm::{
-    run_simultaneous_collected, run_simultaneous_prepared, CostModel, FaultPlan, FaultRates,
-    FaultyTransport, PayloadRepr, PlayerSession, PlayerState, Recorder, RunErrorKind, Runtime,
-    ServeConfig, SharedRandomness, SimMessage, SimultaneousProtocol, Tally, TcpCoordinator,
-    TcpTransport, Welcome,
+    run_simultaneous_collected, run_simultaneous_prepared, ConnectOptions, CostModel, FaultPlan,
+    FaultRates, FaultyTransport, PayloadRepr, PlayerSession, PlayerState, Recorder, ResumeClaim,
+    RunErrorKind, Runtime, ServeConfig, SessionOptions, SharedRandomness, SharedTransport,
+    SimMessage, SimultaneousProtocol, Tally, TcpCoordinator, TcpTransport, Transport, Welcome,
 };
 use triad::graph::generators::gnp_with_average_degree;
 use triad::graph::partition::{random_disjoint, Partition};
@@ -358,6 +358,202 @@ fn disconnect_mid_round_degrades_to_inconclusive_not_a_flip() {
     );
     for p in players {
         p.join().unwrap();
+    }
+}
+
+#[test]
+fn rejoin_within_window_is_bit_identical_to_uninterrupted() {
+    // The acceptance bar of the reconnect machinery: a player that is
+    // disconnected mid-run and rejoins within the window produces a
+    // final verdict, stats, and tally **bit-identical** to the
+    // uninterrupted in-process run. The replay happens inside the
+    // transport, below the charging layer, so the recorder never sees
+    // the interruption (docs/NETWORKING.md).
+    let (g, parts) = workload(240, 3, 5);
+    let input = PreparedInput::new(&g, &parts).unwrap();
+    let tester = UnrestrictedTester::new(Tuning::practical(0.2));
+    let seed = 11u64;
+    let reference = tester.run_prepared_tally(&input, seed);
+    let shares = Arc::new(parts.shares().to_vec());
+    let cfg = config("unrestricted", 3, g.vertex_count(), seed, 0.2, 6.0);
+    let coordinator = TcpCoordinator::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr");
+    // Players 1 and 2 serve normally. Player 0 answers two requests,
+    // drops its connection, then rejoins with the resume nonce from its
+    // Welcome and serves on — the kill-a-player-mid-round scenario.
+    let handles: Vec<_> = (0..3u32)
+        .map(|j| {
+            let shares = Arc::clone(&shares);
+            std::thread::spawn(move || {
+                let opts = ConnectOptions {
+                    slot: Some(j),
+                    retries: 40,
+                    backoff: Duration::from_millis(10),
+                    ..ConnectOptions::default()
+                };
+                let session = PlayerSession::connect_with(addr, &opts).unwrap();
+                let w = session.welcome().clone();
+                let state =
+                    PlayerState::new(w.player as usize, w.n as usize, &shares[w.player as usize]);
+                let mut sim = sim_closure(&w);
+                if j == 0 {
+                    assert_ne!(w.resume_nonce, 0, "windowed daemon must issue a nonce");
+                    let _ = session.serve_until(&state, &mut sim, Some(2));
+                    let rejoined = PlayerSession::rejoin_with(
+                        addr,
+                        &opts,
+                        ResumeClaim {
+                            slot: w.player,
+                            nonce: w.resume_nonce,
+                            last_acked: 2,
+                        },
+                    )
+                    .unwrap();
+                    let _ = rejoined.serve(&state, sim);
+                } else {
+                    let _ = session.serve(&state, sim);
+                }
+            })
+        })
+        .collect();
+    let options = SessionOptions {
+        auth_token: None,
+        reconnect_window: Duration::from_secs(20),
+    };
+    let transport = coordinator
+        .accept_players_with(&cfg, TIMEOUT, &options)
+        .expect("register all players");
+    let mut rt: Runtime<Tally> = Runtime::new_with(
+        Box::new(transport),
+        g.vertex_count(),
+        SharedRandomness::new(seed),
+        CostModel::Coordinator,
+    );
+    let outcome = tester.run_on(&mut rt);
+    assert_eq!(
+        rt.take_fault(),
+        None,
+        "a rejoin inside the window must be invisible to the run"
+    );
+    assert_eq!(outcome.triangle(), reference.outcome.triangle());
+    assert_eq!(rt.stats(), reference.stats, "stats must be bit-identical");
+    assert_tallies_equal("rejoin", &rt.into_recorder(), &reference.transcript);
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn window_expiry_degrades_to_inconclusive_and_later_runs_recover() {
+    // Persistent-mode liveness: run 0 loses player 0 past the reconnect
+    // window — the run records a typed expiry and degrades to
+    // Inconclusive, never a flipped verdict. The daemon then proceeds:
+    // the window re-arms on the next run's reseed, player 0 rejoins,
+    // and run 1 is bit-identical to the uninterrupted reference.
+    let g = Graph::from_edges(60, (0..59).map(|i| (i as u32, i as u32 + 1)));
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let parts = random_disjoint(&g, 3, &mut rng);
+    let input = PreparedInput::new(&g, &parts).unwrap();
+    let tester = UnrestrictedTester::new(Tuning::practical(0.2));
+    let (seed0, seed1) = (4u64, 5u64);
+    let reference1 = tester.run_prepared_tally(&input, seed1);
+    let shares = Arc::new(parts.shares().to_vec());
+    let cfg = config("unrestricted", 3, g.vertex_count(), seed0, 0.2, 2.0);
+    let coordinator = TcpCoordinator::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr");
+    let (rearm_tx, rearm_rx) = std::sync::mpsc::channel::<()>();
+    let mut rearm_rx = Some(rearm_rx);
+    let handles: Vec<_> = (0..3u32)
+        .map(|j| {
+            let shares = Arc::clone(&shares);
+            let rearm_rx = if j == 0 { rearm_rx.take() } else { None };
+            std::thread::spawn(move || {
+                let opts = ConnectOptions {
+                    slot: Some(j),
+                    retries: 40,
+                    backoff: Duration::from_millis(5),
+                    ..ConnectOptions::default()
+                };
+                let session = PlayerSession::connect_with(addr, &opts).unwrap();
+                let w = session.welcome().clone();
+                let state =
+                    PlayerState::new(w.player as usize, w.n as usize, &shares[w.player as usize]);
+                let mut sim = sim_closure(&w);
+                if j == 0 {
+                    // Walk away in run 0 and sit out the whole window…
+                    let _ = session.serve_until(&state, &mut sim, Some(2));
+                    // …then rejoin only once run 1's reseed has re-armed
+                    // the slot (the main thread signals after
+                    // adopt_shared).
+                    rearm_rx.unwrap().recv().unwrap();
+                    let rejoined = PlayerSession::rejoin_with(
+                        addr,
+                        &opts,
+                        ResumeClaim {
+                            slot: w.player,
+                            nonce: w.resume_nonce,
+                            last_acked: 2,
+                        },
+                    )
+                    .unwrap();
+                    let _ = rejoined.serve(&state, sim);
+                } else {
+                    let _ = session.serve(&state, sim);
+                }
+            })
+        })
+        .collect();
+    let options = SessionOptions {
+        auth_token: None,
+        reconnect_window: Duration::from_millis(300),
+    };
+    let transport = coordinator
+        .accept_players_with(&cfg, TIMEOUT, &options)
+        .expect("register all players");
+    let handle = Arc::new(std::sync::Mutex::new(transport));
+    // Run 0: the window expires with nobody rejoining.
+    let mut rt0: Runtime<Tally> = Runtime::new_with(
+        Box::new(SharedTransport::new(Arc::clone(&handle))),
+        g.vertex_count(),
+        SharedRandomness::new(seed0),
+        CostModel::Coordinator,
+    );
+    let outcome0 = tester.run_on(&mut rt0);
+    let fault = rt0.take_fault().expect("run 0 must fault on expiry");
+    assert_eq!(fault.kind(), RunErrorKind::Aborted, "{fault}");
+    assert!(
+        fault.to_string().contains("reconnect window expired"),
+        "{fault}"
+    );
+    assert_eq!(outcome0.triangle(), None, "no witness on a path graph");
+    assert_eq!(
+        single_run_verdict(outcome0, Some(&fault)),
+        ChaosOutcome::Inconclusive,
+        "expiry degrades, never flips"
+    );
+    // Run 1: the reseed re-arms the detached slot's window; player 0
+    // rejoins and the run completes clean — `triad serve --runs R`
+    // keeps serving after a degraded run.
+    handle
+        .lock()
+        .unwrap()
+        .adopt_shared(SharedRandomness::new(seed1));
+    rearm_tx.send(()).unwrap();
+    let mut rt1: Runtime<Tally> = Runtime::new_with(
+        Box::new(SharedTransport::new(Arc::clone(&handle))),
+        g.vertex_count(),
+        SharedRandomness::new(seed1),
+        CostModel::Coordinator,
+    );
+    let outcome1 = tester.run_on(&mut rt1);
+    assert_eq!(rt1.take_fault(), None, "run 1 must be fault-free");
+    assert_eq!(outcome1.triangle(), reference1.outcome.triangle());
+    assert_eq!(rt1.stats(), reference1.stats, "run 1 stats");
+    assert_tallies_equal("run 1", &rt1.into_recorder(), &reference1.transcript);
+    handle.lock().unwrap().goodbye("done");
+    drop(handle);
+    for h in handles {
+        h.join().unwrap();
     }
 }
 
